@@ -1,0 +1,74 @@
+// Ablation — wavelength-assignment policy (a DESIGN.md design choice):
+//
+// First-fit packs the spectrum from the lowest channel; most-used reuses
+// the network-wide hottest wavelengths first. Most-used classically lowers
+// blocking on meshes because it preserves whole idle wavelengths for long
+// continuity-constrained paths. Measured: blocking probability under
+// Poisson wavelength demand on the US backbone at several loads.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/scenario.hpp"
+#include "workload/arrivals.hpp"
+
+using namespace griphon;
+
+namespace {
+
+double blocking(std::uint64_t seed, double arrivals_per_hour,
+                core::WavelengthPolicy policy) {
+  core::BackboneScenario::Options opt;
+  opt.customers = 1;
+  opt.sites_per_customer = 6;
+  opt.quota = DataRate::gbps(100000);
+  opt.config.with_otn = false;
+  // Equipment is plentiful and the grid is tiny, so *spectrum* (and thus
+  // the assignment policy) is what admission control exhausts.
+  opt.config.channels = 4;
+  opt.config.ots_per_node = 40;
+  opt.config.regens_per_node = 20;
+  opt.config.fxc_ports_per_node = 256;
+  opt.params.rwa.policy = policy;
+  core::BackboneScenario s(seed, opt);
+
+  workload::PoissonConnectionLoad::Params p;
+  p.arrivals_per_hour = arrivals_per_hour;
+  p.mean_holding = hours(3);
+  p.rate = rates::k10G;
+  for (std::size_t i = 0; i < s.sites.size(); ++i)
+    for (std::size_t j = i + 1; j < s.sites.size(); ++j)
+      p.pairs.emplace_back(s.sites[i], s.sites[j]);
+  workload::PoissonConnectionLoad load(&s.engine, s.portals[0].get(), p);
+  load.run_until(hours(24 * 4));
+  s.engine.run();
+  return load.stats().blocking_probability();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Ablation: wavelength-assignment policy, US backbone, 4-channel "
+      "grid, 4 days of Poisson 10G demand, spectrum-limited");
+
+  bench::Table table({"offered load", "first-fit", "most-used",
+                      "least-used (spread)"});
+  for (const double load : {2.0, 4.0, 8.0, 12.0}) {
+    const double ff = blocking(12000 + static_cast<std::uint64_t>(load),
+                               load, core::WavelengthPolicy::kFirstFit);
+    const double mu = blocking(12000 + static_cast<std::uint64_t>(load),
+                               load, core::WavelengthPolicy::kMostUsed);
+    const double lu = blocking(12000 + static_cast<std::uint64_t>(load),
+                               load, core::WavelengthPolicy::kLeastUsed);
+    table.row({bench::fmt(load * 3, 0) + " Erl",
+               bench::fmt(ff * 100, 1) + "%",
+               bench::fmt(mu * 100, 1) + "%",
+               bench::fmt(lu * 100, 1) + "%"});
+  }
+  table.print();
+  std::cout << "\nshape check: packing policies (first-fit / most-used, "
+               "which coincide on a cold network) beat spreading: "
+               "least-used fragments the grid and blocks continuity-"
+               "constrained multi-hop paths earlier\n";
+  return 0;
+}

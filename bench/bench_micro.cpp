@@ -1,0 +1,109 @@
+// Micro-benchmarks (google-benchmark) for the computational hot paths of
+// the GRIPhoN controller and its substrates: the simulation engine, path
+// computation, RWA planning and protocol codecs. These bound how fast a
+// production controller could make decisions, independent of EMS latency.
+#include <benchmark/benchmark.h>
+
+#include "core/inventory.hpp"
+#include "core/network_model.hpp"
+#include "core/rwa.hpp"
+#include "proto/messages.hpp"
+#include "sim/engine.hpp"
+#include "topology/builders.hpp"
+
+using namespace griphon;
+
+namespace {
+
+void BM_EngineScheduleFire(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int i = 0; i < 1000; ++i)
+      engine.schedule(microseconds(i), []() {});
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineScheduleFire);
+
+void BM_DijkstraBackbone(benchmark::State& state) {
+  const auto g = topology::us_backbone();
+  for (auto _ : state) {
+    auto p = topology::shortest_path(g, NodeId{0}, NodeId{13},
+                                     topology::distance_weight());
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_DijkstraBackbone);
+
+void BM_YenKShortest(benchmark::State& state) {
+  const auto g = topology::us_backbone();
+  const auto k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto paths = topology::k_shortest_paths(g, NodeId{0}, NodeId{13}, k,
+                                            topology::distance_weight());
+    benchmark::DoNotOptimize(paths);
+  }
+}
+BENCHMARK(BM_YenKShortest)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_BhandariDisjointPair(benchmark::State& state) {
+  const auto g = topology::us_backbone();
+  for (auto _ : state) {
+    auto pair = topology::disjoint_pair(g, NodeId{0}, NodeId{13},
+                                        topology::distance_weight());
+    benchmark::DoNotOptimize(pair);
+  }
+}
+BENCHMARK(BM_BhandariDisjointPair);
+
+void BM_RwaPlanBackbone(benchmark::State& state) {
+  sim::Engine engine(1);
+  core::NetworkModel::Config cfg;
+  cfg.with_otn = false;
+  cfg.regens_per_node = 4;
+  core::NetworkModel model(&engine, topology::us_backbone(), cfg);
+  core::Inventory inv(&model);
+  core::RwaEngine rwa(&model, &inv, core::RwaEngine::Params{});
+  for (auto _ : state) {
+    auto plan = rwa.plan(NodeId{0}, NodeId{13}, rates::k10G);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_RwaPlanBackbone);
+
+void BM_FrameEncode(benchmark::State& state) {
+  const proto::Message m =
+      proto::RoadmAddDrop{RoadmId{1}, PortId{6}, 1, 33, true};
+  for (auto _ : state) {
+    auto bytes = proto::encode_frame(12345, m);
+    benchmark::DoNotOptimize(bytes);
+  }
+}
+BENCHMARK(BM_FrameEncode);
+
+void BM_FrameDecode(benchmark::State& state) {
+  const proto::Bytes bytes = proto::encode_frame(
+      12345,
+      proto::Message{proto::RoadmAddDrop{RoadmId{1}, PortId{6}, 1, 33, true}});
+  for (auto _ : state) {
+    auto frame = proto::decode_frame(bytes);
+    benchmark::DoNotOptimize(frame);
+  }
+}
+BENCHMARK(BM_FrameDecode);
+
+void BM_ChannelSetIntersect(benchmark::State& state) {
+  dwdm::ChannelSet a = dwdm::ChannelSet::all(80);
+  dwdm::ChannelSet b;
+  for (int ch = 0; ch < 80; ch += 3) b.add(ch);
+  for (auto _ : state) {
+    dwdm::ChannelSet c = a & b;
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_ChannelSetIntersect);
+
+}  // namespace
+
+BENCHMARK_MAIN();

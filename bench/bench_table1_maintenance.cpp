@@ -1,0 +1,90 @@
+// Experiment E6 — Table 1, row "Minimal impact during maintenance":
+//
+//   vision:  no customer impact from planned work;
+//   today:   "non-negligible impact on service" (manual wavelength
+//            management: affected circuits are down for the window);
+//   GRIPhoN: "automated bridge-and-roll".
+//
+// A 2-hour maintenance window is taken on the testbed's I-IV span while N
+// wavelength connections ride it. Compared: (a) unmanaged maintenance
+// (connections just go dark), (b) GRIPhoN prepare_maintenance with
+// bridge-and-roll beforehand.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/scenario.hpp"
+
+using namespace griphon;
+
+namespace {
+
+struct Outcome {
+  double total_outage_s = 0;
+  double worst_outage_s = 0;
+  int affected = 0;
+};
+
+Outcome run(std::uint64_t seed, bool use_bridge_and_roll, int connections) {
+  core::TestbedScenario s(seed);
+  std::vector<ConnectionId> ids;
+  for (int i = 0; i < connections; ++i) {
+    s.portal->connect(s.site_i, s.site_iv, rates::k10G,
+                      core::ProtectionMode::kUnprotected,
+                      [&](Result<ConnectionId> r) {
+                        if (r.ok()) ids.push_back(r.value());
+                      });
+    s.engine.run();
+  }
+
+  if (use_bridge_and_roll) {
+    s.controller->prepare_maintenance(s.topo.i_iv, [](Status) {});
+    s.engine.run();
+  }
+  // The maintenance window: span out of service for two hours.
+  s.model->fail_link(s.topo.i_iv);
+  s.engine.run_until(s.engine.now() + hours(2));
+  s.model->repair_link(s.topo.i_iv);
+  s.engine.run();
+
+  Outcome out;
+  for (const auto id : ids) {
+    const auto& c = s.controller->connection(id);
+    // Bridge-and-roll's brief hit counts as impact too, honestly reported.
+    const double o = to_seconds(c.total_outage + c.roll_hit_total);
+    out.total_outage_s += o;
+    out.worst_outage_s = std::max(out.worst_outage_s, o);
+    if (o > 0) ++out.affected;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Table 1 row 4: service impact of a 2 h maintenance window (I-IV)");
+  constexpr int kConnections = 3;
+
+  const Outcome unmanaged = run(6001, false, kConnections);
+  const Outcome rolled = run(6002, true, kConnections);
+
+  bench::Table table({"strategy", "connections hit", "worst outage",
+                      "total outage"});
+  table.row({"unmanaged maintenance (today)",
+             std::to_string(unmanaged.affected),
+             bench::fmt(unmanaged.worst_outage_s / 3600.0, 2) + " h",
+             bench::fmt(unmanaged.total_outage_s / 3600.0, 2) + " h"});
+  table.row({"GRIPhoN bridge-and-roll",
+             std::to_string(rolled.affected),
+             bench::fmt(rolled.worst_outage_s * 1000, 0) + " ms",
+             bench::fmt(rolled.total_outage_s * 1000, 0) + " ms"});
+  table.print();
+
+  const double improvement =
+      unmanaged.total_outage_s / std::max(rolled.total_outage_s, 0.050);
+  std::cout << "\nshape check: bridge-and-roll turns a ~2 h per-connection "
+               "outage into a sub-second roll hit (improvement factor here: "
+            << bench::fmt(improvement, 0)
+            << "x); the movement is 'almost hitless' as the paper claims\n";
+  return 0;
+}

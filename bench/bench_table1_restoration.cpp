@@ -1,0 +1,158 @@
+// Experiment E5 — Table 1, row "Reduced outage times":
+//
+//   vision:  quick restoration after failures;
+//   today:   "none (unless 1+1) for full wavelength rates" — either pay for
+//            dedicated 1+1 or wait 4-12 h for manual repair;
+//   GRIPhoN: "automated outage detection and dynamic re-provisioning".
+//
+// Fiber cuts are injected on the US backbone; the outage experienced by a
+// 10G inter-DC connection is measured under four schemes. OTN shared-mesh
+// restoration of sub-wavelength circuits is measured alongside.
+#include <iostream>
+
+#include "baseline/static_provisioning.hpp"
+#include "bench_util.hpp"
+#include <map>
+
+#include "core/scenario.hpp"
+
+using namespace griphon;
+
+namespace {
+
+/// Outage of one wavelength connection on the backbone when the first link
+/// of its path is cut.
+double one_trial(std::uint64_t seed, core::ProtectionMode mode) {
+  core::BackboneScenario::Options opt;
+  opt.config.ots_per_node = 10;
+  opt.config.regens_per_node = 6;
+  core::BackboneScenario s(seed, opt);
+  std::optional<ConnectionId> id;
+  s.portals[0]->connect(s.site(0, 0), s.site(0, 1), rates::k10G, mode,
+                        [&](Result<ConnectionId> r) {
+                          if (r.ok()) id = r.value();
+                        });
+  s.engine.run();
+  if (!id) return -1;
+  const LinkId victim =
+      s.controller->connection(*id).plan.path.links.front();
+  s.model->fail_link(victim);
+  s.engine.run();
+  const auto& c = s.controller->connection(*id);
+  if (c.state != core::ConnectionState::kActive) return -1;
+  return to_seconds(c.total_outage);
+}
+
+double otn_trial(std::uint64_t seed) {
+  core::BackboneScenario s(seed, core::BackboneScenario::Options{});
+  std::optional<ConnectionId> id;
+  s.portals[0]->connect(s.site(0, 0), s.site(0, 1), rates::k1G,
+                        core::ProtectionMode::kRestorable,
+                        [&](Result<ConnectionId> r) {
+                          if (r.ok()) id = r.value();
+                        });
+  s.engine.run();
+  if (!id) return -1;
+  const auto& circuit = s.model->otn().circuit(
+      s.controller->connection(*id).odu);
+  const LinkId victim = s.model->otn()
+                            .carrier(circuit.primary.front())
+                            .physical_route()
+                            .front();
+  s.model->fail_link(victim);
+  s.engine.run();
+  const auto& c = s.controller->connection(*id);
+  if (c.state != core::ConnectionState::kActive) return -1;
+  return to_seconds(c.total_outage);
+}
+
+bench::Summary collect(int trials, double (*fn)(std::uint64_t)) {
+  std::vector<double> xs;
+  for (int i = 0; i < trials; ++i) {
+    const double v = fn(5000 + static_cast<std::uint64_t>(i));
+    if (v >= 0) xs.push_back(v);
+  }
+  return bench::summarize(xs);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table 1 row 3: outage after a fiber cut (US backbone)");
+  constexpr int kTrials = 15;
+
+  const auto s_11 = collect(kTrials, [](std::uint64_t seed) {
+    return one_trial(seed, core::ProtectionMode::kOnePlusOne);
+  });
+  const auto s_rest = collect(kTrials, [](std::uint64_t seed) {
+    return one_trial(seed, core::ProtectionMode::kRestorable);
+  });
+  const auto s_otn = collect(kTrials, otn_trial);
+
+  // Manual repair baseline (today's unprotected wavelength service).
+  Rng rng(88);
+  std::vector<double> manual;
+  for (int i = 0; i < kTrials; ++i)
+    manual.push_back(to_seconds(baseline::ManualRepairModel::repair_time(rng)));
+  const auto s_manual = bench::summarize(manual);
+
+  bench::Table table({"scheme", "paper expectation", "mean outage",
+                      "min-max", "n"});
+  table.row({"1+1 dedicated protection", "milliseconds",
+             bench::fmt(s_11.mean * 1000, 0) + " ms",
+             bench::fmt(s_11.min * 1000, 0) + "-" +
+                 bench::fmt(s_11.max * 1000, 0) + " ms",
+             std::to_string(s_11.n)});
+  table.row({"OTN shared-mesh (sub-wavelength)", "sub-second",
+             bench::fmt(s_otn.mean * 1000, 0) + " ms",
+             bench::fmt(s_otn.min * 1000, 0) + "-" +
+                 bench::fmt(s_otn.max * 1000, 0) + " ms",
+             std::to_string(s_otn.n)});
+  table.row({"GRIPhoN dynamic restoration", "minutes, cheap",
+             bench::fmt(s_rest.mean / 60.0, 1) + " min",
+             bench::fmt(s_rest.min / 60.0, 1) + "-" +
+                 bench::fmt(s_rest.max / 60.0, 1) + " min",
+             std::to_string(s_rest.n)});
+  table.row({"manual repair (today, unprotected)", "4-12 hours",
+             bench::fmt(s_manual.mean / 3600.0, 1) + " h",
+             bench::fmt(s_manual.min / 3600.0, 1) + "-" +
+                 bench::fmt(s_manual.max / 3600.0, 1) + " h",
+             std::to_string(s_manual.n)});
+  table.print();
+
+  std::cout << "\nshape check: 1+1 ~ms << OTN mesh ~100s of ms << GRIPhoN "
+               "restoration ~minutes << manual repair ~hours; GRIPhoN "
+               "reinstates service 'far faster than repair of the "
+               "underlying fault' without 1+1's dedicated capacity\n";
+
+  // SLA differentiation: when one cut fails several connections, the
+  // shared restoration machinery serves gold before silver before bronze.
+  bench::banner("Tiered restoration after one cut (3 connections share it)");
+  core::TestbedScenario s(5500);
+  std::map<core::ServiceTier, ConnectionId> by_tier;
+  for (const auto tier : {core::ServiceTier::kBronze,
+                          core::ServiceTier::kGold,
+                          core::ServiceTier::kSilver}) {
+    s.portal->connect(
+        s.site_i, s.site_iv, rates::k10G, core::ProtectionMode::kRestorable,
+        [&, tier](Result<ConnectionId> r) {
+          if (r.ok()) by_tier[tier] = r.value();
+        },
+        tier);
+    s.engine.run();
+  }
+  s.model->fail_link(s.topo.i_iv);
+  s.engine.run();
+  bench::Table t3({"tier", "outage (s)", "restored"});
+  for (const auto tier : {core::ServiceTier::kGold,
+                          core::ServiceTier::kSilver,
+                          core::ServiceTier::kBronze}) {
+    const auto& c = s.controller->connection(by_tier[tier]);
+    t3.row({to_string(tier), bench::fmt(to_seconds(c.total_outage), 1),
+            c.is_up() ? "yes" : "no"});
+  }
+  t3.print();
+  std::cout << "\nshape check: outage grows strictly down the tiers — the "
+               "carrier can sell restoration order\n";
+  return 0;
+}

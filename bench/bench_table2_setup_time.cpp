@@ -1,0 +1,80 @@
+// Experiment E1 — reproduces **Table 2** of the paper:
+//
+//   "Dependence of wavelength connection establishment times and the path
+//    length in the ROADM layer."
+//
+//   Path length (hops)                 1 (I-IV)   2 (I-III-IV)   3 (I-II-III-IV)
+//   Connection establishment time (s)  62.48      65.67          70.94
+//
+// Method: the paper's 4-ROADM testbed; each target path is forced by
+// taking the shorter fibers out of service before the request (the lab
+// equivalent of patching the route); 10 iterations per path length with
+// different seeds, mean reported — exactly the paper's methodology
+// ("Table 2 summarizes the results over ten iterations").
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/scenario.hpp"
+
+using namespace griphon;
+
+namespace {
+
+/// Measured mean setup time for a forced path of `hops` hops.
+bench::Summary measure(int hops, int iterations) {
+  std::vector<double> times;
+  for (int it = 0; it < iterations; ++it) {
+    core::NetworkModel::Config cfg;
+    cfg.with_otn = false;  // DWDM-layer experiment, as in the paper
+    core::TestbedScenario s(1000 + static_cast<std::uint64_t>(it) * 7 +
+                                static_cast<std::uint64_t>(hops),
+                            cfg);
+    // Force the route by failing shorter alternatives (no traffic rides
+    // them yet, so no alarms or restorations are triggered).
+    if (hops >= 2) s.model->fail_link(s.topo.i_iv);
+    if (hops >= 3) s.model->fail_link(s.topo.i_iii);
+
+    std::optional<double> setup;
+    s.portal->connect(s.site_i, s.site_iv, rates::k10G,
+                      core::ProtectionMode::kRestorable,
+                      [&](Result<ConnectionId> r) {
+                        if (!r.ok()) return;
+                        const auto& c = s.controller->connection(r.value());
+                        if (static_cast<int>(c.plan.path.hops()) == hops)
+                          setup = to_seconds(c.setup_duration);
+                      });
+    s.engine.run();
+    if (setup) times.push_back(*setup);
+  }
+  return bench::summarize(times);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Table 2: wavelength connection establishment time vs path length");
+  constexpr int kIterations = 10;
+
+  const double paper[] = {62.48, 65.67, 70.94};
+  const char* labels[] = {"1 (I-IV)", "2 (I-III-IV)", "3 (I-II-III-IV)"};
+
+  bench::Table table({"path length (hops)", "paper (s)", "measured mean (s)",
+                      "stddev (s)", "iterations"});
+  double prev = 0;
+  bool monotonic = true;
+  for (int hops = 1; hops <= 3; ++hops) {
+    const auto s = measure(hops, kIterations);
+    table.row({labels[hops - 1], bench::fmt(paper[hops - 1]),
+               bench::fmt(s.mean), bench::fmt(s.stddev),
+               std::to_string(s.n)});
+    if (s.mean < prev) monotonic = false;
+    prev = s.mean;
+  }
+  table.print();
+  std::cout << "\nshape check: establishment time "
+            << (monotonic ? "increases" : "DOES NOT increase")
+            << " with path length; paper band is 60-70 s with ~3-5 s per "
+               "additional ROADM hop\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Shared helpers for the experiment harness binaries: summary statistics
+// and fixed-width table printing so every bench emits paper-style rows.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace griphon::bench {
+
+struct Summary {
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p95 = 0;
+  std::size_t n = 0;
+};
+
+inline Summary summarize(std::vector<double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  std::sort(xs.begin(), xs.end());
+  s.min = xs.front();
+  s.max = xs.back();
+  s.mean = std::accumulate(xs.begin(), xs.end(), 0.0) /
+           static_cast<double>(xs.size());
+  double var = 0;
+  for (const double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1
+                 ? std::sqrt(var / static_cast<double>(xs.size() - 1))
+                 : 0.0;
+  auto pct = [&](double p) {
+    const double idx = p * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return xs[lo] * (1 - frac) + xs[hi] * frac;
+  };
+  s.p50 = pct(0.5);
+  s.p95 = pct(0.95);
+  return s;
+}
+
+/// Minimal fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int width = 24)
+      : headers_(std::move(headers)), width_(width) {}
+
+  void row(const std::vector<std::string>& cells) { rows_.push_back(cells); }
+
+  void print(std::ostream& os = std::cout) const {
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (const auto& c : cells) os << std::left << std::setw(width_) << c;
+      os << '\n';
+    };
+    line(headers_);
+    os << std::string(headers_.size() * static_cast<std::size_t>(width_),
+                      '-')
+       << '\n';
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  int width_;
+};
+
+inline std::string fmt(double v, int precision = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+inline void banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+}  // namespace griphon::bench

@@ -1,0 +1,111 @@
+// A week in the life of a GRIPhoN deployment.
+//
+// End-to-end operations showcase on the US backbone: two cloud customers
+// run bulk replication and hold steady circuits; mid-week a backhoe takes
+// out a span (restoration at both layers); later the carrier performs
+// planned maintenance with bridge-and-roll; at the end the customer
+// dashboard and the controller's operational counters are printed.
+//
+// Build & run:  ./build/examples/carrier_week
+#include <iomanip>
+#include <iostream>
+
+#include "core/scenario.hpp"
+#include "workload/bulk_transfer.hpp"
+
+using namespace griphon;
+
+int main() {
+  core::BackboneScenario::Options opt;
+  opt.customers = 2;
+  opt.sites_per_customer = 3;
+  opt.config.ots_per_node = 10;
+  opt.config.regens_per_node = 6;
+  core::BackboneScenario s(/*seed=*/20260706, opt);
+  std::cout << std::fixed << std::setprecision(1);
+  std::cout << "GRIPhoN on a " << s.model->graph().nodes().size()
+            << "-node continental backbone, " << opt.customers
+            << " cloud customers\n\n";
+
+  // Monday: steady circuits come up.
+  std::vector<ConnectionId> steady;
+  for (std::size_t c = 0; c < opt.customers; ++c) {
+    s.portals[c]->connect(s.site(c, 0), s.site(c, 1), rates::k10G,
+                          core::ProtectionMode::kRestorable,
+                          [&](Result<ConnectionId> r) {
+                            if (r.ok()) steady.push_back(r.value());
+                          });
+    s.portals[c]->connect(s.site(c, 0), s.site(c, 2), rates::k1G,
+                          core::ProtectionMode::kRestorable,
+                          [&](Result<ConnectionId> r) {
+                            if (r.ok()) steady.push_back(r.value());
+                          });
+  }
+  s.engine.run();
+  std::cout << "[day 1] " << steady.size()
+            << " steady circuits in service\n";
+
+  // Tuesday: customer 0 runs a 25 TB replication at 12G composite.
+  workload::BulkScheduler bulk(&s.engine, s.portals[0].get());
+  s.engine.run_until(hours(24));
+  bulk.submit(s.site(0, 1), s.site(0, 2), 25'000'000'000'000,
+              DataRate::gbps(12), [&](const workload::BulkJob& j) {
+                std::cout << "[day 2] 25 TB replication "
+                          << (j.failed ? "FAILED" : "done") << " in "
+                          << to_seconds(j.completion_time()) / 3600.0
+                          << " h\n";
+              });
+  s.engine.run();
+
+  // Wednesday: a backhoe finds a steady wavelength circuit's fiber.
+  s.engine.run_until(hours(48));
+  ConnectionId wave_conn;
+  for (const ConnectionId id : steady)
+    if (s.controller->connection(id).kind ==
+        core::ConnectionKind::kWavelength)
+      wave_conn = id;
+  const LinkId victim =
+      s.controller->connection(wave_conn).plan.path.links.front();
+  std::cout << "[day 3] fiber cut on "
+            << s.model->graph().link(victim).name << "\n";
+  s.model->fail_link(victim);
+  s.engine.run();
+  for (const ConnectionId id : steady) {
+    const auto& c = s.controller->connection(id);
+    if (c.restorations > 0)
+      std::cout << "        connection " << id << " restored, outage "
+                << to_seconds(c.total_outage) << " s\n";
+  }
+  s.engine.run_until(hours(60));
+  s.model->repair_link(victim);  // splice crew finishes
+  s.engine.run();
+
+  // Friday: planned maintenance on the busiest remaining span.
+  s.engine.run_until(hours(96));
+  const LinkId mx =
+      s.controller->connection(wave_conn).plan.path.links.front();
+  std::cout << "[day 5] maintenance window on "
+            << s.model->graph().link(mx).name << "\n";
+  s.controller->prepare_maintenance(mx, [&](Status st) {
+    std::cout << "        traffic rolled off: "
+              << (st.ok() ? "ok" : st.error().message()) << "\n";
+  });
+  s.engine.run();
+  s.model->fail_link(mx);
+  s.engine.run_until(s.engine.now() + hours(3));
+  s.model->repair_link(mx);
+  s.engine.run();
+
+  // Sunday wrap-up.
+  s.engine.run_until(hours(24 * 7));
+  std::cout << "\n[day 7] customer 0 dashboard:\n"
+            << s.portals[0]->render_dashboard();
+  const auto& st = s.controller->stats();
+  std::cout << "\ncontroller week totals: setups=" << st.setups_ok
+            << " releases=" << st.releases
+            << " restorations=" << st.restorations_ok << "/"
+            << st.restorations_ok + st.restorations_failed
+            << " rolls=" << st.rolls_ok
+            << " EMS commands=" << st.commands_issued << "\n";
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Interactive GRIPhoN operations shell.
+//
+// A scriptable console for driving a deployment by hand — the closest
+// thing to sitting at the paper's customer GUI plus the carrier's NOC at
+// once. Reads commands from stdin (pipe a script or type interactively):
+//
+//   sites                      list customer sites
+//   topo                       list fiber links
+//   connect <a> <b> <gbps> [none|restore|1+1]
+//   bundle <a> <b> <gbps>      composite-rate bundle
+//   disconnect <id>
+//   cut <link-name>            fiber cut
+//   repair <link-name>
+//   maintain <link-name>       bridge-and-roll everything off, then work
+//   regroom <id>
+//   wait <seconds>             advance simulated time
+//   dashboard                  customer view
+//   stats                      controller counters
+//   quit
+//
+// Example (one line):
+//   printf 'connect 0 2 10\nwait 120\ndashboard\nquit\n' | ./build/examples/griphon_shell
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/scenario.hpp"
+
+using namespace griphon;
+
+namespace {
+
+std::optional<LinkId> link_by_name(const core::NetworkModel& model,
+                                   const std::string& name) {
+  for (const auto& l : model.graph().links())
+    if (l.name == name) return l.id;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main() {
+  core::TestbedScenario s(/*seed=*/1);
+  auto& out = std::cout;
+  out << "GRIPhoN shell — paper testbed loaded. 'help' for commands.\n";
+  const std::vector<MuxponderId> sites{s.site_i, s.site_iii, s.site_iv};
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd[0] == '#') continue;
+
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      out << "sites | topo | connect a b gbps [none|restore|1+1] | "
+             "bundle a b gbps | disconnect id | cut link | repair link | "
+             "maintain link | regroom id | wait s | dashboard | stats | "
+             "quit\n";
+    } else if (cmd == "sites") {
+      for (std::size_t i = 0; i < sites.size(); ++i) {
+        const auto* site = s.model->site_by_nte(sites[i]);
+        out << "  [" << i << "] " << site->name << " (PoP "
+            << s.model->graph().node(site->core_pop).name << ")\n";
+      }
+    } else if (cmd == "topo") {
+      for (const auto& l : s.model->graph().links())
+        out << "  " << l.name << "  " << l.length().in_km() << " km"
+            << (s.model->link_failed(l.id) ? "  [FAILED]" : "") << "\n";
+    } else if (cmd == "connect" || cmd == "bundle") {
+      std::size_t a = 0, b = 0;
+      double gbps = 0;
+      std::string prot = "restore";
+      in >> a >> b >> gbps >> prot;
+      if (a >= sites.size() || b >= sites.size() || gbps <= 0) {
+        out << "  usage: connect <site> <site> <gbps> [none|restore|1+1]\n";
+        continue;
+      }
+      const auto protection =
+          prot == "none" ? core::ProtectionMode::kUnprotected
+          : prot == "1+1" ? core::ProtectionMode::kOnePlusOne
+                          : core::ProtectionMode::kRestorable;
+      if (cmd == "connect") {
+        s.portal->connect(sites[a], sites[b], DataRate::gbps(gbps),
+                          protection, [&](Result<ConnectionId> r) {
+                            if (r.ok())
+                              out << "  connection " << r.value()
+                                  << " ACTIVE after "
+                                  << to_seconds(s.controller
+                                                    ->connection(r.value())
+                                                    .setup_duration)
+                                  << " s\n";
+                            else
+                              out << "  FAILED: " << r.error() << "\n";
+                          });
+      } else {
+        s.portal->connect_bundle(
+            sites[a], sites[b], DataRate::gbps(gbps), protection,
+            [&](Result<core::BundleId> r) {
+              if (r.ok())
+                out << "  bundle " << r.value() << " up ("
+                    << s.portal->bundle(r.value()).parts.size()
+                    << " circuits)\n";
+              else
+                out << "  FAILED: " << r.error() << "\n";
+            });
+      }
+      s.engine.run();
+    } else if (cmd == "disconnect") {
+      std::uint64_t id = 0;
+      in >> id;
+      s.portal->disconnect(ConnectionId{id}, [&](Status st) {
+        out << "  " << (st.ok() ? "released" : st.error().message()) << "\n";
+      });
+      s.engine.run();
+    } else if (cmd == "cut" || cmd == "repair" || cmd == "maintain") {
+      std::string name;
+      in >> name;
+      const auto link = link_by_name(*s.model, name);
+      if (!link) {
+        out << "  unknown link '" << name << "' (see: topo)\n";
+        continue;
+      }
+      if (cmd == "cut")
+        s.model->fail_link(*link);
+      else if (cmd == "repair")
+        s.model->repair_link(*link);
+      else
+        s.controller->prepare_maintenance(*link, [&](Status st) {
+          out << "  maintenance prep: "
+              << (st.ok() ? "traffic rolled off" : st.error().message())
+              << "\n";
+        });
+      s.engine.run();
+    } else if (cmd == "regroom") {
+      std::uint64_t id = 0;
+      in >> id;
+      s.controller->regroom(ConnectionId{id}, [&](Status st) {
+        out << "  " << (st.ok() ? "re-groomed" : st.error().message())
+            << "\n";
+      });
+      s.engine.run();
+    } else if (cmd == "wait") {
+      double secs = 0;
+      in >> secs;
+      s.engine.run_until(s.engine.now() + from_seconds(secs));
+      out << "  t=" << to_seconds(s.engine.now()) << " s\n";
+    } else if (cmd == "dashboard") {
+      out << s.portal->render_dashboard();
+    } else if (cmd == "stats") {
+      const auto& st = s.controller->stats();
+      out << "  setups " << st.setups_ok << "/"
+          << st.setups_ok + st.setups_failed << ", releases " << st.releases
+          << ", restorations " << st.restorations_ok << ", rolls "
+          << st.rolls_ok << ", EMS commands " << st.commands_issued << "\n";
+    } else {
+      out << "  unknown command '" << cmd << "' (help)\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Planned maintenance with automated bridge-and-roll.
+//
+// The paper's fourth service-vision row: "minimal impact during
+// maintenance". Before the carrier takes the I-IV span down for work, the
+// controller bridges every wavelength connection riding it onto
+// resource-disjoint paths and rolls traffic across with a ~50 ms hit —
+// instead of the multi-hour outage an unmanaged maintenance would cause.
+//
+// Build & run:  ./build/examples/maintenance
+#include <iomanip>
+#include <iostream>
+
+#include "core/scenario.hpp"
+
+using namespace griphon;
+
+int main() {
+  core::TestbedScenario s(/*seed=*/99);
+  std::cout << std::fixed << std::setprecision(3);
+
+  // Two wavelength connections that both ride the I-IV span.
+  std::vector<ConnectionId> conns;
+  for (int i = 0; i < 2; ++i) {
+    s.portal->connect(s.site_i, s.site_iv, rates::k10G,
+                      core::ProtectionMode::kRestorable,
+                      [&](Result<ConnectionId> r) {
+                        if (r.ok()) conns.push_back(r.value());
+                      });
+    s.engine.run();
+  }
+  for (const ConnectionId id : conns)
+    std::cout << "connection " << id << " up, "
+              << s.controller->connection(id).plan.path.hops() << " hop(s)\n";
+
+  std::cout << "\n[t=" << to_seconds(s.engine.now())
+            << "s] maintenance scheduled on span I-IV; rolling traffic off\n";
+  const SimTime start = s.engine.now();
+  s.controller->prepare_maintenance(s.topo.i_iv, [&](Status status) {
+    std::cout << "prepare-maintenance " << (status.ok() ? "done" : "FAILED")
+              << " after " << to_seconds(s.engine.now() - start)
+              << " s wall time\n";
+  });
+  s.engine.run();
+
+  for (const ConnectionId id : conns) {
+    const auto& c = s.controller->connection(id);
+    std::cout << "  connection " << id << ": now " << c.plan.path.hops()
+              << " hops, rolls=" << c.rolls << ", state=" << to_string(c.state)
+              << " (service hit ~50 ms per roll, not "
+              << "hours of outage)\n";
+  }
+
+  // The span is now traffic-free: take it down, do the work, bring it back.
+  s.model->fail_link(s.topo.i_iv);
+  s.engine.run_until(s.engine.now() + hours(2));  // maintenance window
+  s.model->repair_link(s.topo.i_iv);
+  s.engine.run();
+
+  // Verify no connection saw an outage from the maintenance itself.
+  std::cout << "\nafter the 2 h maintenance window:\n";
+  for (const ConnectionId id : conns) {
+    const auto& c = s.controller->connection(id);
+    std::cout << "  connection " << id << ": state=" << to_string(c.state)
+              << ", total outage " << to_seconds(c.total_outage) << " s\n";
+  }
+
+  // Re-groom everything back onto the shortest paths.
+  for (const ConnectionId id : conns) {
+    s.controller->regroom(id, [&](Status) {});
+    s.engine.run();
+  }
+  std::cout << "\nafter re-grooming home:\n";
+  for (const ConnectionId id : conns) {
+    const auto& c = s.controller->connection(id);
+    std::cout << "  connection " << id << ": " << c.plan.path.hops()
+              << " hop(s), rolls=" << c.rolls << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Quickstart: bring up the paper's four-ROADM testbed, order a 10G
+// wavelength connection between two data centers through the customer
+// portal, watch it come up in about a minute of simulated time, then tear
+// it down.
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+
+#include "core/scenario.hpp"
+
+using namespace griphon;
+
+int main() {
+  core::TestbedScenario s(/*seed=*/42);
+  std::cout << "GRIPhoN quickstart: testbed with "
+            << s.model->graph().nodes().size() << " ROADM nodes, "
+            << s.model->ots().size() << " transponders\n";
+
+  ConnectionId connection;
+  s.portal->connect(
+      s.site_i, s.site_iv, rates::k10G, core::ProtectionMode::kRestorable,
+      [&](Result<ConnectionId> r) {
+        if (!r.ok()) {
+          std::cout << "setup failed: " << r.error() << '\n';
+          return;
+        }
+        connection = r.value();
+        const auto& c = s.controller->connection(connection);
+        std::cout << "connection " << connection << " ACTIVE after "
+                  << to_seconds(c.setup_duration) << " s, path hops: "
+                  << c.plan.path.hops() << ", channel: ch"
+                  << c.plan.segments.front().channel << '\n';
+      });
+  s.engine.run();
+
+  std::cout << "customer view:\n";
+  for (const auto& v : s.portal->list())
+    std::cout << "  " << v.src_site << " -> " << v.dst_site << "  "
+              << v.rate << "  [" << v.state << "] via " << v.service << '\n';
+
+  const SimTime teardown_start = s.engine.now();
+  s.portal->disconnect(connection, [&](Status status) {
+    std::cout << "teardown " << (status.ok() ? "ok" : "failed") << " in "
+              << to_seconds(s.engine.now() - teardown_start) << " s\n";
+  });
+  s.engine.run();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Inter-data-center content replication with composite-rate BoD.
+//
+// The paper's motivating workload (§1): a cloud service provider replicates
+// bulk content between geographically distributed data centers. Here the
+// CSP needs 12 Gbps between DC-I and DC-IV for a 10 TB replication job.
+// Instead of holding a second 10G wavelength at ~17% utilization, the
+// portal composes "one 10G DWDM wavelength + two 1G OTN circuits" exactly
+// as §2.2 describes, holds the bundle for the duration of the transfer,
+// and releases it afterwards.
+//
+// Build & run:  ./build/examples/replication
+#include <iostream>
+
+#include "core/scenario.hpp"
+#include "workload/bulk_transfer.hpp"
+
+using namespace griphon;
+
+int main() {
+  core::TestbedScenario s(/*seed=*/2026);
+
+  const DataRate need = DataRate::gbps(12);
+  const auto d = core::CustomerPortal::decompose(need);
+  std::cout << "replication demand: " << need << "\n"
+            << "portal decomposition: " << d.wavelengths_10g
+            << " x 10G wavelength + " << d.odu_1g
+            << " x 1G ODU0 circuit  (total " << d.total() << ")\n\n";
+
+  workload::BulkScheduler scheduler(&s.engine, s.portal.get());
+  const std::int64_t bytes = 10LL * 1000 * 1000 * 1000 * 1000;  // 10 TB
+
+  scheduler.submit(s.site_i, s.site_iv, bytes, need,
+                   [&](const workload::BulkJob& job) {
+                     if (job.failed) {
+                       std::cout << "job failed: " << job.failure << '\n';
+                       return;
+                     }
+                     std::cout << "10 TB replication complete\n"
+                               << "  bandwidth available after  "
+                               << to_seconds(job.setup_overhead()) << " s\n"
+                               << "  total completion time      "
+                               << to_seconds(job.completion_time()) / 3600.0
+                               << " h\n";
+                   });
+  s.engine.run();
+
+  std::cout << "\nbandwidth after release: " << s.portal->provisioned()
+            << " (pool returned to the carrier)\n";
+
+  // Contrast: the same job on a single static 10G private line that first
+  // has to be provisioned the traditional way.
+  std::cout << "\nfor contrast, a statically provisioned 10G line would need "
+            << "weeks of lead time before the first byte moves\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Fiber-cut restoration at two layers.
+//
+// Demonstrates the paper's outage story (§1 item 3, §2.2):
+//  * a wavelength connection is restored by the GRIPhoN controller —
+//    alarm correlation localizes the cut, a new path is computed and
+//    provisioned in minutes (vs 4-12 h manual repair today);
+//  * a protected sub-wavelength (OTN) circuit is restored by shared-mesh
+//    switching in well under a second;
+//  * after the fiber is repaired, the wavelength connection is reverted
+//    to its home path with an almost-hitless bridge-and-roll.
+//
+// Build & run:  ./build/examples/restoration
+#include <iomanip>
+#include <iostream>
+
+#include "core/scenario.hpp"
+
+using namespace griphon;
+
+int main() {
+  core::TestbedScenario s(/*seed=*/7);
+  std::cout << std::fixed << std::setprecision(3);
+
+  // One 10G wavelength and one protected 1G OTN circuit, both I -> IV.
+  ConnectionId wave, odu;
+  s.portal->connect(s.site_i, s.site_iv, rates::k10G,
+                    core::ProtectionMode::kRestorable,
+                    [&](Result<ConnectionId> r) { wave = r.value(); });
+  s.portal->connect(s.site_i, s.site_iv, rates::k1G,
+                    core::ProtectionMode::kRestorable,
+                    [&](Result<ConnectionId> r) { odu = r.value(); });
+  s.engine.run();
+  std::cout << "wavelength connection up, path hops: "
+            << s.controller->connection(wave).plan.path.hops()
+            << " (direct I-IV)\n"
+            << "sub-wavelength 1G circuit up (shared-mesh protected)\n\n";
+
+  // Cut the I-IV fiber.
+  const SimTime cut_at = s.engine.now();
+  std::cout << "[t=" << to_seconds(cut_at) << "s] CUTTING fiber I-IV\n";
+  s.model->fail_link(s.topo.i_iv);
+  s.engine.run();
+
+  const auto& w = s.controller->connection(wave);
+  const auto& o = s.controller->connection(odu);
+  std::cout << "\nafter the dust settles:\n"
+            << "  wavelength: state=" << to_string(w.state)
+            << ", restorations=" << w.restorations
+            << ", outage=" << to_seconds(w.total_outage) << " s"
+            << ", new path hops=" << w.plan.path.hops() << "\n"
+            << "  OTN 1G:     state=" << to_string(o.state)
+            << ", restorations=" << o.restorations
+            << ", outage=" << to_seconds(o.total_outage) << " s"
+            << " (shared mesh)\n\n";
+
+  // Repair the fiber; then re-groom the wavelength back home.
+  std::cout << "[t=" << to_seconds(s.engine.now()) << "s] repairing fiber\n";
+  s.model->repair_link(s.topo.i_iv);
+  s.engine.run();
+  s.controller->regroom(wave, [&](Status status) {
+    std::cout << "re-groom to home path: "
+              << (status.ok() ? "done (bridge-and-roll)" : "failed") << '\n';
+  });
+  s.engine.run();
+  const auto& w2 = s.controller->connection(wave);
+  std::cout << "  wavelength now on " << w2.plan.path.hops()
+            << "-hop path, rolls=" << w2.rolls
+            << ", total outage remained " << to_seconds(w2.total_outage)
+            << " s\n";
+  return 0;
+}

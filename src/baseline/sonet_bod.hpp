@@ -1,0 +1,54 @@
+// Legacy circuit BoD at the SONET layer.
+//
+// What carriers already offered in 2011 (paper §1: BoD private-line
+// services "in limited architectures and usually at rates <= 622 Mbps"):
+// virtually concatenated STS-1s on a ring, provisioned in minutes by
+// reconfiguring electronic circuit switches. Fast, but capped far below
+// wavelength rates — the gap GRIPhoN fills.
+#pragma once
+
+#include <optional>
+
+#include "common/rng.hpp"
+#include "sonet/ring.hpp"
+#include "sonet/sts.hpp"
+
+namespace griphon::baseline {
+
+class SonetBodService {
+ public:
+  struct Params {
+    /// Electronic cross-connect reconfiguration: minutes, not weeks.
+    SimTime provisioning_min = seconds(60);
+    SimTime provisioning_max = seconds(180);
+  };
+
+  explicit SonetBodService(sonet::SonetRing* ring);
+  SonetBodService(sonet::SonetRing* ring, Params params)
+      : ring_(ring), params_(params) {}
+
+  struct Provisioned {
+    StsCircuitId circuit;
+    SimTime provisioning_time{};
+    DataRate granted;
+  };
+
+  /// Request `rate` between two ring nodes. Rates above the 622 Mbps
+  /// service ceiling are rejected — that is the point of the comparison.
+  [[nodiscard]] Result<Provisioned> request(NodeId src, NodeId dst,
+                                            DataRate rate, Rng& rng);
+  Status release(StsCircuitId id) { return ring_->release(id); }
+
+  [[nodiscard]] const sonet::SonetRing& ring() const noexcept {
+    return *ring_;
+  }
+
+ private:
+  sonet::SonetRing* ring_;
+  Params params_;
+};
+
+inline SonetBodService::SonetBodService(sonet::SonetRing* ring)
+    : SonetBodService(ring, Params{}) {}
+
+}  // namespace griphon::baseline

@@ -1,0 +1,75 @@
+#include "baseline/store_forward.hpp"
+
+#include <stdexcept>
+
+namespace griphon::baseline {
+
+namespace {
+
+/// Bytes a leg can move during one step starting at `t`.
+std::int64_t step_bytes(const StoreForwardPlanner::Leg& leg, SimTime t,
+                        SimTime step) {
+  const DataRate leftover = leg.profile.leftover_at(t, leg.capacity);
+  return static_cast<std::int64_t>(
+      static_cast<double>(leftover.in_bps()) / 8.0 * to_seconds(step));
+}
+
+constexpr std::int64_t kMaxSteps = 60 * 24 * 365;  // one simulated year
+
+}  // namespace
+
+SimTime StoreForwardPlanner::direct_completion(std::int64_t bytes,
+                                               const Leg& leg,
+                                               SimTime start) {
+  std::int64_t remaining = bytes;
+  SimTime t = start;
+  for (std::int64_t i = 0; i < kMaxSteps && remaining > 0; ++i) {
+    remaining -= step_bytes(leg, t, kStep);
+    t += kStep;
+  }
+  if (remaining > 0)
+    throw std::runtime_error("store-forward: transfer does not converge");
+  return t - start;
+}
+
+SimTime StoreForwardPlanner::relay_completion(std::int64_t bytes,
+                                              const Leg& first,
+                                              const Leg& second,
+                                              SimTime start) {
+  std::int64_t at_src = bytes;
+  std::int64_t at_relay = 0;
+  std::int64_t at_dst = 0;
+  SimTime t = start;
+  for (std::int64_t i = 0; i < kMaxSteps && at_dst < bytes; ++i) {
+    const std::int64_t leg1 = std::min(at_src, step_bytes(first, t, kStep));
+    // The relay forwards what it already stored (plus what just arrived,
+    // conservatively excluded: store THEN forward).
+    const std::int64_t leg2 = std::min(at_relay, step_bytes(second, t, kStep));
+    at_src -= leg1;
+    at_relay += leg1 - leg2;
+    at_dst += leg2;
+    t += kStep;
+  }
+  if (at_dst < bytes)
+    throw std::runtime_error("store-forward: transfer does not converge");
+  return t - start;
+}
+
+StoreForwardPlanner::Plan StoreForwardPlanner::best(
+    std::int64_t bytes, const Leg& direct,
+    const std::vector<std::pair<Leg, Leg>>& relays, SimTime start) {
+  Plan plan;
+  plan.completion = direct_completion(bytes, direct, start);
+  for (std::size_t i = 0; i < relays.size(); ++i) {
+    const SimTime via =
+        relay_completion(bytes, relays[i].first, relays[i].second, start);
+    if (via < plan.completion) {
+      plan.completion = via;
+      plan.used_relay = true;
+      plan.relay_index = i;
+    }
+  }
+  return plan;
+}
+
+}  // namespace griphon::baseline

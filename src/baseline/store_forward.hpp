@@ -1,0 +1,51 @@
+// Store-and-forward bulk transfer over leftover capacity.
+//
+// The NetStitcher-flavored comparison point (paper §1): instead of buying
+// bandwidth on demand, stitch together the *unused* capacity of existing
+// static pipes across time zones, staging data at intermediate data
+// centers. We simulate an hour-stepped fluid model: each leg moves as many
+// bytes per step as its diurnal leftover allows, with unlimited storage at
+// the relay.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "workload/diurnal.hpp"
+
+namespace griphon::baseline {
+
+class StoreForwardPlanner {
+ public:
+  struct Leg {
+    DataRate capacity;                 ///< static pipe size
+    workload::DiurnalProfile profile;  ///< interactive load riding it
+  };
+
+  /// Direct transfer: one leg, leftover-only.
+  [[nodiscard]] static SimTime direct_completion(std::int64_t bytes,
+                                                 const Leg& leg,
+                                                 SimTime start);
+
+  /// Two-leg store-and-forward via a relay DC with unbounded staging.
+  /// Returns when the last byte reaches the destination.
+  [[nodiscard]] static SimTime relay_completion(std::int64_t bytes,
+                                                const Leg& first,
+                                                const Leg& second,
+                                                SimTime start);
+
+  /// Best of direct and any provided relay.
+  struct Plan {
+    SimTime completion{};
+    bool used_relay = false;
+    std::size_t relay_index = 0;
+  };
+  [[nodiscard]] static Plan best(std::int64_t bytes, const Leg& direct,
+                                 const std::vector<std::pair<Leg, Leg>>& relays,
+                                 SimTime start);
+
+ private:
+  static constexpr SimTime kStep = minutes(10);
+};
+
+}  // namespace griphon::baseline

@@ -1,0 +1,63 @@
+// Network alarms.
+//
+// Devices raise alarms (LOS after a fiber cut, equipment faults, ODU AIS);
+// EMSs forward them to the GRIPhoN controller, whose failure manager
+// correlates them to localize the root cause (paper §2.2: "failure
+// detection, localization and automated restorations").
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+
+namespace griphon {
+
+enum class AlarmType {
+  kLos,             ///< loss of signal on a line/client port
+  kLof,             ///< loss of frame (digital layer)
+  kOduAis,          ///< ODU alarm indication signal (OTN downstream)
+  kEquipmentFault,  ///< device-internal failure
+  kClear,           ///< previously raised condition cleared
+};
+
+[[nodiscard]] constexpr const char* to_string(AlarmType t) noexcept {
+  switch (t) {
+    case AlarmType::kLos:
+      return "LOS";
+    case AlarmType::kLof:
+      return "LOF";
+    case AlarmType::kOduAis:
+      return "ODU-AIS";
+    case AlarmType::kEquipmentFault:
+      return "EQPT";
+    case AlarmType::kClear:
+      return "CLEAR";
+  }
+  return "?";
+}
+
+/// One alarm instance as seen by the controller. Which optional fields are
+/// set depends on the reporting layer.
+struct Alarm {
+  AlarmId id;
+  AlarmType type = AlarmType::kLos;
+  SimTime raised_at{};
+  std::string source;               ///< reporting element, e.g. "roadm/2"
+  std::optional<NodeId> node;       ///< site of the reporting element
+  std::optional<LinkId> link;       ///< line side: which inter-node link
+  std::optional<int> channel;       ///< DWDM channel index, if per-channel
+  std::optional<ConnectionId> connection;  ///< if the device knows it
+  std::string detail;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Alarm& a) {
+  os << to_string(a.type) << '@' << a.source;
+  if (a.channel) os << " ch" << *a.channel;
+  if (!a.detail.empty()) os << " (" << a.detail << ')';
+  return os;
+}
+
+}  // namespace griphon

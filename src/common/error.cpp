@@ -1,0 +1,33 @@
+#include "common/error.hpp"
+
+namespace griphon {
+
+std::string_view to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kNone:
+      return "ok";
+    case ErrorCode::kNotFound:
+      return "not-found";
+    case ErrorCode::kInvalidArgument:
+      return "invalid-argument";
+    case ErrorCode::kResourceExhausted:
+      return "resource-exhausted";
+    case ErrorCode::kBusy:
+      return "busy";
+    case ErrorCode::kConflict:
+      return "conflict";
+    case ErrorCode::kTimeout:
+      return "timeout";
+    case ErrorCode::kDeviceFault:
+      return "device-fault";
+    case ErrorCode::kUnreachable:
+      return "unreachable";
+    case ErrorCode::kPermissionDenied:
+      return "permission-denied";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace griphon

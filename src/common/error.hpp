@@ -1,0 +1,59 @@
+// Error model for the GRIPhoN control plane.
+//
+// Control-plane operations fail for *expected* reasons (no wavelength
+// available, port already cross-connected, EMS timeout); those are carried
+// as values via Result<T>. Programming errors (indexing a port that does
+// not exist on a device we own) throw.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace griphon {
+
+/// Machine-readable error categories. Keep coarse: callers branch on these;
+/// detail goes into the message string.
+enum class ErrorCode {
+  kNone = 0,
+  kNotFound,            ///< entity id does not resolve
+  kInvalidArgument,     ///< request is malformed / out of range
+  kResourceExhausted,   ///< no wavelength / OT / regen / slot available
+  kBusy,                ///< resource exists but is held by someone else
+  kConflict,            ///< state machine does not allow this transition
+  kTimeout,             ///< EMS or protocol deadline expired
+  kDeviceFault,         ///< element rejected the command / is failed
+  kUnreachable,         ///< no path satisfies the constraints
+  kPermissionDenied,    ///< customer isolation / quota violation
+  kInternal,            ///< invariant violation escaping as a value
+};
+
+[[nodiscard]] std::string_view to_string(ErrorCode code) noexcept;
+
+/// An error value: code + human-readable context.
+class Error {
+ public:
+  Error() = default;
+  Error(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept {
+    return message_;
+  }
+  [[nodiscard]] bool ok() const noexcept { return code_ == ErrorCode::kNone; }
+
+  friend bool operator==(const Error& a, const Error& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Error& e) {
+    return os << to_string(e.code()) << ": " << e.message();
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kNone;
+  std::string message_;
+};
+
+}  // namespace griphon

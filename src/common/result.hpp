@@ -1,0 +1,78 @@
+// Result<T>: a minimal expected-like type (std::expected is C++23; we target
+// C++20). Holds either a value or an Error. Deliberately small: no monadic
+// chaining beyond what the codebase actually uses.
+#pragma once
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+#include <variant>
+
+#include "common/error.hpp"
+
+namespace griphon {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit from both value and error keeps call sites readable:
+  //   return Error{...};  /  return some_value;
+  Result(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  Result(Error error) : storage_(std::in_place_index<1>, std::move(error)) {
+    assert(!std::get<1>(storage_).ok() && "Result error must carry a code");
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return storage_.index() == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    check();
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T& value() & {
+    check();
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    check();
+    return std::get<0>(std::move(storage_));
+  }
+
+  [[nodiscard]] const Error& error() const& {
+    assert(!ok());
+    return std::get<1>(storage_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<0>(storage_) : std::move(fallback);
+  }
+
+ private:
+  void check() const {
+    if (!ok())
+      throw std::logic_error("Result::value() on error: " +
+                             std::get<1>(storage_).message());
+  }
+
+  std::variant<T, Error> storage_;
+};
+
+/// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // success
+  Status(Error error) : error_(std::move(error)) {}
+  Status(ErrorCode code, std::string message)
+      : error_(code, std::move(message)) {}
+
+  [[nodiscard]] bool ok() const noexcept { return error_.ok(); }
+  explicit operator bool() const noexcept { return ok(); }
+  [[nodiscard]] const Error& error() const noexcept { return error_; }
+
+  static Status success() { return {}; }
+
+ private:
+  Error error_;
+};
+
+}  // namespace griphon

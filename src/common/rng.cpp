@@ -1,0 +1,90 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace griphon {
+
+double Rng::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  const double v = std::normal_distribution<double>(mean, stddev)(engine_);
+  return std::max(0.0, v);
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0) return 0;
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+double Rng::lognormal(double mean, double sigma) {
+  if (mean <= 0) return 0;
+  // Choose mu so that the distribution's mean equals `mean`:
+  // E[LogNormal(mu, sigma)] = exp(mu + sigma^2/2).
+  const double mu = std::log(mean) - sigma * sigma / 2.0;
+  return std::lognormal_distribution<double>(mu, sigma)(engine_);
+}
+
+bool Rng::chance(double probability) {
+  if (probability <= 0) return false;
+  if (probability >= 1) return true;
+  return std::bernoulli_distribution(probability)(engine_);
+}
+
+Rng Rng::fork() {
+  // Derive a child seed; consuming one draw keeps parent deterministic.
+  return Rng{engine_()};
+}
+
+LatencyModel LatencyModel::fixed(SimTime value) {
+  return LatencyModel{Kind::kFixed, value, SimTime{}, SimTime{}, 0};
+}
+
+LatencyModel LatencyModel::normal(SimTime floor, SimTime mean,
+                                  SimTime stddev) {
+  return LatencyModel{Kind::kNormal, floor, mean, stddev, 0};
+}
+
+LatencyModel LatencyModel::lognormal(SimTime floor, SimTime mean,
+                                     double sigma) {
+  return LatencyModel{Kind::kLogNormal, floor, mean, SimTime{}, sigma};
+}
+
+LatencyModel LatencyModel::exponential(SimTime floor, SimTime mean) {
+  return LatencyModel{Kind::kExponential, floor, mean, SimTime{}, 0};
+}
+
+SimTime LatencyModel::sample(Rng& rng) const {
+  switch (kind_) {
+    case Kind::kFixed:
+      return floor_;
+    case Kind::kNormal:
+      return floor_ + from_seconds(rng.normal(to_seconds(mean_),
+                                              to_seconds(stddev_)));
+    case Kind::kLogNormal:
+      return floor_ + from_seconds(rng.lognormal(to_seconds(mean_), sigma_));
+    case Kind::kExponential:
+      return floor_ + from_seconds(rng.exponential(to_seconds(mean_)));
+  }
+  return floor_;
+}
+
+SimTime LatencyModel::mean() const {
+  switch (kind_) {
+    case Kind::kFixed:
+      return floor_;
+    case Kind::kNormal:
+    case Kind::kLogNormal:
+    case Kind::kExponential:
+      return floor_ + mean_;
+  }
+  return floor_;
+}
+
+}  // namespace griphon

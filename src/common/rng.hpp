@@ -1,0 +1,76 @@
+// Deterministic random number generation.
+//
+// Everything stochastic in the simulator (EMS command latencies, arrival
+// processes, failure injection) draws from an Rng owned by the simulation
+// so that a run is reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "common/units.hpp"
+
+namespace griphon {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Normal draw truncated at zero (latencies cannot be negative).
+  [[nodiscard]] double normal(double mean, double stddev);
+  /// Exponential draw with the given mean.
+  [[nodiscard]] double exponential(double mean);
+  /// Log-normal draw parameterized by the *target* mean and sigma of the
+  /// underlying normal (heavy-tailed EMS latencies).
+  [[nodiscard]] double lognormal(double mean, double sigma);
+  /// Bernoulli trial.
+  [[nodiscard]] bool chance(double probability);
+
+  /// Fork an independent stream (e.g. per-device) that stays deterministic
+  /// regardless of draw interleaving elsewhere.
+  [[nodiscard]] Rng fork();
+
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// A latency distribution: fixed floor plus a stochastic component. Models
+/// EMS/device command service times (paper §3: "EMS configuration steps"
+/// and "optical tasks").
+class LatencyModel {
+ public:
+  enum class Kind { kFixed, kNormal, kLogNormal, kExponential };
+
+  /// Deterministic latency.
+  static LatencyModel fixed(SimTime value);
+  /// floor + Normal(mean, stddev), truncated at zero.
+  static LatencyModel normal(SimTime floor, SimTime mean, SimTime stddev);
+  /// floor + LogNormal with given mean/sigma.
+  static LatencyModel lognormal(SimTime floor, SimTime mean, double sigma);
+  /// floor + Exp(mean).
+  static LatencyModel exponential(SimTime floor, SimTime mean);
+
+  [[nodiscard]] SimTime sample(Rng& rng) const;
+  /// Expected value (used by planning code, not by the simulator).
+  [[nodiscard]] SimTime mean() const;
+
+ private:
+  LatencyModel(Kind kind, SimTime floor, SimTime mean, SimTime stddev,
+               double sigma)
+      : kind_(kind), floor_(floor), mean_(mean), stddev_(stddev),
+        sigma_(sigma) {}
+
+  Kind kind_ = Kind::kFixed;
+  SimTime floor_{};
+  SimTime mean_{};
+  SimTime stddev_{};
+  double sigma_ = 0;
+};
+
+}  // namespace griphon

@@ -1,0 +1,153 @@
+// Physical units used throughout GRIPhoN: data rates, simulated time and
+// fiber distance. Wrapping them in dedicated types keeps Gbps from being
+// added to kilometers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <ratio>
+
+namespace griphon {
+
+/// Simulated time: a chrono duration with microsecond resolution.
+using SimTime = std::chrono::duration<std::int64_t, std::micro>;
+
+using std::chrono::duration_cast;
+
+constexpr SimTime microseconds(std::int64_t us) { return SimTime{us}; }
+constexpr SimTime milliseconds(std::int64_t ms) {
+  return duration_cast<SimTime>(std::chrono::milliseconds{ms});
+}
+constexpr SimTime seconds(std::int64_t s) {
+  return duration_cast<SimTime>(std::chrono::seconds{s});
+}
+constexpr SimTime minutes(std::int64_t m) {
+  return duration_cast<SimTime>(std::chrono::minutes{m});
+}
+constexpr SimTime hours(std::int64_t h) {
+  return duration_cast<SimTime>(std::chrono::hours{h});
+}
+
+/// Seconds as a double, for reporting.
+[[nodiscard]] constexpr double to_seconds(SimTime t) {
+  return std::chrono::duration<double>(t).count();
+}
+[[nodiscard]] constexpr double to_milliseconds(SimTime t) {
+  return std::chrono::duration<double, std::milli>(t).count();
+}
+[[nodiscard]] constexpr SimTime from_seconds(double s) {
+  return duration_cast<SimTime>(std::chrono::duration<double>(s));
+}
+
+/// A data rate in bits per second. Circuit rates in GRIPhoN are discrete
+/// (1G, 2.5G, 10G, 40G, 100G, ODU0=1.25G, ...) but arithmetic over them
+/// (aggregating composite circuits, filling tributary slots) needs a real
+/// quantity type.
+class DataRate {
+ public:
+  constexpr DataRate() noexcept = default;
+  constexpr explicit DataRate(std::int64_t bps) noexcept : bps_(bps) {}
+
+  [[nodiscard]] static constexpr DataRate bps(std::int64_t v) {
+    return DataRate{v};
+  }
+  [[nodiscard]] static constexpr DataRate mbps(std::int64_t v) {
+    return DataRate{v * 1'000'000};
+  }
+  [[nodiscard]] static constexpr DataRate gbps(double v) {
+    return DataRate{static_cast<std::int64_t>(v * 1e9)};
+  }
+
+  [[nodiscard]] constexpr std::int64_t in_bps() const noexcept { return bps_; }
+  [[nodiscard]] constexpr double in_gbps() const noexcept {
+    return static_cast<double>(bps_) / 1e9;
+  }
+
+  [[nodiscard]] constexpr bool zero() const noexcept { return bps_ == 0; }
+
+  constexpr DataRate& operator+=(DataRate o) noexcept {
+    bps_ += o.bps_;
+    return *this;
+  }
+  constexpr DataRate& operator-=(DataRate o) noexcept {
+    bps_ -= o.bps_;
+    return *this;
+  }
+
+  friend constexpr DataRate operator+(DataRate a, DataRate b) noexcept {
+    return DataRate{a.bps_ + b.bps_};
+  }
+  friend constexpr DataRate operator-(DataRate a, DataRate b) noexcept {
+    return DataRate{a.bps_ - b.bps_};
+  }
+  friend constexpr DataRate operator*(DataRate a, std::int64_t k) noexcept {
+    return DataRate{a.bps_ * k};
+  }
+  friend constexpr auto operator<=>(DataRate a, DataRate b) noexcept = default;
+
+  friend std::ostream& operator<<(std::ostream& os, DataRate r) {
+    return os << r.in_gbps() << "Gbps";
+  }
+
+ private:
+  std::int64_t bps_ = 0;
+};
+
+/// Time needed to move `bytes` over a circuit of rate `rate`.
+[[nodiscard]] constexpr SimTime transfer_time(std::int64_t bytes,
+                                              DataRate rate) {
+  if (rate.zero()) return SimTime::max();
+  const double secs =
+      static_cast<double>(bytes) * 8.0 / static_cast<double>(rate.in_bps());
+  return from_seconds(secs);
+}
+
+/// Fiber distance in kilometers; drives optical-reach computations.
+class Distance {
+ public:
+  constexpr Distance() noexcept = default;
+  constexpr explicit Distance(double km) noexcept : km_(km) {}
+
+  [[nodiscard]] static constexpr Distance km(double v) { return Distance{v}; }
+  [[nodiscard]] constexpr double in_km() const noexcept { return km_; }
+
+  constexpr Distance& operator+=(Distance o) noexcept {
+    km_ += o.km_;
+    return *this;
+  }
+  friend constexpr Distance operator+(Distance a, Distance b) noexcept {
+    return Distance{a.km_ + b.km_};
+  }
+  friend constexpr auto operator<=>(Distance a, Distance b) noexcept = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Distance d) {
+    return os << d.km_ << "km";
+  }
+
+ private:
+  double km_ = 0;
+};
+
+namespace rates {
+// Client/service rates offered by the BoD portal (paper §1: 1G .. 40G).
+inline constexpr DataRate k1G = DataRate::gbps(1);
+inline constexpr DataRate k2G5 = DataRate::gbps(2.5);
+inline constexpr DataRate k10G = DataRate::gbps(10);
+inline constexpr DataRate k40G = DataRate::gbps(40);
+inline constexpr DataRate k100G = DataRate::gbps(100);
+// OTN payload rates (ITU-T G.709).
+inline constexpr DataRate kOdu0 = DataRate::bps(1'244'160'000);   // 1.25G
+inline constexpr DataRate kOdu1 = DataRate::bps(2'498'775'126);   // 2.5G
+inline constexpr DataRate kOdu2 = DataRate::bps(10'037'273'924);  // 10G
+inline constexpr DataRate kOdu3 = DataRate::bps(40'319'218'983);  // 40G
+inline constexpr DataRate kOdu4 = DataRate::bps(104'794'445'815); // 100G
+// Legacy SONET rates.
+inline constexpr DataRate kSts1 = DataRate::bps(51'840'000);
+inline constexpr DataRate kOc3 = DataRate::bps(155'520'000);
+inline constexpr DataRate kOc12 = DataRate::bps(622'080'000);
+inline constexpr DataRate kOc48 = DataRate::bps(2'488'320'000);
+inline constexpr DataRate kOc192 = DataRate::bps(9'953'280'000);
+}  // namespace rates
+
+}  // namespace griphon

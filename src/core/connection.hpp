@@ -1,0 +1,133 @@
+// BoD connection records and lifecycle.
+//
+// A Connection is what a cloud service provider buys: an end-to-end circuit
+// between two of its data-center sites at a chosen rate. Wavelength-rate
+// connections own a WavelengthPlan (path + channels + OTs + regens);
+// sub-wavelength connections reference an ODU circuit in the OTN layer.
+#pragma once
+
+#include <optional>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "core/rwa.hpp"
+
+namespace griphon::core {
+
+/// Service tier: restoration order after a shared failure. The carrier
+/// restores gold connections before silver before bronze — with a pool of
+/// shared spare resources, who goes first is a sellable differentiator.
+enum class ServiceTier { kGold = 0, kSilver = 1, kBronze = 2 };
+
+[[nodiscard]] constexpr const char* to_string(ServiceTier t) noexcept {
+  switch (t) {
+    case ServiceTier::kGold:
+      return "gold";
+    case ServiceTier::kSilver:
+      return "silver";
+    case ServiceTier::kBronze:
+      return "bronze";
+  }
+  return "?";
+}
+
+enum class ConnectionKind {
+  kWavelength,     ///< full wavelength on the DWDM layer (10-40G)
+  kSubWavelength,  ///< ODU circuit groomed by the OTN layer (1-10G)
+};
+
+enum class ProtectionMode {
+  kUnprotected,  ///< outage until manual repair
+  kRestorable,   ///< GRIPhoN dynamic restoration (minutes, cheap)
+  kOnePlusOne,   ///< dedicated disjoint protection path (ms, expensive)
+};
+
+enum class ConnectionState {
+  kPending,      ///< accepted, awaiting orchestration
+  kSettingUp,    ///< EMS command sequence in flight
+  kActive,       ///< carrying traffic
+  kFailed,       ///< outage in progress
+  kRestoring,    ///< restoration command sequence in flight
+  kRolling,      ///< bridge-and-roll in progress (service unaffected)
+  kTearingDown,  ///< release command sequence in flight
+  kReleased,     ///< gone; record kept for accounting
+  kSetupFailed,  ///< setup aborted and rolled back
+};
+
+[[nodiscard]] constexpr const char* to_string(ConnectionState s) noexcept {
+  switch (s) {
+    case ConnectionState::kPending:
+      return "pending";
+    case ConnectionState::kSettingUp:
+      return "setting-up";
+    case ConnectionState::kActive:
+      return "active";
+    case ConnectionState::kFailed:
+      return "failed";
+    case ConnectionState::kRestoring:
+      return "restoring";
+    case ConnectionState::kRolling:
+      return "rolling";
+    case ConnectionState::kTearingDown:
+      return "tearing-down";
+    case ConnectionState::kReleased:
+      return "released";
+    case ConnectionState::kSetupFailed:
+      return "setup-failed";
+  }
+  return "?";
+}
+
+/// What a customer submits through the portal.
+struct ConnectionRequest {
+  CustomerId customer;
+  MuxponderId src_site;  ///< site handle (the NTE at the premises)
+  MuxponderId dst_site;
+  DataRate rate;
+  ProtectionMode protection = ProtectionMode::kRestorable;
+  ServiceTier tier = ServiceTier::kSilver;
+};
+
+struct Connection {
+  ConnectionId id;
+  CustomerId customer;
+  MuxponderId src_site;
+  MuxponderId dst_site;
+  NodeId src_pop;
+  NodeId dst_pop;
+  std::size_t src_nte_port = 0;
+  std::size_t dst_nte_port = 0;
+  DataRate rate;
+  ConnectionKind kind = ConnectionKind::kWavelength;
+  ProtectionMode protection = ProtectionMode::kRestorable;
+  ServiceTier tier = ServiceTier::kSilver;
+  ConnectionState state = ConnectionState::kPending;
+
+  // Wavelength connections:
+  WavelengthPlan plan;                    ///< active lightpath
+  std::optional<WavelengthPlan> standby;  ///< 1+1 protection leg / bridge
+  bool traffic_on_standby = false;        ///< 1+1: failed over
+
+  // Sub-wavelength connections:
+  OduCircuitId odu;
+
+  // Accounting.
+  SimTime requested_at{};
+  SimTime active_at{};            ///< first time traffic flowed
+  SimTime setup_duration{};       ///< request -> active
+  SimTime outage_started_at{};    ///< valid while state == kFailed/kRestoring
+  SimTime total_outage{};
+  int restorations = 0;
+  int rolls = 0;                  ///< completed bridge-and-roll operations
+  SimTime roll_hit_total{};       ///< accumulated sub-second roll hits
+  /// True when a failed restoration left the recorded plan without device
+  /// configuration behind it — repair alone cannot bring service back.
+  bool deprovisioned = false;
+
+  [[nodiscard]] bool is_up() const noexcept {
+    return state == ConnectionState::kActive ||
+           state == ConnectionState::kRolling;
+  }
+};
+
+}  // namespace griphon::core

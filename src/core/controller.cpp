@@ -1,0 +1,1419 @@
+#include "core/controller.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace griphon::core {
+
+namespace {
+
+Status response_to_status(const Result<proto::Response>& r) {
+  if (!r.ok()) return r.error();
+  if (r.value().ok()) return Status::success();
+  return Status{static_cast<ErrorCode>(r.value().code), r.value().message};
+}
+
+bool plan_uses_any(const WavelengthPlan& plan,
+                   const std::set<LinkId>& links) {
+  return std::any_of(plan.path.links.begin(), plan.path.links.end(),
+                     [&](LinkId l) { return links.contains(l); });
+}
+
+}  // namespace
+
+GriphonController::GriphonController(NetworkModel* model, Params params)
+    : model_(model), params_(params), inventory_(model),
+      rwa_(model, &inventory_, params.rwa),
+      failures_(&model->engine(), params.failure) {
+  // Alarm plumbing: every EMS event stream feeds the failure manager.
+  const auto sink = [this](const proto::Frame& frame) {
+    handle_alarm_frame(frame);
+  };
+  model_->roadm_ems_client().on_event(sink);
+  model_->fxc_ems_client().on_event(sink);
+  model_->otn_ems_client().on_event(sink);
+  model_->nte_ems_client().on_event(sink);
+  failures_.on_failure(
+      [this](const std::vector<LinkId>& links) { on_links_failed(links); });
+  failures_.on_repair(
+      [this](const std::vector<LinkId>& links) { on_links_repaired(links); });
+
+  if (model_->config().with_otn) {
+    model_->mesh_restorer().on_restore(
+        [this](OduCircuitId odu, Status status) {
+          const auto it = odu_to_connection_.find(odu);
+          if (it == odu_to_connection_.end()) return;
+          Connection* c = find_conn(it->second);
+          if (c == nullptr) return;
+          if (status.ok()) {
+            ++c->restorations;
+            ++stats_.restorations_ok;
+            if (c->state == ConnectionState::kFailed) {
+              mark_recovered(*c);
+            } else {
+              // Mesh restoration finished before alarm correlation even
+              // localized the cut; charge the measured sub-second hit.
+              const auto& times =
+                  model_->mesh_restorer().restoration_times();
+              const auto t = times.find(odu);
+              if (t != times.end()) c->total_outage += t->second;
+            }
+            trace(sim::TraceLevel::kInfo, "otn-restored",
+                  "connection " + std::to_string(c->id.value()));
+          } else {
+            ++stats_.restorations_failed;
+            trace(sim::TraceLevel::kWarn, "otn-restore-failed",
+                  status.error().message());
+          }
+        });
+    model_->mesh_restorer().on_revert_eligible([this](OduCircuitId odu) {
+      // Revertive mode: move traffic home shortly after repair.
+      model_->engine().schedule(milliseconds(500), [this, odu]() {
+        const auto it = odu_to_connection_.find(odu);
+        if (it == odu_to_connection_.end()) return;
+        (void)model_->otn().revert_to_primary(odu);
+      });
+    });
+  }
+}
+
+void GriphonController::trace(sim::TraceLevel level, const std::string& event,
+                              const std::string& detail) {
+  model_->trace().emit(model_->engine().now(), level, "controller", event,
+                       detail);
+}
+
+Connection& GriphonController::conn(ConnectionId id) {
+  const auto it = connections_.find(id);
+  if (it == connections_.end())
+    throw std::out_of_range("controller: unknown connection");
+  return it->second;
+}
+
+Connection* GriphonController::find_conn(ConnectionId id) {
+  const auto it = connections_.find(id);
+  return it == connections_.end() ? nullptr : &it->second;
+}
+
+const Connection& GriphonController::connection(ConnectionId id) const {
+  const auto it = connections_.find(id);
+  if (it == connections_.end())
+    throw std::out_of_range("controller: unknown connection");
+  return it->second;
+}
+
+std::vector<ConnectionId> GriphonController::connections_of(
+    CustomerId customer) const {
+  std::vector<ConnectionId> out;
+  for (const auto& [id, c] : connections_)
+    if (c.customer == customer && c.state != ConnectionState::kReleased &&
+        c.state != ConnectionState::kSetupFailed)
+      out.push_back(id);
+  return out;
+}
+
+std::size_t GriphonController::active_connections() const {
+  return static_cast<std::size_t>(
+      std::count_if(connections_.begin(), connections_.end(),
+                    [](const auto& kv) { return kv.second.is_up(); }));
+}
+
+Result<std::size_t> GriphonController::pick_free_nte_port(MuxponderId nte) {
+  const auto& device = model_->nte(nte);
+  for (std::size_t p = 0; p < dwdm::Muxponder::kClientPorts; ++p) {
+    if (device.port_in_use(p)) continue;
+    if (reserved_nte_ports_.contains({nte, p})) continue;
+    reserved_nte_ports_.insert({nte, p});
+    return p;
+  }
+  return Error{ErrorCode::kResourceExhausted,
+               "controller: access pipe fully used at site"};
+}
+
+void GriphonController::release_nte_port(MuxponderId nte, std::size_t port) {
+  reserved_nte_ports_.erase({nte, port});
+}
+
+// --------------------------------------------------------------------------
+// Command sequencing
+// --------------------------------------------------------------------------
+
+struct GriphonController::RunState {
+  std::shared_ptr<StepList> steps;
+  bool best_effort = false;
+  RunDone done;
+  std::vector<std::size_t> succeeded;
+  Status first_error = Status::success();
+  std::size_t outstanding = 0;  // pipelined mode
+};
+
+void GriphonController::run_steps(std::shared_ptr<StepList> steps,
+                                  bool best_effort, RunDone done) {
+  auto state = std::make_shared<RunState>();
+  state->steps = std::move(steps);
+  state->best_effort = best_effort;
+  state->done = std::move(done);
+  if (state->steps->empty()) {
+    state->done(Status::success(), {});
+    return;
+  }
+  if (params_.pipelined_commands)
+    run_steps_pipelined(state);
+  else
+    run_steps_sequential(state, 0);
+}
+
+void GriphonController::run_steps_sequential(std::shared_ptr<RunState> state,
+                                             std::size_t at) {
+  if (at >= state->steps->size()) {
+    state->done(state->first_error, std::move(state->succeeded));
+    return;
+  }
+  Step& step = (*state->steps)[at];
+  ++stats_.commands_issued;
+  step.client->request(step.forward, [this, state, at](
+                                         Result<proto::Response> r) {
+    const Status s = response_to_status(r);
+    if (s.ok()) {
+      state->succeeded.push_back(at);
+    } else {
+      if (state->first_error.ok()) state->first_error = s;
+      if (!state->best_effort) {
+        state->done(state->first_error, std::move(state->succeeded));
+        return;
+      }
+    }
+    run_steps_sequential(state, at + 1);
+  });
+}
+
+void GriphonController::run_steps_pipelined(std::shared_ptr<RunState> state) {
+  state->outstanding = state->steps->size();
+  for (std::size_t i = 0; i < state->steps->size(); ++i) {
+    ++stats_.commands_issued;
+    (*state->steps)[i].client->request(
+        (*state->steps)[i].forward,
+        [state, i](Result<proto::Response> r) {
+          const Status s = response_to_status(r);
+          if (s.ok())
+            state->succeeded.push_back(i);
+          else if (state->first_error.ok())
+            state->first_error = s;
+          if (--state->outstanding == 0) {
+            std::sort(state->succeeded.begin(), state->succeeded.end());
+            state->done(state->first_error, std::move(state->succeeded));
+          }
+        });
+  }
+}
+
+void GriphonController::rollback_steps(std::shared_ptr<StepList> steps,
+                                       std::vector<std::size_t> succeeded,
+                                       std::function<void()> done) {
+  auto undo = std::make_shared<StepList>();
+  for (auto it = succeeded.rbegin(); it != succeeded.rend(); ++it) {
+    const Step& s = (*steps)[*it];
+    if (s.undo) undo->push_back(Step{s.client, *s.undo, std::nullopt});
+  }
+  run_steps(undo, /*best_effort=*/true,
+            [done = std::move(done)](Status, std::vector<std::size_t>) {
+              done();
+            });
+}
+
+// --------------------------------------------------------------------------
+// Step construction
+// --------------------------------------------------------------------------
+
+GriphonController::StepList GriphonController::build_access_setup(
+    const Connection& c, const WavelengthPlan& plan) const {
+  StepList steps;
+  auto* nte_client = &model_->nte_ems_client();
+  auto* fxc_client = &model_->fxc_ems_client();
+
+  // Customer NTE client ports at both premises.
+  steps.push_back(Step{
+      nte_client,
+      proto::NtePort{c.src_site, static_cast<std::uint32_t>(c.src_nte_port),
+                     true},
+      proto::Message{proto::NtePort{
+          c.src_site, static_cast<std::uint32_t>(c.src_nte_port), false}}});
+  steps.push_back(Step{
+      nte_client,
+      proto::NtePort{c.dst_site, static_cast<std::uint32_t>(c.dst_nte_port),
+                     true},
+      proto::Message{proto::NtePort{
+          c.dst_site, static_cast<std::uint32_t>(c.dst_nte_port), false}}});
+
+  // FXC: steer the access channel to the chosen OT's client port.
+  auto fxc_steps = [&](NodeId pop, MuxponderId site, std::size_t nte_port,
+                       TransponderId ot) {
+    fxc::Fxc& f = model_->fxc_at(pop);
+    const auto access = f.port_for(fxc::Wiring::Kind::kCustomerAccess,
+                                   site.value(), nte_port);
+    const auto otp = f.port_for(fxc::Wiring::Kind::kTransponderClient,
+                                ot.value(), 0);
+    assert(access && otp && "FXC wiring missing");
+    steps.push_back(
+        Step{fxc_client, proto::FxcConnect{f.id(), *access, *otp},
+             proto::Message{proto::FxcDisconnect{f.id(), *access}}});
+  };
+  fxc_steps(c.src_pop, c.src_site, c.src_nte_port, plan.src_ot);
+  fxc_steps(c.dst_pop, c.dst_site, c.dst_nte_port, plan.dst_ot);
+  return steps;
+}
+
+GriphonController::StepList GriphonController::build_wavelength_setup(
+    const Connection& c, const WavelengthPlan& plan,
+    bool include_access) const {
+  StepList steps;
+  if (include_access) steps = build_access_setup(c, plan);
+  auto* roadm = &model_->roadm_ems_client();
+  const auto& path = plan.path;
+
+  auto degree = [&](NodeId node, LinkId link) {
+    const auto d = model_->roadm_at(node).degree_for(link);
+    assert(d && "path link not on a ROADM degree");
+    return static_cast<std::int32_t>(*d);
+  };
+  auto roadm_id = [&](NodeId node) {
+    return model_->roadm_at(node).id();
+  };
+
+  const dwdm::ChannelIndex first_ch = plan.segments.front().channel;
+  const dwdm::ChannelIndex last_ch = plan.segments.back().channel;
+
+  // Tune endpoint transponders to their segment wavelengths.
+  steps.push_back(Step{roadm, proto::OtTune{plan.src_ot, first_ch},
+                       proto::Message{proto::OtSetState{
+                           plan.src_ot, proto::OtSetState::Action::kReset}}});
+  steps.push_back(Step{roadm, proto::OtTune{plan.dst_ot, last_ch},
+                       proto::Message{proto::OtSetState{
+                           plan.dst_ot, proto::OtSetState::Action::kReset}}});
+
+  // Endpoint add/drop (colorless, non-directional ports).
+  const NodeId src = path.nodes.front();
+  const NodeId dst = path.nodes.back();
+  steps.push_back(Step{
+      roadm,
+      proto::RoadmAddDrop{roadm_id(src), model_->roadm_port_of_ot(plan.src_ot),
+                          degree(src, path.links.front()), first_ch, true},
+      proto::Message{proto::RoadmAddDrop{
+          roadm_id(src), model_->roadm_port_of_ot(plan.src_ot), 0, 0,
+          false}}});
+  steps.push_back(Step{
+      roadm,
+      proto::RoadmAddDrop{roadm_id(dst), model_->roadm_port_of_ot(plan.dst_ot),
+                          degree(dst, path.links.back()), last_ch, true},
+      proto::Message{proto::RoadmAddDrop{
+          roadm_id(dst), model_->roadm_port_of_ot(plan.dst_ot), 0, 0,
+          false}}});
+
+  // Regenerators at segment boundaries: two add/drop ports + engage.
+  for (std::size_t b = 0; b < plan.regens.size(); ++b) {
+    const auto& seg_in = plan.segments[b];
+    const auto& seg_out = plan.segments[b + 1];
+    const NodeId site = path.nodes[seg_in.last_link + 1];
+    const RegenId regen = plan.regens[b];
+    const auto [up_port, down_port] = model_->roadm_ports_of_regen(regen);
+    steps.push_back(Step{
+        roadm,
+        proto::RoadmAddDrop{roadm_id(site), up_port,
+                            degree(site, path.links[seg_in.last_link]),
+                            seg_in.channel, true},
+        proto::Message{
+            proto::RoadmAddDrop{roadm_id(site), up_port, 0, 0, false}}});
+    steps.push_back(Step{
+        roadm,
+        proto::RoadmAddDrop{roadm_id(site), down_port,
+                            degree(site, path.links[seg_out.first_link]),
+                            seg_out.channel, true},
+        proto::Message{
+            proto::RoadmAddDrop{roadm_id(site), down_port, 0, 0, false}}});
+    steps.push_back(
+        Step{roadm,
+             proto::RegenEngage{regen, seg_in.channel, seg_out.channel, true},
+             proto::Message{proto::RegenEngage{regen, seg_in.channel,
+                                               seg_out.channel, false}}});
+  }
+
+  // Express cross-connects at nodes interior to each transparent segment.
+  for (const auto& seg : plan.segments) {
+    for (std::size_t j = seg.first_link; j < seg.last_link; ++j) {
+      const NodeId node = path.nodes[j + 1];
+      steps.push_back(Step{
+          roadm,
+          proto::RoadmExpress{roadm_id(node), seg.channel,
+                              degree(node, path.links[j]),
+                              degree(node, path.links[j + 1]), true},
+          proto::Message{proto::RoadmExpress{
+              roadm_id(node), seg.channel, degree(node, path.links[j]),
+              degree(node, path.links[j + 1]), false}}});
+    }
+  }
+
+  // Per-link power balancing + equalization (the per-hop optical task).
+  for (const auto& seg : plan.segments) {
+    for (std::size_t j = seg.first_link; j <= seg.last_link; ++j) {
+      steps.push_back(Step{
+          roadm, proto::PowerBalance{path.links[j], seg.channel},
+          std::nullopt});
+    }
+  }
+
+  // Light it up.
+  steps.push_back(
+      Step{roadm,
+           proto::OtSetState{plan.src_ot, proto::OtSetState::Action::kActivate},
+           proto::Message{proto::OtSetState{
+               plan.src_ot, proto::OtSetState::Action::kDeactivate}}});
+  steps.push_back(
+      Step{roadm,
+           proto::OtSetState{plan.dst_ot, proto::OtSetState::Action::kActivate},
+           proto::Message{proto::OtSetState{
+               plan.dst_ot, proto::OtSetState::Action::kDeactivate}}});
+  return steps;
+}
+
+GriphonController::StepList GriphonController::build_wavelength_teardown(
+    const Connection& c, const WavelengthPlan& plan,
+    bool include_access) const {
+  StepList steps;
+  auto* roadm = &model_->roadm_ems_client();
+  const auto& path = plan.path;
+  auto roadm_id = [&](NodeId node) { return model_->roadm_at(node).id(); };
+  auto degree = [&](NodeId node, LinkId link) {
+    const auto d = model_->roadm_at(node).degree_for(link);
+    assert(d);
+    return static_cast<std::int32_t>(*d);
+  };
+
+  steps.push_back(Step{roadm,
+                       proto::OtSetState{plan.src_ot,
+                                         proto::OtSetState::Action::kDeactivate},
+                       std::nullopt});
+  steps.push_back(Step{roadm,
+                       proto::OtSetState{plan.dst_ot,
+                                         proto::OtSetState::Action::kDeactivate},
+                       std::nullopt});
+  for (const auto& seg : plan.segments) {
+    for (std::size_t j = seg.first_link; j < seg.last_link; ++j) {
+      const NodeId node = path.nodes[j + 1];
+      steps.push_back(Step{roadm,
+                           proto::RoadmExpress{roadm_id(node), seg.channel,
+                                               degree(node, path.links[j]),
+                                               degree(node, path.links[j + 1]),
+                                               false},
+                           std::nullopt});
+    }
+  }
+  for (std::size_t b = 0; b < plan.regens.size(); ++b) {
+    const auto& seg_in = plan.segments[b];
+    const NodeId site = path.nodes[seg_in.last_link + 1];
+    const RegenId regen = plan.regens[b];
+    const auto [up_port, down_port] = model_->roadm_ports_of_regen(regen);
+    steps.push_back(Step{
+        roadm, proto::RegenEngage{regen, 0, 0, false}, std::nullopt});
+    steps.push_back(
+        Step{roadm, proto::RoadmAddDrop{roadm_id(site), up_port, 0, 0, false},
+             std::nullopt});
+    steps.push_back(Step{
+        roadm, proto::RoadmAddDrop{roadm_id(site), down_port, 0, 0, false},
+        std::nullopt});
+  }
+  const NodeId src = path.nodes.front();
+  const NodeId dst = path.nodes.back();
+  steps.push_back(Step{
+      roadm,
+      proto::RoadmAddDrop{roadm_id(src), model_->roadm_port_of_ot(plan.src_ot),
+                          0, 0, false},
+      std::nullopt});
+  steps.push_back(Step{
+      roadm,
+      proto::RoadmAddDrop{roadm_id(dst), model_->roadm_port_of_ot(plan.dst_ot),
+                          0, 0, false},
+      std::nullopt});
+
+  if (include_access) {
+    auto* fxc_client = &model_->fxc_ems_client();
+    auto* nte_client = &model_->nte_ems_client();
+    auto fxc_step = [&](NodeId pop, MuxponderId site, std::size_t nte_port) {
+      fxc::Fxc& f = model_->fxc_at(pop);
+      const auto access = f.port_for(fxc::Wiring::Kind::kCustomerAccess,
+                                     site.value(), nte_port);
+      assert(access);
+      steps.push_back(Step{fxc_client,
+                           proto::FxcDisconnect{f.id(), *access},
+                           std::nullopt});
+    };
+    fxc_step(c.src_pop, c.src_site, c.src_nte_port);
+    fxc_step(c.dst_pop, c.dst_site, c.dst_nte_port);
+    steps.push_back(
+        Step{nte_client,
+             proto::NtePort{c.src_site,
+                            static_cast<std::uint32_t>(c.src_nte_port), false},
+             std::nullopt});
+    steps.push_back(
+        Step{nte_client,
+             proto::NtePort{c.dst_site,
+                            static_cast<std::uint32_t>(c.dst_nte_port), false},
+             std::nullopt});
+  }
+  return steps;
+}
+
+// --------------------------------------------------------------------------
+// Reservations
+// --------------------------------------------------------------------------
+
+void GriphonController::reserve_plan(const WavelengthPlan& plan) {
+  for (const auto& seg : plan.segments)
+    for (std::size_t j = seg.first_link; j <= seg.last_link; ++j)
+      inventory_.reserve_channel(plan.path.links[j], seg.channel);
+  inventory_.reserve_ot(plan.src_ot);
+  inventory_.reserve_ot(plan.dst_ot);
+  for (const RegenId r : plan.regens) inventory_.reserve_regen(r);
+}
+
+void GriphonController::unreserve_plan(const WavelengthPlan& plan) {
+  for (const auto& seg : plan.segments)
+    for (std::size_t j = seg.first_link; j <= seg.last_link; ++j)
+      inventory_.release_channel(plan.path.links[j], seg.channel);
+  inventory_.release_ot(plan.src_ot);
+  inventory_.release_ot(plan.dst_ot);
+  for (const RegenId r : plan.regens) inventory_.release_regen(r);
+}
+
+// --------------------------------------------------------------------------
+// Setup
+// --------------------------------------------------------------------------
+
+void GriphonController::request_connection(const ConnectionRequest& request,
+                                           SetupCallback cb) {
+  const CustomerSite* src = model_->site_by_nte(request.src_site);
+  const CustomerSite* dst = model_->site_by_nte(request.dst_site);
+  if (src == nullptr || dst == nullptr) {
+    cb(Error{ErrorCode::kNotFound, "controller: unknown customer site"});
+    return;
+  }
+  if (src->customer != request.customer || dst->customer != request.customer) {
+    cb(Error{ErrorCode::kPermissionDenied,
+             "controller: site belongs to another customer"});
+    return;
+  }
+  if (src->core_pop == dst->core_pop) {
+    cb(Error{ErrorCode::kInvalidArgument,
+             "controller: sites share a core PoP (no backbone segment)"});
+    return;
+  }
+  if (request.rate > rates::k40G) {
+    cb(Error{ErrorCode::kInvalidArgument,
+             "controller: rate above the 40G service ceiling"});
+    return;
+  }
+  if (request.rate < rates::k1G) {
+    // The service-evolution model (paper Fig. 2): "below 1 Gbps is
+    // transported via the IP layer as EVCs" — not a GRIPhoN circuit.
+    cb(Error{ErrorCode::kInvalidArgument,
+             "controller: sub-1G demand belongs to the IP layer (EVC), not "
+             "the circuit BoD service"});
+    return;
+  }
+
+  Connection c;
+  c.id = ids_.next();
+  c.customer = request.customer;
+  c.src_site = request.src_site;
+  c.dst_site = request.dst_site;
+  c.src_pop = src->core_pop;
+  c.dst_pop = dst->core_pop;
+  c.rate = request.rate;
+  c.protection = request.protection;
+  c.tier = request.tier;
+  c.kind = request.rate >= rates::k10G ? ConnectionKind::kWavelength
+                                       : ConnectionKind::kSubWavelength;
+  c.requested_at = model_->engine().now();
+  c.state = ConnectionState::kPending;
+
+  auto sp = pick_free_nte_port(c.src_site);
+  if (!sp.ok()) {
+    cb(sp.error());
+    return;
+  }
+  c.src_nte_port = sp.value();
+  auto dp = pick_free_nte_port(c.dst_site);
+  if (!dp.ok()) {
+    release_nte_port(c.src_site, c.src_nte_port);
+    cb(dp.error());
+    return;
+  }
+  c.dst_nte_port = dp.value();
+
+  const ConnectionId id = c.id;
+  connections_[id] = std::move(c);
+  trace(sim::TraceLevel::kInfo, "request",
+        "connection " + std::to_string(id.value()) + " rate " +
+            std::to_string(request.rate.in_gbps()) + "G");
+  if (connections_[id].kind == ConnectionKind::kWavelength)
+    setup_wavelength(id, std::move(cb));
+  else
+    setup_subwavelength(id, std::move(cb));
+}
+
+void GriphonController::finish_setup(ConnectionId id, Status status,
+                                     SetupCallback cb) {
+  Connection* c = find_conn(id);
+  if (c == nullptr) {
+    cb(Error{ErrorCode::kNotFound, "controller: connection vanished"});
+    return;
+  }
+  if (status.ok()) {
+    c->state = ConnectionState::kActive;
+    c->active_at = model_->engine().now();
+    c->setup_duration = c->active_at - c->requested_at;
+    ++stats_.setups_ok;
+    trace(sim::TraceLevel::kInfo, "setup-done",
+          "connection " + std::to_string(id.value()) + " in " +
+              std::to_string(to_seconds(c->setup_duration)) + "s");
+    // A fiber may have died *while* the command train was running; the
+    // commands themselves still succeed (devices accept configuration on a
+    // dark degree). Treat the connection as failed-at-birth and let the
+    // normal restoration machinery take over.
+    if (c->kind == ConnectionKind::kWavelength &&
+        plan_uses_any(c->plan, failures_.believed_failed())) {
+      const ConnectionId cid = id;
+      mark_failed(*c);
+      if (c->protection == ProtectionMode::kRestorable &&
+          params_.auto_restore)
+        enqueue_restoration(cid);
+    }
+    cb(id);
+  } else {
+    c->state = ConnectionState::kSetupFailed;
+    release_nte_port(c->src_site, c->src_nte_port);
+    release_nte_port(c->dst_site, c->dst_nte_port);
+    ++stats_.setups_failed;
+    trace(sim::TraceLevel::kWarn, "setup-failed", status.error().message());
+    cb(status.error());
+  }
+}
+
+void GriphonController::setup_wavelength(ConnectionId id, SetupCallback cb) {
+  Connection& c = conn(id);
+  c.state = ConnectionState::kSettingUp;
+  const SimTime think = params_.path_computation.sample(model_->engine().rng());
+  model_->engine().schedule(think, [this, id, cb = std::move(cb)]() mutable {
+    Connection* c = find_conn(id);
+    if (c == nullptr) return;
+    auto plan = rwa_.plan(c->src_pop, c->dst_pop, c->rate);
+    if (!plan.ok()) {
+      finish_setup(id, plan.error(), std::move(cb));
+      return;
+    }
+    c->plan = std::move(plan).value();
+    reserve_plan(c->plan);
+    auto steps = std::make_shared<StepList>(
+        build_wavelength_setup(*c, c->plan, /*include_access=*/true));
+    run_steps(steps, /*best_effort=*/false,
+              [this, id, steps, cb = std::move(cb)](
+                  Status status, std::vector<std::size_t> succeeded) mutable {
+                Connection* c = find_conn(id);
+                if (c == nullptr) return;
+                unreserve_plan(c->plan);
+                if (!status.ok()) {
+                  rollback_steps(steps, std::move(succeeded),
+                                 [this, id, status, cb = std::move(cb)]() mutable {
+                                   finish_setup(id, status, std::move(cb));
+                                 });
+                  return;
+                }
+                if (c->protection == ProtectionMode::kOnePlusOne) {
+                  // Provision the dedicated protection leg before declaring
+                  // the service up: 1+1 is sold as protected from second one.
+                  Exclusions avoid;
+                  for (const LinkId l : c->plan.path.links)
+                    for (const LinkId sibling :
+                         model_->graph().srlg_siblings(l))
+                      avoid.links.insert(sibling);
+                  for (std::size_t i = 1; i + 1 < c->plan.path.nodes.size();
+                       ++i)
+                    avoid.nodes.insert(c->plan.path.nodes[i]);
+                  auto standby =
+                      rwa_.plan(c->src_pop, c->dst_pop, c->rate, avoid);
+                  if (!standby.ok()) {
+                    // No disjoint capacity: fail the whole request.
+                    auto teardown = std::make_shared<StepList>(
+                        build_wavelength_teardown(*c, c->plan, true));
+                    run_steps(teardown, true,
+                              [this, id, err = standby.error(),
+                               cb = std::move(cb)](
+                                  Status, std::vector<std::size_t>) mutable {
+                                finish_setup(id, err, std::move(cb));
+                              });
+                    return;
+                  }
+                  c->standby = std::move(standby).value();
+                  reserve_plan(*c->standby);
+                  auto steps2 = std::make_shared<StepList>(
+                      build_wavelength_setup(*c, *c->standby,
+                                             /*include_access=*/false));
+                  run_steps(steps2, false,
+                            [this, id, steps2, cb = std::move(cb)](
+                                Status s2,
+                                std::vector<std::size_t> ok2) mutable {
+                              Connection* c = find_conn(id);
+                              if (c == nullptr) return;
+                              unreserve_plan(*c->standby);
+                              if (!s2.ok()) {
+                                rollback_steps(
+                                    steps2, std::move(ok2),
+                                    [this, id, s2, cb = std::move(cb)]() mutable {
+                                      Connection* c = find_conn(id);
+                                      if (c == nullptr) return;
+                                      c->standby.reset();
+                                      auto teardown =
+                                          std::make_shared<StepList>(
+                                              build_wavelength_teardown(
+                                                  *c, c->plan, true));
+                                      run_steps(
+                                          teardown, true,
+                                          [this, id, s2, cb = std::move(cb)](
+                                              Status,
+                                              std::vector<std::size_t>) mutable {
+                                            finish_setup(id, s2,
+                                                         std::move(cb));
+                                          });
+                                    });
+                                return;
+                              }
+                              finish_setup(id, Status::success(),
+                                           std::move(cb));
+                            });
+                  return;
+                }
+                finish_setup(id, Status::success(), std::move(cb));
+              });
+  });
+}
+
+void GriphonController::setup_subwavelength(ConnectionId id,
+                                            SetupCallback cb) {
+  Connection& c = conn(id);
+  c.state = ConnectionState::kSettingUp;
+  send_otn_create(id, std::move(cb), /*allow_groom=*/true);
+}
+
+void GriphonController::send_otn_create(ConnectionId id, SetupCallback cb,
+                                        bool allow_groom) {
+  Connection* c0 = find_conn(id);
+  if (c0 == nullptr) return;
+  // Phase 1: ask the OTN switch EMS to route and cross-connect the ODU
+  // circuit through the OTN layer (shared-mesh protected when requested).
+  proto::OtnOp create;
+  create.op = proto::OtnOp::Op::kCreate;
+  create.customer = c0->customer;
+  create.src = c0->src_pop;
+  create.dst = c0->dst_pop;
+  create.rate_bps = c0->rate.in_bps();
+  create.protect = c0->protection != ProtectionMode::kUnprotected;
+  ++stats_.commands_issued;
+  model_->otn_ems_client().request(
+      proto::Message{create},
+      [this, id, allow_groom,
+       cb = std::move(cb)](Result<proto::Response> r) mutable {
+        const Status s = response_to_status(r);
+        if (!s.ok()) {
+          Connection* c = find_conn(id);
+          if (s.error().code() == ErrorCode::kUnreachable && allow_groom &&
+              c != nullptr) {
+            // The OTN layer is out of tributary capacity on this relation:
+            // groom a fresh OTU carrier onto the DWDM layer, then retry.
+            trace(sim::TraceLevel::kInfo, "otn-groom",
+                  "no OTN capacity; provisioning a new carrier");
+            groom_new_carrier(
+                c->src_pop, c->dst_pop,
+                [this, id, cb = std::move(cb)](Status gs) mutable {
+                  if (!gs.ok()) {
+                    finish_setup(id, gs, std::move(cb));
+                    return;
+                  }
+                  send_otn_create(id, std::move(cb), /*allow_groom=*/false);
+                });
+            return;
+          }
+          finish_setup(id, s, std::move(cb));
+          return;
+        }
+        Connection* c = find_conn(id);
+        if (c == nullptr) return;
+        c->odu = OduCircuitId{r.value().aux};
+        odu_to_connection_[c->odu] = id;
+        setup_subwavelength_access(id, std::move(cb));
+      });
+}
+
+void GriphonController::setup_subwavelength_access(ConnectionId id,
+                                                   SetupCallback cb) {
+  Connection* c = find_conn(id);
+  if (c == nullptr) return;
+  const auto& circuit = model_->otn().circuit(c->odu);
+
+  // Phase 2: access plumbing — NTE ports + FXC steering of the access
+  // channels onto the OTN switch client ports.
+  auto steps = std::make_shared<StepList>();
+  auto* nte_client = &model_->nte_ems_client();
+  auto* fxc_client = &model_->fxc_ems_client();
+  steps->push_back(
+      Step{nte_client,
+           proto::NtePort{c->src_site,
+                          static_cast<std::uint32_t>(c->src_nte_port), true},
+           proto::Message{proto::NtePort{
+               c->src_site, static_cast<std::uint32_t>(c->src_nte_port),
+               false}}});
+  steps->push_back(
+      Step{nte_client,
+           proto::NtePort{c->dst_site,
+                          static_cast<std::uint32_t>(c->dst_nte_port), true},
+           proto::Message{proto::NtePort{
+               c->dst_site, static_cast<std::uint32_t>(c->dst_nte_port),
+               false}}});
+  auto fxc_step = [&](NodeId pop, MuxponderId site, std::size_t nte_port,
+                      std::size_t otn_port) {
+    fxc::Fxc& f = model_->fxc_at(pop);
+    const auto access = f.port_for(fxc::Wiring::Kind::kCustomerAccess,
+                                   site.value(), nte_port);
+    const auto sw = model_->otn().switch_at(pop);
+    const auto otnp = f.port_for(fxc::Wiring::Kind::kOtnClientPort,
+                                 sw->id().value(), otn_port);
+    assert(access && otnp && "FXC wiring for OTN missing");
+    steps->push_back(
+        Step{fxc_client, proto::FxcConnect{f.id(), *access, *otnp},
+             proto::Message{proto::FxcDisconnect{f.id(), *access}}});
+  };
+  fxc_step(c->src_pop, c->src_site, c->src_nte_port, circuit.src_port);
+  fxc_step(c->dst_pop, c->dst_site, c->dst_nte_port, circuit.dst_port);
+
+  run_steps(steps, false,
+            [this, id, steps, cb = std::move(cb)](
+                Status status, std::vector<std::size_t> succeeded) mutable {
+              if (status.ok()) {
+                finish_setup(id, Status::success(), std::move(cb));
+                return;
+              }
+              rollback_steps(
+                  steps, std::move(succeeded),
+                  [this, id, status, cb = std::move(cb)]() mutable {
+                    Connection* c = find_conn(id);
+                    if (c != nullptr && c->odu.valid()) {
+                      proto::OtnOp release;
+                      release.op = proto::OtnOp::Op::kRelease;
+                      release.circuit = c->odu;
+                      ++stats_.commands_issued;
+                      model_->otn_ems_client().request(
+                          proto::Message{release},
+                          [](Result<proto::Response>) {});
+                      odu_to_connection_.erase(c->odu);
+                      c->odu = OduCircuitId{};
+                    }
+                    finish_setup(id, status, std::move(cb));
+                  });
+            });
+}
+
+void GriphonController::groom_new_carrier(NodeId a, NodeId b,
+                                          DoneCallback cb) {
+  // A carrier is a plain wavelength whose endpoints feed the OTN switches'
+  // line ports; it consumes spectrum, two pool OTs as line optics, and any
+  // regens the route needs — exactly what it costs the carrier.
+  auto plan = rwa_.plan(a, b, rates::k10G);
+  if (!plan.ok()) {
+    cb(plan.error());
+    return;
+  }
+  const WavelengthPlan wplan = std::move(plan).value();
+  reserve_plan(wplan);
+  // No customer access is involved; reuse the wavelength command builder
+  // with a synthetic connection record for naming only.
+  Connection synthetic;
+  synthetic.src_pop = a;
+  synthetic.dst_pop = b;
+  auto steps = std::make_shared<StepList>(
+      build_wavelength_setup(synthetic, wplan, /*include_access=*/false));
+  run_steps(steps, false,
+            [this, a, b, wplan, steps, cb = std::move(cb)](
+                Status status, std::vector<std::size_t> succeeded) mutable {
+              unreserve_plan(wplan);
+              if (!status.ok()) {
+                rollback_steps(steps, std::move(succeeded),
+                               [status, cb = std::move(cb)]() mutable {
+                                 cb(status);
+                               });
+                return;
+              }
+              auto carrier = model_->add_otn_carrier(
+                  a, b, rates::k10G, wplan.path.links);
+              if (!carrier.ok()) {
+                cb(carrier.error());
+                return;
+              }
+              ++carriers_groomed_;
+              groomed_plans_[carrier.value()] = wplan;
+              trace(sim::TraceLevel::kInfo, "carrier-groomed",
+                    "new OTU carrier " +
+                        std::to_string(carrier.value().value()));
+              cb(Status::success());
+            });
+}
+
+void GriphonController::decommission_idle_carriers(DoneCallback cb) {
+  std::vector<CarrierId> idle;
+  for (const auto& [carrier_id, plan] : groomed_plans_) {
+    const auto& carrier = model_->otn().carrier(carrier_id);
+    if (carrier.retired()) continue;
+    if (carrier.allocated_slots() == 0 && carrier.shared_reserved_slots() == 0)
+      idle.push_back(carrier_id);
+  }
+  if (idle.empty()) {
+    cb(Status::success());
+    return;
+  }
+  auto remaining = std::make_shared<std::size_t>(idle.size());
+  for (const CarrierId carrier_id : idle) {
+    // Retire first so nothing new lands while the wavelength comes down.
+    if (const Status s = model_->otn().retire_carrier(carrier_id); !s.ok()) {
+      if (--*remaining == 0) cb(Status::success());
+      continue;
+    }
+    const WavelengthPlan plan = groomed_plans_.at(carrier_id);
+    groomed_plans_.erase(carrier_id);
+    Connection synthetic;
+    auto steps = std::make_shared<StepList>(
+        build_wavelength_teardown(synthetic, plan, /*include_access=*/false));
+    run_steps(steps, /*best_effort=*/true,
+              [this, carrier_id, remaining, cb](Status,
+                                                std::vector<std::size_t>) {
+                trace(sim::TraceLevel::kInfo, "carrier-decommissioned",
+                      "OTU carrier " + std::to_string(carrier_id.value()));
+                if (--*remaining == 0) cb(Status::success());
+              });
+  }
+}
+
+// --------------------------------------------------------------------------
+// Release
+// --------------------------------------------------------------------------
+
+void GriphonController::release_connection(ConnectionId id, DoneCallback cb) {
+  Connection* c = find_conn(id);
+  if (c == nullptr) {
+    cb(Status{ErrorCode::kNotFound, "controller: unknown connection"});
+    return;
+  }
+  if (c->state == ConnectionState::kReleased ||
+      c->state == ConnectionState::kTearingDown) {
+    cb(Status{ErrorCode::kConflict, "controller: already releasing"});
+    return;
+  }
+  if (c->state == ConnectionState::kRestoring ||
+      c->state == ConnectionState::kRolling ||
+      c->state == ConnectionState::kSettingUp) {
+    // The orchestration FSM holds partially-built state; let it finish.
+    cb(Status{ErrorCode::kBusy,
+              "controller: connection busy (setup/restore/roll in flight)"});
+    return;
+  }
+  c->state = ConnectionState::kTearingDown;
+
+  auto finish = [this, id, cb](Status status) {
+    Connection* c = find_conn(id);
+    if (c == nullptr) return;
+    release_nte_port(c->src_site, c->src_nte_port);
+    release_nte_port(c->dst_site, c->dst_nte_port);
+    c->state = ConnectionState::kReleased;
+    ++stats_.releases;
+    trace(sim::TraceLevel::kInfo, "released",
+          "connection " + std::to_string(id.value()));
+    cb(status);
+  };
+
+  if (c->kind == ConnectionKind::kWavelength) {
+    auto steps = std::make_shared<StepList>(
+        build_wavelength_teardown(*c, c->plan, /*include_access=*/true));
+    if (c->standby) {
+      const auto extra = build_wavelength_teardown(*c, *c->standby, false);
+      steps->insert(steps->end(), extra.begin(), extra.end());
+    }
+    run_steps(steps, /*best_effort=*/true,
+              [finish](Status status, std::vector<std::size_t>) {
+                finish(status);
+              });
+  } else {
+    auto steps = std::make_shared<StepList>();
+    auto* fxc_client = &model_->fxc_ems_client();
+    auto* nte_client = &model_->nte_ems_client();
+    auto fxc_step = [&](NodeId pop, MuxponderId site, std::size_t nte_port) {
+      fxc::Fxc& f = model_->fxc_at(pop);
+      const auto access = f.port_for(fxc::Wiring::Kind::kCustomerAccess,
+                                     site.value(), nte_port);
+      assert(access);
+      steps->push_back(Step{fxc_client,
+                            proto::FxcDisconnect{f.id(), *access},
+                            std::nullopt});
+    };
+    fxc_step(c->src_pop, c->src_site, c->src_nte_port);
+    fxc_step(c->dst_pop, c->dst_site, c->dst_nte_port);
+    steps->push_back(Step{
+        nte_client,
+        proto::NtePort{c->src_site,
+                       static_cast<std::uint32_t>(c->src_nte_port), false},
+        std::nullopt});
+    steps->push_back(Step{
+        nte_client,
+        proto::NtePort{c->dst_site,
+                       static_cast<std::uint32_t>(c->dst_nte_port), false},
+        std::nullopt});
+    proto::OtnOp release;
+    release.op = proto::OtnOp::Op::kRelease;
+    release.circuit = c->odu;
+    steps->push_back(Step{&model_->otn_ems_client(), release, std::nullopt});
+    const OduCircuitId odu = c->odu;
+    run_steps(steps, true,
+              [this, odu, finish](Status status, std::vector<std::size_t>) {
+                odu_to_connection_.erase(odu);
+                finish(status);
+              });
+  }
+}
+
+// --------------------------------------------------------------------------
+// Failure handling
+// --------------------------------------------------------------------------
+
+void GriphonController::handle_alarm_frame(const proto::Frame& frame) {
+  if (const auto* ev = std::get_if<proto::AlarmEvent>(&frame.message))
+    failures_.ingest(ev->alarm);
+}
+
+void GriphonController::mark_failed(Connection& c) {
+  if (c.state == ConnectionState::kFailed ||
+      c.state == ConnectionState::kRestoring)
+    return;
+  c.state = ConnectionState::kFailed;
+  c.outage_started_at = model_->engine().now();
+  trace(sim::TraceLevel::kWarn, "outage",
+        "connection " + std::to_string(c.id.value()));
+}
+
+void GriphonController::mark_recovered(Connection& c) {
+  if (c.state != ConnectionState::kFailed &&
+      c.state != ConnectionState::kRestoring)
+    return;
+  c.total_outage += model_->engine().now() - c.outage_started_at;
+  c.state = ConnectionState::kActive;
+  trace(sim::TraceLevel::kInfo, "recovered",
+        "connection " + std::to_string(c.id.value()) + " outage " +
+            std::to_string(to_seconds(c.total_outage)) + "s total");
+}
+
+void GriphonController::on_links_failed(const std::vector<LinkId>& links) {
+  const std::set<LinkId> failed(links.begin(), links.end());
+  for (auto& [id, c] : connections_) {
+    if (!c.is_up() && c.state != ConnectionState::kSettingUp) continue;
+    if (c.kind == ConnectionKind::kWavelength) {
+      const WavelengthPlan& active =
+          (c.traffic_on_standby && c.standby) ? *c.standby : c.plan;
+      if (!plan_uses_any(active, failed)) continue;
+      const bool mid_setup = c.state == ConnectionState::kSettingUp;
+      mark_failed(c);
+      if (mid_setup) continue;  // finish_setup re-checks and restores
+      if (c.protection == ProtectionMode::kOnePlusOne && c.standby) {
+        // Tail-end switch to the other leg if it survives.
+        const WavelengthPlan& other =
+            c.traffic_on_standby ? c.plan : *c.standby;
+        const auto& believed = failures_.believed_failed();
+        const bool other_ok =
+            !plan_uses_any(other, believed);
+        if (other_ok) {
+          const ConnectionId cid = id;
+          model_->engine().schedule(params_.roll_hit, [this, cid]() {
+            Connection* c = find_conn(cid);
+            if (c == nullptr || c->state != ConnectionState::kFailed) return;
+            c->traffic_on_standby = !c->traffic_on_standby;
+            ++c->restorations;
+            mark_recovered(*c);
+            trace(sim::TraceLevel::kInfo, "1+1-switch",
+                  "connection " + std::to_string(cid.value()));
+          });
+        }
+      } else if (c.protection == ProtectionMode::kRestorable &&
+                 params_.auto_restore) {
+        enqueue_restoration(id);
+      }
+    } else {
+      // Sub-wavelength: the OTN layer knows; mirror its state. Mesh
+      // restoration (if protected) reports back through the restorer.
+      if (!c.odu.valid()) continue;
+      const auto& circuit = model_->otn().circuit(c.odu);
+      if (circuit.state == otn::OduCircuit::State::kFailed) mark_failed(c);
+    }
+  }
+}
+
+void GriphonController::on_links_repaired(const std::vector<LinkId>& links) {
+  const std::set<LinkId>& believed = failures_.believed_failed();
+  (void)links;
+  for (auto& [id, c] : connections_) {
+    if (c.state != ConnectionState::kFailed) continue;
+    if (c.kind == ConnectionKind::kWavelength) {
+      const WavelengthPlan& active =
+          (c.traffic_on_standby && c.standby) ? *c.standby : c.plan;
+      if (!plan_uses_any(active, believed)) {
+        if (c.deprovisioned) {
+          // A failed restoration attempt already released this path's
+          // devices: light alone is not service; re-provision now.
+          if (c.protection == ProtectionMode::kRestorable &&
+              params_.auto_restore)
+            enqueue_restoration(id);
+        } else {
+          // Light returns on the repaired fiber; devices never
+          // deconfigured.
+          mark_recovered(c);
+        }
+      } else if (c.protection == ProtectionMode::kOnePlusOne && c.standby) {
+        // The active leg is still dark but the other one just came back:
+        // tail-end switch onto it.
+        const WavelengthPlan& other =
+            c.traffic_on_standby ? c.plan : *c.standby;
+        if (!plan_uses_any(other, believed)) {
+          const ConnectionId cid = id;
+          model_->engine().schedule(params_.roll_hit, [this, cid]() {
+            Connection* cc = find_conn(cid);
+            if (cc == nullptr || cc->state != ConnectionState::kFailed)
+              return;
+            cc->traffic_on_standby = !cc->traffic_on_standby;
+            mark_recovered(*cc);
+            trace(sim::TraceLevel::kInfo, "1+1-switch-back",
+                  "connection " + std::to_string(cid.value()));
+          });
+        }
+      }
+    } else if (c.odu.valid()) {
+      const auto& circuit = model_->otn().circuit(c.odu);
+      if (circuit.state == otn::OduCircuit::State::kActive ||
+          circuit.state == otn::OduCircuit::State::kOnBackup)
+        mark_recovered(c);
+    }
+  }
+}
+
+void GriphonController::enqueue_restoration(ConnectionId id) {
+  if (std::find(restore_queue_.begin(), restore_queue_.end(), id) !=
+      restore_queue_.end())
+    return;
+  restore_queue_.push_back(id);
+  // Gold before silver before bronze; FIFO within a tier (stable sort).
+  std::stable_sort(restore_queue_.begin(), restore_queue_.end(),
+                   [this](ConnectionId a, ConnectionId b) {
+                     const Connection* ca = find_conn(a);
+                     const Connection* cb = find_conn(b);
+                     if (ca == nullptr || cb == nullptr) return false;
+                     return static_cast<int>(ca->tier) <
+                            static_cast<int>(cb->tier);
+                   });
+  // Defer the dispatch one event so that a burst of failures (one cut,
+  // many connections) is fully enqueued — and therefore fully sorted —
+  // before the first restoration is picked.
+  model_->engine().schedule(SimTime{}, [this]() { pump_restorations(); });
+}
+
+void GriphonController::pump_restorations() {
+  if (restoration_in_flight_ || restore_queue_.empty()) return;
+  const ConnectionId id = restore_queue_.front();
+  restore_queue_.erase(restore_queue_.begin());
+  Connection* c = find_conn(id);
+  if (c == nullptr || c->state != ConnectionState::kFailed) {
+    pump_restorations();
+    return;
+  }
+  restoration_in_flight_ = true;
+  restore_wavelength(id, [this]() {
+    restoration_in_flight_ = false;
+    pump_restorations();
+  });
+}
+
+void GriphonController::restore_wavelength(ConnectionId id,
+                                           std::function<void()> done) {
+  Connection* c0 = find_conn(id);
+  if (c0 == nullptr || c0->state != ConnectionState::kFailed) {
+    done();
+    return;
+  }
+  c0->state = ConnectionState::kRestoring;
+  trace(sim::TraceLevel::kInfo, "restore-start",
+        "connection " + std::to_string(id.value()));
+
+  // 1. Release the dead path's configuration (keeps access + OTs).
+  auto teardown = std::make_shared<StepList>(
+      build_wavelength_teardown(*c0, c0->plan, /*include_access=*/false));
+  run_steps(teardown, /*best_effort=*/true,
+            [this, id, done](Status, std::vector<std::size_t>) {
+    Connection* c = find_conn(id);
+    if (c == nullptr || c->state != ConnectionState::kRestoring) {
+      done();
+      return;
+    }
+    c->deprovisioned = true;  // old path released; plan no longer live
+    // 2. Compute a path around the failure.
+    const SimTime think =
+        params_.path_computation.sample(model_->engine().rng());
+    model_->engine().schedule(think, [this, id, done]() {
+      Connection* c = find_conn(id);
+      if (c == nullptr || c->state != ConnectionState::kRestoring) {
+        done();
+        return;
+      }
+      Exclusions avoid;
+      for (const LinkId l : failures_.believed_failed()) avoid.links.insert(l);
+      auto plan = rwa_.plan(c->src_pop, c->dst_pop, c->rate, avoid);
+      if (!plan.ok()) {
+        ++stats_.restorations_failed;
+        c->state = ConnectionState::kFailed;  // outage continues
+        trace(sim::TraceLevel::kError, "restore-failed",
+              plan.error().message());
+        done();
+        return;
+      }
+      // Reuse the connection's own transponders: the access FXC patches
+      // still point at them, and they are free again after the teardown.
+      WavelengthPlan new_plan = std::move(plan).value();
+      new_plan.src_ot = c->plan.src_ot;
+      new_plan.dst_ot = c->plan.dst_ot;
+      reserve_plan(new_plan);
+      auto steps = std::make_shared<StepList>(
+          build_wavelength_setup(*c, new_plan, /*include_access=*/false));
+      run_steps(steps, false,
+                [this, id, new_plan, steps, done](
+                    Status status, std::vector<std::size_t> succeeded) {
+                  Connection* c = find_conn(id);
+                  if (c == nullptr) {
+                    done();
+                    return;
+                  }
+                  unreserve_plan(new_plan);
+                  if (status.ok()) {
+                    c->plan = new_plan;
+                    c->deprovisioned = false;
+                    ++c->restorations;
+                    ++stats_.restorations_ok;
+                    mark_recovered(*c);
+                    trace(sim::TraceLevel::kInfo, "restore-done",
+                          "connection " + std::to_string(id.value()));
+                  } else {
+                    ++stats_.restorations_failed;
+                    rollback_steps(steps, std::move(succeeded), [this, id]() {
+                      Connection* c = find_conn(id);
+                      if (c != nullptr) c->state = ConnectionState::kFailed;
+                    });
+                    trace(sim::TraceLevel::kError, "restore-failed",
+                          status.error().message());
+                  }
+                  done();
+                });
+    });
+  });
+}
+
+void GriphonController::restore_subwavelength(ConnectionId) {
+  // Sub-wavelength restoration is autonomous (MeshRestorer); nothing to do
+  // from the controller beyond the bookkeeping done in callbacks.
+}
+
+// --------------------------------------------------------------------------
+// Bridge-and-roll, maintenance, re-grooming
+// --------------------------------------------------------------------------
+
+void GriphonController::roll_to_plan(ConnectionId id,
+                                     const WavelengthPlan& new_plan,
+                                     DoneCallback cb) {
+  Connection* c0 = find_conn(id);
+  if (c0 == nullptr || !c0->is_up()) {
+    cb(Status{ErrorCode::kConflict, "controller: connection not rollable"});
+    return;
+  }
+  c0->state = ConnectionState::kRolling;
+  reserve_plan(new_plan);
+  // Bridge: build the new path end to end while traffic rides the old one.
+  auto steps = std::make_shared<StepList>(
+      build_wavelength_setup(*c0, new_plan, /*include_access=*/false));
+  run_steps(steps, false, [this, id, new_plan, steps, cb = std::move(cb)](
+                              Status status,
+                              std::vector<std::size_t> succeeded) mutable {
+    Connection* c = find_conn(id);
+    if (c == nullptr) return;
+    unreserve_plan(new_plan);
+    if (!status.ok()) {
+      ++stats_.rolls_failed;
+      rollback_steps(steps, std::move(succeeded),
+                     [this, id, status, cb = std::move(cb)]() mutable {
+                       Connection* c = find_conn(id);
+                       if (c != nullptr) c->state = ConnectionState::kActive;
+                       cb(status);
+                     });
+      return;
+    }
+    // Roll: the NTE bridges the client signal to both paths; the receive
+    // side selects the new one. The service hit is tens of milliseconds.
+    model_->engine().schedule(params_.roll_hit, [this, id, new_plan,
+                                                 cb = std::move(cb)]() mutable {
+      Connection* c = find_conn(id);
+      if (c == nullptr) return;
+      const WavelengthPlan old_plan = c->plan;
+      c->plan = new_plan;
+      ++c->rolls;
+      c->roll_hit_total += params_.roll_hit;
+      ++stats_.rolls_ok;
+      // Re-patch the FXCs to the new OTs (hitless, signal already rolled),
+      // then release the old path.
+      auto post = std::make_shared<StepList>();
+      auto* fxc_client = &model_->fxc_ems_client();
+      auto repatch = [&](NodeId pop, MuxponderId site, std::size_t nte_port,
+                         TransponderId new_ot) {
+        fxc::Fxc& f = model_->fxc_at(pop);
+        const auto access = f.port_for(fxc::Wiring::Kind::kCustomerAccess,
+                                       site.value(), nte_port);
+        const auto otp = f.port_for(fxc::Wiring::Kind::kTransponderClient,
+                                    new_ot.value(), 0);
+        assert(access && otp);
+        post->push_back(Step{fxc_client,
+                             proto::FxcDisconnect{f.id(), *access},
+                             std::nullopt});
+        post->push_back(Step{fxc_client,
+                             proto::FxcConnect{f.id(), *access, *otp},
+                             std::nullopt});
+      };
+      if (old_plan.src_ot != new_plan.src_ot)
+        repatch(c->src_pop, c->src_site, c->src_nte_port, new_plan.src_ot);
+      if (old_plan.dst_ot != new_plan.dst_ot)
+        repatch(c->dst_pop, c->dst_site, c->dst_nte_port, new_plan.dst_ot);
+      const auto old_teardown =
+          build_wavelength_teardown(*c, old_plan, /*include_access=*/false);
+      post->insert(post->end(), old_teardown.begin(), old_teardown.end());
+      run_steps(post, true, [this, id, cb = std::move(cb)](
+                                Status, std::vector<std::size_t>) mutable {
+        Connection* c = find_conn(id);
+        if (c != nullptr && c->state == ConnectionState::kRolling)
+          c->state = ConnectionState::kActive;
+        trace(sim::TraceLevel::kInfo, "roll-done",
+              "connection " + std::to_string(id.value()));
+        cb(Status::success());
+      });
+    });
+  });
+}
+
+void GriphonController::bridge_and_roll(ConnectionId id,
+                                        const Exclusions& avoid,
+                                        DoneCallback cb) {
+  Connection* c = find_conn(id);
+  if (c == nullptr) {
+    cb(Status{ErrorCode::kNotFound, "controller: unknown connection"});
+    return;
+  }
+  if (c->kind != ConnectionKind::kWavelength) {
+    cb(Status{ErrorCode::kInvalidArgument,
+              "controller: bridge-and-roll applies to wavelength services"});
+    return;
+  }
+  if (!c->is_up()) {
+    cb(Status{ErrorCode::kConflict, "controller: connection not active"});
+    return;
+  }
+  const SimTime think = params_.path_computation.sample(model_->engine().rng());
+  model_->engine().schedule(think, [this, id, avoid, cb = std::move(cb)]() mutable {
+    Connection* c = find_conn(id);
+    if (c == nullptr || !c->is_up()) {
+      cb(Status{ErrorCode::kConflict, "controller: connection went away"});
+      return;
+    }
+    // The bridge must be resource-disjoint from the in-service path (paper
+    // §2.2 constraint) — including conduit-mates of its links (SRLG) —
+    // plus whatever the caller wants avoided.
+    Exclusions full = avoid;
+    for (const LinkId l : c->plan.path.links)
+      for (const LinkId sibling : model_->graph().srlg_siblings(l))
+        full.links.insert(sibling);
+    auto plan = rwa_.plan(c->src_pop, c->dst_pop, c->rate, full);
+    if (!plan.ok()) {
+      ++stats_.rolls_failed;
+      cb(plan.error());
+      return;
+    }
+    roll_to_plan(id, std::move(plan).value(), std::move(cb));
+  });
+}
+
+void GriphonController::prepare_maintenance(LinkId link, DoneCallback cb) {
+  std::vector<ConnectionId> to_roll;
+  for (const auto& [id, c] : connections_) {
+    if (c.kind != ConnectionKind::kWavelength || !c.is_up()) continue;
+    if (c.plan.path.uses_link(link)) to_roll.push_back(id);
+  }
+  // Protected OTN circuits riding the span move to their backups
+  // proactively (done by the switches on command, small hit).
+  if (model_->config().with_otn) {
+    for (const OduCircuitId odu : model_->otn().circuit_ids()) {
+      const auto& circuit = model_->otn().circuit(odu);
+      if (circuit.state != otn::OduCircuit::State::kActive ||
+          !circuit.is_protected)
+        continue;
+      const bool on_span = std::any_of(
+          circuit.primary.begin(), circuit.primary.end(), [&](CarrierId cid) {
+            return model_->otn().carrier(cid).rides_link(link);
+          });
+      if (on_span) (void)model_->otn().preemptive_switch(odu);
+    }
+  }
+  if (to_roll.empty()) {
+    cb(Status::success());
+    return;
+  }
+  auto remaining = std::make_shared<std::size_t>(to_roll.size());
+  auto first_error = std::make_shared<Status>(Status::success());
+  for (const ConnectionId id : to_roll) {
+    Exclusions avoid;
+    avoid.links.insert(link);
+    bridge_and_roll(id, avoid,
+                    [remaining, first_error, cb](Status s) {
+                      if (!s.ok() && first_error->ok()) *first_error = s;
+                      if (--*remaining == 0) cb(*first_error);
+                    });
+  }
+}
+
+void GriphonController::regroom(ConnectionId id, DoneCallback cb) {
+  Connection* c = find_conn(id);
+  if (c == nullptr || c->kind != ConnectionKind::kWavelength || !c->is_up()) {
+    cb(Status{ErrorCode::kConflict, "controller: not re-groomable"});
+    return;
+  }
+  // Would a fresh plan (ignoring the current one) be shorter? The bridge
+  // must still be resource-disjoint, so exclude the current links.
+  Exclusions avoid;
+  for (const LinkId l : c->plan.path.links) avoid.links.insert(l);
+  auto candidate = rwa_.plan(c->src_pop, c->dst_pop, c->rate, avoid);
+  if (!candidate.ok()) {
+    cb(Status{ErrorCode::kUnreachable,
+              "controller: no disjoint alternative path"});
+    return;
+  }
+  const auto& g = model_->graph();
+  if (candidate.value().path.length(g) >= c->plan.path.length(g)) {
+    cb(Status::success());  // current path already best; nothing to do
+    return;
+  }
+  roll_to_plan(id, std::move(candidate).value(), std::move(cb));
+}
+
+}  // namespace griphon::core

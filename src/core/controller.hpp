@@ -1,0 +1,202 @@
+// The GRIPhoN controller — the paper's central contribution (§2.2).
+//
+// "Connection establishment and release based on requests from the CSP are
+// handled by the GRIPhoN controller. The controller ... communicates with
+// the network elements (FXC controllers, OTN switch EMS, ROADM EMS and NTE
+// controllers) in order to create or tear down the connections ordered by
+// the CSPs, capacity and resource management, inventory database
+// management, failure detection, localization and automated restorations."
+//
+// The controller is fully asynchronous: every service call returns
+// immediately and completes through a callback once the EMS command
+// sequence has finished on the simulated network. Commands are issued
+// sequentially by default (what the 2011 testbed did — this is what makes
+// setup take 60-70 s); `pipelined_commands` issues independent commands
+// concurrently, an ablation for the §4 "DWDM layer management" challenge.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/connection.hpp"
+#include "core/failure_manager.hpp"
+#include "core/inventory.hpp"
+#include "core/network_model.hpp"
+#include "core/rwa.hpp"
+
+namespace griphon::core {
+
+class GriphonController {
+ public:
+  struct Params {
+    RwaEngine::Params rwa{};
+    bool pipelined_commands = false;
+    FailureManager::Params failure{};
+    /// Route computation time inside the controller.
+    LatencyModel path_computation =
+        LatencyModel::fixed(milliseconds(500));
+    /// Distributed shared-mesh restoration of one ODU circuit (done by the
+    /// OTN switches themselves, not by EMS commands).
+    LatencyModel otn_restoration =
+        LatencyModel::normal(milliseconds(120), milliseconds(60),
+                             milliseconds(15));
+    /// Traffic hit when rolling between bridged paths.
+    SimTime roll_hit = milliseconds(50);
+    /// Restore wavelength connections automatically on failure.
+    bool auto_restore = true;
+  };
+
+  using SetupCallback = std::function<void(Result<ConnectionId>)>;
+  using DoneCallback = std::function<void(Status)>;
+
+  GriphonController(NetworkModel* model, Params params);
+
+  // --- BoD service API -----------------------------------------------------
+  /// Set up a connection; the callback fires when traffic can flow (or the
+  /// setup failed and was rolled back).
+  void request_connection(const ConnectionRequest& request, SetupCallback cb);
+  /// Tear a connection down; callback fires when all resources are freed.
+  void release_connection(ConnectionId id, DoneCallback cb);
+
+  [[nodiscard]] const Connection& connection(ConnectionId id) const;
+  [[nodiscard]] std::vector<ConnectionId> connections_of(
+      CustomerId customer) const;
+  [[nodiscard]] std::size_t active_connections() const;
+
+  // --- maintenance & grooming ----------------------------------------------
+  /// Move one connection to a new, resource-disjoint path with
+  /// bridge-and-roll; `avoid` constrains the new path (e.g. the span about
+  /// to enter maintenance).
+  void bridge_and_roll(ConnectionId id, const Exclusions& avoid,
+                       DoneCallback cb);
+  /// Roll every wavelength connection off `link` ahead of maintenance.
+  void prepare_maintenance(LinkId link, DoneCallback cb);
+  /// Revert a restored/rolled connection to its shortest path (re-groom).
+  void regroom(ConnectionId id, DoneCallback cb);
+
+  /// Provision a fresh OTU carrier for the OTN layer between two PoPs: a
+  /// wavelength is set up on the DWDM layer (consuming spectrum and a pair
+  /// of pool transponders as the carrier's line optics) and handed to the
+  /// OTN switches as new tributary capacity. Called automatically when a
+  /// sub-wavelength request finds the OTN layer full — "the OTN layer with
+  /// its switching capability can achieve more efficient packing of
+  /// wavelengths" (paper §2.1).
+  void groom_new_carrier(NodeId a, NodeId b, DoneCallback cb);
+  [[nodiscard]] std::size_t carriers_groomed() const noexcept {
+    return carriers_groomed_;
+  }
+  /// Decommission groomed carriers no circuit uses anymore: retire them in
+  /// the OTN layer and release their wavelengths back to the pool.
+  void decommission_idle_carriers(DoneCallback cb);
+
+  // --- introspection ---------------------------------------------------------
+  [[nodiscard]] const Inventory& inventory() const noexcept {
+    return inventory_;
+  }
+  [[nodiscard]] const FailureManager& failure_manager() const noexcept {
+    return failures_;
+  }
+  [[nodiscard]] NetworkModel& model() noexcept { return *model_; }
+
+  struct Stats {
+    std::size_t setups_ok = 0;
+    std::size_t setups_failed = 0;
+    std::size_t releases = 0;
+    std::size_t restorations_ok = 0;
+    std::size_t restorations_failed = 0;
+    std::size_t rolls_ok = 0;
+    std::size_t rolls_failed = 0;
+    std::size_t commands_issued = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Step {
+    proto::RequestClient* client = nullptr;
+    proto::Message forward;            ///< command to run
+    std::optional<proto::Message> undo;  ///< rollback command, if any
+  };
+  using StepList = std::vector<Step>;
+
+  // Sequencing machinery. `done` receives the first error (or success) and
+  // the indices of steps that succeeded (rollback input).
+  using RunDone = std::function<void(Status, std::vector<std::size_t>)>;
+  struct RunState;
+  /// Execute a command list. Sequential by default (one EMS dialogue at a
+  /// time, as the 2011 testbed); pipelined when params_.pipelined_commands.
+  /// `best_effort` keeps going past failures (teardown paths).
+  void run_steps(std::shared_ptr<StepList> steps, bool best_effort,
+                 RunDone done);
+  void run_steps_sequential(std::shared_ptr<RunState> state, std::size_t at);
+  void run_steps_pipelined(std::shared_ptr<RunState> state);
+  /// Run undo commands of the given steps in reverse order, ignoring
+  /// errors, then call done.
+  void rollback_steps(std::shared_ptr<StepList> steps,
+                      std::vector<std::size_t> succeeded,
+                      std::function<void()> done);
+
+  // Plan -> command sequences.
+  [[nodiscard]] StepList build_wavelength_setup(const Connection& c,
+                                                const WavelengthPlan& plan,
+                                                bool include_access) const;
+  [[nodiscard]] StepList build_wavelength_teardown(
+      const Connection& c, const WavelengthPlan& plan,
+      bool include_access) const;
+  [[nodiscard]] StepList build_access_setup(const Connection& c,
+                                            const WavelengthPlan& plan) const;
+
+  // Reservation bookkeeping around a plan.
+  void reserve_plan(const WavelengthPlan& plan);
+  void unreserve_plan(const WavelengthPlan& plan);
+
+  // Setup flows.
+  void setup_wavelength(ConnectionId id, SetupCallback cb);
+  void setup_subwavelength(ConnectionId id, SetupCallback cb);
+  void send_otn_create(ConnectionId id, SetupCallback cb, bool allow_groom);
+  void setup_subwavelength_access(ConnectionId id, SetupCallback cb);
+  void finish_setup(ConnectionId id, Status status, SetupCallback cb);
+
+  // Failure handling.
+  void handle_alarm_frame(const proto::Frame& frame);
+  void on_links_failed(const std::vector<LinkId>& links);
+  void on_links_repaired(const std::vector<LinkId>& links);
+  /// Queue a failed restorable connection; the queue drains in tier order
+  /// (gold first), one restoration at a time.
+  void enqueue_restoration(ConnectionId id);
+  void pump_restorations();
+  void restore_wavelength(ConnectionId id, std::function<void()> done);
+  void restore_subwavelength(ConnectionId id);
+  void mark_failed(Connection& c);
+  void mark_recovered(Connection& c);
+
+  // Bridge-and-roll core (shared by maintenance, re-groom, reversion).
+  void roll_to_plan(ConnectionId id, const WavelengthPlan& new_plan,
+                    DoneCallback cb);
+
+  [[nodiscard]] Connection& conn(ConnectionId id);
+  [[nodiscard]] Connection* find_conn(ConnectionId id);
+  [[nodiscard]] Result<std::size_t> pick_free_nte_port(MuxponderId nte);
+  void release_nte_port(MuxponderId nte, std::size_t port);
+  void trace(sim::TraceLevel level, const std::string& event,
+             const std::string& detail);
+
+  NetworkModel* model_;
+  Params params_;
+  Inventory inventory_;
+  RwaEngine rwa_;
+  FailureManager failures_;
+  std::map<ConnectionId, Connection> connections_;
+  std::map<OduCircuitId, ConnectionId> odu_to_connection_;
+  std::size_t carriers_groomed_ = 0;
+  std::map<CarrierId, WavelengthPlan> groomed_plans_;
+  std::set<std::pair<MuxponderId, std::size_t>> reserved_nte_ports_;
+  std::vector<ConnectionId> restore_queue_;
+  bool restoration_in_flight_ = false;
+  IdAllocator<ConnectionId> ids_;
+  Stats stats_;
+};
+
+}  // namespace griphon::core

@@ -1,0 +1,60 @@
+#include "core/failure_manager.hpp"
+
+namespace griphon::core {
+
+void FailureManager::ingest(const Alarm& alarm) {
+  ++ingested_;
+  if (!alarm.link) return;  // only line-side alarms localize fiber faults
+  switch (alarm.type) {
+    case AlarmType::kLos:
+    case AlarmType::kLof:
+      pending_los_[*alarm.link].insert(alarm.source);
+      if (!failure_window_open_) {
+        failure_window_open_ = true;
+        engine_->schedule(params_.holddown, [this]() {
+          failure_window_open_ = false;
+          correlate_failures();
+        });
+      }
+      break;
+    case AlarmType::kClear:
+      pending_clear_[*alarm.link].insert(alarm.source);
+      if (!repair_window_open_) {
+        repair_window_open_ = true;
+        engine_->schedule(params_.holddown, [this]() {
+          repair_window_open_ = false;
+          correlate_repairs();
+        });
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void FailureManager::correlate_failures() {
+  std::vector<LinkId> localized;
+  for (const auto& [link, sources] : pending_los_) {
+    // Two independent reporting elements confirm a cut; a single reporter
+    // still localizes (the far degree may simply be unequipped), but only
+    // links not already believed failed produce a new event.
+    if (believed_failed_.contains(link)) continue;
+    believed_failed_.insert(link);
+    localized.push_back(link);
+  }
+  pending_los_.clear();
+  if (!localized.empty() && failure_handler_) failure_handler_(localized);
+}
+
+void FailureManager::correlate_repairs() {
+  std::vector<LinkId> repaired;
+  for (const auto& [link, sources] : pending_clear_) {
+    if (!believed_failed_.contains(link)) continue;
+    believed_failed_.erase(link);
+    repaired.push_back(link);
+  }
+  pending_clear_.clear();
+  if (!repaired.empty() && repair_handler_) repair_handler_(repaired);
+}
+
+}  // namespace griphon::core

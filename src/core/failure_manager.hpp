@@ -1,0 +1,71 @@
+// Failure detection and localization.
+//
+// The controller receives raw per-channel alarms from the EMSs (a single
+// fiber cut raises one LOS per configured channel per end ROADM). The
+// failure manager holds alarms for a correlation window, then localizes:
+// a link reported by ROADMs on *both* ends is a confirmed fiber cut; a
+// link reported from one end only is still suspected (the far ROADM may
+// carry nothing on that degree). CLEAR alarms are correlated the same way
+// into repair notifications.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/alarm.hpp"
+#include "sim/engine.hpp"
+
+namespace griphon::core {
+
+class FailureManager {
+ public:
+  /// Called once per localized event with the root-cause links.
+  using FailureHandler = std::function<void(const std::vector<LinkId>&)>;
+  using RepairHandler = std::function<void(const std::vector<LinkId>&)>;
+
+  struct Params {
+    SimTime holddown = milliseconds(2500);  ///< alarm correlation window
+  };
+
+  FailureManager(sim::Engine* engine, Params params)
+      : engine_(engine), params_(params) {}
+
+  void on_failure(FailureHandler handler) {
+    failure_handler_ = std::move(handler);
+  }
+  void on_repair(RepairHandler handler) {
+    repair_handler_ = std::move(handler);
+  }
+
+  /// Feed a raw alarm (from any EMS event stream).
+  void ingest(const Alarm& alarm);
+
+  [[nodiscard]] std::size_t alarms_ingested() const noexcept {
+    return ingested_;
+  }
+  /// Links this manager currently believes are down.
+  [[nodiscard]] const std::set<LinkId>& believed_failed() const noexcept {
+    return believed_failed_;
+  }
+
+ private:
+  void correlate_failures();
+  void correlate_repairs();
+
+  sim::Engine* engine_;
+  Params params_;
+  FailureHandler failure_handler_;
+  RepairHandler repair_handler_;
+
+  /// link -> reporting sources, for the window in progress.
+  std::map<LinkId, std::set<std::string>> pending_los_;
+  std::map<LinkId, std::set<std::string>> pending_clear_;
+  bool failure_window_open_ = false;
+  bool repair_window_open_ = false;
+  std::set<LinkId> believed_failed_;
+  std::size_t ingested_ = 0;
+};
+
+}  // namespace griphon::core

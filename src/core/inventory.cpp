@@ -1,0 +1,104 @@
+#include "core/inventory.hpp"
+
+namespace griphon::core {
+
+void Inventory::reserve_channel(LinkId link, dwdm::ChannelIndex ch) {
+  reserved_channels_.emplace(link, ch);
+}
+
+void Inventory::release_channel(LinkId link, dwdm::ChannelIndex ch) {
+  reserved_channels_.erase({link, ch});
+}
+
+bool Inventory::channel_reserved(LinkId link, dwdm::ChannelIndex ch) const {
+  return reserved_channels_.contains({link, ch});
+}
+
+void Inventory::reserve_ot(TransponderId id) { reserved_ots_.insert(id); }
+void Inventory::release_ot(TransponderId id) { reserved_ots_.erase(id); }
+bool Inventory::ot_reserved(TransponderId id) const {
+  return reserved_ots_.contains(id);
+}
+
+void Inventory::reserve_regen(RegenId id) { reserved_regens_.insert(id); }
+void Inventory::release_regen(RegenId id) { reserved_regens_.erase(id); }
+bool Inventory::regen_reserved(RegenId id) const {
+  return reserved_regens_.contains(id);
+}
+
+dwdm::ChannelSet Inventory::available_on_link(LinkId link) const {
+  if (model_->link_failed(link)) return {};
+  const auto& l = model_->graph().link(link);
+  const auto& ra = model_->roadm_at(l.a);
+  const auto& rb = model_->roadm_at(l.b);
+  const auto da = ra.degree_for(link);
+  const auto db = rb.degree_for(link);
+  if (!da || !db) return {};
+  dwdm::ChannelSet set = ra.free_channels(*da);
+  set.intersect(rb.free_channels(*db));
+  for (const auto& [rlink, ch] : reserved_channels_)
+    if (rlink == link) set.remove(ch);
+  return set;
+}
+
+namespace {
+/// Tuned-but-inactive OTs stay in the shared pool (the laser is lit but the
+/// transponder carries nothing; it retunes on next use).
+bool ot_is_free(const dwdm::Transponder& ot) {
+  return ot.state() == dwdm::Transponder::State::kIdle ||
+         ot.state() == dwdm::Transponder::State::kTuned;
+}
+}  // namespace
+
+std::optional<TransponderId> Inventory::find_free_ot(
+    NodeId node, DataRate min_rate) const {
+  // Smallest adequate line rate wins: don't burn a 40G transponder on a
+  // 10G service while a 10G unit sits idle.
+  std::optional<TransponderId> best;
+  DataRate best_rate{};
+  for (const auto& ot : model_->ots()) {
+    if (ot->site() != node) continue;
+    if (!ot_is_free(*ot)) continue;
+    if (ot->line_rate() < min_rate) continue;
+    if (ot_reserved(ot->id())) continue;
+    if (!best || ot->line_rate() < best_rate) {
+      best = ot->id();
+      best_rate = ot->line_rate();
+    }
+  }
+  return best;
+}
+
+std::size_t Inventory::free_ot_count(NodeId node, DataRate min_rate) const {
+  std::size_t n = 0;
+  for (const auto& ot : model_->ots()) {
+    if (ot->site() == node && ot_is_free(*ot) &&
+        ot->line_rate() >= min_rate && !ot_reserved(ot->id()))
+      ++n;
+  }
+  return n;
+}
+
+std::optional<RegenId> Inventory::find_free_regen(NodeId node,
+                                                  DataRate min_rate) const {
+  for (const auto& regen : model_->regens()) {
+    if (regen->site() != node) continue;
+    if (regen->in_use()) continue;
+    if (regen->line_rate() < min_rate) continue;
+    if (regen_reserved(regen->id())) continue;
+    return regen->id();
+  }
+  return std::nullopt;
+}
+
+std::size_t Inventory::channel_usage(dwdm::ChannelIndex ch) const {
+  std::size_t n = 0;
+  for (const auto& link : model_->graph().links()) {
+    const auto& roadm = model_->roadm_at(link.a);
+    const auto degree = roadm.degree_for(link.id);
+    if (degree && roadm.channel_in_use(*degree, ch)) ++n;
+  }
+  return n;
+}
+
+}  // namespace griphon::core

@@ -1,0 +1,65 @@
+// Controller inventory: the GRIPhoN controller's view of network resources.
+//
+// Device state is authoritative (the ROADMs/OTs know what is configured);
+// the inventory adds a *reservation overlay* for resources committed to
+// in-flight setups whose EMS commands have not landed yet. RWA queries go
+// through here so two concurrent setups never pick the same wavelength,
+// OT or regenerator.
+#pragma once
+
+#include <optional>
+#include <set>
+
+#include "core/network_model.hpp"
+#include "dwdm/wavelength.hpp"
+
+namespace griphon::core {
+
+class Inventory {
+ public:
+  explicit Inventory(const NetworkModel* model) : model_(model) {}
+
+  // --- reservation overlay ------------------------------------------------
+  void reserve_channel(LinkId link, dwdm::ChannelIndex ch);
+  void release_channel(LinkId link, dwdm::ChannelIndex ch);
+  [[nodiscard]] bool channel_reserved(LinkId link,
+                                      dwdm::ChannelIndex ch) const;
+  void reserve_ot(TransponderId id);
+  void release_ot(TransponderId id);
+  [[nodiscard]] bool ot_reserved(TransponderId id) const;
+  void reserve_regen(RegenId id);
+  void release_regen(RegenId id);
+  [[nodiscard]] bool regen_reserved(RegenId id) const;
+
+  // --- combined availability (device state minus reservations) -----------
+  /// Channels usable on `link`: free on the facing degree of both end
+  /// ROADMs and not reserved. Empty if the link is failed.
+  [[nodiscard]] dwdm::ChannelSet available_on_link(LinkId link) const;
+
+  /// An idle, unreserved OT at `node` with line rate >= `min_rate`.
+  [[nodiscard]] std::optional<TransponderId> find_free_ot(
+      NodeId node, DataRate min_rate) const;
+  [[nodiscard]] std::size_t free_ot_count(NodeId node,
+                                          DataRate min_rate) const;
+
+  /// An unused, unreserved regenerator at `node`.
+  [[nodiscard]] std::optional<RegenId> find_free_regen(
+      NodeId node, DataRate min_rate) const;
+
+  /// Number of links where channel `ch` is currently configured — input to
+  /// the most-used wavelength-assignment policy.
+  [[nodiscard]] std::size_t channel_usage(dwdm::ChannelIndex ch) const;
+
+  [[nodiscard]] std::size_t reservations() const noexcept {
+    return reserved_channels_.size() + reserved_ots_.size() +
+           reserved_regens_.size();
+  }
+
+ private:
+  const NetworkModel* model_;
+  std::set<std::pair<LinkId, dwdm::ChannelIndex>> reserved_channels_;
+  std::set<TransponderId> reserved_ots_;
+  std::set<RegenId> reserved_regens_;
+};
+
+}  // namespace griphon::core

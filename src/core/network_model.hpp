@@ -1,0 +1,180 @@
+// Assembled GRIPhoN plant.
+//
+// Owns every physical element of one GRIPhoN deployment: the fiber graph,
+// one ROADM per node, pools of tunable OTs and REGENs, a client-side FXC
+// per site, the OTN layer, customer muxponders (NTEs), the vendor EMSs and
+// the control channels between the controller and each EMS. Also provides
+// fiber failure injection, which drives alarms through the device models.
+//
+// The model is deliberately dumb: all intelligence lives in the
+// GriphonController. Tests build small models directly; examples and
+// benches use the builders.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dwdm/muxponder.hpp"
+#include "dwdm/reach.hpp"
+#include "dwdm/roadm.hpp"
+#include "dwdm/transponder.hpp"
+#include "ems/ems_server.hpp"
+#include "fxc/fxc.hpp"
+#include "otn/layer.hpp"
+#include "otn/restorer.hpp"
+#include "proto/channel.hpp"
+#include "proto/client.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "topology/graph.hpp"
+
+namespace griphon::core {
+
+/// Per-customer premises equipment and its access pipe into a core PoP.
+/// The premises itself is off the core graph; the NTE id doubles as the
+/// site handle in the service API.
+struct CustomerSite {
+  CustomerId customer;
+  std::string name;     ///< e.g. "DC-Ashburn"
+  NodeId core_pop;      ///< ROADM node the access pipe lands on
+  MuxponderId nte;      ///< 4x10G->40G muxponder at the premises
+};
+
+class NetworkModel {
+ public:
+  struct Config {
+    std::size_t channels = 80;            ///< DWDM grid size
+    std::size_t ots_per_node = 8;         ///< 10G tunable OT pool per site
+    std::size_t ots_40g_per_node = 0;     ///< 40G OT pool per site
+    std::size_t regens_per_node = 2;      ///< 10G regen pool per site
+    std::size_t regens_40g_per_node = 0;  ///< 40G regen pool per site
+    std::size_t fxc_ports_per_node = 64;
+    std::size_t otn_client_ports = 16;    ///< per OTN switch
+    bool with_otn = true;
+    ems::EmsLatencyProfile ems_profile = ems::EmsLatencyProfile::testbed_2011();
+    proto::ControlChannel::Params channel_params{};
+    dwdm::ReachModel::Params reach{};
+  };
+
+  NetworkModel(sim::Engine* engine, topology::Graph graph, Config config);
+
+  NetworkModel(const NetworkModel&) = delete;
+  NetworkModel& operator=(const NetworkModel&) = delete;
+
+  // --- plant accessors ---------------------------------------------------
+  [[nodiscard]] sim::Engine& engine() noexcept { return *engine_; }
+  [[nodiscard]] const topology::Graph& graph() const noexcept {
+    return graph_;
+  }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] sim::Trace& trace() noexcept { return trace_; }
+  [[nodiscard]] const dwdm::ReachModel& reach() const noexcept {
+    return reach_;
+  }
+  [[nodiscard]] const dwdm::WavelengthGrid& grid() const noexcept {
+    return grid_;
+  }
+
+  [[nodiscard]] dwdm::Roadm& roadm_at(NodeId node);
+  [[nodiscard]] const dwdm::Roadm& roadm_at(NodeId node) const;
+  [[nodiscard]] fxc::Fxc& fxc_at(NodeId node);
+  [[nodiscard]] otn::OtnLayer& otn() noexcept { return *otn_; }
+  [[nodiscard]] const otn::OtnLayer& otn() const noexcept { return *otn_; }
+  [[nodiscard]] otn::MeshRestorer& mesh_restorer() noexcept {
+    return *restorer_;
+  }
+
+  [[nodiscard]] dwdm::Transponder& ot(TransponderId id);
+  [[nodiscard]] const dwdm::Transponder& ot(TransponderId id) const;
+  [[nodiscard]] const std::vector<std::unique_ptr<dwdm::Transponder>>& ots()
+      const noexcept {
+    return ots_;
+  }
+  [[nodiscard]] dwdm::Regenerator& regen(RegenId id);
+  [[nodiscard]] const std::vector<std::unique_ptr<dwdm::Regenerator>>&
+  regens() const noexcept {
+    return regens_;
+  }
+  /// ROADM add/drop port statically cabled to this OT's line side.
+  [[nodiscard]] PortId roadm_port_of_ot(TransponderId id) const;
+  /// ROADM ports cabled to a regen's two line sides (upstream, downstream).
+  [[nodiscard]] std::pair<PortId, PortId> roadm_ports_of_regen(
+      RegenId id) const;
+
+  [[nodiscard]] dwdm::Muxponder& nte(MuxponderId id);
+  [[nodiscard]] const std::vector<CustomerSite>& customer_sites()
+      const noexcept {
+    return sites_;
+  }
+  [[nodiscard]] const CustomerSite* site_by_nte(MuxponderId nte) const;
+
+  // --- construction helpers ---------------------------------------------
+  /// Add an OT to `node`'s shared pool (wired to ROADM + FXC).
+  TransponderId add_transponder(NodeId node, DataRate line_rate);
+  /// Add a regenerator to `node`'s pool.
+  RegenId add_regen(NodeId node, DataRate line_rate);
+  /// Connect a customer premises to a core PoP with an NTE + access pipe.
+  CustomerSite& add_customer_site(CustomerId customer, std::string name,
+                                  NodeId core_pop);
+  /// Provision an OTU carrier for the OTN layer over a wavelength route
+  /// (consumes one DWDM channel on each route link, outside the OT pools).
+  Result<CarrierId> add_otn_carrier(NodeId a, NodeId b, DataRate line_rate,
+                                    const std::vector<LinkId>& route);
+
+  // --- EMS access (controller side) ---------------------------------------
+  [[nodiscard]] proto::RequestClient& roadm_ems_client() noexcept {
+    return *roadm_client_;
+  }
+  [[nodiscard]] proto::RequestClient& fxc_ems_client() noexcept {
+    return *fxc_client_;
+  }
+  [[nodiscard]] proto::RequestClient& otn_ems_client() noexcept {
+    return *otn_client_;
+  }
+  [[nodiscard]] proto::RequestClient& nte_ems_client() noexcept {
+    return *nte_client_;
+  }
+  [[nodiscard]] ems::EmsServer& roadm_ems() noexcept { return *roadm_ems_; }
+
+  // --- failure injection ---------------------------------------------------
+  /// Cut the fiber: ROADMs raise LOS alarms, OTN carriers riding it fail.
+  void fail_link(LinkId link);
+  void repair_link(LinkId link);
+  [[nodiscard]] bool link_failed(LinkId link) const;
+  [[nodiscard]] std::vector<LinkId> failed_links() const;
+
+ private:
+  sim::Engine* engine_;
+  topology::Graph graph_;
+  Config config_;
+  sim::Trace trace_;
+  dwdm::WavelengthGrid grid_;
+  dwdm::ReachModel reach_;
+
+  std::vector<std::unique_ptr<dwdm::Roadm>> roadms_;  // by node index
+  std::vector<std::unique_ptr<fxc::Fxc>> fxcs_;       // by node index
+  std::vector<std::unique_ptr<dwdm::Transponder>> ots_;
+  std::vector<std::unique_ptr<dwdm::Regenerator>> regens_;
+  std::vector<std::unique_ptr<dwdm::Muxponder>> ntes_;
+  std::map<std::uint64_t, PortId> ot_roadm_port_;
+  std::map<std::uint64_t, std::pair<PortId, PortId>> regen_roadm_ports_;
+  std::unique_ptr<otn::OtnLayer> otn_;
+  std::unique_ptr<otn::MeshRestorer> restorer_;
+  std::vector<CustomerSite> sites_;
+
+  // EMS plumbing: channel + server per vendor domain.
+  std::unique_ptr<proto::ControlChannel> roadm_chan_, fxc_chan_, otn_chan_,
+      nte_chan_;
+  std::unique_ptr<ems::EmsServer> roadm_ems_, fxc_ems_, otn_ems_, nte_ems_;
+  std::unique_ptr<proto::RequestClient> roadm_client_, fxc_client_,
+      otn_client_, nte_client_;
+
+  std::vector<bool> link_failed_;  // by link index
+  IdAllocator<MuxponderId> nte_ids_;
+  IdAllocator<TransponderId> ot_ids_;
+  IdAllocator<RegenId> regen_ids_;
+};
+
+}  // namespace griphon::core

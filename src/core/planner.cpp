@@ -1,0 +1,98 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "topology/path.hpp"
+
+namespace griphon::core {
+
+double erlang_b(double erlangs, int servers) {
+  if (erlangs < 0 || servers < 0)
+    throw std::invalid_argument("erlang_b: negative input");
+  if (erlangs == 0) return 0.0;
+  double b = 1.0;
+  for (int k = 1; k <= servers; ++k)
+    b = erlangs * b / (static_cast<double>(k) + erlangs * b);
+  return b;
+}
+
+int servers_for_blocking(double erlangs, double target) {
+  if (target <= 0 || target >= 1)
+    throw std::invalid_argument("servers_for_blocking: target in (0,1)");
+  int servers = 0;
+  while (erlang_b(erlangs, servers) > target) {
+    ++servers;
+    if (servers > 100000)
+      throw std::runtime_error("servers_for_blocking: diverged");
+  }
+  return servers;
+}
+
+std::vector<ResourcePlanner::Recommendation> ResourcePlanner::plan_ot_pools(
+    const topology::Graph& graph, const std::vector<DemandForecast>& demand,
+    double target_blocking) {
+  std::map<NodeId, double> load;
+  for (const auto& d : demand) {
+    load[d.src] += d.erlangs;
+    load[d.dst] += d.erlangs;
+  }
+  std::vector<Recommendation> out;
+  for (const auto& node : graph.nodes()) {
+    Recommendation r;
+    r.node = node.id;
+    const auto it = load.find(node.id);
+    r.offered_erlangs = it == load.end() ? 0.0 : it->second;
+    r.ots_needed = servers_for_blocking(r.offered_erlangs, target_blocking);
+    r.predicted_blocking = erlang_b(r.offered_erlangs, r.ots_needed);
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<ResourcePlanner::Recommendation>
+ResourcePlanner::plan_regen_pools(const topology::Graph& graph,
+                                  const dwdm::ReachModel& reach,
+                                  const std::vector<DemandForecast>& demand,
+                                  DataRate rate) {
+  const auto profile = dwdm::profile_for(rate);
+  std::map<NodeId, double> load;
+
+  // Count regen-load of a route as the Erlangs of demand crossing each
+  // regen site on it.
+  auto account = [&](const topology::Path& path, double erlangs) {
+    for (const NodeId site : reach.regen_sites(graph, path, profile))
+      load[site] += erlangs;
+  };
+  for (const auto& d : demand) {
+    const auto home =
+        topology::shortest_path(graph, d.src, d.dst,
+                                topology::distance_weight());
+    if (!home) continue;
+    account(*home, d.erlangs);
+    // Single-failure margin: if the first link of the home route fails,
+    // the restoration route's regen sites carry the demand instead; a
+    // conservative pool covers both.
+    const LinkId first = home->links.front();
+    const auto detour = topology::shortest_path(
+        graph, d.src, d.dst, topology::distance_weight(),
+        [&](const topology::Link& l) { return l.id != first; });
+    if (detour) account(*detour, d.erlangs);
+  }
+
+  std::vector<Recommendation> out;
+  for (const auto& node : graph.nodes()) {
+    Recommendation r;
+    r.node = node.id;
+    const auto it = load.find(node.id);
+    r.offered_erlangs = it == load.end() ? 0.0 : it->second;
+    // 1% blocking target for regens (they gate long routes only).
+    r.ots_needed = servers_for_blocking(r.offered_erlangs, 0.01);
+    r.predicted_blocking = erlang_b(r.offered_erlangs, r.ots_needed);
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace griphon::core

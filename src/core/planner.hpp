@@ -1,0 +1,66 @@
+// Network resource planning (paper §4).
+//
+//   "In order to support rapid connection provisioning and faster
+//    restorations, the carrier must plan ahead, where and when to deploy
+//    the spare resources (especially OTs). ... they need to forecast
+//    demand and carefully manage the pool of GRIPhoN resources."
+//
+// The planner answers the question the paper poses: given a demand
+// forecast (Erlangs per site pair), how many transponders must each PoP
+// hold to keep blocking under a target? The queueing core is the Erlang-B
+// loss formula — the same POTS-era engineering the paper references, but
+// applied to pools of a handful of very expensive servers, where every
+// unit matters.
+#pragma once
+
+#include <vector>
+
+#include "core/network_model.hpp"
+
+namespace griphon::core {
+
+/// Erlang-B blocking probability for `erlangs` of offered load on
+/// `servers` circuits. Uses the numerically stable recurrence
+/// B(0) = 1, B(k) = a*B(k-1) / (k + a*B(k-1)).
+[[nodiscard]] double erlang_b(double erlangs, int servers);
+
+/// Smallest server count with Erlang-B blocking <= `target`.
+[[nodiscard]] int servers_for_blocking(double erlangs, double target);
+
+/// A point-to-point demand forecast.
+struct DemandForecast {
+  NodeId src;
+  NodeId dst;
+  double erlangs = 0;  ///< mean concurrent connections (arrivals x holding)
+};
+
+class ResourcePlanner {
+ public:
+  struct Recommendation {
+    NodeId node;
+    double offered_erlangs = 0;  ///< OT-load terminating at this PoP
+    int ots_needed = 0;
+    double predicted_blocking = 0;
+  };
+
+  /// Per-PoP transponder pool sizes for a demand matrix and a blocking
+  /// target. Every connection consumes one OT at each endpoint, so a PoP's
+  /// offered OT-load is the sum of the Erlangs of all demands that
+  /// terminate there. (Regens for long routes are sized separately.)
+  [[nodiscard]] static std::vector<Recommendation> plan_ot_pools(
+      const topology::Graph& graph, const std::vector<DemandForecast>& demand,
+      double target_blocking);
+
+  /// Spare headroom for single-failure restoration: the extra OT-load a
+  /// PoP would terminate if the worst single link failed and every
+  /// affected wavelength re-terminated... in GRIPhoN restoration reuses
+  /// the original endpoints, so endpoint pools need no failure margin, but
+  /// *regen* pools do. Returns per-node regen counts able to cover the
+  /// forecast's shortest paths plus any single-link reroute, using the
+  /// given reach profile.
+  [[nodiscard]] static std::vector<Recommendation> plan_regen_pools(
+      const topology::Graph& graph, const dwdm::ReachModel& reach,
+      const std::vector<DemandForecast>& demand, DataRate rate);
+};
+
+}  // namespace griphon::core

@@ -1,0 +1,101 @@
+// Customer portal — the paper's "Customer Graphical User Interface" (§2.2)
+// as a view-model: per-customer connection management and fault visibility,
+// with the network's internals hidden. Adds two service features on top of
+// the raw controller API:
+//
+//  * quota enforcement (carrier isolates customers from each other), and
+//  * composite-rate bundles: "they can use lower-speed circuits to augment
+//    a high-speed circuit by using a combination of 2 x 1G OTN circuits and
+//    one 10G DWDM to achieve a total bandwidth of 12G instead of consuming
+//    a second 10G DWDM" (paper §2.2).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/controller.hpp"
+
+namespace griphon::core {
+
+using BundleId = Id<struct BundleTag>;
+
+class CustomerPortal {
+ public:
+  CustomerPortal(GriphonController* controller, CustomerId customer,
+                 DataRate bandwidth_quota);
+
+  [[nodiscard]] CustomerId customer() const noexcept { return customer_; }
+  [[nodiscard]] DataRate quota() const noexcept { return quota_; }
+  /// Total rate of connections currently held (any live state).
+  [[nodiscard]] DataRate provisioned() const;
+
+  // --- single connections -------------------------------------------------
+  using SetupCallback = GriphonController::SetupCallback;
+  using DoneCallback = GriphonController::DoneCallback;
+
+  /// Set up one connection between two of this customer's sites. Fails
+  /// with kPermissionDenied if it would exceed the bandwidth quota.
+  void connect(MuxponderId src_site, MuxponderId dst_site, DataRate rate,
+               ProtectionMode protection, SetupCallback cb,
+               ServiceTier tier = ServiceTier::kSilver);
+  void disconnect(ConnectionId id, DoneCallback cb);
+
+  // --- composite bundles ---------------------------------------------------
+  /// How an arbitrary rate decomposes into service circuits.
+  struct Decomposition {
+    int wavelengths_10g = 0;
+    int odu_1g = 0;
+    DataRate odu_flex{};  ///< one ODUflex circuit for mid-size remainders
+    [[nodiscard]] DataRate total() const {
+      return rates::k10G * wavelengths_10g + rates::k1G * odu_1g + odu_flex;
+    }
+  };
+  /// Carrier packing policy: fill with 10G waves; remainders of 8G or more
+  /// take a wave of their own; remainders up to 2G become 1G ODU circuits
+  /// (the paper's "2 x 1G OTN circuits" example); anything between rides a
+  /// single ODUflex circuit so it consumes one access port, not several.
+  [[nodiscard]] static Decomposition decompose(DataRate rate);
+
+  struct Bundle {
+    BundleId id;
+    std::vector<ConnectionId> parts;
+    DataRate requested;
+  };
+  using BundleCallback = std::function<void(Result<BundleId>)>;
+
+  /// Set up a composite connection totaling at least `rate`. All parts
+  /// succeed or the bundle is rolled back entirely.
+  void connect_bundle(MuxponderId src_site, MuxponderId dst_site,
+                      DataRate rate, ProtectionMode protection,
+                      BundleCallback cb);
+  void disconnect_bundle(BundleId id, DoneCallback cb);
+  [[nodiscard]] const Bundle& bundle(BundleId id) const;
+
+  // --- customer-facing views ------------------------------------------------
+  struct ConnectionView {
+    ConnectionId id;
+    std::string src_site;
+    std::string dst_site;
+    DataRate rate;
+    std::string state;
+    std::string service;  ///< "wavelength" / "sub-wavelength"
+    double total_outage_seconds = 0;
+    int restorations = 0;
+  };
+  [[nodiscard]] std::vector<ConnectionView> list() const;
+
+  /// Render the customer dashboard as text — the paper's "Customer GUI"
+  /// (§2.2): connection status, rates, faults and restorations, with the
+  /// carrier network's internals hidden.
+  [[nodiscard]] std::string render_dashboard() const;
+
+ private:
+  GriphonController* controller_;
+  CustomerId customer_;
+  DataRate quota_;
+  std::map<BundleId, Bundle> bundles_;
+  IdAllocator<BundleId> bundle_ids_;
+};
+
+}  // namespace griphon::core

@@ -1,0 +1,133 @@
+#include "core/rwa.hpp"
+
+#include <algorithm>
+
+namespace griphon::core {
+
+RwaEngine::RwaEngine(const NetworkModel* model, const Inventory* inventory,
+                     Params params)
+    : model_(model), inventory_(inventory), params_(params) {}
+
+dwdm::ChannelSet RwaEngine::channels_for_segment(const topology::Path& path,
+                                                 std::size_t first_link,
+                                                 std::size_t last_link) const {
+  dwdm::ChannelSet set =
+      dwdm::ChannelSet::all(model_->grid().count());
+  for (std::size_t i = first_link; i <= last_link; ++i)
+    set.intersect(inventory_->available_on_link(path.links[i]));
+  return set;
+}
+
+dwdm::ChannelIndex RwaEngine::pick_channel(
+    const dwdm::ChannelSet& candidates) const {
+  if (candidates.empty()) return dwdm::kNoChannel;
+  if (params_.policy == WavelengthPolicy::kFirstFit) return candidates.first();
+  // Most-used packs the network-wide hottest channels (maximizing reuse);
+  // least-used spreads across the grid (the fragmentation-prone baseline).
+  const bool want_most = params_.policy == WavelengthPolicy::kMostUsed;
+  dwdm::ChannelIndex best = dwdm::kNoChannel;
+  std::size_t best_usage = 0;
+  for (const dwdm::ChannelIndex ch : candidates.to_vector()) {
+    const std::size_t usage = inventory_->channel_usage(ch);
+    if (best == dwdm::kNoChannel ||
+        (want_most ? usage > best_usage : usage < best_usage)) {
+      best = ch;
+      best_usage = usage;
+    }
+  }
+  return best;
+}
+
+Result<WavelengthPlan> RwaEngine::plan(NodeId src, NodeId dst, DataRate rate,
+                                       const Exclusions& exclude) const {
+  if (src == dst)
+    return Error{ErrorCode::kInvalidArgument, "rwa: src == dst"};
+
+  const auto profile = dwdm::profile_for(rate);
+  const auto filter = [&](const topology::Link& l) {
+    if (model_->link_failed(l.id)) return false;
+    if (exclude.links.contains(l.id)) return false;
+    if (exclude.nodes.contains(l.a) || exclude.nodes.contains(l.b)) {
+      // Interior exclusion: allow links touching src/dst themselves.
+      const bool endpoint_ok = (l.a == src || l.a == dst || !exclude.nodes.contains(l.a)) &&
+                               (l.b == src || l.b == dst || !exclude.nodes.contains(l.b));
+      if (!endpoint_ok) return false;
+    }
+    return true;
+  };
+
+  const auto routes = topology::k_shortest_paths(
+      model_->graph(), src, dst, params_.route_candidates,
+      topology::distance_weight(), filter);
+  if (routes.empty())
+    return Error{ErrorCode::kUnreachable, "rwa: no route survives exclusions"};
+
+  Error last_error{ErrorCode::kResourceExhausted,
+                   "rwa: no wavelength plan on any candidate route"};
+  for (const auto& route : routes) {
+    // Transparent segmentation by optical reach.
+    std::vector<dwdm::ReachModel::Segment> segments;
+    try {
+      segments = model_->reach().segment(model_->graph(), route, profile);
+    } catch (const std::runtime_error&) {
+      continue;  // a single span beyond reach at this rate
+    }
+
+    WavelengthPlan plan;
+    plan.path = route;
+
+    // Endpoint transponders.
+    const auto src_ot = inventory_->find_free_ot(src, rate);
+    const auto dst_ot = inventory_->find_free_ot(dst, rate);
+    if (!src_ot || !dst_ot) {
+      last_error = Error{ErrorCode::kResourceExhausted,
+                         "rwa: no free transponder at an endpoint"};
+      continue;
+    }
+    plan.src_ot = *src_ot;
+    plan.dst_ot = *dst_ot;
+
+    // Wavelength per segment + regen at each boundary.
+    bool ok = true;
+    std::set<RegenId> used_regens;
+    for (std::size_t s = 0; s < segments.size() && ok; ++s) {
+      const auto candidates = channels_for_segment(
+          route, segments[s].first_link, segments[s].last_link);
+      const dwdm::ChannelIndex ch = pick_channel(candidates);
+      if (ch == dwdm::kNoChannel) {
+        last_error = Error{ErrorCode::kResourceExhausted,
+                           "rwa: wavelength continuity violated on segment"};
+        ok = false;
+        break;
+      }
+      plan.segments.push_back(
+          SegmentPlan{segments[s].first_link, segments[s].last_link, ch});
+      if (s + 1 < segments.size()) {
+        const NodeId boundary = route.nodes[segments[s].last_link + 1];
+        // Several boundaries may share a node only if enough regens exist.
+        std::optional<RegenId> regen;
+        for (const auto& r : model_->regens()) {
+          if (r->site() == boundary && !r->in_use() &&
+              r->line_rate() >= rate &&
+              !inventory_->regen_reserved(r->id()) &&
+              !used_regens.contains(r->id())) {
+            regen = r->id();
+            break;
+          }
+        }
+        if (!regen) {
+          last_error = Error{ErrorCode::kResourceExhausted,
+                             "rwa: no free regenerator at segment boundary"};
+          ok = false;
+          break;
+        }
+        used_regens.insert(*regen);
+        plan.regens.push_back(*regen);
+      }
+    }
+    if (ok) return plan;
+  }
+  return last_error;
+}
+
+}  // namespace griphon::core

@@ -1,0 +1,85 @@
+// Routing and Wavelength Assignment (RWA).
+//
+// Given a connection request between two core PoPs at a wavelength rate,
+// produce a full provisioning plan: the fiber route, its division into
+// transparent segments (regenerators at boundaries, from the reach model),
+// one wavelength per segment honoring wavelength continuity, and the
+// concrete OT/regen devices to use.
+//
+// Route candidates come from Yen's k-shortest paths; wavelength assignment
+// is pluggable (first-fit packs the spectrum from the bottom; most-used
+// maximizes reuse, the classic blocking-reduction heuristic).
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "core/inventory.hpp"
+#include "dwdm/reach.hpp"
+#include "topology/path.hpp"
+
+namespace griphon::core {
+
+enum class WavelengthPolicy {
+  kFirstFit,   ///< lowest available channel (packs the spectrum)
+  kMostUsed,   ///< channel already busiest network-wide (maximal reuse)
+  kLeastUsed,  ///< channel least used network-wide (spreads; the classic
+               ///< fragmentation-prone baseline, kept for the ablation)
+};
+
+/// One transparent segment of a planned lightpath.
+struct SegmentPlan {
+  std::size_t first_link = 0;  ///< index into path.links
+  std::size_t last_link = 0;   ///< inclusive
+  dwdm::ChannelIndex channel = dwdm::kNoChannel;
+};
+
+/// Complete provisioning plan for a wavelength connection.
+struct WavelengthPlan {
+  topology::Path path;
+  std::vector<SegmentPlan> segments;   ///< >= 1, in path order
+  TransponderId src_ot;
+  TransponderId dst_ot;
+  std::vector<RegenId> regens;         ///< segments.size() - 1 entries
+
+  [[nodiscard]] std::size_t hops() const noexcept {
+    return path.links.size();
+  }
+};
+
+/// Constraints a plan must avoid (failed plant is excluded automatically).
+struct Exclusions {
+  std::set<LinkId> links;
+  std::set<NodeId> nodes;
+};
+
+class RwaEngine {
+ public:
+  struct Params {
+    WavelengthPolicy policy = WavelengthPolicy::kFirstFit;
+    std::size_t route_candidates = 4;  ///< k in k-shortest-paths
+  };
+
+  RwaEngine(const NetworkModel* model, const Inventory* inventory,
+            Params params);
+
+  /// Plan a wavelength connection of `rate` between two core PoPs.
+  [[nodiscard]] Result<WavelengthPlan> plan(
+      NodeId src, NodeId dst, DataRate rate,
+      const Exclusions& exclude = {}) const;
+
+  /// Channels usable on every link of `path[first..last]`.
+  [[nodiscard]] dwdm::ChannelSet channels_for_segment(
+      const topology::Path& path, std::size_t first_link,
+      std::size_t last_link) const;
+
+ private:
+  [[nodiscard]] dwdm::ChannelIndex pick_channel(
+      const dwdm::ChannelSet& candidates) const;
+
+  const NetworkModel* model_;
+  const Inventory* inventory_;
+  Params params_;
+};
+
+}  // namespace griphon::core

@@ -1,0 +1,45 @@
+#include "dwdm/muxponder.hpp"
+
+#include <algorithm>
+
+namespace griphon::dwdm {
+
+Result<std::size_t> Muxponder::allocate_client_port() {
+  for (std::size_t i = 0; i < kClientPorts; ++i) {
+    if (!in_use_[i]) {
+      in_use_[i] = true;
+      return i;
+    }
+  }
+  return Error{ErrorCode::kResourceExhausted,
+               name() + ": all client ports in use"};
+}
+
+Status Muxponder::claim_client_port(std::size_t port) {
+  if (port >= kClientPorts)
+    return Status{ErrorCode::kInvalidArgument, name() + ": bad port"};
+  if (in_use_[port])
+    return Status{ErrorCode::kBusy, name() + ": port in use"};
+  in_use_[port] = true;
+  return Status::success();
+}
+
+Status Muxponder::release_client_port(std::size_t port) {
+  if (port >= kClientPorts)
+    return Status{ErrorCode::kInvalidArgument, name() + ": bad port"};
+  if (!in_use_[port])
+    return Status{ErrorCode::kConflict, name() + ": port not in use"};
+  in_use_[port] = false;
+  return Status::success();
+}
+
+bool Muxponder::port_in_use(std::size_t port) const {
+  return port < kClientPorts && in_use_[port];
+}
+
+std::size_t Muxponder::ports_in_use() const noexcept {
+  return static_cast<std::size_t>(
+      std::count(in_use_.begin(), in_use_.end(), true));
+}
+
+}  // namespace griphon::dwdm

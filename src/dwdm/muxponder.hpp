@@ -1,0 +1,53 @@
+// 10G/40G muxponder — the paper's emulated Network Terminating Equipment
+// (NTE): "four 10Gbps ports on the client side and a 40Gbps transmission
+// rate on the line side (towards the carrier)". One muxponder sits at each
+// customer premises; its line side is the dedicated access "fat pipe" into
+// the carrier's central office.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/units.hpp"
+
+namespace griphon::dwdm {
+
+class Muxponder {
+ public:
+  static constexpr std::size_t kClientPorts = 4;
+
+  Muxponder(MuxponderId id, CustomerId owner, NodeId premises)
+      : id_(id), owner_(owner), premises_(premises) {}
+
+  [[nodiscard]] MuxponderId id() const noexcept { return id_; }
+  [[nodiscard]] CustomerId owner() const noexcept { return owner_; }
+  [[nodiscard]] NodeId premises() const noexcept { return premises_; }
+  [[nodiscard]] DataRate line_rate() const noexcept { return rates::k40G; }
+  [[nodiscard]] DataRate client_rate() const noexcept { return rates::k10G; }
+  [[nodiscard]] std::string name() const {
+    return "nte/" + std::to_string(id_.value());
+  }
+
+  /// Claim a free 10G client port; returns its index.
+  Result<std::size_t> allocate_client_port();
+  /// Claim one specific client port (controller-selected).
+  Status claim_client_port(std::size_t port);
+  Status release_client_port(std::size_t port);
+  [[nodiscard]] bool port_in_use(std::size_t port) const;
+  [[nodiscard]] std::size_t ports_in_use() const noexcept;
+  /// Aggregate client-side bandwidth currently provisioned.
+  [[nodiscard]] DataRate provisioned() const noexcept {
+    return client_rate() * static_cast<std::int64_t>(ports_in_use());
+  }
+
+ private:
+  MuxponderId id_;
+  CustomerId owner_;
+  NodeId premises_;
+  std::array<bool, kClientPorts> in_use_{};
+};
+
+}  // namespace griphon::dwdm

@@ -1,0 +1,97 @@
+#include "dwdm/reach.hpp"
+
+#include <stdexcept>
+
+namespace griphon::dwdm {
+
+ReachModel::ReachModel() : params_(Params{}) {}
+
+LineRateProfile profile_10g() {
+  return LineRateProfile{rates::k10G, 12.0, Distance::km(2800)};
+}
+LineRateProfile profile_40g() {
+  return LineRateProfile{rates::k40G, 16.0, Distance::km(1800)};
+}
+LineRateProfile profile_100g() {
+  return LineRateProfile{rates::k100G, 18.0, Distance::km(1500)};
+}
+
+LineRateProfile profile_for(DataRate rate) {
+  if (rate <= rates::k10G) return profile_10g();
+  if (rate <= rates::k40G) return profile_40g();
+  return profile_100g();
+}
+
+double ReachModel::osnr_at_end(const topology::Graph& g,
+                               const topology::Path& path) const {
+  double osnr = params_.launch_osnr_db;
+  for (const LinkId lid : path.links) {
+    for (const auto& span : g.link(lid).spans) {
+      // Penalty scales with span length relative to the nominal 100 km.
+      osnr -= params_.span_penalty_db * (span.length.in_km() / 100.0);
+    }
+  }
+  // Each intermediate ROADM the signal expresses through narrows the
+  // passband and adds loss.
+  if (path.nodes.size() > 2)
+    osnr -= params_.roadm_pass_penalty_db *
+            static_cast<double>(path.nodes.size() - 2);
+  return osnr;
+}
+
+bool ReachModel::feasible(const topology::Graph& g, const topology::Path& path,
+                          const LineRateProfile& profile) const {
+  if (path.length(g) > profile.max_reach) return false;
+  return osnr_at_end(g, path) >= profile.required_osnr_db;
+}
+
+std::vector<ReachModel::Segment> ReachModel::segment(
+    const topology::Graph& g, const topology::Path& path,
+    const LineRateProfile& profile) const {
+  std::vector<Segment> segments;
+  if (path.empty()) return segments;
+
+  std::size_t start = 0;
+  while (start < path.links.size()) {
+    // Greedily extend the transparent segment while it stays feasible.
+    std::size_t end = start;
+    for (std::size_t trial = start; trial < path.links.size(); ++trial) {
+      topology::Path sub;
+      sub.nodes.assign(path.nodes.begin() + static_cast<long>(start),
+                       path.nodes.begin() + static_cast<long>(trial) + 2);
+      sub.links.assign(path.links.begin() + static_cast<long>(start),
+                       path.links.begin() + static_cast<long>(trial) + 1);
+      if (feasible(g, sub, profile))
+        end = trial;
+      else
+        break;
+    }
+    // A single link that is itself infeasible means the route cannot be
+    // built at this rate at all (regens only help between links).
+    if (end == start) {
+      topology::Path single;
+      single.nodes = {path.nodes[start], path.nodes[start + 1]};
+      single.links = {path.links[start]};
+      if (!feasible(g, single, profile))
+        throw std::runtime_error(
+            "ReachModel::segment: single span exceeds reach at this rate");
+    }
+    segments.push_back(Segment{start, end});
+    start = end + 1;
+  }
+  return segments;
+}
+
+std::vector<NodeId> ReachModel::regen_sites(
+    const topology::Graph& g, const topology::Path& path,
+    const LineRateProfile& profile) const {
+  std::vector<NodeId> sites;
+  const auto segments = segment(g, path, profile);
+  for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+    // Boundary node after the last link of segment i.
+    sites.push_back(path.nodes[segments[i].last_link + 1]);
+  }
+  return sites;
+}
+
+}  // namespace griphon::dwdm

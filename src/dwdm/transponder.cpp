@@ -1,0 +1,63 @@
+#include "dwdm/transponder.hpp"
+
+namespace griphon::dwdm {
+
+Status Transponder::tune(ChannelIndex ch) {
+  if (state_ == State::kFailed)
+    return Status{ErrorCode::kDeviceFault, name() + ": failed"};
+  if (state_ == State::kActive)
+    return Status{ErrorCode::kConflict, name() + ": cannot retune while active"};
+  if (ch == kNoChannel)
+    return Status{ErrorCode::kInvalidArgument, name() + ": bad channel"};
+  channel_ = ch;
+  state_ = State::kTuned;
+  return Status::success();
+}
+
+Status Transponder::activate() {
+  if (state_ == State::kFailed)
+    return Status{ErrorCode::kDeviceFault, name() + ": failed"};
+  if (state_ != State::kTuned)
+    return Status{ErrorCode::kConflict, name() + ": activate requires tuned"};
+  state_ = State::kActive;
+  return Status::success();
+}
+
+Status Transponder::deactivate() {
+  if (state_ != State::kActive)
+    return Status{ErrorCode::kConflict, name() + ": not active"};
+  state_ = State::kTuned;
+  return Status::success();
+}
+
+Status Transponder::reset() {
+  if (state_ == State::kFailed)
+    return Status{ErrorCode::kDeviceFault, name() + ": failed"};
+  if (state_ == State::kActive)
+    return Status{ErrorCode::kConflict, name() + ": deactivate first"};
+  state_ = State::kIdle;
+  channel_ = kNoChannel;
+  return Status::success();
+}
+
+Status Regenerator::engage(ChannelIndex upstream, ChannelIndex downstream) {
+  if (in_use_)
+    return Status{ErrorCode::kBusy, name() + ": already engaged"};
+  if (upstream == kNoChannel || downstream == kNoChannel)
+    return Status{ErrorCode::kInvalidArgument, name() + ": bad channels"};
+  in_use_ = true;
+  upstream_ = upstream;
+  downstream_ = downstream;
+  return Status::success();
+}
+
+Status Regenerator::release() {
+  if (!in_use_)
+    return Status{ErrorCode::kConflict, name() + ": not engaged"};
+  in_use_ = false;
+  upstream_ = kNoChannel;
+  downstream_ = kNoChannel;
+  return Status::success();
+}
+
+}  // namespace griphon::dwdm

@@ -1,0 +1,107 @@
+// Optical transponders (OT) and regenerators (REGEN).
+//
+// An OT converts a client-side signal to a tunable line-side wavelength.
+// GRIPhoN shares OTs across customers via the client-side FXC, so an OT is
+// a pooled resource with a small lifecycle: Idle -> Tuned -> Active.
+// A REGEN is modeled as what it physically is — back-to-back OTs at an
+// intermediate site — with both "halves" tuned independently (the two
+// transparent segments it joins may use different wavelengths).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/units.hpp"
+#include "dwdm/wavelength.hpp"
+
+namespace griphon::dwdm {
+
+class Transponder {
+ public:
+  enum class State { kIdle, kTuned, kActive, kFailed };
+
+  Transponder(TransponderId id, NodeId site, DataRate line_rate)
+      : id_(id), site_(site), line_rate_(line_rate) {}
+
+  [[nodiscard]] TransponderId id() const noexcept { return id_; }
+  [[nodiscard]] NodeId site() const noexcept { return site_; }
+  [[nodiscard]] DataRate line_rate() const noexcept { return line_rate_; }
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] ChannelIndex channel() const noexcept { return channel_; }
+  [[nodiscard]] std::string name() const {
+    return "ot/" + std::to_string(id_.value());
+  }
+
+  /// Tune the laser to `ch`. Allowed from Idle or Tuned (retune).
+  Status tune(ChannelIndex ch);
+  /// Begin carrying traffic. Requires Tuned.
+  Status activate();
+  /// Stop carrying traffic but stay tuned (fast reuse).
+  Status deactivate();
+  /// Return to pool: laser off.
+  Status reset();
+
+  void fail() { state_ = State::kFailed; }
+  void repair() {
+    state_ = State::kIdle;
+    channel_ = kNoChannel;
+  }
+
+ private:
+  TransponderId id_;
+  NodeId site_;
+  DataRate line_rate_;
+  State state_ = State::kIdle;
+  ChannelIndex channel_ = kNoChannel;
+};
+
+[[nodiscard]] constexpr const char* to_string(Transponder::State s) noexcept {
+  switch (s) {
+    case Transponder::State::kIdle:
+      return "idle";
+    case Transponder::State::kTuned:
+      return "tuned";
+    case Transponder::State::kActive:
+      return "active";
+    case Transponder::State::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+/// Regenerator: joins two transparent segments at an intermediate node.
+class Regenerator {
+ public:
+  Regenerator(RegenId id, NodeId site, DataRate line_rate)
+      : id_(id), site_(site), line_rate_(line_rate) {}
+
+  [[nodiscard]] RegenId id() const noexcept { return id_; }
+  [[nodiscard]] NodeId site() const noexcept { return site_; }
+  [[nodiscard]] DataRate line_rate() const noexcept { return line_rate_; }
+  [[nodiscard]] bool in_use() const noexcept { return in_use_; }
+  [[nodiscard]] std::string name() const {
+    return "regen/" + std::to_string(id_.value());
+  }
+  [[nodiscard]] ChannelIndex upstream_channel() const noexcept {
+    return upstream_;
+  }
+  [[nodiscard]] ChannelIndex downstream_channel() const noexcept {
+    return downstream_;
+  }
+
+  /// Claim and tune both halves.
+  Status engage(ChannelIndex upstream, ChannelIndex downstream);
+  Status release();
+
+ private:
+  RegenId id_;
+  NodeId site_;
+  DataRate line_rate_;
+  bool in_use_ = false;
+  ChannelIndex upstream_ = kNoChannel;
+  ChannelIndex downstream_ = kNoChannel;
+};
+
+}  // namespace griphon::dwdm

@@ -1,0 +1,106 @@
+// DWDM wavelength grid.
+//
+// A modern system carries 40-100 channels per fiber pair (paper §2.1). We
+// model the ITU C-band 50 GHz grid: channel index -> frequency, plus a
+// ChannelSet bitmap used throughout RWA for availability arithmetic.
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace griphon::dwdm {
+
+/// Index into the wavelength grid. -1 (kNone) means "unassigned".
+using ChannelIndex = int;
+inline constexpr ChannelIndex kNoChannel = -1;
+
+class WavelengthGrid {
+ public:
+  static constexpr std::size_t kMaxChannels = 128;
+
+  /// `count` channels on a 50 GHz grid anchored at 193.1 THz.
+  explicit WavelengthGrid(std::size_t count = 80)
+      : count_(count) {
+    if (count == 0 || count > kMaxChannels)
+      throw std::invalid_argument("WavelengthGrid: bad channel count");
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] bool contains(ChannelIndex ch) const noexcept {
+    return ch >= 0 && static_cast<std::size_t>(ch) < count_;
+  }
+  /// ITU frequency of a channel in THz.
+  [[nodiscard]] double frequency_thz(ChannelIndex ch) const {
+    if (!contains(ch)) throw std::out_of_range("WavelengthGrid: channel");
+    return 193.1 + 0.05 * static_cast<double>(ch);
+  }
+  [[nodiscard]] std::string name(ChannelIndex ch) const {
+    return "ch" + std::to_string(ch);
+  }
+
+ private:
+  std::size_t count_;
+};
+
+/// Set of channels, used for per-link availability and continuity
+/// intersection in RWA.
+class ChannelSet {
+ public:
+  ChannelSet() = default;
+
+  /// All channels [0, count) present.
+  static ChannelSet all(std::size_t count) {
+    ChannelSet s;
+    for (std::size_t i = 0; i < count; ++i) s.bits_.set(i);
+    return s;
+  }
+
+  void add(ChannelIndex ch) { bits_.set(index(ch)); }
+  void remove(ChannelIndex ch) { bits_.reset(index(ch)); }
+  [[nodiscard]] bool contains(ChannelIndex ch) const {
+    return bits_.test(index(ch));
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return bits_.count(); }
+  [[nodiscard]] bool empty() const noexcept { return bits_.none(); }
+
+  /// First (lowest-index) channel present, or kNoChannel.
+  [[nodiscard]] ChannelIndex first() const noexcept {
+    for (std::size_t i = 0; i < bits_.size(); ++i)
+      if (bits_.test(i)) return static_cast<ChannelIndex>(i);
+    return kNoChannel;
+  }
+
+  [[nodiscard]] std::vector<ChannelIndex> to_vector() const {
+    std::vector<ChannelIndex> out;
+    out.reserve(size());
+    for (std::size_t i = 0; i < bits_.size(); ++i)
+      if (bits_.test(i)) out.push_back(static_cast<ChannelIndex>(i));
+    return out;
+  }
+
+  ChannelSet& intersect(const ChannelSet& other) noexcept {
+    bits_ &= other.bits_;
+    return *this;
+  }
+  friend ChannelSet operator&(ChannelSet a, const ChannelSet& b) noexcept {
+    a.bits_ &= b.bits_;
+    return a;
+  }
+  friend bool operator==(const ChannelSet& a, const ChannelSet& b) noexcept {
+    return a.bits_ == b.bits_;
+  }
+
+ private:
+  static std::size_t index(ChannelIndex ch) {
+    if (ch < 0 || static_cast<std::size_t>(ch) >= WavelengthGrid::kMaxChannels)
+      throw std::out_of_range("ChannelSet: channel index");
+    return static_cast<std::size_t>(ch);
+  }
+  std::bitset<WavelengthGrid::kMaxChannels> bits_;
+};
+
+}  // namespace griphon::dwdm

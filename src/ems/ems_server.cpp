@@ -1,0 +1,315 @@
+#include "ems/ems_server.hpp"
+
+#include <utility>
+
+namespace griphon::ems {
+
+namespace {
+
+constexpr std::size_t kResponseCacheSize = 256;
+
+template <typename MapT>
+auto* find_device(MapT& map, std::uint64_t id) {
+  const auto it = map.find(id);
+  return it == map.end() ? nullptr : it->second;
+}
+
+}  // namespace
+
+EmsServer::EmsServer(sim::Engine* engine, proto::Endpoint* endpoint,
+                     EmsLatencyProfile profile, std::string name,
+                     sim::Trace* trace)
+    : engine_(engine), endpoint_(endpoint), profile_(profile),
+      name_(std::move(name)), trace_(trace) {
+  endpoint_->on_receive(
+      [this](const proto::Bytes& bytes) { handle_frame(bytes); });
+}
+
+void EmsServer::manage_fxc(fxc::Fxc* device) {
+  fxcs_[device->id().value()] = device;
+}
+
+void EmsServer::manage_roadm(dwdm::Roadm* device) {
+  roadms_[device->id().value()] = device;
+  device->set_alarm_sink([this](const Alarm& a) { forward_alarm(a); });
+}
+
+void EmsServer::manage_ot(dwdm::Transponder* device) {
+  ots_[device->id().value()] = device;
+}
+
+void EmsServer::manage_regen(dwdm::Regenerator* device) {
+  regens_[device->id().value()] = device;
+}
+
+void EmsServer::manage_nte(dwdm::Muxponder* device) {
+  ntes_[device->id().value()] = device;
+}
+
+void EmsServer::manage_otn(otn::OtnLayer* layer) { otn_ = layer; }
+
+void EmsServer::trace(const std::string& event, const std::string& detail) {
+  if (trace_ != nullptr)
+    trace_->emit(engine_->now(), sim::TraceLevel::kDebug, name_, event,
+                 detail);
+}
+
+void EmsServer::forward_alarm(const Alarm& alarm) {
+  const SimTime delay = profile_.alarm_notify.sample(engine_->rng());
+  const proto::Bytes frame =
+      proto::encode_frame(0, proto::Message{proto::AlarmEvent{alarm}});
+  engine_->schedule(delay, [this, frame]() { endpoint_->send(frame); });
+  trace("alarm-forwarded", alarm.source);
+}
+
+std::uint64_t EmsServer::device_key(const proto::Message& m) {
+  struct Visitor {
+    std::uint64_t operator()(const proto::Response&) { return 0; }
+    std::uint64_t operator()(const proto::AlarmEvent&) { return 0; }
+    std::uint64_t operator()(const proto::FxcConnect& m) {
+      return (1ull << 56) | m.fxc.value();
+    }
+    std::uint64_t operator()(const proto::FxcDisconnect& m) {
+      return (1ull << 56) | m.fxc.value();
+    }
+    std::uint64_t operator()(const proto::RoadmExpress& m) {
+      return (2ull << 56) | m.roadm.value();
+    }
+    std::uint64_t operator()(const proto::RoadmAddDrop& m) {
+      return (2ull << 56) | m.roadm.value();
+    }
+    std::uint64_t operator()(const proto::OtTune& m) {
+      return (3ull << 56) | m.ot.value();
+    }
+    std::uint64_t operator()(const proto::OtSetState& m) {
+      return (3ull << 56) | m.ot.value();
+    }
+    std::uint64_t operator()(const proto::RegenEngage& m) {
+      return (4ull << 56) | m.regen.value();
+    }
+    std::uint64_t operator()(const proto::PowerBalance& m) {
+      // The line system of one link is the shared element being retrimmed.
+      return (5ull << 56) | m.link.value();
+    }
+    std::uint64_t operator()(const proto::OtnOp&) { return 6ull << 56; }
+    std::uint64_t operator()(const proto::NtePort& m) {
+      return (7ull << 56) | m.nte.value();
+    }
+  };
+  return std::visit(Visitor{}, m);
+}
+
+void EmsServer::handle_frame(const proto::Bytes& bytes) {
+  auto frame = proto::decode_frame(bytes);
+  if (!frame.ok()) {
+    trace("bad-frame", frame.error().message());
+    return;
+  }
+  const std::uint64_t id = frame.value().request_id;
+  // Retransmission? Replay the cached response without re-executing.
+  if (const auto it = response_cache_.find(id); it != response_cache_.end()) {
+    endpoint_->send(proto::encode_frame(id, proto::Message{it->second}));
+    trace("replayed-response", std::to_string(id));
+    return;
+  }
+  // Already queued or executing (retry raced the dialogue)? Drop it.
+  if (in_flight_requests_.contains(id)) return;
+  const std::uint64_t dev = device_key(frame.value().message);
+  for (const auto& q : queues_[dev])
+    if (q.request_id == id) return;
+  queues_[dev].push_back(QueuedCommand{id, std::move(frame.value().message)});
+  pump(dev);
+}
+
+void EmsServer::pump(std::uint64_t device) {
+  auto& queue = queues_[device];
+  if (busy_devices_.contains(device) || queue.empty()) return;
+  busy_devices_.insert(device);
+  const QueuedCommand cmd = std::move(queue.front());
+  queue.pop_front();
+  in_flight_requests_.insert(cmd.request_id);
+  // Management-plane overhead, then the optical task, then the reply.
+  const SimTime overhead = profile_.command_overhead.sample(engine_->rng());
+  const SimTime task = task_latency(cmd.message);
+  trace("execute", std::string(proto::name_of(proto::type_of(cmd.message))));
+  engine_->schedule(overhead + task, [this, cmd, device]() {
+    execute(cmd);
+    busy_devices_.erase(device);
+    in_flight_requests_.erase(cmd.request_id);
+    pump(device);
+  });
+}
+
+void EmsServer::execute(const QueuedCommand& cmd) {
+  std::uint64_t aux = 0;
+  const Status status = apply(cmd.message, &aux);
+  ++executed_;
+  respond(cmd.request_id, status, aux);
+}
+
+SimTime EmsServer::task_latency(const proto::Message& m) {
+  auto& rng = engine_->rng();
+  struct Visitor {
+    EmsLatencyProfile& p;
+    Rng& rng;
+    SimTime operator()(const proto::Response&) { return SimTime{}; }
+    SimTime operator()(const proto::FxcConnect&) {
+      return p.fxc_connect.sample(rng);
+    }
+    SimTime operator()(const proto::FxcDisconnect&) {
+      return p.fxc_disconnect.sample(rng);
+    }
+    SimTime operator()(const proto::RoadmExpress& m) {
+      return m.engage ? p.roadm_express.sample(rng)
+                      : p.roadm_express_release.sample(rng);
+    }
+    SimTime operator()(const proto::RoadmAddDrop& m) {
+      return m.engage ? p.roadm_add_drop.sample(rng)
+                      : p.roadm_add_drop_release.sample(rng);
+    }
+    SimTime operator()(const proto::OtTune&) { return p.ot_tune.sample(rng); }
+    SimTime operator()(const proto::OtSetState& m) {
+      return m.action == proto::OtSetState::Action::kActivate
+                 ? p.ot_state.sample(rng)
+                 : p.ot_release.sample(rng);
+    }
+    SimTime operator()(const proto::RegenEngage& m) {
+      return m.engage ? p.regen_engage.sample(rng)
+                      : p.regen_release.sample(rng);
+    }
+    SimTime operator()(const proto::PowerBalance&) {
+      return p.power_balance.sample(rng);
+    }
+    SimTime operator()(const proto::OtnOp&) { return p.otn_op.sample(rng); }
+    SimTime operator()(const proto::NtePort& m) {
+      return m.engage ? p.nte_port.sample(rng)
+                      : p.nte_port_release.sample(rng);
+    }
+    SimTime operator()(const proto::AlarmEvent&) { return SimTime{}; }
+  };
+  return std::visit(Visitor{profile_, rng}, m);
+}
+
+Status EmsServer::apply(const proto::Message& m, std::uint64_t* aux) {
+  struct Visitor {
+    EmsServer& ems;
+    std::uint64_t* aux;
+
+    Status operator()(const proto::Response&) {
+      return Status{ErrorCode::kInvalidArgument, "ems: response as request"};
+    }
+    Status operator()(const proto::AlarmEvent&) {
+      return Status{ErrorCode::kInvalidArgument, "ems: alarm as request"};
+    }
+    Status operator()(const proto::FxcConnect& m) {
+      auto* d = find_device(ems.fxcs_, m.fxc.value());
+      if (d == nullptr)
+        return Status{ErrorCode::kNotFound, "ems: unknown FXC"};
+      return d->connect(m.port_a, m.port_b);
+    }
+    Status operator()(const proto::FxcDisconnect& m) {
+      auto* d = find_device(ems.fxcs_, m.fxc.value());
+      if (d == nullptr)
+        return Status{ErrorCode::kNotFound, "ems: unknown FXC"};
+      return d->disconnect(m.port);
+    }
+    Status operator()(const proto::RoadmExpress& m) {
+      auto* d = find_device(ems.roadms_, m.roadm.value());
+      if (d == nullptr)
+        return Status{ErrorCode::kNotFound, "ems: unknown ROADM"};
+      return m.engage
+                 ? d->configure_express(m.channel, m.degree_in, m.degree_out)
+                 : d->release_express(m.channel, m.degree_in, m.degree_out);
+    }
+    Status operator()(const proto::RoadmAddDrop& m) {
+      auto* d = find_device(ems.roadms_, m.roadm.value());
+      if (d == nullptr)
+        return Status{ErrorCode::kNotFound, "ems: unknown ROADM"};
+      return m.engage ? d->configure_add_drop(m.port, m.degree, m.channel)
+                      : d->release_add_drop(m.port);
+    }
+    Status operator()(const proto::OtTune& m) {
+      auto* d = find_device(ems.ots_, m.ot.value());
+      if (d == nullptr)
+        return Status{ErrorCode::kNotFound, "ems: unknown OT"};
+      return d->tune(m.channel);
+    }
+    Status operator()(const proto::OtSetState& m) {
+      auto* d = find_device(ems.ots_, m.ot.value());
+      if (d == nullptr)
+        return Status{ErrorCode::kNotFound, "ems: unknown OT"};
+      switch (m.action) {
+        case proto::OtSetState::Action::kActivate:
+          return d->activate();
+        case proto::OtSetState::Action::kDeactivate:
+          return d->deactivate();
+        case proto::OtSetState::Action::kReset:
+          return d->reset();
+      }
+      return Status{ErrorCode::kInvalidArgument, "ems: bad OT action"};
+    }
+    Status operator()(const proto::RegenEngage& m) {
+      auto* d = find_device(ems.regens_, m.regen.value());
+      if (d == nullptr)
+        return Status{ErrorCode::kNotFound, "ems: unknown REGEN"};
+      return m.engage
+                 ? d->engage(m.upstream_channel, m.downstream_channel)
+                 : d->release();
+    }
+    Status operator()(const proto::PowerBalance&) {
+      // Pure optical task: the latency *is* the operation.
+      return Status::success();
+    }
+    Status operator()(const proto::OtnOp& m) {
+      if (ems.otn_ == nullptr)
+        return Status{ErrorCode::kNotFound, "ems: no OTN layer managed"};
+      switch (m.op) {
+        case proto::OtnOp::Op::kCreate: {
+          otn::OtnLayer::CircuitSpec spec;
+          spec.customer = m.customer;
+          spec.src = m.src;
+          spec.dst = m.dst;
+          spec.rate = DataRate{m.rate_bps};
+          spec.protect = m.protect;
+          auto got = ems.otn_->create_circuit(spec);
+          if (!got.ok()) return got.error();
+          *aux = got.value().value();
+          return Status::success();
+        }
+        case proto::OtnOp::Op::kRelease:
+          return ems.otn_->release_circuit(m.circuit);
+        case proto::OtnOp::Op::kActivateBackup:
+          return ems.otn_->activate_backup(m.circuit);
+        case proto::OtnOp::Op::kRevert:
+          return ems.otn_->revert_to_primary(m.circuit);
+      }
+      return Status{ErrorCode::kInvalidArgument, "ems: bad OTN op"};
+    }
+    Status operator()(const proto::NtePort& m) {
+      auto* d = find_device(ems.ntes_, m.nte.value());
+      if (d == nullptr)
+        return Status{ErrorCode::kNotFound, "ems: unknown NTE"};
+      return m.engage ? d->claim_client_port(m.port)
+                      : d->release_client_port(m.port);
+    }
+  };
+  return std::visit(Visitor{*this, aux}, m);
+}
+
+void EmsServer::respond(std::uint64_t request_id, const Status& status,
+                        std::uint64_t aux) {
+  proto::Response r;
+  r.code = static_cast<std::uint16_t>(status.ok() ? ErrorCode::kNone
+                                                  : status.error().code());
+  r.message = status.ok() ? std::string{} : status.error().message();
+  r.aux = aux;
+  response_cache_[request_id] = r;
+  cache_order_.push_back(request_id);
+  while (cache_order_.size() > kResponseCacheSize) {
+    response_cache_.erase(cache_order_.front());
+    cache_order_.pop_front();
+  }
+  endpoint_->send(proto::encode_frame(request_id, proto::Message{r}));
+}
+
+}  // namespace griphon::ems

@@ -1,0 +1,62 @@
+#include "ems/latency_profile.hpp"
+
+namespace griphon::ems {
+
+EmsLatencyProfile EmsLatencyProfile::testbed_2011() {
+  EmsLatencyProfile p;
+  auto jitter = [](std::int64_t mean_ms, std::int64_t sigma_ms) {
+    return LatencyModel::normal(milliseconds(0), milliseconds(mean_ms),
+                                milliseconds(sigma_ms));
+  };
+  // Means are chosen so the sequential setup workflow reproduces Table 2:
+  //   total(h hops) ~ 58.3 s + 4.2 s/hop.
+  // Per-command sigma gives run-to-run spread like the testbed's.
+  p.command_overhead = jitter(800, 60);
+  p.nte_port = jitter(1500, 100);
+  p.fxc_connect = jitter(2000, 120);
+  p.fxc_disconnect = jitter(400, 40);
+  p.ot_tune = jitter(9000, 450);          // laser tuning + locking
+  p.ot_state = jitter(1550, 100);
+  p.ot_release = jitter(400, 40);
+  p.roadm_add_drop = jitter(12000, 600);  // WSS steering, colorless port
+  p.roadm_add_drop_release = jitter(800, 60);
+  p.roadm_express = jitter(1000, 80);
+  p.roadm_express_release = jitter(400, 40);
+  p.regen_engage = jitter(9000, 450);
+  p.regen_release = jitter(400, 40);
+  p.power_balance = jitter(1600, 130);    // amplifier gain retrim per link
+  p.otn_op = jitter(500, 40);
+  p.nte_port_release = jitter(400, 40);
+  p.alarm_notify = jitter(150, 20);
+  return p;
+}
+
+EmsLatencyProfile EmsLatencyProfile::fast_hardware() {
+  EmsLatencyProfile p;
+  auto jitter = [](std::int64_t mean_ms, std::int64_t sigma_ms) {
+    return LatencyModel::normal(milliseconds(0), milliseconds(mean_ms),
+                                milliseconds(sigma_ms));
+  };
+  // ~20x across the board: EMS pipelines its database work, lasers use
+  // fast-tunable designs, amplifiers ride through transients.
+  p.command_overhead = jitter(50, 5);
+  p.nte_port = jitter(80, 8);
+  p.fxc_connect = jitter(100, 10);
+  p.fxc_disconnect = jitter(40, 4);
+  p.ot_tune = jitter(450, 40);
+  p.ot_state = jitter(80, 8);
+  p.ot_release = jitter(40, 4);
+  p.roadm_add_drop = jitter(600, 50);
+  p.roadm_add_drop_release = jitter(60, 6);
+  p.roadm_express = jitter(60, 6);
+  p.roadm_express_release = jitter(40, 4);
+  p.regen_engage = jitter(450, 40);
+  p.regen_release = jitter(40, 4);
+  p.power_balance = jitter(90, 9);
+  p.otn_op = jitter(50, 5);
+  p.nte_port_release = jitter(40, 4);
+  p.alarm_notify = jitter(20, 2);
+  return p;
+}
+
+}  // namespace griphon::ems

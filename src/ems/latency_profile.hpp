@@ -1,0 +1,52 @@
+// EMS / hardware latency profiles.
+//
+// The paper attributes the measured 60-70 s wavelength setup to two
+// components: "(i) ROADM Element Management System (EMS) configuration
+// steps, and (ii) optical tasks, such as ROADM reconfiguration, laser
+// tuning, power balancing and link equalization", and notes these times
+// reflect "a lack of current carrier requirements for speed", not physics.
+//
+// testbed_2011() encodes that decomposition, calibrated so the sequential
+// setup workflow lands in the paper's band (Table 2: 62.48 / 65.67 /
+// 70.94 s for 1/2/3-hop paths, teardown ~10 s). fast_hardware() is the §4
+// "DWDM layer management" what-if: same workflow on hardware and EMS
+// engineered for speed.
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace griphon::ems {
+
+struct EmsLatencyProfile {
+  /// Management-plane overhead added to every command (order entry,
+  /// database writes, EMS-to-element dialogue).
+  LatencyModel command_overhead = LatencyModel::fixed(milliseconds(800));
+
+  // Optical / hardware task times per command type.
+  LatencyModel nte_port = LatencyModel::fixed(milliseconds(1500));
+  LatencyModel fxc_connect = LatencyModel::fixed(milliseconds(2000));
+  LatencyModel fxc_disconnect = LatencyModel::fixed(milliseconds(400));
+  LatencyModel ot_tune = LatencyModel::fixed(seconds(9));
+  LatencyModel ot_state = LatencyModel::fixed(milliseconds(1550));
+  LatencyModel ot_release = LatencyModel::fixed(milliseconds(400));
+  LatencyModel roadm_add_drop = LatencyModel::fixed(seconds(12));
+  LatencyModel roadm_add_drop_release = LatencyModel::fixed(milliseconds(800));
+  LatencyModel roadm_express = LatencyModel::fixed(milliseconds(1000));
+  LatencyModel roadm_express_release = LatencyModel::fixed(milliseconds(400));
+  LatencyModel regen_engage = LatencyModel::fixed(seconds(9));
+  LatencyModel regen_release = LatencyModel::fixed(milliseconds(400));
+  /// Per-link power balancing + link equalization after add/remove.
+  LatencyModel power_balance = LatencyModel::fixed(milliseconds(1600));
+  LatencyModel otn_op = LatencyModel::fixed(milliseconds(500));
+  LatencyModel nte_port_release = LatencyModel::fixed(milliseconds(400));
+
+  /// How long a device failure takes to surface as an alarm at the EMS.
+  LatencyModel alarm_notify = LatencyModel::fixed(milliseconds(150));
+
+  /// The laboratory prototype of the paper (§3).
+  [[nodiscard]] static EmsLatencyProfile testbed_2011();
+  /// Hypothetical speed-optimized hardware/EMS (§4 research challenge).
+  [[nodiscard]] static EmsLatencyProfile fast_hardware();
+};
+
+}  // namespace griphon::ems

@@ -1,0 +1,61 @@
+#include "fxc/fxc.hpp"
+
+#include <stdexcept>
+
+namespace griphon::fxc {
+
+Fxc::Fxc(FxcId id, NodeId site, std::size_t port_count)
+    : id_(id), site_(site), wiring_(port_count) {
+  if (port_count == 0)
+    throw std::invalid_argument("Fxc: need at least one port");
+}
+
+void Fxc::wire(PortId port, Wiring wiring) {
+  if (!valid(port)) throw std::out_of_range("Fxc::wire: bad port");
+  wiring_[port.value()] = wiring;
+}
+
+const Wiring& Fxc::wiring(PortId port) const {
+  if (!valid(port)) throw std::out_of_range("Fxc::wiring: bad port");
+  return wiring_[port.value()];
+}
+
+std::optional<PortId> Fxc::port_for(Wiring::Kind kind, std::uint64_t device,
+                                    std::uint64_t index) const {
+  for (std::size_t i = 0; i < wiring_.size(); ++i) {
+    const Wiring& w = wiring_[i];
+    if (w.kind == kind && w.device == device && w.index == index)
+      return PortId{i};
+  }
+  return std::nullopt;
+}
+
+Status Fxc::connect(PortId a, PortId b) {
+  if (!valid(a) || !valid(b))
+    return Status{ErrorCode::kNotFound, name() + ": unknown port"};
+  if (a == b)
+    return Status{ErrorCode::kInvalidArgument, name() + ": loopback"};
+  if (cross_.contains(a) || cross_.contains(b))
+    return Status{ErrorCode::kBusy, name() + ": port already connected"};
+  cross_[a] = b;
+  cross_[b] = a;
+  return Status::success();
+}
+
+Status Fxc::disconnect(PortId port) {
+  const auto it = cross_.find(port);
+  if (it == cross_.end())
+    return Status{ErrorCode::kConflict, name() + ": port not connected"};
+  const PortId other = it->second;
+  cross_.erase(it);
+  cross_.erase(other);
+  return Status::success();
+}
+
+std::optional<PortId> Fxc::peer(PortId port) const {
+  const auto it = cross_.find(port);
+  if (it == cross_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace griphon::fxc

@@ -1,0 +1,82 @@
+// Fiber cross-connect (FXC).
+//
+// A photonic patch-panel robot: strictly non-blocking, any free port to any
+// free port, no grooming and no wavelength awareness (paper §2.2: low cost,
+// small footprint, low power — but "incapable of grooming traffic").
+// GRIPhoN puts one on the client side of the OT pool at each site so that
+// customer signals can be steered to an OT (wavelength service) or to an
+// OTN switch port (sub-wavelength service), and so OTs/REGENs are shared.
+//
+// Ports carry a static wiring label describing the device port patched into
+// them at install time; the controller resolves endpoints through these.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+
+namespace griphon::fxc {
+
+/// What is physically patched into an FXC port (install-time wiring).
+struct Wiring {
+  enum class Kind {
+    kUnwired,
+    kTransponderClient,  ///< OT client side
+    kOtnClientPort,      ///< OTN switch client port
+    kCustomerAccess,     ///< channel of the customer's access pipe (COT side)
+    kRegenClient,        ///< regenerator client-side loop
+  };
+  Kind kind = Kind::kUnwired;
+  std::uint64_t device = 0;  ///< id value of the wired device
+  std::uint64_t index = 0;   ///< port/channel index on that device
+};
+
+class Fxc {
+ public:
+  Fxc(FxcId id, NodeId site, std::size_t port_count);
+
+  [[nodiscard]] FxcId id() const noexcept { return id_; }
+  [[nodiscard]] NodeId site() const noexcept { return site_; }
+  [[nodiscard]] std::size_t port_count() const noexcept {
+    return wiring_.size();
+  }
+  [[nodiscard]] std::string name() const {
+    return "fxc/" + std::to_string(id_.value());
+  }
+
+  /// Record install-time wiring of a port.
+  void wire(PortId port, Wiring wiring);
+  [[nodiscard]] const Wiring& wiring(PortId port) const;
+  /// Find the port a given device endpoint is patched into.
+  [[nodiscard]] std::optional<PortId> port_for(Wiring::Kind kind,
+                                               std::uint64_t device,
+                                               std::uint64_t index) const;
+
+  /// Cross-connect two free ports (bidirectional light path).
+  Status connect(PortId a, PortId b);
+  /// Remove the cross-connect involving `port`.
+  Status disconnect(PortId port);
+  [[nodiscard]] std::optional<PortId> peer(PortId port) const;
+  [[nodiscard]] bool connected(PortId port) const {
+    return peer(port).has_value();
+  }
+  [[nodiscard]] std::size_t active_connections() const noexcept {
+    return cross_.size() / 2;
+  }
+
+ private:
+  [[nodiscard]] bool valid(PortId p) const noexcept {
+    return p.value() < wiring_.size();
+  }
+
+  FxcId id_;
+  NodeId site_;
+  std::vector<Wiring> wiring_;
+  std::map<PortId, PortId> cross_;  // symmetric: both directions present
+};
+
+}  // namespace griphon::fxc

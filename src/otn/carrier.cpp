@@ -1,0 +1,126 @@
+#include "otn/carrier.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "otn/odu.hpp"
+
+namespace griphon::otn {
+
+OtuCarrier::OtuCarrier(CarrierId id, NodeId a, NodeId b, DataRate line_rate,
+                       std::vector<LinkId> physical_route)
+    : id_(id), a_(a), b_(b), line_rate_(line_rate),
+      route_(std::move(physical_route)),
+      slots_(static_cast<std::size_t>(carrier_slots(line_rate))) {}
+
+bool OtuCarrier::rides_link(LinkId link) const noexcept {
+  return std::find(route_.begin(), route_.end(), link) != route_.end();
+}
+
+Result<std::vector<int>> OtuCarrier::allocate(OduCircuitId circuit, int n,
+                                              bool restoration) {
+  if (n <= 0)
+    return Error{ErrorCode::kInvalidArgument, "carrier: bad slot count"};
+  if (failed_)
+    return Error{ErrorCode::kDeviceFault, "carrier: failed"};
+  if (retired_)
+    return Error{ErrorCode::kConflict, "carrier: retired"};
+  const int available = restoration ? total_slots() - allocated_slots()
+                                    : usable_free_slots();
+  if (available < n)
+    return Error{ErrorCode::kResourceExhausted,
+                 "carrier: insufficient free tributary slots"};
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < slots_.size() && out.size() < std::size_t(n);
+       ++i) {
+    if (!slots_[i].valid()) {
+      slots_[i] = circuit;
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+Status OtuCarrier::release(OduCircuitId circuit) {
+  bool any = false;
+  for (auto& s : slots_) {
+    if (s == circuit) {
+      s = OduCircuitId{};
+      any = true;
+    }
+  }
+  if (!any)
+    return Status{ErrorCode::kConflict, "carrier: circuit holds no slots"};
+  return Status::success();
+}
+
+int OtuCarrier::allocated_slots() const noexcept {
+  return static_cast<int>(std::count_if(
+      slots_.begin(), slots_.end(), [](OduCircuitId c) { return c.valid(); }));
+}
+
+int OtuCarrier::usable_free_slots() const noexcept {
+  return total_slots() - allocated_slots() - shared_reserved_slots();
+}
+
+bool OtuCarrier::carries(OduCircuitId circuit) const noexcept {
+  return std::find(slots_.begin(), slots_.end(), circuit) != slots_.end();
+}
+
+int OtuCarrier::demand_if_fails(LinkId risk) const noexcept {
+  int demand = 0;
+  for (const auto& [circuit, res] : backups_) {
+    if (std::find(res.risks.begin(), res.risks.end(), risk) !=
+        res.risks.end())
+      demand += res.slots;
+  }
+  return demand;
+}
+
+int OtuCarrier::shared_reserved_slots() const noexcept {
+  // Single-failure assumption: headroom is the worst case over individual
+  // physical risks, which is what lets disjoint primaries share backup
+  // capacity (the cost advantage over 1+1).
+  std::set<LinkId> risks;
+  for (const auto& [circuit, res] : backups_)
+    risks.insert(res.risks.begin(), res.risks.end());
+  int worst = 0;
+  for (const LinkId r : risks) worst = std::max(worst, demand_if_fails(r));
+  return worst;
+}
+
+bool OtuCarrier::can_reserve_backup(const std::vector<LinkId>& risks,
+                                    int n) const noexcept {
+  if (failed_ || retired_) return false;
+  // Worst-case demand after adding this reservation.
+  std::set<LinkId> all_risks(risks.begin(), risks.end());
+  for (const auto& [circuit, res] : backups_)
+    all_risks.insert(res.risks.begin(), res.risks.end());
+  int worst = 0;
+  for (const LinkId r : all_risks) {
+    int demand = demand_if_fails(r);
+    if (std::find(risks.begin(), risks.end(), r) != risks.end()) demand += n;
+    worst = std::max(worst, demand);
+  }
+  return allocated_slots() + worst <= total_slots();
+}
+
+Status OtuCarrier::reserve_backup(OduCircuitId circuit,
+                                  const std::vector<LinkId>& risks, int n) {
+  if (backups_.contains(circuit))
+    return Status{ErrorCode::kConflict, "carrier: backup already reserved"};
+  if (!can_reserve_backup(risks, n))
+    return Status{ErrorCode::kResourceExhausted,
+                  "carrier: shared backup pool exhausted"};
+  backups_[circuit] = BackupReservation{risks, n};
+  return Status::success();
+}
+
+Status OtuCarrier::release_backup(OduCircuitId circuit) {
+  if (backups_.erase(circuit) == 0)
+    return Status{ErrorCode::kConflict, "carrier: no backup reservation"};
+  return Status::success();
+}
+
+}  // namespace griphon::otn

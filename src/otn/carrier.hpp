@@ -1,0 +1,99 @@
+// OTU carrier: a wavelength between two OTN switches, divided into 1.25G
+// tributary slots.
+//
+// Carriers are the links of the OTN layer's own topology. Each carrier
+// rides a DWDM wavelength whose physical route is recorded so that fiber
+// failures can be mapped onto carrier failures (and so that shared-mesh
+// backup reservations can be grouped by the physical risk they protect
+// against).
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/units.hpp"
+
+namespace griphon::otn {
+
+class OtuCarrier {
+ public:
+  OtuCarrier(CarrierId id, NodeId a, NodeId b, DataRate line_rate,
+             std::vector<LinkId> physical_route);
+
+  [[nodiscard]] CarrierId id() const noexcept { return id_; }
+  [[nodiscard]] NodeId a() const noexcept { return a_; }
+  [[nodiscard]] NodeId b() const noexcept { return b_; }
+  [[nodiscard]] NodeId peer(NodeId n) const noexcept {
+    return n == a_ ? b_ : a_;
+  }
+  [[nodiscard]] bool touches(NodeId n) const noexcept {
+    return n == a_ || n == b_;
+  }
+  [[nodiscard]] DataRate line_rate() const noexcept { return line_rate_; }
+  [[nodiscard]] int total_slots() const noexcept {
+    return static_cast<int>(slots_.size());
+  }
+  [[nodiscard]] const std::vector<LinkId>& physical_route() const noexcept {
+    return route_;
+  }
+  [[nodiscard]] bool rides_link(LinkId link) const noexcept;
+
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+  void set_failed(bool failed) noexcept { failed_ = failed; }
+  /// Retired carriers are withdrawn from service (their wavelength has
+  /// been or is being decommissioned); they accept no new allocations.
+  [[nodiscard]] bool retired() const noexcept { return retired_; }
+  void set_retired(bool retired) noexcept { retired_ = retired; }
+
+  // --- working-slot allocation ----------------------------------------
+  /// Allocate `n` slots to `circuit`; returns the slot indices. Normal
+  /// admission honors the shared-backup headroom; `restoration = true`
+  /// lets a failover dip into the shared pool (that pool exists precisely
+  /// to serve the activation), bounded only by physical slots.
+  Result<std::vector<int>> allocate(OduCircuitId circuit, int n,
+                                    bool restoration = false);
+  /// Release all working slots held by `circuit`.
+  Status release(OduCircuitId circuit);
+  [[nodiscard]] int allocated_slots() const noexcept;
+  /// Working slots still free after honoring shared-backup headroom.
+  [[nodiscard]] int usable_free_slots() const noexcept;
+  [[nodiscard]] bool carries(OduCircuitId circuit) const noexcept;
+
+  // --- shared-mesh backup reservations ----------------------------------
+  /// Slots that must stay free so that reserved backups can activate:
+  /// max over single physical-risk failures of the demand on this carrier.
+  [[nodiscard]] int shared_reserved_slots() const noexcept;
+  /// Whether a backup of `n` slots protecting against `risks` (the links of
+  /// the circuit's primary route) can be reserved without oversubscribing.
+  [[nodiscard]] bool can_reserve_backup(const std::vector<LinkId>& risks,
+                                        int n) const noexcept;
+  Status reserve_backup(OduCircuitId circuit,
+                        const std::vector<LinkId>& risks, int n);
+  Status release_backup(OduCircuitId circuit);
+  [[nodiscard]] bool has_backup_reservation(OduCircuitId circuit) const {
+    return backups_.contains(circuit);
+  }
+
+ private:
+  struct BackupReservation {
+    std::vector<LinkId> risks;
+    int slots = 0;
+  };
+
+  [[nodiscard]] int demand_if_fails(LinkId risk) const noexcept;
+
+  CarrierId id_;
+  NodeId a_;
+  NodeId b_;
+  DataRate line_rate_;
+  std::vector<LinkId> route_;
+  std::vector<OduCircuitId> slots_;  // per-slot owner; invalid id == free
+  std::map<OduCircuitId, BackupReservation> backups_;
+  bool failed_ = false;
+  bool retired_ = false;
+};
+
+}  // namespace griphon::otn

@@ -1,0 +1,465 @@
+#include "otn/layer.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+#include "otn/odu.hpp"
+
+namespace griphon::otn {
+
+OtnSwitchId OtnLayer::add_switch(NodeId site, std::size_t client_ports) {
+  if (switch_at(site) != nullptr)
+    throw std::invalid_argument("OtnLayer: switch already at site");
+  const OtnSwitchId id = switch_ids_.next();
+  switches_.emplace_back(id, site, client_ports);
+  return id;
+}
+
+OtnSwitch* OtnLayer::switch_at(NodeId site) {
+  for (auto& sw : switches_)
+    if (sw.site() == site) return &sw;
+  return nullptr;
+}
+
+const OtnSwitch* OtnLayer::switch_at(NodeId site) const {
+  for (const auto& sw : switches_)
+    if (sw.site() == site) return &sw;
+  return nullptr;
+}
+
+Result<CarrierId> OtnLayer::add_carrier(NodeId a, NodeId b,
+                                        DataRate line_rate,
+                                        std::vector<LinkId> physical_route) {
+  OtnSwitch* sa = switch_at(a);
+  OtnSwitch* sb = switch_at(b);
+  if (sa == nullptr || sb == nullptr)
+    return Error{ErrorCode::kNotFound, "OtnLayer: no switch at endpoint"};
+  const CarrierId id = carrier_ids_.next();
+  carriers_.emplace_back(id, a, b, line_rate, std::move(physical_route));
+  sa->attach_carrier(id);
+  sb->attach_carrier(id);
+  return id;
+}
+
+const OtuCarrier& OtnLayer::carrier(CarrierId id) const {
+  if (id.value() >= carriers_.size())
+    throw std::out_of_range("OtnLayer::carrier: unknown id");
+  return carriers_[id.value()];
+}
+
+OtuCarrier& OtnLayer::carrier(CarrierId id) {
+  if (id.value() >= carriers_.size())
+    throw std::out_of_range("OtnLayer::carrier: unknown id");
+  return carriers_[id.value()];
+}
+
+Status OtnLayer::retire_carrier(CarrierId id) {
+  if (id.value() >= carriers_.size())
+    return Status{ErrorCode::kNotFound, "OtnLayer: unknown carrier"};
+  OtuCarrier& c = carriers_[id.value()];
+  if (c.allocated_slots() > 0 || c.shared_reserved_slots() > 0)
+    return Status{ErrorCode::kBusy, "OtnLayer: carrier still in use"};
+  c.set_retired(true);
+  return Status::success();
+}
+
+std::optional<std::vector<CarrierId>> OtnLayer::find_carrier_path(
+    NodeId src, NodeId dst, const CarrierFilter& filter) const {
+  // BFS over nodes; carriers are the edges. Min-hop keeps grooming local.
+  std::map<NodeId, CarrierId> via;
+  std::set<NodeId> seen{src};
+  std::queue<NodeId> frontier;
+  frontier.push(src);
+  while (!frontier.empty() && !seen.contains(dst)) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const auto& c : carriers_) {
+      if (!c.touches(u) || c.failed() || c.retired()) continue;
+      if (filter && !filter(c)) continue;
+      const NodeId v = c.peer(u);
+      if (seen.contains(v)) continue;
+      seen.insert(v);
+      via[v] = c.id();
+      frontier.push(v);
+    }
+  }
+  if (!seen.contains(dst)) return std::nullopt;
+  std::vector<CarrierId> path;
+  for (NodeId at = dst; at != src;) {
+    const CarrierId c = via.at(at);
+    path.push_back(c);
+    at = carriers_[c.value()].peer(at);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<LinkId> OtnLayer::risk_set(
+    const std::vector<CarrierId>& path) const {
+  std::set<LinkId> risks;
+  for (const CarrierId c : path) {
+    const auto& route = carriers_[c.value()].physical_route();
+    risks.insert(route.begin(), route.end());
+  }
+  return {risks.begin(), risks.end()};
+}
+
+Status OtnLayer::install_xconnects(OduCircuit& c,
+                                   const std::vector<CarrierId>& path) {
+  // src: client -> first carrier; intermediates: carrier -> carrier;
+  // dst: last carrier -> client.
+  auto line = [&](CarrierId id) {
+    return Endpoint{LineEndpoint{id, c.slot_map.at(id)}};
+  };
+  OtnSwitch* ssw = switch_at(c.src);
+  OtnSwitch* dsw = switch_at(c.dst);
+  if (const Status s = ssw->xconnect(
+          c.id, Endpoint{ClientEndpoint{c.src_port}}, line(path.front()));
+      !s.ok())
+    return s;
+  NodeId at = carriers_[path.front().value()].peer(c.src);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    OtnSwitch* sw = switch_at(at);
+    if (const Status s = sw->xconnect(c.id, line(path[i]), line(path[i + 1]));
+        !s.ok())
+      return s;
+    at = carriers_[path[i + 1].value()].peer(at);
+  }
+  return dsw->xconnect(c.id, line(path.back()),
+                       Endpoint{ClientEndpoint{c.dst_port}});
+}
+
+void OtnLayer::remove_xconnects(OduCircuit& c,
+                                const std::vector<CarrierId>& path) {
+  // Visit every switch along the path; release_xconnect is per-circuit.
+  std::set<NodeId> sites{c.src, c.dst};
+  NodeId at = c.src;
+  for (const CarrierId cid : path) {
+    at = carriers_[cid.value()].peer(at);
+    sites.insert(at);
+  }
+  for (const NodeId site : sites) {
+    OtnSwitch* sw = switch_at(site);
+    if (sw != nullptr && sw->has_xconnect(c.id))
+      (void)sw->release_xconnect(c.id);
+  }
+}
+
+Result<OduCircuitId> OtnLayer::create_circuit(const CircuitSpec& spec) {
+  OtnSwitch* ssw = switch_at(spec.src);
+  OtnSwitch* dsw = switch_at(spec.dst);
+  if (ssw == nullptr || dsw == nullptr)
+    return Error{ErrorCode::kNotFound, "OtnLayer: no switch at endpoint"};
+  if (spec.src == spec.dst)
+    return Error{ErrorCode::kInvalidArgument, "OtnLayer: src == dst"};
+  const int slots = slots_for_rate(spec.rate);
+
+  auto primary = find_carrier_path(
+      spec.src, spec.dst,
+      [&](const OtuCarrier& c) { return c.usable_free_slots() >= slots; });
+  // A circuit through k carriers burns k x slots of transport capacity, so
+  // long groomed detours can cost more wavelengths than they save. Beyond
+  // two carrier hops, report no-capacity and let the controller groom a
+  // more direct carrier instead.
+  constexpr std::size_t kMaxPrimaryCarrierHops = 2;
+  if (primary && primary->size() > kMaxPrimaryCarrierHops) primary.reset();
+  if (!primary)
+    return Error{ErrorCode::kUnreachable,
+                 "OtnLayer: no carrier path with free capacity"};
+
+  OduCircuit c;
+  c.id = circuit_ids_alloc_.next();
+  c.customer = spec.customer;
+  c.src = spec.src;
+  c.dst = spec.dst;
+  c.rate = spec.rate;
+  c.slots = slots;
+  c.is_protected = spec.protect;
+  c.primary = *primary;
+
+  // Backup first (pure reservation, easy to abort without unwinding).
+  if (spec.protect) {
+    const auto risks = risk_set(c.primary);
+    auto disjoint_ok = [&](const OtuCarrier& cand) {
+      for (const LinkId r : risks)
+        if (cand.rides_link(r)) return false;
+      return cand.can_reserve_backup(risks, slots);
+    };
+    const auto backup = find_carrier_path(spec.src, spec.dst, disjoint_ok);
+    if (!backup)
+      return Error{ErrorCode::kUnreachable,
+                   "OtnLayer: no disjoint backup path available"};
+    c.backup = *backup;
+    for (const CarrierId cid : c.backup) {
+      const Status s = carriers_[cid.value()].reserve_backup(c.id, risks,
+                                                             slots);
+      if (!s.ok()) {
+        for (const CarrierId done : c.backup) {
+          if (done == cid) break;
+          (void)carriers_[done.value()].release_backup(c.id);
+        }
+        return s.error();
+      }
+    }
+  }
+
+  // Working slots along the primary.
+  for (const CarrierId cid : c.primary) {
+    auto got = carriers_[cid.value()].allocate(c.id, slots);
+    if (!got.ok()) {
+      for (const CarrierId done : c.primary) {
+        if (done == cid) break;
+        (void)carriers_[done.value()].release(c.id);
+      }
+      for (const CarrierId bid : c.backup)
+        (void)carriers_[bid.value()].release_backup(c.id);
+      return got.error();
+    }
+    c.slot_map[cid] = std::move(got).value();
+  }
+
+  auto sport = ssw->allocate_client_port();
+  auto dport = dsw->allocate_client_port();
+  if (!sport.ok() || !dport.ok()) {
+    if (sport.ok()) (void)ssw->release_client_port(sport.value());
+    if (dport.ok()) (void)dsw->release_client_port(dport.value());
+    for (const CarrierId cid : c.primary)
+      (void)carriers_[cid.value()].release(c.id);
+    for (const CarrierId bid : c.backup)
+      (void)carriers_[bid.value()].release_backup(c.id);
+    return Error{ErrorCode::kResourceExhausted,
+                 "OtnLayer: no free client port"};
+  }
+  c.src_port = sport.value();
+  c.dst_port = dport.value();
+
+  if (const Status s = install_xconnects(c, c.primary); !s.ok()) {
+    remove_xconnects(c, c.primary);
+    (void)ssw->release_client_port(c.src_port);
+    (void)dsw->release_client_port(c.dst_port);
+    for (const CarrierId cid : c.primary)
+      (void)carriers_[cid.value()].release(c.id);
+    for (const CarrierId bid : c.backup)
+      (void)carriers_[bid.value()].release_backup(c.id);
+    return s.error();
+  }
+
+  const OduCircuitId id = c.id;
+  circuits_[id] = std::move(c);
+  return id;
+}
+
+Status OtnLayer::release_circuit(OduCircuitId id) {
+  const auto it = circuits_.find(id);
+  if (it == circuits_.end())
+    return Status{ErrorCode::kNotFound, "OtnLayer: unknown circuit"};
+  OduCircuit& c = it->second;
+  const auto& active_path =
+      c.state == OduCircuit::State::kOnBackup ? c.backup : c.primary;
+  remove_xconnects(c, active_path);
+  for (const auto& [cid, slots] : c.slot_map)
+    (void)carriers_[cid.value()].release(c.id);
+  for (const CarrierId bid : c.backup)
+    if (carriers_[bid.value()].has_backup_reservation(c.id))
+      (void)carriers_[bid.value()].release_backup(c.id);
+  (void)switch_at(c.src)->release_client_port(c.src_port);
+  (void)switch_at(c.dst)->release_client_port(c.dst_port);
+  circuits_.erase(it);
+  return Status::success();
+}
+
+const OduCircuit& OtnLayer::circuit(OduCircuitId id) const {
+  const auto it = circuits_.find(id);
+  if (it == circuits_.end())
+    throw std::out_of_range("OtnLayer::circuit: unknown id");
+  return it->second;
+}
+
+std::vector<OduCircuitId> OtnLayer::circuit_ids() const {
+  std::vector<OduCircuitId> out;
+  out.reserve(circuits_.size());
+  for (const auto& [id, c] : circuits_) out.push_back(id);
+  return out;
+}
+
+std::vector<OduCircuitId> OtnLayer::on_link_failed(LinkId link) {
+  for (auto& c : carriers_)
+    if (c.rides_link(link)) c.set_failed(true);
+  std::vector<OduCircuitId> affected;
+  for (auto& [id, c] : circuits_) {
+    const auto& active =
+        c.state == OduCircuit::State::kOnBackup ? c.backup : c.primary;
+    const bool hit = std::any_of(
+        active.begin(), active.end(),
+        [&](CarrierId cid) { return carriers_[cid.value()].failed(); });
+    if (hit && c.state != OduCircuit::State::kFailed) {
+      c.state = OduCircuit::State::kFailed;
+      affected.push_back(id);
+    }
+  }
+  return affected;
+}
+
+std::vector<OduCircuitId> OtnLayer::on_link_repaired(LinkId link) {
+  for (auto& c : carriers_) {
+    if (!c.rides_link(link)) continue;
+    // Only clear if no *other* failed link remains on the route. The layer
+    // does not track per-link state; ask the circuit owner (core) when
+    // multiple simultaneous failures matter. Single-failure assumption.
+    c.set_failed(false);
+  }
+  std::vector<OduCircuitId> eligible;
+  for (auto& [id, c] : circuits_) {
+    if (c.state != OduCircuit::State::kOnBackup &&
+        c.state != OduCircuit::State::kFailed)
+      continue;
+    const bool primary_ok = std::none_of(
+        c.primary.begin(), c.primary.end(),
+        [&](CarrierId cid) { return carriers_[cid.value()].failed(); });
+    if (primary_ok) eligible.push_back(id);
+  }
+  return eligible;
+}
+
+Status OtnLayer::activate_backup(OduCircuitId id) {
+  const auto it = circuits_.find(id);
+  if (it == circuits_.end())
+    return Status{ErrorCode::kNotFound, "OtnLayer: unknown circuit"};
+  OduCircuit& c = it->second;
+  if (!c.is_protected)
+    return Status{ErrorCode::kConflict, "OtnLayer: circuit is unprotected"};
+  if (c.state != OduCircuit::State::kFailed)
+    return Status{ErrorCode::kConflict, "OtnLayer: circuit not in failed state"};
+  for (const CarrierId cid : c.backup)
+    if (carriers_[cid.value()].failed())
+      return Status{ErrorCode::kDeviceFault,
+                    "OtnLayer: backup path also failed"};
+
+  // Tear down what remains of the primary, then claim real slots on the
+  // backup. Our own shared reservation converts into the working slots, so
+  // release it first — otherwise the pool headroom double-counts us.
+  remove_xconnects(c, c.primary);
+  for (const CarrierId cid : c.primary)
+    (void)carriers_[cid.value()].release(c.id);
+  c.slot_map.clear();
+  for (const CarrierId cid : c.backup)
+    if (carriers_[cid.value()].has_backup_reservation(c.id))
+      (void)carriers_[cid.value()].release_backup(c.id);
+  for (const CarrierId cid : c.backup) {
+    auto got = carriers_[cid.value()].allocate(c.id, c.slots,
+                                               /*restoration=*/true);
+    if (!got.ok()) {
+      // Shared pool contention (multiple failures): restoration fails.
+      for (const CarrierId done : c.backup) {
+        if (done == cid) break;
+        (void)carriers_[done.value()].release(c.id);
+      }
+      c.slot_map.clear();
+      return got.error();
+    }
+    c.slot_map[cid] = std::move(got).value();
+  }
+  if (const Status s = install_xconnects(c, c.backup); !s.ok()) return s;
+  c.state = OduCircuit::State::kOnBackup;
+  return Status::success();
+}
+
+Status OtnLayer::preemptive_switch(OduCircuitId id) {
+  const auto it = circuits_.find(id);
+  if (it == circuits_.end())
+    return Status{ErrorCode::kNotFound, "OtnLayer: unknown circuit"};
+  OduCircuit& c = it->second;
+  if (!c.is_protected)
+    return Status{ErrorCode::kConflict, "OtnLayer: circuit is unprotected"};
+  if (c.state != OduCircuit::State::kActive)
+    return Status{ErrorCode::kConflict, "OtnLayer: circuit not on primary"};
+  c.state = OduCircuit::State::kFailed;  // borrow the failover machinery
+  const Status s = activate_backup(id);
+  // Early rejection leaves the primary untouched (slots still held): undo
+  // the marker. A failure after the primary was torn down is a real outage.
+  if (!s.ok() && c.state == OduCircuit::State::kFailed && !c.slot_map.empty())
+    c.state = OduCircuit::State::kActive;
+  return s;
+}
+
+Status OtnLayer::revert_to_primary(OduCircuitId id) {
+  const auto it = circuits_.find(id);
+  if (it == circuits_.end())
+    return Status{ErrorCode::kNotFound, "OtnLayer: unknown circuit"};
+  OduCircuit& c = it->second;
+  if (c.state == OduCircuit::State::kActive)
+    return Status{ErrorCode::kConflict, "OtnLayer: already on primary"};
+  for (const CarrierId cid : c.primary)
+    if (carriers_[cid.value()].failed())
+      return Status{ErrorCode::kDeviceFault,
+                    "OtnLayer: primary path still failed"};
+
+  const auto holds_all = [&](const std::vector<CarrierId>& path) {
+    if (path.empty()) return false;
+    return std::all_of(path.begin(), path.end(), [&](CarrierId cid) {
+      return c.slot_map.contains(cid);
+    });
+  };
+  if (c.state == OduCircuit::State::kFailed && holds_all(c.primary)) {
+    // Backup was never activated, so the primary's slots and fabric
+    // cross-connects are all still in place; service resumes with the fiber.
+    c.state = OduCircuit::State::kActive;
+    return Status::success();
+  }
+  if (c.state == OduCircuit::State::kFailed && holds_all(c.backup)) {
+    // The circuit died *on its backup path*: vacate it before rebuilding
+    // the primary, exactly as in the normal reversion flow.
+    remove_xconnects(c, c.backup);
+    for (const CarrierId cid : c.backup)
+      (void)carriers_[cid.value()].release(c.id);
+    c.slot_map.clear();
+    const auto risks = risk_set(c.primary);
+    for (const CarrierId cid : c.backup)
+      (void)carriers_[cid.value()].reserve_backup(c.id, risks, c.slots);
+  }
+  if (c.state == OduCircuit::State::kOnBackup) {
+    remove_xconnects(c, c.backup);
+    for (const CarrierId cid : c.backup)
+      (void)carriers_[cid.value()].release(c.id);
+    c.slot_map.clear();
+    // Re-arm the shared protection we consumed at failover. Best effort:
+    // capacity taken by others meanwhile can leave the circuit unprotected
+    // until the layer is re-groomed.
+    const auto risks = risk_set(c.primary);
+    for (const CarrierId cid : c.backup)
+      (void)carriers_[cid.value()].reserve_backup(c.id, risks, c.slots);
+  }
+  for (const CarrierId cid : c.primary) {
+    auto got = carriers_[cid.value()].allocate(c.id, c.slots);
+    if (!got.ok()) {
+      // Unwind the partial allocation: the circuit is now in full outage
+      // (backup already vacated), but no slots may leak.
+      for (const CarrierId done : c.primary) {
+        if (done == cid) break;
+        (void)carriers_[done.value()].release(c.id);
+      }
+      c.slot_map.clear();
+      c.state = OduCircuit::State::kFailed;
+      return got.error();
+    }
+    c.slot_map[cid] = std::move(got).value();
+  }
+  if (const Status s = install_xconnects(c, c.primary); !s.ok()) return s;
+  c.state = OduCircuit::State::kActive;
+  return Status::success();
+}
+
+OtnLayer::SlotStats OtnLayer::slot_stats() const noexcept {
+  SlotStats stats;
+  for (const auto& c : carriers_) {
+    if (c.retired()) continue;
+    stats.total += c.total_slots();
+    stats.working += c.allocated_slots();
+    stats.shared_reserved += c.shared_reserved_slots();
+  }
+  return stats;
+}
+
+}  // namespace griphon::otn

@@ -1,0 +1,134 @@
+// OTN layer manager.
+//
+// Owns the OTN switches and OTU carriers, routes sub-wavelength ODU
+// circuits over the carrier topology, and implements shared-mesh
+// restoration ("automatic sub-second shared-mesh restoration similar to
+// today's SONET layer", paper §2.1).
+//
+// The layer is a synchronous state machine: it computes and applies
+// transitions but does not advance time. The GRIPhoN controller (core)
+// owns sequencing and applies restoration latencies.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/units.hpp"
+#include "otn/carrier.hpp"
+#include "otn/otn_switch.hpp"
+#include "topology/graph.hpp"
+
+namespace griphon::otn {
+
+/// End-to-end sub-wavelength circuit.
+struct OduCircuit {
+  enum class State {
+    kActive,    ///< carrying traffic on the primary path
+    kFailed,    ///< primary down, backup not (yet) activated
+    kOnBackup,  ///< carrying traffic on the backup path
+  };
+
+  OduCircuitId id;
+  CustomerId customer;
+  NodeId src;
+  NodeId dst;
+  DataRate rate;
+  int slots = 0;
+  bool is_protected = false;
+  State state = State::kActive;
+  std::vector<CarrierId> primary;
+  std::vector<CarrierId> backup;  ///< empty when unprotected
+  std::size_t src_port = 0;       ///< client port on the src switch
+  std::size_t dst_port = 0;
+  /// Slot indices held on each carrier of the *active* path.
+  std::map<CarrierId, std::vector<int>> slot_map;
+};
+
+class OtnLayer {
+ public:
+  explicit OtnLayer(const topology::Graph* graph) : graph_(graph) {}
+
+  // --- plant construction ----------------------------------------------
+  OtnSwitchId add_switch(NodeId site, std::size_t client_ports);
+  [[nodiscard]] OtnSwitch* switch_at(NodeId site);
+  [[nodiscard]] const OtnSwitch* switch_at(NodeId site) const;
+
+  /// Install a carrier between the switches at `a` and `b`, riding a
+  /// wavelength whose physical route is `physical_route`.
+  Result<CarrierId> add_carrier(NodeId a, NodeId b, DataRate line_rate,
+                                std::vector<LinkId> physical_route);
+  [[nodiscard]] const OtuCarrier& carrier(CarrierId id) const;
+  [[nodiscard]] OtuCarrier& carrier(CarrierId id);
+  [[nodiscard]] const std::vector<OtuCarrier>& carriers() const noexcept {
+    return carriers_;
+  }
+  /// Withdraw an idle carrier from service. Fails with kBusy while any
+  /// circuit holds working slots or a backup reservation on it.
+  Status retire_carrier(CarrierId id);
+
+  // --- circuits ----------------------------------------------------------
+  struct CircuitSpec {
+    CustomerId customer;
+    NodeId src;
+    NodeId dst;
+    DataRate rate;
+    bool protect = false;  ///< reserve a shared-mesh backup path
+  };
+  Result<OduCircuitId> create_circuit(const CircuitSpec& spec);
+  Status release_circuit(OduCircuitId id);
+  [[nodiscard]] const OduCircuit& circuit(OduCircuitId id) const;
+  [[nodiscard]] std::vector<OduCircuitId> circuit_ids() const;
+  [[nodiscard]] std::size_t circuit_count() const noexcept {
+    return circuits_.size();
+  }
+
+  // --- failure handling ---------------------------------------------------
+  /// Fiber link failed: fail carriers riding it; returns circuits whose
+  /// *active* path just went down.
+  std::vector<OduCircuitId> on_link_failed(LinkId link);
+  /// Fiber link repaired: un-fail carriers (circuits stay on backup until
+  /// reverted); returns circuits eligible for reversion.
+  std::vector<OduCircuitId> on_link_repaired(LinkId link);
+
+  /// Move a failed protected circuit onto its reserved backup path.
+  Status activate_backup(OduCircuitId id);
+  /// Maintenance: move a *healthy* protected circuit onto its backup before
+  /// its primary span is taken down (make-before-break at the ODU layer).
+  Status preemptive_switch(OduCircuitId id);
+  /// Move a circuit back to its (repaired) primary path.
+  Status revert_to_primary(OduCircuitId id);
+
+  // --- capacity statistics (benches) --------------------------------------
+  struct SlotStats {
+    int total = 0;
+    int working = 0;
+    int shared_reserved = 0;
+  };
+  [[nodiscard]] SlotStats slot_stats() const noexcept;
+
+ private:
+  using CarrierFilter = std::function<bool(const OtuCarrier&)>;
+  /// Min-hop path over the carrier graph.
+  [[nodiscard]] std::optional<std::vector<CarrierId>> find_carrier_path(
+      NodeId src, NodeId dst, const CarrierFilter& filter) const;
+
+  Status install_xconnects(OduCircuit& c, const std::vector<CarrierId>& path);
+  void remove_xconnects(OduCircuit& c, const std::vector<CarrierId>& path);
+  /// All physical links any carrier of `path` rides (the risk set).
+  [[nodiscard]] std::vector<LinkId> risk_set(
+      const std::vector<CarrierId>& path) const;
+
+  const topology::Graph* graph_;
+  std::vector<OtnSwitch> switches_;
+  std::vector<OtuCarrier> carriers_;
+  std::map<OduCircuitId, OduCircuit> circuits_;
+  IdAllocator<OtnSwitchId> switch_ids_;
+  IdAllocator<CarrierId> carrier_ids_;
+  IdAllocator<OduCircuitId> circuit_ids_alloc_;
+};
+
+}  // namespace griphon::otn

@@ -1,0 +1,107 @@
+// ITU-T G.709 ODU hierarchy.
+//
+// The OTN layer cross-connects at ODU0 (1.25 Gbps) granularity (paper
+// §2.1: "The OTN switches cross-connect at an ODU0 rate (1.25Gbps)").
+// Higher-order carriers (OTU2/3/4 riding a wavelength) are divided into
+// 1.25G tributary slots; a lower-order ODU occupies a fixed number of
+// slots.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace griphon::otn {
+
+enum class OduLevel : std::uint8_t {
+  kOdu0,   ///< 1.25G  (1 slot)  — carries 1GbE
+  kOdu1,   ///< 2.5G   (2 slots)
+  kOdu2,   ///< 10G    (8 slots) — carries 10GbE
+  kOdu3,   ///< 40G    (32 slots)
+  kOdu4,   ///< 100G   (80 slots)
+  kOduFlex ///< n x 1.25G
+};
+
+[[nodiscard]] constexpr const char* to_string(OduLevel l) noexcept {
+  switch (l) {
+    case OduLevel::kOdu0:
+      return "ODU0";
+    case OduLevel::kOdu1:
+      return "ODU1";
+    case OduLevel::kOdu2:
+      return "ODU2";
+    case OduLevel::kOdu3:
+      return "ODU3";
+    case OduLevel::kOdu4:
+      return "ODU4";
+    case OduLevel::kOduFlex:
+      return "ODUflex";
+  }
+  return "?";
+}
+
+/// Payload rate of a fixed ODU level.
+[[nodiscard]] constexpr DataRate rate_of(OduLevel l) {
+  switch (l) {
+    case OduLevel::kOdu0:
+      return rates::kOdu0;
+    case OduLevel::kOdu1:
+      return rates::kOdu1;
+    case OduLevel::kOdu2:
+      return rates::kOdu2;
+    case OduLevel::kOdu3:
+      return rates::kOdu3;
+    case OduLevel::kOdu4:
+      return rates::kOdu4;
+    case OduLevel::kOduFlex:
+      throw std::invalid_argument("rate_of: ODUflex rate is per-instance");
+  }
+  throw std::invalid_argument("rate_of: bad level");
+}
+
+/// 1.25G tributary slots occupied by a fixed ODU level inside a carrier.
+[[nodiscard]] constexpr int slots_of(OduLevel l) {
+  switch (l) {
+    case OduLevel::kOdu0:
+      return 1;
+    case OduLevel::kOdu1:
+      return 2;
+    case OduLevel::kOdu2:
+      return 8;
+    case OduLevel::kOdu3:
+      return 32;
+    case OduLevel::kOdu4:
+      return 80;
+    case OduLevel::kOduFlex:
+      throw std::invalid_argument("slots_of: ODUflex is per-instance");
+  }
+  throw std::invalid_argument("slots_of: bad level");
+}
+
+/// Tributary slots for an arbitrary client rate (ODUflex sizing).
+[[nodiscard]] constexpr int slots_for_rate(DataRate rate) {
+  const auto slot = rates::kOdu0.in_bps();
+  const auto n = (rate.in_bps() + slot - 1) / slot;
+  return static_cast<int>(n);
+}
+
+/// Smallest fixed ODU level that carries `rate`, preferring tight fits
+/// (1GbE -> ODU0, 10GbE -> ODU2).
+[[nodiscard]] constexpr OduLevel level_for_rate(DataRate rate) {
+  if (rate <= rates::kOdu0) return OduLevel::kOdu0;
+  if (rate <= rates::kOdu1) return OduLevel::kOdu1;
+  if (rate <= rates::kOdu2) return OduLevel::kOdu2;
+  if (rate <= rates::kOdu3) return OduLevel::kOdu3;
+  if (rate <= rates::kOdu4) return OduLevel::kOdu4;
+  throw std::invalid_argument("level_for_rate: rate above ODU4");
+}
+
+/// Tributary-slot capacity of an OTU carrier at a given line rate.
+[[nodiscard]] constexpr int carrier_slots(DataRate line_rate) {
+  if (line_rate <= rates::k10G) return 8;    // OTU2
+  if (line_rate <= rates::k40G) return 32;   // OTU3
+  return 80;                                 // OTU4
+}
+
+}  // namespace griphon::otn

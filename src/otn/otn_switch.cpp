@@ -1,0 +1,79 @@
+#include "otn/otn_switch.hpp"
+
+#include <algorithm>
+
+namespace griphon::otn {
+
+void OtnSwitch::attach_carrier(CarrierId carrier) {
+  if (!has_carrier(carrier)) carriers_.push_back(carrier);
+}
+
+bool OtnSwitch::has_carrier(CarrierId carrier) const noexcept {
+  return std::find(carriers_.begin(), carriers_.end(), carrier) !=
+         carriers_.end();
+}
+
+Result<std::size_t> OtnSwitch::allocate_client_port() {
+  for (std::size_t i = 0; i < client_in_use_.size(); ++i) {
+    if (!client_in_use_[i]) {
+      client_in_use_[i] = true;
+      return i;
+    }
+  }
+  return Error{ErrorCode::kResourceExhausted,
+               name() + ": all client ports in use"};
+}
+
+Status OtnSwitch::release_client_port(std::size_t port) {
+  if (port >= client_in_use_.size())
+    return Status{ErrorCode::kInvalidArgument, name() + ": bad port"};
+  if (!client_in_use_[port])
+    return Status{ErrorCode::kConflict, name() + ": port not in use"};
+  client_in_use_[port] = false;
+  return Status::success();
+}
+
+bool OtnSwitch::client_port_in_use(std::size_t port) const {
+  return port < client_in_use_.size() && client_in_use_[port];
+}
+
+std::size_t OtnSwitch::client_ports_in_use() const noexcept {
+  return static_cast<std::size_t>(
+      std::count(client_in_use_.begin(), client_in_use_.end(), true));
+}
+
+Status OtnSwitch::validate(const Endpoint& e) const {
+  if (const auto* client = std::get_if<ClientEndpoint>(&e)) {
+    if (client->port >= client_in_use_.size())
+      return Status{ErrorCode::kInvalidArgument, name() + ": bad client port"};
+    if (!client_in_use_[client->port])
+      return Status{ErrorCode::kConflict,
+                    name() + ": client port not allocated"};
+    return Status::success();
+  }
+  const auto& line = std::get<LineEndpoint>(e);
+  if (!has_carrier(line.carrier))
+    return Status{ErrorCode::kNotFound,
+                  name() + ": carrier not attached here"};
+  if (line.slots.empty())
+    return Status{ErrorCode::kInvalidArgument, name() + ": no slots given"};
+  return Status::success();
+}
+
+Status OtnSwitch::xconnect(OduCircuitId circuit, Endpoint from, Endpoint to) {
+  if (xconnects_.contains(circuit))
+    return Status{ErrorCode::kConflict,
+                  name() + ": circuit already cross-connected"};
+  if (const Status s = validate(from); !s.ok()) return s;
+  if (const Status s = validate(to); !s.ok()) return s;
+  xconnects_[circuit] = {std::move(from), std::move(to)};
+  return Status::success();
+}
+
+Status OtnSwitch::release_xconnect(OduCircuitId circuit) {
+  if (xconnects_.erase(circuit) == 0)
+    return Status{ErrorCode::kConflict, name() + ": no such cross-connect"};
+  return Status::success();
+}
+
+}  // namespace griphon::otn

@@ -1,0 +1,83 @@
+// OTN switch element.
+//
+// One per GRIPhoN site (core PoP). Client ports accept customer signals
+// (1GbE / 10GbE through the FXC); line ports are the OTU carriers attached
+// to this switch. The fabric cross-connects ODUs between client ports and
+// carrier tributary slots, and between carriers (intermediate hops of a
+// multi-hop sub-wavelength circuit).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/units.hpp"
+
+namespace griphon::otn {
+
+/// One side of an ODU cross-connect.
+struct ClientEndpoint {
+  std::size_t port = 0;
+  friend bool operator==(const ClientEndpoint&,
+                         const ClientEndpoint&) = default;
+};
+struct LineEndpoint {
+  CarrierId carrier;
+  std::vector<int> slots;
+  friend bool operator==(const LineEndpoint&, const LineEndpoint&) = default;
+};
+using Endpoint = std::variant<ClientEndpoint, LineEndpoint>;
+
+class OtnSwitch {
+ public:
+  OtnSwitch(OtnSwitchId id, NodeId site, std::size_t client_ports)
+      : id_(id), site_(site), client_in_use_(client_ports, false) {}
+
+  [[nodiscard]] OtnSwitchId id() const noexcept { return id_; }
+  [[nodiscard]] NodeId site() const noexcept { return site_; }
+  [[nodiscard]] std::string name() const {
+    return "otnsw/" + std::to_string(id_.value());
+  }
+  [[nodiscard]] std::size_t client_port_count() const noexcept {
+    return client_in_use_.size();
+  }
+
+  /// Record that a carrier terminates here (line port).
+  void attach_carrier(CarrierId carrier);
+  [[nodiscard]] bool has_carrier(CarrierId carrier) const noexcept;
+  [[nodiscard]] const std::vector<CarrierId>& carriers() const noexcept {
+    return carriers_;
+  }
+
+  /// Claim a free client port for a circuit end.
+  Result<std::size_t> allocate_client_port();
+  Status release_client_port(std::size_t port);
+  [[nodiscard]] bool client_port_in_use(std::size_t port) const;
+  [[nodiscard]] std::size_t client_ports_in_use() const noexcept;
+
+  /// Install the fabric cross-connect for `circuit` between two endpoints.
+  /// Line endpoints must reference carriers attached to this switch.
+  Status xconnect(OduCircuitId circuit, Endpoint from, Endpoint to);
+  Status release_xconnect(OduCircuitId circuit);
+  [[nodiscard]] bool has_xconnect(OduCircuitId circuit) const noexcept {
+    return xconnects_.contains(circuit);
+  }
+  [[nodiscard]] std::size_t xconnect_count() const noexcept {
+    return xconnects_.size();
+  }
+
+ private:
+  [[nodiscard]] Status validate(const Endpoint& e) const;
+
+  OtnSwitchId id_;
+  NodeId site_;
+  std::vector<bool> client_in_use_;
+  std::vector<CarrierId> carriers_;
+  std::map<OduCircuitId, std::pair<Endpoint, Endpoint>> xconnects_;
+};
+
+}  // namespace griphon::otn

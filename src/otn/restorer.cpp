@@ -1,0 +1,41 @@
+#include "otn/restorer.hpp"
+
+namespace griphon::otn {
+
+void MeshRestorer::link_failed(LinkId link) {
+  const SimTime failed_at = engine_->now();
+  const auto affected = layer_->on_link_failed(link);
+  for (const OduCircuitId id : affected) {
+    const auto& c = layer_->circuit(id);
+    if (!c.is_protected) continue;
+    const SimTime delay = params_.activation.sample(engine_->rng());
+    engine_->schedule(delay, [this, id, failed_at]() {
+      // The circuit may have been released or repaired meanwhile.
+      Status status{ErrorCode::kNotFound, "restorer: circuit gone"};
+      bool still_failed = false;
+      for (const OduCircuitId cid : layer_->circuit_ids()) {
+        if (cid == id) {
+          still_failed =
+              layer_->circuit(id).state == OduCircuit::State::kFailed;
+          break;
+        }
+      }
+      if (still_failed) status = layer_->activate_backup(id);
+      if (status.ok()) {
+        ++restored_ok_;
+        times_[id] = engine_->now() - failed_at;
+      } else {
+        ++restored_failed_;
+      }
+      if (restore_cb_) restore_cb_(id, status);
+    });
+  }
+}
+
+void MeshRestorer::link_repaired(LinkId link) {
+  const auto eligible = layer_->on_link_repaired(link);
+  for (const OduCircuitId id : eligible)
+    if (revert_cb_) revert_cb_(id);
+}
+
+}  // namespace griphon::otn

@@ -1,0 +1,67 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace griphon::sim {
+
+EventHandle Engine::schedule(SimTime delay, Callback fn) {
+  return schedule_at(now_ + std::max(SimTime{}, delay), std::move(fn));
+}
+
+EventHandle Engine::schedule_at(SimTime when, Callback fn) {
+  assert(fn && "scheduling an empty callback");
+  const auto seq = next_seq_++;
+  queue_.push(Event{std::max(when, now_), seq, std::move(fn)});
+  return EventHandle{seq};
+}
+
+void Engine::cancel(EventHandle handle) {
+  if (!handle.valid()) return;
+  cancelled_.push_back(handle.seq_);
+  ++cancelled_pending_;
+}
+
+bool Engine::pop_one() {
+  while (!queue_.empty()) {
+    // priority_queue has no non-const top-move; copy of the std::function is
+    // unavoidable without a custom heap, and event rates here are low.
+    Event ev = queue_.top();
+    queue_.pop();
+    const auto it =
+        std::find(cancelled_.begin(), cancelled_.end(), ev.seq);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      --cancelled_pending_;
+      continue;
+    }
+    now_ = ev.when;
+    ++fired_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Engine::run() {
+  std::size_t n = 0;
+  while (pop_one()) ++n;
+  return n;
+}
+
+std::size_t Engine::run_until(SimTime deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    if (pop_one()) ++n;
+  }
+  now_ = std::max(now_, deadline);
+  return n;
+}
+
+bool Engine::step() { return pop_one(); }
+
+std::size_t Engine::pending() const noexcept {
+  return queue_.size() - cancelled_pending_;
+}
+
+}  // namespace griphon::sim

@@ -1,0 +1,92 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace griphon::sim {
+
+const char* to_string(TraceLevel level) noexcept {
+  switch (level) {
+    case TraceLevel::kDebug:
+      return "DEBUG";
+    case TraceLevel::kInfo:
+      return "INFO";
+    case TraceLevel::kWarn:
+      return "WARN";
+    case TraceLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+void Trace::emit(SimTime when, TraceLevel level, std::string actor,
+                 std::string event, std::string detail) {
+  if (level < min_level_) return;
+  records_.push_back(TraceRecord{when, level, std::move(actor),
+                                 std::move(event), std::move(detail)});
+  if (echo_ != nullptr) *echo_ << records_.back() << '\n';
+}
+
+std::size_t Trace::count(std::string_view event) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(),
+                    [&](const TraceRecord& r) { return r.event == event; }));
+}
+
+namespace {
+void json_escape(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+}  // namespace
+
+std::string Trace::to_json() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const TraceRecord& r = records_[i];
+    if (i > 0) os << ",";
+    os << "{\"t\":" << std::fixed << std::setprecision(6)
+       << to_seconds(r.when) << ",\"level\":\"" << to_string(r.level)
+       << "\",\"actor\":\"";
+    json_escape(os, r.actor);
+    os << "\",\"event\":\"";
+    json_escape(os, r.event);
+    os << "\",\"detail\":\"";
+    json_escape(os, r.detail);
+    os << "\"}";
+  }
+  os << "]";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TraceRecord& r) {
+  os << '[' << std::fixed << std::setprecision(3) << to_seconds(r.when)
+     << "s] " << to_string(r.level) << ' ' << r.actor << ' ' << r.event;
+  if (!r.detail.empty()) os << " (" << r.detail << ')';
+  return os;
+}
+
+}  // namespace griphon::sim

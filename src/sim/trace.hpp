@@ -1,0 +1,59 @@
+// Structured trace log for the simulator.
+//
+// Components append records (time, actor, event, detail). Tests assert on
+// the sequence; benches and examples can print it. Kept as values, not
+// formatted strings, so consumers can filter cheaply.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace griphon::sim {
+
+enum class TraceLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+[[nodiscard]] const char* to_string(TraceLevel level) noexcept;
+
+struct TraceRecord {
+  SimTime when{};
+  TraceLevel level = TraceLevel::kInfo;
+  std::string actor;   ///< e.g. "roadm-ems/2", "controller"
+  std::string event;   ///< e.g. "xconnect", "alarm", "setup-done"
+  std::string detail;  ///< free-form context
+};
+
+class Trace {
+ public:
+  void emit(SimTime when, TraceLevel level, std::string actor,
+            std::string event, std::string detail = {});
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+  void clear() { records_.clear(); }
+
+  /// Number of records whose event name matches exactly.
+  [[nodiscard]] std::size_t count(std::string_view event) const noexcept;
+
+  /// Minimum level retained; below it emit() is a no-op.
+  void set_min_level(TraceLevel level) noexcept { min_level_ = level; }
+
+  /// Mirror records to a stream as they are emitted (for examples/demos).
+  void echo_to(std::ostream* os) noexcept { echo_ = os; }
+
+  /// Serialize all records as a JSON array (for offline tooling); strings
+  /// are escaped per RFC 8259.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::vector<TraceRecord> records_;
+  TraceLevel min_level_ = TraceLevel::kDebug;
+  std::ostream* echo_ = nullptr;
+};
+
+std::ostream& operator<<(std::ostream& os, const TraceRecord& r);
+
+}  // namespace griphon::sim

@@ -1,0 +1,138 @@
+#include "sonet/ring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sonet/sts.hpp"
+
+namespace griphon::sonet {
+
+SonetRing::SonetRing(std::vector<NodeId> nodes, int oc_level)
+    : nodes_(std::move(nodes)), capacity_(oc_capacity(oc_level)),
+      failed_(nodes_.size(), false) {
+  if (nodes_.size() < 3)
+    throw std::invalid_argument("SonetRing: need >= 3 nodes");
+}
+
+bool SonetRing::on_ring(NodeId n) const noexcept {
+  return std::find(nodes_.begin(), nodes_.end(), n) != nodes_.end();
+}
+
+std::size_t SonetRing::position(NodeId n) const {
+  const auto it = std::find(nodes_.begin(), nodes_.end(), n);
+  if (it == nodes_.end())
+    throw std::out_of_range("SonetRing: node not on ring");
+  return static_cast<std::size_t>(it - nodes_.begin());
+}
+
+std::vector<std::size_t> SonetRing::arc(NodeId src, NodeId dst,
+                                        bool clockwise) const {
+  std::vector<std::size_t> spans;
+  const std::size_t n = nodes_.size();
+  std::size_t at = position(src);
+  const std::size_t end = position(dst);
+  while (at != end) {
+    if (clockwise) {
+      spans.push_back(at);  // span i joins node i and i+1
+      at = (at + 1) % n;
+    } else {
+      at = (at + n - 1) % n;
+      spans.push_back(at);
+    }
+  }
+  return spans;
+}
+
+int SonetRing::used_on_span(std::size_t span) const {
+  // Working traffic on its arc plus protection reservations on the
+  // opposite arc: a UPSR ring dedicates capacity both ways.
+  int used = 0;
+  for (const auto& [id, c] : circuits_) {
+    const auto working = arc(c.src, c.dst, c.clockwise);
+    const auto protect = arc(c.src, c.dst, !c.clockwise);
+    if (std::find(working.begin(), working.end(), span) != working.end() ||
+        std::find(protect.begin(), protect.end(), span) != protect.end())
+      used += c.sts1;
+  }
+  return used;
+}
+
+Result<StsCircuitId> SonetRing::provision(NodeId src, NodeId dst, int sts1) {
+  if (!on_ring(src) || !on_ring(dst))
+    return Error{ErrorCode::kNotFound, "ring: endpoint not on ring"};
+  if (src == dst || sts1 <= 0)
+    return Error{ErrorCode::kInvalidArgument, "ring: bad circuit spec"};
+  // UPSR consumes `sts1` on *every* span (working one way, protection the
+  // other), so admission is simply against the worst span.
+  for (std::size_t s = 0; s < nodes_.size(); ++s)
+    if (used_on_span(s) + sts1 > capacity_)
+      return Error{ErrorCode::kResourceExhausted,
+                   "ring: insufficient STS-1 timeslots"};
+
+  Circuit c;
+  c.id = ids_.next();
+  c.src = src;
+  c.dst = dst;
+  c.sts1 = sts1;
+  // Work on the shorter arc.
+  c.clockwise = arc(src, dst, true).size() <= arc(src, dst, false).size();
+  circuits_[c.id] = c;
+  return c.id;
+}
+
+Status SonetRing::release(StsCircuitId id) {
+  if (circuits_.erase(id) == 0)
+    return Status{ErrorCode::kNotFound, "ring: unknown circuit"};
+  return Status::success();
+}
+
+const SonetRing::Circuit& SonetRing::circuit(StsCircuitId id) const {
+  const auto it = circuits_.find(id);
+  if (it == circuits_.end())
+    throw std::out_of_range("SonetRing::circuit: unknown id");
+  return it->second;
+}
+
+std::vector<StsCircuitId> SonetRing::fail_span(std::size_t span_index) {
+  if (span_index >= failed_.size())
+    throw std::out_of_range("SonetRing::fail_span: bad span");
+  failed_[span_index] = true;
+  std::vector<StsCircuitId> switched;
+  for (auto& [id, c] : circuits_) {
+    if (c.on_protection) continue;
+    const auto working = arc(c.src, c.dst, c.clockwise);
+    if (std::find(working.begin(), working.end(), span_index) !=
+        working.end()) {
+      c.on_protection = true;
+      switched.push_back(id);
+    }
+  }
+  return switched;
+}
+
+void SonetRing::repair_span(std::size_t span_index) {
+  if (span_index >= failed_.size())
+    throw std::out_of_range("SonetRing::repair_span: bad span");
+  failed_[span_index] = false;
+  for (auto& [id, c] : circuits_) {
+    if (!c.on_protection) continue;
+    const auto working = arc(c.src, c.dst, c.clockwise);
+    const bool still_down =
+        std::any_of(working.begin(), working.end(),
+                    [&](std::size_t s) { return failed_[s]; });
+    if (!still_down) c.on_protection = false;  // revertive switching
+  }
+}
+
+bool SonetRing::span_failed(std::size_t span_index) const {
+  return span_index < failed_.size() && failed_[span_index];
+}
+
+int SonetRing::bottleneck_free() const {
+  int worst = capacity_;
+  for (std::size_t s = 0; s < nodes_.size(); ++s)
+    worst = std::min(worst, capacity_ - used_on_span(s));
+  return worst;
+}
+
+}  // namespace griphon::sonet

@@ -1,0 +1,80 @@
+// SONET ring with ADMs and sub-second path protection.
+//
+// Models the legacy transport the paper contrasts GRIPhoN against: circuits
+// ride one way around the ring (working) with the other way reserved
+// (protection); on a span failure the ADMs switch to protection in tens of
+// milliseconds ("an automatic protection/restoration mechanism ... in less
+// than a second", paper §2.1). Capacity is counted in STS-1 timeslots per
+// span.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/units.hpp"
+
+namespace griphon::sonet {
+
+class SonetRing {
+ public:
+  /// `nodes` in ring order; each adjacent pair (and last-first) is a span
+  /// of an OC-`oc_level` line.
+  SonetRing(std::vector<NodeId> nodes, int oc_level);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] int capacity_sts1() const noexcept { return capacity_; }
+  [[nodiscard]] bool on_ring(NodeId n) const noexcept;
+
+  struct Circuit {
+    StsCircuitId id;
+    NodeId src;
+    NodeId dst;
+    int sts1 = 0;
+    bool clockwise = true;  ///< working direction
+    bool on_protection = false;
+  };
+
+  /// Provision a VCAT circuit of `sts1` STS-1s between two ring nodes.
+  /// Working capacity is taken on the shorter arc; the same amount is
+  /// reserved on the opposite arc for protection (UPSR-style 1+1 ring).
+  Result<StsCircuitId> provision(NodeId src, NodeId dst, int sts1);
+  Status release(StsCircuitId id);
+  [[nodiscard]] const Circuit& circuit(StsCircuitId id) const;
+  [[nodiscard]] std::size_t circuit_count() const noexcept {
+    return circuits_.size();
+  }
+
+  /// Span between ring position i and i+1 fails; circuits whose working
+  /// arc crosses it switch to protection. Returns the switched circuits.
+  std::vector<StsCircuitId> fail_span(std::size_t span_index);
+  void repair_span(std::size_t span_index);
+  [[nodiscard]] bool span_failed(std::size_t span_index) const;
+
+  /// Free STS-1s on the most loaded span (the ring's admission bottleneck).
+  [[nodiscard]] int bottleneck_free() const;
+
+  /// Protection switch time for ring ADMs — the "today" number GRIPhoN's
+  /// restoration is compared against for low-rate services.
+  [[nodiscard]] static SimTime protection_switch_time() {
+    return milliseconds(50);
+  }
+
+ private:
+  /// Spans crossed going clockwise from src to dst.
+  [[nodiscard]] std::vector<std::size_t> arc(NodeId src, NodeId dst,
+                                             bool clockwise) const;
+  [[nodiscard]] std::size_t position(NodeId n) const;
+  [[nodiscard]] int used_on_span(std::size_t span) const;
+
+  std::vector<NodeId> nodes_;
+  int capacity_;
+  std::vector<bool> failed_;  // per span
+  std::map<StsCircuitId, Circuit> circuits_;
+  IdAllocator<StsCircuitId> ids_;
+};
+
+}  // namespace griphon::sonet

@@ -1,0 +1,39 @@
+// SONET STS hierarchy and virtual concatenation.
+//
+// The legacy layer of the paper's Fig. 1: Broadband DCS/ADM equipment
+// cross-connecting at STS-1 (~52 Mbps). Ethernet private lines are
+// "encapsulated and rate-limited into pipes consisting of virtually
+// concatenated SONET STS-1s"; circuit-based BoD today rides this layer and
+// tops out around OC-12 (622 Mbps).
+#pragma once
+
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace griphon::sonet {
+
+/// Number of STS-1s in a virtually concatenated group carrying `rate`.
+[[nodiscard]] constexpr int sts1_count_for(DataRate rate) {
+  const auto sts1 = rates::kSts1.in_bps();
+  const auto n = (rate.in_bps() + sts1 - 1) / sts1;
+  if (n <= 0) throw std::invalid_argument("sts1_count_for: zero rate");
+  return static_cast<int>(n);
+}
+
+/// Payload of an STS-1-nv VCAT group.
+[[nodiscard]] constexpr DataRate vcat_rate(int n) {
+  return DataRate{rates::kSts1.in_bps() * n};
+}
+
+/// Capacity of an OC-N line in STS-1 units.
+[[nodiscard]] constexpr int oc_capacity(int oc_level) {
+  if (oc_level <= 0) throw std::invalid_argument("oc_capacity: bad level");
+  return oc_level;  // OC-N carries N STS-1s by definition
+}
+
+/// The ceiling of today's circuit BoD offerings (paper §1: "usually at
+/// rates <= 622 Mbps").
+inline constexpr DataRate kLegacyBodCeiling = rates::kOc12;
+
+}  // namespace griphon::sonet

@@ -1,0 +1,99 @@
+// Wide-band Digital Cross-connect System (W-DCS) — the top of the paper's
+// Fig. 1 legacy stack: "consists of DCS-3/1s and other DCS that
+// cross-connect at greater than DS0 but below DS3 rates. It provides
+// nxDS1 (1.5Mbps) TDM connections."
+//
+// Modeled as a DS3-interfaced cross-connect fabric allocating DS1
+// tributaries (28 DS1 per DS3). Included for completeness of the layer
+// stack; GRIPhoN itself never touches this layer, which is exactly the
+// point — its rates are three orders of magnitude below inter-DC needs.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/units.hpp"
+
+namespace griphon::sonet {
+
+namespace legacy_rates {
+inline constexpr DataRate kDs0 = DataRate::bps(64'000);
+inline constexpr DataRate kDs1 = DataRate::bps(1'544'000);
+inline constexpr DataRate kDs3 = DataRate::bps(44'736'000);
+}  // namespace legacy_rates
+
+/// DS1 tributaries in one DS3 (M13 multiplexing).
+inline constexpr int kDs1PerDs3 = 28;
+
+/// Number of DS1s needed to carry `rate` (the nxDS1 service).
+[[nodiscard]] constexpr int ds1_count_for(DataRate rate) {
+  const auto ds1 = legacy_rates::kDs1.in_bps();
+  return static_cast<int>((rate.in_bps() + ds1 - 1) / ds1);
+}
+
+class WdcsCircuitTag {};
+using WdcsCircuitId = Id<WdcsCircuitTag>;
+
+/// One W-DCS node: `ds3_ports` DS3 interfaces, cross-connecting DS1s
+/// between them.
+class Wdcs {
+ public:
+  explicit Wdcs(std::size_t ds3_ports)
+      : used_per_port_(ds3_ports, 0) {}
+
+  [[nodiscard]] std::size_t ds3_port_count() const noexcept {
+    return used_per_port_.size();
+  }
+  [[nodiscard]] int free_ds1_on(std::size_t port) const {
+    return kDs1PerDs3 - used_per_port_.at(port);
+  }
+
+  /// Provision an nxDS1 circuit between two DS3 ports.
+  Result<WdcsCircuitId> provision(std::size_t port_a, std::size_t port_b,
+                                  DataRate rate) {
+    if (port_a >= used_per_port_.size() || port_b >= used_per_port_.size())
+      return Error{ErrorCode::kNotFound, "wdcs: unknown DS3 port"};
+    if (port_a == port_b)
+      return Error{ErrorCode::kInvalidArgument, "wdcs: hairpin"};
+    if (rate > legacy_rates::kDs3)
+      return Error{ErrorCode::kInvalidArgument,
+                   "wdcs: rate above DS3 (use the SONET layer)"};
+    const int n = ds1_count_for(rate);
+    if (free_ds1_on(port_a) < n || free_ds1_on(port_b) < n)
+      return Error{ErrorCode::kResourceExhausted,
+                   "wdcs: insufficient DS1 tributaries"};
+    used_per_port_[port_a] += n;
+    used_per_port_[port_b] += n;
+    const WdcsCircuitId id = ids_.next();
+    circuits_[id] = Circuit{port_a, port_b, n};
+    return id;
+  }
+
+  Status release(WdcsCircuitId id) {
+    const auto it = circuits_.find(id);
+    if (it == circuits_.end())
+      return Status{ErrorCode::kNotFound, "wdcs: unknown circuit"};
+    used_per_port_[it->second.port_a] -= it->second.ds1;
+    used_per_port_[it->second.port_b] -= it->second.ds1;
+    circuits_.erase(it);
+    return Status::success();
+  }
+
+  [[nodiscard]] std::size_t circuit_count() const noexcept {
+    return circuits_.size();
+  }
+
+ private:
+  struct Circuit {
+    std::size_t port_a = 0;
+    std::size_t port_b = 0;
+    int ds1 = 0;
+  };
+  std::vector<int> used_per_port_;
+  std::map<WdcsCircuitId, Circuit> circuits_;
+  IdAllocator<WdcsCircuitId> ids_;
+};
+
+}  // namespace griphon::sonet

@@ -1,0 +1,136 @@
+#include "topology/builders.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace griphon::topology {
+
+Testbed paper_testbed() {
+  Testbed t;
+  t.i = t.graph.add_node("I");
+  t.ii = t.graph.add_node("II");
+  t.iii = t.graph.add_node("III");
+  t.iv = t.graph.add_node("IV");
+  // Degrees: I and III are 3-degree, II and IV are 2-degree, matching the
+  // paper's "two 3-degree ROADMs and two 2-degree ROADMs". Lab distances
+  // are short; we give them metro-scale lengths so reach never binds.
+  t.i_iv = t.graph.add_link(t.i, t.iv, Distance::km(80));
+  t.i_iii = t.graph.add_link(t.i, t.iii, Distance::km(60));
+  t.iii_iv = t.graph.add_link(t.iii, t.iv, Distance::km(50));
+  t.i_ii = t.graph.add_link(t.i, t.ii, Distance::km(40));
+  t.ii_iii = t.graph.add_link(t.ii, t.iii, Distance::km(45));
+  return t;
+}
+
+Graph us_backbone() {
+  Graph g;
+  // NSFNET-like 14-node continental topology. Long links are split into
+  // ~100 km amplified spans (the unit of fiber cuts).
+  const NodeId sea = g.add_node("Seattle");
+  const NodeId paolo = g.add_node("PaloAlto");
+  const NodeId sd = g.add_node("SanDiego");
+  const NodeId slc = g.add_node("SaltLake");
+  const NodeId bld = g.add_node("Boulder");
+  const NodeId hou = g.add_node("Houston");
+  const NodeId lnc = g.add_node("Lincoln");
+  const NodeId chm = g.add_node("Champaign");
+  const NodeId pit = g.add_node("Pittsburgh");
+  const NodeId atl = g.add_node("Atlanta");
+  const NodeId aa = g.add_node("AnnArbor");
+  const NodeId ith = g.add_node("Ithaca");
+  const NodeId cp = g.add_node("CollegePark");
+  const NodeId pri = g.add_node("Princeton");
+
+  auto spans = [](double total_km) {
+    std::vector<Distance> out;
+    auto remaining = total_km;
+    while (remaining > 120) {
+      out.push_back(Distance::km(100));
+      remaining -= 100;
+    }
+    out.push_back(Distance::km(remaining));
+    return out;
+  };
+  auto link = [&](NodeId a, NodeId b, double km) {
+    g.add_link(a, b, spans(km));
+  };
+
+  link(sea, paolo, 1100);
+  link(sea, slc, 1130);
+  link(paolo, sd, 720);
+  link(paolo, slc, 970);
+  link(sd, hou, 1700);
+  link(slc, bld, 600);
+  link(bld, lnc, 780);
+  link(bld, hou, 1450);
+  link(hou, atl, 1140);
+  link(lnc, chm, 740);
+  link(chm, pit, 700);
+  link(pit, atl, 850);
+  link(pit, ith, 430);
+  link(atl, cp, 1000);
+  link(aa, chm, 420);
+  link(aa, ith, 620);
+  link(ith, pri, 330);
+  link(cp, pri, 260);
+  link(cp, ith, 450);
+  link(paolo, bld, 1600);
+  link(hou, chm, 1500);
+  return g;
+}
+
+Graph ring(std::size_t n, Distance circumference) {
+  if (n < 3) throw std::invalid_argument("ring: need >= 3 nodes");
+  Graph g;
+  std::vector<NodeId> nodes;
+  nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    nodes.push_back(g.add_node("R" + std::to_string(i)));
+  const Distance seg{circumference.in_km() / static_cast<double>(n)};
+  for (std::size_t i = 0; i < n; ++i)
+    g.add_link(nodes[i], nodes[(i + 1) % n], seg);
+  return g;
+}
+
+Graph random_mesh(std::size_t n, double avg_degree, Rng& rng) {
+  if (n < 2) throw std::invalid_argument("random_mesh: need >= 2 nodes");
+  Graph g;
+  std::vector<NodeId> nodes;
+  std::vector<std::pair<double, double>> pos;  // on a 3000x1500 km plane
+  nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back(g.add_node("N" + std::to_string(i)));
+    pos.emplace_back(rng.uniform(0, 3000), rng.uniform(0, 1500));
+  }
+  auto dist = [&](std::size_t a, std::size_t b) {
+    const double dx = pos[a].first - pos[b].first;
+    const double dy = pos[a].second - pos[b].second;
+    return std::max(30.0, std::hypot(dx, dy));
+  };
+  // Spanning tree: attach each node to a random earlier one.
+  for (std::size_t i = 1; i < n; ++i) {
+    const auto j =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(i) - 1));
+    g.add_link(nodes[i], nodes[j], Distance::km(dist(i, j)));
+  }
+  // Extra chords, closest pairs first among missing links, with random skip
+  // to avoid a fully regular structure.
+  const std::size_t target_links =
+      static_cast<std::size_t>(avg_degree * static_cast<double>(n) / 2.0);
+  std::vector<std::pair<std::size_t, std::size_t>> missing;
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = a + 1; b < n; ++b)
+      if (!g.find_link(nodes[a], nodes[b])) missing.emplace_back(a, b);
+  std::sort(missing.begin(), missing.end(), [&](auto x, auto y) {
+    return dist(x.first, x.second) < dist(y.first, y.second);
+  });
+  for (const auto& [a, b] : missing) {
+    if (g.links().size() >= target_links) break;
+    if (rng.chance(0.3)) continue;
+    g.add_link(nodes[a], nodes[b], Distance::km(dist(a, b)));
+  }
+  return g;
+}
+
+}  // namespace griphon::topology

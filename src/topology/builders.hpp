@@ -1,0 +1,35 @@
+// Ready-made topologies.
+//
+//  * paper_testbed(): the GRIPhoN lab testbed of the paper's Fig. 4 —
+//    four ROADM nodes I..IV (two 3-degree, two 2-degree) wired so the
+//    three measured paths exist: I-IV (1 hop), I-III-IV (2 hops),
+//    I-II-III-IV (3 hops).
+//  * us_backbone(): a 14-node NSFNET-like continental mesh with realistic
+//    span lengths, used for restoration / blocking / grooming studies.
+//  * ring(): n-node ring (SONET baseline studies).
+//  * random_mesh(): seeded Waxman-ish random mesh for stress tests.
+#pragma once
+
+#include "common/rng.hpp"
+#include "topology/graph.hpp"
+
+namespace griphon::topology {
+
+/// Node indices of the paper testbed, for readable tests.
+struct Testbed {
+  Graph graph;
+  NodeId i, ii, iii, iv;
+  LinkId i_iv, i_iii, iii_iv, i_ii, ii_iii;
+};
+
+[[nodiscard]] Testbed paper_testbed();
+
+[[nodiscard]] Graph us_backbone();
+
+[[nodiscard]] Graph ring(std::size_t n, Distance circumference);
+
+/// Connected random mesh: spanning tree + extra chords until the average
+/// degree target is met. Deterministic for a given rng state.
+[[nodiscard]] Graph random_mesh(std::size_t n, double avg_degree, Rng& rng);
+
+}  // namespace griphon::topology

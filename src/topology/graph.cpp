@@ -1,0 +1,95 @@
+#include "topology/graph.hpp"
+
+#include <stdexcept>
+
+namespace griphon::topology {
+
+NodeId Graph::add_node(std::string name, bool add_drop) {
+  const NodeId id{nodes_.size()};
+  nodes_.push_back(Node{id, std::move(name), add_drop});
+  adjacency_.emplace_back();
+  return id;
+}
+
+LinkId Graph::add_link(NodeId a, NodeId b, std::vector<Distance> span_lengths,
+                       std::string name) {
+  if (a.value() >= nodes_.size() || b.value() >= nodes_.size())
+    throw std::out_of_range("Graph::add_link: unknown endpoint");
+  if (a == b) throw std::invalid_argument("Graph::add_link: self-loop");
+  if (span_lengths.empty())
+    throw std::invalid_argument("Graph::add_link: link needs >=1 span");
+
+  const LinkId id{links_.size()};
+  Link link{id, a, b, {}, std::move(name)};
+  if (link.name.empty())
+    link.name = nodes_[a.value()].name + "-" + nodes_[b.value()].name;
+  for (const Distance d : span_lengths) {
+    // ~0.25 dB/km fiber + splice loss, pre-amplifier; only relative scale
+    // matters for the reach model.
+    link.spans.push_back(Span{span_ids_.next(), d, d.in_km() * 0.25});
+  }
+  links_.push_back(std::move(link));
+  adjacency_[a.value()].push_back(id);
+  adjacency_[b.value()].push_back(id);
+  return id;
+}
+
+LinkId Graph::add_link(NodeId a, NodeId b, Distance length, std::string name) {
+  return add_link(a, b, std::vector<Distance>{length}, std::move(name));
+}
+
+void Graph::set_srlg(LinkId link, int srlg) {
+  if (link.value() >= links_.size())
+    throw std::out_of_range("Graph::set_srlg: unknown link");
+  links_[link.value()].srlg = srlg;
+}
+
+std::vector<LinkId> Graph::srlg_siblings(LinkId link) const {
+  if (link.value() >= links_.size())
+    throw std::out_of_range("Graph::srlg_siblings: unknown link");
+  const int srlg = links_[link.value()].srlg;
+  if (srlg < 0) return {link};
+  std::vector<LinkId> out;
+  for (const auto& l : links_)
+    if (l.srlg == srlg) out.push_back(l.id);
+  return out;
+}
+
+const Node& Graph::node(NodeId id) const {
+  if (id.value() >= nodes_.size())
+    throw std::out_of_range("Graph::node: unknown id");
+  return nodes_[id.value()];
+}
+
+const Link& Graph::link(LinkId id) const {
+  if (id.value() >= links_.size())
+    throw std::out_of_range("Graph::link: unknown id");
+  return links_[id.value()];
+}
+
+std::optional<NodeId> Graph::find_node(std::string_view name) const {
+  for (const auto& n : nodes_)
+    if (n.name == name) return n.id;
+  return std::nullopt;
+}
+
+std::optional<LinkId> Graph::find_link(NodeId a, NodeId b) const {
+  for (const LinkId id : links_at(a))
+    if (links_[id.value()].touches(b)) return id;
+  return std::nullopt;
+}
+
+std::optional<LinkId> Graph::link_of_span(SpanId span) const {
+  for (const auto& l : links_)
+    for (const auto& s : l.spans)
+      if (s.id == span) return l.id;
+  return std::nullopt;
+}
+
+const std::vector<LinkId>& Graph::links_at(NodeId n) const {
+  if (n.value() >= adjacency_.size())
+    throw std::out_of_range("Graph::links_at: unknown node");
+  return adjacency_[n.value()];
+}
+
+}  // namespace griphon::topology

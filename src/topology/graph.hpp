@@ -1,0 +1,99 @@
+// Physical-plant topology: nodes (ROADM/central-office sites) connected by
+// bidirectional fiber links, each made of one or more amplified spans.
+//
+// The graph is the substrate every layer rides on: DWDM wavelengths occupy
+// links; OTN and SONET circuits ride wavelengths; the controller routes
+// over it. The graph itself is layer-agnostic.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/units.hpp"
+
+namespace griphon::topology {
+
+/// An amplified fiber span inside a link. Spans are the unit of failure
+/// (a backhoe cuts a span) and of optical-impairment accounting.
+struct Span {
+  SpanId id;
+  Distance length;
+  double loss_db = 0;  ///< end-to-end span loss incl. amplifier compensation
+};
+
+/// A bidirectional fiber link between two nodes.
+struct Link {
+  LinkId id;
+  NodeId a;
+  NodeId b;
+  std::vector<Span> spans;
+  std::string name;
+  /// Shared-risk link group: links in the same conduit/right-of-way share
+  /// a fate (one backhoe cuts them all). -1 = no shared risk recorded.
+  int srlg = -1;
+
+  [[nodiscard]] Distance length() const {
+    Distance d{};
+    for (const auto& s : spans) d += s.length;
+    return d;
+  }
+  /// The other endpoint, given one of them.
+  [[nodiscard]] NodeId peer(NodeId n) const { return n == a ? b : a; }
+  [[nodiscard]] bool touches(NodeId n) const { return n == a || n == b; }
+};
+
+struct Node {
+  NodeId id;
+  std::string name;
+  /// True for sites with add/drop capability (core PoPs); pure amplifier
+  /// huts would be false, but we model those as spans instead.
+  bool add_drop = true;
+};
+
+class Graph {
+ public:
+  NodeId add_node(std::string name, bool add_drop = true);
+
+  /// Add a link whose fiber consists of `span_lengths` consecutive spans.
+  LinkId add_link(NodeId a, NodeId b, std::vector<Distance> span_lengths,
+                  std::string name = {});
+  /// Convenience: single-span link.
+  LinkId add_link(NodeId a, NodeId b, Distance length, std::string name = {});
+
+  /// Put a link into a shared-risk group (same conduit / bridge / duct).
+  void set_srlg(LinkId link, int srlg);
+  /// All links sharing `link`'s SRLG (including itself); just the link
+  /// itself when it has no SRLG.
+  [[nodiscard]] std::vector<LinkId> srlg_siblings(LinkId link) const;
+
+  [[nodiscard]] const Node& node(NodeId id) const;
+  [[nodiscard]] const Link& link(LinkId id) const;
+  [[nodiscard]] std::optional<NodeId> find_node(std::string_view name) const;
+  /// Link between a and b if one exists (first match).
+  [[nodiscard]] std::optional<LinkId> find_link(NodeId a, NodeId b) const;
+  /// Which link owns this span.
+  [[nodiscard]] std::optional<LinkId> link_of_span(SpanId span) const;
+
+  [[nodiscard]] const std::vector<Node>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] const std::vector<Link>& links() const noexcept {
+    return links_;
+  }
+  [[nodiscard]] const std::vector<LinkId>& links_at(NodeId n) const;
+
+  [[nodiscard]] std::size_t degree(NodeId n) const {
+    return links_at(n).size();
+  }
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> adjacency_;  // indexed by NodeId value
+  IdAllocator<SpanId> span_ids_;
+};
+
+}  // namespace griphon::topology

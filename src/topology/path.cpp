@@ -1,0 +1,291 @@
+#include "topology/path.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace griphon::topology {
+
+Distance Path::length(const Graph& g) const {
+  Distance d{};
+  for (const LinkId l : links) d += g.link(l).length();
+  return d;
+}
+
+bool Path::uses_link(LinkId id) const noexcept {
+  return std::find(links.begin(), links.end(), id) != links.end();
+}
+
+bool Path::uses_node(NodeId id) const noexcept {
+  return std::find(nodes.begin(), nodes.end(), id) != nodes.end();
+}
+
+WeightFn distance_weight() {
+  return [](const Link& l) { return l.length().in_km(); };
+}
+
+WeightFn hop_weight() {
+  return [](const Link&) { return 1.0; };
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Dijkstra with explicit ban sets (used directly and by Yen's spur loop).
+std::optional<Path> dijkstra(const Graph& g, NodeId src, NodeId dst,
+                             const WeightFn& weight, const LinkFilter& filter,
+                             const std::set<LinkId>& banned_links,
+                             const std::set<NodeId>& banned_nodes) {
+  if (src == dst)
+    throw std::invalid_argument("shortest_path: src == dst");
+  const std::size_t n = g.nodes().size();
+  std::vector<double> dist(n, kInf);
+  std::vector<LinkId> via(n);   // link used to reach node
+  std::vector<NodeId> prev(n);  // predecessor node
+
+  using QItem = std::pair<double, NodeId>;
+  auto cmp = [](const QItem& a, const QItem& b) { return a.first > b.first; };
+  std::priority_queue<QItem, std::vector<QItem>, decltype(cmp)> pq(cmp);
+
+  dist[src.value()] = 0;
+  pq.emplace(0.0, src);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u.value()]) continue;  // stale entry
+    if (u == dst) break;
+    for (const LinkId lid : g.links_at(u)) {
+      if (banned_links.contains(lid)) continue;
+      const Link& l = g.link(lid);
+      if (filter && !filter(l)) continue;
+      const NodeId v = l.peer(u);
+      if (banned_nodes.contains(v)) continue;
+      const double w = weight(l);
+      assert(w > 0 && "link weights must be positive");
+      if (dist[u.value()] + w < dist[v.value()]) {
+        dist[v.value()] = dist[u.value()] + w;
+        via[v.value()] = lid;
+        prev[v.value()] = u;
+        pq.emplace(dist[v.value()], v);
+      }
+    }
+  }
+  if (dist[dst.value()] == kInf) return std::nullopt;
+
+  Path p;
+  for (NodeId at = dst; at != src; at = prev[at.value()]) {
+    p.nodes.push_back(at);
+    p.links.push_back(via[at.value()]);
+  }
+  p.nodes.push_back(src);
+  std::reverse(p.nodes.begin(), p.nodes.end());
+  std::reverse(p.links.begin(), p.links.end());
+  return p;
+}
+
+double path_weight(const Graph& g, const Path& p, const WeightFn& weight) {
+  double w = 0;
+  for (const LinkId l : p.links) w += weight(g.link(l));
+  return w;
+}
+
+}  // namespace
+
+std::optional<Path> shortest_path(const Graph& g, NodeId src, NodeId dst,
+                                  const WeightFn& weight,
+                                  const LinkFilter& filter) {
+  return dijkstra(g, src, dst, weight, filter, {}, {});
+}
+
+std::vector<Path> k_shortest_paths(const Graph& g, NodeId src, NodeId dst,
+                                   std::size_t k, const WeightFn& weight,
+                                   const LinkFilter& filter) {
+  std::vector<Path> result;
+  if (k == 0) return result;
+  auto first = shortest_path(g, src, dst, weight, filter);
+  if (!first) return result;
+  result.push_back(*std::move(first));
+
+  // Candidate pool ordered by weight; ties broken deterministically by the
+  // link sequence so runs are reproducible.
+  auto cand_cmp = [&](const Path& a, const Path& b) {
+    const double wa = path_weight(g, a, weight);
+    const double wb = path_weight(g, b, weight);
+    if (wa != wb) return wa < wb;
+    return a.links < b.links;
+  };
+  std::vector<Path> candidates;
+
+  while (result.size() < k) {
+    const Path& last = result.back();
+    for (std::size_t i = 0; i + 1 < last.nodes.size(); ++i) {
+      const NodeId spur_node = last.nodes[i];
+      // Root: prefix of `last` up to the spur node.
+      Path root;
+      root.nodes.assign(last.nodes.begin(), last.nodes.begin() + i + 1);
+      root.links.assign(last.links.begin(), last.links.begin() + i);
+
+      std::set<LinkId> banned_links;
+      for (const Path& p : result) {
+        if (p.nodes.size() > i &&
+            std::equal(root.nodes.begin(), root.nodes.end(),
+                       p.nodes.begin())) {
+          banned_links.insert(p.links[i]);
+        }
+      }
+      std::set<NodeId> banned_nodes(root.nodes.begin(),
+                                    std::prev(root.nodes.end()));
+
+      auto spur = dijkstra(g, spur_node, dst, weight, filter, banned_links,
+                           banned_nodes);
+      if (!spur) continue;
+
+      Path total = root;
+      total.nodes.insert(total.nodes.end(), spur->nodes.begin() + 1,
+                         spur->nodes.end());
+      total.links.insert(total.links.end(), spur->links.begin(),
+                         spur->links.end());
+      if (std::find(result.begin(), result.end(), total) == result.end() &&
+          std::find(candidates.begin(), candidates.end(), total) ==
+              candidates.end()) {
+        candidates.push_back(std::move(total));
+      }
+    }
+    if (candidates.empty()) break;
+    const auto best =
+        std::min_element(candidates.begin(), candidates.end(), cand_cmp);
+    result.push_back(*best);
+    candidates.erase(best);
+  }
+  return result;
+}
+
+namespace {
+
+/// Directed arc in Bhandari's residual graph.
+struct Arc {
+  NodeId from;
+  NodeId to;
+  LinkId link;
+  double weight;
+};
+
+/// Bellman-Ford over an explicit arc list (negative arcs allowed; the
+/// residual graph Bhandari builds has no negative cycles).
+std::optional<std::vector<Arc>> bellman_ford(std::size_t num_nodes,
+                                             const std::vector<Arc>& arcs,
+                                             NodeId src, NodeId dst) {
+  std::vector<double> dist(num_nodes, kInf);
+  std::vector<int> via(num_nodes, -1);  // index into arcs
+  dist[src.value()] = 0;
+  for (std::size_t round = 0; round + 1 < num_nodes; ++round) {
+    bool changed = false;
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+      const Arc& a = arcs[i];
+      if (dist[a.from.value()] == kInf) continue;
+      if (dist[a.from.value()] + a.weight <
+          dist[a.to.value()] - 1e-12) {
+        dist[a.to.value()] = dist[a.from.value()] + a.weight;
+        via[a.to.value()] = static_cast<int>(i);
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  if (dist[dst.value()] == kInf) return std::nullopt;
+  std::vector<Arc> walk;
+  for (NodeId at = dst; at != src;) {
+    const Arc& a = arcs[static_cast<std::size_t>(via[at.value()])];
+    walk.push_back(a);
+    at = a.from;
+  }
+  std::reverse(walk.begin(), walk.end());
+  return walk;
+}
+
+}  // namespace
+
+std::optional<DisjointPair> disjoint_pair(const Graph& g, NodeId src,
+                                          NodeId dst, const WeightFn& weight,
+                                          const LinkFilter& filter) {
+  auto p1 = shortest_path(g, src, dst, weight, filter);
+  if (!p1) return std::nullopt;
+
+  // Directed traversal of p1: link -> direction (from-node).
+  std::map<LinkId, NodeId> p1_dir;  // link -> node the path leaves it from
+  for (std::size_t i = 0; i < p1->links.size(); ++i)
+    p1_dir[p1->links[i]] = p1->nodes[i];
+
+  // Residual arcs: every usable undirected link contributes both arcs,
+  // except p1 links: forward arc removed, reverse arc negated.
+  std::vector<Arc> arcs;
+  for (const Link& l : g.links()) {
+    if (filter && !filter(l)) continue;
+    const double w = weight(l);
+    const auto it = p1_dir.find(l.id);
+    if (it == p1_dir.end()) {
+      arcs.push_back(Arc{l.a, l.b, l.id, w});
+      arcs.push_back(Arc{l.b, l.a, l.id, w});
+    } else {
+      const NodeId from = it->second;
+      arcs.push_back(Arc{l.peer(from), from, l.id, -w});
+    }
+  }
+
+  const auto p2walk = bellman_ford(g.nodes().size(), arcs, src, dst);
+  if (!p2walk) return std::nullopt;
+
+  // Interlace removal: links traversed by p2 in reverse of p1 cancel out.
+  std::set<LinkId> cancelled;
+  for (const Arc& a : *p2walk)
+    if (a.weight < 0) cancelled.insert(a.link);
+
+  // Union of remaining directed edges from p1 and p2.
+  struct Edge {
+    NodeId from;
+    NodeId to;
+    LinkId link;
+  };
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i < p1->links.size(); ++i) {
+    if (cancelled.contains(p1->links[i])) continue;
+    edges.push_back(Edge{p1->nodes[i], p1->nodes[i + 1], p1->links[i]});
+  }
+  for (const Arc& a : *p2walk) {
+    if (cancelled.contains(a.link)) continue;
+    edges.push_back(Edge{a.from, a.to, a.link});
+  }
+
+  // Recombine into two arc-disjoint src->dst paths by walking the edge set.
+  auto extract = [&]() -> Path {
+    Path p;
+    p.nodes.push_back(src);
+    NodeId at = src;
+    while (at != dst) {
+      const auto it = std::find_if(edges.begin(), edges.end(),
+                                   [&](const Edge& e) { return e.from == at; });
+      assert(it != edges.end() && "disjoint_pair: broken edge set");
+      p.links.push_back(it->link);
+      at = it->to;
+      p.nodes.push_back(at);
+      edges.erase(it);
+    }
+    return p;
+  };
+
+  DisjointPair pair;
+  pair.primary = extract();
+  pair.secondary = extract();
+  // Deterministic ordering: primary is the shorter of the two.
+  if (path_weight(g, pair.secondary, weight) <
+      path_weight(g, pair.primary, weight))
+    std::swap(pair.primary, pair.secondary);
+  return pair;
+}
+
+}  // namespace griphon::topology

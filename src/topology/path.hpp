@@ -1,0 +1,70 @@
+// Path computation over the physical graph.
+//
+// Provides:
+//  * Dijkstra shortest path with pluggable link weights and filters
+//    (wavelength-availability filtering happens at the RWA layer by
+//    passing a filter here),
+//  * Yen's k-shortest loopless paths (route diversity for RWA fallback),
+//  * Bhandari's algorithm for a shortest pair of link-disjoint paths
+//    (bridge-and-roll requires the bridge to be resource-disjoint).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace griphon::topology {
+
+/// An acyclic node/link walk through the graph. `nodes` has one more
+/// element than `links`; nodes.front()/back() are the endpoints.
+struct Path {
+  std::vector<NodeId> nodes;
+  std::vector<LinkId> links;
+
+  [[nodiscard]] bool empty() const noexcept { return links.empty(); }
+  [[nodiscard]] std::size_t hops() const noexcept { return links.size(); }
+  [[nodiscard]] Distance length(const Graph& g) const;
+  [[nodiscard]] bool uses_link(LinkId id) const noexcept;
+  [[nodiscard]] bool uses_node(NodeId id) const noexcept;
+
+  friend bool operator==(const Path& a, const Path& b) noexcept {
+    return a.links == b.links && a.nodes == b.nodes;
+  }
+};
+
+/// Per-link weight; must be > 0 for links the path may use.
+using WeightFn = std::function<double(const Link&)>;
+/// Returns false for links the path must avoid (failed, full, maintenance).
+using LinkFilter = std::function<bool(const Link&)>;
+
+/// Distance-in-km weight (the default objective: shortest fiber route).
+[[nodiscard]] WeightFn distance_weight();
+/// Unit weight (min-hop routing, what the testbed GUI exposes).
+[[nodiscard]] WeightFn hop_weight();
+
+/// Shortest path from src to dst under `weight`, ignoring links rejected by
+/// `filter`. Empty optional when dst is unreachable.
+[[nodiscard]] std::optional<Path> shortest_path(
+    const Graph& g, NodeId src, NodeId dst, const WeightFn& weight,
+    const LinkFilter& filter = nullptr);
+
+/// Yen's algorithm: up to k loopless shortest paths in nondecreasing weight
+/// order. k >= 1; result may hold fewer than k paths.
+[[nodiscard]] std::vector<Path> k_shortest_paths(
+    const Graph& g, NodeId src, NodeId dst, std::size_t k,
+    const WeightFn& weight, const LinkFilter& filter = nullptr);
+
+/// Bhandari's algorithm: a pair of link-disjoint paths minimizing total
+/// weight, or nullopt when no such pair exists. The first path of the pair
+/// is not necessarily the overall shortest path.
+struct DisjointPair {
+  Path primary;
+  Path secondary;
+};
+[[nodiscard]] std::optional<DisjointPair> disjoint_pair(
+    const Graph& g, NodeId src, NodeId dst, const WeightFn& weight,
+    const LinkFilter& filter = nullptr);
+
+}  // namespace griphon::topology

@@ -1,0 +1,45 @@
+#include "workload/arrivals.hpp"
+
+namespace griphon::workload {
+
+void PoissonConnectionLoad::run_until(SimTime until) {
+  schedule_next(until);
+}
+
+void PoissonConnectionLoad::schedule_next(SimTime until) {
+  const double mean_gap_hours = 1.0 / params_.arrivals_per_hour;
+  const SimTime gap =
+      from_seconds(engine_->rng().exponential(mean_gap_hours * 3600.0));
+  if (engine_->now() + gap > until) return;
+  engine_->schedule(gap, [this, until]() { arrival(until); });
+}
+
+void PoissonConnectionLoad::arrival(SimTime until) {
+  ++stats_.offered;
+  const auto& pair = params_.pairs[static_cast<std::size_t>(
+      engine_->rng().uniform_int(0,
+                                 static_cast<int>(params_.pairs.size()) - 1))];
+  const SimTime holding =
+      from_seconds(engine_->rng().exponential(to_seconds(params_.mean_holding)));
+  portal_->connect(
+      pair.first, pair.second, params_.rate, params_.protection,
+      [this, holding](Result<ConnectionId> r) {
+        if (!r.ok()) {
+          const auto code = r.error().code();
+          if (code == ErrorCode::kResourceExhausted ||
+              code == ErrorCode::kUnreachable)
+            ++stats_.blocked;
+          else
+            ++stats_.errored;
+          return;
+        }
+        ++stats_.accepted;
+        const ConnectionId id = r.value();
+        engine_->schedule(holding, [this, id]() {
+          portal_->disconnect(id, [](Status) {});
+        });
+      });
+  schedule_next(until);
+}
+
+}  // namespace griphon::workload

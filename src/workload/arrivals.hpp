@@ -1,0 +1,60 @@
+// Stochastic connection demand.
+//
+// PoissonConnectionLoad offers the classic telephony-style load the paper's
+// §4 "network resource planning" challenge reasons about: connection
+// requests arrive as a Poisson process, hold for an exponential time, and
+// are blocked when the network cannot serve them. The carrier engineers the
+// OT pool / spectrum against a target blocking probability — but, as the
+// paper notes, with far fewer users and far more expensive lines than POTS.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/portal.hpp"
+
+namespace griphon::workload {
+
+class PoissonConnectionLoad {
+ public:
+  struct Params {
+    double arrivals_per_hour = 4.0;
+    SimTime mean_holding = hours(2);
+    DataRate rate = rates::k10G;
+    core::ProtectionMode protection = core::ProtectionMode::kRestorable;
+    /// Site pairs demand is drawn from (uniformly).
+    std::vector<std::pair<MuxponderId, MuxponderId>> pairs;
+  };
+
+  struct Stats {
+    std::size_t offered = 0;
+    std::size_t accepted = 0;
+    std::size_t blocked = 0;   ///< kResourceExhausted / kUnreachable
+    std::size_t errored = 0;   ///< anything else
+    [[nodiscard]] double blocking_probability() const {
+      return offered == 0 ? 0.0
+                          : static_cast<double>(blocked) /
+                                static_cast<double>(offered);
+    }
+  };
+
+  PoissonConnectionLoad(sim::Engine* engine, core::CustomerPortal* portal,
+                        Params params)
+      : engine_(engine), portal_(portal), params_(std::move(params)) {}
+
+  /// Start generating arrivals until `until` (simulated time).
+  void run_until(SimTime until);
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  void schedule_next(SimTime until);
+  void arrival(SimTime until);
+
+  sim::Engine* engine_;
+  core::CustomerPortal* portal_;
+  Params params_;
+  Stats stats_;
+};
+
+}  // namespace griphon::workload

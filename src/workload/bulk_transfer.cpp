@@ -1,0 +1,56 @@
+#include "workload/bulk_transfer.hpp"
+
+namespace griphon::workload {
+
+JobId BulkScheduler::submit(MuxponderId src, MuxponderId dst,
+                            std::int64_t bytes, DataRate rate,
+                            JobCallback done) {
+  BulkJob job;
+  job.id = ids_.next();
+  job.src_site = src;
+  job.dst_site = dst;
+  job.bytes = bytes;
+  job.rate = rate;
+  job.submitted = engine_->now();
+  const JobId id = job.id;
+  jobs_[id] = job;
+
+  portal_->connect_bundle(
+      src, dst, rate, core::ProtectionMode::kRestorable,
+      [this, id, done](Result<core::BundleId> r) {
+        BulkJob& j = jobs_.at(id);
+        if (!r.ok()) {
+          j.failed = true;
+          j.failure = r.error().message();
+          j.finished = engine_->now();
+          ++failed_;
+          done(j);
+          return;
+        }
+        j.started = engine_->now();
+        const core::BundleId bundle = r.value();
+        const DataRate actual =
+            portal_->bundle(bundle).parts.empty()
+                ? j.rate
+                : core::CustomerPortal::decompose(j.rate).total();
+        const SimTime duration = transfer_time(j.bytes, actual);
+        engine_->schedule(duration, [this, id, bundle, done]() {
+          portal_->disconnect_bundle(bundle, [this, id, done](Status) {
+            BulkJob& j = jobs_.at(id);
+            j.finished = engine_->now();
+            ++completed_;
+            done(j);
+          });
+        });
+      });
+  return id;
+}
+
+const BulkJob& BulkScheduler::job(JobId id) const {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end())
+    throw std::out_of_range("BulkScheduler::job: unknown id");
+  return it->second;
+}
+
+}  // namespace griphon::workload

@@ -1,0 +1,61 @@
+// Bulk inter-data-center transfers — the workload that motivates GRIPhoN
+// (paper §1: replication/backup of terabytes to petabytes, dominated by
+// "background, non-interactive, bulk data transfers").
+//
+// BulkScheduler drives a CustomerPortal: per job it provisions a composite
+// bundle at the requested rate, models the transfer time analytically from
+// the circuit rate, and releases the bandwidth when the job completes —
+// the "adjust bandwidth to demand" usage pattern of the paper.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "core/portal.hpp"
+
+namespace griphon::workload {
+
+struct BulkJob {
+  JobId id;
+  MuxponderId src_site;
+  MuxponderId dst_site;
+  std::int64_t bytes = 0;
+  DataRate rate;  ///< circuit rate to provision
+
+  // Filled in as the job progresses.
+  SimTime submitted{};
+  SimTime started{};   ///< bandwidth available (setup done)
+  SimTime finished{};  ///< last byte delivered, bandwidth released
+  bool failed = false;
+  std::string failure;
+
+  [[nodiscard]] SimTime completion_time() const { return finished - submitted; }
+  [[nodiscard]] SimTime setup_overhead() const { return started - submitted; }
+};
+
+class BulkScheduler {
+ public:
+  using JobCallback = std::function<void(const BulkJob&)>;
+
+  BulkScheduler(sim::Engine* engine, core::CustomerPortal* portal)
+      : engine_(engine), portal_(portal) {}
+
+  /// Submit a transfer of `bytes` at circuit rate `rate`. The callback
+  /// fires when the job finishes (or fails to get bandwidth).
+  JobId submit(MuxponderId src, MuxponderId dst, std::int64_t bytes,
+               DataRate rate, JobCallback done);
+
+  [[nodiscard]] const BulkJob& job(JobId id) const;
+  [[nodiscard]] std::size_t completed() const noexcept { return completed_; }
+  [[nodiscard]] std::size_t failed() const noexcept { return failed_; }
+
+ private:
+  sim::Engine* engine_;
+  core::CustomerPortal* portal_;
+  std::map<JobId, BulkJob> jobs_;
+  IdAllocator<JobId> ids_;
+  std::size_t completed_ = 0;
+  std::size_t failed_ = 0;
+};
+
+}  // namespace griphon::workload

@@ -1,0 +1,80 @@
+#include "workload/calendar.hpp"
+
+#include <stdexcept>
+
+namespace griphon::workload {
+
+JobId BandwidthCalendar::reserve(MuxponderId src, MuxponderId dst,
+                                 DataRate rate, SimTime start,
+                                 SimTime duration, Callback on_change) {
+  if (start < engine_->now())
+    throw std::invalid_argument("calendar: window starts in the past");
+  if (duration <= SimTime{})
+    throw std::invalid_argument("calendar: empty window");
+  Reservation r;
+  r.id = ids_.next();
+  r.src = src;
+  r.dst = dst;
+  r.rate = rate;
+  r.window_start = start;
+  r.window_end = start + duration;
+  const JobId id = r.id;
+  reservations_[id] = r;
+  callbacks_[id] = std::move(on_change);
+
+  const SimTime provision_at =
+      start - lead_time_ > engine_->now() ? start - lead_time_ : SimTime{};
+  engine_->schedule_at(provision_at, [this, id]() { begin_provisioning(id); });
+  return id;
+}
+
+void BandwidthCalendar::begin_provisioning(JobId id) {
+  Reservation& r = reservations_.at(id);
+  r.state = Reservation::State::kProvisioning;
+  callbacks_.at(id)(r);
+  portal_->connect_bundle(
+      r.src, r.dst, r.rate, core::ProtectionMode::kRestorable,
+      [this, id](Result<core::BundleId> got) {
+        Reservation& r = reservations_.at(id);
+        if (!got.ok()) {
+          r.state = Reservation::State::kFailed;
+          r.failure = got.error().message();
+          ++failed_;
+          callbacks_.at(id)(r);
+          return;
+        }
+        bundles_[id] = got.value();
+        r.bandwidth_ready_at = engine_->now();
+        (r.bandwidth_ready_at <= r.window_start ? punctual_ : late_) += 1;
+
+        // Window open (possibly immediately, if provisioning ran long).
+        const SimTime open_at =
+            std::max(r.window_start, r.bandwidth_ready_at);
+        engine_->schedule_at(open_at, [this, id]() {
+          Reservation& r = reservations_.at(id);
+          r.state = Reservation::State::kActive;
+          callbacks_.at(id)(r);
+        });
+        // Window close: release the bundle.
+        engine_->schedule_at(r.window_end, [this, id]() {
+          const auto bundle = bundles_.find(id);
+          if (bundle == bundles_.end()) return;
+          portal_->disconnect_bundle(bundle->second, [this, id](Status) {
+            Reservation& r = reservations_.at(id);
+            r.state = Reservation::State::kDone;
+            callbacks_.at(id)(r);
+          });
+          bundles_.erase(bundle);
+        });
+      });
+}
+
+const BandwidthCalendar::Reservation& BandwidthCalendar::reservation(
+    JobId id) const {
+  const auto it = reservations_.find(id);
+  if (it == reservations_.end())
+    throw std::out_of_range("calendar: unknown reservation");
+  return it->second;
+}
+
+}  // namespace griphon::workload

@@ -1,0 +1,74 @@
+// Bandwidth calendaring — scheduled BoD windows.
+//
+// Replication and backup are planned workloads ("The CSP runs backup and
+// replication applications", paper §1): the operator knows tonight's
+// window in advance. The calendar turns GRIPhoN's *predictable* setup time
+// into punctual bandwidth: each reservation starts provisioning one
+// lead-time before its window opens so the circuits are live when the
+// transfer wants to start, and releases them when the window closes.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "core/portal.hpp"
+
+namespace griphon::workload {
+
+class BandwidthCalendar {
+ public:
+  struct Reservation {
+    enum class State {
+      kScheduled,     ///< waiting for its provisioning lead time
+      kProvisioning,  ///< bundle setup in flight
+      kActive,        ///< window open, bandwidth live
+      kDone,          ///< window closed, bandwidth released
+      kFailed,        ///< could not be provisioned
+    };
+
+    JobId id;
+    MuxponderId src;
+    MuxponderId dst;
+    DataRate rate;
+    SimTime window_start{};
+    SimTime window_end{};
+    State state = State::kScheduled;
+    SimTime bandwidth_ready_at{};  ///< when the bundle actually came up
+    std::string failure;
+  };
+
+  using Callback = std::function<void(const Reservation&)>;
+
+  /// `lead_time` is how early provisioning starts before each window; it
+  /// should exceed the worst-case setup of the largest composite (a 40G
+  /// bundle is four sequential wavelength setups).
+  BandwidthCalendar(sim::Engine* engine, core::CustomerPortal* portal,
+                    SimTime lead_time = minutes(8))
+      : engine_(engine), portal_(portal), lead_time_(lead_time) {}
+
+  /// Book `rate` between two sites for [start, start+duration). The
+  /// callback fires on every state change of the reservation.
+  JobId reserve(MuxponderId src, MuxponderId dst, DataRate rate,
+                SimTime start, SimTime duration, Callback on_change);
+
+  [[nodiscard]] const Reservation& reservation(JobId id) const;
+  [[nodiscard]] std::size_t punctual() const noexcept { return punctual_; }
+  [[nodiscard]] std::size_t late() const noexcept { return late_; }
+  [[nodiscard]] std::size_t failed() const noexcept { return failed_; }
+
+ private:
+  void begin_provisioning(JobId id);
+
+  sim::Engine* engine_;
+  core::CustomerPortal* portal_;
+  SimTime lead_time_;
+  std::map<JobId, Reservation> reservations_;
+  std::map<JobId, core::BundleId> bundles_;
+  std::map<JobId, Callback> callbacks_;
+  IdAllocator<JobId> ids_;
+  std::size_t punctual_ = 0;
+  std::size_t late_ = 0;
+  std::size_t failed_ = 0;
+};
+
+}  // namespace griphon::workload

@@ -1,0 +1,52 @@
+// Diurnal traffic profile.
+//
+// Interactive, end-user-driven traffic between data centers follows the
+// day/night cycle; bulk replication is scheduled into the valleys. This
+// profile gives benches a deterministic "interactive load" curve so they
+// can reason about leftover capacity (the resource NetStitcher-style
+// store-and-forward exploits, and that BoD sidesteps by buying rate on
+// demand).
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+#include "common/units.hpp"
+
+namespace griphon::workload {
+
+class DiurnalProfile {
+ public:
+  /// `peak`/`trough`: interactive demand at the daily maximum/minimum.
+  /// `peak_hour`: local hour of the maximum (e.g. 20 = 8pm).
+  DiurnalProfile(DataRate peak, DataRate trough, double peak_hour = 20.0)
+      : peak_(peak), trough_(trough), peak_hour_(peak_hour) {}
+
+  /// Interactive demand at simulated time `t` (24 h period).
+  [[nodiscard]] DataRate demand_at(SimTime t) const {
+    const double hours_of_day =
+        std::fmod(to_seconds(t) / 3600.0, 24.0);
+    const double phase =
+        2.0 * std::numbers::pi * (hours_of_day - peak_hour_) / 24.0;
+    const double mid =
+        (static_cast<double>(peak_.in_bps()) +
+         static_cast<double>(trough_.in_bps())) / 2.0;
+    const double amp =
+        (static_cast<double>(peak_.in_bps()) -
+         static_cast<double>(trough_.in_bps())) / 2.0;
+    return DataRate{static_cast<std::int64_t>(mid + amp * std::cos(phase))};
+  }
+
+  /// Capacity left for bulk on a pipe of `capacity` at time `t`.
+  [[nodiscard]] DataRate leftover_at(SimTime t, DataRate capacity) const {
+    const DataRate used = demand_at(t);
+    return used >= capacity ? DataRate{} : capacity - used;
+  }
+
+ private:
+  DataRate peak_;
+  DataRate trough_;
+  double peak_hour_;
+};
+
+}  // namespace griphon::workload

@@ -1,0 +1,480 @@
+// Integration tests for the GRIPhoN controller on the paper's testbed:
+// end-to-end setup/teardown over the real EMS/protocol stack, failure
+// localization and restoration at both layers, 1+1 protection,
+// bridge-and-roll, maintenance, re-grooming, and the customer portal.
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+
+namespace griphon::core {
+namespace {
+
+/// Runs the engine and returns the ConnectionId (or fails the test).
+ConnectionId connect_sync(TestbedScenario& s, MuxponderId a, MuxponderId b,
+                          DataRate rate, ProtectionMode prot) {
+  std::optional<Result<ConnectionId>> result;
+  s.portal->connect(a, b, rate, prot,
+                    [&](Result<ConnectionId> r) { result = std::move(r); });
+  s.engine.run();
+  EXPECT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok()) << (result->ok() ? "" : result->error().message());
+  return result->value();
+}
+
+TEST(ControllerSetup, WavelengthEndToEnd) {
+  TestbedScenario s(42);
+  const auto id =
+      connect_sync(s, s.site_i, s.site_iv, rates::k10G,
+                   ProtectionMode::kRestorable);
+  const auto& c = s.controller->connection(id);
+  EXPECT_EQ(c.state, ConnectionState::kActive);
+  EXPECT_EQ(c.kind, ConnectionKind::kWavelength);
+  EXPECT_EQ(c.plan.path.hops(), 1u);
+  // Measured setup time in the paper's band ("60 to 70 seconds").
+  EXPECT_GT(to_seconds(c.setup_duration), 55.0);
+  EXPECT_LT(to_seconds(c.setup_duration), 75.0);
+  // Devices actually configured: both OTs active on the same channel.
+  EXPECT_EQ(s.model->ot(c.plan.src_ot).state(),
+            dwdm::Transponder::State::kActive);
+  EXPECT_EQ(s.model->ot(c.plan.dst_ot).channel(),
+            c.plan.segments.front().channel);
+  // ROADMs hold the channel on the facing degrees.
+  const auto d = s.model->roadm_at(s.topo.i).degree_for(s.topo.i_iv).value();
+  EXPECT_TRUE(
+      s.model->roadm_at(s.topo.i).channel_in_use(d,
+                                                 c.plan.segments[0].channel));
+  // FXC patched customer access to the OT at both PoPs.
+  EXPECT_EQ(s.model->fxc_at(s.topo.i).active_connections(), 1u);
+  EXPECT_EQ(s.model->fxc_at(s.topo.iv).active_connections(), 1u);
+  // NTE port claimed at both premises.
+  EXPECT_EQ(s.model->nte(s.site_i).ports_in_use(), 1u);
+}
+
+TEST(ControllerSetup, TeardownFreesEverything) {
+  TestbedScenario s(43);
+  const auto id = connect_sync(s, s.site_i, s.site_iv, rates::k10G,
+                               ProtectionMode::kRestorable);
+  const auto plan = s.controller->connection(id).plan;
+  SimTime start = s.engine.now();
+  std::optional<Status> done;
+  s.portal->disconnect(id, [&](Status st) { done = st; });
+  s.engine.run();
+  ASSERT_TRUE(done && done->ok());
+  // Teardown takes ~10 s (paper: "Tearing down ... takes around 10 s").
+  EXPECT_GT(to_seconds(s.engine.now() - start), 6.0);
+  EXPECT_LT(to_seconds(s.engine.now() - start), 16.0);
+  EXPECT_EQ(s.controller->connection(id).state, ConnectionState::kReleased);
+  // Every resource is back.
+  EXPECT_EQ(s.model->roadm_at(s.topo.i).active_uses(), 0u);
+  EXPECT_EQ(s.model->fxc_at(s.topo.i).active_connections(), 0u);
+  EXPECT_EQ(s.model->nte(s.site_i).ports_in_use(), 0u);
+  EXPECT_NE(s.model->ot(plan.src_ot).state(),
+            dwdm::Transponder::State::kActive);
+}
+
+TEST(ControllerSetup, SubWavelengthRidesOtnLayer) {
+  TestbedScenario s(44);
+  const auto id = connect_sync(s, s.site_i, s.site_iv, rates::k1G,
+                               ProtectionMode::kRestorable);
+  const auto& c = s.controller->connection(id);
+  EXPECT_EQ(c.kind, ConnectionKind::kSubWavelength);
+  EXPECT_TRUE(c.odu.valid());
+  const auto& circuit = s.model->otn().circuit(c.odu);
+  EXPECT_EQ(circuit.slots, 1);
+  EXPECT_TRUE(circuit.is_protected);
+  // Sub-wavelength setup is much faster than a wavelength (electronic).
+  EXPECT_LT(to_seconds(c.setup_duration), 20.0);
+  // No wavelength-layer resources consumed.
+  EXPECT_EQ(s.model->roadm_at(s.topo.i).active_uses(), 0u);
+}
+
+TEST(ControllerSetup, SubWavelengthTeardown) {
+  TestbedScenario s(45);
+  const auto id = connect_sync(s, s.site_i, s.site_iv, rates::k1G,
+                               ProtectionMode::kRestorable);
+  std::optional<Status> done;
+  s.portal->disconnect(id, [&](Status st) { done = st; });
+  s.engine.run();
+  ASSERT_TRUE(done && done->ok());
+  EXPECT_EQ(s.model->otn().circuit_count(), 0u);
+  EXPECT_EQ(s.model->otn().slot_stats().working, 0);
+  EXPECT_EQ(s.model->fxc_at(s.topo.i).active_connections(), 0u);
+}
+
+TEST(ControllerSetup, RateSelectsLayer) {
+  TestbedScenario s(46);
+  const auto wave = connect_sync(s, s.site_i, s.site_iii, rates::k10G,
+                                 ProtectionMode::kRestorable);
+  const auto odu = connect_sync(s, s.site_i, s.site_iii, DataRate::gbps(2.5),
+                                ProtectionMode::kRestorable);
+  EXPECT_EQ(s.controller->connection(wave).kind,
+            ConnectionKind::kWavelength);
+  EXPECT_EQ(s.controller->connection(odu).kind,
+            ConnectionKind::kSubWavelength);
+}
+
+TEST(ControllerSetup, ConcurrentRequestsDoNotCollide) {
+  TestbedScenario s(47);
+  std::vector<ConnectionId> ids;
+  int failures = 0;
+  for (int i = 0; i < 3; ++i) {
+    s.portal->connect(s.site_i, s.site_iv, rates::k10G,
+                      ProtectionMode::kRestorable,
+                      [&](Result<ConnectionId> r) {
+                        if (r.ok())
+                          ids.push_back(r.value());
+                        else
+                          ++failures;
+                      });
+  }
+  s.engine.run();
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(failures, 0);
+  // All three use distinct channels on the shared link and distinct OTs.
+  std::set<dwdm::ChannelIndex> channels;
+  std::set<TransponderId> ots;
+  for (const auto id : ids) {
+    const auto& c = s.controller->connection(id);
+    channels.insert(c.plan.segments[0].channel);
+    ots.insert(c.plan.src_ot);
+    ots.insert(c.plan.dst_ot);
+  }
+  EXPECT_EQ(channels.size(), 3u);
+  EXPECT_EQ(ots.size(), 6u);
+}
+
+TEST(ControllerSetup, NtePortExhaustionRejected) {
+  TestbedScenario s(48);
+  // The NTE has 4 client ports; the 5th concurrent connection must fail
+  // with a clean error.
+  int ok = 0, rejected = 0;
+  for (int i = 0; i < 5; ++i) {
+    s.portal->connect(s.site_i, s.site_iv, rates::k1G,
+                      ProtectionMode::kUnprotected,
+                      [&](Result<ConnectionId> r) {
+                        r.ok() ? ++ok : ++rejected;
+                      });
+  }
+  s.engine.run();
+  EXPECT_EQ(ok, 4);
+  EXPECT_EQ(rejected, 1);
+}
+
+TEST(ControllerSetup, CrossCustomerSiteRejected) {
+  TestbedScenario s(49);
+  // A site handle belonging to another customer must be refused.
+  auto& foreign =
+      s.model->add_customer_site(CustomerId{2}, "DC-EVIL", s.topo.ii);
+  std::optional<Error> err;
+  ConnectionRequest req;
+  req.customer = s.csp;
+  req.src_site = s.site_i;
+  req.dst_site = foreign.nte;
+  req.rate = rates::k10G;
+  s.controller->request_connection(
+      req, [&](Result<ConnectionId> r) { err = r.error(); });
+  s.engine.run();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code(), ErrorCode::kPermissionDenied);
+}
+
+TEST(ControllerFailure, WavelengthRestorationReroutes) {
+  TestbedScenario s(50);
+  const auto id = connect_sync(s, s.site_i, s.site_iv, rates::k10G,
+                               ProtectionMode::kRestorable);
+  ASSERT_EQ(s.controller->connection(id).plan.path.hops(), 1u);
+  s.model->fail_link(s.topo.i_iv);
+  s.engine.run();
+  const auto& c = s.controller->connection(id);
+  EXPECT_EQ(c.state, ConnectionState::kActive);
+  EXPECT_EQ(c.restorations, 1);
+  EXPECT_FALSE(c.plan.path.uses_link(s.topo.i_iv));
+  // Restoration outage: minutes-scale (localize + re-provision), i.e. far
+  // more than 1+1 but far less than 4-12 h manual repair.
+  EXPECT_GT(to_seconds(c.total_outage), 30.0);
+  EXPECT_LT(to_seconds(c.total_outage), 200.0);
+  EXPECT_EQ(s.controller->stats().restorations_ok, 1u);
+}
+
+TEST(ControllerFailure, UnprotectedStaysDownUntilRepair) {
+  TestbedScenario s(51);
+  const auto id = connect_sync(s, s.site_i, s.site_iv, rates::k10G,
+                               ProtectionMode::kUnprotected);
+  s.model->fail_link(s.topo.i_iv);
+  s.engine.run();
+  EXPECT_EQ(s.controller->connection(id).state, ConnectionState::kFailed);
+  // Hours later the cable is spliced; light and service return.
+  s.engine.run_until(s.engine.now() + hours(6));
+  s.model->repair_link(s.topo.i_iv);
+  s.engine.run();
+  const auto& c = s.controller->connection(id);
+  EXPECT_EQ(c.state, ConnectionState::kActive);
+  EXPECT_GT(to_seconds(c.total_outage), 6 * 3600.0 - 60);
+}
+
+TEST(ControllerFailure, OnePlusOneSwitchesInMilliseconds) {
+  TestbedScenario s(52);
+  const auto id = connect_sync(s, s.site_i, s.site_iv, rates::k10G,
+                               ProtectionMode::kOnePlusOne);
+  const auto& c0 = s.controller->connection(id);
+  ASSERT_TRUE(c0.standby.has_value());
+  // Legs are link-disjoint.
+  for (const LinkId l : c0.standby->path.links)
+    EXPECT_FALSE(c0.plan.path.uses_link(l));
+
+  s.model->fail_link(s.topo.i_iv);  // primary leg
+  s.engine.run();
+  const auto& c = s.controller->connection(id);
+  EXPECT_EQ(c.state, ConnectionState::kActive);
+  EXPECT_TRUE(c.traffic_on_standby);
+  EXPECT_LT(to_seconds(c.total_outage), 0.2);  // tail-end switch
+  EXPECT_EQ(c.restorations, 1);
+}
+
+TEST(ControllerFailure, OnePlusOneBothLegsDownThenRepair) {
+  TestbedScenario s(53);
+  const auto id = connect_sync(s, s.site_i, s.site_iv, rates::k10G,
+                               ProtectionMode::kOnePlusOne);
+  const auto standby_links = s.controller->connection(id).standby->path.links;
+  s.model->fail_link(s.topo.i_iv);
+  s.engine.run();
+  for (const LinkId l : standby_links) s.model->fail_link(l);
+  s.engine.run();
+  EXPECT_EQ(s.controller->connection(id).state, ConnectionState::kFailed);
+  s.model->repair_link(s.topo.i_iv);
+  s.engine.run();
+  EXPECT_EQ(s.controller->connection(id).state, ConnectionState::kActive);
+}
+
+TEST(ControllerFailure, OtnMeshRestorationSubSecond) {
+  TestbedScenario s(54);
+  const auto id = connect_sync(s, s.site_i, s.site_iv, rates::k1G,
+                               ProtectionMode::kRestorable);
+  s.model->fail_link(s.topo.i_iv);
+  s.engine.run();
+  const auto& c = s.controller->connection(id);
+  EXPECT_EQ(c.state, ConnectionState::kActive);
+  EXPECT_EQ(c.restorations, 1);
+  EXPECT_LT(to_seconds(c.total_outage), 1.0);  // shared-mesh, sub-second
+  EXPECT_EQ(s.model->otn().circuit(c.odu).state,
+            otn::OduCircuit::State::kOnBackup);
+}
+
+TEST(ControllerFailure, OtnRevertsAfterRepair) {
+  TestbedScenario s(55);
+  const auto id = connect_sync(s, s.site_i, s.site_iv, rates::k1G,
+                               ProtectionMode::kRestorable);
+  s.model->fail_link(s.topo.i_iv);
+  s.engine.run();
+  s.model->repair_link(s.topo.i_iv);
+  s.engine.run();
+  const auto& c = s.controller->connection(id);
+  EXPECT_EQ(s.model->otn().circuit(c.odu).state,
+            otn::OduCircuit::State::kActive);  // revertive
+}
+
+TEST(ControllerFailure, AlarmCorrelationLocalizesOneCut) {
+  TestbedScenario s(56);
+  (void)connect_sync(s, s.site_i, s.site_iv, rates::k10G,
+                     ProtectionMode::kUnprotected);
+  (void)connect_sync(s, s.site_i, s.site_iv, rates::k10G,
+                     ProtectionMode::kUnprotected);
+  s.model->fail_link(s.topo.i_iv);
+  s.engine.run();
+  // Two connections x two end ROADMs raised >= 4 raw alarms, but the
+  // failure manager localizes exactly one root cause.
+  EXPECT_GE(s.controller->failure_manager().alarms_ingested(), 4u);
+  EXPECT_EQ(s.controller->failure_manager().believed_failed().size(), 1u);
+  EXPECT_TRUE(
+      s.controller->failure_manager().believed_failed().contains(s.topo.i_iv));
+}
+
+TEST(ControllerRoll, BridgeAndRollMovesTraffic) {
+  TestbedScenario s(57);
+  const auto id = connect_sync(s, s.site_i, s.site_iv, rates::k10G,
+                               ProtectionMode::kRestorable);
+  const auto old_plan = s.controller->connection(id).plan;
+  std::optional<Status> done;
+  Exclusions avoid;
+  avoid.links.insert(s.topo.i_iv);
+  s.controller->bridge_and_roll(id, avoid, [&](Status st) { done = st; });
+  s.engine.run();
+  ASSERT_TRUE(done && done->ok()) << done->error().message();
+  const auto& c = s.controller->connection(id);
+  EXPECT_EQ(c.state, ConnectionState::kActive);
+  EXPECT_EQ(c.rolls, 1);
+  EXPECT_FALSE(c.plan.path.uses_link(s.topo.i_iv));
+  // Resource-disjoint from the old path (paper constraint).
+  for (const LinkId l : c.plan.path.links)
+    EXPECT_FALSE(old_plan.path.uses_link(l));
+  // Old path resources released; connection never went down.
+  EXPECT_EQ(to_seconds(c.total_outage), 0.0);
+  const auto d = s.model->roadm_at(s.topo.i).degree_for(s.topo.i_iv).value();
+  EXPECT_FALSE(s.model->roadm_at(s.topo.i).channel_in_use(
+      d, old_plan.segments[0].channel));
+}
+
+TEST(ControllerRoll, PrepareMaintenanceClearsSpan) {
+  TestbedScenario s(58);
+  const auto a = connect_sync(s, s.site_i, s.site_iv, rates::k10G,
+                              ProtectionMode::kRestorable);
+  const auto b = connect_sync(s, s.site_i, s.site_iii, rates::k10G,
+                              ProtectionMode::kRestorable);
+  std::optional<Status> done;
+  s.controller->prepare_maintenance(s.topo.i_iv, [&](Status st) { done = st; });
+  s.engine.run();
+  ASSERT_TRUE(done && done->ok());
+  EXPECT_FALSE(s.controller->connection(a).plan.path.uses_link(s.topo.i_iv));
+  EXPECT_EQ(s.controller->connection(b).rolls, 0);  // untouched
+  // The span can now fail without any service impact.
+  s.model->fail_link(s.topo.i_iv);
+  s.engine.run();
+  EXPECT_EQ(s.controller->connection(a).state, ConnectionState::kActive);
+  EXPECT_EQ(to_seconds(s.controller->connection(a).total_outage), 0.0);
+}
+
+TEST(ControllerRoll, RegroomReturnsToShortPath) {
+  TestbedScenario s(59);
+  const auto id = connect_sync(s, s.site_i, s.site_iv, rates::k10G,
+                               ProtectionMode::kRestorable);
+  // Push it off the direct span, then re-groom home.
+  Exclusions avoid;
+  avoid.links.insert(s.topo.i_iv);
+  std::optional<Status> rolled;
+  s.controller->bridge_and_roll(id, avoid, [&](Status st) { rolled = st; });
+  s.engine.run();
+  ASSERT_TRUE(rolled && rolled->ok());
+  ASSERT_EQ(s.controller->connection(id).plan.path.hops(), 2u);
+  std::optional<Status> regroomed;
+  s.controller->regroom(id, [&](Status st) { regroomed = st; });
+  s.engine.run();
+  ASSERT_TRUE(regroomed && regroomed->ok());
+  EXPECT_EQ(s.controller->connection(id).plan.path.hops(), 1u);
+  EXPECT_EQ(s.controller->connection(id).rolls, 2);
+}
+
+TEST(ControllerRoll, RegroomNoopWhenAlreadyOptimal) {
+  TestbedScenario s(60);
+  const auto id = connect_sync(s, s.site_i, s.site_iv, rates::k10G,
+                               ProtectionMode::kRestorable);
+  std::optional<Status> done;
+  s.controller->regroom(id, [&](Status st) { done = st; });
+  s.engine.run();
+  ASSERT_TRUE(done && done->ok());
+  EXPECT_EQ(s.controller->connection(id).rolls, 0);
+}
+
+TEST(Portal, QuotaEnforced) {
+  TestbedScenario s(61);
+  CustomerPortal small(s.controller.get(), s.csp, DataRate::gbps(15));
+  std::optional<Result<ConnectionId>> first, second;
+  small.connect(s.site_i, s.site_iv, rates::k10G,
+                ProtectionMode::kRestorable,
+                [&](Result<ConnectionId> r) { first = std::move(r); });
+  s.engine.run();
+  ASSERT_TRUE(first && first->ok());
+  small.connect(s.site_i, s.site_iv, rates::k10G,
+                ProtectionMode::kRestorable,
+                [&](Result<ConnectionId> r) { second = std::move(r); });
+  s.engine.run();
+  ASSERT_TRUE(second.has_value());
+  ASSERT_FALSE(second->ok());
+  EXPECT_EQ(second->error().code(), ErrorCode::kPermissionDenied);
+}
+
+TEST(Portal, DecompositionMatchesPaperExample) {
+  // "2 x 1G OTN circuits and one 10G DWDM to achieve ... 12G instead of
+  // consuming a second 10G DWDM."
+  const auto d = CustomerPortal::decompose(DataRate::gbps(12));
+  EXPECT_EQ(d.wavelengths_10g, 1);
+  EXPECT_EQ(d.odu_1g, 2);
+  // Pure wavelength rates decompose to waves only.
+  const auto w = CustomerPortal::decompose(DataRate::gbps(40));
+  EXPECT_EQ(w.wavelengths_10g, 4);
+  EXPECT_EQ(w.odu_1g, 0);
+  // Large remainders promote to a wave.
+  const auto p = CustomerPortal::decompose(DataRate::gbps(19));
+  EXPECT_EQ(p.wavelengths_10g, 2);
+  EXPECT_EQ(p.odu_1g, 0);
+  // Small demands are pure OTN: up to 2G as 1G circuits, above that one
+  // ODUflex circuit (a single access port).
+  const auto two = CustomerPortal::decompose(DataRate::gbps(2));
+  EXPECT_EQ(two.odu_1g, 2);
+  EXPECT_TRUE(two.odu_flex.zero());
+  const auto o = CustomerPortal::decompose(DataRate::gbps(3));
+  EXPECT_EQ(o.wavelengths_10g, 0);
+  EXPECT_EQ(o.odu_1g, 0);
+  EXPECT_EQ(o.odu_flex, DataRate::gbps(3));
+}
+
+TEST(Portal, BundleSetupAndRelease) {
+  TestbedScenario s(62);
+  std::optional<Result<BundleId>> result;
+  s.portal->connect_bundle(s.site_i, s.site_iv, DataRate::gbps(12),
+                           ProtectionMode::kRestorable,
+                           [&](Result<BundleId> r) { result = std::move(r); });
+  s.engine.run();
+  ASSERT_TRUE(result && result->ok());
+  const auto& bundle = s.portal->bundle(result->value());
+  EXPECT_EQ(bundle.parts.size(), 3u);  // 1 wave + 2 ODU
+  int waves = 0, odus = 0;
+  for (const auto part : bundle.parts) {
+    const auto& c = s.controller->connection(part);
+    c.kind == ConnectionKind::kWavelength ? ++waves : ++odus;
+  }
+  EXPECT_EQ(waves, 1);
+  EXPECT_EQ(odus, 2);
+  EXPECT_EQ(s.portal->provisioned(), DataRate::gbps(12));
+
+  std::optional<Status> released;
+  s.portal->disconnect_bundle(result->value(),
+                              [&](Status st) { released = st; });
+  s.engine.run();
+  ASSERT_TRUE(released && released->ok());
+  EXPECT_EQ(s.portal->provisioned(), DataRate{});
+  EXPECT_EQ(s.model->otn().circuit_count(), 0u);
+}
+
+TEST(Portal, ListShowsCustomerView) {
+  TestbedScenario s(63);
+  (void)connect_sync(s, s.site_i, s.site_iv, rates::k10G,
+                     ProtectionMode::kRestorable);
+  (void)connect_sync(s, s.site_i, s.site_iii, rates::k1G,
+                     ProtectionMode::kRestorable);
+  const auto views = s.portal->list();
+  ASSERT_EQ(views.size(), 2u);
+  EXPECT_EQ(views[0].src_site, "DC-I");
+  EXPECT_EQ(views[0].state, "active");
+  EXPECT_EQ(views[0].service, "wavelength");
+  EXPECT_EQ(views[1].service, "sub-wavelength");
+}
+
+TEST(Controller, PipelinedModeIsFasterThanSequential) {
+  GriphonController::Params pipelined;
+  pipelined.pipelined_commands = true;
+  TestbedScenario seq(64);
+  TestbedScenario par(64, NetworkModel::Config{}, pipelined);
+  const auto a = connect_sync(seq, seq.site_i, seq.site_iv, rates::k10G,
+                              ProtectionMode::kRestorable);
+  const auto b = connect_sync(par, par.site_i, par.site_iv, rates::k10G,
+                              ProtectionMode::kRestorable);
+  const double t_seq = to_seconds(seq.controller->connection(a).setup_duration);
+  const double t_par = to_seconds(par.controller->connection(b).setup_duration);
+  EXPECT_LT(t_par, t_seq * 0.7);
+}
+
+TEST(Controller, StatsTrackOutcomes) {
+  TestbedScenario s(65);
+  const auto id = connect_sync(s, s.site_i, s.site_iv, rates::k10G,
+                               ProtectionMode::kRestorable);
+  std::optional<Status> done;
+  s.portal->disconnect(id, [&](Status st) { done = st; });
+  s.engine.run();
+  const auto& st = s.controller->stats();
+  EXPECT_EQ(st.setups_ok, 1u);
+  EXPECT_EQ(st.releases, 1u);
+  EXPECT_GT(st.commands_issued, 10u);
+}
+
+}  // namespace
+}  // namespace griphon::core

@@ -1,0 +1,363 @@
+// Unit tests for the DWDM photonic layer: wavelength grid, channel sets,
+// ROADM configuration rules, transponder/regen lifecycles, muxponder ports
+// and the optical reach model.
+#include <gtest/gtest.h>
+
+#include "dwdm/muxponder.hpp"
+#include "dwdm/reach.hpp"
+#include "dwdm/roadm.hpp"
+#include "dwdm/transponder.hpp"
+#include "dwdm/wavelength.hpp"
+#include "topology/builders.hpp"
+
+namespace griphon::dwdm {
+namespace {
+
+TEST(WavelengthGrid, FrequenciesFollowItuGrid) {
+  WavelengthGrid g(80);
+  EXPECT_EQ(g.count(), 80u);
+  EXPECT_DOUBLE_EQ(g.frequency_thz(0), 193.1);
+  EXPECT_DOUBLE_EQ(g.frequency_thz(10), 193.6);  // 50 GHz spacing
+  EXPECT_TRUE(g.contains(79));
+  EXPECT_FALSE(g.contains(80));
+  EXPECT_FALSE(g.contains(-1));
+}
+
+TEST(WavelengthGrid, RejectsBadSizes) {
+  EXPECT_THROW(WavelengthGrid(0), std::invalid_argument);
+  EXPECT_THROW(WavelengthGrid(500), std::invalid_argument);
+}
+
+TEST(ChannelSet, BasicSetOperations) {
+  ChannelSet s;
+  EXPECT_TRUE(s.empty());
+  s.add(3);
+  s.add(7);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_FALSE(s.contains(4));
+  s.remove(3);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_EQ(s.first(), 7);
+}
+
+TEST(ChannelSet, AllAndIntersection) {
+  ChannelSet a = ChannelSet::all(10);
+  EXPECT_EQ(a.size(), 10u);
+  ChannelSet b;
+  b.add(2);
+  b.add(5);
+  b.add(12);  // outside a
+  const ChannelSet i = a & b;
+  EXPECT_EQ(i.size(), 2u);
+  EXPECT_TRUE(i.contains(2));
+  EXPECT_TRUE(i.contains(5));
+}
+
+TEST(ChannelSet, FirstOnEmptyIsNone) {
+  ChannelSet s;
+  EXPECT_EQ(s.first(), kNoChannel);
+}
+
+TEST(ChannelSet, ToVectorSorted) {
+  ChannelSet s;
+  s.add(9);
+  s.add(1);
+  s.add(4);
+  EXPECT_EQ(s.to_vector(), (std::vector<ChannelIndex>{1, 4, 9}));
+}
+
+class RoadmTest : public ::testing::Test {
+ protected:
+  RoadmTest() : roadm_(RoadmId{1}, NodeId{0}, WavelengthGrid(40)) {
+    d0_ = roadm_.attach_degree(LinkId{100});
+    d1_ = roadm_.attach_degree(LinkId{101});
+    d2_ = roadm_.attach_degree(LinkId{102});
+    ports_ = roadm_.add_ports(2);
+  }
+  Roadm roadm_;
+  DegreeIndex d0_, d1_, d2_;
+  std::vector<PortId> ports_;
+};
+
+TEST_F(RoadmTest, DegreeLookup) {
+  EXPECT_EQ(roadm_.degree_count(), 3u);
+  EXPECT_EQ(roadm_.degree_for(LinkId{101}), d1_);
+  EXPECT_FALSE(roadm_.degree_for(LinkId{999}).has_value());
+  EXPECT_EQ(roadm_.link_of(d2_), LinkId{102});
+}
+
+TEST_F(RoadmTest, DuplicateDegreeThrows) {
+  EXPECT_THROW(roadm_.attach_degree(LinkId{100}), std::invalid_argument);
+}
+
+TEST_F(RoadmTest, ExpressConfiguresBothDegrees) {
+  ASSERT_TRUE(roadm_.configure_express(5, d0_, d1_).ok());
+  EXPECT_TRUE(roadm_.channel_in_use(d0_, 5));
+  EXPECT_TRUE(roadm_.channel_in_use(d1_, 5));
+  EXPECT_FALSE(roadm_.channel_in_use(d2_, 5));
+  EXPECT_EQ(roadm_.active_uses(), 2u);
+}
+
+TEST_F(RoadmTest, ExpressCollisionRejected) {
+  ASSERT_TRUE(roadm_.configure_express(5, d0_, d1_).ok());
+  const Status s = roadm_.configure_express(5, d1_, d2_);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code(), ErrorCode::kBusy);
+  // A different channel through the same degrees is fine.
+  EXPECT_TRUE(roadm_.configure_express(6, d1_, d2_).ok());
+}
+
+TEST_F(RoadmTest, ExpressValidation) {
+  EXPECT_EQ(roadm_.configure_express(99, d0_, d1_).error().code(),
+            ErrorCode::kInvalidArgument);  // channel off grid
+  EXPECT_EQ(roadm_.configure_express(5, d0_, d0_).error().code(),
+            ErrorCode::kInvalidArgument);  // same degree
+  EXPECT_EQ(roadm_.configure_express(5, d0_, 9).error().code(),
+            ErrorCode::kInvalidArgument);  // no such degree
+}
+
+TEST_F(RoadmTest, ReleaseExpressFreesChannel) {
+  ASSERT_TRUE(roadm_.configure_express(5, d0_, d1_).ok());
+  ASSERT_TRUE(roadm_.release_express(5, d0_, d1_).ok());
+  EXPECT_FALSE(roadm_.channel_in_use(d0_, 5));
+  EXPECT_EQ(roadm_.release_express(5, d0_, d1_).error().code(),
+            ErrorCode::kConflict);
+}
+
+TEST_F(RoadmTest, AddDropLifecycle) {
+  ASSERT_TRUE(roadm_.configure_add_drop(ports_[0], d0_, 7).ok());
+  EXPECT_TRUE(roadm_.port(ports_[0]).active);
+  EXPECT_TRUE(roadm_.channel_in_use(d0_, 7));
+  // Port busy.
+  EXPECT_EQ(roadm_.configure_add_drop(ports_[0], d1_, 8).error().code(),
+            ErrorCode::kBusy);
+  // Channel busy on that degree.
+  EXPECT_EQ(roadm_.configure_add_drop(ports_[1], d0_, 7).error().code(),
+            ErrorCode::kBusy);
+  ASSERT_TRUE(roadm_.release_add_drop(ports_[0]).ok());
+  EXPECT_FALSE(roadm_.channel_in_use(d0_, 7));
+}
+
+TEST_F(RoadmTest, ColorlessPortSteersAnywhere) {
+  // Same port works on any degree and any channel across its lifetime —
+  // the "colorless and non-directional" property the paper requires.
+  ASSERT_TRUE(roadm_.configure_add_drop(ports_[0], d0_, 3).ok());
+  ASSERT_TRUE(roadm_.release_add_drop(ports_[0]).ok());
+  ASSERT_TRUE(roadm_.configure_add_drop(ports_[0], d2_, 31).ok());
+  EXPECT_TRUE(roadm_.channel_in_use(d2_, 31));
+}
+
+TEST_F(RoadmTest, FixedPortRefusesToSteer) {
+  const PortId fixed = roadm_.add_fixed_port(d1_, 9);
+  EXPECT_EQ(roadm_.configure_add_drop(fixed, d0_, 9).error().code(),
+            ErrorCode::kConflict);
+  EXPECT_EQ(roadm_.configure_add_drop(fixed, d1_, 10).error().code(),
+            ErrorCode::kConflict);
+  EXPECT_TRUE(roadm_.configure_add_drop(fixed, d1_, 9).ok());
+}
+
+TEST_F(RoadmTest, FreeChannelsReflectUse) {
+  EXPECT_EQ(roadm_.free_channels(d0_).size(), 40u);
+  ASSERT_TRUE(roadm_.configure_express(5, d0_, d1_).ok());
+  ASSERT_TRUE(roadm_.configure_add_drop(ports_[0], d0_, 6).ok());
+  EXPECT_EQ(roadm_.free_channels(d0_).size(), 38u);
+  EXPECT_FALSE(roadm_.free_channels(d0_).contains(5));
+  EXPECT_FALSE(roadm_.free_channels(d0_).contains(6));
+}
+
+TEST_F(RoadmTest, LinkFailureRaisesPerChannelLos) {
+  std::vector<Alarm> alarms;
+  roadm_.set_alarm_sink([&](const Alarm& a) { alarms.push_back(a); });
+  ASSERT_TRUE(roadm_.configure_express(5, d0_, d1_).ok());
+  ASSERT_TRUE(roadm_.configure_add_drop(ports_[0], d0_, 6).ok());
+  roadm_.on_link_failed(LinkId{100}, seconds(10));  // faces d0_
+  // One degree-level OSC alarm + ch5 express + ch6 add/drop on d0.
+  ASSERT_EQ(alarms.size(), 3u);
+  EXPECT_FALSE(alarms[0].channel.has_value());  // the OSC alarm
+  for (const auto& a : alarms) {
+    EXPECT_EQ(a.type, AlarmType::kLos);
+    EXPECT_EQ(a.link, LinkId{100});
+    EXPECT_EQ(a.raised_at, seconds(10));
+  }
+  alarms.clear();
+  roadm_.on_link_restored(LinkId{100}, seconds(20));
+  ASSERT_EQ(alarms.size(), 3u);
+  EXPECT_EQ(alarms[0].type, AlarmType::kClear);
+}
+
+TEST_F(RoadmTest, UnconfiguredDegreeStillReportsOsc) {
+  std::vector<Alarm> alarms;
+  roadm_.set_alarm_sink([&](const Alarm& a) { alarms.push_back(a); });
+  ASSERT_TRUE(roadm_.configure_express(5, d0_, d1_).ok());
+  roadm_.on_link_failed(LinkId{102}, seconds(1));  // d2 carries nothing
+  // Only the supervisory-channel alarm: no per-channel LOS.
+  ASSERT_EQ(alarms.size(), 1u);
+  EXPECT_FALSE(alarms[0].channel.has_value());
+  EXPECT_EQ(alarms[0].link, LinkId{102});
+}
+
+TEST(Transponder, LifecycleIdleTunedActive) {
+  Transponder ot(TransponderId{1}, NodeId{0}, rates::k10G);
+  EXPECT_EQ(ot.state(), Transponder::State::kIdle);
+  EXPECT_EQ(ot.activate().error().code(), ErrorCode::kConflict);
+  ASSERT_TRUE(ot.tune(5).ok());
+  EXPECT_EQ(ot.state(), Transponder::State::kTuned);
+  EXPECT_EQ(ot.channel(), 5);
+  ASSERT_TRUE(ot.activate().ok());
+  EXPECT_EQ(ot.state(), Transponder::State::kActive);
+  // Cannot retune or reset while carrying traffic.
+  EXPECT_EQ(ot.tune(6).error().code(), ErrorCode::kConflict);
+  EXPECT_EQ(ot.reset().error().code(), ErrorCode::kConflict);
+  ASSERT_TRUE(ot.deactivate().ok());
+  ASSERT_TRUE(ot.tune(6).ok());  // retune from tuned is allowed
+  EXPECT_EQ(ot.channel(), 6);
+  ASSERT_TRUE(ot.reset().ok());
+  EXPECT_EQ(ot.channel(), kNoChannel);
+}
+
+TEST(Transponder, FailureBlocksEverything) {
+  Transponder ot(TransponderId{1}, NodeId{0}, rates::k10G);
+  ot.fail();
+  EXPECT_EQ(ot.tune(5).error().code(), ErrorCode::kDeviceFault);
+  EXPECT_EQ(ot.activate().error().code(), ErrorCode::kDeviceFault);
+  ot.repair();
+  EXPECT_TRUE(ot.tune(5).ok());
+}
+
+TEST(Regenerator, EngageRelease) {
+  Regenerator r(RegenId{1}, NodeId{2}, rates::k10G);
+  EXPECT_FALSE(r.in_use());
+  ASSERT_TRUE(r.engage(5, 9).ok());
+  EXPECT_TRUE(r.in_use());
+  EXPECT_EQ(r.upstream_channel(), 5);
+  EXPECT_EQ(r.downstream_channel(), 9);
+  EXPECT_EQ(r.engage(1, 2).error().code(), ErrorCode::kBusy);
+  ASSERT_TRUE(r.release().ok());
+  EXPECT_EQ(r.release().error().code(), ErrorCode::kConflict);
+}
+
+TEST(Muxponder, PortAllocation) {
+  Muxponder m(MuxponderId{1}, CustomerId{1}, NodeId{0});
+  EXPECT_EQ(m.line_rate(), rates::k40G);
+  for (std::size_t i = 0; i < Muxponder::kClientPorts; ++i) {
+    auto p = m.allocate_client_port();
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(p.value(), i);
+  }
+  EXPECT_EQ(m.allocate_client_port().error().code(),
+            ErrorCode::kResourceExhausted);
+  EXPECT_EQ(m.provisioned(), rates::k10G * 4);
+  ASSERT_TRUE(m.release_client_port(2).ok());
+  EXPECT_FALSE(m.port_in_use(2));
+  auto again = m.allocate_client_port();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), 2u);
+}
+
+TEST(Muxponder, ClaimSpecificPort) {
+  Muxponder m(MuxponderId{1}, CustomerId{1}, NodeId{0});
+  ASSERT_TRUE(m.claim_client_port(3).ok());
+  EXPECT_EQ(m.claim_client_port(3).error().code(), ErrorCode::kBusy);
+  EXPECT_EQ(m.claim_client_port(9).error().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(m.release_client_port(0).error().code(), ErrorCode::kConflict);
+}
+
+TEST(ReachModel, OsnrDegradesWithDistanceAndHops) {
+  const auto t = topology::paper_testbed();
+  ReachModel reach;
+  const auto p1 =
+      topology::shortest_path(t.graph, t.i, t.iv, topology::hop_weight());
+  const auto p3 = topology::shortest_path(
+      t.graph, t.i, t.iv, topology::hop_weight(),
+      [&](const topology::Link& l) {
+        return l.id != t.i_iv && l.id != t.i_iii;
+      });
+  ASSERT_TRUE(p1 && p3);
+  EXPECT_GT(reach.osnr_at_end(t.graph, *p1), reach.osnr_at_end(t.graph, *p3));
+}
+
+TEST(ReachModel, ShortMetroPathNeedsNoRegen) {
+  const auto t = topology::paper_testbed();
+  ReachModel reach;
+  const auto p =
+      topology::shortest_path(t.graph, t.i, t.iv, topology::hop_weight());
+  const auto segs = reach.segment(t.graph, *p, profile_10g());
+  EXPECT_EQ(segs.size(), 1u);
+  EXPECT_TRUE(reach.regen_sites(t.graph, *p, profile_10g()).empty());
+}
+
+TEST(ReachModel, TranscontinentalPathNeedsRegens) {
+  const auto g = topology::us_backbone();
+  ReachModel reach;
+  const auto sea = *g.find_node("Seattle");
+  const auto pri = *g.find_node("Princeton");
+  const auto p = topology::shortest_path(g, sea, pri,
+                                         topology::distance_weight());
+  ASSERT_TRUE(p.has_value());
+  ASSERT_GT(p->length(g).in_km(), 3000.0);
+  const auto sites = reach.regen_sites(g, *p, profile_10g());
+  EXPECT_GE(sites.size(), 1u);
+  // Regen sites are interior path nodes.
+  for (const NodeId site : sites) {
+    EXPECT_TRUE(p->uses_node(site));
+    EXPECT_NE(site, sea);
+    EXPECT_NE(site, pri);
+  }
+}
+
+TEST(ReachModel, SegmentsCoverPathExactly) {
+  const auto g = topology::us_backbone();
+  ReachModel reach;
+  const auto p = topology::shortest_path(g, *g.find_node("Seattle"),
+                                         *g.find_node("CollegePark"),
+                                         topology::distance_weight());
+  ASSERT_TRUE(p.has_value());
+  const auto segs = reach.segment(g, *p, profile_40g());
+  ASSERT_FALSE(segs.empty());
+  EXPECT_EQ(segs.front().first_link, 0u);
+  EXPECT_EQ(segs.back().last_link, p->links.size() - 1);
+  for (std::size_t i = 1; i < segs.size(); ++i)
+    EXPECT_EQ(segs[i].first_link, segs[i - 1].last_link + 1);
+}
+
+TEST(ReachModel, HigherRatesHaveShorterReach) {
+  EXPECT_GT(profile_10g().max_reach, profile_40g().max_reach);
+  EXPECT_GT(profile_40g().max_reach, profile_100g().max_reach);
+  EXPECT_LT(profile_10g().required_osnr_db, profile_40g().required_osnr_db);
+}
+
+TEST(ReachModel, ProfileForRate) {
+  EXPECT_EQ(profile_for(rates::k10G).rate, rates::k10G);
+  EXPECT_EQ(profile_for(rates::k40G).rate, rates::k40G);
+  EXPECT_EQ(profile_for(DataRate::gbps(1)).rate, rates::k10G);
+}
+
+// Property: 40G segmentation is never coarser than 10G segmentation on the
+// same path (worse OSNR tolerance can only add regens).
+class ReachProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReachProperty, FortyGigNeedsAtLeastAsManySegments) {
+  Rng rng(GetParam());
+  const auto g = topology::random_mesh(12, 3.0, rng);
+  ReachModel reach;
+  for (std::size_t dst = 1; dst < g.nodes().size(); ++dst) {
+    const auto p = topology::shortest_path(g, NodeId{0}, NodeId{dst},
+                                           topology::distance_weight());
+    if (!p) continue;
+    try {
+      const auto s10 = reach.segment(g, *p, profile_10g());
+      const auto s40 = reach.segment(g, *p, profile_40g());
+      EXPECT_GE(s40.size(), s10.size());
+    } catch (const std::runtime_error&) {
+      // A single span can exceed 40G reach; acceptable for random meshes.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReachProperty,
+                         ::testing::Values(3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace griphon::dwdm

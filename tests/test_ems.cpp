@@ -1,0 +1,169 @@
+// Tests for the EMS emulation: command execution against devices, strict
+// per-EMS serialization, latency profiles, retransmission dedup and alarm
+// forwarding.
+#include <gtest/gtest.h>
+
+#include "dwdm/roadm.hpp"
+#include "dwdm/transponder.hpp"
+#include "ems/ems_server.hpp"
+#include "proto/client.hpp"
+
+namespace griphon::ems {
+namespace {
+
+struct EmsFixture : ::testing::Test {
+  EmsFixture()
+      : chan(&engine, proto::ControlChannel::Params{}),
+        server(&engine, &chan.b(), EmsLatencyProfile::testbed_2011(),
+               "roadm-ems"),
+        client(&engine, &chan.a(), client_params()),
+        roadm(RoadmId{0}, NodeId{0}, dwdm::WavelengthGrid(40)),
+        ot(TransponderId{0}, NodeId{0}, rates::k10G) {
+    roadm.attach_degree(LinkId{0});
+    roadm.attach_degree(LinkId{1});
+    port = roadm.add_ports(1).front();
+    server.manage_roadm(&roadm);
+    server.manage_ot(&ot);
+  }
+  static proto::RequestClient::Params client_params() {
+    proto::RequestClient::Params p;
+    p.timeout = seconds(60);
+    return p;
+  }
+
+  sim::Engine engine{7};
+  proto::ControlChannel chan;
+  EmsServer server;
+  proto::RequestClient client;
+  dwdm::Roadm roadm;
+  dwdm::Transponder ot;
+  PortId port;
+};
+
+TEST_F(EmsFixture, ExecutesCommandAgainstDevice) {
+  std::optional<proto::Response> resp;
+  client.request(proto::Message{proto::OtTune{TransponderId{0}, 5}},
+                 [&](Result<proto::Response> r) { resp = r.value(); });
+  engine.run();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_TRUE(resp->ok());
+  EXPECT_EQ(ot.state(), dwdm::Transponder::State::kTuned);
+  EXPECT_EQ(ot.channel(), 5);
+}
+
+TEST_F(EmsFixture, CommandLatencyMatchesProfile) {
+  SimTime done{};
+  client.request(proto::Message{proto::OtTune{TransponderId{0}, 5}},
+                 [&](Result<proto::Response>) { done = engine.now(); });
+  engine.run();
+  // overhead (~0.8s) + laser tuning (~9s) + 2x channel latency.
+  EXPECT_GT(done, seconds(8));
+  EXPECT_LT(done, seconds(13));
+}
+
+TEST_F(EmsFixture, DeviceErrorsPropagateAsResponseCodes) {
+  std::optional<proto::Response> resp;
+  // Activating an idle OT violates its FSM.
+  client.request(
+      proto::Message{proto::OtSetState{TransponderId{0},
+                                       proto::OtSetState::Action::kActivate}},
+      [&](Result<proto::Response> r) { resp = r.value(); });
+  engine.run();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_FALSE(resp->ok());
+  EXPECT_EQ(static_cast<ErrorCode>(resp->code), ErrorCode::kConflict);
+}
+
+TEST_F(EmsFixture, UnknownDeviceRejected) {
+  std::optional<proto::Response> resp;
+  client.request(proto::Message{proto::OtTune{TransponderId{42}, 5}},
+                 [&](Result<proto::Response> r) { resp = r.value(); });
+  engine.run();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(static_cast<ErrorCode>(resp->code), ErrorCode::kNotFound);
+}
+
+TEST_F(EmsFixture, CommandsAreSerialized) {
+  // Two tune commands: the second must wait for the first (one craft
+  // dialogue per EMS), so completion times differ by about a full command.
+  std::vector<SimTime> done;
+  for (int i = 0; i < 2; ++i)
+    client.request(proto::Message{proto::OtTune{TransponderId{0}, 5 + i}},
+                   [&](Result<proto::Response>) {
+                     done.push_back(engine.now());
+                   });
+  engine.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_GT(done[1] - done[0], seconds(8));
+  EXPECT_EQ(server.commands_executed(), 2u);
+}
+
+TEST_F(EmsFixture, RetransmissionAnsweredFromCache) {
+  // Deliver the same frame twice (as a retrying client would): the command
+  // must execute once, and both frames get answered.
+  const proto::Bytes frame = proto::encode_frame(
+      777, proto::Message{proto::OtTune{TransponderId{0}, 9}});
+  int responses = 0;
+  chan.a().on_receive([&](const proto::Bytes&) { ++responses; });
+  chan.a().send(frame);
+  engine.run();
+  chan.a().send(frame);  // late retransmission
+  engine.run();
+  EXPECT_EQ(server.commands_executed(), 1u);
+  EXPECT_EQ(responses, 2);
+}
+
+TEST_F(EmsFixture, DuplicateInQueueDropped) {
+  const proto::Bytes frame = proto::encode_frame(
+      888, proto::Message{proto::OtTune{TransponderId{0}, 9}});
+  chan.a().send(frame);
+  chan.a().send(frame);  // arrives while the first is still queued/running
+  engine.run();
+  EXPECT_EQ(server.commands_executed(), 1u);
+}
+
+TEST_F(EmsFixture, AlarmsForwardedToClientEvents) {
+  std::vector<Alarm> alarms;
+  client.on_event([&](const proto::Frame& f) {
+    alarms.push_back(std::get<proto::AlarmEvent>(f.message).alarm);
+  });
+  // Configure a use on degree 0, then fail its link: LOS must arrive.
+  std::optional<proto::Response> resp;
+  client.request(
+      proto::Message{proto::RoadmAddDrop{RoadmId{0}, port, 0, 3, true}},
+      [&](Result<proto::Response> r) { resp = r.value(); });
+  engine.run();
+  ASSERT_TRUE(resp && resp->ok());
+  roadm.on_link_failed(LinkId{0}, engine.now());
+  engine.run();
+  ASSERT_EQ(alarms.size(), 2u);  // degree OSC alarm + per-channel LOS
+  EXPECT_EQ(alarms[0].type, AlarmType::kLos);
+  EXPECT_EQ(alarms[0].link, LinkId{0});
+  EXPECT_FALSE(alarms[0].channel.has_value());
+  EXPECT_EQ(alarms[1].channel, 3);
+}
+
+TEST_F(EmsFixture, FastProfileIsMuchFaster) {
+  // Same workflow under the §4 "fast hardware" profile.
+  sim::Engine engine2{7};
+  proto::ControlChannel chan2(&engine2, proto::ControlChannel::Params{});
+  EmsServer fast(&engine2, &chan2.b(), EmsLatencyProfile::fast_hardware(),
+                 "fast-ems");
+  proto::RequestClient client2(&engine2, &chan2.a(), client_params());
+  dwdm::Transponder ot2(TransponderId{0}, NodeId{0}, rates::k10G);
+  fast.manage_ot(&ot2);
+  SimTime done{};
+  client2.request(proto::Message{proto::OtTune{TransponderId{0}, 5}},
+                  [&](Result<proto::Response>) { done = engine2.now(); });
+  engine2.run();
+  EXPECT_LT(done, seconds(1));
+}
+
+TEST_F(EmsFixture, MalformedFrameIgnored) {
+  chan.a().send(proto::Bytes{1, 2, 3});
+  engine.run();
+  EXPECT_EQ(server.commands_executed(), 0u);
+}
+
+}  // namespace
+}  // namespace griphon::ems

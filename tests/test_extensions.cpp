@@ -1,0 +1,445 @@
+// Tests for the controller's extension features: dynamic OTU-carrier
+// grooming, 40G service, the EVC service boundary, smallest-fit OT
+// selection, the customer dashboard, and failure/race edge cases.
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+
+namespace griphon::core {
+namespace {
+
+TEST(Grooming, NewCarrierProvisionedWhenOtnFull) {
+  // A plant whose OTN layer has exactly one 10G carrier (8 slots) on the
+  // direct I-IV route and nothing else.
+  sim::Engine engine(80);
+  auto topo = topology::paper_testbed();
+  NetworkModel model(&engine, topo.graph, NetworkModel::Config{});
+  ASSERT_TRUE(model.add_otn_carrier(topo.i, topo.iv, rates::k10G,
+                                    {topo.i_iv})
+                  .ok());
+  const auto site_i = model.add_customer_site(CustomerId{1}, "I", topo.i).nte;
+  const auto site_iv =
+      model.add_customer_site(CustomerId{1}, "IV", topo.iv).nte;
+  GriphonController controller(&model, GriphonController::Params{});
+  CustomerPortal portal(&controller, CustomerId{1}, DataRate::gbps(100));
+
+  // First 5G circuit fits in the lone carrier (5 of 8 slots).
+  std::optional<Result<ConnectionId>> first, second;
+  portal.connect(site_i, site_iv, DataRate::gbps(5),
+                 ProtectionMode::kUnprotected,
+                 [&](Result<ConnectionId> r) { first = std::move(r); });
+  engine.run();
+  ASSERT_TRUE(first && first->ok());
+  EXPECT_EQ(controller.carriers_groomed(), 0u);
+
+  // The second 5G circuit does not fit: the controller must groom a new
+  // OTU carrier onto the DWDM layer, then complete the request.
+  portal.connect(site_i, site_iv, DataRate::gbps(5),
+                 ProtectionMode::kUnprotected,
+                 [&](Result<ConnectionId> r) { second = std::move(r); });
+  engine.run();
+  ASSERT_TRUE(second.has_value());
+  ASSERT_TRUE(second->ok()) << second->error().message();
+  EXPECT_EQ(controller.carriers_groomed(), 1u);
+  EXPECT_EQ(model.otn().carriers().size(), 2u);
+  // The groomed carrier consumed DWDM spectrum and pool transponders.
+  std::size_t active_ots = 0;
+  for (const auto& ot : model.ots())
+    if (ot->state() == dwdm::Transponder::State::kActive) ++active_ots;
+  EXPECT_EQ(active_ots, 2u);
+  EXPECT_GT(model.roadm_at(topo.i).active_uses(), 0u);
+  // Grooming takes a wavelength setup: the second connection was slower.
+  const auto& c2 = controller.connection(second->value());
+  EXPECT_GT(to_seconds(c2.setup_duration), 60.0);
+}
+
+TEST(Grooming, FailsCleanlyWithoutSpectrumPath) {
+  // No OTN carriers AND destination unreachable on the DWDM layer: the
+  // groom must fail and the request must roll back.
+  sim::Engine engine(81);
+  topology::Graph g;
+  const auto a = g.add_node("a");
+  const auto b = g.add_node("b");
+  g.add_node("island");
+  g.add_link(a, b, Distance::km(10));
+  NetworkModel model(&engine, std::move(g), NetworkModel::Config{});
+  const auto sa = model.add_customer_site(CustomerId{1}, "A", a).nte;
+  const auto si =
+      model.add_customer_site(CustomerId{1}, "Island", NodeId{2}).nte;
+  GriphonController controller(&model, GriphonController::Params{});
+  CustomerPortal portal(&controller, CustomerId{1}, DataRate::gbps(100));
+  std::optional<Result<ConnectionId>> result;
+  portal.connect(sa, si, rates::k1G, ProtectionMode::kUnprotected,
+                 [&](Result<ConnectionId> r) { result = std::move(r); });
+  engine.run();
+  ASSERT_TRUE(result.has_value());
+  ASSERT_FALSE(result->ok());
+  EXPECT_EQ(controller.carriers_groomed(), 0u);
+  EXPECT_EQ(controller.stats().setups_failed, 1u);
+}
+
+TEST(FortyGig, WavelengthUsesFortyGigOts) {
+  NetworkModel::Config cfg;
+  cfg.ots_40g_per_node = 2;
+  TestbedScenario s(82, cfg);
+  std::optional<ConnectionId> id;
+  s.portal->connect(s.site_i, s.site_iv, rates::k40G,
+                    ProtectionMode::kRestorable,
+                    [&](Result<ConnectionId> r) {
+                      if (r.ok()) id = r.value();
+                    });
+  s.engine.run();
+  ASSERT_TRUE(id.has_value());
+  const auto& c = s.controller->connection(*id);
+  EXPECT_EQ(c.kind, ConnectionKind::kWavelength);
+  EXPECT_EQ(s.model->ot(c.plan.src_ot).line_rate(), rates::k40G);
+  EXPECT_EQ(s.model->ot(c.plan.dst_ot).line_rate(), rates::k40G);
+}
+
+TEST(FortyGig, RejectedWithoutFortyGigPool) {
+  TestbedScenario s(83);  // default pools are 10G only
+  std::optional<Result<ConnectionId>> result;
+  s.portal->connect(s.site_i, s.site_iv, rates::k40G,
+                    ProtectionMode::kRestorable,
+                    [&](Result<ConnectionId> r) { result = std::move(r); });
+  s.engine.run();
+  ASSERT_TRUE(result.has_value());
+  ASSERT_FALSE(result->ok());
+  EXPECT_EQ(result->error().code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(FortyGig, SmallestFitSparesBigTransponders) {
+  NetworkModel::Config cfg;
+  cfg.ots_per_node = 2;
+  cfg.ots_40g_per_node = 2;
+  TestbedScenario s(84, cfg);
+  // A 10G request must take a 10G OT even though 40G units are free.
+  std::optional<ConnectionId> id;
+  s.portal->connect(s.site_i, s.site_iv, rates::k10G,
+                    ProtectionMode::kRestorable,
+                    [&](Result<ConnectionId> r) {
+                      if (r.ok()) id = r.value();
+                    });
+  s.engine.run();
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(
+      s.model->ot(s.controller->connection(*id).plan.src_ot).line_rate(),
+      rates::k10G);
+}
+
+TEST(ServiceBoundaries, SubGigabitBelongsToEvcLayer) {
+  TestbedScenario s(85);
+  std::optional<Result<ConnectionId>> result;
+  s.portal->connect(s.site_i, s.site_iv, DataRate::mbps(500),
+                    ProtectionMode::kRestorable,
+                    [&](Result<ConnectionId> r) { result = std::move(r); });
+  s.engine.run();
+  ASSERT_TRUE(result.has_value());
+  ASSERT_FALSE(result->ok());
+  EXPECT_EQ(result->error().code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(result->error().message().find("EVC"), std::string::npos);
+}
+
+TEST(Dashboard, RendersCustomerView) {
+  TestbedScenario s(86);
+  std::optional<ConnectionId> id;
+  s.portal->connect(s.site_i, s.site_iv, rates::k10G,
+                    ProtectionMode::kRestorable,
+                    [&](Result<ConnectionId> r) {
+                      if (r.ok()) id = r.value();
+                    });
+  s.engine.run();
+  const std::string dash = s.portal->render_dashboard();
+  EXPECT_NE(dash.find("DC-I"), std::string::npos);
+  EXPECT_NE(dash.find("DC-IV"), std::string::npos);
+  EXPECT_NE(dash.find("active"), std::string::npos);
+  EXPECT_NE(dash.find("10"), std::string::npos);
+  // The GUI hides carrier internals: no device names leak through.
+  EXPECT_EQ(dash.find("roadm"), std::string::npos);
+  EXPECT_EQ(dash.find("fxc"), std::string::npos);
+}
+
+TEST(Races, FiberCutDuringSetupTriggersRestoration) {
+  TestbedScenario s(87);
+  std::optional<ConnectionId> id;
+  s.portal->connect(s.site_i, s.site_iv, rates::k10G,
+                    ProtectionMode::kRestorable,
+                    [&](Result<ConnectionId> r) {
+                      if (r.ok()) id = r.value();
+                    });
+  // Let the command train get half-way, then cut the fiber it targets.
+  s.engine.run_until(seconds(30));
+  s.model->fail_link(s.topo.i_iv);
+  s.engine.run();
+  ASSERT_TRUE(id.has_value());
+  const auto& c = s.controller->connection(*id);
+  EXPECT_EQ(c.state, ConnectionState::kActive);
+  EXPECT_GE(c.restorations, 1);
+  EXPECT_FALSE(c.plan.path.uses_link(s.topo.i_iv));
+}
+
+TEST(Races, ReleaseDuringRestorationRefused) {
+  TestbedScenario s(88);
+  std::optional<ConnectionId> id;
+  s.portal->connect(s.site_i, s.site_iv, rates::k10G,
+                    ProtectionMode::kRestorable,
+                    [&](Result<ConnectionId> r) {
+                      if (r.ok()) id = r.value();
+                    });
+  s.engine.run();
+  ASSERT_TRUE(id.has_value());
+  s.model->fail_link(s.topo.i_iv);
+  // Enter the restoration window (holddown is 2.5 s; restoration takes
+  // over a minute), then try to release.
+  s.engine.run_until(s.engine.now() + seconds(30));
+  std::optional<Status> released;
+  s.portal->disconnect(*id, [&](Status st) { released = st; });
+  s.engine.run();
+  ASSERT_TRUE(released.has_value());
+  EXPECT_FALSE(released->ok());
+  EXPECT_EQ(released->error().code(), ErrorCode::kBusy);
+  // Restoration still completed.
+  EXPECT_EQ(s.controller->connection(*id).state, ConnectionState::kActive);
+}
+
+TEST(Races, DoubleFailureRestoresViaSurvivingPath) {
+  TestbedScenario s(89);
+  std::optional<ConnectionId> id;
+  s.portal->connect(s.site_i, s.site_iv, rates::k10G,
+                    ProtectionMode::kRestorable,
+                    [&](Result<ConnectionId> r) {
+                      if (r.ok()) id = r.value();
+                    });
+  s.engine.run();
+  ASSERT_TRUE(id.has_value());
+  // Cut the direct span AND the two-hop alternative at once: only the
+  // three-hop route I-II-III-IV survives.
+  s.model->fail_link(s.topo.i_iv);
+  s.model->fail_link(s.topo.i_iii);
+  s.engine.run();
+  const auto& c = s.controller->connection(*id);
+  EXPECT_EQ(c.state, ConnectionState::kActive);
+  EXPECT_EQ(c.plan.path.hops(), 3u);
+}
+
+TEST(Races, RestorationFailsWhenIsolatedThenRecoversOnRepair) {
+  TestbedScenario s(90);
+  std::optional<ConnectionId> id;
+  s.portal->connect(s.site_i, s.site_iv, rates::k10G,
+                    ProtectionMode::kRestorable,
+                    [&](Result<ConnectionId> r) {
+                      if (r.ok()) id = r.value();
+                    });
+  s.engine.run();
+  ASSERT_TRUE(id.has_value());
+  // Sever every path between I and IV.
+  s.model->fail_link(s.topo.i_iv);
+  s.model->fail_link(s.topo.i_iii);
+  s.model->fail_link(s.topo.i_ii);
+  s.engine.run();
+  EXPECT_EQ(s.controller->connection(*id).state, ConnectionState::kFailed);
+  EXPECT_GE(s.controller->stats().restorations_failed, 1u);
+  // Repairing the direct span must trigger a fresh re-provisioning (the
+  // failed restoration attempt already released the old path's devices, so
+  // light alone is not service).
+  s.model->repair_link(s.topo.i_iv);
+  s.engine.run();
+  const auto& c = s.controller->connection(*id);
+  EXPECT_EQ(c.state, ConnectionState::kActive);
+  EXPECT_GE(c.restorations, 1);
+  // Outage covered the whole dark period: over a minute at least.
+  EXPECT_GT(to_seconds(c.total_outage), 60.0);
+}
+
+TEST(Grooming, DecommissionReturnsWavelengthToPool) {
+  sim::Engine engine(91);
+  auto topo = topology::paper_testbed();
+  NetworkModel model(&engine, topo.graph, NetworkModel::Config{});
+  const auto site_i = model.add_customer_site(CustomerId{1}, "I", topo.i).nte;
+  const auto site_iv =
+      model.add_customer_site(CustomerId{1}, "IV", topo.iv).nte;
+  GriphonController controller(&model, GriphonController::Params{});
+  CustomerPortal portal(&controller, CustomerId{1}, DataRate::gbps(100));
+
+  // No carriers exist: the first 1G circuit forces a groom.
+  std::optional<ConnectionId> id;
+  portal.connect(site_i, site_iv, rates::k1G, ProtectionMode::kUnprotected,
+                 [&](Result<ConnectionId> r) {
+                   if (r.ok()) id = r.value();
+                 });
+  engine.run();
+  ASSERT_TRUE(id.has_value());
+  ASSERT_EQ(controller.carriers_groomed(), 1u);
+  const std::size_t uses_during =
+      model.roadm_at(topo.i).active_uses();
+  ASSERT_GT(uses_during, 0u);
+
+  // While the circuit lives, the carrier must refuse to retire.
+  controller.decommission_idle_carriers([](Status) {});
+  engine.run();
+  EXPECT_FALSE(model.otn().carriers().front().retired());
+
+  // Release the circuit, then decommission: the wavelength comes down.
+  portal.disconnect(*id, [](Status) {});
+  engine.run();
+  controller.decommission_idle_carriers([](Status) {});
+  engine.run();
+  EXPECT_TRUE(model.otn().carriers().front().retired());
+  EXPECT_EQ(model.roadm_at(topo.i).active_uses(), 0u);
+  for (const auto& ot : model.ots())
+    EXPECT_NE(ot->state(), dwdm::Transponder::State::kActive);
+  // A retired carrier accepts nothing; a new circuit grooms a new one.
+  std::optional<ConnectionId> id2;
+  portal.connect(site_i, site_iv, rates::k1G, ProtectionMode::kUnprotected,
+                 [&](Result<ConnectionId> r) {
+                   if (r.ok()) id2 = r.value();
+                 });
+  engine.run();
+  ASSERT_TRUE(id2.has_value());
+  EXPECT_EQ(controller.carriers_groomed(), 2u);
+}
+
+TEST(Portal, BundleUnwindsOnPartialFailure) {
+  // Constrain the plant so the wavelength part of a 12G bundle succeeds
+  // but the ODU parts cannot (no OTN layer at all): the bundle must fail
+  // as a unit and release the wavelength it already built.
+  NetworkModel::Config cfg;
+  cfg.with_otn = false;
+  TestbedScenario s(92, cfg);
+  std::optional<Result<BundleId>> result;
+  s.portal->connect_bundle(s.site_i, s.site_iv, DataRate::gbps(12),
+                           ProtectionMode::kUnprotected,
+                           [&](Result<BundleId> r) { result = std::move(r); });
+  s.engine.run();
+  ASSERT_TRUE(result.has_value());
+  ASSERT_FALSE(result->ok());
+  // Everything rolled back.
+  EXPECT_EQ(s.controller->active_connections(), 0u);
+  EXPECT_EQ(s.model->roadm_at(s.topo.i).active_uses(), 0u);
+  EXPECT_EQ(s.model->nte(s.site_i).ports_in_use(), 0u);
+  EXPECT_EQ(s.portal->provisioned(), DataRate{});
+}
+
+TEST(FortyGig, ReachIsShorterAtFortyGig) {
+  // On the backbone, the same long route needs more regens at 40G.
+  sim::Engine engine(93);
+  NetworkModel::Config cfg;
+  cfg.with_otn = false;
+  cfg.ots_40g_per_node = 2;
+  cfg.regens_per_node = 6;
+  cfg.regens_40g_per_node = 6;
+  NetworkModel model(&engine, topology::us_backbone(), cfg);
+  Inventory inv(&model);
+  RwaEngine rwa(&model, &inv, RwaEngine::Params{});
+  const auto& g = model.graph();
+  const auto sea = *g.find_node("Seattle");
+  const auto cp = *g.find_node("CollegePark");
+  const auto p10 = rwa.plan(sea, cp, rates::k10G);
+  const auto p40 = rwa.plan(sea, cp, rates::k40G);
+  ASSERT_TRUE(p10.ok()) << p10.error();
+  ASSERT_TRUE(p40.ok()) << p40.error();
+  EXPECT_GE(p40.value().segments.size(), p10.value().segments.size());
+  // 40G plans use 40G regens only.
+  for (const RegenId r : p40.value().regens)
+    EXPECT_EQ(model.regen(r).line_rate(), rates::k40G);
+}
+
+TEST(Srlg, SiblingLookup) {
+  topology::Graph g;
+  const auto a = g.add_node("a");
+  const auto b = g.add_node("b");
+  const auto c = g.add_node("c");
+  const auto l1 = g.add_link(a, b, Distance::km(10));
+  const auto l2 = g.add_link(a, c, Distance::km(10));
+  const auto l3 = g.add_link(c, b, Distance::km(10));
+  EXPECT_EQ(g.srlg_siblings(l1), (std::vector<LinkId>{l1}));  // no group
+  g.set_srlg(l1, 7);
+  g.set_srlg(l2, 7);
+  const auto sib = g.srlg_siblings(l1);
+  EXPECT_EQ(sib.size(), 2u);
+  EXPECT_EQ(g.srlg_siblings(l3), (std::vector<LinkId>{l3}));
+}
+
+TEST(Srlg, OnePlusOneStandbyAvoidsSharedConduit) {
+  // a--b directly (L1); a-c-b whose first hop shares a conduit with L1;
+  // a-d-b fully independent. The 1+1 standby must take the a-d-b route —
+  // link-disjointness alone would have accepted a-c-b.
+  sim::Engine engine(140);
+  topology::Graph g;
+  const auto a = g.add_node("a");
+  const auto b = g.add_node("b");
+  const auto c = g.add_node("c");
+  const auto d = g.add_node("d");
+  const auto l1 = g.add_link(a, b, Distance::km(50));
+  const auto l_ac = g.add_link(a, c, Distance::km(60));  // shares conduit
+  g.add_link(c, b, Distance::km(60));
+  const auto l_ad = g.add_link(a, d, Distance::km(400));
+  const auto l_db = g.add_link(d, b, Distance::km(400));
+  g.set_srlg(l1, 1);
+  g.set_srlg(l_ac, 1);
+
+  NetworkModel::Config cfg;
+  cfg.with_otn = false;
+  NetworkModel model(&engine, std::move(g), cfg);
+  const auto sa = model.add_customer_site(CustomerId{1}, "A", a).nte;
+  const auto sb = model.add_customer_site(CustomerId{1}, "B", b).nte;
+  GriphonController controller(&model, GriphonController::Params{});
+  CustomerPortal portal(&controller, CustomerId{1}, DataRate::gbps(100));
+
+  std::optional<ConnectionId> id;
+  portal.connect(sa, sb, rates::k10G, ProtectionMode::kOnePlusOne,
+                 [&](Result<ConnectionId> r) {
+                   if (r.ok()) id = r.value();
+                 });
+  engine.run();
+  ASSERT_TRUE(id.has_value());
+  const auto& conn = controller.connection(*id);
+  ASSERT_TRUE(conn.standby.has_value());
+  EXPECT_EQ(conn.plan.path.links, (std::vector<LinkId>{l1}));
+  // Standby took the long but conduit-independent route.
+  EXPECT_TRUE(conn.standby->path.uses_link(l_ad));
+  EXPECT_TRUE(conn.standby->path.uses_link(l_db));
+  EXPECT_FALSE(conn.standby->path.uses_link(l_ac));
+}
+
+TEST(Srlg, BridgeAndRollAvoidsSharedConduit) {
+  sim::Engine engine(141);
+  topology::Graph g;
+  const auto a = g.add_node("a");
+  const auto b = g.add_node("b");
+  const auto c = g.add_node("c");
+  const auto d = g.add_node("d");
+  const auto l1 = g.add_link(a, b, Distance::km(50));
+  const auto l_ac = g.add_link(a, c, Distance::km(60));
+  g.add_link(c, b, Distance::km(60));
+  const auto l_ad = g.add_link(a, d, Distance::km(400));
+  g.add_link(d, b, Distance::km(400));
+  g.set_srlg(l1, 3);
+  g.set_srlg(l_ac, 3);
+
+  NetworkModel::Config cfg;
+  cfg.with_otn = false;
+  NetworkModel model(&engine, std::move(g), cfg);
+  const auto sa = model.add_customer_site(CustomerId{1}, "A", a).nte;
+  const auto sb = model.add_customer_site(CustomerId{1}, "B", b).nte;
+  GriphonController controller(&model, GriphonController::Params{});
+  CustomerPortal portal(&controller, CustomerId{1}, DataRate::gbps(100));
+  std::optional<ConnectionId> id;
+  portal.connect(sa, sb, rates::k10G, ProtectionMode::kRestorable,
+                 [&](Result<ConnectionId> r) {
+                   if (r.ok()) id = r.value();
+                 });
+  engine.run();
+  ASSERT_TRUE(id.has_value());
+  std::optional<Status> rolled;
+  controller.bridge_and_roll(*id, Exclusions{},
+                             [&](Status st) { rolled = st; });
+  engine.run();
+  ASSERT_TRUE(rolled && rolled->ok()) << rolled->error().message();
+  const auto& conn = controller.connection(*id);
+  EXPECT_FALSE(conn.plan.path.uses_link(l_ac));  // conduit-mate shunned
+  EXPECT_TRUE(conn.plan.path.uses_link(l_ad));
+}
+
+}  // namespace
+}  // namespace griphon::core

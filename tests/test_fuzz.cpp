@@ -1,0 +1,135 @@
+// Robustness / fuzz-style property tests.
+//
+// The control protocol and the EMS front-end must survive arbitrary bytes
+// from the DCN (truncated frames, flipped bits, garbage) without crashing
+// or corrupting state; decode either succeeds or returns a clean error.
+#include <gtest/gtest.h>
+
+#include "dwdm/transponder.hpp"
+#include "ems/ems_server.hpp"
+#include "proto/client.hpp"
+#include "proto/messages.hpp"
+
+namespace griphon::proto {
+namespace {
+
+class DecodeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DecodeFuzz, RandomBytesNeverCrash) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto len = static_cast<std::size_t>(rng.uniform_int(0, 96));
+    Bytes bytes(len);
+    for (auto& b : bytes)
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const auto frame = decode_frame(bytes);  // must not crash or UB
+    if (frame.ok()) {
+      // Decoding random bytes as a frame is astronomically unlikely given
+      // the 32-bit magic; if it happens the content must still be typed.
+      (void)type_of(frame.value().message);
+    }
+  }
+}
+
+TEST_P(DecodeFuzz, MutatedValidFramesNeverCrash) {
+  Rng rng(GetParam() + 1000);
+  const Bytes valid = encode_frame(
+      42, Message{RoadmAddDrop{RoadmId{1}, PortId{6}, 1, 33, true}});
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes bytes = valid;
+    // Flip 1-4 random bytes.
+    const int flips = static_cast<int>(rng.uniform_int(1, 4));
+    for (int i = 0; i < flips; ++i) {
+      const auto at = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(bytes.size()) - 1));
+      bytes[at] ^= static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+    }
+    // Sometimes truncate or extend too.
+    if (rng.chance(0.3))
+      bytes.resize(static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(bytes.size()))));
+    if (rng.chance(0.2)) bytes.push_back(0);
+    (void)decode_frame(bytes);
+  }
+}
+
+TEST_P(DecodeFuzz, TruncationsOfEveryPrefixAreClean) {
+  Rng rng(GetParam());
+  const Bytes valid = encode_frame(
+      7, Message{AlarmEvent{Alarm{AlarmId{1}, AlarmType::kLos, seconds(1),
+                                  "roadm/1", NodeId{1}, LinkId{2}, 3,
+                                  std::nullopt, "x"}}});
+  for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+    Bytes bytes(valid.begin(), valid.begin() + static_cast<long>(cut));
+    const auto frame = decode_frame(bytes);
+    EXPECT_FALSE(frame.ok());  // every strict prefix must be rejected
+  }
+  EXPECT_TRUE(decode_frame(valid).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecodeFuzz, ::testing::Values(1, 2, 3));
+
+TEST(EmsFuzz, GarbageFramesLeaveServerOperational) {
+  sim::Engine engine(4);
+  ControlChannel chan(&engine, ControlChannel::Params{});
+  ems::EmsServer server(&engine, &chan.b(),
+                        ems::EmsLatencyProfile::fast_hardware(), "ems");
+  dwdm::Transponder ot(TransponderId{0}, NodeId{0}, rates::k10G);
+  server.manage_ot(&ot);
+  RequestClient client(&engine, &chan.a(), RequestClient::Params{});
+
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    Bytes junk(static_cast<std::size_t>(rng.uniform_int(0, 64)));
+    for (auto& b : junk)
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    chan.a().send(std::move(junk));
+  }
+  engine.run();
+  EXPECT_EQ(server.commands_executed(), 0u);
+
+  // The server still works after the storm.
+  std::optional<Response> resp;
+  client.request(Message{OtTune{TransponderId{0}, 5}},
+                 [&](Result<Response> r) { resp = r.value(); });
+  engine.run();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_TRUE(resp->ok());
+  EXPECT_EQ(ot.channel(), 5);
+}
+
+TEST(EmsFuzz, LossyChannelEventuallyConverges) {
+  // A realistic bad DCN day: 20% loss both ways; a batch of commands must
+  // all complete exactly once (dedup) despite retransmissions.
+  sim::Engine engine(11);
+  ControlChannel::Params cp;
+  cp.loss_probability = 0.2;
+  ControlChannel chan(&engine, cp);
+  ems::EmsServer server(&engine, &chan.b(),
+                        ems::EmsLatencyProfile::fast_hardware(), "ems");
+  std::vector<std::unique_ptr<dwdm::Transponder>> ots;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    ots.push_back(std::make_unique<dwdm::Transponder>(TransponderId{i},
+                                                      NodeId{0},
+                                                      rates::k10G));
+    server.manage_ot(ots.back().get());
+  }
+  RequestClient::Params rp;
+  rp.timeout = milliseconds(400);
+  rp.max_attempts = 20;
+  RequestClient client(&engine, &chan.a(), rp);
+  int ok = 0;
+  for (std::uint64_t i = 0; i < 16; ++i)
+    client.request(Message{OtTune{TransponderId{i},
+                                  static_cast<std::int32_t>(i)}},
+                   [&](Result<Response> r) {
+                     if (r.ok() && r.value().ok()) ++ok;
+                   });
+  engine.run();
+  EXPECT_EQ(ok, 16);
+  for (std::uint64_t i = 0; i < 16; ++i)
+    EXPECT_EQ(ots[i]->channel(), static_cast<std::int32_t>(i));
+}
+
+}  // namespace
+}  // namespace griphon::proto

@@ -1,0 +1,87 @@
+// Unit tests for the fiber cross-connect.
+#include <gtest/gtest.h>
+
+#include "fxc/fxc.hpp"
+
+namespace griphon::fxc {
+namespace {
+
+class FxcTest : public ::testing::Test {
+ protected:
+  FxcTest() : fxc_(FxcId{1}, NodeId{0}, 8) {}
+  Fxc fxc_;
+};
+
+TEST_F(FxcTest, StartsEmpty) {
+  EXPECT_EQ(fxc_.port_count(), 8u);
+  EXPECT_EQ(fxc_.active_connections(), 0u);
+  EXPECT_FALSE(fxc_.connected(PortId{0}));
+}
+
+TEST_F(FxcTest, ConnectAndPeer) {
+  ASSERT_TRUE(fxc_.connect(PortId{0}, PortId{5}).ok());
+  EXPECT_EQ(fxc_.active_connections(), 1u);
+  EXPECT_EQ(fxc_.peer(PortId{0}), PortId{5});
+  EXPECT_EQ(fxc_.peer(PortId{5}), PortId{0});
+  EXPECT_FALSE(fxc_.peer(PortId{1}).has_value());
+}
+
+TEST_F(FxcTest, BusyPortRejected) {
+  ASSERT_TRUE(fxc_.connect(PortId{0}, PortId{5}).ok());
+  EXPECT_EQ(fxc_.connect(PortId{0}, PortId{1}).error().code(),
+            ErrorCode::kBusy);
+  EXPECT_EQ(fxc_.connect(PortId{2}, PortId{5}).error().code(),
+            ErrorCode::kBusy);
+}
+
+TEST_F(FxcTest, LoopbackAndUnknownPortRejected) {
+  EXPECT_EQ(fxc_.connect(PortId{3}, PortId{3}).error().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fxc_.connect(PortId{0}, PortId{99}).error().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(FxcTest, DisconnectEitherEnd) {
+  ASSERT_TRUE(fxc_.connect(PortId{0}, PortId{5}).ok());
+  ASSERT_TRUE(fxc_.disconnect(PortId{5}).ok());  // by the far end
+  EXPECT_FALSE(fxc_.connected(PortId{0}));
+  EXPECT_EQ(fxc_.active_connections(), 0u);
+  EXPECT_EQ(fxc_.disconnect(PortId{0}).error().code(), ErrorCode::kConflict);
+}
+
+TEST_F(FxcTest, StrictlyNonBlocking) {
+  // Any free-to-free pairing must succeed regardless of existing state.
+  ASSERT_TRUE(fxc_.connect(PortId{0}, PortId{1}).ok());
+  ASSERT_TRUE(fxc_.connect(PortId{2}, PortId{3}).ok());
+  ASSERT_TRUE(fxc_.connect(PortId{4}, PortId{7}).ok());
+  ASSERT_TRUE(fxc_.connect(PortId{5}, PortId{6}).ok());
+  EXPECT_EQ(fxc_.active_connections(), 4u);
+}
+
+TEST_F(FxcTest, WiringLookup) {
+  fxc_.wire(PortId{2},
+            Wiring{Wiring::Kind::kTransponderClient, /*device=*/7, 0});
+  fxc_.wire(PortId{3}, Wiring{Wiring::Kind::kCustomerAccess, 4, 1});
+  EXPECT_EQ(fxc_.wiring(PortId{2}).kind, Wiring::Kind::kTransponderClient);
+  const auto p = fxc_.port_for(Wiring::Kind::kTransponderClient, 7, 0);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, PortId{2});
+  EXPECT_FALSE(
+      fxc_.port_for(Wiring::Kind::kTransponderClient, 8, 0).has_value());
+  EXPECT_EQ(fxc_.wiring(PortId{0}).kind, Wiring::Kind::kUnwired);
+}
+
+TEST_F(FxcTest, ReconnectAfterDisconnect) {
+  ASSERT_TRUE(fxc_.connect(PortId{0}, PortId{1}).ok());
+  ASSERT_TRUE(fxc_.disconnect(PortId{0}).ok());
+  ASSERT_TRUE(fxc_.connect(PortId{0}, PortId{2}).ok());
+  EXPECT_EQ(fxc_.peer(PortId{0}), PortId{2});
+  EXPECT_FALSE(fxc_.connected(PortId{1}));
+}
+
+TEST(Fxc, ZeroPortsThrows) {
+  EXPECT_THROW(Fxc(FxcId{1}, NodeId{0}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace griphon::fxc

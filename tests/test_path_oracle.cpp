@@ -1,0 +1,118 @@
+// Oracle tests: the production path algorithms (Dijkstra, Yen, Bhandari)
+// are checked against brute-force enumeration on small random graphs.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/builders.hpp"
+#include "topology/path.hpp"
+
+namespace griphon::topology {
+namespace {
+
+/// All loopless paths src->dst by DFS (exponential; fine for <= 8 nodes).
+void enumerate(const Graph& g, NodeId at, NodeId dst,
+               std::set<NodeId>& visited, Path& current,
+               std::vector<Path>& out) {
+  if (at == dst) {
+    out.push_back(current);
+    return;
+  }
+  for (const LinkId lid : g.links_at(at)) {
+    const Link& l = g.link(lid);
+    const NodeId next = l.peer(at);
+    if (visited.contains(next)) continue;
+    visited.insert(next);
+    current.nodes.push_back(next);
+    current.links.push_back(lid);
+    enumerate(g, next, dst, visited, current, out);
+    current.nodes.pop_back();
+    current.links.pop_back();
+    visited.erase(next);
+  }
+}
+
+std::vector<Path> all_paths(const Graph& g, NodeId src, NodeId dst) {
+  std::vector<Path> out;
+  std::set<NodeId> visited{src};
+  Path current;
+  current.nodes.push_back(src);
+  enumerate(g, src, dst, visited, current, out);
+  return out;
+}
+
+double weight_of(const Graph& g, const Path& p) {
+  return p.length(g).in_km();
+}
+
+class PathOracle : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Graph make_graph() {
+    Rng rng(GetParam());
+    return random_mesh(7, 3.0, rng);
+  }
+};
+
+TEST_P(PathOracle, DijkstraMatchesBruteForce) {
+  const Graph g = make_graph();
+  const NodeId src{0}, dst{6};
+  const auto brute = all_paths(g, src, dst);
+  const auto fast = shortest_path(g, src, dst, distance_weight());
+  if (brute.empty()) {
+    EXPECT_FALSE(fast.has_value());
+    return;
+  }
+  ASSERT_TRUE(fast.has_value());
+  double best = 1e18;
+  for (const auto& p : brute) best = std::min(best, weight_of(g, p));
+  EXPECT_NEAR(weight_of(g, *fast), best, 1e-9);
+}
+
+TEST_P(PathOracle, YenMatchesSortedBruteForce) {
+  const Graph g = make_graph();
+  const NodeId src{0}, dst{6};
+  auto brute = all_paths(g, src, dst);
+  std::sort(brute.begin(), brute.end(), [&](const Path& a, const Path& b) {
+    return weight_of(g, a) < weight_of(g, b);
+  });
+  const std::size_t k = std::min<std::size_t>(5, brute.size());
+  const auto fast = k_shortest_paths(g, src, dst, k, distance_weight());
+  ASSERT_EQ(fast.size(), k);
+  // Weights must match the k smallest brute-force weights (paths may tie).
+  for (std::size_t i = 0; i < k; ++i)
+    EXPECT_NEAR(weight_of(g, fast[i]), weight_of(g, brute[i]), 1e-9)
+        << "at rank " << i;
+}
+
+TEST_P(PathOracle, BhandariMatchesBruteForceDisjointPair) {
+  const Graph g = make_graph();
+  const NodeId src{0}, dst{6};
+  const auto brute = all_paths(g, src, dst);
+  // Brute-force optimal link-disjoint pair.
+  double best = 1e18;
+  bool exists = false;
+  for (std::size_t i = 0; i < brute.size(); ++i) {
+    std::set<LinkId> li(brute[i].links.begin(), brute[i].links.end());
+    for (std::size_t j = i + 1; j < brute.size(); ++j) {
+      const bool disjoint =
+          std::none_of(brute[j].links.begin(), brute[j].links.end(),
+                       [&](LinkId l) { return li.contains(l); });
+      if (!disjoint) continue;
+      exists = true;
+      best = std::min(best,
+                      weight_of(g, brute[i]) + weight_of(g, brute[j]));
+    }
+  }
+  const auto fast = disjoint_pair(g, src, dst, distance_weight());
+  ASSERT_EQ(fast.has_value(), exists);
+  if (!exists) return;
+  EXPECT_NEAR(weight_of(g, fast->primary) + weight_of(g, fast->secondary),
+              best, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathOracle,
+                         ::testing::Values(2, 5, 9, 14, 23, 37, 51, 68, 77,
+                                           91));
+
+}  // namespace
+}  // namespace griphon::topology

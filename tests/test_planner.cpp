@@ -1,0 +1,155 @@
+// Tests for the §4 resource planner: Erlang-B math and pool sizing, plus a
+// closed loop against the simulator (plan a pool, offer the forecast
+// demand, verify measured blocking lands near the target).
+#include <gtest/gtest.h>
+
+#include "core/planner.hpp"
+#include "core/scenario.hpp"
+#include "workload/arrivals.hpp"
+
+namespace griphon::core {
+namespace {
+
+TEST(ErlangB, KnownValues) {
+  // Classic table values.
+  EXPECT_NEAR(erlang_b(1.0, 1), 0.5, 1e-9);
+  EXPECT_NEAR(erlang_b(1.0, 2), 0.2, 1e-9);
+  EXPECT_NEAR(erlang_b(10.0, 10), 0.2146, 1e-3);
+  EXPECT_NEAR(erlang_b(3.0, 5), 0.11005, 1e-4);
+  EXPECT_NEAR(erlang_b(0.0, 5), 0.0, 1e-12);
+  EXPECT_NEAR(erlang_b(5.0, 0), 1.0, 1e-12);
+}
+
+TEST(ErlangB, Monotonicity) {
+  // More servers -> less blocking; more load -> more blocking.
+  for (int c = 1; c < 20; ++c)
+    EXPECT_LT(erlang_b(8.0, c + 1), erlang_b(8.0, c));
+  for (double a = 1; a < 20; a += 1)
+    EXPECT_LT(erlang_b(a, 10), erlang_b(a + 1, 10));
+}
+
+TEST(ErlangB, RejectsBadInput) {
+  EXPECT_THROW((void)erlang_b(-1, 5), std::invalid_argument);
+  EXPECT_THROW((void)servers_for_blocking(5, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)servers_for_blocking(5, 1.5), std::invalid_argument);
+}
+
+TEST(ErlangB, ServersForBlocking) {
+  // The returned size meets the target and is minimal.
+  for (const double a : {0.5, 2.0, 8.0, 20.0}) {
+    for (const double target : {0.1, 0.01, 0.001}) {
+      const int c = servers_for_blocking(a, target);
+      EXPECT_LE(erlang_b(a, c), target);
+      if (c > 0) {
+        EXPECT_GT(erlang_b(a, c - 1), target);
+      }
+    }
+  }
+  EXPECT_EQ(servers_for_blocking(0, 0.01), 0);
+}
+
+TEST(Planner, PoolSizesFollowDemand) {
+  const auto t = topology::paper_testbed();
+  const std::vector<DemandForecast> demand = {
+      {t.i, t.iv, 4.0},   // heavy relation
+      {t.i, t.iii, 1.0},  // light relation
+  };
+  const auto plan = ResourcePlanner::plan_ot_pools(t.graph, demand, 0.01);
+  ASSERT_EQ(plan.size(), t.graph.nodes().size());
+  const auto by_node = [&](NodeId n) {
+    for (const auto& r : plan)
+      if (r.node == n) return r;
+    throw std::out_of_range("node");
+  };
+  // Node I terminates both demands (5 Erl), IV only the heavy one (4),
+  // III only the light one (1), II nothing.
+  EXPECT_NEAR(by_node(t.i).offered_erlangs, 5.0, 1e-9);
+  EXPECT_NEAR(by_node(t.iv).offered_erlangs, 4.0, 1e-9);
+  EXPECT_NEAR(by_node(t.iii).offered_erlangs, 1.0, 1e-9);
+  EXPECT_EQ(by_node(t.ii).ots_needed, 0);
+  EXPECT_GT(by_node(t.i).ots_needed, by_node(t.iii).ots_needed);
+  for (const auto& r : plan) EXPECT_LE(r.predicted_blocking, 0.01);
+}
+
+TEST(Planner, RegenPoolsOnlyWhereReachBinds) {
+  // The metro-scale testbed needs no regens anywhere; the continental
+  // backbone needs them at interior sites of long routes.
+  const auto t = topology::paper_testbed();
+  dwdm::ReachModel reach;
+  const auto metro = ResourcePlanner::plan_regen_pools(
+      t.graph, reach, {{t.i, t.iv, 5.0}}, rates::k10G);
+  for (const auto& r : metro) EXPECT_EQ(r.ots_needed, 0);
+
+  const auto g = topology::us_backbone();
+  const auto sea = *g.find_node("Seattle");
+  const auto pri = *g.find_node("Princeton");
+  const auto cont = ResourcePlanner::plan_regen_pools(
+      g, reach, {{sea, pri, 5.0}}, rates::k10G);
+  int total = 0;
+  for (const auto& r : cont) total += r.ots_needed;
+  EXPECT_GT(total, 0);
+  // Endpoints themselves never host regens for their own demand.
+  for (const auto& r : cont) {
+    if (r.node == sea || r.node == pri) {
+      EXPECT_EQ(r.ots_needed, 0);
+    }
+  }
+}
+
+// Closed loop: size the pool with Erlang-B, drive the simulator with the
+// forecast demand, and check measured blocking is in the neighbourhood of
+// the target (routing/spectrum coupling adds slack; the check is a band).
+class PlannerLoop : public ::testing::TestWithParam<double> {};
+
+TEST_P(PlannerLoop, PlannedPoolMeetsTargetInSimulation) {
+  const double erlangs = GetParam();
+  const double target = 0.05;
+  const auto topo = topology::paper_testbed();
+  const std::vector<DemandForecast> demand = {
+      {topo.i, topo.iv, erlangs / 2},
+      {topo.i, topo.iii, erlangs / 2},
+  };
+  const auto plan = ResourcePlanner::plan_ot_pools(topo.graph, demand, target);
+  std::size_t worst_pool = 0;
+  for (const auto& r : plan)
+    worst_pool = std::max(worst_pool, static_cast<std::size_t>(r.ots_needed));
+
+  // Build the plant with the recommended (worst-node) pool everywhere.
+  sim::Engine engine(static_cast<std::uint64_t>(erlangs * 100) + 3);
+  NetworkModel::Config cfg;
+  cfg.ots_per_node = worst_pool;
+  cfg.with_otn = false;
+  cfg.fxc_ports_per_node = 128;
+  NetworkModel model(&engine, topo.graph, cfg);
+  const CustomerId csp{1};
+  std::vector<MuxponderId> i_sites, iii_sites, iv_sites;
+  for (int k = 0; k < 4; ++k) {  // plenty of access so OTs bind
+    i_sites.push_back(model.add_customer_site(csp, "i", topo.i).nte);
+    iii_sites.push_back(model.add_customer_site(csp, "iii", topo.iii).nte);
+    iv_sites.push_back(model.add_customer_site(csp, "iv", topo.iv).nte);
+  }
+  GriphonController controller(&model, GriphonController::Params{});
+  CustomerPortal portal(&controller, csp, DataRate::gbps(1000000));
+  workload::PoissonConnectionLoad::Params p;
+  const double holding_hours = 2.0;
+  p.arrivals_per_hour = erlangs / holding_hours;
+  p.mean_holding = hours(2);
+  p.rate = rates::k10G;
+  for (int k = 0; k < 4; ++k) {
+    p.pairs.emplace_back(i_sites[static_cast<std::size_t>(k)],
+                         iv_sites[static_cast<std::size_t>(k)]);
+    p.pairs.emplace_back(i_sites[static_cast<std::size_t>(k)],
+                         iii_sites[static_cast<std::size_t>(k)]);
+  }
+  workload::PoissonConnectionLoad load(&engine, &portal, p);
+  load.run_until(hours(24 * 10));
+  engine.run();
+  // Within ~3x of the analytic target (simulation noise, setup holding
+  // OTs slightly longer than the nominal holding time, shared spectrum).
+  EXPECT_LE(load.stats().blocking_probability(), target * 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, PlannerLoop, ::testing::Values(2.0, 6.0));
+
+}  // namespace
+}  // namespace griphon::core

@@ -1,0 +1,258 @@
+// Tests for the controller's resource view (Inventory) and the routing +
+// wavelength assignment engine.
+#include <gtest/gtest.h>
+
+#include "core/inventory.hpp"
+#include "core/network_model.hpp"
+#include "core/rwa.hpp"
+#include "topology/builders.hpp"
+
+namespace griphon::core {
+namespace {
+
+struct RwaFixture : ::testing::Test {
+  RwaFixture()
+      : topo(topology::paper_testbed()),
+        model(&engine, topo.graph, config()),
+        inventory(&model),
+        rwa(&model, &inventory, RwaEngine::Params{}) {}
+
+  static NetworkModel::Config config() {
+    NetworkModel::Config c;
+    c.channels = 8;  // small grid so exhaustion is reachable in tests
+    c.ots_per_node = 2;
+    c.regens_per_node = 1;
+    c.with_otn = false;
+    return c;
+  }
+
+  sim::Engine engine{1};
+  topology::Testbed topo;
+  NetworkModel model;
+  Inventory inventory;
+  RwaEngine rwa;
+};
+
+TEST_F(RwaFixture, AvailableChannelsStartFull) {
+  EXPECT_EQ(inventory.available_on_link(topo.i_iv).size(), 8u);
+}
+
+TEST_F(RwaFixture, DeviceStateReducesAvailability) {
+  auto& roadm = model.roadm_at(topo.i);
+  const auto degree = roadm.degree_for(topo.i_iv).value();
+  ASSERT_TRUE(
+      roadm.configure_add_drop(model.roadm_port_of_ot(TransponderId{0}),
+                               degree, 3)
+          .ok());
+  const auto avail = inventory.available_on_link(topo.i_iv);
+  EXPECT_EQ(avail.size(), 7u);
+  EXPECT_FALSE(avail.contains(3));
+}
+
+TEST_F(RwaFixture, ReservationsReduceAvailability) {
+  inventory.reserve_channel(topo.i_iv, 5);
+  EXPECT_FALSE(inventory.available_on_link(topo.i_iv).contains(5));
+  inventory.release_channel(topo.i_iv, 5);
+  EXPECT_TRUE(inventory.available_on_link(topo.i_iv).contains(5));
+}
+
+TEST_F(RwaFixture, FailedLinkHasNoChannels) {
+  model.fail_link(topo.i_iv);
+  EXPECT_TRUE(inventory.available_on_link(topo.i_iv).empty());
+}
+
+TEST_F(RwaFixture, OtPoolAccounting) {
+  EXPECT_EQ(inventory.free_ot_count(topo.i, rates::k10G), 2u);
+  const auto ot = inventory.find_free_ot(topo.i, rates::k10G);
+  ASSERT_TRUE(ot.has_value());
+  inventory.reserve_ot(*ot);
+  EXPECT_EQ(inventory.free_ot_count(topo.i, rates::k10G), 1u);
+  EXPECT_NE(inventory.find_free_ot(topo.i, rates::k10G), ot);
+  inventory.release_ot(*ot);
+  EXPECT_EQ(inventory.free_ot_count(topo.i, rates::k10G), 2u);
+}
+
+TEST_F(RwaFixture, TunedOtsStayInPool) {
+  const auto ot = inventory.find_free_ot(topo.i, rates::k10G).value();
+  ASSERT_TRUE(model.ot(ot).tune(3).ok());
+  EXPECT_TRUE(inventory.find_free_ot(topo.i, rates::k10G).has_value());
+  ASSERT_TRUE(model.ot(ot).activate().ok());
+  // One of two OTs active: one left.
+  EXPECT_EQ(inventory.free_ot_count(topo.i, rates::k10G), 1u);
+}
+
+TEST_F(RwaFixture, PlanDirectPath) {
+  const auto plan = rwa.plan(topo.i, topo.iv, rates::k10G);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().hops(), 1u);
+  EXPECT_EQ(plan.value().segments.size(), 1u);
+  EXPECT_EQ(plan.value().segments[0].channel, 0);  // first-fit
+  EXPECT_TRUE(plan.value().regens.empty());
+  EXPECT_EQ(model.ot(plan.value().src_ot).site(), topo.i);
+  EXPECT_EQ(model.ot(plan.value().dst_ot).site(), topo.iv);
+}
+
+TEST_F(RwaFixture, PlanAvoidsExcludedLinks) {
+  Exclusions avoid;
+  avoid.links.insert(topo.i_iv);
+  const auto plan = rwa.plan(topo.i, topo.iv, rates::k10G, avoid);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().hops(), 2u);
+  EXPECT_FALSE(plan.value().path.uses_link(topo.i_iv));
+}
+
+TEST_F(RwaFixture, PlanHonorsWavelengthContinuity) {
+  // Block channel 0 on I-III only: a 2-hop I-III-IV plan must then pick a
+  // channel free on BOTH links.
+  auto& roadm = model.roadm_at(topo.iii);
+  const auto d = roadm.degree_for(topo.i_iii).value();
+  const auto ports = roadm.add_ports(1);
+  ASSERT_TRUE(roadm.configure_add_drop(ports[0], d, 0).ok());
+  Exclusions avoid;
+  avoid.links.insert(topo.i_iv);
+  const auto plan = rwa.plan(topo.i, topo.iv, rates::k10G, avoid);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan.value().segments.size(), 1u);
+  EXPECT_EQ(plan.value().segments[0].channel, 1);  // 0 is discontinuous
+}
+
+TEST_F(RwaFixture, FallsBackToAlternateRouteWhenSpectrumFull) {
+  // Exhaust all 8 channels on the direct I-IV link.
+  auto& ri = model.roadm_at(topo.i);
+  auto& riv = model.roadm_at(topo.iv);
+  const auto di = ri.degree_for(topo.i_iv).value();
+  const auto div = riv.degree_for(topo.i_iv).value();
+  const auto pi = ri.add_ports(8);
+  const auto piv = riv.add_ports(8);
+  for (int ch = 0; ch < 8; ++ch) {
+    ASSERT_TRUE(ri.configure_add_drop(pi[ch], di, ch).ok());
+    ASSERT_TRUE(riv.configure_add_drop(piv[ch], div, ch).ok());
+  }
+  const auto plan = rwa.plan(topo.i, topo.iv, rates::k10G);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GT(plan.value().hops(), 1u);  // routed around the full link
+}
+
+TEST_F(RwaFixture, NoOtMeansResourceExhausted) {
+  inventory.reserve_ot(TransponderId{0});
+  inventory.reserve_ot(TransponderId{1});  // both OTs at node I
+  const auto plan = rwa.plan(topo.i, topo.iv, rates::k10G);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.error().code(), ErrorCode::kResourceExhausted);
+}
+
+TEST_F(RwaFixture, SrcEqualsDstRejected) {
+  const auto plan = rwa.plan(topo.i, topo.i, rates::k10G);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.error().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(RwaBackbone, LongPathGetsRegens) {
+  sim::Engine engine{1};
+  NetworkModel::Config cfg;
+  cfg.with_otn = false;
+  cfg.regens_per_node = 4;
+  NetworkModel model(&engine, topology::us_backbone(), cfg);
+  Inventory inv(&model);
+  RwaEngine rwa(&model, &inv, RwaEngine::Params{});
+  const auto& g = model.graph();
+  const auto plan = rwa.plan(*g.find_node("Seattle"),
+                             *g.find_node("Princeton"), rates::k10G);
+  ASSERT_TRUE(plan.ok()) << plan.error();
+  EXPECT_GE(plan.value().segments.size(), 2u);
+  EXPECT_EQ(plan.value().regens.size(), plan.value().segments.size() - 1);
+  // Segments may change wavelength at regen sites but each segment's
+  // channel must be valid and links must be covered exactly once.
+  std::size_t covered = 0;
+  for (const auto& seg : plan.value().segments) {
+    EXPECT_NE(seg.channel, dwdm::kNoChannel);
+    covered += seg.last_link - seg.first_link + 1;
+  }
+  EXPECT_EQ(covered, plan.value().path.links.size());
+}
+
+TEST(RwaPolicy, MostUsedPacksHotChannels) {
+  sim::Engine engine{1};
+  auto topo = topology::paper_testbed();
+  NetworkModel::Config cfg;
+  cfg.with_otn = false;
+  NetworkModel model(&engine, topo.graph, cfg);
+  Inventory inv(&model);
+  // Pre-occupy channel 2 on an unrelated link (II-III) so it becomes the
+  // network's "hottest" wavelength.
+  auto& r2 = model.roadm_at(topo.ii);
+  const auto d = r2.degree_for(topo.ii_iii).value();
+  const auto ports = r2.add_ports(1);
+  ASSERT_TRUE(r2.configure_add_drop(ports[0], d, 2).ok());
+
+  RwaEngine::Params most_used;
+  most_used.policy = WavelengthPolicy::kMostUsed;
+  RwaEngine rwa(&model, &inv, most_used);
+  const auto plan = rwa.plan(topo.i, topo.iv, rates::k10G);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().segments[0].channel, 2);  // reuse the hot channel
+
+  RwaEngine::Params first_fit;  // contrast: first-fit takes channel 0
+  RwaEngine rwa_ff(&model, &inv, first_fit);
+  EXPECT_EQ(rwa_ff.plan(topo.i, topo.iv, rates::k10G)
+                .value()
+                .segments[0]
+                .channel,
+            0);
+}
+
+// Property: over many random plans on the backbone, every plan satisfies
+// the core RWA invariants.
+class RwaProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RwaProperty, PlansSatisfyInvariants) {
+  sim::Engine engine{GetParam()};
+  NetworkModel::Config cfg;
+  cfg.with_otn = false;
+  cfg.regens_per_node = 4;
+  NetworkModel model(&engine, topology::us_backbone(), cfg);
+  Inventory inv(&model);
+  RwaEngine rwa(&model, &inv, RwaEngine::Params{});
+  auto& rng = engine.rng();
+  const auto n = static_cast<int>(model.graph().nodes().size());
+  for (int trial = 0; trial < 20; ++trial) {
+    const NodeId src{static_cast<std::uint64_t>(rng.uniform_int(0, n - 1))};
+    const NodeId dst{static_cast<std::uint64_t>(rng.uniform_int(0, n - 1))};
+    if (src == dst) continue;
+    const auto plan = rwa.plan(src, dst, rates::k10G);
+    if (!plan.ok()) continue;
+    const auto& p = plan.value();
+    // Path endpoints match.
+    EXPECT_EQ(p.path.nodes.front(), src);
+    EXPECT_EQ(p.path.nodes.back(), dst);
+    // Segment channels are available on every segment link.
+    for (const auto& seg : p.segments) {
+      for (std::size_t j = seg.first_link; j <= seg.last_link; ++j)
+        EXPECT_TRUE(
+            inv.available_on_link(p.path.links[j]).contains(seg.channel));
+    }
+    // Regens sit at the right sites.
+    for (std::size_t b = 0; b < p.regens.size(); ++b) {
+      const NodeId site = p.path.nodes[p.segments[b].last_link + 1];
+      EXPECT_EQ(model.regen(p.regens[b]).site(), site);
+    }
+    // Transparent segments respect reach.
+    for (const auto& seg : p.segments) {
+      topology::Path sub;
+      sub.nodes.assign(
+          p.path.nodes.begin() + static_cast<long>(seg.first_link),
+          p.path.nodes.begin() + static_cast<long>(seg.last_link) + 2);
+      sub.links.assign(
+          p.path.links.begin() + static_cast<long>(seg.first_link),
+          p.path.links.begin() + static_cast<long>(seg.last_link) + 1);
+      EXPECT_TRUE(
+          model.reach().feasible(model.graph(), sub,
+                                 dwdm::profile_for(rates::k10G)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RwaProperty, ::testing::Values(2, 4, 6, 8));
+
+}  // namespace
+}  // namespace griphon::core

@@ -1,0 +1,120 @@
+// Tests for the canned scenarios and the plant assembly (NetworkModel):
+// wiring invariants that everything else builds on.
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+
+namespace griphon::core {
+namespace {
+
+TEST(TestbedScenario, MatchesPaperPlant) {
+  TestbedScenario s(1);
+  const auto& g = s.model->graph();
+  EXPECT_EQ(g.nodes().size(), 4u);
+  EXPECT_EQ(g.links().size(), 5u);
+  // One ROADM per node, with a degree per incident link.
+  for (const auto& node : g.nodes()) {
+    EXPECT_EQ(s.model->roadm_at(node.id).degree_count(),
+              g.links_at(node.id).size());
+  }
+  // Three customer premises, each with a 4x10G NTE.
+  EXPECT_EQ(s.model->customer_sites().size(), 3u);
+  for (const auto& site : s.model->customer_sites()) {
+    EXPECT_EQ(site.customer, s.csp);
+    EXPECT_EQ(s.model->nte(site.nte).ports_in_use(), 0u);
+  }
+  // OTN carriers pre-provisioned over every span.
+  EXPECT_EQ(s.model->otn().carriers().size(), g.links().size());
+}
+
+TEST(TestbedScenario, FxcWiringIsComplete) {
+  TestbedScenario s(2);
+  // Every OT's client side and every NTE channel must be patched into the
+  // FXC at its PoP; otherwise setups would assert.
+  for (const auto& ot : s.model->ots()) {
+    const auto port = s.model->fxc_at(ot->site()).port_for(
+        fxc::Wiring::Kind::kTransponderClient, ot->id().value(), 0);
+    EXPECT_TRUE(port.has_value()) << ot->name();
+  }
+  for (const auto& site : s.model->customer_sites()) {
+    for (std::size_t ch = 0; ch < dwdm::Muxponder::kClientPorts; ++ch) {
+      const auto port = s.model->fxc_at(site.core_pop)
+                            .port_for(fxc::Wiring::Kind::kCustomerAccess,
+                                      site.nte.value(), ch);
+      EXPECT_TRUE(port.has_value()) << site.name << " ch " << ch;
+    }
+  }
+}
+
+TEST(TestbedScenario, DeterministicAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    TestbedScenario s(seed);
+    double setup = -1;
+    s.portal->connect(s.site_i, s.site_iv, rates::k10G,
+                      ProtectionMode::kRestorable,
+                      [&](Result<ConnectionId> r) {
+                        if (r.ok())
+                          setup = to_seconds(
+                              s.controller->connection(r.value())
+                                  .setup_duration);
+                      });
+    s.engine.run();
+    return setup;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(BackboneScenario, SitesSpreadAcrossCustomersAndPops) {
+  BackboneScenario::Options opt;
+  opt.customers = 3;
+  opt.sites_per_customer = 3;
+  BackboneScenario s(3, opt);
+  EXPECT_EQ(s.portals.size(), 3u);
+  EXPECT_EQ(s.sites.size(), 9u);
+  // site(c, i) indexes into the right customer's block.
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      const auto* site = s.model->site_by_nte(s.site(c, i));
+      ASSERT_NE(site, nullptr);
+      EXPECT_EQ(site->customer, CustomerId{c + 1});
+    }
+  }
+  EXPECT_THROW((void)s.site(3, 0), std::out_of_range);
+  // One customer's sites land on distinct PoPs (they are data centers).
+  std::set<NodeId> pops;
+  for (std::size_t i = 0; i < 3; ++i)
+    pops.insert(s.model->site_by_nte(s.site(0, i))->core_pop);
+  EXPECT_EQ(pops.size(), 3u);
+}
+
+TEST(NetworkModel, FailureInjectionIsIdempotent) {
+  TestbedScenario s(4);
+  s.model->fail_link(s.topo.i_iv);
+  s.model->fail_link(s.topo.i_iv);  // second cut of a cut link: no-op
+  EXPECT_TRUE(s.model->link_failed(s.topo.i_iv));
+  EXPECT_EQ(s.model->failed_links().size(), 1u);
+  s.model->repair_link(s.topo.i_iv);
+  s.model->repair_link(s.topo.i_iv);
+  EXPECT_FALSE(s.model->link_failed(s.topo.i_iv));
+  EXPECT_TRUE(s.model->failed_links().empty());
+}
+
+TEST(NetworkModel, EquipmentPoolsFollowConfig) {
+  sim::Engine engine(5);
+  NetworkModel::Config cfg;
+  cfg.ots_per_node = 3;
+  cfg.ots_40g_per_node = 1;
+  cfg.regens_per_node = 2;
+  cfg.regens_40g_per_node = 1;
+  NetworkModel model(&engine, topology::paper_testbed().graph, cfg);
+  EXPECT_EQ(model.ots().size(), 4u * (3 + 1));
+  EXPECT_EQ(model.regens().size(), 4u * (2 + 1));
+  std::size_t forty = 0;
+  for (const auto& ot : model.ots())
+    if (ot->line_rate() == rates::k40G) ++forty;
+  EXPECT_EQ(forty, 4u);
+}
+
+}  // namespace
+}  // namespace griphon::core

@@ -1,0 +1,227 @@
+// Unit tests for the discrete-event engine and trace log.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace griphon::sim {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), SimTime{});
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, AdvancesToEventTime) {
+  Engine e;
+  SimTime seen{};
+  e.schedule(seconds(5), [&]() { seen = e.now(); });
+  e.run();
+  EXPECT_EQ(seen, seconds(5));
+  EXPECT_EQ(e.now(), seconds(5));
+}
+
+TEST(Engine, FiresInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(seconds(3), [&]() { order.push_back(3); });
+  e.schedule(seconds(1), [&]() { order.push_back(1); });
+  e.schedule(seconds(2), [&]() { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, FifoTieBreakAtEqualTimes) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    e.schedule(seconds(1), [&order, i]() { order.push_back(i); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, NestedSchedulingWorks) {
+  Engine e;
+  std::vector<SimTime> at;
+  e.schedule(seconds(1), [&]() {
+    at.push_back(e.now());
+    e.schedule(seconds(1), [&]() { at.push_back(e.now()); });
+  });
+  e.run();
+  ASSERT_EQ(at.size(), 2u);
+  EXPECT_EQ(at[1], seconds(2));
+}
+
+TEST(Engine, NegativeDelayClampsToNow) {
+  Engine e;
+  e.schedule(seconds(5), [&]() {
+    e.schedule(seconds(-3), [&]() { EXPECT_EQ(e.now(), seconds(5)); });
+  });
+  e.run();
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool fired = false;
+  const auto h = e.schedule(seconds(1), [&]() { fired = true; });
+  e.cancel(h);
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelAfterFireIsNoop) {
+  Engine e;
+  const auto h = e.schedule(seconds(1), []() {});
+  e.run();
+  e.cancel(h);  // must not crash or corrupt
+  e.schedule(seconds(1), []() {});
+  EXPECT_EQ(e.run(), 1u);
+}
+
+TEST(Engine, PendingExcludesCancelled) {
+  Engine e;
+  const auto h = e.schedule(seconds(1), []() {});
+  e.schedule(seconds(2), []() {});
+  EXPECT_EQ(e.pending(), 2u);
+  e.cancel(h);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine e;
+  int fired = 0;
+  e.schedule(seconds(1), [&]() { ++fired; });
+  e.schedule(seconds(10), [&]() { ++fired; });
+  const auto n = e.run_until(seconds(5));
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), seconds(5));
+  e.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, RunUntilIncludesDeadlineInstant) {
+  Engine e;
+  bool fired = false;
+  e.schedule(seconds(5), [&]() { fired = true; });
+  e.run_until(seconds(5));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, StepFiresExactlyOne) {
+  Engine e;
+  int fired = 0;
+  e.schedule(seconds(1), [&]() { ++fired; });
+  e.schedule(seconds(2), [&]() { ++fired; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, RunReturnsEventCount) {
+  Engine e;
+  for (int i = 0; i < 7; ++i) e.schedule(seconds(i), []() {});
+  EXPECT_EQ(e.run(), 7u);
+  EXPECT_EQ(e.fired(), 7u);
+}
+
+TEST(Engine, DeterministicWithSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    Engine e(seed);
+    std::vector<double> draws;
+    for (int i = 0; i < 5; ++i) draws.push_back(e.rng().uniform(0, 1));
+    return draws;
+  };
+  EXPECT_EQ(run(9), run(9));
+  EXPECT_NE(run(9), run(10));
+}
+
+TEST(Trace, RecordsInOrder) {
+  Trace t;
+  t.emit(seconds(1), TraceLevel::kInfo, "a", "x");
+  t.emit(seconds(2), TraceLevel::kWarn, "b", "y", "detail");
+  ASSERT_EQ(t.records().size(), 2u);
+  EXPECT_EQ(t.records()[0].event, "x");
+  EXPECT_EQ(t.records()[1].detail, "detail");
+}
+
+TEST(Trace, CountsByEvent) {
+  Trace t;
+  t.emit(seconds(1), TraceLevel::kInfo, "a", "setup");
+  t.emit(seconds(2), TraceLevel::kInfo, "a", "setup");
+  t.emit(seconds(3), TraceLevel::kInfo, "a", "teardown");
+  EXPECT_EQ(t.count("setup"), 2u);
+  EXPECT_EQ(t.count("teardown"), 1u);
+  EXPECT_EQ(t.count("missing"), 0u);
+}
+
+TEST(Trace, MinLevelFilters) {
+  Trace t;
+  t.set_min_level(TraceLevel::kWarn);
+  t.emit(seconds(1), TraceLevel::kDebug, "a", "quiet");
+  t.emit(seconds(1), TraceLevel::kError, "a", "loud");
+  ASSERT_EQ(t.records().size(), 1u);
+  EXPECT_EQ(t.records()[0].event, "loud");
+}
+
+TEST(Trace, JsonExportIsWellFormedAndEscaped) {
+  Trace t;
+  t.emit(milliseconds(1500), TraceLevel::kInfo, "controller", "setup-done",
+         "path \"I-IV\"\nline2");
+  t.emit(seconds(2), TraceLevel::kWarn, "plant", "fiber-cut", "");
+  const std::string json = t.to_json();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"t\":1.500000"), std::string::npos);
+  EXPECT_NE(json.find("\"actor\":\"controller\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"I-IV\\\""), std::string::npos);  // escaped quotes
+  EXPECT_NE(json.find("\\n"), std::string::npos);          // escaped newline
+  EXPECT_EQ(json.find('\n'), std::string::npos);            // no raw newlines
+  EXPECT_NE(json.find("\"level\":\"WARN\""), std::string::npos);
+}
+
+TEST(Trace, JsonEmptyTrace) {
+  Trace t;
+  EXPECT_EQ(t.to_json(), "[]");
+}
+
+TEST(Trace, ClearEmpties) {
+  Trace t;
+  t.emit(seconds(1), TraceLevel::kInfo, "a", "x");
+  t.clear();
+  EXPECT_TRUE(t.records().empty());
+}
+
+// Property: however events are scheduled (random times, random nesting),
+// observed firing times are monotonically nondecreasing.
+class EngineOrderProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineOrderProperty, TimeNeverGoesBackwards) {
+  Engine e(GetParam());
+  std::vector<SimTime> observed;
+  std::function<void(int)> spawn = [&](int depth) {
+    observed.push_back(e.now());
+    if (depth <= 0) return;
+    const int children = static_cast<int>(e.rng().uniform_int(0, 3));
+    for (int i = 0; i < children; ++i) {
+      e.schedule(from_seconds(e.rng().uniform(0, 10)),
+                 [&spawn, depth]() { spawn(depth - 1); });
+    }
+  };
+  for (int i = 0; i < 5; ++i)
+    e.schedule(from_seconds(e.rng().uniform(0, 10)),
+               [&spawn]() { spawn(3); });
+  e.run();
+  for (std::size_t i = 1; i < observed.size(); ++i)
+    EXPECT_LE(observed[i - 1], observed[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineOrderProperty,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+}  // namespace
+}  // namespace griphon::sim

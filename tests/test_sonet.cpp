@@ -1,0 +1,160 @@
+// Unit tests for the legacy SONET layer: STS sizing, VCAT, ring
+// provisioning and sub-second ring protection.
+#include <gtest/gtest.h>
+
+#include "sonet/ring.hpp"
+#include "sonet/sts.hpp"
+#include "sonet/wdcs.hpp"
+
+namespace griphon::sonet {
+namespace {
+
+TEST(Sts, VcatSizing) {
+  EXPECT_EQ(sts1_count_for(rates::kSts1), 1);
+  EXPECT_EQ(sts1_count_for(DataRate::gbps(1)), 20);   // GbE over STS-1-20v
+  EXPECT_EQ(sts1_count_for(rates::kOc12), 12);
+  EXPECT_EQ(vcat_rate(20).in_gbps(), 20 * rates::kSts1.in_gbps());
+}
+
+TEST(Sts, OcCapacity) {
+  EXPECT_EQ(oc_capacity(48), 48);
+  EXPECT_EQ(oc_capacity(192), 192);
+  EXPECT_THROW((void)oc_capacity(0), std::invalid_argument);
+}
+
+TEST(Sts, LegacyCeilingIsOc12) {
+  EXPECT_EQ(kLegacyBodCeiling, rates::kOc12);
+  EXPECT_LT(kLegacyBodCeiling, rates::k1G);  // the gap GRIPhoN fills
+}
+
+class RingTest : public ::testing::Test {
+ protected:
+  RingTest()
+      : nodes_{NodeId{0}, NodeId{1}, NodeId{2}, NodeId{3}},
+        ring_(nodes_, /*oc_level=*/48) {}
+  std::vector<NodeId> nodes_;
+  SonetRing ring_;
+};
+
+TEST_F(RingTest, Shape) {
+  EXPECT_EQ(ring_.node_count(), 4u);
+  EXPECT_EQ(ring_.capacity_sts1(), 48);
+  EXPECT_TRUE(ring_.on_ring(NodeId{2}));
+  EXPECT_FALSE(ring_.on_ring(NodeId{9}));
+}
+
+TEST_F(RingTest, ProvisionTakesShortArc) {
+  auto c = ring_.provision(NodeId{0}, NodeId{1}, 3);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(ring_.circuit(c.value()).clockwise);
+  EXPECT_EQ(ring_.circuit(c.value()).sts1, 3);
+}
+
+TEST_F(RingTest, UpsrConsumesBothArcs) {
+  // UPSR: 3 STS-1s consume 3 slots on EVERY span (working one way,
+  // protection the other).
+  ASSERT_TRUE(ring_.provision(NodeId{0}, NodeId{2}, 3).ok());
+  EXPECT_EQ(ring_.bottleneck_free(), 45);
+}
+
+TEST_F(RingTest, AdmissionAgainstWorstSpan) {
+  ASSERT_TRUE(ring_.provision(NodeId{0}, NodeId{2}, 40).ok());
+  EXPECT_EQ(ring_.provision(NodeId{1}, NodeId{3}, 10).error().code(),
+            ErrorCode::kResourceExhausted);
+  EXPECT_TRUE(ring_.provision(NodeId{1}, NodeId{3}, 8).ok());
+}
+
+TEST_F(RingTest, ValidationErrors) {
+  EXPECT_EQ(ring_.provision(NodeId{0}, NodeId{0}, 1).error().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(ring_.provision(NodeId{0}, NodeId{1}, 0).error().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(ring_.provision(NodeId{0}, NodeId{9}, 1).error().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(RingTest, SpanFailureSwitchesAffectedCircuits) {
+  const auto a = ring_.provision(NodeId{0}, NodeId{1}, 2).value();  // span 0
+  const auto b = ring_.provision(NodeId{2}, NodeId{3}, 2).value();  // span 2
+  const auto switched = ring_.fail_span(0);
+  ASSERT_EQ(switched.size(), 1u);
+  EXPECT_EQ(switched[0], a);
+  EXPECT_TRUE(ring_.circuit(a).on_protection);
+  EXPECT_FALSE(ring_.circuit(b).on_protection);
+  EXPECT_TRUE(ring_.span_failed(0));
+}
+
+TEST_F(RingTest, RepairRevertsCircuits) {
+  const auto a = ring_.provision(NodeId{0}, NodeId{1}, 2).value();
+  (void)ring_.fail_span(0);
+  ring_.repair_span(0);
+  EXPECT_FALSE(ring_.circuit(a).on_protection);
+  EXPECT_FALSE(ring_.span_failed(0));
+}
+
+TEST_F(RingTest, DoubleFailureKeepsProtectionUntilBothRepaired) {
+  const auto a = ring_.provision(NodeId{0}, NodeId{2}, 2).value();
+  // Working arc 0->1->2 (spans 0 and 1).
+  (void)ring_.fail_span(0);
+  (void)ring_.fail_span(1);
+  ring_.repair_span(0);
+  EXPECT_TRUE(ring_.circuit(a).on_protection);  // span 1 still down
+  ring_.repair_span(1);
+  EXPECT_FALSE(ring_.circuit(a).on_protection);
+}
+
+TEST_F(RingTest, ReleaseFreesCapacity) {
+  const auto a = ring_.provision(NodeId{0}, NodeId{2}, 40).value();
+  ASSERT_TRUE(ring_.release(a).ok());
+  EXPECT_EQ(ring_.bottleneck_free(), 48);
+  EXPECT_EQ(ring_.release(a).error().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(RingTest, ProtectionSwitchIsSubSecond) {
+  EXPECT_LT(SonetRing::protection_switch_time(), seconds(1));
+}
+
+TEST(Ring, TooSmallThrows) {
+  EXPECT_THROW(SonetRing({NodeId{0}, NodeId{1}}, 12), std::invalid_argument);
+}
+
+TEST(Wdcs, Ds1Sizing) {
+  EXPECT_EQ(ds1_count_for(legacy_rates::kDs1), 1);
+  EXPECT_EQ(ds1_count_for(DataRate::mbps(10)), 7);   // 10M / 1.544M
+  EXPECT_EQ(ds1_count_for(legacy_rates::kDs3), 29);  // DS3 payload > 28 DS1
+}
+
+TEST(Wdcs, ProvisionAndRelease) {
+  Wdcs dcs(4);
+  EXPECT_EQ(dcs.free_ds1_on(0), kDs1PerDs3);
+  auto c = dcs.provision(0, 1, DataRate::mbps(10));  // 7 DS1
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(dcs.free_ds1_on(0), kDs1PerDs3 - 7);
+  EXPECT_EQ(dcs.free_ds1_on(1), kDs1PerDs3 - 7);
+  EXPECT_EQ(dcs.free_ds1_on(2), kDs1PerDs3);
+  ASSERT_TRUE(dcs.release(c.value()).ok());
+  EXPECT_EQ(dcs.free_ds1_on(0), kDs1PerDs3);
+  EXPECT_EQ(dcs.release(c.value()).error().code(), ErrorCode::kNotFound);
+}
+
+TEST(Wdcs, CapacityAndValidation) {
+  Wdcs dcs(2);
+  // Fill port 0 with 28 DS1s.
+  ASSERT_TRUE(dcs.provision(0, 1, DataRate::mbps(43)).ok());  // 28 DS1
+  EXPECT_EQ(dcs.provision(0, 1, legacy_rates::kDs1).error().code(),
+            ErrorCode::kResourceExhausted);
+  EXPECT_EQ(dcs.provision(0, 0, legacy_rates::kDs1).error().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(dcs.provision(0, 9, legacy_rates::kDs1).error().code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(dcs.provision(0, 1, rates::k1G).error().code(),
+            ErrorCode::kInvalidArgument);  // way above DS3: wrong layer
+}
+
+TEST(Wdcs, RatesAreThreeOrdersBelowInterDcNeeds) {
+  // The reason Fig. 1's top layer is irrelevant to GRIPhoN.
+  EXPECT_LT(legacy_rates::kDs3.in_bps() * 20, rates::k1G.in_bps());
+}
+
+}  // namespace
+}  // namespace griphon::sonet

@@ -1,0 +1,92 @@
+// Tests for tiered (gold/silver/bronze) restoration ordering: when one
+// fiber cut fails many restorable connections, the shared restoration
+// machinery serves gold first.
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+
+namespace griphon::core {
+namespace {
+
+struct TierFixture {
+  TestbedScenario s{120};
+  ConnectionId bronze, gold, silver;
+
+  TierFixture() {
+    auto connect = [&](ServiceTier tier) {
+      std::optional<ConnectionId> id;
+      s.portal->connect(
+          s.site_i, s.site_iv, rates::k10G, ProtectionMode::kRestorable,
+          [&](Result<ConnectionId> r) {
+            if (r.ok()) id = r.value();
+          },
+          tier);
+      s.engine.run();
+      EXPECT_TRUE(id.has_value());
+      return *id;
+    };
+    // Deliberately set up in worst-first order so FIFO would be wrong.
+    bronze = connect(ServiceTier::kBronze);
+    gold = connect(ServiceTier::kGold);
+    silver = connect(ServiceTier::kSilver);
+  }
+};
+
+TEST(Tiers, GoldRestoresFirstAfterSharedCut) {
+  TierFixture f;
+  auto& s = f.s;
+  s.model->fail_link(s.topo.i_iv);  // all three ride the direct span
+  s.engine.run();
+
+  const auto& g = s.controller->connection(f.gold);
+  const auto& sv = s.controller->connection(f.silver);
+  const auto& b = s.controller->connection(f.bronze);
+  ASSERT_EQ(g.state, ConnectionState::kActive);
+  ASSERT_EQ(sv.state, ConnectionState::kActive);
+  ASSERT_EQ(b.state, ConnectionState::kActive);
+  EXPECT_EQ(g.restorations, 1);
+  // Strict tier ordering of outages: gold < silver < bronze.
+  EXPECT_LT(to_seconds(g.total_outage), to_seconds(sv.total_outage));
+  EXPECT_LT(to_seconds(sv.total_outage), to_seconds(b.total_outage));
+  // Gold restored in one restoration cycle (~1-2 min); bronze waited for
+  // the two ahead of it.
+  EXPECT_LT(to_seconds(g.total_outage), 150.0);
+  EXPECT_GT(to_seconds(b.total_outage), to_seconds(g.total_outage) * 2);
+}
+
+TEST(Tiers, DefaultTierIsSilver) {
+  TestbedScenario s(121);
+  std::optional<ConnectionId> id;
+  s.portal->connect(s.site_i, s.site_iv, rates::k10G,
+                    ProtectionMode::kRestorable,
+                    [&](Result<ConnectionId> r) {
+                      if (r.ok()) id = r.value();
+                    });
+  s.engine.run();
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(s.controller->connection(*id).tier, ServiceTier::kSilver);
+}
+
+TEST(Tiers, QueueSkipsConnectionsThatRecoveredMeanwhile) {
+  // Gold + bronze fail; the fiber is repaired while gold is still mid-
+  // restoration. Bronze must recover via the repair (its devices were
+  // never touched) and its queued restoration must become a no-op rather
+  // than double-provision.
+  TierFixture f;
+  auto& s = f.s;
+  s.model->fail_link(s.topo.i_iv);
+  // Let localization + the first (gold) restoration begin, then repair.
+  s.engine.run_until(s.engine.now() + seconds(30));
+  s.model->repair_link(s.topo.i_iv);
+  s.engine.run();
+  for (const ConnectionId id : {f.gold, f.silver, f.bronze}) {
+    const auto& c = s.controller->connection(id);
+    EXPECT_EQ(c.state, ConnectionState::kActive)
+        << "connection " << id.value();
+  }
+  // No leaked reservations from abandoned queue entries.
+  EXPECT_EQ(s.controller->inventory().reservations(), 0u);
+}
+
+}  // namespace
+}  // namespace griphon::core

@@ -1,0 +1,337 @@
+// Unit + property tests for the topology substrate: graph model, Dijkstra,
+// Yen k-shortest paths, Bhandari disjoint pairs, topology builders.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/builders.hpp"
+#include "topology/graph.hpp"
+#include "topology/path.hpp"
+
+namespace griphon::topology {
+namespace {
+
+Graph diamond() {
+  // a - b - d and a - c - d, plus direct a - d.
+  Graph g;
+  const auto a = g.add_node("a");
+  const auto b = g.add_node("b");
+  const auto c = g.add_node("c");
+  const auto d = g.add_node("d");
+  g.add_link(a, b, Distance::km(10));
+  g.add_link(b, d, Distance::km(10));
+  g.add_link(a, c, Distance::km(15));
+  g.add_link(c, d, Distance::km(15));
+  g.add_link(a, d, Distance::km(25));
+  return g;
+}
+
+TEST(Graph, NodesAndLinks) {
+  Graph g = diamond();
+  EXPECT_EQ(g.nodes().size(), 4u);
+  EXPECT_EQ(g.links().size(), 5u);
+  EXPECT_EQ(g.degree(NodeId{0}), 3u);  // a: b, c, d
+  EXPECT_EQ(g.degree(NodeId{1}), 2u);  // b: a, d
+}
+
+TEST(Graph, FindByName) {
+  Graph g = diamond();
+  ASSERT_TRUE(g.find_node("c").has_value());
+  EXPECT_EQ(*g.find_node("c"), NodeId{2});
+  EXPECT_FALSE(g.find_node("zz").has_value());
+}
+
+TEST(Graph, FindLink) {
+  Graph g = diamond();
+  EXPECT_TRUE(g.find_link(NodeId{0}, NodeId{3}).has_value());
+  EXPECT_FALSE(g.find_link(NodeId{1}, NodeId{2}).has_value());
+}
+
+TEST(Graph, LinkPeerAndTouches) {
+  Graph g = diamond();
+  const Link& l = g.link(LinkId{0});  // a-b
+  EXPECT_EQ(l.peer(NodeId{0}), NodeId{1});
+  EXPECT_EQ(l.peer(NodeId{1}), NodeId{0});
+  EXPECT_TRUE(l.touches(NodeId{0}));
+  EXPECT_FALSE(l.touches(NodeId{3}));
+}
+
+TEST(Graph, MultiSpanLink) {
+  Graph g;
+  const auto a = g.add_node("a");
+  const auto b = g.add_node("b");
+  const auto id = g.add_link(
+      a, b, std::vector<Distance>{Distance::km(100), Distance::km(80)});
+  EXPECT_EQ(g.link(id).spans.size(), 2u);
+  EXPECT_EQ(g.link(id).length().in_km(), 180.0);
+}
+
+TEST(Graph, SpanLookup) {
+  Graph g = diamond();
+  const SpanId span = g.link(LinkId{2}).spans.front().id;
+  ASSERT_TRUE(g.link_of_span(span).has_value());
+  EXPECT_EQ(*g.link_of_span(span), LinkId{2});
+}
+
+TEST(Graph, RejectsInvalidConstruction) {
+  Graph g;
+  const auto a = g.add_node("a");
+  EXPECT_THROW(g.add_link(a, a, Distance::km(1)), std::invalid_argument);
+  EXPECT_THROW(g.add_link(a, NodeId{5}, Distance::km(1)), std::out_of_range);
+  EXPECT_THROW((void)g.node(NodeId{9}), std::out_of_range);
+}
+
+TEST(ShortestPath, PicksMinimumDistance) {
+  Graph g = diamond();
+  const auto p =
+      shortest_path(g, NodeId{0}, NodeId{3}, distance_weight());
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->hops(), 2u);  // a-b-d (20 km) beats a-d (25 km)
+  EXPECT_EQ(p->length(g).in_km(), 20.0);
+  EXPECT_EQ(p->nodes.front(), NodeId{0});
+  EXPECT_EQ(p->nodes.back(), NodeId{3});
+}
+
+TEST(ShortestPath, HopWeightPrefersDirect) {
+  Graph g = diamond();
+  const auto p = shortest_path(g, NodeId{0}, NodeId{3}, hop_weight());
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->hops(), 1u);
+}
+
+TEST(ShortestPath, FilterExcludesLinks) {
+  Graph g = diamond();
+  const auto direct = g.find_link(NodeId{0}, NodeId{3});
+  const auto p = shortest_path(
+      g, NodeId{0}, NodeId{3}, hop_weight(),
+      [&](const Link& l) { return l.id != *direct; });
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->hops(), 2u);
+}
+
+TEST(ShortestPath, UnreachableReturnsEmpty) {
+  Graph g;
+  const auto a = g.add_node("a");
+  const auto b = g.add_node("b");
+  g.add_node("island");
+  g.add_link(a, b, Distance::km(1));
+  EXPECT_FALSE(
+      shortest_path(g, a, NodeId{2}, distance_weight()).has_value());
+}
+
+TEST(ShortestPath, SrcEqualsDstThrows) {
+  Graph g = diamond();
+  EXPECT_THROW(
+      (void)shortest_path(g, NodeId{0}, NodeId{0}, hop_weight()),
+      std::invalid_argument);
+}
+
+TEST(KShortest, ReturnsOrderedDistinctPaths) {
+  Graph g = diamond();
+  const auto paths =
+      k_shortest_paths(g, NodeId{0}, NodeId{3}, 3, distance_weight());
+  ASSERT_EQ(paths.size(), 3u);
+  double prev = 0;
+  std::set<std::vector<LinkId>> seen;
+  for (const auto& p : paths) {
+    const double w = p.length(g).in_km();
+    EXPECT_GE(w, prev);
+    prev = w;
+    EXPECT_TRUE(seen.insert(p.links).second) << "duplicate path";
+  }
+  EXPECT_EQ(paths[0].length(g).in_km(), 20.0);
+  EXPECT_EQ(paths[1].length(g).in_km(), 25.0);
+  EXPECT_EQ(paths[2].length(g).in_km(), 30.0);
+}
+
+TEST(KShortest, StopsWhenExhausted) {
+  Graph g = diamond();
+  const auto paths =
+      k_shortest_paths(g, NodeId{0}, NodeId{3}, 50, distance_weight());
+  EXPECT_EQ(paths.size(), 3u);  // only three loopless routes exist
+}
+
+TEST(KShortest, KZeroIsEmpty) {
+  Graph g = diamond();
+  EXPECT_TRUE(
+      k_shortest_paths(g, NodeId{0}, NodeId{3}, 0, hop_weight()).empty());
+}
+
+TEST(DisjointPair, FindsLinkDisjointPaths) {
+  Graph g = diamond();
+  const auto pair = disjoint_pair(g, NodeId{0}, NodeId{3}, distance_weight());
+  ASSERT_TRUE(pair.has_value());
+  std::set<LinkId> first(pair->primary.links.begin(),
+                         pair->primary.links.end());
+  for (const LinkId l : pair->secondary.links)
+    EXPECT_FALSE(first.contains(l)) << "paths share a link";
+}
+
+TEST(DisjointPair, NoneWhenBridgeExists) {
+  // a - b - c: the b link is a bridge; no disjoint pair can exist.
+  Graph g;
+  const auto a = g.add_node("a");
+  const auto b = g.add_node("b");
+  const auto c = g.add_node("c");
+  g.add_link(a, b, Distance::km(1));
+  g.add_link(b, c, Distance::km(1));
+  EXPECT_FALSE(disjoint_pair(g, a, c, distance_weight()).has_value());
+}
+
+TEST(DisjointPair, OptimalOnTrapGraph) {
+  // Classic trap: greedy two-step (shortest, then disjoint) fails or is
+  // suboptimal; Bhandari finds the jointly optimal pair.
+  Graph g;
+  const auto s = g.add_node("s");
+  const auto a = g.add_node("a");
+  const auto b = g.add_node("b");
+  const auto t = g.add_node("t");
+  g.add_link(s, a, Distance::km(1));
+  g.add_link(a, b, Distance::km(1));
+  g.add_link(b, t, Distance::km(1));
+  g.add_link(s, b, Distance::km(4));
+  g.add_link(a, t, Distance::km(4));
+  // Shortest path s-a-b-t (3 km) uses both middle links; the only disjoint
+  // pair is s-a-t (5) + s-b-t (5).
+  const auto pair = disjoint_pair(g, s, t, distance_weight());
+  ASSERT_TRUE(pair.has_value());
+  const double total = pair->primary.length(g).in_km() +
+                       pair->secondary.length(g).in_km();
+  EXPECT_EQ(total, 10.0);
+}
+
+TEST(PathHelpers, UsesLinkAndNode) {
+  Graph g = diamond();
+  const auto p = shortest_path(g, NodeId{0}, NodeId{3}, distance_weight());
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->uses_node(NodeId{1}));
+  EXPECT_FALSE(p->uses_node(NodeId{2}));
+  EXPECT_TRUE(p->uses_link(p->links.front()));
+}
+
+TEST(Builders, PaperTestbedShape) {
+  const Testbed t = paper_testbed();
+  EXPECT_EQ(t.graph.nodes().size(), 4u);
+  EXPECT_EQ(t.graph.links().size(), 5u);
+  // Two 3-degree and two 2-degree ROADM sites, as in Fig. 4.
+  EXPECT_EQ(t.graph.degree(t.i), 3u);
+  EXPECT_EQ(t.graph.degree(t.iii), 3u);
+  EXPECT_EQ(t.graph.degree(t.ii), 2u);
+  EXPECT_EQ(t.graph.degree(t.iv), 2u);
+}
+
+TEST(Builders, PaperTestbedHasTheThreeMeasuredPaths) {
+  const Testbed t = paper_testbed();
+  // 1 hop: I-IV direct.
+  const auto p1 = shortest_path(t.graph, t.i, t.iv, hop_weight());
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(p1->hops(), 1u);
+  // 2 hops: I-III-IV once the direct link is excluded.
+  const auto p2 = shortest_path(
+      t.graph, t.i, t.iv, hop_weight(),
+      [&](const Link& l) { return l.id != t.i_iv; });
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(p2->hops(), 2u);
+  EXPECT_TRUE(p2->uses_node(t.iii));
+  // 3 hops: I-II-III-IV when I-IV and I-III are excluded.
+  const auto p3 = shortest_path(
+      t.graph, t.i, t.iv, hop_weight(),
+      [&](const Link& l) { return l.id != t.i_iv && l.id != t.i_iii; });
+  ASSERT_TRUE(p3.has_value());
+  EXPECT_EQ(p3->hops(), 3u);
+  EXPECT_TRUE(p3->uses_node(t.ii));
+  EXPECT_TRUE(p3->uses_node(t.iii));
+}
+
+TEST(Builders, UsBackboneIsConnectedAndSpanned) {
+  const Graph g = us_backbone();
+  EXPECT_EQ(g.nodes().size(), 14u);
+  EXPECT_GE(g.links().size(), 20u);
+  for (const auto& to : g.nodes()) {
+    if (to.id == NodeId{0}) continue;
+    EXPECT_TRUE(
+        shortest_path(g, NodeId{0}, to.id, distance_weight()).has_value())
+        << "unreachable: " << to.name;
+  }
+  // Long links are split into ~100 km amplified spans.
+  for (const auto& l : g.links())
+    for (const auto& s : l.spans) EXPECT_LE(s.length.in_km(), 121.0);
+}
+
+TEST(Builders, RingShape) {
+  const Graph g = ring(6, Distance::km(600));
+  EXPECT_EQ(g.nodes().size(), 6u);
+  EXPECT_EQ(g.links().size(), 6u);
+  for (const auto& n : g.nodes()) EXPECT_EQ(g.degree(n.id), 2u);
+}
+
+TEST(Builders, RingTooSmallThrows) {
+  EXPECT_THROW((void)ring(2, Distance::km(100)), std::invalid_argument);
+}
+
+// Property tests over random meshes.
+class RandomMeshProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomMeshProperty, MeshIsConnected) {
+  Rng rng(GetParam());
+  const Graph g = random_mesh(20, 3.0, rng);
+  for (const auto& n : g.nodes()) {
+    if (n.id == NodeId{0}) continue;
+    EXPECT_TRUE(
+        shortest_path(g, NodeId{0}, n.id, distance_weight()).has_value());
+  }
+}
+
+TEST_P(RandomMeshProperty, YenPathsAreLooplessAndSorted) {
+  Rng rng(GetParam());
+  const Graph g = random_mesh(15, 3.2, rng);
+  const auto paths =
+      k_shortest_paths(g, NodeId{0}, NodeId{14}, 6, distance_weight());
+  ASSERT_FALSE(paths.empty());
+  double prev = 0;
+  for (const auto& p : paths) {
+    // Loopless: no node repeats.
+    std::set<NodeId> nodes(p.nodes.begin(), p.nodes.end());
+    EXPECT_EQ(nodes.size(), p.nodes.size());
+    // Consecutive links actually connect.
+    for (std::size_t i = 0; i < p.links.size(); ++i) {
+      const Link& l = g.link(p.links[i]);
+      EXPECT_TRUE(l.touches(p.nodes[i]));
+      EXPECT_TRUE(l.touches(p.nodes[i + 1]));
+    }
+    EXPECT_GE(p.length(g).in_km(), prev);
+    prev = p.length(g).in_km();
+  }
+}
+
+TEST_P(RandomMeshProperty, BhandariPairIsDisjointAndNoLongerThanGreedy) {
+  Rng rng(GetParam());
+  const Graph g = random_mesh(15, 3.5, rng);
+  const auto pair = disjoint_pair(g, NodeId{0}, NodeId{14},
+                                  distance_weight());
+  if (!pair) return;  // graph may genuinely lack a disjoint pair
+  std::set<LinkId> first(pair->primary.links.begin(),
+                         pair->primary.links.end());
+  for (const LinkId l : pair->secondary.links)
+    EXPECT_FALSE(first.contains(l));
+  // Jointly optimal => total no worse than the greedy two-step approach.
+  const auto sp = shortest_path(g, NodeId{0}, NodeId{14}, distance_weight());
+  ASSERT_TRUE(sp.has_value());
+  std::set<LinkId> sp_links(sp->links.begin(), sp->links.end());
+  const auto greedy2 = shortest_path(
+      g, NodeId{0}, NodeId{14}, distance_weight(),
+      [&](const Link& l) { return !sp_links.contains(l.id); });
+  if (greedy2) {
+    const double bhandari_total = pair->primary.length(g).in_km() +
+                                  pair->secondary.length(g).in_km();
+    const double greedy_total =
+        sp->length(g).in_km() + greedy2->length(g).in_km();
+    EXPECT_LE(bhandari_total, greedy_total + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMeshProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace griphon::topology
