@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dwdm_mgmt.dir/bench_ablation_dwdm_mgmt.cpp.o"
+  "CMakeFiles/bench_ablation_dwdm_mgmt.dir/bench_ablation_dwdm_mgmt.cpp.o.d"
+  "bench_ablation_dwdm_mgmt"
+  "bench_ablation_dwdm_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dwdm_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

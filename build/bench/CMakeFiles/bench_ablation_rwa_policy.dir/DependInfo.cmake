@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_rwa_policy.cpp" "bench/CMakeFiles/bench_ablation_rwa_policy.dir/bench_ablation_rwa_policy.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_rwa_policy.dir/bench_ablation_rwa_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/griphon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/griphon_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/griphon_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/ems/CMakeFiles/griphon_ems.dir/DependInfo.cmake"
+  "/root/repo/build/src/dwdm/CMakeFiles/griphon_dwdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fxc/CMakeFiles/griphon_fxc.dir/DependInfo.cmake"
+  "/root/repo/build/src/otn/CMakeFiles/griphon_otn.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/griphon_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/griphon_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/griphon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sonet/CMakeFiles/griphon_sonet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/griphon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

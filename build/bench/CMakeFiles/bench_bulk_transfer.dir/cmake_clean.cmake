@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bulk_transfer.dir/bench_bulk_transfer.cpp.o"
+  "CMakeFiles/bench_bulk_transfer.dir/bench_bulk_transfer.cpp.o.d"
+  "bench_bulk_transfer"
+  "bench_bulk_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bulk_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_grooming.dir/bench_grooming.cpp.o"
+  "CMakeFiles/bench_grooming.dir/bench_grooming.cpp.o.d"
+  "bench_grooming"
+  "bench_grooming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grooming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

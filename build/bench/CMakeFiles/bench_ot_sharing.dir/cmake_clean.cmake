@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ot_sharing.dir/bench_ot_sharing.cpp.o"
+  "CMakeFiles/bench_ot_sharing.dir/bench_ot_sharing.cpp.o.d"
+  "bench_ot_sharing"
+  "bench_ot_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ot_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_regrooming.dir/bench_regrooming.cpp.o"
+  "CMakeFiles/bench_regrooming.dir/bench_regrooming.cpp.o.d"
+  "bench_regrooming"
+  "bench_regrooming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_regrooming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_setup_teardown.dir/bench_setup_teardown.cpp.o"
+  "CMakeFiles/bench_setup_teardown.dir/bench_setup_teardown.cpp.o.d"
+  "bench_setup_teardown"
+  "bench_setup_teardown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_setup_teardown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_maintenance.dir/bench_table1_maintenance.cpp.o"
+  "CMakeFiles/bench_table1_maintenance.dir/bench_table1_maintenance.cpp.o.d"
+  "bench_table1_maintenance"
+  "bench_table1_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_provisioning.dir/bench_table1_provisioning.cpp.o"
+  "CMakeFiles/bench_table1_provisioning.dir/bench_table1_provisioning.cpp.o.d"
+  "bench_table1_provisioning"
+  "bench_table1_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_restoration.dir/bench_table1_restoration.cpp.o"
+  "CMakeFiles/bench_table1_restoration.dir/bench_table1_restoration.cpp.o.d"
+  "bench_table1_restoration"
+  "bench_table1_restoration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_restoration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

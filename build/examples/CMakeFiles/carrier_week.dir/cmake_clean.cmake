@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carrier_week.dir/carrier_week.cpp.o"
+  "CMakeFiles/carrier_week.dir/carrier_week.cpp.o.d"
+  "carrier_week"
+  "carrier_week.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carrier_week.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griphon_shell.dir/griphon_shell.cpp.o"
+  "CMakeFiles/griphon_shell.dir/griphon_shell.cpp.o.d"
+  "griphon_shell"
+  "griphon_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griphon_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

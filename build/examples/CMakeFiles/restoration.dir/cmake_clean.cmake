@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restoration.dir/restoration.cpp.o"
+  "CMakeFiles/restoration.dir/restoration.cpp.o.d"
+  "restoration"
+  "restoration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restoration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griphon_baseline.dir/sonet_bod.cpp.o"
+  "CMakeFiles/griphon_baseline.dir/sonet_bod.cpp.o.d"
+  "CMakeFiles/griphon_baseline.dir/store_forward.cpp.o"
+  "CMakeFiles/griphon_baseline.dir/store_forward.cpp.o.d"
+  "libgriphon_baseline.a"
+  "libgriphon_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griphon_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

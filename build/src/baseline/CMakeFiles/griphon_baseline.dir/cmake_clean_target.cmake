@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgriphon_baseline.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griphon_common.dir/error.cpp.o"
+  "CMakeFiles/griphon_common.dir/error.cpp.o.d"
+  "CMakeFiles/griphon_common.dir/rng.cpp.o"
+  "CMakeFiles/griphon_common.dir/rng.cpp.o.d"
+  "libgriphon_common.a"
+  "libgriphon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griphon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/griphon_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/griphon_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/failure_manager.cpp" "src/core/CMakeFiles/griphon_core.dir/failure_manager.cpp.o" "gcc" "src/core/CMakeFiles/griphon_core.dir/failure_manager.cpp.o.d"
+  "/root/repo/src/core/inventory.cpp" "src/core/CMakeFiles/griphon_core.dir/inventory.cpp.o" "gcc" "src/core/CMakeFiles/griphon_core.dir/inventory.cpp.o.d"
+  "/root/repo/src/core/network_model.cpp" "src/core/CMakeFiles/griphon_core.dir/network_model.cpp.o" "gcc" "src/core/CMakeFiles/griphon_core.dir/network_model.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/core/CMakeFiles/griphon_core.dir/planner.cpp.o" "gcc" "src/core/CMakeFiles/griphon_core.dir/planner.cpp.o.d"
+  "/root/repo/src/core/portal.cpp" "src/core/CMakeFiles/griphon_core.dir/portal.cpp.o" "gcc" "src/core/CMakeFiles/griphon_core.dir/portal.cpp.o.d"
+  "/root/repo/src/core/rwa.cpp" "src/core/CMakeFiles/griphon_core.dir/rwa.cpp.o" "gcc" "src/core/CMakeFiles/griphon_core.dir/rwa.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/griphon_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/griphon_core.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/griphon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/griphon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/griphon_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/dwdm/CMakeFiles/griphon_dwdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fxc/CMakeFiles/griphon_fxc.dir/DependInfo.cmake"
+  "/root/repo/build/src/otn/CMakeFiles/griphon_otn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sonet/CMakeFiles/griphon_sonet.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/griphon_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ems/CMakeFiles/griphon_ems.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griphon_core.dir/controller.cpp.o"
+  "CMakeFiles/griphon_core.dir/controller.cpp.o.d"
+  "CMakeFiles/griphon_core.dir/failure_manager.cpp.o"
+  "CMakeFiles/griphon_core.dir/failure_manager.cpp.o.d"
+  "CMakeFiles/griphon_core.dir/inventory.cpp.o"
+  "CMakeFiles/griphon_core.dir/inventory.cpp.o.d"
+  "CMakeFiles/griphon_core.dir/network_model.cpp.o"
+  "CMakeFiles/griphon_core.dir/network_model.cpp.o.d"
+  "CMakeFiles/griphon_core.dir/planner.cpp.o"
+  "CMakeFiles/griphon_core.dir/planner.cpp.o.d"
+  "CMakeFiles/griphon_core.dir/portal.cpp.o"
+  "CMakeFiles/griphon_core.dir/portal.cpp.o.d"
+  "CMakeFiles/griphon_core.dir/rwa.cpp.o"
+  "CMakeFiles/griphon_core.dir/rwa.cpp.o.d"
+  "CMakeFiles/griphon_core.dir/scenario.cpp.o"
+  "CMakeFiles/griphon_core.dir/scenario.cpp.o.d"
+  "libgriphon_core.a"
+  "libgriphon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griphon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

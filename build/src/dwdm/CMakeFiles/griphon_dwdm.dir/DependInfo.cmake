@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dwdm/muxponder.cpp" "src/dwdm/CMakeFiles/griphon_dwdm.dir/muxponder.cpp.o" "gcc" "src/dwdm/CMakeFiles/griphon_dwdm.dir/muxponder.cpp.o.d"
+  "/root/repo/src/dwdm/reach.cpp" "src/dwdm/CMakeFiles/griphon_dwdm.dir/reach.cpp.o" "gcc" "src/dwdm/CMakeFiles/griphon_dwdm.dir/reach.cpp.o.d"
+  "/root/repo/src/dwdm/roadm.cpp" "src/dwdm/CMakeFiles/griphon_dwdm.dir/roadm.cpp.o" "gcc" "src/dwdm/CMakeFiles/griphon_dwdm.dir/roadm.cpp.o.d"
+  "/root/repo/src/dwdm/transponder.cpp" "src/dwdm/CMakeFiles/griphon_dwdm.dir/transponder.cpp.o" "gcc" "src/dwdm/CMakeFiles/griphon_dwdm.dir/transponder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/griphon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/griphon_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

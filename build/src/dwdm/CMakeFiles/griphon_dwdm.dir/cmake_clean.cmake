@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griphon_dwdm.dir/muxponder.cpp.o"
+  "CMakeFiles/griphon_dwdm.dir/muxponder.cpp.o.d"
+  "CMakeFiles/griphon_dwdm.dir/reach.cpp.o"
+  "CMakeFiles/griphon_dwdm.dir/reach.cpp.o.d"
+  "CMakeFiles/griphon_dwdm.dir/roadm.cpp.o"
+  "CMakeFiles/griphon_dwdm.dir/roadm.cpp.o.d"
+  "CMakeFiles/griphon_dwdm.dir/transponder.cpp.o"
+  "CMakeFiles/griphon_dwdm.dir/transponder.cpp.o.d"
+  "libgriphon_dwdm.a"
+  "libgriphon_dwdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griphon_dwdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

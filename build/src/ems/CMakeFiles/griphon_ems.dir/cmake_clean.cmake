@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griphon_ems.dir/ems_server.cpp.o"
+  "CMakeFiles/griphon_ems.dir/ems_server.cpp.o.d"
+  "CMakeFiles/griphon_ems.dir/latency_profile.cpp.o"
+  "CMakeFiles/griphon_ems.dir/latency_profile.cpp.o.d"
+  "libgriphon_ems.a"
+  "libgriphon_ems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griphon_ems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

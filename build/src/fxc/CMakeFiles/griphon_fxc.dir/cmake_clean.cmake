@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griphon_fxc.dir/fxc.cpp.o"
+  "CMakeFiles/griphon_fxc.dir/fxc.cpp.o.d"
+  "libgriphon_fxc.a"
+  "libgriphon_fxc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griphon_fxc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

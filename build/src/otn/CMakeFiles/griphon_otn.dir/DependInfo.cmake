@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/otn/carrier.cpp" "src/otn/CMakeFiles/griphon_otn.dir/carrier.cpp.o" "gcc" "src/otn/CMakeFiles/griphon_otn.dir/carrier.cpp.o.d"
+  "/root/repo/src/otn/layer.cpp" "src/otn/CMakeFiles/griphon_otn.dir/layer.cpp.o" "gcc" "src/otn/CMakeFiles/griphon_otn.dir/layer.cpp.o.d"
+  "/root/repo/src/otn/otn_switch.cpp" "src/otn/CMakeFiles/griphon_otn.dir/otn_switch.cpp.o" "gcc" "src/otn/CMakeFiles/griphon_otn.dir/otn_switch.cpp.o.d"
+  "/root/repo/src/otn/restorer.cpp" "src/otn/CMakeFiles/griphon_otn.dir/restorer.cpp.o" "gcc" "src/otn/CMakeFiles/griphon_otn.dir/restorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/griphon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/griphon_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/griphon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griphon_otn.dir/carrier.cpp.o"
+  "CMakeFiles/griphon_otn.dir/carrier.cpp.o.d"
+  "CMakeFiles/griphon_otn.dir/layer.cpp.o"
+  "CMakeFiles/griphon_otn.dir/layer.cpp.o.d"
+  "CMakeFiles/griphon_otn.dir/otn_switch.cpp.o"
+  "CMakeFiles/griphon_otn.dir/otn_switch.cpp.o.d"
+  "CMakeFiles/griphon_otn.dir/restorer.cpp.o"
+  "CMakeFiles/griphon_otn.dir/restorer.cpp.o.d"
+  "libgriphon_otn.a"
+  "libgriphon_otn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griphon_otn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/channel.cpp" "src/proto/CMakeFiles/griphon_proto.dir/channel.cpp.o" "gcc" "src/proto/CMakeFiles/griphon_proto.dir/channel.cpp.o.d"
+  "/root/repo/src/proto/client.cpp" "src/proto/CMakeFiles/griphon_proto.dir/client.cpp.o" "gcc" "src/proto/CMakeFiles/griphon_proto.dir/client.cpp.o.d"
+  "/root/repo/src/proto/messages.cpp" "src/proto/CMakeFiles/griphon_proto.dir/messages.cpp.o" "gcc" "src/proto/CMakeFiles/griphon_proto.dir/messages.cpp.o.d"
+  "/root/repo/src/proto/wire.cpp" "src/proto/CMakeFiles/griphon_proto.dir/wire.cpp.o" "gcc" "src/proto/CMakeFiles/griphon_proto.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/griphon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/griphon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

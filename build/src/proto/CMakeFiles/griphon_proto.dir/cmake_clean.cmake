@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griphon_proto.dir/channel.cpp.o"
+  "CMakeFiles/griphon_proto.dir/channel.cpp.o.d"
+  "CMakeFiles/griphon_proto.dir/client.cpp.o"
+  "CMakeFiles/griphon_proto.dir/client.cpp.o.d"
+  "CMakeFiles/griphon_proto.dir/messages.cpp.o"
+  "CMakeFiles/griphon_proto.dir/messages.cpp.o.d"
+  "CMakeFiles/griphon_proto.dir/wire.cpp.o"
+  "CMakeFiles/griphon_proto.dir/wire.cpp.o.d"
+  "libgriphon_proto.a"
+  "libgriphon_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griphon_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griphon_sim.dir/engine.cpp.o"
+  "CMakeFiles/griphon_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/griphon_sim.dir/trace.cpp.o"
+  "CMakeFiles/griphon_sim.dir/trace.cpp.o.d"
+  "libgriphon_sim.a"
+  "libgriphon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griphon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griphon_sonet.dir/ring.cpp.o"
+  "CMakeFiles/griphon_sonet.dir/ring.cpp.o.d"
+  "libgriphon_sonet.a"
+  "libgriphon_sonet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griphon_sonet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

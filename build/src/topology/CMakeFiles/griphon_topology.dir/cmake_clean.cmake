@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griphon_topology.dir/builders.cpp.o"
+  "CMakeFiles/griphon_topology.dir/builders.cpp.o.d"
+  "CMakeFiles/griphon_topology.dir/graph.cpp.o"
+  "CMakeFiles/griphon_topology.dir/graph.cpp.o.d"
+  "CMakeFiles/griphon_topology.dir/path.cpp.o"
+  "CMakeFiles/griphon_topology.dir/path.cpp.o.d"
+  "libgriphon_topology.a"
+  "libgriphon_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griphon_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

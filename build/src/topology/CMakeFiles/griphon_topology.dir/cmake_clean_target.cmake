@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgriphon_topology.a"
+)

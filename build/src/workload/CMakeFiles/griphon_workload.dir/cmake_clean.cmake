@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griphon_workload.dir/arrivals.cpp.o"
+  "CMakeFiles/griphon_workload.dir/arrivals.cpp.o.d"
+  "CMakeFiles/griphon_workload.dir/bulk_transfer.cpp.o"
+  "CMakeFiles/griphon_workload.dir/bulk_transfer.cpp.o.d"
+  "CMakeFiles/griphon_workload.dir/calendar.cpp.o"
+  "CMakeFiles/griphon_workload.dir/calendar.cpp.o.d"
+  "libgriphon_workload.a"
+  "libgriphon_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griphon_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

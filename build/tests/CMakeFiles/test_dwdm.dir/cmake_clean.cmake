@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dwdm.dir/test_dwdm.cpp.o"
+  "CMakeFiles/test_dwdm.dir/test_dwdm.cpp.o.d"
+  "test_dwdm"
+  "test_dwdm.pdb"
+  "test_dwdm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dwdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ems.dir/test_ems.cpp.o"
+  "CMakeFiles/test_ems.dir/test_ems.cpp.o.d"
+  "test_ems"
+  "test_ems.pdb"
+  "test_ems[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fxc.dir/test_fxc.cpp.o"
+  "CMakeFiles/test_fxc.dir/test_fxc.cpp.o.d"
+  "test_fxc"
+  "test_fxc.pdb"
+  "test_fxc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fxc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_otn.dir/test_otn.cpp.o"
+  "CMakeFiles/test_otn.dir/test_otn.cpp.o.d"
+  "test_otn"
+  "test_otn.pdb"
+  "test_otn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_otn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path_oracle.dir/test_path_oracle.cpp.o"
+  "CMakeFiles/test_path_oracle.dir/test_path_oracle.cpp.o.d"
+  "test_path_oracle"
+  "test_path_oracle.pdb"
+  "test_path_oracle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

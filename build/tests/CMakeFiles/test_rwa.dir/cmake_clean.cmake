@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rwa.dir/test_rwa.cpp.o"
+  "CMakeFiles/test_rwa.dir/test_rwa.cpp.o.d"
+  "test_rwa"
+  "test_rwa.pdb"
+  "test_rwa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rwa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tiers.dir/test_tiers.cpp.o"
+  "CMakeFiles/test_tiers.dir/test_tiers.cpp.o.d"
+  "test_tiers"
+  "test_tiers.pdb"
+  "test_tiers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
