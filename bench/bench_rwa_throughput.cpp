@@ -1,0 +1,237 @@
+// RWA provisioning hot-path throughput.
+//
+// The paper's headline is ~60 s automated wavelength setup vs. weeks of
+// manual provisioning; the simulator's headline cost is how fast
+// RwaEngine::plan() itself runs, because the week-long Poisson studies
+// (bench_blocking, bench_ot_sharing) call it for every arrival. This bench
+// measures raw plans/sec and plan-latency percentiles on
+//   * the paper's 4-node lab testbed, and
+//   * a 50-node synthetic continental backbone (topology::builders
+//     random_mesh), the scale target of the ROADMAP north star, in two
+//     pair distributions: `dc12` draws requests among 12 data-center
+//     sites (the paper's inter-DC workload — heavy pair reuse, which the
+//     per-pair route cache serves), and `cold` draws 2000 all-distinct
+//     ordered pairs (no reuse, so every call pays the full Yen's cost),
+// under a churning reservation overlay (every successful plan reserves its
+// resources; a random older plan is released), which is what the inventory
+// indexes exist for. Results go to stdout as a table and to BENCH_rwa.json
+// as {bench, metric, value, unit} rows for the perf trajectory.
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/network_model.hpp"
+#include "core/rwa.hpp"
+#include "emit_json.hpp"
+#include "topology/builders.hpp"
+
+using namespace griphon;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Measurement {
+  double plans_per_sec = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  std::size_t planned = 0;  ///< plans that produced a wavelength plan
+  std::size_t calls = 0;
+};
+
+double percentile(std::vector<double>& xs, double p) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  const double idx = p * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return xs[lo] * (1 - frac) + xs[hi] * frac;
+}
+
+/// A reserved plan we may later release (simulating teardown).
+struct Held {
+  core::WavelengthPlan plan;
+};
+
+void reserve(core::Inventory& inv, const core::WavelengthPlan& plan) {
+  for (const auto& seg : plan.segments)
+    for (std::size_t i = seg.first_link; i <= seg.last_link; ++i)
+      inv.reserve_channel(plan.path.links[i], seg.channel);
+  inv.reserve_ot(plan.src_ot);
+  inv.reserve_ot(plan.dst_ot);
+  for (const RegenId r : plan.regens) inv.reserve_regen(r);
+}
+
+void release(core::Inventory& inv, const core::WavelengthPlan& plan) {
+  for (const auto& seg : plan.segments)
+    for (std::size_t i = seg.first_link; i <= seg.last_link; ++i)
+      inv.release_channel(plan.path.links[i], seg.channel);
+  inv.release_ot(plan.src_ot);
+  inv.release_ot(plan.dst_ot);
+  for (const RegenId r : plan.regens) inv.release_regen(r);
+}
+
+/// Uniform ordered pairs of distinct sites, pre-generated so the timed
+/// loop only measures planning + churn.
+std::vector<std::pair<NodeId, NodeId>> random_pairs(
+    const std::vector<NodeId>& sites, std::size_t count, Rng& rng) {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(count);
+  const auto n = static_cast<std::int64_t>(sites.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto a = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    auto b = a;
+    while (b == a) b = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    pairs.emplace_back(sites[a], sites[b]);
+  }
+  return pairs;
+}
+
+/// All ordered pairs of distinct nodes, shuffled, truncated to `count`:
+/// every call hits a pair the engine has never planned before.
+std::vector<std::pair<NodeId, NodeId>> distinct_pairs(
+    const topology::Graph& g, std::size_t count, Rng& rng) {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (const auto& a : g.nodes())
+    for (const auto& b : g.nodes())
+      if (a.id != b.id) pairs.emplace_back(a.id, b.id);
+  for (std::size_t i = pairs.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(pairs[i - 1], pairs[j]);
+  }
+  if (pairs.size() > count) pairs.resize(count);
+  return pairs;
+}
+
+/// A random subset of nodes acting as the data-center sites.
+std::vector<NodeId> pick_sites(const topology::Graph& g, std::size_t count,
+                               Rng& rng) {
+  std::vector<NodeId> sites;
+  for (const auto& node : g.nodes()) sites.push_back(node.id);
+  for (std::size_t i = 0; i < count && i + 1 < sites.size(); ++i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(i),
+        static_cast<std::int64_t>(sites.size()) - 1));
+    std::swap(sites[i], sites[j]);
+  }
+  sites.resize(std::min(count, sites.size()));
+  return sites;
+}
+
+Measurement run(const topology::Graph& graph,
+                const std::vector<std::pair<NodeId, NodeId>>& pairs,
+                core::WavelengthPolicy policy, std::uint64_t seed) {
+  sim::Engine engine(seed);
+  core::NetworkModel::Config cfg;
+  cfg.with_otn = false;          // the photonic hot path is what we measure
+  cfg.ots_per_node = 8;
+  cfg.regens_per_node = 4;
+  core::NetworkModel model(&engine, graph, cfg);
+  core::Inventory inventory(&model);
+  core::RwaEngine::Params params;
+  params.policy = policy;
+  params.route_candidates = 4;
+  core::RwaEngine rwa(&model, &inventory, params);
+
+  Rng rng(seed);
+  std::vector<Held> held;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(pairs.size());
+
+  Measurement m;
+  m.calls = pairs.size();
+  const auto t0 = Clock::now();
+  for (const auto& [src, dst] : pairs) {
+    const auto c0 = Clock::now();
+    auto result = rwa.plan(src, dst, rates::k10G);
+    const auto c1 = Clock::now();
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(c1 - c0).count());
+
+    if (result.ok()) {
+      ++m.planned;
+      reserve(inventory, result.value());
+      held.push_back(Held{std::move(result.value())});
+    }
+    // Churn: hold roughly 2/3 of successful plans, release the rest so
+    // the overlay stays populated but the network never wedges.
+    if (!held.empty() && rng.chance(0.33)) {
+      const auto victim = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(held.size()) - 1));
+      release(inventory, held[victim].plan);
+      held[victim] = std::move(held.back());
+      held.pop_back();
+    }
+  }
+  const auto t1 = Clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  m.plans_per_sec =
+      secs > 0 ? static_cast<double>(pairs.size()) / secs : 0;
+  m.p50_us = percentile(latencies_us, 0.50);
+  m.p99_us = percentile(latencies_us, 0.99);
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "RWA provisioning throughput: plans/sec and plan latency under a "
+      "churning reservation overlay");
+
+  auto testbed = topology::paper_testbed();
+  Rng mesh_rng(4242);
+  const auto backbone = topology::random_mesh(50, 3.2, mesh_rng);
+
+  std::vector<NodeId> testbed_sites;
+  for (const auto& node : testbed.graph.nodes())
+    testbed_sites.push_back(node.id);
+  Rng pair_rng(977);
+  const auto testbed_pairs = random_pairs(testbed_sites, 20000, pair_rng);
+  const auto dc_sites = pick_sites(backbone, 12, pair_rng);
+  const auto dc_pairs = random_pairs(dc_sites, 20000, pair_rng);
+  const auto cold_pairs = distinct_pairs(backbone, 2000, pair_rng);
+
+  struct Case {
+    std::string name;
+    const topology::Graph* graph;
+    const std::vector<std::pair<NodeId, NodeId>>* pairs;
+    core::WavelengthPolicy policy;
+  };
+  const Case cases[] = {
+      {"testbed_first_fit", &testbed.graph, &testbed_pairs,
+       core::WavelengthPolicy::kFirstFit},
+      {"testbed_most_used", &testbed.graph, &testbed_pairs,
+       core::WavelengthPolicy::kMostUsed},
+      {"backbone50_dc12_first_fit", &backbone, &dc_pairs,
+       core::WavelengthPolicy::kFirstFit},
+      {"backbone50_dc12_most_used", &backbone, &dc_pairs,
+       core::WavelengthPolicy::kMostUsed},
+      {"backbone50_cold_first_fit", &backbone, &cold_pairs,
+       core::WavelengthPolicy::kFirstFit},
+      {"backbone50_cold_most_used", &backbone, &cold_pairs,
+       core::WavelengthPolicy::kMostUsed},
+  };
+
+  bench::Table table(
+      {"scenario", "plans/sec", "p50 us", "p99 us", "planned/calls"}, 26);
+  bench::JsonEmitter json("rwa_throughput");
+  for (const Case& c : cases) {
+    const Measurement m = run(*c.graph, *c.pairs, c.policy, 1234);
+    table.row({c.name, bench::fmt(m.plans_per_sec, 0), bench::fmt(m.p50_us, 1),
+               bench::fmt(m.p99_us, 1),
+               std::to_string(m.planned) + "/" + std::to_string(m.calls)});
+    json.row(c.name + "_plans_per_sec", m.plans_per_sec, "plans/s");
+    json.row(c.name + "_p50_latency", m.p50_us, "us");
+    json.row(c.name + "_p99_latency", m.p99_us, "us");
+  }
+  table.print();
+  json.write("BENCH_rwa.json");
+  std::cout << "\nwrote BENCH_rwa.json\n";
+  return 0;
+}

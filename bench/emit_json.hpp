@@ -1,0 +1,81 @@
+// Machine-readable bench output.
+//
+// Benches print human tables, but the repo's perf trajectory needs numbers
+// a script can diff across commits. JsonEmitter collects flat rows of
+//   {"bench": ..., "metric": ..., "value": ..., "unit": ...}
+// and writes them as a JSON array, e.g. BENCH_rwa.json next to the binary.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace griphon::bench {
+
+class JsonEmitter {
+ public:
+  explicit JsonEmitter(std::string bench_name)
+      : bench_(std::move(bench_name)) {}
+
+  void row(const std::string& metric, double value, const std::string& unit) {
+    rows_.push_back(Row{metric, value, unit});
+  }
+
+  /// Write all rows as a JSON array to `path`. Returns false (and warns on
+  /// stderr) if the file cannot be opened; benches keep their table output
+  /// either way.
+  bool write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "emit_json: cannot write " << path << '\n';
+      return false;
+    }
+    out << "[\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      out << "  {\"bench\": " << quote(bench_) << ", \"metric\": "
+          << quote(r.metric) << ", \"value\": " << format(r.value)
+          << ", \"unit\": " << quote(r.unit) << '}'
+          << (i + 1 < rows_.size() ? "," : "") << '\n';
+    }
+    out << "]\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  struct Row {
+    std::string metric;
+    double value;
+    std::string unit;
+  };
+
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        default: out += c;
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  /// JSON has no inf/nan; clamp those to null-safe 0 with a warning.
+  static std::string format(double v) {
+    if (!(v == v) || v > 1e308 || v < -1e308) return "0";
+    std::ostringstream os;
+    os.precision(12);
+    os << v;
+    return os.str();
+  }
+
+  std::string bench_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace griphon::bench

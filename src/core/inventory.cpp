@@ -1,17 +1,35 @@
 #include "core/inventory.hpp"
 
+#include <algorithm>
+
 namespace griphon::core {
 
+dwdm::ChannelSet& Inventory::reserved_on(LinkId link) {
+  if (link.value() >= reserved_by_link_.size())
+    reserved_by_link_.resize(link.value() + 1);
+  return reserved_by_link_[link.value()];
+}
+
 void Inventory::reserve_channel(LinkId link, dwdm::ChannelIndex ch) {
-  reserved_channels_.emplace(link, ch);
+  dwdm::ChannelSet& set = reserved_on(link);
+  if (!set.contains(ch)) {
+    set.add(ch);
+    ++channel_reservation_count_;
+  }
 }
 
 void Inventory::release_channel(LinkId link, dwdm::ChannelIndex ch) {
-  reserved_channels_.erase({link, ch});
+  if (link.value() >= reserved_by_link_.size()) return;
+  dwdm::ChannelSet& set = reserved_by_link_[link.value()];
+  if (set.contains(ch)) {
+    set.remove(ch);
+    --channel_reservation_count_;
+  }
 }
 
 bool Inventory::channel_reserved(LinkId link, dwdm::ChannelIndex ch) const {
-  return reserved_channels_.contains({link, ch});
+  return link.value() < reserved_by_link_.size() &&
+         reserved_by_link_[link.value()].contains(ch);
 }
 
 void Inventory::reserve_ot(TransponderId id) { reserved_ots_.insert(id); }
@@ -36,8 +54,8 @@ dwdm::ChannelSet Inventory::available_on_link(LinkId link) const {
   if (!da || !db) return {};
   dwdm::ChannelSet set = ra.free_channels(*da);
   set.intersect(rb.free_channels(*db));
-  for (const auto& [rlink, ch] : reserved_channels_)
-    if (rlink == link) set.remove(ch);
+  if (link.value() < reserved_by_link_.size())
+    set.subtract(reserved_by_link_[link.value()]);
   return set;
 }
 
@@ -50,55 +68,96 @@ bool ot_is_free(const dwdm::Transponder& ot) {
 }
 }  // namespace
 
+void Inventory::ensure_site_pools() const {
+  const auto& ots = model_->ots();
+  const std::size_t sites = model_->graph().nodes().size();
+  if (ots_by_site_.size() != sites || indexed_ot_count_ != ots.size()) {
+    ots_by_site_.assign(sites, {});
+    for (const auto& ot : ots)
+      if (ot->site().value() < sites)
+        ots_by_site_[ot->site().value()].push_back(ot.get());
+    for (auto& pool : ots_by_site_)
+      std::sort(pool.begin(), pool.end(),
+                [](const dwdm::Transponder* a, const dwdm::Transponder* b) {
+                  if (a->line_rate() != b->line_rate())
+                    return a->line_rate() < b->line_rate();
+                  return a->id() < b->id();
+                });
+    indexed_ot_count_ = ots.size();
+  }
+  const auto& regens = model_->regens();
+  if (regens_by_site_.size() != sites ||
+      indexed_regen_count_ != regens.size()) {
+    regens_by_site_.assign(sites, {});
+    for (const auto& regen : regens)
+      if (regen->site().value() < sites)
+        regens_by_site_[regen->site().value()].push_back(regen.get());
+    indexed_regen_count_ = regens.size();
+  }
+}
+
 std::optional<TransponderId> Inventory::find_free_ot(
     NodeId node, DataRate min_rate) const {
-  // Smallest adequate line rate wins: don't burn a 40G transponder on a
-  // 10G service while a 10G unit sits idle.
-  std::optional<TransponderId> best;
-  DataRate best_rate{};
-  for (const auto& ot : model_->ots()) {
-    if (ot->site() != node) continue;
-    if (!ot_is_free(*ot)) continue;
+  ensure_site_pools();
+  if (node.value() >= ots_by_site_.size()) return std::nullopt;
+  // The pool is sorted by (line_rate, id): the first free adequate entry
+  // is the smallest adequate line rate — don't burn a 40G transponder on
+  // a 10G service while a 10G unit sits idle.
+  for (const dwdm::Transponder* ot : ots_by_site_[node.value()]) {
     if (ot->line_rate() < min_rate) continue;
+    if (!ot_is_free(*ot)) continue;
     if (ot_reserved(ot->id())) continue;
-    if (!best || ot->line_rate() < best_rate) {
-      best = ot->id();
-      best_rate = ot->line_rate();
-    }
+    return ot->id();
   }
-  return best;
+  return std::nullopt;
 }
 
 std::size_t Inventory::free_ot_count(NodeId node, DataRate min_rate) const {
+  ensure_site_pools();
+  if (node.value() >= ots_by_site_.size()) return 0;
   std::size_t n = 0;
-  for (const auto& ot : model_->ots()) {
-    if (ot->site() == node && ot_is_free(*ot) &&
-        ot->line_rate() >= min_rate && !ot_reserved(ot->id()))
+  for (const dwdm::Transponder* ot : ots_by_site_[node.value()]) {
+    if (ot->line_rate() >= min_rate && ot_is_free(*ot) &&
+        !ot_reserved(ot->id()))
       ++n;
   }
   return n;
 }
 
-std::optional<RegenId> Inventory::find_free_regen(NodeId node,
-                                                  DataRate min_rate) const {
-  for (const auto& regen : model_->regens()) {
-    if (regen->site() != node) continue;
+std::optional<RegenId> Inventory::find_free_regen(
+    NodeId node, DataRate min_rate, const std::set<RegenId>& exclude) const {
+  ensure_site_pools();
+  if (node.value() >= regens_by_site_.size()) return std::nullopt;
+  for (const dwdm::Regenerator* regen : regens_by_site_[node.value()]) {
     if (regen->in_use()) continue;
     if (regen->line_rate() < min_rate) continue;
     if (regen_reserved(regen->id())) continue;
+    if (exclude.contains(regen->id())) continue;
     return regen->id();
   }
   return std::nullopt;
 }
 
-std::size_t Inventory::channel_usage(dwdm::ChannelIndex ch) const {
-  std::size_t n = 0;
+void Inventory::ensure_usage_table() const {
+  const std::uint64_t version = model_->plant_version();
+  if (usage_valid_ && usage_version_ == version) return;
+  usage_.assign(model_->grid().count(), 0);
   for (const auto& link : model_->graph().links()) {
     const auto& roadm = model_->roadm_at(link.a);
     const auto degree = roadm.degree_for(link.id);
-    if (degree && roadm.channel_in_use(*degree, ch)) ++n;
+    if (!degree) continue;
+    roadm.used_channels(*degree).for_each([this](dwdm::ChannelIndex ch) {
+      if (static_cast<std::size_t>(ch) < usage_.size()) ++usage_[ch];
+    });
   }
-  return n;
+  usage_version_ = version;
+  usage_valid_ = true;
+}
+
+std::size_t Inventory::channel_usage(dwdm::ChannelIndex ch) const {
+  ensure_usage_table();
+  if (ch < 0 || static_cast<std::size_t>(ch) >= usage_.size()) return 0;
+  return usage_[ch];
 }
 
 }  // namespace griphon::core

@@ -5,10 +5,23 @@
 // in-flight setups whose EMS commands have not landed yet. RWA queries go
 // through here so two concurrent setups never pick the same wavelength,
 // OT or regenerator.
+//
+// Everything here sits on the RWA hot path, so the overlay is indexed
+// rather than scanned (see DESIGN.md "Inventory indexing invariants"):
+//  * channel reservations live in a per-link ChannelSet (O(words) to
+//    subtract from link availability instead of scanning every
+//    reservation in the network),
+//  * OT/regen lookups go through per-site pools built once from the model
+//    (O(pool-at-site) instead of O(all devices)),
+//  * the per-channel usage table behind the most-/least-used wavelength
+//    policies is cached and invalidated by the model's plant version
+//    (O(1) amortized instead of O(links) per queried channel).
 #pragma once
 
 #include <optional>
 #include <set>
+#include <unordered_set>
+#include <vector>
 
 #include "core/network_model.hpp"
 #include "dwdm/wavelength.hpp"
@@ -42,24 +55,51 @@ class Inventory {
   [[nodiscard]] std::size_t free_ot_count(NodeId node,
                                           DataRate min_rate) const;
 
-  /// An unused, unreserved regenerator at `node`.
+  /// An unused, unreserved regenerator at `node`, skipping any id in
+  /// `exclude` (a plan may place several regens at one site).
   [[nodiscard]] std::optional<RegenId> find_free_regen(
-      NodeId node, DataRate min_rate) const;
+      NodeId node, DataRate min_rate,
+      const std::set<RegenId>& exclude = {}) const;
 
   /// Number of links where channel `ch` is currently configured — input to
   /// the most-used wavelength-assignment policy.
   [[nodiscard]] std::size_t channel_usage(dwdm::ChannelIndex ch) const;
 
   [[nodiscard]] std::size_t reservations() const noexcept {
-    return reserved_channels_.size() + reserved_ots_.size() +
+    return channel_reservation_count_ + reserved_ots_.size() +
            reserved_regens_.size();
   }
 
  private:
+  /// Grow-on-demand access to the per-link reservation set.
+  dwdm::ChannelSet& reserved_on(LinkId link);
+  void ensure_site_pools() const;
+  void ensure_usage_table() const;
+
   const NetworkModel* model_;
-  std::set<std::pair<LinkId, dwdm::ChannelIndex>> reserved_channels_;
-  std::set<TransponderId> reserved_ots_;
-  std::set<RegenId> reserved_regens_;
+
+  // Reservation overlay. `reserved_by_link_` is indexed by link id value;
+  // `channel_reservation_count_` keeps reservations() O(1).
+  std::vector<dwdm::ChannelSet> reserved_by_link_;
+  std::size_t channel_reservation_count_ = 0;
+  std::unordered_set<TransponderId> reserved_ots_;
+  std::unordered_set<RegenId> reserved_regens_;
+
+  // Per-site device pools, built lazily from the model (sites are fixed at
+  // model construction; pools are rebuilt if devices were added since).
+  // OTs are sorted by (line_rate, id) so the first free adequate entry is
+  // the smallest adequate rate with the lowest id — the same pick the
+  // old full scan made. Regens keep id order.
+  mutable std::vector<std::vector<const dwdm::Transponder*>> ots_by_site_;
+  mutable std::size_t indexed_ot_count_ = 0;
+  mutable std::vector<std::vector<const dwdm::Regenerator*>> regens_by_site_;
+  mutable std::size_t indexed_regen_count_ = 0;
+
+  // Per-channel usage table (device state only, reservations excluded),
+  // recomputed when the model's plant version moves.
+  mutable std::vector<std::size_t> usage_;
+  mutable std::uint64_t usage_version_ = 0;
+  mutable bool usage_valid_ = false;
 };
 
 }  // namespace griphon::core

@@ -15,6 +15,7 @@ NetworkModel::NetworkModel(sim::Engine* engine, topology::Graph graph,
                                                node.id, grid_);
     for (const LinkId link : graph_.links_at(node.id))
       roadm->attach_degree(link);
+    roadm->set_change_listener([this] { ++plant_version_; });
     roadms_.push_back(std::move(roadm));
     fxcs_.push_back(std::make_unique<fxc::Fxc>(
         FxcId{node.id.value()}, node.id, config_.fxc_ports_per_node));
@@ -216,6 +217,7 @@ void NetworkModel::fail_link(LinkId link) {
     throw std::out_of_range("NetworkModel::fail_link");
   if (link_failed_[link.value()]) return;
   link_failed_[link.value()] = true;
+  ++topology_version_;
   trace_.emit(engine_->now(), sim::TraceLevel::kWarn, "plant", "fiber-cut",
               graph_.link(link).name);
   const auto& l = graph_.link(link);
@@ -229,6 +231,7 @@ void NetworkModel::repair_link(LinkId link) {
     throw std::out_of_range("NetworkModel::repair_link");
   if (!link_failed_[link.value()]) return;
   link_failed_[link.value()] = false;
+  ++topology_version_;
   trace_.emit(engine_->now(), sim::TraceLevel::kInfo, "plant", "fiber-repair",
               graph_.link(link).name);
   const auto& l = graph_.link(link);

@@ -77,6 +77,20 @@ class NetworkModel {
     return grid_;
   }
 
+  /// Monotonic counter bumped on every ROADM configuration change.
+  /// Caches derived from plant state (e.g. the Inventory's per-channel
+  /// usage table) compare against it to know when to recompute.
+  [[nodiscard]] std::uint64_t plant_version() const noexcept {
+    return plant_version_;
+  }
+
+  /// Monotonic counter bumped on every fiber cut/repair. Caches derived
+  /// from the *routable* topology (e.g. the RwaEngine's per-pair route
+  /// cache) compare against it to know when their routes may be stale.
+  [[nodiscard]] std::uint64_t topology_version() const noexcept {
+    return topology_version_;
+  }
+
   [[nodiscard]] dwdm::Roadm& roadm_at(NodeId node);
   [[nodiscard]] const dwdm::Roadm& roadm_at(NodeId node) const;
   [[nodiscard]] fxc::Fxc& fxc_at(NodeId node);
@@ -172,6 +186,8 @@ class NetworkModel {
       otn_client_, nte_client_;
 
   std::vector<bool> link_failed_;  // by link index
+  std::uint64_t plant_version_ = 0;
+  std::uint64_t topology_version_ = 0;
   IdAllocator<MuxponderId> nte_ids_;
   IdAllocator<TransponderId> ot_ids_;
   IdAllocator<RegenId> regen_ids_;

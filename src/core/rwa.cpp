@@ -27,15 +27,34 @@ dwdm::ChannelIndex RwaEngine::pick_channel(
   const bool want_most = params_.policy == WavelengthPolicy::kMostUsed;
   dwdm::ChannelIndex best = dwdm::kNoChannel;
   std::size_t best_usage = 0;
-  for (const dwdm::ChannelIndex ch : candidates.to_vector()) {
+  candidates.for_each([&](dwdm::ChannelIndex ch) {
     const std::size_t usage = inventory_->channel_usage(ch);
     if (best == dwdm::kNoChannel ||
         (want_most ? usage > best_usage : usage < best_usage)) {
       best = ch;
       best_usage = usage;
     }
-  }
+  });
   return best;
+}
+
+const std::vector<topology::Path>& RwaEngine::cached_routes(NodeId src,
+                                                            NodeId dst) const {
+  if (route_cache_version_ != model_->topology_version()) {
+    route_cache_.clear();
+    route_cache_version_ = model_->topology_version();
+  }
+  const std::uint64_t key = (src.value() << 32) | dst.value();
+  const auto [it, inserted] = route_cache_.try_emplace(key);
+  if (inserted) {
+    // Same query the uncached path issues with empty exclusions, so cache
+    // hits and misses yield byte-identical candidate lists.
+    it->second = topology::k_shortest_paths(
+        model_->graph(), src, dst, params_.route_candidates,
+        topology::distance_weight(),
+        [&](const topology::Link& l) { return !model_->link_failed(l.id); });
+  }
+  return it->second;
 }
 
 Result<WavelengthPlan> RwaEngine::plan(NodeId src, NodeId dst, DataRate rate,
@@ -44,34 +63,39 @@ Result<WavelengthPlan> RwaEngine::plan(NodeId src, NodeId dst, DataRate rate,
     return Error{ErrorCode::kInvalidArgument, "rwa: src == dst"};
 
   const auto profile = dwdm::profile_for(rate);
-  const auto filter = [&](const topology::Link& l) {
-    if (model_->link_failed(l.id)) return false;
-    if (exclude.links.contains(l.id)) return false;
-    if (exclude.nodes.contains(l.a) || exclude.nodes.contains(l.b)) {
-      // Interior exclusion: allow links touching src/dst themselves.
-      const bool endpoint_ok = (l.a == src || l.a == dst || !exclude.nodes.contains(l.a)) &&
-                               (l.b == src || l.b == dst || !exclude.nodes.contains(l.b));
-      if (!endpoint_ok) return false;
-    }
-    return true;
-  };
 
-  const auto routes = topology::k_shortest_paths(
-      model_->graph(), src, dst, params_.route_candidates,
-      topology::distance_weight(), filter);
-  if (routes.empty())
+  std::vector<topology::Path> excluded_routes;
+  const std::vector<topology::Path>* routes;
+  if (exclude.links.empty() && exclude.nodes.empty()) {
+    routes = &cached_routes(src, dst);
+  } else {
+    const auto filter = [&](const topology::Link& l) {
+      if (model_->link_failed(l.id)) return false;
+      if (exclude.links.contains(l.id)) return false;
+      if (exclude.nodes.contains(l.a) || exclude.nodes.contains(l.b)) {
+        // Interior exclusion: allow links touching src/dst themselves.
+        const bool endpoint_ok = (l.a == src || l.a == dst || !exclude.nodes.contains(l.a)) &&
+                                 (l.b == src || l.b == dst || !exclude.nodes.contains(l.b));
+        if (!endpoint_ok) return false;
+      }
+      return true;
+    };
+    excluded_routes = topology::k_shortest_paths(
+        model_->graph(), src, dst, params_.route_candidates,
+        topology::distance_weight(), filter);
+    routes = &excluded_routes;
+  }
+  if (routes->empty())
     return Error{ErrorCode::kUnreachable, "rwa: no route survives exclusions"};
 
   Error last_error{ErrorCode::kResourceExhausted,
                    "rwa: no wavelength plan on any candidate route"};
-  for (const auto& route : routes) {
+  for (const auto& route : *routes) {
     // Transparent segmentation by optical reach.
-    std::vector<dwdm::ReachModel::Segment> segments;
-    try {
-      segments = model_->reach().segment(model_->graph(), route, profile);
-    } catch (const std::runtime_error&) {
-      continue;  // a single span beyond reach at this rate
-    }
+    auto maybe_segments =
+        model_->reach().try_segment(model_->graph(), route, profile);
+    if (!maybe_segments) continue;  // a single span beyond reach at this rate
+    const auto& segments = *maybe_segments;
 
     WavelengthPlan plan;
     plan.path = route;
@@ -104,17 +128,10 @@ Result<WavelengthPlan> RwaEngine::plan(NodeId src, NodeId dst, DataRate rate,
           SegmentPlan{segments[s].first_link, segments[s].last_link, ch});
       if (s + 1 < segments.size()) {
         const NodeId boundary = route.nodes[segments[s].last_link + 1];
-        // Several boundaries may share a node only if enough regens exist.
-        std::optional<RegenId> regen;
-        for (const auto& r : model_->regens()) {
-          if (r->site() == boundary && !r->in_use() &&
-              r->line_rate() >= rate &&
-              !inventory_->regen_reserved(r->id()) &&
-              !used_regens.contains(r->id())) {
-            regen = r->id();
-            break;
-          }
-        }
+        // Several boundaries may share a node only if enough regens exist;
+        // `used_regens` keeps one plan from double-booking a unit.
+        const auto regen =
+            inventory_->find_free_regen(boundary, rate, used_regens);
         if (!regen) {
           last_error = Error{ErrorCode::kResourceExhausted,
                              "rwa: no free regenerator at segment boundary"};

@@ -11,7 +11,9 @@
 // maximizes reuse, the classic blocking-reduction heuristic).
 #pragma once
 
+#include <cstdint>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "core/inventory.hpp"
@@ -77,9 +79,21 @@ class RwaEngine {
   [[nodiscard]] dwdm::ChannelIndex pick_channel(
       const dwdm::ChannelSet& candidates) const;
 
+  /// Candidate routes for (src, dst) with no caller exclusions. Routes
+  /// depend only on the graph, the failed-link set, k, and the weight
+  /// function — the first two are versioned by the model's
+  /// topology_version(), the last two fixed per engine — so steady-state
+  /// planning skips Yen's entirely. Calls with exclusions bypass the cache.
+  [[nodiscard]] const std::vector<topology::Path>& cached_routes(
+      NodeId src, NodeId dst) const;
+
   const NetworkModel* model_;
   const Inventory* inventory_;
   Params params_;
+
+  mutable std::unordered_map<std::uint64_t, std::vector<topology::Path>>
+      route_cache_;
+  mutable std::uint64_t route_cache_version_ = 0;
 };
 
 }  // namespace griphon::core

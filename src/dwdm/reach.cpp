@@ -45,7 +45,7 @@ bool ReachModel::feasible(const topology::Graph& g, const topology::Path& path,
   return osnr_at_end(g, path) >= profile.required_osnr_db;
 }
 
-std::vector<ReachModel::Segment> ReachModel::segment(
+std::optional<std::vector<ReachModel::Segment>> ReachModel::try_segment(
     const topology::Graph& g, const topology::Path& path,
     const LineRateProfile& profile) const {
   std::vector<Segment> segments;
@@ -54,32 +54,45 @@ std::vector<ReachModel::Segment> ReachModel::segment(
   std::size_t start = 0;
   while (start < path.links.size()) {
     // Greedily extend the transparent segment while it stays feasible.
+    // Length and OSNR accumulate link by link in the same order feasible()
+    // sums them over a rebuilt sub-path, so the decisions are identical —
+    // without materializing O(segment-length) sub-paths per trial.
     std::size_t end = start;
+    bool first_link_feasible = false;
+    Distance length{};
+    double osnr = params_.launch_osnr_db;
     for (std::size_t trial = start; trial < path.links.size(); ++trial) {
-      topology::Path sub;
-      sub.nodes.assign(path.nodes.begin() + static_cast<long>(start),
-                       path.nodes.begin() + static_cast<long>(trial) + 2);
-      sub.links.assign(path.links.begin() + static_cast<long>(start),
-                       path.links.begin() + static_cast<long>(trial) + 1);
-      if (feasible(g, sub, profile))
-        end = trial;
-      else
+      const topology::Link& l = g.link(path.links[trial]);
+      length += l.length();
+      for (const auto& span : l.spans)
+        osnr -= params_.span_penalty_db * (span.length.in_km() / 100.0);
+      double osnr_end = osnr;
+      const std::size_t sub_nodes = trial - start + 2;
+      if (sub_nodes > 2)
+        osnr_end -= params_.roadm_pass_penalty_db *
+                    static_cast<double>(sub_nodes - 2);
+      if (length > profile.max_reach || osnr_end < profile.required_osnr_db)
         break;
+      end = trial;
+      if (trial == start) first_link_feasible = true;
     }
     // A single link that is itself infeasible means the route cannot be
     // built at this rate at all (regens only help between links).
-    if (end == start) {
-      topology::Path single;
-      single.nodes = {path.nodes[start], path.nodes[start + 1]};
-      single.links = {path.links[start]};
-      if (!feasible(g, single, profile))
-        throw std::runtime_error(
-            "ReachModel::segment: single span exceeds reach at this rate");
-    }
+    if (end == start && !first_link_feasible) return std::nullopt;
     segments.push_back(Segment{start, end});
     start = end + 1;
   }
   return segments;
+}
+
+std::vector<ReachModel::Segment> ReachModel::segment(
+    const topology::Graph& g, const topology::Path& path,
+    const LineRateProfile& profile) const {
+  auto segments = try_segment(g, path, profile);
+  if (!segments)
+    throw std::runtime_error(
+        "ReachModel::segment: single span exceeds reach at this rate");
+  return *std::move(segments);
 }
 
 std::vector<NodeId> ReachModel::regen_sites(

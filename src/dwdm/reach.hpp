@@ -8,6 +8,7 @@
 // route regenerators must be placed.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "common/units.hpp"
@@ -58,6 +59,12 @@ class ReachModel {
     std::size_t last_link;  // inclusive
   };
   [[nodiscard]] std::vector<Segment> segment(
+      const topology::Graph& g, const topology::Path& path,
+      const LineRateProfile& profile) const;
+
+  /// Non-throwing variant of segment() for hot paths: returns nullopt where
+  /// segment() would throw (a single link infeasible at this rate).
+  [[nodiscard]] std::optional<std::vector<Segment>> try_segment(
       const topology::Graph& g, const topology::Path& path,
       const LineRateProfile& profile) const;
 

@@ -9,6 +9,7 @@ DegreeIndex Roadm::attach_degree(LinkId link) {
     throw std::invalid_argument("Roadm: degree already faces this link");
   degree_links_.push_back(link);
   uses_.emplace_back();
+  used_sets_.emplace_back();
   return static_cast<DegreeIndex>(degree_links_.size() - 1);
 }
 
@@ -66,6 +67,9 @@ Status Roadm::configure_express(ChannelIndex ch, DegreeIndex in,
   uses_[static_cast<std::size_t>(in)][ch] = use;
   use.other_degree = in;
   uses_[static_cast<std::size_t>(out)][ch] = use;
+  used_sets_[static_cast<std::size_t>(in)].add(ch);
+  used_sets_[static_cast<std::size_t>(out)].add(ch);
+  changed();
   return Status::success();
 }
 
@@ -83,6 +87,9 @@ Status Roadm::release_express(ChannelIndex ch, DegreeIndex in,
                   name() + ": no such express cross-connect"};
   min.erase(ii);
   mout.erase(oi);
+  used_sets_[static_cast<std::size_t>(in)].remove(ch);
+  used_sets_[static_cast<std::size_t>(out)].remove(ch);
+  changed();
   return Status::success();
 }
 
@@ -109,6 +116,8 @@ Status Roadm::configure_add_drop(PortId p, DegreeIndex degree,
   use.is_express = false;
   use.port = p;
   uses_[static_cast<std::size_t>(degree)][ch] = use;
+  used_sets_[static_cast<std::size_t>(degree)].add(ch);
+  changed();
   return Status::success();
 }
 
@@ -119,25 +128,33 @@ Status Roadm::release_add_drop(PortId p) {
   if (!st.active)
     return Status{ErrorCode::kConflict, name() + ": port not configured"};
   uses_[static_cast<std::size_t>(st.degree)].erase(st.channel);
+  used_sets_[static_cast<std::size_t>(st.degree)].remove(st.channel);
   st.active = false;
   st.degree = -1;
   st.channel = kNoChannel;
+  changed();
   return Status::success();
 }
 
 bool Roadm::channel_in_use(DegreeIndex degree, ChannelIndex ch) const {
   if (!valid_degree(degree))
     throw std::out_of_range("Roadm::channel_in_use: bad degree");
-  return uses_[static_cast<std::size_t>(degree)].contains(ch);
+  return grid_.contains(ch) &&
+         used_sets_[static_cast<std::size_t>(degree)].contains(ch);
 }
 
 ChannelSet Roadm::free_channels(DegreeIndex degree) const {
-  ChannelSet s = ChannelSet::all(grid_.count());
   if (!valid_degree(degree))
     throw std::out_of_range("Roadm::free_channels: bad degree");
-  for (const auto& [ch, use] : uses_[static_cast<std::size_t>(degree)])
-    s.remove(ch);
+  ChannelSet s = ChannelSet::all(grid_.count());
+  s.subtract(used_sets_[static_cast<std::size_t>(degree)]);
   return s;
+}
+
+const ChannelSet& Roadm::used_channels(DegreeIndex degree) const {
+  if (!valid_degree(degree))
+    throw std::out_of_range("Roadm::used_channels: bad degree");
+  return used_sets_[static_cast<std::size_t>(degree)];
 }
 
 std::size_t Roadm::active_uses() const {

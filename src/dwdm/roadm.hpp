@@ -86,8 +86,20 @@ class Roadm {
   [[nodiscard]] bool channel_in_use(DegreeIndex degree, ChannelIndex ch) const;
   /// Channels free on `degree`.
   [[nodiscard]] ChannelSet free_channels(DegreeIndex degree) const;
+  /// Channels with any use on `degree` (the complement of free_channels
+  /// within the grid), maintained incrementally on configure/release.
+  [[nodiscard]] const ChannelSet& used_channels(DegreeIndex degree) const;
   /// Number of active uses across all degrees.
   [[nodiscard]] std::size_t active_uses() const;
+
+  /// Invoked after every successful configuration change (express or
+  /// add/drop, configure or release). The NetworkModel uses this to bump a
+  /// plant-wide version counter that caches (e.g. the Inventory's
+  /// per-channel usage table) key their invalidation on.
+  using ChangeListener = std::function<void()>;
+  void set_change_listener(ChangeListener listener) {
+    change_listener_ = std::move(listener);
+  }
 
   // --- failure propagation ---------------------------------------------
   using AlarmSink = std::function<void(const Alarm&)>;
@@ -110,15 +122,21 @@ class Roadm {
   }
   void raise(AlarmType type, LinkId link, ChannelIndex ch, SimTime now,
              std::string detail);
+  void changed() {
+    if (change_listener_) change_listener_();
+  }
 
   RoadmId id_;
   NodeId site_;
   WavelengthGrid grid_;
   std::vector<LinkId> degree_links_;
   std::vector<PortState> ports_;
-  /// Per degree: channel -> use.
+  /// Per degree: channel -> use. `used_sets_` mirrors the key sets as
+  /// bitmaps so free/used-channel queries are word ops, not map walks.
   std::vector<std::map<ChannelIndex, Use>> uses_;
+  std::vector<ChannelSet> used_sets_;
   AlarmSink alarm_sink_;
+  ChangeListener change_listener_;
   IdAllocator<AlarmId> alarm_ids_;
 };
 

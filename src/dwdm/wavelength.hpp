@@ -5,7 +5,8 @@
 // ChannelSet bitmap used throughout RWA for availability arithmetic.
 #pragma once
 
-#include <bitset>
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <stdexcept>
@@ -47,60 +48,107 @@ class WavelengthGrid {
 };
 
 /// Set of channels, used for per-link availability and continuity
-/// intersection in RWA.
+/// intersection in RWA. Stored as machine words so set algebra, first()
+/// and iteration are word-scans rather than per-bit tests — these sit on
+/// the RWA hot path (one intersection per link per segment per plan).
 class ChannelSet {
  public:
   ChannelSet() = default;
 
   /// All channels [0, count) present.
   static ChannelSet all(std::size_t count) {
+    if (count > WavelengthGrid::kMaxChannels)
+      throw std::out_of_range("ChannelSet: channel count");
     ChannelSet s;
-    for (std::size_t i = 0; i < count; ++i) s.bits_.set(i);
+    for (std::size_t w = 0; w < kWords && count > 0; ++w) {
+      const std::size_t in_word = count < 64 ? count : 64;
+      s.words_[w] = in_word == 64 ? ~std::uint64_t{0}
+                                  : (std::uint64_t{1} << in_word) - 1;
+      count -= in_word;
+    }
     return s;
   }
 
-  void add(ChannelIndex ch) { bits_.set(index(ch)); }
-  void remove(ChannelIndex ch) { bits_.reset(index(ch)); }
-  [[nodiscard]] bool contains(ChannelIndex ch) const {
-    return bits_.test(index(ch));
+  void add(ChannelIndex ch) {
+    const std::size_t i = index(ch);
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
   }
-  [[nodiscard]] std::size_t size() const noexcept { return bits_.count(); }
-  [[nodiscard]] bool empty() const noexcept { return bits_.none(); }
+  void remove(ChannelIndex ch) {
+    const std::size_t i = index(ch);
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  [[nodiscard]] bool contains(ChannelIndex ch) const {
+    const std::size_t i = index(ch);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    std::size_t n = 0;
+    for (const std::uint64_t w : words_)
+      n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    for (const std::uint64_t w : words_)
+      if (w != 0) return false;
+    return true;
+  }
 
   /// First (lowest-index) channel present, or kNoChannel.
   [[nodiscard]] ChannelIndex first() const noexcept {
-    for (std::size_t i = 0; i < bits_.size(); ++i)
-      if (bits_.test(i)) return static_cast<ChannelIndex>(i);
+    for (std::size_t w = 0; w < kWords; ++w)
+      if (words_[w] != 0)
+        return static_cast<ChannelIndex>(w * 64 +
+                                         std::countr_zero(words_[w]));
     return kNoChannel;
+  }
+
+  /// Visit every channel present, in increasing index order.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t w = 0; w < kWords; ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        f(static_cast<ChannelIndex>(w * 64 + static_cast<std::size_t>(b)));
+        bits &= bits - 1;  // clear lowest set bit
+      }
+    }
   }
 
   [[nodiscard]] std::vector<ChannelIndex> to_vector() const {
     std::vector<ChannelIndex> out;
     out.reserve(size());
-    for (std::size_t i = 0; i < bits_.size(); ++i)
-      if (bits_.test(i)) out.push_back(static_cast<ChannelIndex>(i));
+    for_each([&](ChannelIndex ch) { out.push_back(ch); });
     return out;
   }
 
   ChannelSet& intersect(const ChannelSet& other) noexcept {
-    bits_ &= other.bits_;
+    for (std::size_t w = 0; w < kWords; ++w) words_[w] &= other.words_[w];
+    return *this;
+  }
+  /// Remove every channel present in `other`.
+  ChannelSet& subtract(const ChannelSet& other) noexcept {
+    for (std::size_t w = 0; w < kWords; ++w) words_[w] &= ~other.words_[w];
     return *this;
   }
   friend ChannelSet operator&(ChannelSet a, const ChannelSet& b) noexcept {
-    a.bits_ &= b.bits_;
+    a.intersect(b);
     return a;
   }
   friend bool operator==(const ChannelSet& a, const ChannelSet& b) noexcept {
-    return a.bits_ == b.bits_;
+    return a.words_ == b.words_;
   }
 
  private:
+  static constexpr std::size_t kWords = WavelengthGrid::kMaxChannels / 64;
+  static_assert(WavelengthGrid::kMaxChannels % 64 == 0);
+
   static std::size_t index(ChannelIndex ch) {
     if (ch < 0 || static_cast<std::size_t>(ch) >= WavelengthGrid::kMaxChannels)
       throw std::out_of_range("ChannelSet: channel index");
     return static_cast<std::size_t>(ch);
   }
-  std::bitset<WavelengthGrid::kMaxChannels> bits_;
+  std::array<std::uint64_t, kWords> words_{};
 };
 
 }  // namespace griphon::dwdm

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 #include <map>
 #include <queue>
 #include <set>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace griphon::topology {
 
@@ -36,42 +38,101 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Dijkstra with explicit ban sets (used directly and by Yen's spur loop).
+/// Lazy per-link caches for the weight and filter callbacks. Both are
+/// std::functions invoked per edge relaxation on the Dijkstra hot path —
+/// and distance_weight() re-sums the link's span vector on every call —
+/// so one k-shortest-paths invocation (many spur Dijkstras over the same
+/// graph) evaluates each callback at most once per link. Cached values are
+/// exactly what the callback returned, so results are bit-identical; like
+/// the uncached code, a link the search never touches is never evaluated.
+class LinkCallbackCache {
+ public:
+  LinkCallbackCache(const Graph& g, const WeightFn& weight,
+                    const LinkFilter& filter)
+      : weight_(weight), filter_(filter),
+        w_(g.links().size(), std::numeric_limits<double>::quiet_NaN()),
+        allowed_(g.links().size(), kUnknown) {}
+
+  [[nodiscard]] double weight_of(const Link& l) {
+    double& v = w_[l.id.value()];
+    if (std::isnan(v)) v = weight_(l);
+    return v;
+  }
+
+  [[nodiscard]] bool allowed(const Link& l) {
+    char& state = allowed_[l.id.value()];
+    if (state == kUnknown)
+      state = (!filter_ || filter_(l)) ? kAllowed : kBanned;
+    return state == kAllowed;
+  }
+
+ private:
+  static constexpr char kUnknown = 0, kAllowed = 1, kBanned = 2;
+
+  const WeightFn& weight_;
+  const LinkFilter& filter_;
+  std::vector<double> w_;
+  std::vector<char> allowed_;
+};
+
+/// Scratch buffers for dijkstra(), reusable across calls so Yen's spur
+/// loop (a dozen-plus searches per invocation on a backbone graph) does
+/// not re-allocate its distance/heap arrays every time.
+struct DijkstraWorkspace {
+  std::vector<double> dist;
+  std::vector<LinkId> via;   // link used to reach node
+  std::vector<NodeId> prev;  // predecessor node
+  std::vector<std::pair<double, NodeId>> heap;
+};
+
+/// Dijkstra with explicit ban sets, passed as flat bitmaps indexed by id
+/// value (empty vector = nothing banned). Used directly and by Yen's spur
+/// loop, where the O(1) bitmap test replaces a std::set lookup per edge.
 std::optional<Path> dijkstra(const Graph& g, NodeId src, NodeId dst,
-                             const WeightFn& weight, const LinkFilter& filter,
-                             const std::set<LinkId>& banned_links,
-                             const std::set<NodeId>& banned_nodes) {
+                             LinkCallbackCache& cache,
+                             const std::vector<char>& banned_links,
+                             const std::vector<char>& banned_nodes,
+                             DijkstraWorkspace& ws) {
   if (src == dst)
     throw std::invalid_argument("shortest_path: src == dst");
+  const auto banned = [](const std::vector<char>& set, std::uint64_t i) {
+    return i < set.size() && set[i] != 0;
+  };
   const std::size_t n = g.nodes().size();
-  std::vector<double> dist(n, kInf);
-  std::vector<LinkId> via(n);   // link used to reach node
-  std::vector<NodeId> prev(n);  // predecessor node
+  ws.dist.assign(n, kInf);
+  ws.via.resize(n);
+  ws.prev.resize(n);
+  auto& dist = ws.dist;
+  auto& via = ws.via;
+  auto& prev = ws.prev;
 
   using QItem = std::pair<double, NodeId>;
   auto cmp = [](const QItem& a, const QItem& b) { return a.first > b.first; };
-  std::priority_queue<QItem, std::vector<QItem>, decltype(cmp)> pq(cmp);
+  ws.heap.clear();
+  auto& heap = ws.heap;
 
   dist[src.value()] = 0;
-  pq.emplace(0.0, src);
-  while (!pq.empty()) {
-    const auto [d, u] = pq.top();
-    pq.pop();
+  heap.emplace_back(0.0, src);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    const auto [d, u] = heap.back();
+    heap.pop_back();
     if (d > dist[u.value()]) continue;  // stale entry
     if (u == dst) break;
     for (const LinkId lid : g.links_at(u)) {
-      if (banned_links.contains(lid)) continue;
+      if (banned(banned_links, lid.value())) continue;
       const Link& l = g.link(lid);
-      if (filter && !filter(l)) continue;
+      if (!cache.allowed(l)) continue;
       const NodeId v = l.peer(u);
-      if (banned_nodes.contains(v)) continue;
-      const double w = weight(l);
+      if (banned(banned_nodes, v.value())) continue;
+      const double w = cache.weight_of(l);
       assert(w > 0 && "link weights must be positive");
       if (dist[u.value()] + w < dist[v.value()]) {
         dist[v.value()] = dist[u.value()] + w;
         via[v.value()] = lid;
         prev[v.value()] = u;
-        pq.emplace(dist[v.value()], v);
+        heap.emplace_back(dist[v.value()], v);
+        std::push_heap(heap.begin(), heap.end(), cmp);
       }
     }
   }
@@ -94,55 +155,110 @@ double path_weight(const Graph& g, const Path& p, const WeightFn& weight) {
   return w;
 }
 
+/// path_weight against the cache: same per-link values, same summation
+/// order, therefore the same double as the uncached version.
+double cached_path_weight(const Graph& g, const Path& p,
+                          LinkCallbackCache& cache) {
+  double w = 0;
+  for (const LinkId l : p.links) w += cache.weight_of(g.link(l));
+  return w;
+}
+
 }  // namespace
 
 std::optional<Path> shortest_path(const Graph& g, NodeId src, NodeId dst,
                                   const WeightFn& weight,
                                   const LinkFilter& filter) {
-  return dijkstra(g, src, dst, weight, filter, {}, {});
+  LinkCallbackCache cache(g, weight, filter);
+  DijkstraWorkspace ws;
+  return dijkstra(g, src, dst, cache, {}, {}, ws);
 }
+
+namespace {
+
+/// FNV-style hash of a link sequence; a valid path's links determine its
+/// nodes, so the links alone identify the path. Collisions are resolved by
+/// the unordered_set's vector equality, never by dropping a path.
+struct LinkSeqHash {
+  std::size_t operator()(const std::vector<LinkId>& links) const noexcept {
+    std::size_t h = 1469598103934665603ULL;
+    for (const LinkId l : links) {
+      h ^= static_cast<std::size_t>(l.value());
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+/// Candidate pool entry: path weight computed once at insertion — summed in
+/// path order, so bit-identical to recomputing it on every comparison —
+/// with ties broken deterministically on the link sequence. `spur_index`
+/// records where the path deviated from its parent, for Lawler's rule.
+struct Candidate {
+  double weight;
+  Path path;
+  std::size_t spur_index;
+
+  friend bool operator<(const Candidate& a, const Candidate& b) {
+    if (a.weight != b.weight) return a.weight < b.weight;
+    return a.path.links < b.path.links;
+  }
+};
+
+}  // namespace
 
 std::vector<Path> k_shortest_paths(const Graph& g, NodeId src, NodeId dst,
                                    std::size_t k, const WeightFn& weight,
                                    const LinkFilter& filter) {
   std::vector<Path> result;
   if (k == 0) return result;
-  auto first = shortest_path(g, src, dst, weight, filter);
+  // One callback cache and one scratch workspace for the whole run: the
+  // initial search, every spur Dijkstra, and every candidate weight sum
+  // reuse the same per-link values and buffers.
+  LinkCallbackCache cache(g, weight, filter);
+  DijkstraWorkspace ws;
+  auto first = dijkstra(g, src, dst, cache, {}, {}, ws);
   if (!first) return result;
   result.push_back(*std::move(first));
+  // Deviation index of each accepted path from its parent (Lawler): spur
+  // candidates at earlier indices were already generated when the prefix-
+  // sharing ancestor was processed, so the spur loop can start there.
+  std::vector<std::size_t> deviation{0};
 
-  // Candidate pool ordered by weight; ties broken deterministically by the
-  // link sequence so runs are reproducible.
-  auto cand_cmp = [&](const Path& a, const Path& b) {
-    const double wa = path_weight(g, a, weight);
-    const double wb = path_weight(g, b, weight);
-    if (wa != wb) return wa < wb;
-    return a.links < b.links;
-  };
-  std::vector<Path> candidates;
+  // Candidate pool kept sorted by (weight, link sequence) so runs are
+  // reproducible and the next-best path pops in O(log n).
+  std::set<Candidate> candidates;
+  // Every path ever produced (accepted or still pending), for O(1) dedup
+  // instead of linear scans of both pools.
+  std::unordered_set<std::vector<LinkId>, LinkSeqHash> seen;
+  seen.insert(result.front().links);
 
+  std::vector<char> banned_links(g.links().size(), 0);
+  std::vector<char> banned_nodes(g.nodes().size(), 0);
   while (result.size() < k) {
     const Path& last = result.back();
-    for (std::size_t i = 0; i + 1 < last.nodes.size(); ++i) {
+    for (std::size_t i = deviation.back(); i + 1 < last.nodes.size(); ++i) {
       const NodeId spur_node = last.nodes[i];
       // Root: prefix of `last` up to the spur node.
       Path root;
       root.nodes.assign(last.nodes.begin(), last.nodes.begin() + i + 1);
       root.links.assign(last.links.begin(), last.links.begin() + i);
 
-      std::set<LinkId> banned_links;
+      std::fill(banned_links.begin(), banned_links.end(), 0);
       for (const Path& p : result) {
         if (p.nodes.size() > i &&
             std::equal(root.nodes.begin(), root.nodes.end(),
                        p.nodes.begin())) {
-          banned_links.insert(p.links[i]);
+          banned_links[p.links[i].value()] = 1;
         }
       }
-      std::set<NodeId> banned_nodes(root.nodes.begin(),
-                                    std::prev(root.nodes.end()));
+      std::fill(banned_nodes.begin(), banned_nodes.end(), 0);
+      for (auto it = root.nodes.begin(); it != std::prev(root.nodes.end());
+           ++it)
+        banned_nodes[it->value()] = 1;
 
-      auto spur = dijkstra(g, spur_node, dst, weight, filter, banned_links,
-                           banned_nodes);
+      auto spur = dijkstra(g, spur_node, dst, cache, banned_links,
+                           banned_nodes, ws);
       if (!spur) continue;
 
       Path total = root;
@@ -150,17 +266,15 @@ std::vector<Path> k_shortest_paths(const Graph& g, NodeId src, NodeId dst,
                          spur->nodes.end());
       total.links.insert(total.links.end(), spur->links.begin(),
                          spur->links.end());
-      if (std::find(result.begin(), result.end(), total) == result.end() &&
-          std::find(candidates.begin(), candidates.end(), total) ==
-              candidates.end()) {
-        candidates.push_back(std::move(total));
+      if (seen.insert(total.links).second) {
+        const double w = cached_path_weight(g, total, cache);
+        candidates.insert(Candidate{w, std::move(total), i});
       }
     }
     if (candidates.empty()) break;
-    const auto best =
-        std::min_element(candidates.begin(), candidates.end(), cand_cmp);
-    result.push_back(*best);
-    candidates.erase(best);
+    auto best = candidates.extract(candidates.begin());
+    result.push_back(std::move(best.value().path));
+    deviation.push_back(best.value().spur_index);
   }
   return result;
 }

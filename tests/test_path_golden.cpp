@@ -1,0 +1,258 @@
+// Determinism golden test for the optimized k_shortest_paths.
+//
+// The production Yen's implementation was rewritten for speed (cached
+// candidate weights, hash dedup, bitmap ban sets). RWA decisions — and
+// therefore every blocking-probability table in the repo — depend on the
+// exact path set AND order it returns, so the rewrite must be
+// output-identical to the original. `reference_k_shortest_paths` below is
+// the seed implementation, kept verbatim (std::set ban sets, linear dedup,
+// weight recomputed per comparison); the tests compare against it on the
+// paper testbed and on random meshes, under both weight functions and with
+// link filters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "topology/builders.hpp"
+#include "topology/path.hpp"
+
+namespace griphon::topology {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// --- seed implementation, verbatim -------------------------------------
+
+std::optional<Path> reference_dijkstra(const Graph& g, NodeId src, NodeId dst,
+                                       const WeightFn& weight,
+                                       const LinkFilter& filter,
+                                       const std::set<LinkId>& banned_links,
+                                       const std::set<NodeId>& banned_nodes) {
+  if (src == dst)
+    throw std::invalid_argument("shortest_path: src == dst");
+  const std::size_t n = g.nodes().size();
+  std::vector<double> dist(n, kInf);
+  std::vector<LinkId> via(n);   // link used to reach node
+  std::vector<NodeId> prev(n);  // predecessor node
+
+  using QItem = std::pair<double, NodeId>;
+  auto cmp = [](const QItem& a, const QItem& b) { return a.first > b.first; };
+  std::priority_queue<QItem, std::vector<QItem>, decltype(cmp)> pq(cmp);
+
+  dist[src.value()] = 0;
+  pq.emplace(0.0, src);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u.value()]) continue;  // stale entry
+    if (u == dst) break;
+    for (const LinkId lid : g.links_at(u)) {
+      if (banned_links.contains(lid)) continue;
+      const Link& l = g.link(lid);
+      if (filter && !filter(l)) continue;
+      const NodeId v = l.peer(u);
+      if (banned_nodes.contains(v)) continue;
+      const double w = weight(l);
+      if (dist[u.value()] + w < dist[v.value()]) {
+        dist[v.value()] = dist[u.value()] + w;
+        via[v.value()] = lid;
+        prev[v.value()] = u;
+        pq.emplace(dist[v.value()], v);
+      }
+    }
+  }
+  if (dist[dst.value()] == kInf) return std::nullopt;
+
+  Path p;
+  for (NodeId at = dst; at != src; at = prev[at.value()]) {
+    p.nodes.push_back(at);
+    p.links.push_back(via[at.value()]);
+  }
+  p.nodes.push_back(src);
+  std::reverse(p.nodes.begin(), p.nodes.end());
+  std::reverse(p.links.begin(), p.links.end());
+  return p;
+}
+
+double reference_path_weight(const Graph& g, const Path& p,
+                             const WeightFn& weight) {
+  double w = 0;
+  for (const LinkId l : p.links) w += weight(g.link(l));
+  return w;
+}
+
+std::vector<Path> reference_k_shortest_paths(const Graph& g, NodeId src,
+                                             NodeId dst, std::size_t k,
+                                             const WeightFn& weight,
+                                             const LinkFilter& filter) {
+  std::vector<Path> result;
+  if (k == 0) return result;
+  auto first = reference_dijkstra(g, src, dst, weight, filter, {}, {});
+  if (!first) return result;
+  result.push_back(*std::move(first));
+
+  auto cand_cmp = [&](const Path& a, const Path& b) {
+    const double wa = reference_path_weight(g, a, weight);
+    const double wb = reference_path_weight(g, b, weight);
+    if (wa != wb) return wa < wb;
+    return a.links < b.links;
+  };
+  std::vector<Path> candidates;
+
+  while (result.size() < k) {
+    const Path& last = result.back();
+    for (std::size_t i = 0; i + 1 < last.nodes.size(); ++i) {
+      const NodeId spur_node = last.nodes[i];
+      Path root;
+      root.nodes.assign(last.nodes.begin(), last.nodes.begin() + i + 1);
+      root.links.assign(last.links.begin(), last.links.begin() + i);
+
+      std::set<LinkId> banned_links;
+      for (const Path& p : result) {
+        if (p.nodes.size() > i &&
+            std::equal(root.nodes.begin(), root.nodes.end(),
+                       p.nodes.begin())) {
+          banned_links.insert(p.links[i]);
+        }
+      }
+      std::set<NodeId> banned_nodes(root.nodes.begin(),
+                                    std::prev(root.nodes.end()));
+
+      auto spur = reference_dijkstra(g, spur_node, dst, weight, filter,
+                                     banned_links, banned_nodes);
+      if (!spur) continue;
+
+      Path total = root;
+      total.nodes.insert(total.nodes.end(), spur->nodes.begin() + 1,
+                         spur->nodes.end());
+      total.links.insert(total.links.end(), spur->links.begin(),
+                         spur->links.end());
+      if (std::find(result.begin(), result.end(), total) == result.end() &&
+          std::find(candidates.begin(), candidates.end(), total) ==
+              candidates.end()) {
+        candidates.push_back(std::move(total));
+      }
+    }
+    if (candidates.empty()) break;
+    const auto best =
+        std::min_element(candidates.begin(), candidates.end(), cand_cmp);
+    result.push_back(*best);
+    candidates.erase(best);
+  }
+  return result;
+}
+
+// --- comparison harness --------------------------------------------------
+
+void expect_identical(const Graph& g, NodeId src, NodeId dst, std::size_t k,
+                      const WeightFn& weight, const LinkFilter& filter) {
+  const auto expected =
+      reference_k_shortest_paths(g, src, dst, k, weight, filter);
+  const auto actual = k_shortest_paths(g, src, dst, k, weight, filter);
+  ASSERT_EQ(actual.size(), expected.size())
+      << "path count diverged for k=" << k << " " << src.value() << "->"
+      << dst.value();
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i])
+        << "path " << i << " diverged for k=" << k << " " << src.value()
+        << "->" << dst.value();
+  }
+}
+
+TEST(KShortestPathsGolden, PaperTestbedAllPairsBothWeights) {
+  const auto topo = paper_testbed();
+  const auto& g = topo.graph;
+  for (const WeightFn& w : {distance_weight(), hop_weight()}) {
+    for (std::size_t a = 0; a < g.nodes().size(); ++a) {
+      for (std::size_t b = 0; b < g.nodes().size(); ++b) {
+        if (a == b) continue;
+        for (std::size_t k = 1; k <= 6; ++k) {
+          expect_identical(g, NodeId{a}, NodeId{b}, k, w, nullptr);
+          if (HasFatalFailure()) return;
+        }
+      }
+    }
+  }
+}
+
+TEST(KShortestPathsGolden, PaperTestbedWithLinkFilter) {
+  const auto topo = paper_testbed();
+  // Exclude the direct I-IV fiber: forces spur paths through II/III.
+  const auto filter = [&](const Link& l) { return l.id != topo.i_iv; };
+  for (std::size_t k = 1; k <= 5; ++k)
+    expect_identical(topo.graph, topo.i, topo.iv, k, distance_weight(),
+                     filter);
+}
+
+TEST(KShortestPathsGolden, UsBackboneSampledPairs) {
+  const auto g = us_backbone();
+  Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto a = static_cast<std::uint64_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(g.nodes().size()) - 1));
+    auto b = a;
+    while (b == a)
+      b = static_cast<std::uint64_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(g.nodes().size()) - 1));
+    const auto k =
+        static_cast<std::size_t>(rng.uniform_int(1, 8));
+    expect_identical(g, NodeId{a}, NodeId{b}, k, distance_weight(), nullptr);
+    if (HasFatalFailure()) return;
+    expect_identical(g, NodeId{a}, NodeId{b}, k, hop_weight(), nullptr);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(KShortestPathsGolden, RandomMeshesManySeeds) {
+  for (const std::uint64_t seed : {3u, 11u, 31u, 47u}) {
+    Rng mesh_rng(seed);
+    const auto g = random_mesh(20, 3.5, mesh_rng);
+    Rng rng(seed * 7 + 1);
+    for (int trial = 0; trial < 15; ++trial) {
+      const auto a = static_cast<std::uint64_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(g.nodes().size()) - 1));
+      auto b = a;
+      while (b == a)
+        b = static_cast<std::uint64_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(g.nodes().size()) - 1));
+      const auto k = static_cast<std::size_t>(rng.uniform_int(1, 10));
+      expect_identical(g, NodeId{a}, NodeId{b}, k, distance_weight(),
+                       nullptr);
+      if (HasFatalFailure()) return;
+      // Hop weight maximizes weight ties — the tie-break path must match.
+      expect_identical(g, NodeId{a}, NodeId{b}, k, hop_weight(), nullptr);
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(KShortestPathsGolden, RandomMeshWithRandomFilter) {
+  Rng mesh_rng(5);
+  const auto g = random_mesh(16, 3.0, mesh_rng);
+  Rng rng(55);
+  for (int trial = 0; trial < 10; ++trial) {
+    // Ban a random ~20% of links; unreachable pairs must agree too (both
+    // return an empty/truncated set).
+    std::set<LinkId> banned;
+    for (const auto& l : g.links())
+      if (rng.chance(0.2)) banned.insert(l.id);
+    const auto filter = [&](const Link& l) { return !banned.contains(l.id); };
+    const auto a = static_cast<std::uint64_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(g.nodes().size()) - 1));
+    auto b = a;
+    while (b == a)
+      b = static_cast<std::uint64_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(g.nodes().size()) - 1));
+    expect_identical(g, NodeId{a}, NodeId{b}, 6, distance_weight(), filter);
+    if (HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace griphon::topology

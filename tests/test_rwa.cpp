@@ -101,6 +101,18 @@ TEST_F(RwaFixture, PlanAvoidsExcludedLinks) {
   EXPECT_FALSE(plan.value().path.uses_link(topo.i_iv));
 }
 
+TEST_F(RwaFixture, RouteCacheInvalidatedOnFailureAndRepair) {
+  ASSERT_EQ(rwa.plan(topo.i, topo.iv, rates::k10G).value().hops(), 1u);
+  // Second call hits the per-pair route cache; same answer.
+  ASSERT_EQ(rwa.plan(topo.i, topo.iv, rates::k10G).value().hops(), 1u);
+  model.fail_link(topo.i_iv);
+  const auto rerouted = rwa.plan(topo.i, topo.iv, rates::k10G);
+  ASSERT_TRUE(rerouted.ok());
+  EXPECT_FALSE(rerouted.value().path.uses_link(topo.i_iv));
+  model.repair_link(topo.i_iv);
+  EXPECT_EQ(rwa.plan(topo.i, topo.iv, rates::k10G).value().hops(), 1u);
+}
+
 TEST_F(RwaFixture, PlanHonorsWavelengthContinuity) {
   // Block channel 0 on I-III only: a 2-hop I-III-IV plan must then pick a
   // channel free on BOTH links.
