@@ -14,6 +14,7 @@
 
 #include "bench_util.hpp"
 #include "core/scenario.hpp"
+#include "emit_json.hpp"
 
 using namespace griphon;
 
@@ -81,18 +82,24 @@ int main() {
   bench::Table table({"1G circuits per relation", "total 1G circuits",
                       "muxponder waves", "GRIPhoN groomed waves",
                       "saving"});
+  bench::JsonEmitter json("grooming");
   for (const int n : {1, 2, 4, 8, 12}) {
     const Outcome g = griphon_run(n);
     const int mux = muxponder_waves(n);
+    const double saving = (1.0 - static_cast<double>(g.wavelengths) /
+                                     static_cast<double>(mux)) *
+                          100;
     table.row({std::to_string(n), std::to_string(g.circuits),
                std::to_string(mux), std::to_string(g.wavelengths),
-               bench::fmt((1.0 - static_cast<double>(g.wavelengths) /
-                                     static_cast<double>(mux)) *
-                              100,
-                          0) +
-                   "%"});
+               bench::fmt(saving, 0) + "%"});
+    const std::string key = "n" + std::to_string(n);
+    json.row(key + "_muxponder_waves", mux, "waves");
+    json.row(key + "_griphon_waves", g.wavelengths, "waves");
+    json.row(key + "_saving", saving, "%");
   }
   table.print();
+  json.write("BENCH_grooming.json");
+  std::cout << "wrote BENCH_grooming.json\n";
   std::cout << "\nshape check: at low fill — the regime sub-wavelength "
                "services live in — OTN switching carries three relations on "
                "two wavelengths where muxponders strand one per relation "

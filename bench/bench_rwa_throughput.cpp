@@ -26,6 +26,7 @@
 #include "core/network_model.hpp"
 #include "core/rwa.hpp"
 #include "emit_json.hpp"
+#include "telemetry/telemetry.hpp"
 #include "topology/builders.hpp"
 
 using namespace griphon;
@@ -125,13 +126,16 @@ std::vector<NodeId> pick_sites(const topology::Graph& g, std::size_t count,
 
 Measurement run(const topology::Graph& graph,
                 const std::vector<std::pair<NodeId, NodeId>>& pairs,
-                core::WavelengthPolicy policy, std::uint64_t seed) {
+                core::WavelengthPolicy policy, std::uint64_t seed,
+                bool with_telemetry = false) {
   sim::Engine engine(seed);
   core::NetworkModel::Config cfg;
   cfg.with_otn = false;          // the photonic hot path is what we measure
   cfg.ots_per_node = 8;
   cfg.regens_per_node = 4;
   core::NetworkModel model(&engine, graph, cfg);
+  telemetry::Telemetry sink(&engine);
+  if (with_telemetry) model.attach_telemetry(&sink);
   core::Inventory inventory(&model);
   core::RwaEngine::Params params;
   params.policy = policy;
@@ -231,6 +235,37 @@ int main() {
     json.row(c.name + "_p99_latency", m.p99_us, "us");
   }
   table.print();
+
+  // Telemetry overhead: the instrumentation is compiled in everywhere, so
+  // its cost with no sink attached must be a pointer test, and with a sink
+  // a couple of counter bumps per plan. Interleaved best-of-3 pairs on the
+  // testbed first-fit case (the fastest per-plan path, i.e. the worst case
+  // for relative overhead); budget: < 5%.
+  bench::banner("Telemetry overhead on testbed first-fit (best of 3 pairs)");
+  double best_off = 0;
+  double best_on = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const Measurement off = run(testbed.graph, testbed_pairs,
+                                core::WavelengthPolicy::kFirstFit, 1234);
+    const Measurement on =
+        run(testbed.graph, testbed_pairs, core::WavelengthPolicy::kFirstFit,
+            1234, /*with_telemetry=*/true);
+    best_off = std::max(best_off, off.plans_per_sec);
+    best_on = std::max(best_on, on.plans_per_sec);
+  }
+  const double overhead_pct =
+      best_on > 0 ? (best_off / best_on - 1.0) * 100 : 0;
+  bench::Table ot({"config", "plans/sec"}, 26);
+  ot.row({"telemetry off", bench::fmt(best_off, 0)});
+  ot.row({"telemetry on", bench::fmt(best_on, 0)});
+  ot.print();
+  std::cout << "overhead: " << bench::fmt(overhead_pct, 2) << "% ("
+            << (overhead_pct < 5.0 ? "within" : "EXCEEDS")
+            << " the 5% budget)\n";
+  json.row("telemetry_off_plans_per_sec", best_off, "plans/s");
+  json.row("telemetry_on_plans_per_sec", best_on, "plans/s");
+  json.row("telemetry_overhead", overhead_pct, "%");
+
   json.write("BENCH_rwa.json");
   std::cout << "\nwrote BENCH_rwa.json\n";
   return 0;

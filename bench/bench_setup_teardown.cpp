@@ -11,6 +11,7 @@
 
 #include "bench_util.hpp"
 #include "core/scenario.hpp"
+#include "emit_json.hpp"
 
 using namespace griphon;
 
@@ -44,7 +45,8 @@ Times run_many(DataRate rate, int runs) {
 }
 
 void report(const char* label, const std::vector<double>& xs,
-            const char* paper) {
+            const char* paper, bench::JsonEmitter& json,
+            const std::string& key) {
   const auto s = bench::summarize(xs);
   bench::Table table({"metric", "paper", "mean (s)", "p50 (s)", "p95 (s)",
                       "min-max (s)"});
@@ -52,6 +54,9 @@ void report(const char* label, const std::vector<double>& xs,
              bench::fmt(s.p95),
              bench::fmt(s.min) + " - " + bench::fmt(s.max)});
   table.print();
+  json.row(key + "_mean", s.mean, "s");
+  json.row(key + "_p50", s.p50, "s");
+  json.row(key + "_p95", s.p95, "s");
 }
 
 }  // namespace
@@ -60,17 +65,22 @@ int main() {
   constexpr int kRuns = 50;
   bench::banner("Setup / teardown time distributions (50 runs, 1-hop path)");
 
+  bench::JsonEmitter json("setup_teardown");
   const Times wave = run_many(rates::k10G, kRuns);
-  report("10G wavelength setup", wave.setup, "60-70 s");
-  report("10G wavelength teardown", wave.teardown, "~10 s");
+  report("10G wavelength setup", wave.setup, "60-70 s", json, "wave_setup");
+  report("10G wavelength teardown", wave.teardown, "~10 s", json,
+         "wave_teardown");
 
   const Times odu = run_many(rates::k1G, kRuns);
-  report("1G sub-wavelength setup (OTN)", odu.setup, "(not measured)");
-  report("1G sub-wavelength teardown", odu.teardown, "(not measured)");
+  report("1G sub-wavelength setup (OTN)", odu.setup, "(not measured)", json,
+         "odu_setup");
+  report("1G sub-wavelength teardown", odu.teardown, "(not measured)", json,
+         "odu_teardown");
+  json.write("BENCH_setup.json");
 
   std::cout << "\nshape check: wavelength setup sits in the 60-70 s band "
                "and teardown near 10 s; the electronic sub-wavelength path "
                "avoids laser tuning / WSS steering and is several times "
-               "faster\n";
+               "faster\nwrote BENCH_setup.json\n";
   return 0;
 }

@@ -16,15 +16,22 @@
 //   wait <seconds>             advance simulated time
 //   dashboard                  customer view
 //   stats                      controller counters
+//   telemetry                  Prometheus metrics dump
+//   telemetry <id>             per-connection lifecycle waterfall
+//   telemetry json [id]        span JSON (all spans, or one connection)
+//   telemetry save <path>      dump metrics + spans as JSON to a file
 //   quit
 //
 // Example (one line):
-//   printf 'connect 0 2 10\nwait 120\ndashboard\nquit\n' | ./build/examples/griphon_shell
+//   printf 'connect 0 2 10\ntelemetry 1\nquit\n' | ./build/examples/griphon_shell
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "core/scenario.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/timeline.hpp"
 
 using namespace griphon;
 
@@ -41,6 +48,8 @@ std::optional<LinkId> link_by_name(const core::NetworkModel& model,
 
 int main() {
   core::TestbedScenario s(/*seed=*/1);
+  telemetry::Telemetry tel(&s.engine);
+  s.model->attach_telemetry(&tel);
   auto& out = std::cout;
   out << "GRIPhoN shell — paper testbed loaded. 'help' for commands.\n";
   const std::vector<MuxponderId> sites{s.site_i, s.site_iii, s.site_iv};
@@ -56,7 +65,7 @@ int main() {
       out << "sites | topo | connect a b gbps [none|restore|1+1] | "
              "bundle a b gbps | disconnect id | cut link | repair link | "
              "maintain link | regroom id | wait s | dashboard | stats | "
-             "quit\n";
+             "telemetry [id | json [id] | save path] | quit\n";
     } else if (cmd == "sites") {
       for (std::size_t i = 0; i < sites.size(); ++i) {
         const auto* site = s.model->site_by_nte(sites[i]);
@@ -147,6 +156,42 @@ int main() {
       out << "  t=" << to_seconds(s.engine.now()) << " s\n";
     } else if (cmd == "dashboard") {
       out << s.portal->render_dashboard();
+    } else if (cmd == "telemetry") {
+      std::string arg;
+      in >> arg;
+      const telemetry::TimelineReport report(&tel.spans());
+      if (arg.empty()) {
+        out << tel.metrics().to_prometheus();
+      } else if (arg == "json") {
+        std::uint64_t id = 0;
+        const bool scoped = static_cast<bool>(in >> id);
+        out << tel.spans().to_json(
+                   scoped ? core::telemetry_tag(ConnectionId{id}) : 0)
+            << "\n";
+      } else if (arg == "save") {
+        std::string path;
+        in >> path;
+        if (path.empty()) {
+          out << "  usage: telemetry save <path>\n";
+          continue;
+        }
+        std::ofstream file(path);
+        if (!file) {
+          out << "  cannot write '" << path << "'\n";
+          continue;
+        }
+        file << "{\"metrics\": " << tel.metrics().to_json_rows("shell")
+             << ", \"spans\": " << tel.spans().to_json() << "}\n";
+        out << "  wrote " << path << "\n";
+      } else {
+        std::uint64_t id = 0;
+        std::istringstream(arg) >> id;
+        const std::string timeline =
+            report.render(core::telemetry_tag(ConnectionId{id}));
+        out << (timeline.empty()
+                    ? "  no spans for connection " + arg + "\n"
+                    : timeline);
+      }
     } else if (cmd == "stats") {
       const auto& st = s.controller->stats();
       out << "  setups " << st.setups_ok << "/"

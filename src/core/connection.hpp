@@ -78,6 +78,13 @@ enum class ConnectionState {
   return "?";
 }
 
+/// Telemetry correlation tag for a connection's lifecycle spans. Offset by
+/// one: tag 0 is the span tracer's "untagged" sentinel (plant-level spans
+/// like detect/localize), and connection ids start at 0.
+[[nodiscard]] constexpr std::uint64_t telemetry_tag(ConnectionId id) noexcept {
+  return id.value() + 1;
+}
+
 /// What a customer submits through the portal.
 struct ConnectionRequest {
   CustomerId customer;
@@ -123,6 +130,12 @@ struct Connection {
   /// True when a failed restoration left the recorded plan without device
   /// configuration behind it — repair alone cannot bring service back.
   bool deprovisioned = false;
+
+  // Telemetry span handles (telemetry::SpanId; 0 = none / telemetry off).
+  // The controller tags every span of this connection's lifecycle with
+  // telemetry_tag(id), so the timeline tooling can pull the whole story.
+  std::uint64_t setup_span = 0;  ///< open connection_setup root span
+  std::uint64_t op_span = 0;     ///< open restoration / roll root span
 
   [[nodiscard]] bool is_up() const noexcept {
     return state == ConnectionState::kActive ||

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "telemetry/telemetry.hpp"
+
 namespace griphon::core {
 
 namespace {
@@ -12,6 +14,52 @@ Status response_to_status(const Result<proto::Response>& r) {
   if (!r.ok()) return r.error();
   if (r.value().ok()) return Status::success();
   return Status{static_cast<ErrorCode>(r.value().code), r.value().message};
+}
+
+/// Telemetry span name + actor for one EMS command.
+struct SpanLabel {
+  const char* name;
+  const char* actor;
+};
+
+SpanLabel span_label(const proto::Message& m) {
+  struct Visitor {
+    SpanLabel operator()(const proto::FxcConnect&) {
+      return {"fxc.xconnect", "fxc-ems"};
+    }
+    SpanLabel operator()(const proto::FxcDisconnect&) {
+      return {"fxc.disconnect", "fxc-ems"};
+    }
+    SpanLabel operator()(const proto::RoadmExpress&) {
+      return {"roadm.express", "roadm-ems"};
+    }
+    SpanLabel operator()(const proto::RoadmAddDrop&) {
+      return {"roadm.add_drop", "roadm-ems"};
+    }
+    SpanLabel operator()(const proto::OtTune&) {
+      return {"ot.tune", "roadm-ems"};
+    }
+    SpanLabel operator()(const proto::OtSetState&) {
+      return {"ot.set_state", "roadm-ems"};
+    }
+    SpanLabel operator()(const proto::RegenEngage&) {
+      return {"regen.engage", "roadm-ems"};
+    }
+    SpanLabel operator()(const proto::PowerBalance&) {
+      return {"power.balance", "roadm-ems"};
+    }
+    SpanLabel operator()(const proto::OtnOp&) { return {"otn.op", "otn-ems"}; }
+    SpanLabel operator()(const proto::NtePort&) {
+      return {"nte.port", "nte-ems"};
+    }
+    SpanLabel operator()(const proto::Response&) {
+      return {"ems.command", "ems"};
+    }
+    SpanLabel operator()(const proto::AlarmEvent&) {
+      return {"ems.command", "ems"};
+    }
+  };
+  return std::visit(Visitor{}, m);
 }
 
 bool plan_uses_any(const WavelengthPlan& plan,
@@ -145,15 +193,18 @@ struct GriphonController::RunState {
   RunDone done;
   std::vector<std::size_t> succeeded;
   Status first_error = Status::success();
-  std::size_t outstanding = 0;  // pipelined mode
+  std::size_t outstanding = 0;       // pipelined mode
+  std::uint64_t parent_span = 0;     // 0 = no per-command spans
 };
 
 void GriphonController::run_steps(std::shared_ptr<StepList> steps,
-                                  bool best_effort, RunDone done) {
+                                  bool best_effort, RunDone done,
+                                  std::uint64_t parent_span) {
   auto state = std::make_shared<RunState>();
   state->steps = std::move(steps);
   state->best_effort = best_effort;
   state->done = std::move(done);
+  if (model_->telemetry() != nullptr) state->parent_span = parent_span;
   if (state->steps->empty()) {
     state->done(Status::success(), {});
     return;
@@ -172,9 +223,20 @@ void GriphonController::run_steps_sequential(std::shared_ptr<RunState> state,
   }
   Step& step = (*state->steps)[at];
   ++stats_.commands_issued;
-  step.client->request(step.forward, [this, state, at](
+  std::uint64_t span = 0;
+  if (state->parent_span != 0) {
+    if (telemetry::Telemetry* t = model_->telemetry()) {
+      const SpanLabel label = span_label(step.forward);
+      span = t->span_start(label.name, label.actor, 0, state->parent_span);
+    }
+  }
+  step.client->request(step.forward, [this, state, at, span](
                                          Result<proto::Response> r) {
     const Status s = response_to_status(r);
+    if (span != 0)
+      if (telemetry::Telemetry* t = model_->telemetry())
+        t->span_end(span, s.ok(),
+                    s.ok() ? std::string{} : s.error().message());
     if (s.ok()) {
       state->succeeded.push_back(at);
     } else {
@@ -192,10 +254,21 @@ void GriphonController::run_steps_pipelined(std::shared_ptr<RunState> state) {
   state->outstanding = state->steps->size();
   for (std::size_t i = 0; i < state->steps->size(); ++i) {
     ++stats_.commands_issued;
+    std::uint64_t span = 0;
+    if (state->parent_span != 0) {
+      if (telemetry::Telemetry* t = model_->telemetry()) {
+        const SpanLabel label = span_label((*state->steps)[i].forward);
+        span = t->span_start(label.name, label.actor, 0, state->parent_span);
+      }
+    }
     (*state->steps)[i].client->request(
         (*state->steps)[i].forward,
-        [state, i](Result<proto::Response> r) {
+        [this, state, i, span](Result<proto::Response> r) {
           const Status s = response_to_status(r);
+          if (span != 0)
+            if (telemetry::Telemetry* t = model_->telemetry())
+              t->span_end(span, s.ok(),
+                          s.ok() ? std::string{} : s.error().message());
           if (s.ok())
             state->succeeded.push_back(i);
           else if (state->first_error.ok())
@@ -552,6 +625,14 @@ void GriphonController::request_connection(const ConnectionRequest& request,
 
   const ConnectionId id = c.id;
   connections_[id] = std::move(c);
+  if (telemetry::Telemetry* t = model_->telemetry()) {
+    connections_[id].setup_span = t->span_start(
+        "connection_setup", "controller", telemetry_tag(id), 0);
+    t->metrics()
+        .counter("griphon_controller_requests_total",
+                 "Connection requests accepted for orchestration")
+        ->inc();
+  }
   trace(sim::TraceLevel::kInfo, "request",
         "connection " + std::to_string(id.value()) + " rate " +
             std::to_string(request.rate.in_gbps()) + "G");
@@ -567,6 +648,21 @@ void GriphonController::finish_setup(ConnectionId id, Status status,
   if (c == nullptr) {
     cb(Error{ErrorCode::kNotFound, "controller: connection vanished"});
     return;
+  }
+  if (telemetry::Telemetry* t = model_->telemetry()) {
+    t->span_end(c->setup_span, status.ok(),
+                status.ok() ? std::string{} : status.error().message());
+    c->setup_span = 0;
+    auto& m = t->metrics();
+    m.counter(status.ok() ? "griphon_controller_setups_ok_total"
+                          : "griphon_controller_setups_failed_total",
+              status.ok() ? "Connection setups completed"
+                          : "Connection setups failed and rolled back")
+        ->inc();
+    if (status.ok())
+      m.histogram("griphon_controller_setup_seconds",
+                  "Request to traffic-flowing, end to end")
+          ->observe(to_seconds(model_->engine().now() - c->requested_at));
   }
   if (status.ok()) {
     c->state = ConnectionState::kActive;
@@ -602,11 +698,18 @@ void GriphonController::finish_setup(ConnectionId id, Status status,
 void GriphonController::setup_wavelength(ConnectionId id, SetupCallback cb) {
   Connection& c = conn(id);
   c.state = ConnectionState::kSettingUp;
+  std::uint64_t think_span = 0;
+  if (telemetry::Telemetry* t = model_->telemetry())
+    think_span =
+        t->span_start("path_computation", "controller", 0, c.setup_span);
   const SimTime think = params_.path_computation.sample(model_->engine().rng());
-  model_->engine().schedule(think, [this, id, cb = std::move(cb)]() mutable {
+  model_->engine().schedule(think, [this, id, think_span,
+                                    cb = std::move(cb)]() mutable {
     Connection* c = find_conn(id);
     if (c == nullptr) return;
     auto plan = rwa_.plan(c->src_pop, c->dst_pop, c->rate);
+    if (telemetry::Telemetry* t = model_->telemetry())
+      t->span_end(think_span, plan.ok());
     if (!plan.ok()) {
       finish_setup(id, plan.error(), std::move(cb));
       return;
@@ -615,6 +718,7 @@ void GriphonController::setup_wavelength(ConnectionId id, SetupCallback cb) {
     reserve_plan(c->plan);
     auto steps = std::make_shared<StepList>(
         build_wavelength_setup(*c, c->plan, /*include_access=*/true));
+    const std::uint64_t setup_span = c->setup_span;
     run_steps(steps, /*best_effort=*/false,
               [this, id, steps, cb = std::move(cb)](
                   Status status, std::vector<std::size_t> succeeded) mutable {
@@ -689,11 +793,13 @@ void GriphonController::setup_wavelength(ConnectionId id, SetupCallback cb) {
                               }
                               finish_setup(id, Status::success(),
                                            std::move(cb));
-                            });
+                            },
+                            c->setup_span);
                   return;
                 }
                 finish_setup(id, Status::success(), std::move(cb));
-              });
+              },
+              setup_span);
   });
 }
 
@@ -718,11 +824,17 @@ void GriphonController::send_otn_create(ConnectionId id, SetupCallback cb,
   create.rate_bps = c0->rate.in_bps();
   create.protect = c0->protection != ProtectionMode::kUnprotected;
   ++stats_.commands_issued;
+  std::uint64_t span = 0;
+  if (telemetry::Telemetry* t = model_->telemetry())
+    span = t->span_start("otn.op", "otn-ems", 0, c0->setup_span);
   model_->otn_ems_client().request(
       proto::Message{create},
-      [this, id, allow_groom,
+      [this, id, allow_groom, span,
        cb = std::move(cb)](Result<proto::Response> r) mutable {
         const Status s = response_to_status(r);
+        if (telemetry::Telemetry* t = model_->telemetry())
+          t->span_end(span, s.ok(),
+                      s.ok() ? std::string{} : s.error().message());
         if (!s.ok()) {
           Connection* c = find_conn(id);
           if (s.error().code() == ErrorCode::kUnreachable && allow_groom &&
@@ -794,6 +906,7 @@ void GriphonController::setup_subwavelength_access(ConnectionId id,
   fxc_step(c->src_pop, c->src_site, c->src_nte_port, circuit.src_port);
   fxc_step(c->dst_pop, c->dst_site, c->dst_nte_port, circuit.dst_port);
 
+  const std::uint64_t setup_span = c->setup_span;
   run_steps(steps, false,
             [this, id, steps, cb = std::move(cb)](
                 Status status, std::vector<std::size_t> succeeded) mutable {
@@ -818,7 +931,8 @@ void GriphonController::setup_subwavelength_access(ConnectionId id,
                     }
                     finish_setup(id, status, std::move(cb));
                   });
-            });
+            },
+            setup_span);
 }
 
 void GriphonController::groom_new_carrier(NodeId a, NodeId b,
@@ -924,6 +1038,10 @@ void GriphonController::release_connection(ConnectionId id, DoneCallback cb) {
     return;
   }
   c->state = ConnectionState::kTearingDown;
+  if (telemetry::Telemetry* t = model_->telemetry())
+    c->op_span =
+        t->span_start("connection_release", "controller", telemetry_tag(id),
+                      0);
 
   auto finish = [this, id, cb](Status status) {
     Connection* c = find_conn(id);
@@ -932,6 +1050,14 @@ void GriphonController::release_connection(ConnectionId id, DoneCallback cb) {
     release_nte_port(c->dst_site, c->dst_nte_port);
     c->state = ConnectionState::kReleased;
     ++stats_.releases;
+    if (telemetry::Telemetry* t = model_->telemetry()) {
+      t->span_end(c->op_span, status.ok());
+      c->op_span = 0;
+      t->metrics()
+          .counter("griphon_controller_releases_total",
+                   "Connections released")
+          ->inc();
+    }
     trace(sim::TraceLevel::kInfo, "released",
           "connection " + std::to_string(id.value()));
     cb(status);
@@ -947,7 +1073,8 @@ void GriphonController::release_connection(ConnectionId id, DoneCallback cb) {
     run_steps(steps, /*best_effort=*/true,
               [finish](Status status, std::vector<std::size_t>) {
                 finish(status);
-              });
+              },
+              c->op_span);
   } else {
     auto steps = std::make_shared<StepList>();
     auto* fxc_client = &model_->fxc_ems_client();
@@ -982,7 +1109,8 @@ void GriphonController::release_connection(ConnectionId id, DoneCallback cb) {
               [this, odu, finish](Status status, std::vector<std::size_t>) {
                 odu_to_connection_.erase(odu);
                 finish(status);
-              });
+              },
+              c->op_span);
   }
 }
 
@@ -991,6 +1119,9 @@ void GriphonController::release_connection(ConnectionId id, DoneCallback cb) {
 // --------------------------------------------------------------------------
 
 void GriphonController::handle_alarm_frame(const proto::Frame& frame) {
+  // Keep the failure manager's sink in lock-step with the model's (the
+  // sink may be attached after construction); a pointer store, idempotent.
+  failures_.set_telemetry(model_->telemetry());
   if (const auto* ev = std::get_if<proto::AlarmEvent>(&frame.message))
     failures_.ingest(ev->alarm);
 }
@@ -1153,35 +1284,78 @@ void GriphonController::restore_wavelength(ConnectionId id,
   c0->state = ConnectionState::kRestoring;
   trace(sim::TraceLevel::kInfo, "restore-start",
         "connection " + std::to_string(id.value()));
+  const SimTime restore_started = model_->engine().now();
+  std::uint64_t release_span = 0;
+  if (telemetry::Telemetry* t = model_->telemetry()) {
+    c0->op_span =
+        t->span_start("restoration", "controller", telemetry_tag(id), 0);
+    release_span =
+        t->span_start("release_old_path", "controller", 0, c0->op_span);
+  }
+  // Ends the restoration root span + counts the attempt, on every exit.
+  auto close_restore = [this, id, restore_started](bool ok,
+                                                   const std::string& why) {
+    telemetry::Telemetry* t = model_->telemetry();
+    if (t == nullptr) return;
+    Connection* c = find_conn(id);
+    if (c != nullptr) {
+      t->span_end(c->op_span, ok, why);
+      c->op_span = 0;
+    }
+    auto& m = t->metrics();
+    m.counter(ok ? "griphon_controller_restorations_ok_total"
+                 : "griphon_controller_restorations_failed_total",
+              ok ? "Wavelength restorations completed"
+                 : "Wavelength restoration attempts that failed")
+        ->inc();
+    if (ok)
+      m.histogram("griphon_controller_restore_seconds",
+                  "Restoration start to traffic back, end to end")
+          ->observe(to_seconds(model_->engine().now() - restore_started));
+  };
 
   // 1. Release the dead path's configuration (keeps access + OTs).
   auto teardown = std::make_shared<StepList>(
       build_wavelength_teardown(*c0, c0->plan, /*include_access=*/false));
   run_steps(teardown, /*best_effort=*/true,
-            [this, id, done](Status, std::vector<std::size_t>) {
+            [this, id, done, close_restore, release_span](
+                Status, std::vector<std::size_t>) {
+    if (telemetry::Telemetry* t = model_->telemetry())
+      t->span_end(release_span);
     Connection* c = find_conn(id);
     if (c == nullptr || c->state != ConnectionState::kRestoring) {
+      close_restore(false, "connection left restoring state");
       done();
       return;
     }
     c->deprovisioned = true;  // old path released; plan no longer live
     // 2. Compute a path around the failure.
+    std::uint64_t replan_span = 0;
+    if (telemetry::Telemetry* t = model_->telemetry())
+      replan_span = t->span_start("replan", "controller", 0, c->op_span);
     const SimTime think =
         params_.path_computation.sample(model_->engine().rng());
-    model_->engine().schedule(think, [this, id, done]() {
+    model_->engine().schedule(think, [this, id, done, close_restore,
+                                      replan_span]() {
       Connection* c = find_conn(id);
       if (c == nullptr || c->state != ConnectionState::kRestoring) {
+        if (telemetry::Telemetry* t = model_->telemetry())
+          t->span_end(replan_span, false);
+        close_restore(false, "connection left restoring state");
         done();
         return;
       }
       Exclusions avoid;
       for (const LinkId l : failures_.believed_failed()) avoid.links.insert(l);
       auto plan = rwa_.plan(c->src_pop, c->dst_pop, c->rate, avoid);
+      if (telemetry::Telemetry* t = model_->telemetry())
+        t->span_end(replan_span, plan.ok());
       if (!plan.ok()) {
         ++stats_.restorations_failed;
         c->state = ConnectionState::kFailed;  // outage continues
         trace(sim::TraceLevel::kError, "restore-failed",
               plan.error().message());
+        close_restore(false, plan.error().message());
         done();
         return;
       }
@@ -1191,13 +1365,20 @@ void GriphonController::restore_wavelength(ConnectionId id,
       new_plan.src_ot = c->plan.src_ot;
       new_plan.dst_ot = c->plan.dst_ot;
       reserve_plan(new_plan);
+      std::uint64_t reprov_span = 0;
+      if (telemetry::Telemetry* t = model_->telemetry())
+        reprov_span =
+            t->span_start("reprovision", "controller", 0, c->op_span);
       auto steps = std::make_shared<StepList>(
           build_wavelength_setup(*c, new_plan, /*include_access=*/false));
       run_steps(steps, false,
-                [this, id, new_plan, steps, done](
+                [this, id, new_plan, steps, done, close_restore, reprov_span](
                     Status status, std::vector<std::size_t> succeeded) {
+                  if (telemetry::Telemetry* t = model_->telemetry())
+                    t->span_end(reprov_span, status.ok());
                   Connection* c = find_conn(id);
                   if (c == nullptr) {
+                    close_restore(false, "connection vanished");
                     done();
                     return;
                   }
@@ -1210,6 +1391,7 @@ void GriphonController::restore_wavelength(ConnectionId id,
                     mark_recovered(*c);
                     trace(sim::TraceLevel::kInfo, "restore-done",
                           "connection " + std::to_string(id.value()));
+                    close_restore(true, {});
                   } else {
                     ++stats_.restorations_failed;
                     rollback_steps(steps, std::move(succeeded), [this, id]() {
@@ -1218,11 +1400,14 @@ void GriphonController::restore_wavelength(ConnectionId id,
                     });
                     trace(sim::TraceLevel::kError, "restore-failed",
                           status.error().message());
+                    close_restore(false, status.error().message());
                   }
                   done();
-                });
+                },
+                reprov_span);
     });
-  });
+  },
+  release_span);
 }
 
 void GriphonController::restore_subwavelength(ConnectionId) {
@@ -1244,17 +1429,34 @@ void GriphonController::roll_to_plan(ConnectionId id,
   }
   c0->state = ConnectionState::kRolling;
   reserve_plan(new_plan);
+  std::uint64_t bridge_span = 0;
+  if (telemetry::Telemetry* t = model_->telemetry()) {
+    c0->op_span =
+        t->span_start("bridge_and_roll", "controller", telemetry_tag(id), 0);
+    bridge_span = t->span_start("bridge", "controller", 0, c0->op_span);
+  }
   // Bridge: build the new path end to end while traffic rides the old one.
   auto steps = std::make_shared<StepList>(
       build_wavelength_setup(*c0, new_plan, /*include_access=*/false));
-  run_steps(steps, false, [this, id, new_plan, steps, cb = std::move(cb)](
+  run_steps(steps, false, [this, id, new_plan, steps, bridge_span,
+                           cb = std::move(cb)](
                               Status status,
                               std::vector<std::size_t> succeeded) mutable {
+    if (telemetry::Telemetry* t = model_->telemetry())
+      t->span_end(bridge_span, status.ok());
     Connection* c = find_conn(id);
     if (c == nullptr) return;
     unreserve_plan(new_plan);
     if (!status.ok()) {
       ++stats_.rolls_failed;
+      if (telemetry::Telemetry* t = model_->telemetry()) {
+        t->span_end(c->op_span, false, status.error().message());
+        c->op_span = 0;
+        t->metrics()
+            .counter("griphon_controller_rolls_failed_total",
+                     "Bridge-and-roll attempts that failed")
+            ->inc();
+      }
       rollback_steps(steps, std::move(succeeded),
                      [this, id, status, cb = std::move(cb)]() mutable {
                        Connection* c = find_conn(id);
@@ -1274,6 +1476,18 @@ void GriphonController::roll_to_plan(ConnectionId id,
       ++c->rolls;
       c->roll_hit_total += params_.roll_hit;
       ++stats_.rolls_ok;
+      if (telemetry::Telemetry* t = model_->telemetry()) {
+        // The roll itself: the sub-second traffic hit, recorded in
+        // hindsight now that the receive side has selected the new path.
+        t->span_record("roll", "controller", 0, c->op_span,
+                       t->now() - params_.roll_hit, t->now());
+        t->metrics()
+            .histogram("griphon_controller_roll_hit_seconds",
+                       "Traffic hit while rolling between bridged paths",
+                       {0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+                        1.0})
+            ->observe(to_seconds(params_.roll_hit));
+      }
       // Re-patch the FXCs to the new OTs (hitless, signal already rolled),
       // then release the old path.
       auto post = std::make_shared<StepList>();
@@ -1300,17 +1514,34 @@ void GriphonController::roll_to_plan(ConnectionId id,
       const auto old_teardown =
           build_wavelength_teardown(*c, old_plan, /*include_access=*/false);
       post->insert(post->end(), old_teardown.begin(), old_teardown.end());
-      run_steps(post, true, [this, id, cb = std::move(cb)](
+      std::uint64_t repatch_span = 0;
+      if (telemetry::Telemetry* t = model_->telemetry())
+        repatch_span =
+            t->span_start("repatch_teardown", "controller", 0, c->op_span);
+      run_steps(post, true, [this, id, repatch_span, cb = std::move(cb)](
                                 Status, std::vector<std::size_t>) mutable {
         Connection* c = find_conn(id);
         if (c != nullptr && c->state == ConnectionState::kRolling)
           c->state = ConnectionState::kActive;
+        if (telemetry::Telemetry* t = model_->telemetry()) {
+          t->span_end(repatch_span);
+          if (c != nullptr) {
+            t->span_end(c->op_span);
+            c->op_span = 0;
+          }
+          t->metrics()
+              .counter("griphon_controller_rolls_ok_total",
+                       "Bridge-and-roll operations completed")
+              ->inc();
+        }
         trace(sim::TraceLevel::kInfo, "roll-done",
               "connection " + std::to_string(id.value()));
         cb(Status::success());
-      });
+      },
+      repatch_span);
     });
-  });
+  },
+  bridge_span);
 }
 
 void GriphonController::bridge_and_roll(ConnectionId id,

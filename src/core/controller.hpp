@@ -127,9 +127,11 @@ class GriphonController {
   struct RunState;
   /// Execute a command list. Sequential by default (one EMS dialogue at a
   /// time, as the 2011 testbed); pipelined when params_.pipelined_commands.
-  /// `best_effort` keeps going past failures (teardown paths).
+  /// `best_effort` keeps going past failures (teardown paths). A non-zero
+  /// `parent_span` wraps every command in a child telemetry span (named
+  /// after the command, e.g. "ot.tune"), inheriting the parent's tag.
   void run_steps(std::shared_ptr<StepList> steps, bool best_effort,
-                 RunDone done);
+                 RunDone done, std::uint64_t parent_span = 0);
   void run_steps_sequential(std::shared_ptr<RunState> state, std::size_t at);
   void run_steps_pipelined(std::shared_ptr<RunState> state);
   /// Run undo commands of the given steps in reverse order, ignoring

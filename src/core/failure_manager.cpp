@@ -1,16 +1,28 @@
 #include "core/failure_manager.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 namespace griphon::core {
 
 void FailureManager::ingest(const Alarm& alarm) {
   ++ingested_;
+  if (telemetry_ != nullptr)
+    telemetry_
+        ->metrics()
+        .counter("griphon_failure_alarms_ingested_total",
+                 "Raw alarms fed to the failure manager")
+        ->inc();
   if (!alarm.link) return;  // only line-side alarms localize fiber faults
   switch (alarm.type) {
     case AlarmType::kLos:
     case AlarmType::kLof:
+      // First alarm of a cut closes the plant's pending detect note:
+      // the `detect` span runs fiber-cut -> first alarm seen here.
+      if (telemetry_ != nullptr) telemetry_->close_detect(alarm.link->value());
       pending_los_[*alarm.link].insert(alarm.source);
       if (!failure_window_open_) {
         failure_window_open_ = true;
+        failure_window_opened_at_ = engine_->now();
         engine_->schedule(params_.holddown, [this]() {
           failure_window_open_ = false;
           correlate_failures();
@@ -43,6 +55,19 @@ void FailureManager::correlate_failures() {
     localized.push_back(link);
   }
   pending_los_.clear();
+  if (telemetry_ != nullptr && !localized.empty()) {
+    // Localize = the correlation window: first alarm -> localization fire.
+    telemetry_->span_record("localize", "failure-manager", 0, 0,
+                            failure_window_opened_at_, engine_->now(), true,
+                            std::to_string(localized.size()) + " link(s)");
+    auto& m = telemetry_->metrics();
+    m.counter("griphon_failure_links_localized_total",
+              "Fiber faults localized by alarm correlation")
+        ->inc(localized.size());
+    m.histogram("griphon_failure_localize_seconds",
+                "First alarm to localized root cause")
+        ->observe(to_seconds(engine_->now() - failure_window_opened_at_));
+  }
   if (!localized.empty() && failure_handler_) failure_handler_(localized);
 }
 
@@ -54,6 +79,12 @@ void FailureManager::correlate_repairs() {
     repaired.push_back(link);
   }
   pending_clear_.clear();
+  if (telemetry_ != nullptr && !repaired.empty())
+    telemetry_
+        ->metrics()
+        .counter("griphon_failure_links_repaired_total",
+                 "Repairs confirmed by CLEAR correlation")
+        ->inc(repaired.size());
   if (!repaired.empty() && repair_handler_) repair_handler_(repaired);
 }
 

@@ -17,6 +17,10 @@
 #include "common/alarm.hpp"
 #include "sim/engine.hpp"
 
+namespace griphon::telemetry {
+class Telemetry;
+}  // namespace griphon::telemetry
+
 namespace griphon::core {
 
 class FailureManager {
@@ -42,6 +46,13 @@ class FailureManager {
   /// Feed a raw alarm (from any EMS event stream).
   void ingest(const Alarm& alarm);
 
+  /// Attach/detach a telemetry sink (idempotent; the controller forwards
+  /// the model's sink before each ingest). Enables the detect/localize
+  /// spans and griphon_failure_* metrics. Null = fast path.
+  void set_telemetry(telemetry::Telemetry* telemetry) {
+    telemetry_ = telemetry;
+  }
+
   [[nodiscard]] std::size_t alarms_ingested() const noexcept {
     return ingested_;
   }
@@ -64,8 +75,10 @@ class FailureManager {
   std::map<LinkId, std::set<std::string>> pending_clear_;
   bool failure_window_open_ = false;
   bool repair_window_open_ = false;
+  SimTime failure_window_opened_at_{};
   std::set<LinkId> believed_failed_;
   std::size_t ingested_ = 0;
+  telemetry::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace griphon::core

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+
 namespace griphon::core {
 
 NetworkModel::NetworkModel(sim::Engine* engine, topology::Graph graph,
@@ -212,12 +214,28 @@ Result<CarrierId> NetworkModel::add_otn_carrier(
   return otn_->add_carrier(a, b, line_rate, route);
 }
 
+void NetworkModel::attach_telemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  roadm_ems_->set_telemetry(telemetry);
+  fxc_ems_->set_telemetry(telemetry);
+  otn_ems_->set_telemetry(telemetry);
+  nte_ems_->set_telemetry(telemetry);
+  if (restorer_) restorer_->set_telemetry(telemetry);
+}
+
 void NetworkModel::fail_link(LinkId link) {
   if (link.value() >= link_failed_.size())
     throw std::out_of_range("NetworkModel::fail_link");
   if (link_failed_[link.value()]) return;
   link_failed_[link.value()] = true;
   ++topology_version_;
+  if (telemetry_ != nullptr) {
+    telemetry_
+        ->metrics()
+        .counter("griphon_plant_fiber_cuts_total", "Fiber cuts injected")
+        ->inc();
+    telemetry_->note_link_failed(link.value());
+  }
   trace_.emit(engine_->now(), sim::TraceLevel::kWarn, "plant", "fiber-cut",
               graph_.link(link).name);
   const auto& l = graph_.link(link);
@@ -232,6 +250,11 @@ void NetworkModel::repair_link(LinkId link) {
   if (!link_failed_[link.value()]) return;
   link_failed_[link.value()] = false;
   ++topology_version_;
+  if (telemetry_ != nullptr)
+    telemetry_
+        ->metrics()
+        .counter("griphon_plant_fiber_repairs_total", "Fiber repairs")
+        ->inc();
   trace_.emit(engine_->now(), sim::TraceLevel::kInfo, "plant", "fiber-repair",
               graph_.link(link).name);
   const auto& l = graph_.link(link);

@@ -30,6 +30,10 @@
 #include "sim/trace.hpp"
 #include "topology/graph.hpp"
 
+namespace griphon::telemetry {
+class Telemetry;
+}  // namespace griphon::telemetry
+
 namespace griphon::core {
 
 /// Per-customer premises equipment and its access pipe into a core PoP.
@@ -70,6 +74,15 @@ class NetworkModel {
   }
   [[nodiscard]] const Config& config() const noexcept { return config_; }
   [[nodiscard]] sim::Trace& trace() noexcept { return trace_; }
+
+  /// Attach a telemetry sink to the whole deployment: the plant itself,
+  /// the four EMS servers and the OTN mesh restorer start recording;
+  /// controller-side components pick the sink up through telemetry().
+  /// Pass nullptr to detach. Null by default — the no-sink fast path.
+  void attach_telemetry(telemetry::Telemetry* telemetry);
+  [[nodiscard]] telemetry::Telemetry* telemetry() const noexcept {
+    return telemetry_;
+  }
   [[nodiscard]] const dwdm::ReachModel& reach() const noexcept {
     return reach_;
   }
@@ -185,6 +198,7 @@ class NetworkModel {
   std::unique_ptr<proto::RequestClient> roadm_client_, fxc_client_,
       otn_client_, nte_client_;
 
+  telemetry::Telemetry* telemetry_ = nullptr;
   std::vector<bool> link_failed_;  // by link index
   std::uint64_t plant_version_ = 0;
   std::uint64_t topology_version_ = 0;

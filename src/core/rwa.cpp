@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "core/network_model.hpp"
+#include "telemetry/telemetry.hpp"
+
 namespace griphon::core {
 
 RwaEngine::RwaEngine(const NetworkModel* model, const Inventory* inventory,
@@ -38,6 +41,25 @@ dwdm::ChannelIndex RwaEngine::pick_channel(
   return best;
 }
 
+void RwaEngine::sync_telemetry() const {
+  telemetry::Telemetry* t = model_->telemetry();
+  if (t == telemetry_seen_) return;
+  telemetry_seen_ = t;
+  if (t == nullptr) {
+    cache_hits_ = cache_misses_ = plans_total_ = plans_failed_ = nullptr;
+    return;
+  }
+  auto& m = t->metrics();
+  cache_hits_ = m.counter("griphon_rwa_route_cache_hits_total",
+                          "Route-cache hits in cached_routes");
+  cache_misses_ = m.counter("griphon_rwa_route_cache_misses_total",
+                            "Route-cache misses (Yen's recomputed)");
+  plans_total_ =
+      m.counter("griphon_rwa_plans_total", "Wavelength plan attempts");
+  plans_failed_ = m.counter("griphon_rwa_plans_failed_total",
+                            "Plan attempts that found no viable plan");
+}
+
 const std::vector<topology::Path>& RwaEngine::cached_routes(NodeId src,
                                                             NodeId dst) const {
   if (route_cache_version_ != model_->topology_version()) {
@@ -46,6 +68,8 @@ const std::vector<topology::Path>& RwaEngine::cached_routes(NodeId src,
   }
   const std::uint64_t key = (src.value() << 32) | dst.value();
   const auto [it, inserted] = route_cache_.try_emplace(key);
+  if (cache_hits_ != nullptr)
+    (inserted ? cache_misses_ : cache_hits_)->inc();
   if (inserted) {
     // Same query the uncached path issues with empty exclusions, so cache
     // hits and misses yield byte-identical candidate lists.
@@ -59,8 +83,12 @@ const std::vector<topology::Path>& RwaEngine::cached_routes(NodeId src,
 
 Result<WavelengthPlan> RwaEngine::plan(NodeId src, NodeId dst, DataRate rate,
                                        const Exclusions& exclude) const {
-  if (src == dst)
+  sync_telemetry();
+  if (plans_total_ != nullptr) plans_total_->inc();
+  if (src == dst) {
+    if (plans_failed_ != nullptr) plans_failed_->inc();
     return Error{ErrorCode::kInvalidArgument, "rwa: src == dst"};
+  }
 
   const auto profile = dwdm::profile_for(rate);
 
@@ -85,8 +113,10 @@ Result<WavelengthPlan> RwaEngine::plan(NodeId src, NodeId dst, DataRate rate,
         topology::distance_weight(), filter);
     routes = &excluded_routes;
   }
-  if (routes->empty())
+  if (routes->empty()) {
+    if (plans_failed_ != nullptr) plans_failed_->inc();
     return Error{ErrorCode::kUnreachable, "rwa: no route survives exclusions"};
+  }
 
   Error last_error{ErrorCode::kResourceExhausted,
                    "rwa: no wavelength plan on any candidate route"};
@@ -144,6 +174,7 @@ Result<WavelengthPlan> RwaEngine::plan(NodeId src, NodeId dst, DataRate rate,
     }
     if (ok) return plan;
   }
+  if (plans_failed_ != nullptr) plans_failed_->inc();
   return last_error;
 }
 

@@ -20,6 +20,10 @@
 #include "dwdm/reach.hpp"
 #include "topology/path.hpp"
 
+namespace griphon::telemetry {
+class Counter;
+}  // namespace griphon::telemetry
+
 namespace griphon::core {
 
 enum class WavelengthPolicy {
@@ -79,6 +83,11 @@ class RwaEngine {
   [[nodiscard]] dwdm::ChannelIndex pick_channel(
       const dwdm::ChannelSet& candidates) const;
 
+  /// Refresh cached metric handles when the model's telemetry sink changes
+  /// (attach/detach). Keeps the steady-state cost of counting at one
+  /// pointer comparison + one branch per plan() call.
+  void sync_telemetry() const;
+
   /// Candidate routes for (src, dst) with no caller exclusions. Routes
   /// depend only on the graph, the failed-link set, k, and the weight
   /// function — the first two are versioned by the model's
@@ -94,6 +103,14 @@ class RwaEngine {
   mutable std::unordered_map<std::uint64_t, std::vector<topology::Path>>
       route_cache_;
   mutable std::uint64_t route_cache_version_ = 0;
+
+  // Metric handles cached against the sink they came from (plan() is the
+  // provisioning hot path; see sync_telemetry()).
+  mutable const void* telemetry_seen_ = nullptr;
+  mutable telemetry::Counter* cache_hits_ = nullptr;
+  mutable telemetry::Counter* cache_misses_ = nullptr;
+  mutable telemetry::Counter* plans_total_ = nullptr;
+  mutable telemetry::Counter* plans_failed_ = nullptr;
 };
 
 }  // namespace griphon::core

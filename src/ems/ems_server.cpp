@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "telemetry/telemetry.hpp"
+
 namespace griphon::ems {
 
 namespace {
@@ -48,6 +50,34 @@ void EmsServer::manage_nte(dwdm::Muxponder* device) {
 
 void EmsServer::manage_otn(otn::OtnLayer* layer) { otn_ = layer; }
 
+void EmsServer::set_telemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) {
+    commands_total_ = nullptr;
+    alarms_forwarded_total_ = nullptr;
+    queue_wait_seconds_ = nullptr;
+    task_seconds_ = nullptr;
+    return;
+  }
+  // "roadm-ems" -> griphon_ems_roadm_*; any '-' becomes '_'.
+  std::string domain = name_;
+  if (domain.size() > 4 && domain.compare(domain.size() - 4, 4, "-ems") == 0)
+    domain.resize(domain.size() - 4);
+  for (char& c : domain)
+    if (c == '-') c = '_';
+  const std::string prefix = "griphon_ems_" + domain + "_";
+  auto& m = telemetry_->metrics();
+  commands_total_ =
+      m.counter(prefix + "commands_total", "Commands executed by this EMS");
+  alarms_forwarded_total_ = m.counter(prefix + "alarms_forwarded_total",
+                                      "Device alarms forwarded upstream");
+  queue_wait_seconds_ =
+      m.histogram(prefix + "queue_wait_seconds",
+                  "Time a command waits for its element dialogue");
+  task_seconds_ = m.histogram(prefix + "task_seconds",
+                              "Management overhead + optical task time");
+}
+
 void EmsServer::trace(const std::string& event, const std::string& detail) {
   if (trace_ != nullptr)
     trace_->emit(engine_->now(), sim::TraceLevel::kDebug, name_, event,
@@ -59,6 +89,7 @@ void EmsServer::forward_alarm(const Alarm& alarm) {
   const proto::Bytes frame =
       proto::encode_frame(0, proto::Message{proto::AlarmEvent{alarm}});
   engine_->schedule(delay, [this, frame]() { endpoint_->send(frame); });
+  if (alarms_forwarded_total_ != nullptr) alarms_forwarded_total_->inc();
   trace("alarm-forwarded", alarm.source);
 }
 
@@ -117,7 +148,8 @@ void EmsServer::handle_frame(const proto::Bytes& bytes) {
   const std::uint64_t dev = device_key(frame.value().message);
   for (const auto& q : queues_[dev])
     if (q.request_id == id) return;
-  queues_[dev].push_back(QueuedCommand{id, std::move(frame.value().message)});
+  queues_[dev].push_back(
+      QueuedCommand{id, std::move(frame.value().message), engine_->now()});
   pump(dev);
 }
 
@@ -131,6 +163,10 @@ void EmsServer::pump(std::uint64_t device) {
   // Management-plane overhead, then the optical task, then the reply.
   const SimTime overhead = profile_.command_overhead.sample(engine_->rng());
   const SimTime task = task_latency(cmd.message);
+  if (queue_wait_seconds_ != nullptr) {
+    queue_wait_seconds_->observe(to_seconds(engine_->now() - cmd.enqueued_at));
+    task_seconds_->observe(to_seconds(overhead + task));
+  }
   trace("execute", std::string(proto::name_of(proto::type_of(cmd.message))));
   engine_->schedule(overhead + task, [this, cmd, device]() {
     execute(cmd);
@@ -144,6 +180,7 @@ void EmsServer::execute(const QueuedCommand& cmd) {
   std::uint64_t aux = 0;
   const Status status = apply(cmd.message, &aux);
   ++executed_;
+  if (commands_total_ != nullptr) commands_total_->inc();
   respond(cmd.request_id, status, aux);
 }
 

@@ -31,6 +31,12 @@
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
 
+namespace griphon::telemetry {
+class Telemetry;
+class Counter;
+class Histogram;
+}  // namespace griphon::telemetry
+
 namespace griphon::ems {
 
 class EmsServer {
@@ -60,10 +66,16 @@ class EmsServer {
   /// Forward a device alarm to the controller (with notify latency).
   void forward_alarm(const Alarm& alarm);
 
+  /// Attach/detach a telemetry sink. Metrics are registered under
+  /// griphon_ems_<domain>_* where <domain> is the server name minus the
+  /// "-ems" suffix ("roadm-ems" -> roadm). Null = no-sink fast path.
+  void set_telemetry(telemetry::Telemetry* telemetry);
+
  private:
   struct QueuedCommand {
     std::uint64_t request_id = 0;
     proto::Message message;
+    SimTime enqueued_at{};
   };
 
   void handle_frame(const proto::Bytes& bytes);
@@ -100,6 +112,14 @@ class EmsServer {
   std::map<std::uint64_t, proto::Response> response_cache_;
   std::deque<std::uint64_t> cache_order_;  // bounded FIFO eviction
   std::size_t executed_ = 0;
+
+  // Telemetry handles, cached at attach time so the dialogue path costs
+  // one pointer test when telemetry is off and no lookups when it is on.
+  telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::Counter* commands_total_ = nullptr;
+  telemetry::Counter* alarms_forwarded_total_ = nullptr;
+  telemetry::Histogram* queue_wait_seconds_ = nullptr;
+  telemetry::Histogram* task_seconds_ = nullptr;
 };
 
 }  // namespace griphon::ems

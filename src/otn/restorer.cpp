@@ -1,5 +1,7 @@
 #include "otn/restorer.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 namespace griphon::otn {
 
 void MeshRestorer::link_failed(LinkId link) {
@@ -26,6 +28,22 @@ void MeshRestorer::link_failed(LinkId link) {
         times_[id] = engine_->now() - failed_at;
       } else {
         ++restored_failed_;
+      }
+      if (telemetry_ != nullptr) {
+        auto& m = telemetry_->metrics();
+        m.counter(status.ok() ? "griphon_otn_mesh_restorations_ok_total"
+                              : "griphon_otn_mesh_restorations_failed_total",
+                  status.ok() ? "Successful mesh backup activations"
+                              : "Failed mesh backup activations")
+            ->inc();
+        if (status.ok())
+          m.histogram("griphon_otn_mesh_restore_seconds",
+                      "Fiber cut to traffic-restored, per circuit")
+              ->observe(to_seconds(engine_->now() - failed_at));
+        telemetry_->span_record(
+            "mesh_restore", "mesh-restorer", 0, 0, failed_at,
+            engine_->now(), status.ok(),
+            "circuit " + std::to_string(id.value()));
       }
       if (restore_cb_) restore_cb_(id, status);
     });

@@ -15,6 +15,10 @@
 #include "otn/layer.hpp"
 #include "sim/engine.hpp"
 
+namespace griphon::telemetry {
+class Telemetry;
+}  // namespace griphon::telemetry
+
 namespace griphon::otn {
 
 class MeshRestorer {
@@ -37,6 +41,12 @@ class MeshRestorer {
   void on_restore(RestoreCallback cb) { restore_cb_ = std::move(cb); }
   void on_revert_eligible(RevertEligibleCallback cb) {
     revert_cb_ = std::move(cb);
+  }
+
+  /// Attach/detach a telemetry sink (griphon_otn_mesh_* metrics plus a
+  /// retroactive mesh_restore span per attempt). Null = fast path.
+  void set_telemetry(telemetry::Telemetry* telemetry) {
+    telemetry_ = telemetry;
   }
 
   /// Plant event: fiber down. Fails carriers and schedules backup
@@ -63,6 +73,7 @@ class MeshRestorer {
   Params params_;
   RestoreCallback restore_cb_;
   RevertEligibleCallback revert_cb_;
+  telemetry::Telemetry* telemetry_ = nullptr;
   std::size_t restored_ok_ = 0;
   std::size_t restored_failed_ = 0;
   std::map<OduCircuitId, SimTime> times_;

@@ -23,9 +23,42 @@ const char* to_string(TraceLevel level) noexcept {
 void Trace::emit(SimTime when, TraceLevel level, std::string actor,
                  std::string event, std::string detail) {
   if (level < min_level_) return;
-  records_.push_back(TraceRecord{when, level, std::move(actor),
-                                 std::move(event), std::move(detail)});
-  if (echo_ != nullptr) *echo_ << records_.back() << '\n';
+  TraceRecord record{when, level, std::move(actor), std::move(event),
+                     std::move(detail)};
+  if (echo_ != nullptr) *echo_ << record << '\n';
+  if (capacity_ != 0 && records_.size() == capacity_) {
+    // Ring full: overwrite the oldest slot in place instead of shifting.
+    records_[head_] = std::move(record);
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+    return;
+  }
+  records_.push_back(std::move(record));
+}
+
+void Trace::set_capacity(std::size_t capacity) {
+  normalize();
+  capacity_ = capacity;
+  if (capacity_ != 0 && records_.size() > capacity_) {
+    const std::size_t excess = records_.size() - capacity_;
+    records_.erase(records_.begin(),
+                   records_.begin() + static_cast<std::ptrdiff_t>(excess));
+    dropped_ += excess;
+  }
+}
+
+void Trace::normalize() const {
+  if (head_ != 0) {
+    std::rotate(records_.begin(),
+                records_.begin() + static_cast<std::ptrdiff_t>(head_),
+                records_.end());
+    head_ = 0;
+  }
+}
+
+const std::vector<TraceRecord>& Trace::records() const {
+  normalize();
+  return records_;
 }
 
 std::size_t Trace::count(std::string_view event) const noexcept {
@@ -63,6 +96,7 @@ void json_escape(std::ostream& os, const std::string& s) {
 }  // namespace
 
 std::string Trace::to_json() const {
+  normalize();
   std::ostringstream os;
   os << "[";
   for (std::size_t i = 0; i < records_.size(); ++i) {

@@ -30,26 +30,48 @@ class Trace {
   void emit(SimTime when, TraceLevel level, std::string actor,
             std::string event, std::string detail = {});
 
-  [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept {
-    return records_;
+  /// Retained records, oldest first. With a capacity set, only the newest
+  /// `capacity` records survive (see set_capacity).
+  [[nodiscard]] const std::vector<TraceRecord>& records() const;
+  void clear() {
+    records_.clear();
+    head_ = 0;
+    dropped_ = 0;
   }
-  void clear() { records_.clear(); }
 
-  /// Number of records whose event name matches exactly.
+  /// Number of retained records whose event name matches exactly.
   [[nodiscard]] std::size_t count(std::string_view event) const noexcept;
 
   /// Minimum level retained; below it emit() is a no-op.
   void set_min_level(TraceLevel level) noexcept { min_level_ = level; }
 
+  /// Bound the trace to a ring of the newest `capacity` records; 0 (the
+  /// default) keeps everything. Soak runs and long benches set a bound so
+  /// the trace cannot grow without limit; shrinking below the current size
+  /// drops the oldest records immediately.
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Records evicted by the ring so far (0 while unbounded).
+  [[nodiscard]] std::size_t dropped_count() const noexcept {
+    return dropped_;
+  }
+
   /// Mirror records to a stream as they are emitted (for examples/demos).
   void echo_to(std::ostream* os) noexcept { echo_ = os; }
 
-  /// Serialize all records as a JSON array (for offline tooling); strings
-  /// are escaped per RFC 8259.
+  /// Serialize all retained records as a JSON array (for offline tooling);
+  /// strings are escaped per RFC 8259.
   [[nodiscard]] std::string to_json() const;
 
  private:
-  std::vector<TraceRecord> records_;
+  /// Rotate the ring so records_ is oldest-first and head_ is 0. Logically
+  /// const: the record sequence is unchanged, only storage order.
+  void normalize() const;
+
+  mutable std::vector<TraceRecord> records_;
+  mutable std::size_t head_ = 0;  ///< ring start when size == capacity
+  std::size_t capacity_ = 0;      ///< 0 = unbounded
+  std::size_t dropped_ = 0;
   TraceLevel min_level_ = TraceLevel::kDebug;
   std::ostream* echo_ = nullptr;
 };

@@ -1,0 +1,214 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace griphon::telemetry {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty() || !std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::logic_error("telemetry: histogram bounds must be ascending");
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double x) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += x;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based, rounded up as in nearest-rank).
+  const double rank = q * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (static_cast<double>(cum) >= rank && buckets_[i] > 0) {
+      if (i >= bounds_.size()) return bounds_.back();  // overflow bucket
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const auto below = static_cast<double>(cum - buckets_[i]);
+      const double frac =
+          (rank - below) / static_cast<double>(buckets_[i]);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+  }
+  return bounds_.back();
+}
+
+std::vector<double> duration_buckets() {
+  return {0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+          2.5,   5.0,   10.0, 20.0,  30.0, 45.0, 60.0, 75.0, 90.0,
+          120.0, 180.0, 300.0};
+}
+
+Counter* MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  auto& e = entries_[name];
+  if (e.c == nullptr && e.g == nullptr && e.h == nullptr) {
+    e.kind = Kind::kCounter;
+    e.help = help;
+    e.c = std::make_unique<Counter>();
+  }
+  if (e.kind != Kind::kCounter)
+    throw std::logic_error("telemetry: " + name +
+                           " already registered as a different kind");
+  return e.c.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  auto& e = entries_[name];
+  if (e.c == nullptr && e.g == nullptr && e.h == nullptr) {
+    e.kind = Kind::kGauge;
+    e.help = help;
+    e.g = std::make_unique<Gauge>();
+  }
+  if (e.kind != Kind::kGauge)
+    throw std::logic_error("telemetry: " + name +
+                           " already registered as a different kind");
+  return e.g.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      std::vector<double> bounds) {
+  auto& e = entries_[name];
+  if (e.c == nullptr && e.g == nullptr && e.h == nullptr) {
+    e.kind = Kind::kHistogram;
+    e.help = help;
+    e.h = std::make_unique<Histogram>(std::move(bounds));
+  }
+  if (e.kind != Kind::kHistogram)
+    throw std::logic_error("telemetry: " + name +
+                           " already registered as a different kind");
+  return e.h.get();
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.c.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.g.get();
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.h.get();
+}
+
+namespace {
+
+/// Plain decimal formatting (no exponent surprises for small counts).
+std::string num(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::ostringstream os;
+  for (const auto& [name, e] : entries_) {
+    os << "# HELP " << name << ' ' << e.help << '\n';
+    switch (e.kind) {
+      case Kind::kCounter:
+        os << "# TYPE " << name << " counter\n";
+        os << name << ' ' << e.c->value() << '\n';
+        break;
+      case Kind::kGauge:
+        os << "# TYPE " << name << " gauge\n";
+        os << name << ' ' << num(e.g->value()) << '\n';
+        break;
+      case Kind::kHistogram: {
+        os << "# TYPE " << name << " histogram\n";
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < e.h->bounds().size(); ++i) {
+          cum += e.h->buckets()[i];
+          os << name << "_bucket{le=\"" << num(e.h->bounds()[i]) << "\"} "
+             << cum << '\n';
+        }
+        os << name << "_bucket{le=\"+Inf\"} " << e.h->count() << '\n';
+        os << name << "_sum " << num(e.h->sum()) << '\n';
+        os << name << "_count " << e.h->count() << '\n';
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::to_json_rows(const std::string& bench) const {
+  std::ostringstream os;
+  bool first = true;
+  const auto row = [&](const std::string& metric, double value,
+                       const std::string& unit) {
+    os << (first ? "" : ",") << "\n  {\"bench\": \"" << bench
+       << "\", \"metric\": \"" << metric << "\", \"value\": " << num(value)
+       << ", \"unit\": \"" << unit << "\"}";
+    first = false;
+  };
+  os << "[";
+  for (const auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        row(name, static_cast<double>(e.c->value()), "count");
+        break;
+      case Kind::kGauge:
+        row(name, e.g->value(), "value");
+        break;
+      case Kind::kHistogram: {
+        const bool secs = name.size() > 8 &&
+                          name.compare(name.size() - 8, 8, "_seconds") == 0;
+        const std::string unit = secs ? "s" : "value";
+        row(name + "_count", static_cast<double>(e.h->count()), "count");
+        row(name + "_sum", e.h->sum(), unit);
+        row(name + "_p50", e.h->quantile(0.50), unit);
+        row(name + "_p95", e.h->quantile(0.95), unit);
+        row(name + "_p99", e.h->quantile(0.99), unit);
+        break;
+      }
+    }
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+bool MetricsRegistry::name_ok(const std::string& name) noexcept {
+  constexpr const char* kPrefix = "griphon_";
+  if (name.rfind(kPrefix, 0) != 0) return false;
+  std::size_t tokens = 0;
+  std::size_t token_len = 0;
+  for (const char c : name) {
+    if (c == '_') {
+      if (token_len == 0) return false;  // empty token ("__" or leading '_')
+      ++tokens;
+      token_len = 0;
+      continue;
+    }
+    if ((c < 'a' || c > 'z') && (c < '0' || c > '9')) return false;
+    ++token_len;
+  }
+  if (token_len == 0) return false;  // trailing '_'
+  ++tokens;
+  return tokens >= 3;  // griphon + layer + name
+}
+
+std::vector<std::string> MetricsRegistry::invalid_names() const {
+  std::vector<std::string> bad;
+  for (const auto& [name, e] : entries_)
+    if (!name_ok(name)) bad.push_back(name);
+  return bad;
+}
+
+}  // namespace griphon::telemetry

@@ -1,0 +1,121 @@
+// Metrics registry: counters, gauges and fixed-bucket histograms.
+//
+// Every instrumented layer registers metrics under the naming scheme
+// `griphon_<layer>_<name>` (lower-case, underscore-separated; duration
+// histograms end in `_seconds`). The registry exports two formats:
+//  * Prometheus text exposition (to_prometheus) for scraping/diffing, and
+//  * the bench emit_json.hpp row format (to_json_rows) so telemetry feeds
+//    the same BENCH_*.json perf trajectory the benches write.
+//
+// Handles returned by counter()/gauge()/histogram() are stable for the
+// registry's lifetime, so hot paths register once and increment through a
+// cached pointer. A component whose deployment has no telemetry attached
+// never touches the registry at all — that is the no-sink fast path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace griphon::telemetry {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  void add(double d) noexcept { value_ += d; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Fixed-bucket histogram. Bounds are ascending upper bounds; observations
+/// above the last bound land in an implicit +Inf overflow bucket.
+/// Quantiles are estimated by linear interpolation inside the bucket that
+/// holds the target rank (0 is assumed to be the lower edge of the first
+/// bucket — observations are non-negative durations/sizes).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  /// q in [0, 1]. Returns 0 on an empty histogram; ranks falling in the
+  /// overflow bucket are clamped to the last finite bound.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Per-bucket (non-cumulative) count; index bounds_.size() = overflow.
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept {
+    return buckets_;
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;  // bounds_.size() + 1 (overflow last)
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+};
+
+/// Default buckets for duration histograms, in seconds: 1 ms .. 300 s,
+/// dense through the paper's 60-70 s setup band.
+[[nodiscard]] std::vector<double> duration_buckets();
+
+class MetricsRegistry {
+ public:
+  /// Register (or fetch) a metric. Registration is idempotent: the same
+  /// name always returns the same handle. Registering a name twice with a
+  /// different metric kind throws std::logic_error.
+  Counter* counter(const std::string& name, const std::string& help);
+  Gauge* gauge(const std::string& name, const std::string& help);
+  Histogram* histogram(const std::string& name, const std::string& help,
+                       std::vector<double> bounds = duration_buckets());
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  /// Prometheus text exposition format (# HELP / # TYPE / samples).
+  [[nodiscard]] std::string to_prometheus() const;
+  /// emit_json.hpp row format: a JSON array of {bench, metric, value, unit}
+  /// rows. Histograms expand to _count/_sum/_p50/_p95/_p99 rows.
+  [[nodiscard]] std::string to_json_rows(const std::string& bench) const;
+
+  /// True iff `name` matches the scheme griphon_<layer>_<name>: lower-case
+  /// [a-z0-9_], `griphon_` prefix, at least three `_`-separated tokens,
+  /// no empty token.
+  [[nodiscard]] static bool name_ok(const std::string& name) noexcept;
+  /// Registered names violating the scheme (empty = all conform).
+  [[nodiscard]] std::vector<std::string> invalid_names() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind = Kind::kCounter;
+    std::string help;
+    std::unique_ptr<Counter> c;
+    std::unique_ptr<Gauge> g;
+    std::unique_ptr<Histogram> h;
+  };
+
+  // Ordered map: exposition output is sorted and therefore diffable.
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace griphon::telemetry

@@ -1,0 +1,31 @@
+// Per-connection lifecycle timeline: renders the spans sharing one
+// correlation tag as an ASCII waterfall (and as JSON for tooling).
+//
+// The waterfall is ordered root-first, children indented under their
+// parent, each row showing offset-from-root, duration, and a bar scaled
+// to the whole timeline — the Table 2 "what did those 60 s buy" view.
+#pragma once
+
+#include <string>
+
+#include "telemetry/span.hpp"
+
+namespace griphon::telemetry {
+
+class TimelineReport {
+ public:
+  explicit TimelineReport(const SpanTracer* tracer) : tracer_(tracer) {}
+
+  /// ASCII waterfall of every span tagged `tag`. `width` is the bar
+  /// column width in characters. Empty string if no spans carry the tag.
+  [[nodiscard]] std::string render(CorrelationTag tag,
+                                   std::size_t width = 40) const;
+
+  /// JSON array of the spans tagged `tag` (delegates to the tracer).
+  [[nodiscard]] std::string to_json(CorrelationTag tag) const;
+
+ private:
+  const SpanTracer* tracer_;
+};
+
+}  // namespace griphon::telemetry

@@ -196,6 +196,71 @@ TEST(Trace, ClearEmpties) {
   EXPECT_TRUE(t.records().empty());
 }
 
+TEST(Trace, JsonEscapesControlCharacters) {
+  Trace t;
+  t.emit(seconds(1), TraceLevel::kInfo, "a", "evt",
+         std::string("bell\x07tab\tend"));
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\\u0007"), std::string::npos);
+  EXPECT_NE(json.find("\\t"), std::string::npos);
+  for (const char c : json)
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+}
+
+TEST(Trace, UnboundedByDefault) {
+  Trace t;
+  for (int i = 0; i < 100; ++i)
+    t.emit(seconds(i), TraceLevel::kInfo, "a", "e");
+  EXPECT_EQ(t.capacity(), 0u);
+  EXPECT_EQ(t.records().size(), 100u);
+  EXPECT_EQ(t.dropped_count(), 0u);
+}
+
+TEST(Trace, RingKeepsNewestInOrder) {
+  Trace t;
+  t.set_capacity(3);
+  for (int i = 0; i < 10; ++i)
+    t.emit(seconds(i), TraceLevel::kInfo, "a", "e" + std::to_string(i));
+  ASSERT_EQ(t.records().size(), 3u);
+  EXPECT_EQ(t.records()[0].event, "e7");
+  EXPECT_EQ(t.records()[1].event, "e8");
+  EXPECT_EQ(t.records()[2].event, "e9");
+  EXPECT_EQ(t.dropped_count(), 7u);
+  // Emitting after a read (which normalizes the ring) keeps order right.
+  t.emit(seconds(10), TraceLevel::kInfo, "a", "e10");
+  ASSERT_EQ(t.records().size(), 3u);
+  EXPECT_EQ(t.records()[0].event, "e8");
+  EXPECT_EQ(t.records()[2].event, "e10");
+  EXPECT_EQ(t.dropped_count(), 8u);
+}
+
+TEST(Trace, ShrinkingCapacityDropsOldest) {
+  Trace t;
+  for (int i = 0; i < 5; ++i)
+    t.emit(seconds(i), TraceLevel::kInfo, "a", "e" + std::to_string(i));
+  t.set_capacity(2);
+  ASSERT_EQ(t.records().size(), 2u);
+  EXPECT_EQ(t.records()[0].event, "e3");
+  EXPECT_EQ(t.records()[1].event, "e4");
+  EXPECT_EQ(t.dropped_count(), 3u);
+}
+
+TEST(Trace, RingJsonAndCountSeeOnlyRetained) {
+  Trace t;
+  t.set_capacity(2);
+  for (int i = 0; i < 4; ++i)
+    t.emit(seconds(i), TraceLevel::kInfo, "a", "e" + std::to_string(i));
+  EXPECT_EQ(t.count("e0"), 0u);
+  EXPECT_EQ(t.count("e3"), 1u);
+  const std::string json = t.to_json();
+  EXPECT_EQ(json.find("e0"), std::string::npos);
+  EXPECT_LT(json.find("e2"), json.find("e3"));  // oldest first
+  t.clear();
+  EXPECT_TRUE(t.records().empty());
+  EXPECT_EQ(t.dropped_count(), 0u);
+  EXPECT_EQ(t.capacity(), 2u);  // clear keeps the bound
+}
+
 // Property: however events are scheduled (random times, random nesting),
 // observed firing times are monotonically nondecreasing.
 class EngineOrderProperty : public ::testing::TestWithParam<std::uint64_t> {};

@@ -23,6 +23,10 @@ TEST_P(SoakTest, RandomOperationsThenCleanDrain) {
   opt.config.ots_per_node = 8;
   opt.config.regens_per_node = 6;
   BackboneScenario s(GetParam(), opt);
+  // Days of operations emit an unbounded trace; bound it to a ring so the
+  // soak cannot grow memory without limit (the invariants below don't read
+  // the trace).
+  s.model->trace().set_capacity(4096);
   Rng rng(GetParam() * 31 + 7);
 
   std::vector<std::pair<std::size_t, ConnectionId>> live;  // (customer, id)
@@ -135,6 +139,8 @@ TEST_P(SoakTest, RandomOperationsThenCleanDrain) {
   // Books balance: everything set up was either released or failed.
   const auto& st = s.controller->stats();
   EXPECT_EQ(st.setups_ok, st.releases);
+  // The trace ring held its bound for the whole run.
+  EXPECT_LE(s.model->trace().records().size(), 4096u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SoakTest,

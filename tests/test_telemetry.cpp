@@ -1,0 +1,334 @@
+// Telemetry subsystem tests.
+//
+// Unit level: histogram bucket/quantile math, registry idempotency and the
+// Prometheus / JSON-row expositions, the griphon_<layer>_<name> metric
+// naming scheme, span nesting / tag inheritance / retroactive recording,
+// and the waterfall renderer. Integration level: a real testbed setup's
+// span tree tiles the end-to-end setup duration exactly, a fiber cut
+// decomposes into detect → localize → replan → reprovision, and every
+// metric the instrumented layers register conforms to the naming scheme
+// (this doubles as the CI name-scheme check).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "core/scenario.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/timeline.hpp"
+
+namespace griphon::telemetry {
+namespace {
+
+constexpr auto npos = std::string::npos;
+
+// --- Histogram -------------------------------------------------------------
+
+TEST(Histogram, BucketBoundsAreUpperInclusive) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);  // bucket 0
+  h.observe(1.0);  // exactly at a bound lands in that bound's bucket (le)
+  h.observe(1.5);  // bucket 1
+  h.observe(4.0);  // bucket 2
+  h.observe(9.0);  // overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 16.0);
+  ASSERT_EQ(h.buckets().size(), 4u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 1u);
+  EXPECT_EQ(h.buckets()[3], 1u);  // overflow bucket
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBucket) {
+  Histogram h({1.0, 2.0});
+  for (int i = 0; i < 10; ++i) h.observe(0.5);  // all rank mass in bucket 0
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
+  // Mass split over two buckets: the median falls on the first bound.
+  Histogram h2({1.0, 2.0});
+  h2.observe(0.5);
+  h2.observe(1.5);
+  EXPECT_DOUBLE_EQ(h2.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h2.quantile(1.0), 2.0);
+}
+
+TEST(Histogram, QuantileEmptyAndOverflowClamp) {
+  Histogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty histogram
+  h.observe(100.0);                        // overflow only
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 2.0);  // clamped to last finite bound
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram(std::vector<double>{2.0, 1.0}), std::logic_error);
+  EXPECT_THROW(Histogram(std::vector<double>{}), std::logic_error);
+}
+
+// --- MetricsRegistry -------------------------------------------------------
+
+TEST(MetricsRegistry, HandlesAreStableAndIdempotent) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("griphon_test_hits_total", "hits");
+  a->inc();
+  Counter* b = reg.counter("griphon_test_hits_total", "help ignored");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b->value(), 1u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("griphon_test_thing_total", "h");
+  EXPECT_THROW(reg.gauge("griphon_test_thing_total", "h"), std::logic_error);
+  EXPECT_THROW(reg.histogram("griphon_test_thing_total", "h"),
+               std::logic_error);
+}
+
+TEST(MetricsRegistry, NameScheme) {
+  EXPECT_TRUE(MetricsRegistry::name_ok("griphon_rwa_plans_total"));
+  EXPECT_TRUE(MetricsRegistry::name_ok("griphon_ems_roadm_task_seconds"));
+  EXPECT_FALSE(MetricsRegistry::name_ok("rwa_plans_total"));  // no prefix
+  EXPECT_FALSE(MetricsRegistry::name_ok("griphon_plans"));    // two tokens
+  EXPECT_FALSE(MetricsRegistry::name_ok("griphon__plans_total"));  // empty
+  EXPECT_FALSE(MetricsRegistry::name_ok("griphon_RWA_plans_total"));
+  EXPECT_FALSE(MetricsRegistry::name_ok("griphon_rwa_plans_"));
+
+  MetricsRegistry reg;
+  reg.counter("griphon_rwa_plans_total", "conforms");
+  reg.counter("bad_name", "violates the scheme");
+  const auto bad = reg.invalid_names();
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0], "bad_name");
+}
+
+TEST(MetricsRegistry, PrometheusExposition) {
+  MetricsRegistry reg;
+  reg.counter("griphon_test_hits_total", "hits")->inc(3);
+  reg.gauge("griphon_test_level_value", "level")->set(2.5);
+  Histogram* h =
+      reg.histogram("griphon_test_wait_seconds", "wait", {1.0, 2.0});
+  h->observe(0.5);
+  h->observe(5.0);
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("# HELP griphon_test_hits_total hits"), npos);
+  EXPECT_NE(text.find("# TYPE griphon_test_hits_total counter"), npos);
+  EXPECT_NE(text.find("griphon_test_hits_total 3"), npos);
+  EXPECT_NE(text.find("# TYPE griphon_test_level_value gauge"), npos);
+  EXPECT_NE(text.find("griphon_test_level_value 2.5"), npos);
+  EXPECT_NE(text.find("# TYPE griphon_test_wait_seconds histogram"), npos);
+  // Buckets are cumulative, with the +Inf total and _sum/_count samples.
+  EXPECT_NE(text.find("griphon_test_wait_seconds_bucket{le=\"1\"} 1"), npos);
+  EXPECT_NE(text.find("griphon_test_wait_seconds_bucket{le=\"2\"} 1"), npos);
+  EXPECT_NE(text.find("griphon_test_wait_seconds_bucket{le=\"+Inf\"} 2"),
+            npos);
+  EXPECT_NE(text.find("griphon_test_wait_seconds_sum 5.5"), npos);
+  EXPECT_NE(text.find("griphon_test_wait_seconds_count 2"), npos);
+}
+
+TEST(MetricsRegistry, JsonRowsExpandHistograms) {
+  MetricsRegistry reg;
+  reg.counter("griphon_test_hits_total", "hits")->inc(3);
+  Histogram* h =
+      reg.histogram("griphon_test_wait_seconds", "wait", {1.0, 2.0});
+  h->observe(0.5);
+  const std::string rows = reg.to_json_rows("smoke");
+  EXPECT_NE(rows.find("\"bench\": \"smoke\""), npos);
+  EXPECT_NE(rows.find("\"metric\": \"griphon_test_hits_total\""), npos);
+  EXPECT_NE(rows.find("griphon_test_wait_seconds_p95"), npos);
+  EXPECT_NE(rows.find("\"unit\": \"s\""), npos);  // *_seconds histograms
+}
+
+// --- SpanTracer ------------------------------------------------------------
+
+TEST(SpanTracer, NestingAndTagInheritance) {
+  SpanTracer t;
+  const SpanId root = t.start("setup", "controller", 77, 0, seconds(1));
+  const SpanId child = t.start("ot.tune", "controller", 0, root, seconds(2));
+  EXPECT_EQ(t.find(child)->tag, 77u);  // inherited from the parent
+  EXPECT_EQ(t.open_count(), 2u);
+  t.end(child, seconds(5));
+  t.end(root, seconds(6), false, "boom");
+  EXPECT_EQ(t.open_count(), 0u);
+  EXPECT_EQ(t.find(child)->duration(), seconds(3));
+  EXPECT_FALSE(t.find(root)->ok);
+  EXPECT_EQ(t.find(root)->detail, "boom");
+  EXPECT_EQ(t.for_tag(77).size(), 2u);
+  ASSERT_EQ(t.children_of(root).size(), 1u);
+  EXPECT_EQ(t.children_of(root)[0]->name, "ot.tune");
+}
+
+TEST(SpanTracer, NullUnknownAndDoubleEndAreNoOps) {
+  SpanTracer t;
+  t.end(0, seconds(1));   // null handle
+  t.end(42, seconds(1));  // unknown id
+  const SpanId s = t.start("x", "a", 1, 0, seconds(0));
+  t.end(s, seconds(2));
+  t.end(s, seconds(9), false);  // second close is ignored
+  EXPECT_EQ(t.find(s)->end, seconds(2));
+  EXPECT_TRUE(t.find(s)->ok);
+  EXPECT_EQ(t.open_count(), 0u);
+}
+
+TEST(SpanTracer, RetroactiveRecordInheritsTagAndIsClosed) {
+  SpanTracer t;
+  const SpanId root =
+      t.start("restoration", "controller", 9, 0, seconds(10));
+  const SpanId d = t.record("detect", "failure-manager", 0, root, seconds(4),
+                            seconds(6), true, "link 3");
+  const Span* sp = t.find(d);
+  ASSERT_NE(sp, nullptr);
+  EXPECT_TRUE(sp->done);
+  EXPECT_EQ(sp->tag, 9u);
+  EXPECT_EQ(sp->duration(), seconds(2));
+  EXPECT_EQ(sp->detail, "link 3");
+  EXPECT_EQ(t.open_count(), 1u);  // only the root is still open
+}
+
+TEST(SpanTracer, JsonFiltersByTag) {
+  SpanTracer t;
+  t.record("a", "x", 1, 0, seconds(0), seconds(1));
+  t.record("b", "x", 2, 0, seconds(0), seconds(1));
+  const std::string tag1 = t.to_json(1);
+  EXPECT_NE(tag1.find("\"name\":\"a\""), npos);
+  EXPECT_EQ(tag1.find("\"name\":\"b\""), npos);
+  const std::string all = t.to_json();
+  EXPECT_NE(all.find("\"name\":\"a\""), npos);
+  EXPECT_NE(all.find("\"name\":\"b\""), npos);
+}
+
+// --- TimelineReport --------------------------------------------------------
+
+TEST(TimelineReport, RendersIndentedWaterfall) {
+  SpanTracer t;
+  const SpanId root =
+      t.start("connection_setup", "controller", 5, 0, seconds(0));
+  const SpanId child =
+      t.start("path_computation", "controller", 0, root, seconds(0));
+  t.end(child, seconds(1));
+  t.end(root, seconds(4));
+  TimelineReport report(&t);
+  const std::string text = report.render(5);
+  EXPECT_NE(text.find("timeline tag=5"), npos);
+  EXPECT_NE(text.find("total=4.000s"), npos);
+  EXPECT_NE(text.find("connection_setup"), npos);
+  EXPECT_NE(text.find("  path_computation"), npos);  // indented child
+  EXPECT_NE(text.find('#'), npos);                   // bars drawn
+  EXPECT_TRUE(report.render(999).empty());           // unknown tag
+}
+
+// --- Telemetry facade ------------------------------------------------------
+
+TEST(Telemetry, DetectNoteIsConsumedOnce) {
+  sim::Engine e(1);
+  Telemetry tel(&e);
+  EXPECT_EQ(tel.close_detect(5), 0u);  // nothing noted
+  tel.note_link_failed(5);
+  const SpanId d = tel.close_detect(5);
+  EXPECT_NE(d, 0u);
+  EXPECT_EQ(tel.spans().find(d)->name, "detect");
+  EXPECT_EQ(tel.close_detect(5), 0u);  // note consumed
+}
+
+// --- Full-stack integration ------------------------------------------------
+
+TEST(TelemetryIntegration, SetupSpanTreeTilesSetupDuration) {
+  core::NetworkModel::Config cfg;
+  cfg.with_otn = false;
+  core::TestbedScenario s(7, cfg);
+  Telemetry tel(&s.engine);
+  s.model->attach_telemetry(&tel);
+
+  std::optional<ConnectionId> id;
+  s.portal->connect(s.site_i, s.site_iv, rates::k10G,
+                    core::ProtectionMode::kUnprotected,
+                    [&](Result<ConnectionId> r) {
+                      if (r.ok()) id = r.value();
+                    });
+  s.engine.run();
+  ASSERT_TRUE(id.has_value());
+
+  const Span* root = nullptr;
+  for (const Span* sp : tel.spans().for_tag(core::telemetry_tag(*id)))
+    if (sp->name == "connection_setup") root = sp;
+  ASSERT_NE(root, nullptr);
+  EXPECT_TRUE(root->done);
+  EXPECT_TRUE(root->ok);
+
+  // Sequential orchestration: path computation plus the EMS command train
+  // tile the root span — no idle gaps, no uninstrumented phase.
+  SimTime phase_sum{};
+  bool saw_path_computation = false;
+  bool saw_ems_command = false;
+  for (const Span* child : tel.spans().children_of(root->id)) {
+    phase_sum += child->duration();
+    if (child->name == "path_computation") saw_path_computation = true;
+    if (child->name.find('.') != npos) saw_ems_command = true;
+  }
+  EXPECT_TRUE(saw_path_computation);
+  EXPECT_TRUE(saw_ems_command);
+  EXPECT_EQ(phase_sum, root->duration());
+  EXPECT_EQ(root->duration(), s.controller->connection(*id).setup_duration);
+  EXPECT_EQ(tel.spans().open_count(), 0u);
+
+  // Metrics side: layers registered under the scheme, and counted the work.
+  EXPECT_TRUE(tel.metrics().invalid_names().empty())
+      << "metric name violates griphon_<layer>_<name>";
+  const Counter* ok =
+      tel.metrics().find_counter("griphon_controller_setups_ok_total");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_EQ(ok->value(), 1u);
+  const Histogram* setup_seconds =
+      tel.metrics().find_histogram("griphon_controller_setup_seconds");
+  ASSERT_NE(setup_seconds, nullptr);
+  EXPECT_EQ(setup_seconds->count(), 1u);
+}
+
+TEST(TelemetryIntegration, RestorationDecomposesIntoPhases) {
+  core::TestbedScenario s(11);
+  Telemetry tel(&s.engine);
+  s.model->attach_telemetry(&tel);
+
+  std::optional<ConnectionId> id;
+  s.portal->connect(s.site_i, s.site_iv, rates::k10G,
+                    core::ProtectionMode::kRestorable,
+                    [&](Result<ConnectionId> r) {
+                      if (r.ok()) id = r.value();
+                    });
+  s.engine.run();
+  ASSERT_TRUE(id.has_value());
+
+  const LinkId link =
+      s.controller->connection(*id).plan.path.links.front();
+  s.model->fail_link(link);
+  s.engine.run();
+  ASSERT_GE(s.controller->stats().restorations_ok, 1u);
+
+  std::set<std::string> names;
+  for (const Span* sp : tel.spans().for_tag(core::telemetry_tag(*id)))
+    names.insert(sp->name);
+  for (const char* phase :
+       {"restoration", "release_old_path", "replan", "reprovision"})
+    EXPECT_TRUE(names.count(phase)) << "missing span: " << phase;
+
+  // detect and localize are plant-level retroactive spans (tag 0).
+  bool detect = false;
+  bool localize = false;
+  for (const Span& sp : tel.spans().spans()) {
+    if (sp.name == "detect") detect = true;
+    if (sp.name == "localize") localize = true;
+  }
+  EXPECT_TRUE(detect);
+  EXPECT_TRUE(localize);
+  EXPECT_EQ(tel.spans().open_count(), 0u);
+
+  const Counter* restored =
+      tel.metrics().find_counter("griphon_controller_restorations_ok_total");
+  ASSERT_NE(restored, nullptr);
+  EXPECT_GE(restored->value(), 1u);
+  EXPECT_TRUE(tel.metrics().invalid_names().empty());
+}
+
+}  // namespace
+}  // namespace griphon::telemetry
