@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build2/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("telemetry")
+subdirs("topology")
+subdirs("dwdm")
+subdirs("fxc")
+subdirs("otn")
+subdirs("sonet")
+subdirs("proto")
+subdirs("ems")
+subdirs("core")
+subdirs("workload")
+subdirs("baseline")

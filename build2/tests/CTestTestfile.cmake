@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build2/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/test_common[1]_include.cmake")
+include("/root/repo/build2/tests/test_sim[1]_include.cmake")
+include("/root/repo/build2/tests/test_topology[1]_include.cmake")
+include("/root/repo/build2/tests/test_dwdm[1]_include.cmake")
+include("/root/repo/build2/tests/test_fxc[1]_include.cmake")
+include("/root/repo/build2/tests/test_otn[1]_include.cmake")
+include("/root/repo/build2/tests/test_sonet[1]_include.cmake")
+include("/root/repo/build2/tests/test_proto[1]_include.cmake")
+include("/root/repo/build2/tests/test_ems[1]_include.cmake")
+include("/root/repo/build2/tests/test_telemetry[1]_include.cmake")
+include("/root/repo/build2/tests/test_rwa[1]_include.cmake")
+include("/root/repo/build2/tests/test_controller[1]_include.cmake")
+include("/root/repo/build2/tests/test_workload[1]_include.cmake")
+include("/root/repo/build2/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build2/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build2/tests/test_soak[1]_include.cmake")
+include("/root/repo/build2/tests/test_planner[1]_include.cmake")
+include("/root/repo/build2/tests/test_path_oracle[1]_include.cmake")
+include("/root/repo/build2/tests/test_tiers[1]_include.cmake")
+include("/root/repo/build2/tests/test_scenario[1]_include.cmake")
+include("/root/repo/build2/tests/test_inventory_equiv[1]_include.cmake")
+include("/root/repo/build2/tests/test_path_golden[1]_include.cmake")
