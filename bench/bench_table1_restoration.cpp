@@ -9,11 +9,10 @@
 // 10G inter-DC connection is measured under four schemes. OTN shared-mesh
 // restoration of sub-wavelength circuits is measured alongside.
 #include <iostream>
+#include <map>
 
 #include "baseline/static_provisioning.hpp"
 #include "bench_util.hpp"
-#include <map>
-
 #include "core/scenario.hpp"
 
 using namespace griphon;

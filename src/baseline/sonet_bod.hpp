@@ -37,7 +37,7 @@ class SonetBodService {
   /// service ceiling are rejected — that is the point of the comparison.
   [[nodiscard]] Result<Provisioned> request(NodeId src, NodeId dst,
                                             DataRate rate, Rng& rng);
-  Status release(StsCircuitId id) { return ring_->release(id); }
+  [[nodiscard]] Status release(StsCircuitId id) { return ring_->release(id); }
 
   [[nodiscard]] const sonet::SonetRing& ring() const noexcept {
     return *ring_;

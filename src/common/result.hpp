@@ -69,7 +69,7 @@ class [[nodiscard]] Status {
   explicit operator bool() const noexcept { return ok(); }
   [[nodiscard]] const Error& error() const noexcept { return error_; }
 
-  static Status success() { return {}; }
+  [[nodiscard]] static Status success() { return {}; }
 
  private:
   Error error_;

@@ -147,7 +147,7 @@ class NetworkModel {
                                   NodeId core_pop);
   /// Provision an OTU carrier for the OTN layer over a wavelength route
   /// (consumes one DWDM channel on each route link, outside the OT pools).
-  Result<CarrierId> add_otn_carrier(NodeId a, NodeId b, DataRate line_rate,
+  [[nodiscard]] Result<CarrierId> add_otn_carrier(NodeId a, NodeId b, DataRate line_rate,
                                     const std::vector<LinkId>& route);
 
   // --- EMS access (controller side) ---------------------------------------

@@ -32,10 +32,10 @@ class Muxponder {
   }
 
   /// Claim a free 10G client port; returns its index.
-  Result<std::size_t> allocate_client_port();
+  [[nodiscard]] Result<std::size_t> allocate_client_port();
   /// Claim one specific client port (controller-selected).
-  Status claim_client_port(std::size_t port);
-  Status release_client_port(std::size_t port);
+  [[nodiscard]] Status claim_client_port(std::size_t port);
+  [[nodiscard]] Status release_client_port(std::size_t port);
   [[nodiscard]] bool port_in_use(std::size_t port) const;
   [[nodiscard]] std::size_t ports_in_use() const noexcept;
   /// Aggregate client-side bandwidth currently provisioned.

@@ -75,11 +75,11 @@ class Roadm {
 
   // --- configuration (EMS-invoked) ------------------------------------
   /// Express a channel between two degrees.
-  Status configure_express(ChannelIndex ch, DegreeIndex in, DegreeIndex out);
-  Status release_express(ChannelIndex ch, DegreeIndex in, DegreeIndex out);
+  [[nodiscard]] Status configure_express(ChannelIndex ch, DegreeIndex in, DegreeIndex out);
+  [[nodiscard]] Status release_express(ChannelIndex ch, DegreeIndex in, DegreeIndex out);
   /// Add/drop `ch` on `degree` at local port `p`.
-  Status configure_add_drop(PortId p, DegreeIndex degree, ChannelIndex ch);
-  Status release_add_drop(PortId p);
+  [[nodiscard]] Status configure_add_drop(PortId p, DegreeIndex degree, ChannelIndex ch);
+  [[nodiscard]] Status release_add_drop(PortId p);
 
   // --- queries ---------------------------------------------------------
   /// True if `ch` has any use (express or add/drop) on `degree`.

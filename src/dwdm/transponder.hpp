@@ -35,13 +35,13 @@ class Transponder {
   }
 
   /// Tune the laser to `ch`. Allowed from Idle or Tuned (retune).
-  Status tune(ChannelIndex ch);
+  [[nodiscard]] Status tune(ChannelIndex ch);
   /// Begin carrying traffic. Requires Tuned.
-  Status activate();
+  [[nodiscard]] Status activate();
   /// Stop carrying traffic but stay tuned (fast reuse).
-  Status deactivate();
+  [[nodiscard]] Status deactivate();
   /// Return to pool: laser off.
-  Status reset();
+  [[nodiscard]] Status reset();
 
   void fail() { state_ = State::kFailed; }
   void repair() {
@@ -92,8 +92,8 @@ class Regenerator {
   }
 
   /// Claim and tune both halves.
-  Status engage(ChannelIndex upstream, ChannelIndex downstream);
-  Status release();
+  [[nodiscard]] Status engage(ChannelIndex upstream, ChannelIndex downstream);
+  [[nodiscard]] Status release();
 
  private:
   RegenId id_;

@@ -57,9 +57,9 @@ class Fxc {
                                                std::uint64_t index) const;
 
   /// Cross-connect two free ports (bidirectional light path).
-  Status connect(PortId a, PortId b);
+  [[nodiscard]] Status connect(PortId a, PortId b);
   /// Remove the cross-connect involving `port`.
-  Status disconnect(PortId port);
+  [[nodiscard]] Status disconnect(PortId port);
   [[nodiscard]] std::optional<PortId> peer(PortId port) const;
   [[nodiscard]] bool connected(PortId port) const {
     return peer(port).has_value();

@@ -53,10 +53,10 @@ class OtuCarrier {
   /// admission honors the shared-backup headroom; `restoration = true`
   /// lets a failover dip into the shared pool (that pool exists precisely
   /// to serve the activation), bounded only by physical slots.
-  Result<std::vector<int>> allocate(OduCircuitId circuit, int n,
+  [[nodiscard]] Result<std::vector<int>> allocate(OduCircuitId circuit, int n,
                                     bool restoration = false);
   /// Release all working slots held by `circuit`.
-  Status release(OduCircuitId circuit);
+  [[nodiscard]] Status release(OduCircuitId circuit);
   [[nodiscard]] int allocated_slots() const noexcept;
   /// Working slots still free after honoring shared-backup headroom.
   [[nodiscard]] int usable_free_slots() const noexcept;
@@ -70,9 +70,9 @@ class OtuCarrier {
   /// the circuit's primary route) can be reserved without oversubscribing.
   [[nodiscard]] bool can_reserve_backup(const std::vector<LinkId>& risks,
                                         int n) const noexcept;
-  Status reserve_backup(OduCircuitId circuit,
+  [[nodiscard]] Status reserve_backup(OduCircuitId circuit,
                         const std::vector<LinkId>& risks, int n);
-  Status release_backup(OduCircuitId circuit);
+  [[nodiscard]] Status release_backup(OduCircuitId circuit);
   [[nodiscard]] bool has_backup_reservation(OduCircuitId circuit) const {
     return backups_.contains(circuit);
   }

@@ -59,7 +59,7 @@ class OtnLayer {
 
   /// Install a carrier between the switches at `a` and `b`, riding a
   /// wavelength whose physical route is `physical_route`.
-  Result<CarrierId> add_carrier(NodeId a, NodeId b, DataRate line_rate,
+  [[nodiscard]] Result<CarrierId> add_carrier(NodeId a, NodeId b, DataRate line_rate,
                                 std::vector<LinkId> physical_route);
   [[nodiscard]] const OtuCarrier& carrier(CarrierId id) const;
   [[nodiscard]] OtuCarrier& carrier(CarrierId id);
@@ -68,7 +68,7 @@ class OtnLayer {
   }
   /// Withdraw an idle carrier from service. Fails with kBusy while any
   /// circuit holds working slots or a backup reservation on it.
-  Status retire_carrier(CarrierId id);
+  [[nodiscard]] Status retire_carrier(CarrierId id);
 
   // --- circuits ----------------------------------------------------------
   struct CircuitSpec {
@@ -78,8 +78,8 @@ class OtnLayer {
     DataRate rate;
     bool protect = false;  ///< reserve a shared-mesh backup path
   };
-  Result<OduCircuitId> create_circuit(const CircuitSpec& spec);
-  Status release_circuit(OduCircuitId id);
+  [[nodiscard]] Result<OduCircuitId> create_circuit(const CircuitSpec& spec);
+  [[nodiscard]] Status release_circuit(OduCircuitId id);
   [[nodiscard]] const OduCircuit& circuit(OduCircuitId id) const;
   [[nodiscard]] std::vector<OduCircuitId> circuit_ids() const;
   [[nodiscard]] std::size_t circuit_count() const noexcept {
@@ -95,12 +95,12 @@ class OtnLayer {
   std::vector<OduCircuitId> on_link_repaired(LinkId link);
 
   /// Move a failed protected circuit onto its reserved backup path.
-  Status activate_backup(OduCircuitId id);
+  [[nodiscard]] Status activate_backup(OduCircuitId id);
   /// Maintenance: move a *healthy* protected circuit onto its backup before
   /// its primary span is taken down (make-before-break at the ODU layer).
-  Status preemptive_switch(OduCircuitId id);
+  [[nodiscard]] Status preemptive_switch(OduCircuitId id);
   /// Move a circuit back to its (repaired) primary path.
-  Status revert_to_primary(OduCircuitId id);
+  [[nodiscard]] Status revert_to_primary(OduCircuitId id);
 
   // --- capacity statistics (benches) --------------------------------------
   struct SlotStats {
@@ -116,7 +116,7 @@ class OtnLayer {
   [[nodiscard]] std::optional<std::vector<CarrierId>> find_carrier_path(
       NodeId src, NodeId dst, const CarrierFilter& filter) const;
 
-  Status install_xconnects(OduCircuit& c, const std::vector<CarrierId>& path);
+  [[nodiscard]] Status install_xconnects(OduCircuit& c, const std::vector<CarrierId>& path);
   void remove_xconnects(OduCircuit& c, const std::vector<CarrierId>& path);
   /// All physical links any carrier of `path` rides (the risk set).
   [[nodiscard]] std::vector<LinkId> risk_set(

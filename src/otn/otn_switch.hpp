@@ -54,15 +54,15 @@ class OtnSwitch {
   }
 
   /// Claim a free client port for a circuit end.
-  Result<std::size_t> allocate_client_port();
-  Status release_client_port(std::size_t port);
+  [[nodiscard]] Result<std::size_t> allocate_client_port();
+  [[nodiscard]] Status release_client_port(std::size_t port);
   [[nodiscard]] bool client_port_in_use(std::size_t port) const;
   [[nodiscard]] std::size_t client_ports_in_use() const noexcept;
 
   /// Install the fabric cross-connect for `circuit` between two endpoints.
   /// Line endpoints must reference carriers attached to this switch.
-  Status xconnect(OduCircuitId circuit, Endpoint from, Endpoint to);
-  Status release_xconnect(OduCircuitId circuit);
+  [[nodiscard]] Status xconnect(OduCircuitId circuit, Endpoint from, Endpoint to);
+  [[nodiscard]] Status release_xconnect(OduCircuitId circuit);
   [[nodiscard]] bool has_xconnect(OduCircuitId circuit) const noexcept {
     return xconnects_.contains(circuit);
   }

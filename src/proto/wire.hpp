@@ -58,15 +58,15 @@ class ByteReader {
  public:
   explicit ByteReader(const Bytes& buf) : buf_(buf) {}
 
-  Result<std::uint8_t> u8();
-  Result<std::uint16_t> u16();
-  Result<std::uint32_t> u32();
-  Result<std::uint64_t> u64();
-  Result<std::int32_t> i32();
-  Result<std::int64_t> i64();
-  Result<double> f64();
-  Result<bool> boolean();
-  Result<std::string> str();
+  [[nodiscard]] Result<std::uint8_t> u8();
+  [[nodiscard]] Result<std::uint16_t> u16();
+  [[nodiscard]] Result<std::uint32_t> u32();
+  [[nodiscard]] Result<std::uint64_t> u64();
+  [[nodiscard]] Result<std::int32_t> i32();
+  [[nodiscard]] Result<std::int64_t> i64();
+  [[nodiscard]] Result<double> f64();
+  [[nodiscard]] Result<bool> boolean();
+  [[nodiscard]] Result<std::string> str();
 
   [[nodiscard]] std::size_t remaining() const noexcept {
     return buf_.size() - pos_;

@@ -41,8 +41,8 @@ class SonetRing {
   /// Provision a VCAT circuit of `sts1` STS-1s between two ring nodes.
   /// Working capacity is taken on the shorter arc; the same amount is
   /// reserved on the opposite arc for protection (UPSR-style 1+1 ring).
-  Result<StsCircuitId> provision(NodeId src, NodeId dst, int sts1);
-  Status release(StsCircuitId id);
+  [[nodiscard]] Result<StsCircuitId> provision(NodeId src, NodeId dst, int sts1);
+  [[nodiscard]] Status release(StsCircuitId id);
   [[nodiscard]] const Circuit& circuit(StsCircuitId id) const;
   [[nodiscard]] std::size_t circuit_count() const noexcept {
     return circuits_.size();

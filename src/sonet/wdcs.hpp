@@ -51,7 +51,7 @@ class Wdcs {
   }
 
   /// Provision an nxDS1 circuit between two DS3 ports.
-  Result<WdcsCircuitId> provision(std::size_t port_a, std::size_t port_b,
+  [[nodiscard]] Result<WdcsCircuitId> provision(std::size_t port_a, std::size_t port_b,
                                   DataRate rate) {
     if (port_a >= used_per_port_.size() || port_b >= used_per_port_.size())
       return Error{ErrorCode::kNotFound, "wdcs: unknown DS3 port"};
@@ -71,7 +71,7 @@ class Wdcs {
     return id;
   }
 
-  Status release(WdcsCircuitId id) {
+  [[nodiscard]] Status release(WdcsCircuitId id) {
     const auto it = circuits_.find(id);
     if (it == circuits_.end())
       return Status{ErrorCode::kNotFound, "wdcs: unknown circuit"};

@@ -1,0 +1,152 @@
+// Error-path coverage for the control plane (ISSUE 3 nodiscard sweep).
+//
+// Every Result/Status-returning API is [[nodiscard]]; these tests pin down
+// the behavior those results carry on the paths where provisioning or
+// restoration *cannot* succeed: the controller must report the failure
+// through the callback and leave no half-built state behind — never
+// silently proceed.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/scenario.hpp"
+
+namespace griphon::core {
+namespace {
+
+/// Submits a connect and runs the engine to completion; returns the raw
+/// Result so failure paths can assert on the error code.
+Result<ConnectionId> connect_result(TestbedScenario& s, MuxponderId a,
+                                    MuxponderId b, DataRate rate,
+                                    ProtectionMode prot) {
+  std::optional<Result<ConnectionId>> result;
+  s.portal->connect(a, b, rate, prot,
+                    [&](Result<ConnectionId> r) { result = std::move(r); });
+  s.engine.run();
+  EXPECT_TRUE(result.has_value()) << "connect callback never fired";
+  return std::move(*result);
+}
+
+// --- setup failure: transponder pool empty --------------------------------
+
+TEST(ErrorPaths, SetupFailsWithNoFreeTransponder) {
+  NetworkModel::Config config;
+  config.ots_per_node = 0;  // no wavelength can ever get line optics
+  config.with_otn = false;  // OTN grooming disabled: no alternate path
+  TestbedScenario s(71, config);
+
+  const auto r = connect_result(s, s.site_i, s.site_iv, rates::k10G,
+                                ProtectionMode::kRestorable);
+  ASSERT_FALSE(r.ok()) << "setup must fail with an empty OT pool";
+  EXPECT_EQ(r.error().code(), ErrorCode::kResourceExhausted);
+
+  // The failure was reported, not swallowed: counted, and nothing is up.
+  EXPECT_EQ(s.controller->stats().setups_failed, 1u);
+  EXPECT_EQ(s.controller->stats().setups_ok, 0u);
+  EXPECT_EQ(s.controller->active_connections(), 0u);
+}
+
+// --- setup failure: spectrum exhausted ------------------------------------
+
+TEST(ErrorPaths, SetupFailsWhenNoWavelengthIsLeft) {
+  NetworkModel::Config config;
+  config.channels = 1;  // one channel on the whole testbed
+  config.with_otn = false;
+  TestbedScenario s(72, config);
+
+  // Keep connecting the same PoP pair until the single channel is exhausted
+  // on every candidate route; the testbed has 3 I->IV routes, so at most 3
+  // can ever succeed.
+  std::size_t ok = 0;
+  std::optional<Error> failure;
+  for (int attempt = 0; attempt < 4 && !failure; ++attempt) {
+    const auto r = connect_result(s, s.site_i, s.site_iv, rates::k10G,
+                                  ProtectionMode::kRestorable);
+    if (r.ok())
+      ++ok;
+    else
+      failure = r.error();
+  }
+  ASSERT_TRUE(failure.has_value()) << "spectrum exhaustion never reported";
+  EXPECT_EQ(failure->code(), ErrorCode::kResourceExhausted);
+  EXPECT_GE(ok, 1u);  // the first request had a clear channel everywhere
+
+  // Accounting matches what the customer saw: failures counted, and only
+  // the successful setups are active.
+  EXPECT_EQ(s.controller->stats().setups_failed, 1u);
+  EXPECT_EQ(s.controller->stats().setups_ok, ok);
+  EXPECT_EQ(s.controller->active_connections(), ok);
+}
+
+// --- release of an unknown connection -------------------------------------
+
+TEST(ErrorPaths, ReleaseOfUnknownConnectionReportsNotFound) {
+  TestbedScenario s(73);
+
+  std::optional<Status> done;
+  s.controller->release_connection(ConnectionId{9999},
+                                   [&](Status st) { done = st; });
+  s.engine.run();
+  ASSERT_TRUE(done.has_value());
+  EXPECT_FALSE(done->ok());
+  EXPECT_EQ(done->error().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(s.controller->stats().releases, 0u);
+}
+
+TEST(ErrorPaths, DoubleReleaseReportsConflict) {
+  TestbedScenario s(74);
+  const auto r = connect_result(s, s.site_i, s.site_iv, rates::k10G,
+                                ProtectionMode::kRestorable);
+  ASSERT_TRUE(r.ok());
+  const ConnectionId id = r.value();
+
+  std::optional<Status> first;
+  s.portal->disconnect(id, [&](Status st) { first = st; });
+  s.engine.run();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->ok()) << first->error().message();
+
+  // Releasing a released connection is a state-machine violation the
+  // caller must hear about, not an idempotent no-op.
+  std::optional<Status> second;
+  s.portal->disconnect(id, [&](Status st) { second = st; });
+  s.engine.run();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_FALSE(second->ok());
+  EXPECT_EQ(second->error().code(), ErrorCode::kConflict);
+  EXPECT_EQ(s.controller->stats().releases, 1u);
+}
+
+// --- restoration with no disjoint route -----------------------------------
+
+TEST(ErrorPaths, RestorationFailsWhenSiteIsIsolated) {
+  TestbedScenario s(75);
+  const auto r = connect_result(s, s.site_i, s.site_iv, rates::k10G,
+                                ProtectionMode::kRestorable);
+  ASSERT_TRUE(r.ok());
+  const ConnectionId id = r.value();
+  ASSERT_EQ(s.controller->connection(id).state, ConnectionState::kActive);
+
+  // Sever every fiber out of PoP I: restoration has no route to replan
+  // onto, disjoint or otherwise.
+  s.model->fail_link(s.topo.i_iv);
+  s.model->fail_link(s.topo.i_iii);
+  s.model->fail_link(s.topo.i_ii);
+  s.engine.run();
+
+  const auto& c = s.controller->connection(id);
+  EXPECT_EQ(c.state, ConnectionState::kFailed);
+  EXPECT_EQ(c.restorations, 0);  // no successful restoration happened
+  EXPECT_GE(s.controller->stats().restorations_failed, 1u);
+  EXPECT_EQ(s.controller->stats().restorations_ok, 0u);
+  EXPECT_EQ(s.controller->active_connections(), 0u);
+
+  // The failure is a report, not an abandonment: once the plant heals,
+  // service returns.
+  s.model->repair_link(s.topo.i_iv);
+  s.engine.run();
+  EXPECT_EQ(s.controller->connection(id).state, ConnectionState::kActive);
+}
+
+}  // namespace
+}  // namespace griphon::core

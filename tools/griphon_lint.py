@@ -1,0 +1,472 @@
+#!/usr/bin/env python3
+"""griphon-lint: repo-specific invariants clang-tidy cannot express.
+
+Checks (DESIGN.md §10):
+
+  metric-name      Metric names registered on telemetry::MetricsRegistry must
+                   follow the `griphon_<layer>_<name>` scheme (lower-case
+                   [a-z0-9_], >= 3 tokens). Literal name arguments are checked
+                   in full; dynamic names built from a literal prefix (e.g.
+                   "griphon_ems_" + domain + "_suffix") have prefix and
+                   suffix literals checked against the same grammar.
+  banned-call      Library code under src/ must not call rand()/srand()
+                   (use griphon::Rng), time() (use sim::Engine::now()), or
+                   write to std::cout (route through sim::Trace / telemetry).
+                   Tests, benches and examples are exempt: they own stdout.
+  pragma-once      Every header uses `#pragma once` (before any include),
+                   never #ifndef guards.
+  include-order    In .cpp files: the file's own header first, then a block
+                   of <angle> includes, then "quoted" project includes —
+                   no angle include after the first quoted one.
+  nodiscard        Every function declared in a src/ header returning
+                   Result<T>, Status or ErrorCode carries [[nodiscard]].
+                   Ignoring one of these is always a latent bug in a setup
+                   or restore path (see ISSUE 3 / DESIGN.md §10).
+  no-artifacts     No build artifacts tracked by git: nothing under build*/,
+                   no object/archive/ninja/CMake-cache files, no binary
+                   blobs (NUL byte in the first 8 KiB).
+
+Usage:
+    tools/griphon_lint.py [--report griphon_lint_report.txt] [paths...]
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+Suppression: a finding line may be waived with a trailing
+`// griphon-lint: allow(<check-id>) <justification>` comment; the
+justification is mandatory and findings without one stay fatal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SOURCE_DIRS = ("src", "tests", "bench", "examples")
+
+# --- shared helpers ---------------------------------------------------------
+
+
+def repo_files(subdirs: tuple[str, ...], exts: tuple[str, ...]) -> list[str]:
+    out: list[str] = []
+    for sub in subdirs:
+        root = os.path.join(REPO_ROOT, sub)
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for name in sorted(filenames):
+                if name.endswith(exts):
+                    out.append(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+def strip_comments(text: str) -> str:
+    """Blank out // and /* */ comments and string/char literals, preserving
+    line structure so reported line numbers stay exact."""
+
+    out: list[str] = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                # A quote directly after an identifier char is a C++14 digit
+                # separator (64'000), not a char literal.
+                prev = out[-1] if out else ""
+                if not (prev.isalnum() or prev == "_"):
+                    state = "chr"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state == "str":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "code"
+                out.append('"')
+            else:
+                out.append(" " if c != "\n" else c)
+        elif state == "chr":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == "'":
+                state = "code"
+                out.append("'")
+            else:
+                out.append(" " if c != "\n" else c)
+        i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, path: str, line: int, check: str, message: str):
+        self.path = os.path.relpath(path, REPO_ROOT)
+        self.line = line
+        self.check = check
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
+
+
+ALLOW_RE = re.compile(
+    r"//\s*griphon-lint:\s*allow\((?P<check>[a-z-]+)\)\s+(?P<why>\S.*)"
+)
+
+
+def allowed(lines: list[str], finding: Finding) -> bool:
+    """True if the finding's source line carries a justified allow-comment."""
+    if finding.line - 1 >= len(lines):
+        return False
+    m = ALLOW_RE.search(lines[finding.line - 1])
+    return bool(m) and m.group("check") == finding.check
+
+
+# --- metric-name ------------------------------------------------------------
+
+FULL_NAME_RE = re.compile(r"^griphon(_[a-z0-9]+){2,}$")
+PREFIX_NAME_RE = re.compile(r"^griphon(_[a-z0-9]+)+_$")
+SUFFIX_NAME_RE = re.compile(r"^[a-z0-9]+(_[a-z0-9]+)*$")
+
+REGISTER_LITERAL_RE = re.compile(
+    r"\b(?:counter|gauge|histogram)\s*\(\s*\"(?P<name>[^\"]*)\"", re.S
+)
+REGISTER_DYNAMIC_RE = re.compile(
+    r"\b(?:counter|gauge|histogram)\s*\(\s*(?P<var>\w+)\s*\+\s*"
+    r"\"(?P<suffix>[^\"]*)\"",
+    re.S,
+)
+GRIPHON_LITERAL_RE = re.compile(r"\"(?P<lit>griphon_[a-z0-9_]*)\"")
+
+# The scheme implementation and its tests legitimately mention bare
+# "griphon_" fragments (name_ok parsing, negative test cases).
+METRIC_NAME_EXEMPT = (
+    os.path.join("src", "telemetry", "metrics.cpp"),
+    os.path.join("src", "telemetry", "metrics.hpp"),
+)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+def check_metric_names(findings: list[Finding]) -> None:
+    for path in repo_files(("src",), (".cpp", ".hpp")):
+        rel = os.path.relpath(path, REPO_ROOT)
+        if rel in METRIC_NAME_EXEMPT:
+            continue
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        for m in REGISTER_LITERAL_RE.finditer(text):
+            name = m.group("name")
+            if not FULL_NAME_RE.match(name):
+                findings.append(
+                    Finding(
+                        path,
+                        line_of(text, m.start()),
+                        "metric-name",
+                        f'"{name}" violates griphon_<layer>_<name> '
+                        "(lower-case, >= 3 tokens)",
+                    )
+                )
+        for m in REGISTER_DYNAMIC_RE.finditer(text):
+            suffix = m.group("suffix")
+            if not SUFFIX_NAME_RE.match(suffix):
+                findings.append(
+                    Finding(
+                        path,
+                        line_of(text, m.start()),
+                        "metric-name",
+                        f'dynamic metric suffix "{suffix}" is not '
+                        "lower-case [a-z0-9_] tokens",
+                    )
+                )
+        # Any griphon_* literal ending in '_' is a name prefix feeding a
+        # dynamic registration; it must itself be scheme-conformant.
+        for m in GRIPHON_LITERAL_RE.finditer(text):
+            lit = m.group("lit")
+            if lit.endswith("_") and not PREFIX_NAME_RE.match(lit):
+                findings.append(
+                    Finding(
+                        path,
+                        line_of(text, m.start()),
+                        "metric-name",
+                        f'metric-name prefix "{lit}" must be '
+                        "griphon_<layer>_...",
+                    )
+                )
+
+
+# --- banned-call ------------------------------------------------------------
+
+BANNED = (
+    (
+        re.compile(r"(?<![\w.:>])\b(?:rand|srand)\s*\("),
+        "rand()/srand() — use griphon::Rng (deterministic, seedable)",
+    ),
+    (
+        re.compile(r"(?<![\w.:>])\btime\s*\("),
+        "time() — simulation code must use sim::Engine::now()",
+    ),
+    (
+        re.compile(r"\bstd::cout\b"),
+        "std::cout in library code — route through sim::Trace or telemetry",
+    ),
+)
+
+
+def check_banned_calls(findings: list[Finding]) -> None:
+    for path in repo_files(("src",), (".cpp", ".hpp")):
+        with open(path, encoding="utf-8") as fh:
+            raw = fh.read()
+        text = strip_comments(raw)
+        raw_lines = raw.splitlines()
+        for pattern, why in BANNED:
+            for m in pattern.finditer(text):
+                f = Finding(path, line_of(text, m.start()), "banned-call", why)
+                if not allowed(raw_lines, f):
+                    findings.append(f)
+
+
+# --- pragma-once + include-order -------------------------------------------
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(?P<inc>[<"][^>"]+[>"])')
+GUARD_RE = re.compile(r"^\s*#\s*ifndef\s+\w+_(?:H|HPP|H_|HPP_)\b")
+
+
+def check_headers(findings: list[Finding]) -> None:
+    for path in repo_files(SOURCE_DIRS, (".hpp", ".h")):
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        pragma_line = None
+        first_include = None
+        for idx, line in enumerate(lines, start=1):
+            if pragma_line is None and re.match(r"^\s*#\s*pragma\s+once", line):
+                pragma_line = idx
+            if first_include is None and INCLUDE_RE.match(line):
+                first_include = idx
+            if GUARD_RE.match(line):
+                findings.append(
+                    Finding(path, idx, "pragma-once",
+                            "#ifndef include guard — use #pragma once")
+                )
+        if pragma_line is None:
+            findings.append(
+                Finding(path, 1, "pragma-once", "header lacks #pragma once")
+            )
+        elif first_include is not None and first_include < pragma_line:
+            findings.append(
+                Finding(path, pragma_line, "pragma-once",
+                        "#pragma once must precede the first #include")
+            )
+
+
+def check_include_order(findings: list[Finding]) -> None:
+    for path in repo_files(SOURCE_DIRS, (".cpp",)):
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        includes: list[tuple[int, str]] = []
+        for idx, line in enumerate(lines, start=1):
+            m = INCLUDE_RE.match(line)
+            if m:
+                includes.append((idx, m.group("inc")))
+        if not includes:
+            continue
+        rel = os.path.relpath(path, REPO_ROOT)
+        own = None
+        if rel.startswith("src" + os.sep):
+            # src/core/rwa.cpp must include "core/rwa.hpp" first.
+            own = '"' + rel[len("src" + os.sep):-len(".cpp")] + '.hpp"'
+            if os.path.exists(os.path.join(REPO_ROOT, "src", own.strip('"'))):
+                if includes[0][1] != own:
+                    findings.append(
+                        Finding(path, includes[0][0], "include-order",
+                                f"own header {own} must be the first include")
+                    )
+            else:
+                own = None
+        rest = includes[1:] if own is not None else includes
+        seen_quote = False
+        for idx, inc in rest:
+            if inc.startswith('"'):
+                seen_quote = True
+            elif seen_quote:
+                findings.append(
+                    Finding(path, idx, "include-order",
+                            f"system include {inc} after project includes — "
+                            "group <system> before \"project\"")
+                )
+
+
+# --- nodiscard --------------------------------------------------------------
+
+RESULT_DECL_RE = re.compile(
+    r"(?P<ret>\bResult<[^;(){}]*?>|\bStatus\b|\bErrorCode\b)\s+"
+    r"(?P<name>~?\w+)\s*\("
+)
+# Tokens that, appearing right before the return type, mean this is not a
+# plain function declaration needing the attribute here.
+PRECEDING_OK_RE = re.compile(
+    r"(?:\[\[nodiscard\]\]|using\s+\w+\s*=|return|friend|::)\s*"
+    r"(?:static\s+|virtual\s+|constexpr\s+|inline\s+|explicit\s+)*$"
+)
+
+
+def check_nodiscard(findings: list[Finding]) -> None:
+    for path in repo_files(("src",), (".hpp",)):
+        with open(path, encoding="utf-8") as fh:
+            raw = fh.read()
+        text = strip_comments(raw)
+        raw_lines = raw.splitlines()
+        for m in RESULT_DECL_RE.finditer(text):
+            ret, name = m.group("ret"), m.group("name")
+            # Constructors / conversion declarations of the Result types
+            # themselves ("Status(Error)") never match: name != type here
+            # because the regex needs `<type> <name>(`.
+            if name in ("Result", "Status", "ErrorCode"):
+                continue
+            before = text[: m.start()]
+            # Look back past whitespace/specifiers for [[nodiscard]] or an
+            # excluding context (using-alias, return statement, qualified
+            # out-of-line definition, std::function signature).
+            tail = before[-120:]
+            if PRECEDING_OK_RE.search(tail):
+                continue
+            # Inside a template argument list e.g. std::function<void(Result<X>)>
+            open_angle = tail.rfind("<")
+            close_angle = tail.rfind(">")
+            if open_angle > close_angle and "function" in tail:
+                continue
+            f = Finding(
+                path,
+                line_of(text, m.start()),
+                "nodiscard",
+                f"{ret} {name}(...) must be [[nodiscard]] — ignoring a "
+                "Result/Status/ErrorCode is a latent provisioning bug",
+            )
+            if not allowed(raw_lines, f):
+                findings.append(f)
+
+
+# --- no-artifacts -----------------------------------------------------------
+
+ARTIFACT_PATH_RE = re.compile(
+    r"^build|(\.o|\.a|\.so|\.obj|\.ninja_deps|\.ninja_log)$|CMakeCache\.txt$"
+)
+
+
+def check_no_artifacts(findings: list[Finding]) -> None:
+    try:
+        tracked = subprocess.run(
+            ["git", "ls-files", "-z"],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=REPO_ROOT,
+        ).stdout.split("\0")
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return  # not a git checkout (e.g. source tarball): nothing to check
+    for rel in tracked:
+        if not rel:
+            continue
+        if ARTIFACT_PATH_RE.search(rel):
+            findings.append(
+                Finding(os.path.join(REPO_ROOT, rel), 1, "no-artifacts",
+                        "build artifact tracked by git — remove from index")
+            )
+            continue
+        full = os.path.join(REPO_ROOT, rel)
+        if not os.path.isfile(full):
+            continue
+        with open(full, "rb") as fh:
+            if b"\0" in fh.read(8192):
+                findings.append(
+                    Finding(full, 1, "no-artifacts",
+                            "binary blob tracked by git")
+                )
+
+
+# --- driver -----------------------------------------------------------------
+
+CHECKS = {
+    "metric-name": check_metric_names,
+    "banned-call": check_banned_calls,
+    "pragma-once": check_headers,
+    "include-order": check_include_order,
+    "nodiscard": check_nodiscard,
+    "no-artifacts": check_no_artifacts,
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--report", metavar="FILE",
+                        help="also write findings to FILE")
+    parser.add_argument("--checks", default=",".join(CHECKS),
+                        help="comma-separated subset of checks to run")
+    args = parser.parse_args()
+
+    selected = [c.strip() for c in args.checks.split(",") if c.strip()]
+    unknown = [c for c in selected if c not in CHECKS]
+    if unknown:
+        print(f"error: unknown checks: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    for name in selected:
+        CHECKS[name](findings)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.check))
+    lines = [str(f) for f in findings]
+    summary = (
+        f"griphon-lint: {len(findings)} finding(s) across "
+        f"{len(selected)} checks"
+        if findings
+        else f"griphon-lint: clean ({len(selected)} checks)"
+    )
+    for line in lines:
+        print(line)
+    print(summary)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines + [summary]) + "\n")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the CMake-exported compilation database.
+
+Usage:
+    tools/run_clang_tidy.py [--build-dir build] [--require] [paths...]
+
+Reads <build-dir>/compile_commands.json, keeps translation units under the
+given paths (default: src tests bench examples), and runs clang-tidy on each
+in parallel with the repo's .clang-tidy config. Any diagnostic is a failure
+(WarningsAsErrors is '*' in .clang-tidy).
+
+The container used for local development may not ship clang-tidy; without
+--require the script then prints a notice and exits 0 so local pre-commit
+runs degrade gracefully. CI passes --require so a missing tool can never
+masquerade as a clean run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import multiprocessing
+import os
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_PATHS = ("src", "tests", "bench", "examples")
+CANDIDATE_BINARIES = (
+    "clang-tidy",
+    "clang-tidy-19",
+    "clang-tidy-18",
+    "clang-tidy-17",
+    "clang-tidy-16",
+    "clang-tidy-15",
+    "clang-tidy-14",
+)
+
+
+def find_clang_tidy() -> str | None:
+    override = os.environ.get("CLANG_TIDY")
+    if override:
+        return override if shutil.which(override) else None
+    for name in CANDIDATE_BINARIES:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def load_database(build_dir: str) -> list[dict]:
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        sys.exit(
+            f"error: {db_path} not found — configure first:\n"
+            "  cmake -B build -S .   (CMAKE_EXPORT_COMPILE_COMMANDS is ON "
+            "by default)"
+        )
+    with open(db_path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def select_files(database: list[dict], paths: tuple[str, ...]) -> list[str]:
+    prefixes = tuple(os.path.join(REPO_ROOT, p) + os.sep for p in paths)
+    files = sorted(
+        {
+            entry["file"]
+            for entry in database
+            if os.path.abspath(entry["file"]).startswith(prefixes)
+        }
+    )
+    return files
+
+
+def run_one(binary: str, build_dir: str, source: str) -> tuple[str, int, str]:
+    proc = subprocess.run(
+        [binary, "-p", build_dir, "--quiet", source],
+        capture_output=True,
+        text=True,
+        check=False,
+        cwd=REPO_ROOT,
+    )
+    # clang-tidy prints diagnostics on stdout; suppress the noise-only
+    # "N warnings generated" stderr chatter from clean runs.
+    return source, proc.returncode, proc.stdout.strip()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument(
+        "--require",
+        action="store_true",
+        help="fail (exit 2) if clang-tidy is not installed",
+    )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=multiprocessing.cpu_count(),
+    )
+    parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS))
+    args = parser.parse_args()
+
+    binary = find_clang_tidy()
+    if binary is None:
+        if args.require:
+            print("error: clang-tidy not found (set CLANG_TIDY or install it)")
+            return 2
+        print("notice: clang-tidy not installed — skipping (use --require "
+              "to make this an error)")
+        return 0
+
+    build_dir = os.path.join(REPO_ROOT, args.build_dir)
+    database = load_database(build_dir)
+    files = select_files(database, tuple(args.paths))
+    if not files:
+        print("error: no translation units matched", args.paths)
+        return 2
+
+    print(f"{binary}: checking {len(files)} translation units "
+          f"with {args.jobs} jobs")
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for source, code, output in pool.map(
+            lambda f: run_one(binary, build_dir, f), files
+        ):
+            rel = os.path.relpath(source, REPO_ROOT)
+            if code != 0 or output:
+                failures += 1
+                print(f"== {rel}")
+                if output:
+                    print(output)
+    if failures:
+        print(f"clang-tidy: {failures}/{len(files)} files with diagnostics")
+        return 1
+    print(f"clang-tidy: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
