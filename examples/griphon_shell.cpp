@@ -20,6 +20,10 @@
 //   telemetry <id>             per-connection lifecycle waterfall
 //   telemetry json [id]        span JSON (all spans, or one connection)
 //   telemetry save <path>      dump metrics + spans as JSON to a file
+//   schedule <a> <b> <tb> <hours>   deadline-driven bulk transfer (BoD)
+//   transfers                  bulk-transfer status table
+//   reserve <link> <gbps> <start-s> <end-s>   advance calendar reservation
+//   calendar                   reservation-calendar occupancy map
 //   quit
 //
 // Example (one line):
@@ -29,6 +33,7 @@
 #include <sstream>
 #include <string>
 
+#include "bod/transfer_scheduler.hpp"
 #include "core/scenario.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/timeline.hpp"
@@ -50,6 +55,19 @@ int main() {
   core::TestbedScenario s(/*seed=*/1);
   telemetry::Telemetry tel(&s.engine);
   s.model->attach_telemetry(&tel);
+
+  // BoD service layer riding the same deployment: an advance-reservation
+  // calendar over the testbed fibers, admission control for the one
+  // customer, and the deadline scheduler in front of the portal.
+  bod::ReservationCalendar calendar;
+  bod::AdmissionController admission(&s.engine);
+  bod::AdmissionController::CustomerPolicy policy;
+  policy.bandwidth_quota = DataRate::gbps(160);
+  admission.set_policy(s.csp, policy);
+  bod::TransferScheduler scheduler(s.controller.get(), &calendar,
+                                   &admission);
+  scheduler.register_portal(s.portal.get());
+
   auto& out = std::cout;
   out << "GRIPhoN shell — paper testbed loaded. 'help' for commands.\n";
   const std::vector<MuxponderId> sites{s.site_i, s.site_iii, s.site_iv};
@@ -65,7 +83,9 @@ int main() {
       out << "sites | topo | connect a b gbps [none|restore|1+1] | "
              "bundle a b gbps | disconnect id | cut link | repair link | "
              "maintain link | regroom id | wait s | dashboard | stats | "
-             "telemetry [id | json [id] | save path] | quit\n";
+             "telemetry [id | json [id] | save path] | "
+             "schedule a b tb hours | transfers | "
+             "reserve link gbps start-s end-s | calendar | quit\n";
     } else if (cmd == "sites") {
       for (std::size_t i = 0; i < sites.size(); ++i) {
         const auto* site = s.model->site_by_nte(sites[i]);
@@ -192,6 +212,61 @@ int main() {
                     ? "  no spans for connection " + arg + "\n"
                     : timeline);
       }
+    } else if (cmd == "schedule") {
+      std::size_t a = 0, b = 0;
+      double tb = 0, hours_out = 0;
+      in >> a >> b >> tb >> hours_out;
+      if (a >= sites.size() || b >= sites.size() || a == b || tb <= 0 ||
+          hours_out <= 0) {
+        out << "  usage: schedule <site> <site> <terabytes> "
+               "<deadline-hours-from-now>\n";
+        continue;
+      }
+      bod::TransferScheduler::TransferRequest req;
+      req.customer = s.csp;
+      req.src_site = sites[a];
+      req.dst_site = sites[b];
+      req.bytes = static_cast<std::int64_t>(tb * 1e12);
+      req.deadline = s.engine.now() + from_seconds(hours_out * 3600);
+      const auto id = scheduler.submit(req);
+      if (id.ok()) {
+        const auto status = scheduler.inspect(s.csp, id.value());
+        out << "  transfer " << id.value() << " scheduled, "
+            << status.value().pieces << " piece(s), lands by t="
+            << to_seconds(status.value().expected_completion) << " s\n";
+      } else {
+        out << "  REJECTED: " << id.error() << "\n";
+      }
+    } else if (cmd == "transfers") {
+      out << scheduler.render();
+    } else if (cmd == "reserve") {
+      std::string name;
+      double gbps = 0, start_s = 0, end_s = 0;
+      in >> name >> gbps >> start_s >> end_s;
+      const auto link = link_by_name(*s.model, name);
+      if (!link || gbps <= 0 || end_s <= start_s) {
+        out << "  usage: reserve <link> <gbps> <start-s> <end-s> "
+               "(see: topo)\n";
+        continue;
+      }
+      const auto resv = calendar.reserve(
+          s.csp, {*link}, DataRate::gbps(gbps),
+          {from_seconds(start_s), from_seconds(end_s)});
+      if (resv.ok())
+        out << "  reservation " << resv.value() << " holds "
+            << gbps << "G on " << name << " [" << start_s << " s, "
+            << end_s << " s)\n";
+      else
+        out << "  REJECTED: " << resv.error() << "\n";
+    } else if (cmd == "calendar") {
+      // Backbone fibers plus every site's access pipe, next 6 hours.
+      std::vector<LinkId> links;
+      for (const auto& l : s.model->graph().links()) links.push_back(l.id);
+      for (const MuxponderId site : sites)
+        links.push_back(scheduler.access_link(site));
+      const std::string map = calendar.render(
+          links, s.engine.now(), s.engine.now() + hours(6));
+      out << (map.empty() ? "  calendar empty\n" : map);
     } else if (cmd == "stats") {
       const auto& st = s.controller->stats();
       out << "  setups " << st.setups_ok << "/"

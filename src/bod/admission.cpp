@@ -1,0 +1,78 @@
+#include "bod/admission.hpp"
+
+#include <algorithm>
+
+namespace griphon::bod {
+
+void AdmissionController::set_policy(CustomerId customer,
+                                     CustomerPolicy policy) {
+  CustomerState& state = customers_[customer];
+  state.policy = policy;
+  state.tokens = policy.burst;
+  state.refilled_at = engine_->now();
+}
+
+const AdmissionController::CustomerPolicy* AdmissionController::policy(
+    CustomerId customer) const {
+  const auto it = customers_.find(customer);
+  return it == customers_.end() ? nullptr : &it->second.policy;
+}
+
+Status AdmissionController::admit(const Request& request) {
+  const auto it = customers_.find(request.customer);
+  if (it == customers_.end()) {
+    ++stats_.rejected_unknown;
+    return Status{ErrorCode::kPermissionDenied,
+                  "admission: customer has no BoD contract"};
+  }
+  CustomerState& state = it->second;
+
+  // Lazy token-bucket refill on the sim clock: no periodic events needed,
+  // which keeps admit() allocation-free and fast.
+  const SimTime now = engine_->now();
+  if (now > state.refilled_at) {
+    state.tokens =
+        std::min(state.policy.burst,
+                 state.tokens + to_seconds(now - state.refilled_at) *
+                                    state.policy.requests_per_second);
+    state.refilled_at = now;
+  }
+  if (state.tokens < 1.0) {
+    ++stats_.rejected_rate_limit;
+    return Status{ErrorCode::kBusy,
+                  "admission: request rate limit exceeded, retry later"};
+  }
+  state.tokens -= 1.0;
+
+  const auto cls = static_cast<std::size_t>(request.priority);
+  const auto allowed = DataRate{static_cast<std::int64_t>(
+      static_cast<double>(state.policy.bandwidth_quota.in_bps()) *
+      state.policy.class_share[cls])};
+  if (state.committed + request.rate > allowed) {
+    ++stats_.rejected_quota;
+    return Status{ErrorCode::kResourceExhausted,
+                  "admission: bandwidth quota exhausted for class " +
+                      std::string(to_string(request.priority))};
+  }
+  ++stats_.admitted;
+  return Status::success();
+}
+
+void AdmissionController::commit(CustomerId customer, DataRate rate) {
+  const auto it = customers_.find(customer);
+  if (it != customers_.end()) it->second.committed += rate;
+}
+
+void AdmissionController::release(CustomerId customer, DataRate rate) {
+  const auto it = customers_.find(customer);
+  if (it == customers_.end()) return;
+  it->second.committed -= rate;
+  if (it->second.committed <= DataRate{}) it->second.committed = DataRate{};
+}
+
+DataRate AdmissionController::committed(CustomerId customer) const {
+  const auto it = customers_.find(customer);
+  return it == customers_.end() ? DataRate{} : it->second.committed;
+}
+
+}  // namespace griphon::bod

@@ -1,0 +1,104 @@
+// Admission control for the BoD service layer.
+//
+// The carrier isolates tenants *before* any network resource is touched:
+// each customer gets a bandwidth quota (max concurrently committed rate
+// across the calendar and live circuits), a token-bucket limit on request
+// rate (a runaway client cannot starve the scheduler), and a priority
+// class. Admission is a pure in-memory decision — a couple of hash
+// lookups — so it sustains well over 100k decisions/s and can front every
+// request on the hot path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/units.hpp"
+#include "sim/engine.hpp"
+
+namespace griphon::bod {
+
+/// Service priority of a BoD request. On-demand connects get the full
+/// quota; scheduled (calendar) work keeps headroom for on-demand; bulk
+/// best-effort keeps headroom for both.
+enum class Priority : std::uint8_t {
+  kOnDemand = 0,
+  kScheduled = 1,
+  kBestEffortBulk = 2,
+};
+
+[[nodiscard]] constexpr const char* to_string(Priority p) noexcept {
+  switch (p) {
+    case Priority::kOnDemand:
+      return "on-demand";
+    case Priority::kScheduled:
+      return "scheduled";
+    case Priority::kBestEffortBulk:
+      return "best-effort-bulk";
+  }
+  return "?";
+}
+
+class AdmissionController {
+ public:
+  struct CustomerPolicy {
+    DataRate bandwidth_quota = DataRate::gbps(100);
+    double requests_per_second = 100.0;  ///< token-bucket refill rate
+    double burst = 1000.0;               ///< token-bucket depth
+    /// Fraction of the quota each priority class may fill (on-demand,
+    /// scheduled, best-effort-bulk). Lower classes see a smaller pool, so
+    /// bulk can never squeeze out interactive growth.
+    std::array<double, 3> class_share{1.0, 0.9, 0.7};
+  };
+
+  explicit AdmissionController(sim::Engine* engine) : engine_(engine) {}
+
+  /// Register (or replace) a customer's policy. Customers without a
+  /// policy are rejected outright — BoD is an opt-in contract.
+  void set_policy(CustomerId customer, CustomerPolicy policy);
+  [[nodiscard]] const CustomerPolicy* policy(CustomerId customer) const;
+
+  struct Request {
+    CustomerId customer;
+    DataRate rate;  ///< peak concurrent rate the request would commit
+    Priority priority = Priority::kScheduled;
+  };
+
+  /// Admission decision. Errors:
+  ///  * kPermissionDenied — unknown customer (no BoD contract);
+  ///  * kBusy             — token bucket empty (request rate limit);
+  ///  * kResourceExhausted — committed + rate above the class's quota
+  ///    share.
+  /// Admission does NOT commit capacity; callers pair it with
+  /// commit()/release() once the calendar accepts the plan.
+  [[nodiscard]] Status admit(const Request& request);
+
+  /// Account committed rate against the customer's quota.
+  void commit(CustomerId customer, DataRate rate);
+  void release(CustomerId customer, DataRate rate);
+  [[nodiscard]] DataRate committed(CustomerId customer) const;
+
+  struct Stats {
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected_quota = 0;
+    std::uint64_t rejected_rate_limit = 0;
+    std::uint64_t rejected_unknown = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct CustomerState {
+    CustomerPolicy policy;
+    DataRate committed{};
+    double tokens = 0;
+    SimTime refilled_at{};
+  };
+
+  sim::Engine* engine_;
+  std::unordered_map<CustomerId, CustomerState> customers_;
+  Stats stats_;
+};
+
+}  // namespace griphon::bod

@@ -100,6 +100,10 @@ using RequestId = Id<struct ReqTag>;      ///< protocol request correlation
 using AlarmId = Id<struct AlarmTag>;      ///< raised alarm instance
 using JobId = Id<struct JobTag>;          ///< workload bulk-transfer job
 
+// --- BoD service layer -------------------------------------------------
+using ReservationId = Id<struct ResvTag>; ///< calendar capacity reservation
+using TransferId = Id<struct XferTag>;    ///< deadline-driven bulk transfer
+
 }  // namespace griphon
 
 namespace std {

@@ -654,10 +654,15 @@ void GriphonController::finish_setup(ConnectionId id, Status status,
                 status.ok() ? std::string{} : status.error().message());
     c->setup_span = 0;
     auto& m = t->metrics();
-    m.counter(status.ok() ? "griphon_controller_setups_ok_total"
-                          : "griphon_controller_setups_failed_total",
-              status.ok() ? "Connection setups completed"
-                          : "Connection setups failed and rolled back")
+    const char* name = status.ok() ? "griphon_controller_setups_ok_total"
+                                   : "griphon_controller_setups_failed_total";
+    const char* help = status.ok()
+                           ? "Connection setups completed"
+                           : "Connection setups failed and rolled back";
+    m.counter(name, help)->inc();
+    // Per-customer series: customer isolation must be observable.
+    m.counter(name, help,
+              {{"customer", std::to_string(c->customer.value())}})
         ->inc();
     if (status.ok())
       m.histogram("griphon_controller_setup_seconds",
@@ -1053,9 +1058,11 @@ void GriphonController::release_connection(ConnectionId id, DoneCallback cb) {
     if (telemetry::Telemetry* t = model_->telemetry()) {
       t->span_end(c->op_span, status.ok());
       c->op_span = 0;
-      t->metrics()
-          .counter("griphon_controller_releases_total",
-                   "Connections released")
+      auto& m = t->metrics();
+      m.counter("griphon_controller_releases_total", "Connections released")
+          ->inc();
+      m.counter("griphon_controller_releases_total", "Connections released",
+                {{"customer", std::to_string(c->customer.value())}})
           ->inc();
     }
     trace(sim::TraceLevel::kInfo, "released",
@@ -1189,6 +1196,7 @@ void GriphonController::on_links_failed(const std::vector<LinkId>& links) {
       if (circuit.state == otn::OduCircuit::State::kFailed) mark_failed(c);
     }
   }
+  if (topology_observer_) topology_observer_(links, /*failed=*/true);
 }
 
 void GriphonController::on_links_repaired(const std::vector<LinkId>& links) {
@@ -1236,6 +1244,7 @@ void GriphonController::on_links_repaired(const std::vector<LinkId>& links) {
         mark_recovered(c);
     }
   }
+  if (topology_observer_) topology_observer_(links, /*failed=*/false);
 }
 
 void GriphonController::enqueue_restoration(ConnectionId id) {

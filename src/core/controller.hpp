@@ -100,6 +100,20 @@ class GriphonController {
     return failures_;
   }
   [[nodiscard]] NetworkModel& model() noexcept { return *model_; }
+  /// Shared RWA engine — the BoD service layer plans routes (and hits the
+  /// exclusion-keyed route cache) through the same engine restoration uses.
+  [[nodiscard]] const RwaEngine& rwa() const noexcept { return rwa_; }
+
+  /// Observer hook for localized plant events: called with the root-cause
+  /// links after the controller's own failure/repair handling ran.
+  /// `failed` is true for cuts, false for repairs. Used by the BoD
+  /// TransferScheduler to re-schedule transfers whose reserved routes lost
+  /// capacity mid-flight. One observer; set empty to detach.
+  using TopologyObserver =
+      std::function<void(const std::vector<LinkId>&, bool failed)>;
+  void set_topology_observer(TopologyObserver observer) {
+    topology_observer_ = std::move(observer);
+  }
 
   struct Stats {
     std::size_t setups_ok = 0;
@@ -197,6 +211,7 @@ class GriphonController {
   std::set<std::pair<MuxponderId, std::size_t>> reserved_nte_ports_;
   std::vector<ConnectionId> restore_queue_;
   bool restoration_in_flight_ = false;
+  TopologyObserver topology_observer_;
   IdAllocator<ConnectionId> ids_;
   Stats stats_;
 };

@@ -4,7 +4,27 @@
 #include <memory>
 #include <sstream>
 
+#include "telemetry/telemetry.hpp"
+
 namespace griphon::core {
+
+namespace {
+
+/// Count a portal-level rejection, labeled by customer and reason, so the
+/// carrier can see per-tenant isolation working (or a tenant hammering
+/// its quota) straight from the metrics.
+void count_reject(GriphonController* controller, CustomerId customer,
+                  const char* reason) {
+  if (telemetry::Telemetry* t = controller->model().telemetry())
+    t->metrics()
+        .counter("griphon_portal_rejects_total",
+                 "Customer requests rejected at the portal",
+                 {{"customer", std::to_string(customer.value())},
+                  {"reason", reason}})
+        ->inc();
+}
+
+}  // namespace
 
 CustomerPortal::CustomerPortal(GriphonController* controller,
                                CustomerId customer, DataRate bandwidth_quota)
@@ -21,6 +41,7 @@ void CustomerPortal::connect(MuxponderId src_site, MuxponderId dst_site,
                              DataRate rate, ProtectionMode protection,
                              SetupCallback cb, ServiceTier tier) {
   if (provisioned() + rate > quota_) {
+    count_reject(controller_, customer_, "quota");
     cb(Error{ErrorCode::kPermissionDenied,
              "portal: request exceeds bandwidth quota"});
     return;
@@ -38,6 +59,7 @@ void CustomerPortal::connect(MuxponderId src_site, MuxponderId dst_site,
 void CustomerPortal::disconnect(ConnectionId id, DoneCallback cb) {
   const Connection& c = controller_->connection(id);
   if (c.customer != customer_) {
+    count_reject(controller_, customer_, "isolation");
     cb(Status{ErrorCode::kPermissionDenied,
               "portal: connection belongs to another customer"});
     return;
@@ -73,6 +95,7 @@ void CustomerPortal::connect_bundle(MuxponderId src_site,
                                     BundleCallback cb) {
   const Decomposition d = decompose(rate);
   if (provisioned() + d.total() > quota_) {
+    count_reject(controller_, customer_, "quota");
     cb(Error{ErrorCode::kPermissionDenied,
              "portal: bundle exceeds bandwidth quota"});
     return;

@@ -60,23 +60,58 @@ void RwaEngine::sync_telemetry() const {
                             "Plan attempts that found no viable plan");
 }
 
-const std::vector<topology::Path>& RwaEngine::cached_routes(NodeId src,
-                                                            NodeId dst) const {
+std::size_t RwaEngine::RouteKeyHash::operator()(
+    const RouteKey& k) const noexcept {
+  // FNV-1a over the key's words; equality still compares in full, so a
+  // collision only costs a probe, never a wrong answer.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) noexcept {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(k.src);
+  mix(k.dst);
+  mix(k.excluded_links.size());
+  for (const std::uint64_t v : k.excluded_links) mix(v);
+  for (const std::uint64_t v : k.excluded_nodes) mix(v);
+  return static_cast<std::size_t>(h);
+}
+
+const std::vector<topology::Path>& RwaEngine::candidate_routes(
+    NodeId src, NodeId dst, const Exclusions& exclude) const {
+  sync_telemetry();  // external callers (BoD scheduler) skip plan()
   if (route_cache_version_ != model_->topology_version()) {
     route_cache_.clear();
     route_cache_version_ = model_->topology_version();
   }
-  const std::uint64_t key = (src.value() << 32) | dst.value();
-  const auto [it, inserted] = route_cache_.try_emplace(key);
+  RouteKey key;
+  key.src = src.value();
+  key.dst = dst.value();
+  key.excluded_links.reserve(exclude.links.size());
+  for (const LinkId l : exclude.links) key.excluded_links.push_back(l.value());
+  key.excluded_nodes.reserve(exclude.nodes.size());
+  for (const NodeId n : exclude.nodes) key.excluded_nodes.push_back(n.value());
+  const auto [it, inserted] = route_cache_.try_emplace(std::move(key));
   if (cache_hits_ != nullptr)
     (inserted ? cache_misses_ : cache_hits_)->inc();
   if (inserted) {
-    // Same query the uncached path issues with empty exclusions, so cache
-    // hits and misses yield byte-identical candidate lists.
-    it->second = topology::k_shortest_paths(
-        model_->graph(), src, dst, params_.route_candidates,
-        topology::distance_weight(),
-        [&](const topology::Link& l) { return !model_->link_failed(l.id); });
+    // Same query the uncached path used to issue, so cache hits and misses
+    // yield byte-identical candidate lists.
+    const auto filter = [&](const topology::Link& l) {
+      if (model_->link_failed(l.id)) return false;
+      if (exclude.links.contains(l.id)) return false;
+      if (exclude.nodes.contains(l.a) || exclude.nodes.contains(l.b)) {
+        // Interior exclusion: allow links touching src/dst themselves.
+        const bool endpoint_ok =
+            (l.a == src || l.a == dst || !exclude.nodes.contains(l.a)) &&
+            (l.b == src || l.b == dst || !exclude.nodes.contains(l.b));
+        if (!endpoint_ok) return false;
+      }
+      return true;
+    };
+    it->second = topology::k_shortest_paths(model_->graph(), src, dst,
+                                            params_.route_candidates,
+                                            topology::distance_weight(), filter);
   }
   return it->second;
 }
@@ -92,27 +127,8 @@ Result<WavelengthPlan> RwaEngine::plan(NodeId src, NodeId dst, DataRate rate,
 
   const auto profile = dwdm::profile_for(rate);
 
-  std::vector<topology::Path> excluded_routes;
-  const std::vector<topology::Path>* routes;
-  if (exclude.links.empty() && exclude.nodes.empty()) {
-    routes = &cached_routes(src, dst);
-  } else {
-    const auto filter = [&](const topology::Link& l) {
-      if (model_->link_failed(l.id)) return false;
-      if (exclude.links.contains(l.id)) return false;
-      if (exclude.nodes.contains(l.a) || exclude.nodes.contains(l.b)) {
-        // Interior exclusion: allow links touching src/dst themselves.
-        const bool endpoint_ok = (l.a == src || l.a == dst || !exclude.nodes.contains(l.a)) &&
-                                 (l.b == src || l.b == dst || !exclude.nodes.contains(l.b));
-        if (!endpoint_ok) return false;
-      }
-      return true;
-    };
-    excluded_routes = topology::k_shortest_paths(
-        model_->graph(), src, dst, params_.route_candidates,
-        topology::distance_weight(), filter);
-    routes = &excluded_routes;
-  }
+  const std::vector<topology::Path>* routes =
+      &candidate_routes(src, dst, exclude);
   if (routes->empty()) {
     if (plans_failed_ != nullptr) plans_failed_->inc();
     return Error{ErrorCode::kUnreachable, "rwa: no route survives exclusions"};

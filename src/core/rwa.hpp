@@ -79,6 +79,17 @@ class RwaEngine {
       const topology::Path& path, std::size_t first_link,
       std::size_t last_link) const;
 
+  /// Candidate routes for (src, dst) under `exclude`, memoized. Routes
+  /// depend only on the graph, the failed-link set, k, the weight function
+  /// and the exclusions — the first two are versioned by the model's
+  /// topology_version(), k and weights fixed per engine, and the
+  /// exclusions are part of the cache key — so steady-state planning
+  /// (including restoration and BoD re-scheduling, which plan around the
+  /// same failed links repeatedly) skips Yen's entirely. Public so the BoD
+  /// TransferScheduler can share routes without planning wavelengths.
+  [[nodiscard]] const std::vector<topology::Path>& candidate_routes(
+      NodeId src, NodeId dst, const Exclusions& exclude = {}) const;
+
  private:
   [[nodiscard]] dwdm::ChannelIndex pick_channel(
       const dwdm::ChannelSet& candidates) const;
@@ -88,19 +99,25 @@ class RwaEngine {
   /// pointer comparison + one branch per plan() call.
   void sync_telemetry() const;
 
-  /// Candidate routes for (src, dst) with no caller exclusions. Routes
-  /// depend only on the graph, the failed-link set, k, and the weight
-  /// function — the first two are versioned by the model's
-  /// topology_version(), the last two fixed per engine — so steady-state
-  /// planning skips Yen's entirely. Calls with exclusions bypass the cache.
-  [[nodiscard]] const std::vector<topology::Path>& cached_routes(
-      NodeId src, NodeId dst) const;
+  /// Full cache key: pair + exclusions (compared, not just hashed, so a
+  /// hash collision can never serve the wrong candidate list).
+  struct RouteKey {
+    std::uint64_t src = 0;
+    std::uint64_t dst = 0;
+    std::vector<std::uint64_t> excluded_links;  ///< sorted (set order)
+    std::vector<std::uint64_t> excluded_nodes;  ///< sorted (set order)
+    bool operator==(const RouteKey&) const = default;
+  };
+  struct RouteKeyHash {
+    std::size_t operator()(const RouteKey& k) const noexcept;
+  };
 
   const NetworkModel* model_;
   const Inventory* inventory_;
   Params params_;
 
-  mutable std::unordered_map<std::uint64_t, std::vector<topology::Path>>
+  mutable std::unordered_map<RouteKey, std::vector<topology::Path>,
+                             RouteKeyHash>
       route_cache_;
   mutable std::uint64_t route_cache_version_ = 0;
 

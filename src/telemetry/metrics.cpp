@@ -46,63 +46,97 @@ std::vector<double> duration_buckets() {
           120.0, 180.0, 300.0};
 }
 
-Counter* MetricsRegistry::counter(const std::string& name,
-                                  const std::string& help) {
-  auto& e = entries_[name];
-  if (e.c == nullptr && e.g == nullptr && e.h == nullptr) {
-    e.kind = Kind::kCounter;
-    e.help = help;
-    e.c = std::make_unique<Counter>();
+std::string MetricsRegistry::label_key(const Labels& labels) {
+  if (labels.empty()) return {};
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = "{";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out += ',';
+    out += sorted[i].first;
+    out += "=\"";
+    for (const char c : sorted[i].second) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
   }
-  if (e.kind != Kind::kCounter)
-    throw std::logic_error("telemetry: " + name +
-                           " already registered as a different kind");
-  return e.c.get();
+  out += '}';
+  return out;
 }
 
-Gauge* MetricsRegistry::gauge(const std::string& name,
-                              const std::string& help) {
-  auto& e = entries_[name];
-  if (e.c == nullptr && e.g == nullptr && e.h == nullptr) {
-    e.kind = Kind::kGauge;
-    e.help = help;
-    e.g = std::make_unique<Gauge>();
+MetricsRegistry::Family& MetricsRegistry::family_for(const std::string& name,
+                                                     const std::string& help,
+                                                     Kind kind) {
+  auto& f = families_[name];
+  if (f.samples.empty()) {
+    f.kind = kind;
+    f.help = help;
   }
-  if (e.kind != Kind::kGauge)
+  if (f.kind != kind)
     throw std::logic_error("telemetry: " + name +
                            " already registered as a different kind");
-  return e.g.get();
+  return f;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  const Labels& labels) {
+  auto& s = family_for(name, help, Kind::kCounter).samples[label_key(labels)];
+  if (s.c == nullptr) {
+    s.c = std::make_unique<Counter>();
+    ++series_;
+  }
+  return s.c.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const Labels& labels) {
+  auto& s = family_for(name, help, Kind::kGauge).samples[label_key(labels)];
+  if (s.g == nullptr) {
+    s.g = std::make_unique<Gauge>();
+    ++series_;
+  }
+  return s.g.get();
 }
 
 Histogram* MetricsRegistry::histogram(const std::string& name,
                                       const std::string& help,
-                                      std::vector<double> bounds) {
-  auto& e = entries_[name];
-  if (e.c == nullptr && e.g == nullptr && e.h == nullptr) {
-    e.kind = Kind::kHistogram;
-    e.help = help;
-    e.h = std::make_unique<Histogram>(std::move(bounds));
+                                      std::vector<double> bounds,
+                                      const Labels& labels) {
+  auto& s =
+      family_for(name, help, Kind::kHistogram).samples[label_key(labels)];
+  if (s.h == nullptr) {
+    s.h = std::make_unique<Histogram>(std::move(bounds));
+    ++series_;
   }
-  if (e.kind != Kind::kHistogram)
-    throw std::logic_error("telemetry: " + name +
-                           " already registered as a different kind");
-  return e.h.get();
+  return s.h.get();
 }
 
-const Counter* MetricsRegistry::find_counter(const std::string& name) const {
-  const auto it = entries_.find(name);
-  return it == entries_.end() ? nullptr : it->second.c.get();
+const MetricsRegistry::Sample* MetricsRegistry::find_sample(
+    const std::string& name, const Labels& labels) const {
+  const auto it = families_.find(name);
+  if (it == families_.end()) return nullptr;
+  const auto sit = it->second.samples.find(label_key(labels));
+  return sit == it->second.samples.end() ? nullptr : &sit->second;
 }
 
-const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
-  const auto it = entries_.find(name);
-  return it == entries_.end() ? nullptr : it->second.g.get();
+const Counter* MetricsRegistry::find_counter(const std::string& name,
+                                             const Labels& labels) const {
+  const Sample* s = find_sample(name, labels);
+  return s == nullptr ? nullptr : s->c.get();
 }
 
-const Histogram* MetricsRegistry::find_histogram(
-    const std::string& name) const {
-  const auto it = entries_.find(name);
-  return it == entries_.end() ? nullptr : it->second.h.get();
+const Gauge* MetricsRegistry::find_gauge(const std::string& name,
+                                         const Labels& labels) const {
+  const Sample* s = find_sample(name, labels);
+  return s == nullptr ? nullptr : s->g.get();
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name,
+                                                 const Labels& labels) const {
+  const Sample* s = find_sample(name, labels);
+  return s == nullptr ? nullptr : s->h.get();
 }
 
 namespace {
@@ -117,30 +151,46 @@ std::string num(double v) {
 
 }  // namespace
 
+namespace {
+
+/// Merge an `le` bucket label into an existing label block ("" or
+/// `{k="v",...}`), keeping Prometheus exposition syntax.
+std::string with_le(const std::string& labels, const std::string& le) {
+  if (labels.empty()) return "{le=\"" + le + "\"}";
+  return labels.substr(0, labels.size() - 1) + ",le=\"" + le + "\"}";
+}
+
+}  // namespace
+
 std::string MetricsRegistry::to_prometheus() const {
   std::ostringstream os;
-  for (const auto& [name, e] : entries_) {
-    os << "# HELP " << name << ' ' << e.help << '\n';
-    switch (e.kind) {
+  for (const auto& [name, f] : families_) {
+    os << "# HELP " << name << ' ' << f.help << '\n';
+    switch (f.kind) {
       case Kind::kCounter:
         os << "# TYPE " << name << " counter\n";
-        os << name << ' ' << e.c->value() << '\n';
+        for (const auto& [labels, s] : f.samples)
+          os << name << labels << ' ' << s.c->value() << '\n';
         break;
       case Kind::kGauge:
         os << "# TYPE " << name << " gauge\n";
-        os << name << ' ' << num(e.g->value()) << '\n';
+        for (const auto& [labels, s] : f.samples)
+          os << name << labels << ' ' << num(s.g->value()) << '\n';
         break;
       case Kind::kHistogram: {
         os << "# TYPE " << name << " histogram\n";
-        std::uint64_t cum = 0;
-        for (std::size_t i = 0; i < e.h->bounds().size(); ++i) {
-          cum += e.h->buckets()[i];
-          os << name << "_bucket{le=\"" << num(e.h->bounds()[i]) << "\"} "
-             << cum << '\n';
+        for (const auto& [labels, s] : f.samples) {
+          std::uint64_t cum = 0;
+          for (std::size_t i = 0; i < s.h->bounds().size(); ++i) {
+            cum += s.h->buckets()[i];
+            os << name << "_bucket" << with_le(labels, num(s.h->bounds()[i]))
+               << ' ' << cum << '\n';
+          }
+          os << name << "_bucket" << with_le(labels, "+Inf") << ' '
+             << s.h->count() << '\n';
+          os << name << "_sum" << labels << ' ' << num(s.h->sum()) << '\n';
+          os << name << "_count" << labels << ' ' << s.h->count() << '\n';
         }
-        os << name << "_bucket{le=\"+Inf\"} " << e.h->count() << '\n';
-        os << name << "_sum " << num(e.h->sum()) << '\n';
-        os << name << "_count " << e.h->count() << '\n';
         break;
       }
     }
@@ -151,32 +201,44 @@ std::string MetricsRegistry::to_prometheus() const {
 std::string MetricsRegistry::to_json_rows(const std::string& bench) const {
   std::ostringstream os;
   bool first = true;
+  const auto esc = [](const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  };
   const auto row = [&](const std::string& metric, double value,
                        const std::string& unit) {
     os << (first ? "" : ",") << "\n  {\"bench\": \"" << bench
-       << "\", \"metric\": \"" << metric << "\", \"value\": " << num(value)
-       << ", \"unit\": \"" << unit << "\"}";
+       << "\", \"metric\": \"" << esc(metric)
+       << "\", \"value\": " << num(value) << ", \"unit\": \"" << unit
+       << "\"}";
     first = false;
   };
   os << "[";
-  for (const auto& [name, e] : entries_) {
-    switch (e.kind) {
-      case Kind::kCounter:
-        row(name, static_cast<double>(e.c->value()), "count");
-        break;
-      case Kind::kGauge:
-        row(name, e.g->value(), "value");
-        break;
-      case Kind::kHistogram: {
-        const bool secs = name.size() > 8 &&
-                          name.compare(name.size() - 8, 8, "_seconds") == 0;
-        const std::string unit = secs ? "s" : "value";
-        row(name + "_count", static_cast<double>(e.h->count()), "count");
-        row(name + "_sum", e.h->sum(), unit);
-        row(name + "_p50", e.h->quantile(0.50), unit);
-        row(name + "_p95", e.h->quantile(0.95), unit);
-        row(name + "_p99", e.h->quantile(0.99), unit);
-        break;
+  for (const auto& [name, f] : families_) {
+    for (const auto& [labels, s] : f.samples) {
+      switch (f.kind) {
+        case Kind::kCounter:
+          row(name + labels, static_cast<double>(s.c->value()), "count");
+          break;
+        case Kind::kGauge:
+          row(name + labels, s.g->value(), "value");
+          break;
+        case Kind::kHistogram: {
+          const bool secs = name.size() > 8 &&
+                            name.compare(name.size() - 8, 8, "_seconds") == 0;
+          const std::string unit = secs ? "s" : "value";
+          row(name + "_count" + labels, static_cast<double>(s.h->count()),
+              "count");
+          row(name + "_sum" + labels, s.h->sum(), unit);
+          row(name + "_p50" + labels, s.h->quantile(0.50), unit);
+          row(name + "_p95" + labels, s.h->quantile(0.95), unit);
+          row(name + "_p99" + labels, s.h->quantile(0.99), unit);
+          break;
+        }
       }
     }
   }
@@ -205,8 +267,9 @@ bool MetricsRegistry::name_ok(const std::string& name) noexcept {
 }
 
 std::vector<std::string> MetricsRegistry::invalid_names() const {
+  // The scheme governs family names; label blocks are free-form.
   std::vector<std::string> bad;
-  for (const auto& [name, e] : entries_)
+  for (const auto& [name, f] : families_)
     if (!name_ok(name)) bad.push_back(name);
   return bad;
 }

@@ -11,12 +11,18 @@
 // registry's lifetime, so hot paths register once and increment through a
 // cached pointer. A component whose deployment has no telemetry attached
 // never touches the registry at all — that is the no-sink fast path.
+//
+// Metrics may carry labels (e.g. {customer="3"}): each distinct label set
+// is its own independently incremented series under the family name. The
+// naming scheme applies to the family name; labels are free-form key/value
+// pairs rendered in Prometheus exposition syntax.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace griphon::telemetry {
@@ -76,20 +82,32 @@ class Histogram {
 /// dense through the paper's 60-70 s setup band.
 [[nodiscard]] std::vector<double> duration_buckets();
 
+/// One metric label, e.g. {"customer", "3"}. A label set identifies a
+/// series within a metric family; it is canonicalized (sorted by key) at
+/// registration so argument order never splits a series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
 class MetricsRegistry {
  public:
-  /// Register (or fetch) a metric. Registration is idempotent: the same
-  /// name always returns the same handle. Registering a name twice with a
-  /// different metric kind throws std::logic_error.
-  Counter* counter(const std::string& name, const std::string& help);
-  Gauge* gauge(const std::string& name, const std::string& help);
+  /// Register (or fetch) a metric series. Registration is idempotent: the
+  /// same (name, labels) always returns the same handle. Registering a
+  /// name twice with a different metric kind throws std::logic_error.
+  Counter* counter(const std::string& name, const std::string& help,
+                   const Labels& labels = {});
+  Gauge* gauge(const std::string& name, const std::string& help,
+               const Labels& labels = {});
   Histogram* histogram(const std::string& name, const std::string& help,
-                       std::vector<double> bounds = duration_buckets());
+                       std::vector<double> bounds = duration_buckets(),
+                       const Labels& labels = {});
 
-  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
-  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
-  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
-  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+  /// Number of registered series (each label set counts separately).
+  [[nodiscard]] std::size_t size() const noexcept { return series_; }
+  [[nodiscard]] const Counter* find_counter(const std::string& name,
+                                            const Labels& labels = {}) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name,
+                                        const Labels& labels = {}) const;
+  [[nodiscard]] const Histogram* find_histogram(
+      const std::string& name, const Labels& labels = {}) const;
 
   /// Prometheus text exposition format (# HELP / # TYPE / samples).
   [[nodiscard]] std::string to_prometheus() const;
@@ -106,16 +124,28 @@ class MetricsRegistry {
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
-  struct Entry {
-    Kind kind = Kind::kCounter;
-    std::string help;
+  struct Sample {
     std::unique_ptr<Counter> c;
     std::unique_ptr<Gauge> g;
     std::unique_ptr<Histogram> h;
   };
+  struct Family {
+    Kind kind = Kind::kCounter;
+    std::string help;
+    /// Series keyed by rendered label block ("" = unlabeled).
+    std::map<std::string, Sample> samples;
+  };
+
+  /// Canonical `{k="v",...}` block (sorted by key; "" for no labels).
+  [[nodiscard]] static std::string label_key(const Labels& labels);
+  Family& family_for(const std::string& name, const std::string& help,
+                     Kind kind);
+  [[nodiscard]] const Sample* find_sample(const std::string& name,
+                                          const Labels& labels) const;
 
   // Ordered map: exposition output is sorted and therefore diffable.
-  std::map<std::string, Entry> entries_;
+  std::map<std::string, Family> families_;
+  std::size_t series_ = 0;
 };
 
 }  // namespace griphon::telemetry

@@ -5,6 +5,7 @@
 #include "core/inventory.hpp"
 #include "core/network_model.hpp"
 #include "core/rwa.hpp"
+#include "telemetry/telemetry.hpp"
 #include "topology/builders.hpp"
 
 namespace griphon::core {
@@ -265,6 +266,54 @@ TEST_P(RwaProperty, PlansSatisfyInvariants) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RwaProperty, ::testing::Values(2, 4, 6, 8));
+
+TEST_F(RwaFixture, RouteCacheKeysOnExclusions) {
+  telemetry::Telemetry tel(&engine);
+  model.attach_telemetry(&tel);
+  const auto hits = [&] {
+    return tel.metrics()
+        .find_counter("griphon_rwa_route_cache_hits_total")
+        ->value();
+  };
+  const auto misses = [&] {
+    return tel.metrics()
+        .find_counter("griphon_rwa_route_cache_misses_total")
+        ->value();
+  };
+
+  // First query for the bare pair: a miss.
+  (void)rwa.candidate_routes(topo.i, topo.iv);
+  EXPECT_EQ(misses(), 1u);
+  EXPECT_EQ(hits(), 0u);
+
+  // Same pair, same (empty) exclusions: a hit, same candidate list.
+  const auto& bare = rwa.candidate_routes(topo.i, topo.iv);
+  EXPECT_EQ(misses(), 1u);
+  EXPECT_EQ(hits(), 1u);
+
+  // Same pair under an exclusion: a distinct cache entry (miss), and the
+  // excluded link is honored.
+  Exclusions avoid;
+  avoid.links.insert(topo.i_iv);
+  const auto& constrained = rwa.candidate_routes(topo.i, topo.iv, avoid);
+  EXPECT_EQ(misses(), 2u);
+  EXPECT_EQ(hits(), 1u);
+  for (const auto& path : constrained)
+    EXPECT_FALSE(path.uses_link(topo.i_iv));
+  EXPECT_NE(bare.front().links, constrained.front().links);
+
+  // Both entries now resolve from the cache independently.
+  (void)rwa.candidate_routes(topo.i, topo.iv);
+  (void)rwa.candidate_routes(topo.i, topo.iv, avoid);
+  EXPECT_EQ(misses(), 2u);
+  EXPECT_EQ(hits(), 3u);
+
+  // A topology change invalidates every entry, exclusion-keyed or not.
+  model.fail_link(topo.i_iii);
+  (void)rwa.candidate_routes(topo.i, topo.iv, avoid);
+  EXPECT_EQ(misses(), 3u);
+  model.attach_telemetry(nullptr);
+}
 
 }  // namespace
 }  // namespace griphon::core

@@ -140,6 +140,48 @@ TEST(MetricsRegistry, JsonRowsExpandHistograms) {
   EXPECT_NE(rows.find("\"unit\": \"s\""), npos);  // *_seconds histograms
 }
 
+TEST(MetricsRegistry, LabeledSeriesAreIndependent) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("griphon_test_hits_total", "hits",
+                           {{"customer", "1"}});
+  Counter* b = reg.counter("griphon_test_hits_total", "hits",
+                           {{"customer", "2"}});
+  Counter* bare = reg.counter("griphon_test_hits_total", "hits");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, bare);
+  a->inc(3);
+  b->inc(5);
+  EXPECT_EQ(reg.find_counter("griphon_test_hits_total",
+                             {{"customer", "1"}})->value(), 3u);
+  EXPECT_EQ(reg.find_counter("griphon_test_hits_total",
+                             {{"customer", "2"}})->value(), 5u);
+  EXPECT_EQ(reg.find_counter("griphon_test_hits_total")->value(), 0u);
+  // Label order never splits a series; same set = same handle.
+  EXPECT_EQ(reg.counter("griphon_test_multi_total", "m",
+                        {{"a", "1"}, {"b", "2"}}),
+            reg.counter("griphon_test_multi_total", "m",
+                        {{"b", "2"}, {"a", "1"}}));
+  // Each label set is one series; three registered under hits_total.
+  EXPECT_EQ(reg.size(), 4u);
+}
+
+TEST(MetricsRegistry, LabeledExpositionGroupsFamilies) {
+  MetricsRegistry reg;
+  reg.counter("griphon_test_hits_total", "hits", {{"customer", "2"}})->inc(7);
+  reg.counter("griphon_test_hits_total", "hits", {{"customer", "1"}})->inc(3);
+  const std::string text = reg.to_prometheus();
+  // One HELP/TYPE header for the family, then every labeled sample.
+  EXPECT_EQ(text.find("# HELP griphon_test_hits_total hits"),
+            text.rfind("# HELP griphon_test_hits_total hits"));
+  EXPECT_NE(text.find("griphon_test_hits_total{customer=\"1\"} 3"), npos);
+  EXPECT_NE(text.find("griphon_test_hits_total{customer=\"2\"} 7"), npos);
+  // JSON rows carry the label block in the metric name, escaped.
+  const std::string rows = reg.to_json_rows("smoke");
+  EXPECT_NE(rows.find("griphon_test_hits_total{customer=\\\"1\\\"}"), npos);
+  // Family names are validated; the label block is not part of the name.
+  EXPECT_TRUE(reg.invalid_names().empty());
+}
+
 // --- SpanTracer ------------------------------------------------------------
 
 TEST(SpanTracer, NestingAndTagInheritance) {

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Diff BENCH_*.json rows against a previous run and flag regressions.
+
+Every bench binary emits flat rows of {bench, metric, value, unit} (see
+bench/emit_json.hpp). CI stashes the previous run's files and calls this
+script to compare: rows are matched by (bench, metric), and a row that got
+worse by more than the threshold (default 10%) is flagged.
+
+Whether "worse" means higher or lower depends on the metric:
+  * time-like units (us, ms, s, seconds) are lower-is-better;
+  * metrics whose name mentions overhead/blocking/missed/failed/latency/
+    rejected/p50/p95/p99 are lower-is-better;
+  * everything else (throughput, counts of good events, percentages of
+    good events) is higher-is-better.
+
+Exit status: 1 if any regression was flagged, 0 otherwise. A missing
+baseline is not an error — first runs and cache evictions print a note and
+exit 0 so CI lanes stay green while still publishing the report artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+LOWER_IS_BETTER_UNITS = {"us", "ms", "s", "seconds"}
+LOWER_IS_BETTER_HINTS = (
+    "overhead",
+    "blocking",
+    "missed",
+    "failed",
+    "latency",
+    "rejected",
+    "p50",
+    "p95",
+    "p99",
+)
+
+
+def lower_is_better(metric: str, unit: str) -> bool:
+    if unit.lower() in LOWER_IS_BETTER_UNITS:
+        return True
+    name = metric.lower()
+    return any(hint in name for hint in LOWER_IS_BETTER_HINTS)
+
+
+def load_rows(directory: str) -> dict[tuple[str, str], dict]:
+    """All BENCH_*.json rows in `directory`, keyed by (bench, metric)."""
+    rows: dict[tuple[str, str], dict] = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        try:
+            with open(path, encoding="utf-8") as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"bench_diff: skipping unreadable {path}: {err}")
+            continue
+        for row in data:
+            try:
+                key = (row["bench"], row["metric"])
+                rows[key] = {
+                    "value": float(row["value"]),
+                    "unit": str(row.get("unit", "")),
+                }
+            except (KeyError, TypeError, ValueError):
+                print(f"bench_diff: skipping malformed row in {path}: {row}")
+    return rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="directory holding the previous BENCH_*.json")
+    parser.add_argument("--current", required=True,
+                        help="directory holding this run's BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="regression threshold in percent (default 10)")
+    parser.add_argument("--report", default=None,
+                        help="also write the comparison table to this file")
+    args = parser.parse_args()
+
+    current = load_rows(args.current)
+    if not current:
+        print(f"bench_diff: no BENCH_*.json under {args.current}")
+        return 1
+    baseline = load_rows(args.baseline)
+
+    lines: list[str] = []
+    regressions: list[str] = []
+    if not baseline:
+        lines.append(
+            f"bench_diff: no baseline under {args.baseline!r} — first run or "
+            "evicted cache; nothing to compare (exit 0).")
+    else:
+        header = (f"{'bench':<20} {'metric':<42} {'baseline':>14} "
+                  f"{'current':>14} {'delta':>9}  verdict")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for key in sorted(current):
+            bench, metric = key
+            cur = current[key]
+            base = baseline.get(key)
+            if base is None:
+                lines.append(f"{bench:<20} {metric:<42} {'(new)':>14} "
+                             f"{cur['value']:>14.4g} {'':>9}  new metric")
+                continue
+            if base["value"] == 0:
+                delta_pct = 0.0 if cur["value"] == 0 else float("inf")
+            else:
+                delta_pct = (cur["value"] / base["value"] - 1.0) * 100.0
+            worse = (-delta_pct if lower_is_better(metric, cur["unit"])
+                     else delta_pct) < -args.threshold
+            verdict = "REGRESSION" if worse else "ok"
+            delta_str = ("n/a" if delta_pct == float("inf")
+                         else f"{delta_pct:+8.1f}%")
+            lines.append(f"{bench:<20} {metric:<42} {base['value']:>14.4g} "
+                         f"{cur['value']:>14.4g} {delta_str:>9}  {verdict}")
+            if worse:
+                regressions.append(
+                    f"{bench}/{metric}: {base['value']:.4g} -> "
+                    f"{cur['value']:.4g} ({delta_str})")
+        dropped = sorted(set(baseline) - set(current))
+        for bench, metric in dropped:
+            lines.append(f"{bench:<20} {metric:<42} "
+                         f"{baseline[(bench, metric)]['value']:>14.4g} "
+                         f"{'(gone)':>14} {'':>9}  dropped metric")
+
+    if regressions:
+        lines.append("")
+        lines.append(f"{len(regressions)} regression(s) beyond "
+                     f"{args.threshold:.0f}%:")
+        lines.extend("  " + r for r in regressions)
+    else:
+        lines.append("")
+        lines.append("no regressions beyond threshold")
+
+    text = "\n".join(lines)
+    print(text)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as f:
+            f.write(text + "\n")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
