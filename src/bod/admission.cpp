@@ -27,6 +27,13 @@ Status AdmissionController::admit(const Request& request) {
   }
   CustomerState& state = it->second;
 
+  // Priority arrives as a raw enum from callers; a value outside the three
+  // defined classes would index past class_share below.
+  const auto cls = static_cast<std::size_t>(request.priority);
+  if (cls >= state.policy.class_share.size())
+    return Status{ErrorCode::kInvalidArgument,
+                  "admission: unknown priority class"};
+
   // Lazy token-bucket refill on the sim clock: no periodic events needed,
   // which keeps admit() allocation-free and fast.
   const SimTime now = engine_->now();
@@ -44,7 +51,6 @@ Status AdmissionController::admit(const Request& request) {
   }
   state.tokens -= 1.0;
 
-  const auto cls = static_cast<std::size_t>(request.priority);
   const auto allowed = DataRate{static_cast<std::int64_t>(
       static_cast<double>(state.policy.bandwidth_quota.in_bps()) *
       state.policy.class_share[cls])};

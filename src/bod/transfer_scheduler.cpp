@@ -165,6 +165,7 @@ Result<TransferId> TransferScheduler::submit(const TransferRequest& request) {
   };
   std::string last_error;
   SimTime best_single_end{};
+  bool fully_planned = false;
   for (int n = 1; n <= std::max(1, params_.max_pieces); ++n) {
     roll_back();
     const std::int64_t share = request.bytes / n;
@@ -198,7 +199,10 @@ Result<TransferId> TransferScheduler::submit(const TransferRequest& request) {
     }
     if (!planned) continue;
     if (n == 1) best_single_end = latest_end;
-    if (latest_end <= request.deadline) break;  // this plan meets the deadline
+    if (latest_end <= request.deadline) {
+      fully_planned = true;  // this plan meets the deadline
+      break;
+    }
     if (n == std::max(1, params_.max_pieces)) {
       roll_back();
       std::string msg =
@@ -211,7 +215,11 @@ Result<TransferId> TransferScheduler::submit(const TransferRequest& request) {
                     "deadline");
     }
   }
-  if (pieces.empty()) {
+  if (!fully_planned) {
+    // The final split attempt may have reserved some pieces before a later
+    // one failed to plan; accepting that remainder would move only part of
+    // the bytes while reporting the transfer complete.
+    roll_back();
     if (last_error.empty())
       last_error = "scheduler: could not plan the transfer";
     return reject(Error{ErrorCode::kResourceExhausted, last_error},
@@ -280,23 +288,39 @@ void TransferScheduler::start_setup(TransferId id, std::size_t piece_index) {
     fail_transfer(t, "portal vanished");
     return;
   }
+  const int epoch = p.setup_epoch;
   portal->connect_bundle(t.src_site, t.dst_site, p.rate,
                          core::ProtectionMode::kRestorable,
-                         [this, id, piece_index](Result<core::BundleId> r) {
-                           on_setup_result(id, piece_index, std::move(r));
+                         [this, id, piece_index, epoch](Result<core::BundleId> r) {
+                           on_setup_result(id, piece_index, epoch,
+                                           std::move(r));
                          });
 }
 
 void TransferScheduler::on_setup_result(TransferId id,
-                                        std::size_t piece_index,
+                                        std::size_t piece_index, int epoch,
                                         Result<core::BundleId> result) {
+  // A setup that raced a cancel/fail/reschedule may still have created a
+  // bundle; nothing in the current plan owns it, so tear it down here or
+  // its NTE ports and wavelengths leak for good.
+  const auto orphan = [&](CustomerId customer) {
+    if (!result.ok()) return;
+    if (core::CustomerPortal* portal = portal_of(customer))
+      portal->disconnect_bundle(result.value(), [](Status) {});
+  };
   const auto it = transfers_.find(id);
   if (it == transfers_.end()) return;
   Transfer& t = it->second;
   if (t.state == TransferState::kFailed ||
-      t.state == TransferState::kCancelled)
+      t.state == TransferState::kCancelled) {
+    orphan(t.customer);
     return;
+  }
   Piece& p = t.pieces[piece_index];
+  if (epoch != p.setup_epoch || p.done || p.active) {
+    orphan(t.customer);
+    return;
+  }
 
   if (result.ok()) {
     p.bundle = result.value();
@@ -317,9 +341,15 @@ void TransferScheduler::on_setup_result(TransferId id,
     count("griphon_bod_setup_retries_total",
           "Bundle setups retried after a failure", t.customer);
     engine_->schedule(params_.retry_backoff * p.attempts,
-                      [this, id, piece_index] {
+                      [this, id, piece_index, epoch] {
                         const auto it2 = transfers_.find(id);
                         if (it2 == transfers_.end()) return;
+                        // A reschedule meanwhile moved the piece to a new
+                        // window; retrying now would light capacity outside
+                        // the reservation.
+                        if (it2->second.pieces[piece_index].setup_epoch !=
+                            epoch)
+                          return;
                         start_setup(id, piece_index);
                       });
     return;
@@ -372,6 +402,9 @@ void TransferScheduler::reschedule_piece(TransferId id,
   Piece& p = t.pieces[piece_index];
   if (p.done || p.active) return;  // live pieces ride controller restoration
 
+  // Invalidate any in-flight setup callback or pending retry timer for the
+  // old window/route before re-planning.
+  ++p.setup_epoch;
   engine_->cancel(p.setup_event);
   (void)calendar_->release(p.reservation);
   admission_->release(t.customer, p.rate);

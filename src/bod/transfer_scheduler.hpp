@@ -149,6 +149,11 @@ class TransferScheduler {
     bool active = false;
     bool done = false;
     int attempts = 0;
+    /// Bumped on every reschedule; setup callbacks and retry timers carry
+    /// the epoch they were issued under, and results from a superseded
+    /// epoch are dropped (their bundle torn down) instead of binding a
+    /// stale route to the re-planned piece.
+    int setup_epoch = 0;
     sim::EventHandle setup_event;
   };
 
@@ -184,7 +189,7 @@ class TransferScheduler {
 
   void schedule_setup(TransferId id, std::size_t piece_index);
   void start_setup(TransferId id, std::size_t piece_index);
-  void on_setup_result(TransferId id, std::size_t piece_index,
+  void on_setup_result(TransferId id, std::size_t piece_index, int epoch,
                        Result<core::BundleId> result);
   void finish_piece(TransferId id, std::size_t piece_index);
   /// Re-plan a not-yet-active piece around the current failed-link set.

@@ -56,6 +56,10 @@ std::string MetricsRegistry::label_key(const Labels& labels) {
     out += sorted[i].first;
     out += "=\"";
     for (const char c : sorted[i].second) {
+      if (c == '\n') {  // literal newline would break the exposition format
+        out += "\\n";
+        continue;
+      }
       if (c == '"' || c == '\\') out += '\\';
       out += c;
     }

@@ -161,6 +161,17 @@ TEST(Admission, ClassSharesShrinkTheQuotaForBulk) {
       adm.admit({kCspA, rates::k10G, Priority::kBestEffortBulk}).ok());
 }
 
+TEST(Admission, OutOfRangePriorityIsInvalidArgument) {
+  sim::Engine engine{1};
+  AdmissionController adm(&engine);
+  adm.set_policy(kCspA, AdmissionController::CustomerPolicy{});
+  // A corrupted/raw-cast priority must be rejected, not index past the
+  // 3-element class_share array.
+  const auto bad = adm.admit({kCspA, rates::k1G, static_cast<Priority>(7)});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code(), ErrorCode::kInvalidArgument);
+}
+
 // --- TransferScheduler ------------------------------------------------------
 
 TransferScheduler::Params sched_params() {
@@ -366,6 +377,117 @@ TEST(Scheduler, AccessPipeAccountsForDirectPortalConnections) {
   // with the foreign connection's port.
   EXPECT_EQ(sched.stats().setup_retries, 0u);
   EXPECT_EQ(sched.stats().reschedules, 0u);
+}
+
+TEST(Scheduler, PartialSplitPlanIsRejectedAndRolledBack) {
+  core::TestbedScenario s(87);
+  const auto cp = cal_params(rates::k10G);
+  ReservationCalendar cal(cp);
+  AdmissionController adm(&s.engine);
+  adm.set_policy(s.csp, open_policy(DataRate::gbps(100)));
+  TransferScheduler::Params params;
+  params.rate_ladder = {rates::k10G};
+  params.setup_pad = minutes(2);
+  params.max_pieces = 2;
+  TransferScheduler sched(s.controller.get(), &cal, &adm, params);
+  sched.register_portal(s.portal.get());
+
+  // Only the direct I-IV fiber has calendar space, and only a 10-minute
+  // gap: room for half the bytes but not all of them, and not for a
+  // second piece either. The final split attempt plans piece 1, fails on
+  // piece 2, and the half-plan must be released — not silently accepted
+  // as a "complete" transfer carrying half the volume.
+  ASSERT_TRUE(cal.reserve(CustomerId{99}, {s.topo.i_iii}, rates::k10G,
+                          {SimTime{}, cp.horizon})
+                  .ok());
+  ASSERT_TRUE(cal.reserve(CustomerId{99}, {s.topo.i_ii}, rates::k10G,
+                          {SimTime{}, cp.horizon})
+                  .ok());
+  ASSERT_TRUE(cal.reserve(CustomerId{99}, {s.topo.i_iv}, rates::k10G,
+                          {minutes(10), cp.horizon})
+                  .ok());
+  const auto before = cal.active_reservations();
+
+  TransferScheduler::TransferRequest req;
+  req.customer = s.csp;
+  req.src_site = s.site_i;
+  req.dst_site = s.site_iv;
+  req.bytes = 1'000'000'000'000;  // 800 s at 10G; half fits the gap
+  req.deadline = hours(2);
+  const auto rejected = sched.submit(req);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error().code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(cal.active_reservations(), before);
+  EXPECT_EQ(adm.committed(s.csp), DataRate{});
+  EXPECT_EQ(sched.stats().accepted, 0u);
+}
+
+TEST(Scheduler, CancelDuringSetupTearsDownTheLateBundle) {
+  core::TestbedScenario s(88);
+  ReservationCalendar cal(cal_params(rates::k40G));
+  AdmissionController adm(&s.engine);
+  adm.set_policy(s.csp, open_policy(DataRate::gbps(100)));
+  TransferScheduler sched(s.controller.get(), &cal, &adm, sched_params());
+  sched.register_portal(s.portal.get());
+
+  TransferScheduler::TransferRequest req;
+  req.customer = s.csp;
+  req.src_site = s.site_i;
+  req.dst_site = s.site_iv;
+  req.bytes = 500'000'000'000;
+  req.deadline = hours(2);
+  const auto id = sched.submit(req);
+  ASSERT_TRUE(id.ok());
+
+  // The window opens at t=0 so setup starts immediately, but bundle setup
+  // takes tens of sim-seconds. Cancel while it is in flight: the connect
+  // result arrives for a cancelled transfer and its bundle must be torn
+  // down, not leaked as permanently-lit NTE ports.
+  s.engine.run_until(seconds(1));
+  ASSERT_TRUE(sched.cancel(s.csp, id.value()).ok());
+  s.engine.run();
+
+  EXPECT_EQ(s.portal->provisioned(), DataRate{});
+  EXPECT_EQ(cal.active_reservations(), 0u);
+  EXPECT_EQ(adm.committed(s.csp), DataRate{});
+}
+
+TEST(Scheduler, SetupRacingAFiberCutDoesNotBindAStaleRoute) {
+  core::TestbedScenario s(89);
+  ReservationCalendar cal(cal_params(rates::k10G));
+  AdmissionController adm(&s.engine);
+  adm.set_policy(s.csp, open_policy(DataRate::gbps(100)));
+  TransferScheduler::Params params;
+  params.rate_ladder = {rates::k10G};
+  TransferScheduler sched(s.controller.get(), &cal, &adm, params);
+  sched.register_portal(s.portal.get());
+
+  TransferScheduler::TransferRequest req;
+  req.customer = s.csp;
+  req.src_site = s.site_i;
+  req.dst_site = s.site_iv;
+  req.bytes = 250'000'000'000;  // 200 s at 10G
+  req.deadline = hours(3);
+  const auto id = sched.submit(req);
+  ASSERT_TRUE(id.ok());
+
+  // Cut the direct fiber while the first setup is still in flight. The
+  // piece is re-planned onto a surviving route; the old setup's result —
+  // success or failure — is from a superseded epoch and must neither bind
+  // its bundle to the new plan nor re-enter the retry path.
+  s.engine.run_until(seconds(1));
+  s.model->fail_link(s.topo.i_iv);
+  s.engine.run();
+
+  const auto status = sched.inspect(s.csp, id.value());
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status.value().state,
+            TransferScheduler::TransferState::kCompleted);
+  EXPECT_EQ(sched.stats().completed, 1u);
+  // Every bundle the race created was handed back.
+  EXPECT_EQ(s.portal->provisioned(), DataRate{});
+  EXPECT_EQ(cal.active_reservations(), 0u);
+  EXPECT_EQ(adm.committed(s.csp), DataRate{});
 }
 
 // --- customer isolation error paths ----------------------------------------

@@ -182,6 +182,23 @@ TEST(MetricsRegistry, LabeledExpositionGroupsFamilies) {
   EXPECT_TRUE(reg.invalid_names().empty());
 }
 
+TEST(MetricsRegistry, LabelValuesEscapeNewlines) {
+  MetricsRegistry reg;
+  reg.counter("griphon_test_hits_total", "hits",
+              {{"reason", "line1\nline2"}})
+      ->inc(2);
+  // A literal newline in a label value would split the sample line and
+  // corrupt the exposition; it must come out as the two-character '\n'.
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("reason=\"line1\\nline2\""), npos);
+  EXPECT_EQ(text.find("line1\nline2"), npos);
+  // The escaped key still resolves to the same series on lookup.
+  const auto* c =
+      reg.find_counter("griphon_test_hits_total", {{"reason", "line1\nline2"}});
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value(), 2u);
+}
+
 // --- SpanTracer ------------------------------------------------------------
 
 TEST(SpanTracer, NestingAndTagInheritance) {
