@@ -24,16 +24,23 @@
 //   transfers                  bulk-transfer status table
 //   reserve <link> <gbps> <start-s> <end-s>   advance calendar reservation
 //   calendar                   reservation-calendar occupancy map
+//   chaos plan <preset> [x]    load a fault plan (optionally scaled by x)
+//   chaos arm | disarm | heal  start / stop / repair fault injection
+//   chaos stats                injector counters + controller fault stats
+//   chaos log                  timestamped fault schedule
 //   quit
 //
 // Example (one line):
 //   printf 'connect 0 2 10\ntelemetry 1\nquit\n' | ./build/examples/griphon_shell
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "bod/transfer_scheduler.hpp"
+#include "chaos/fault_injector.hpp"
+#include "chaos/fault_plan.hpp"
 #include "core/scenario.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/timeline.hpp"
@@ -68,6 +75,20 @@ int main() {
                                    &admission);
   scheduler.register_portal(s.portal.get());
 
+  // Fault injection on demand: `chaos plan <preset>` builds an injector
+  // for the loaded deployment, `chaos arm` lets it loose. One fixed seed —
+  // a replayed script sees the identical fault schedule.
+  std::unique_ptr<chaos::FaultInjector> injector;
+
+  // While armed, the injector always has its next fault scheduled, so
+  // engine.run() would never return; bound the horizon instead.
+  const auto settle = [&]() {
+    if (injector && injector->armed())
+      s.engine.run_until(s.engine.now() + minutes(30));
+    else
+      s.engine.run();
+  };
+
   auto& out = std::cout;
   out << "GRIPhoN shell — paper testbed loaded. 'help' for commands.\n";
   const std::vector<MuxponderId> sites{s.site_i, s.site_iii, s.site_iv};
@@ -85,7 +106,9 @@ int main() {
              "maintain link | regroom id | wait s | dashboard | stats | "
              "telemetry [id | json [id] | save path] | "
              "schedule a b tb hours | transfers | "
-             "reserve link gbps start-s end-s | calendar | quit\n";
+             "reserve link gbps start-s end-s | calendar | "
+             "chaos [plan preset [x] | arm | disarm | heal | stats | log] | "
+             "quit\n";
     } else if (cmd == "sites") {
       for (std::size_t i = 0; i < sites.size(); ++i) {
         const auto* site = s.model->site_by_nte(sites[i]);
@@ -134,14 +157,14 @@ int main() {
                 out << "  FAILED: " << r.error() << "\n";
             });
       }
-      s.engine.run();
+      settle();
     } else if (cmd == "disconnect") {
       std::uint64_t id = 0;
       in >> id;
       s.portal->disconnect(ConnectionId{id}, [&](Status st) {
         out << "  " << (st.ok() ? "released" : st.error().message()) << "\n";
       });
-      s.engine.run();
+      settle();
     } else if (cmd == "cut" || cmd == "repair" || cmd == "maintain") {
       std::string name;
       in >> name;
@@ -160,7 +183,7 @@ int main() {
               << (st.ok() ? "traffic rolled off" : st.error().message())
               << "\n";
         });
-      s.engine.run();
+      settle();
     } else if (cmd == "regroom") {
       std::uint64_t id = 0;
       in >> id;
@@ -168,7 +191,7 @@ int main() {
         out << "  " << (st.ok() ? "re-groomed" : st.error().message())
             << "\n";
       });
-      s.engine.run();
+      settle();
     } else if (cmd == "wait") {
       double secs = 0;
       in >> secs;
@@ -273,6 +296,62 @@ int main() {
           << st.setups_ok + st.setups_failed << ", releases " << st.releases
           << ", restorations " << st.restorations_ok << ", rolls "
           << st.rolls_ok << ", EMS commands " << st.commands_issued << "\n";
+    } else if (cmd == "chaos") {
+      std::string sub;
+      in >> sub;
+      if (sub == "plan") {
+        std::string preset;
+        double intensity = 1.0;
+        in >> preset >> intensity;
+        if (preset.empty()) {
+          out << (injector ? injector->plan().render()
+                           : "  no fault plan loaded (chaos plan "
+                             "<none|ems-flaps|channel-loss|device-faults|"
+                             "combined> [intensity])\n");
+          continue;
+        }
+        const auto plan = chaos::FaultPlan::preset(preset);
+        if (!plan.ok()) {
+          out << "  " << plan.error() << "\n";
+          continue;
+        }
+        if (injector) injector->disarm();
+        injector = std::make_unique<chaos::FaultInjector>(
+            s.model.get(), plan.value().scaled(intensity), /*seed=*/42);
+        injector->set_telemetry(&tel);
+        out << injector->plan().render();
+      } else if (!injector) {
+        out << "  load a plan first: chaos plan <preset> [intensity]\n";
+      } else if (sub == "arm") {
+        injector->arm();
+        out << "  armed: " << injector->plan().name << "\n";
+      } else if (sub == "disarm") {
+        injector->disarm();
+        out << "  disarmed (standing faults persist; chaos heal)\n";
+      } else if (sub == "heal") {
+        injector->heal_all();
+        settle();
+        out << "  all device faults repaired\n";
+      } else if (sub == "stats") {
+        const auto& is = injector->stats();
+        const auto& cs = s.controller->stats();
+        out << "  injected: nacks " << is.nacks_injected << ", slow "
+            << is.slow_commands << ", crashes " << is.ems_crashes
+            << ", drops " << is.frames_dropped << ", dups "
+            << is.frames_duplicated << ", delays " << is.frames_delayed
+            << ", ot-faults " << is.ot_faults << ", fxc-sticks "
+            << is.fxc_sticks << "\n"
+            << "  absorbed: retried " << cs.commands_retried << ", shed "
+            << cs.commands_shed << ", resyncs " << cs.resync_runs
+            << " (leaks " << cs.resync_leaks << ", drift "
+            << cs.resync_drift << ")\n";
+      } else if (sub == "log") {
+        const std::string log = injector->render_log();
+        out << (log.empty() ? "  fault log empty\n" : log);
+      } else {
+        out << "  usage: chaos [plan preset [x] | arm | disarm | heal | "
+               "stats | log]\n";
+      }
     } else {
       out << "  unknown command '" << cmd << "' (help)\n";
     }

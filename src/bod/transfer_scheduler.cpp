@@ -333,6 +333,29 @@ void TransferScheduler::on_setup_result(TransferId id,
     return;
   }
 
+  if (result.error().code() == ErrorCode::kUnavailable &&
+      p.defers < params_.max_unavailable_defers) {
+    // The controller shed the setup because an EMS circuit breaker is
+    // open: the command path is down, not this piece. Park it without
+    // consuming a retry and come back once the breaker has had a chance
+    // to half-open.
+    ++p.defers;
+    ++stats_.setups_deferred;
+    count("griphon_bod_setup_deferrals_total",
+          "Bundle setups deferred on an open EMS circuit breaker",
+          t.customer);
+    engine_->schedule(params_.unavailable_defer,
+                      [this, id, piece_index, epoch] {
+                        const auto it2 = transfers_.find(id);
+                        if (it2 == transfers_.end()) return;
+                        if (it2->second.pieces[piece_index].setup_epoch !=
+                            epoch)
+                          return;
+                        start_setup(id, piece_index);
+                      });
+    return;
+  }
+
   ++p.attempts;
   if (p.attempts <= params_.max_setup_retries) {
     // Transient setup failure: back off linearly and retry inside the

@@ -40,6 +40,11 @@ class TransferScheduler {
     /// this.
     SimTime retry_backoff = seconds(30);
     int max_setup_retries = 3;
+    /// A setup refused with kUnavailable (an EMS circuit breaker is open)
+    /// is *deferred* — parked for this long without consuming a retry,
+    /// since hammering a dead EMS cannot succeed. Bounded per piece.
+    SimTime unavailable_defer = seconds(60);
+    int max_unavailable_defers = 20;
     /// Split a transfer into at most this many pieces when a single window
     /// cannot meet the deadline.
     int max_pieces = 2;
@@ -119,6 +124,7 @@ class TransferScheduler {
     std::uint64_t splits = 0;       ///< transfers scheduled in >1 piece
     std::uint64_t reschedules = 0;  ///< pieces re-planned after a cut
     std::uint64_t setup_retries = 0;
+    std::uint64_t setups_deferred = 0;  ///< parked on an open EMS breaker
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -149,6 +155,7 @@ class TransferScheduler {
     bool active = false;
     bool done = false;
     int attempts = 0;
+    int defers = 0;  ///< kUnavailable deferrals (EMS breaker open)
     /// Bumped on every reschedule; setup callbacks and retry timers carry
     /// the epoch they were issued under, and results from a superseded
     /// epoch are dropped (their bundle torn down) instead of binding a

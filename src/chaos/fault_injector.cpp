@@ -1,0 +1,283 @@
+#include "chaos/fault_injector.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "telemetry/telemetry.hpp"
+
+namespace griphon::chaos {
+
+FaultInjector::FaultInjector(core::NetworkModel* model, FaultPlan plan,
+                             std::uint64_t seed)
+    : model_(model), plan_(std::move(plan)), rng_(seed) {}
+
+FaultInjector::~FaultInjector() { disarm(); }
+
+bool FaultInjector::targets(const std::string& ems) const {
+  if (plan_.ems.targets.empty()) return true;
+  return std::find(plan_.ems.targets.begin(), plan_.ems.targets.end(), ems) !=
+         plan_.ems.targets.end();
+}
+
+std::vector<ems::EmsServer*> FaultInjector::target_servers() {
+  std::vector<ems::EmsServer*> out;
+  for (ems::EmsServer* s : model_->ems_servers())
+    if (targets(s->name())) out.push_back(s);
+  return out;
+}
+
+void FaultInjector::arm() {
+  if (armed_) return;
+  armed_ = true;
+  for (ems::EmsServer* s : target_servers()) s->set_fault_hook(this);
+  if (plan_.wants_channel_faults())
+    for (proto::ControlChannel* c : model_->control_channels())
+      c->set_fault_hook(this);
+  schedule_crashes();
+  schedule_ot_faults();
+  schedule_fxc_sticks();
+  record("arm", plan_.name);
+}
+
+void FaultInjector::disarm() {
+  if (!armed_) return;
+  armed_ = false;
+  for (ems::EmsServer* s : model_->ems_servers())
+    s->set_fault_hook(nullptr);
+  for (proto::ControlChannel* c : model_->control_channels())
+    c->set_fault_hook(nullptr);
+  model_->engine().cancel(crash_event_);
+  model_->engine().cancel(ot_event_);
+  model_->engine().cancel(fxc_event_);
+  record("disarm", plan_.name);
+}
+
+void FaultInjector::heal_all() {
+  std::size_t healed = 0;
+  for (const auto& ot : model_->ots())
+    if (ot->state() == dwdm::Transponder::State::kFailed) {
+      ot->repair();
+      ++healed;
+    }
+  for (const auto& node : model_->graph().nodes()) {
+    fxc::Fxc& f = model_->fxc_at(node.id);
+    // Copy: set_stuck mutates the set we'd be iterating.
+    const auto stuck = f.stuck_ports();
+    for (const PortId p : stuck) {
+      f.set_stuck(p, false);
+      ++healed;
+    }
+  }
+  record("heal-all", std::to_string(healed) + " device faults repaired");
+}
+
+// --- scheduled fault processes --------------------------------------------
+
+void FaultInjector::schedule_crashes() {
+  if (plan_.ems.mean_crash_interval <= SimTime{}) return;
+  const double wait =
+      rng_.exponential(to_seconds(plan_.ems.mean_crash_interval));
+  crash_event_ = model_->engine().schedule(from_seconds(wait), [this]() {
+    if (!armed_) return;
+    auto servers = target_servers();
+    if (!servers.empty()) {
+      ems::EmsServer* victim = servers[static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(servers.size()) - 1))];
+      if (!victim->down()) {
+        ++stats_.ems_crashes;
+        bump(crashes_total_);
+        record("ems-crash",
+               victim->name() + " down for " +
+                   std::to_string(to_seconds(plan_.ems.restart_after)) + "s");
+        victim->crash_restart(plan_.ems.restart_after);
+      }
+    }
+    schedule_crashes();
+  });
+}
+
+void FaultInjector::schedule_ot_faults() {
+  if (plan_.device.mean_ot_fault_interval <= SimTime{}) return;
+  const double wait =
+      rng_.exponential(to_seconds(plan_.device.mean_ot_fault_interval));
+  ot_event_ = model_->engine().schedule(from_seconds(wait), [this]() {
+    if (!armed_) return;
+    // Laser failure on an idle pool OT: the fault is caught by routine
+    // diagnostics before the OT is handed out, so its effect is a
+    // shrinking spare pool the RWA must route around.
+    std::vector<dwdm::Transponder*> idle;
+    for (const auto& ot : model_->ots())
+      if (ot->state() == dwdm::Transponder::State::kIdle)
+        idle.push_back(ot.get());
+    if (!idle.empty()) {
+      dwdm::Transponder* victim = idle[static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(idle.size()) - 1))];
+      victim->fail();
+      ++stats_.ot_faults;
+      bump(device_faults_total_);
+      record("ot-fault", victim->name() + " laser failed");
+      Alarm alarm;
+      alarm.id = alarm_ids_.next();
+      alarm.type = AlarmType::kEquipmentFault;
+      alarm.raised_at = model_->engine().now();
+      alarm.source = victim->name();
+      alarm.node = victim->site();
+      alarm.detail = "laser failure (injected)";
+      model_->roadm_ems().forward_alarm(alarm);
+      const TransponderId id = victim->id();
+      model_->engine().schedule(plan_.device.ot_repair_after, [this, id]() {
+        dwdm::Transponder& ot = model_->ot(id);
+        if (ot.state() == dwdm::Transponder::State::kFailed) {
+          ot.repair();
+          record("ot-repair", ot.name());
+        }
+      });
+    }
+    schedule_ot_faults();
+  });
+}
+
+void FaultInjector::schedule_fxc_sticks() {
+  if (plan_.device.mean_fxc_stick_interval <= SimTime{}) return;
+  const double wait =
+      rng_.exponential(to_seconds(plan_.device.mean_fxc_stick_interval));
+  fxc_event_ = model_->engine().schedule(from_seconds(wait), [this]() {
+    if (!armed_) return;
+    const auto& nodes = model_->graph().nodes();
+    if (!nodes.empty()) {
+      const auto& node = nodes[static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(nodes.size()) - 1))];
+      fxc::Fxc& f = model_->fxc_at(node.id);
+      if (f.port_count() > 0) {
+        const PortId port{static_cast<std::uint64_t>(rng_.uniform_int(
+            0, static_cast<std::int64_t>(f.port_count()) - 1))};
+        if (!f.stuck(port)) {
+          f.set_stuck(port, true);
+          ++stats_.fxc_sticks;
+          bump(device_faults_total_);
+          record("fxc-stick",
+                 f.name() + " port " + std::to_string(port.value()));
+          Alarm alarm;
+          alarm.id = alarm_ids_.next();
+          alarm.type = AlarmType::kEquipmentFault;
+          alarm.raised_at = model_->engine().now();
+          alarm.source = f.name();
+          alarm.node = f.site();
+          alarm.detail = "port " + std::to_string(port.value()) +
+                         " stuck (injected)";
+          model_->fxc_ems().forward_alarm(alarm);
+          const NodeId site = node.id;
+          model_->engine().schedule(
+              plan_.device.fxc_release_after, [this, site, port]() {
+                fxc::Fxc& fx = model_->fxc_at(site);
+                if (fx.stuck(port)) {
+                  fx.set_stuck(port, false);
+                  record("fxc-release",
+                         fx.name() + " port " + std::to_string(port.value()));
+                }
+              });
+        }
+      }
+    }
+    schedule_fxc_sticks();
+  });
+}
+
+// --- hook implementations --------------------------------------------------
+
+proto::FaultDecision FaultInjector::on_frame() {
+  proto::FaultDecision d;
+  if (!armed_) return d;
+  const auto& ch = plan_.channel;
+  if (ch.drop_probability > 0.0 && rng_.chance(ch.drop_probability)) {
+    d.drop = true;
+    ++stats_.frames_dropped;
+    bump(drops_total_);
+    return d;
+  }
+  if (ch.duplicate_probability > 0.0 &&
+      rng_.chance(ch.duplicate_probability)) {
+    d.duplicate = true;
+    ++stats_.frames_duplicated;
+    bump(dups_total_);
+  }
+  if (ch.delay_probability > 0.0 && rng_.chance(ch.delay_probability)) {
+    d.extra_delay = ch.extra_delay;
+    ++stats_.frames_delayed;
+    bump(delays_total_);
+  }
+  return d;
+}
+
+Status FaultInjector::on_command(const std::string& ems,
+                                 const proto::Message& message) {
+  if (!armed_) return Status::success();
+  if (plan_.ems.nack_probability > 0.0 &&
+      rng_.chance(plan_.ems.nack_probability)) {
+    ++stats_.nacks_injected;
+    bump(nacks_total_);
+    return Status{ErrorCode::kBusy,
+                  ems + ": injected transient fault (" +
+                      proto::name_of(proto::type_of(message)) + ")"};
+  }
+  return Status::success();
+}
+
+double FaultInjector::latency_scale(const std::string& ems) {
+  (void)ems;  // targeting already decided at hook-install time
+  if (!armed_) return 1.0;
+  if (plan_.ems.slow_probability > 0.0 &&
+      rng_.chance(plan_.ems.slow_probability)) {
+    ++stats_.slow_commands;
+    bump(slow_total_);
+    return plan_.ems.slow_factor;
+  }
+  return 1.0;
+}
+
+// --- bookkeeping -----------------------------------------------------------
+
+void FaultInjector::record(const std::string& kind,
+                           const std::string& detail) {
+  log_.push_back(Event{model_->engine().now(), kind, detail});
+  model_->trace().emit(model_->engine().now(), sim::TraceLevel::kInfo,
+                       "chaos", kind, detail);
+}
+
+void FaultInjector::bump(telemetry::Counter* counter) {
+  if (counter != nullptr) counter->inc();
+}
+
+std::string FaultInjector::render_log() const {
+  std::ostringstream out;
+  for (const Event& e : log_)
+    out << "t=" << to_seconds(e.at) << "s " << e.kind
+        << (e.detail.empty() ? "" : " " + e.detail) << "\n";
+  return out.str();
+}
+
+void FaultInjector::set_telemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) {
+    nacks_total_ = slow_total_ = crashes_total_ = drops_total_ =
+        dups_total_ = delays_total_ = device_faults_total_ = nullptr;
+    return;
+  }
+  auto& m = telemetry_->metrics();
+  nacks_total_ = m.counter("griphon_chaos_nacks_injected_total",
+                           "Commands NACKed by the fault injector");
+  slow_total_ = m.counter("griphon_chaos_slow_commands_total",
+                          "Commands stretched by the fault injector");
+  crashes_total_ = m.counter("griphon_chaos_ems_crashes_total",
+                             "EMS crash/restart events injected");
+  drops_total_ = m.counter("griphon_chaos_frames_dropped_total",
+                           "Control frames dropped by the fault injector");
+  dups_total_ = m.counter("griphon_chaos_frames_duplicated_total",
+                          "Control frames duplicated by the fault injector");
+  delays_total_ = m.counter("griphon_chaos_frames_delayed_total",
+                            "Control frames delayed by the fault injector");
+  device_faults_total_ = m.counter("griphon_chaos_device_faults_total",
+                                   "Device faults injected (OT + FXC)");
+}
+
+}  // namespace griphon::chaos

@@ -1,0 +1,128 @@
+// Deterministic fault injection for the whole GRIPhoN stack.
+//
+// The FaultInjector turns a declarative FaultPlan into concrete fault
+// events, driven by the sim clock and its own seeded RNG (forked off
+// nothing else, so the fault schedule for a given (plan, seed) is
+// identical no matter what traffic runs underneath). It plugs into the
+// seams the production code exposes:
+//
+//   * ems::EmsFaultHook      — transient NACKs and slow commands as each
+//                              dialogue leaves an EMS queue;
+//   * EMS crash/restart      — scheduled crash_restart() calls that drop
+//                              queued commands and flush response caches;
+//   * proto::ChannelFaultHook — control-message drop / duplicate / delay;
+//   * device faults          — OT laser failures and stuck FXC ports,
+//                              announced via kEquipmentFault alarms.
+//
+// Disarmed (or never armed), every hook site is a one-pointer test: the
+// production fast path stays fault-free and bench-identical.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_plan.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "core/network_model.hpp"
+#include "ems/ems_server.hpp"
+#include "proto/channel.hpp"
+
+namespace griphon::telemetry {
+class Telemetry;
+class Counter;
+}  // namespace griphon::telemetry
+
+namespace griphon::chaos {
+
+class FaultInjector final : public proto::ChannelFaultHook,
+                            public ems::EmsFaultHook {
+ public:
+  FaultInjector(core::NetworkModel* model, FaultPlan plan,
+                std::uint64_t seed);
+  ~FaultInjector() override;
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Install hooks on every targeted EMS and control channel and start
+  /// the crash / device-fault processes. Idempotent.
+  void arm();
+  /// Remove every hook and stop scheduling new faults. Faults already in
+  /// effect (failed OTs, stuck ports, a down EMS) persist until their
+  /// scheduled repair fires or heal_all() is called.
+  void disarm();
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+
+  /// Instantly repair every outstanding device fault (failed OTs, stuck
+  /// FXC ports). Does not resurrect a crashed EMS — that restarts on its
+  /// own schedule.
+  void heal_all();
+
+  // --- hook implementations (called by the production stack) ------------
+  [[nodiscard]] proto::FaultDecision on_frame() override;
+  [[nodiscard]] Status on_command(const std::string& ems,
+                                  const proto::Message& message) override;
+  [[nodiscard]] double latency_scale(const std::string& ems) override;
+
+  // --- introspection -----------------------------------------------------
+  struct Stats {
+    std::uint64_t nacks_injected = 0;
+    std::uint64_t slow_commands = 0;
+    std::uint64_t ems_crashes = 0;
+    std::uint64_t frames_dropped = 0;
+    std::uint64_t frames_duplicated = 0;
+    std::uint64_t frames_delayed = 0;
+    std::uint64_t ot_faults = 0;
+    std::uint64_t fxc_sticks = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// Timestamped fault log (arm/disarm, crashes, device faults/repairs).
+  /// Per-frame and per-command faults are counted, not logged.
+  struct Event {
+    SimTime at{};
+    std::string kind;
+    std::string detail;
+  };
+  [[nodiscard]] const std::vector<Event>& log() const noexcept {
+    return log_;
+  }
+  [[nodiscard]] std::string render_log() const;
+
+  /// Attach/detach telemetry: griphon_chaos_* counters. Null = fast path.
+  void set_telemetry(telemetry::Telemetry* telemetry);
+
+ private:
+  [[nodiscard]] bool targets(const std::string& ems) const;
+  [[nodiscard]] std::vector<ems::EmsServer*> target_servers();
+  void schedule_crashes();
+  void schedule_ot_faults();
+  void schedule_fxc_sticks();
+  void record(const std::string& kind, const std::string& detail);
+  void bump(telemetry::Counter* counter);
+
+  core::NetworkModel* model_;
+  FaultPlan plan_;
+  Rng rng_;
+  IdAllocator<AlarmId> alarm_ids_;
+  bool armed_ = false;
+  sim::EventHandle crash_event_;
+  sim::EventHandle ot_event_;
+  sim::EventHandle fxc_event_;
+  Stats stats_;
+  std::vector<Event> log_;
+
+  telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::Counter* nacks_total_ = nullptr;
+  telemetry::Counter* slow_total_ = nullptr;
+  telemetry::Counter* crashes_total_ = nullptr;
+  telemetry::Counter* drops_total_ = nullptr;
+  telemetry::Counter* dups_total_ = nullptr;
+  telemetry::Counter* delays_total_ = nullptr;
+  telemetry::Counter* device_faults_total_ = nullptr;
+};
+
+}  // namespace griphon::chaos

@@ -1,0 +1,221 @@
+#include "chaos/fault_plan.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace griphon::chaos {
+
+namespace {
+
+double clamp_probability(double p) { return std::clamp(p, 0.0, 0.95); }
+
+SimTime scale_interval(SimTime mean, double intensity) {
+  if (mean <= SimTime{} || intensity <= 0.0) return SimTime{};
+  return from_seconds(to_seconds(mean) / intensity);
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::none() {
+  FaultPlan p;
+  p.name = "none";
+  return p;
+}
+
+FaultPlan FaultPlan::ems_flaps() {
+  FaultPlan p;
+  p.name = "ems-flaps";
+  p.ems.nack_probability = 0.05;
+  p.ems.slow_probability = 0.05;
+  p.ems.slow_factor = 4.0;
+  p.ems.mean_crash_interval = minutes(10);
+  p.ems.restart_after = seconds(30);
+  return p;
+}
+
+FaultPlan FaultPlan::channel_loss() {
+  FaultPlan p;
+  p.name = "channel-loss";
+  p.channel.drop_probability = 0.02;
+  p.channel.duplicate_probability = 0.02;
+  p.channel.delay_probability = 0.05;
+  p.channel.extra_delay = milliseconds(200);
+  return p;
+}
+
+FaultPlan FaultPlan::device_faults() {
+  FaultPlan p;
+  p.name = "device-faults";
+  p.device.mean_ot_fault_interval = minutes(15);
+  p.device.ot_repair_after = minutes(2);
+  p.device.mean_fxc_stick_interval = minutes(15);
+  p.device.fxc_release_after = minutes(2);
+  return p;
+}
+
+FaultPlan FaultPlan::combined() {
+  FaultPlan p;
+  p.name = "combined";
+  p.ems.nack_probability = 0.03;
+  p.ems.slow_probability = 0.03;
+  p.ems.slow_factor = 3.0;
+  p.ems.mean_crash_interval = minutes(20);
+  p.ems.restart_after = seconds(30);
+  p.channel.drop_probability = 0.01;
+  p.channel.duplicate_probability = 0.01;
+  p.channel.delay_probability = 0.03;
+  p.channel.extra_delay = milliseconds(200);
+  p.device.mean_ot_fault_interval = minutes(30);
+  p.device.ot_repair_after = minutes(2);
+  p.device.mean_fxc_stick_interval = minutes(30);
+  p.device.fxc_release_after = minutes(2);
+  return p;
+}
+
+Result<FaultPlan> FaultPlan::preset(const std::string& name) {
+  if (name == "none") return none();
+  if (name == "ems-flaps") return ems_flaps();
+  if (name == "channel-loss") return channel_loss();
+  if (name == "device-faults") return device_faults();
+  if (name == "combined") return combined();
+  return Error{ErrorCode::kNotFound, "chaos: unknown preset '" + name + "'"};
+}
+
+FaultPlan FaultPlan::scaled(double intensity) const {
+  FaultPlan p = *this;
+  p.name = name + "@" + std::to_string(intensity);
+  p.ems.nack_probability = clamp_probability(ems.nack_probability * intensity);
+  p.ems.slow_probability = clamp_probability(ems.slow_probability * intensity);
+  p.ems.mean_crash_interval =
+      scale_interval(ems.mean_crash_interval, intensity);
+  p.channel.drop_probability =
+      clamp_probability(channel.drop_probability * intensity);
+  p.channel.duplicate_probability =
+      clamp_probability(channel.duplicate_probability * intensity);
+  p.channel.delay_probability =
+      clamp_probability(channel.delay_probability * intensity);
+  p.device.mean_ot_fault_interval =
+      scale_interval(device.mean_ot_fault_interval, intensity);
+  p.device.mean_fxc_stick_interval =
+      scale_interval(device.mean_fxc_stick_interval, intensity);
+  return p;
+}
+
+Result<FaultPlan> FaultPlan::parse(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  const auto fail = [&](const std::string& why) -> Result<FaultPlan> {
+    return Error{ErrorCode::kInvalidArgument,
+                 "chaos: line " + std::to_string(line_no) + ": " + why};
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto strip = [](std::string s) {
+      const auto b = s.find_first_not_of(" \t\r");
+      if (b == std::string::npos) return std::string{};
+      const auto e = s.find_last_not_of(" \t\r");
+      return s.substr(b, e - b + 1);
+    };
+    line = strip(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) return fail("expected key=value");
+    const std::string key = strip(line.substr(0, eq));
+    const std::string value = strip(line.substr(eq + 1));
+    if (key.empty() || value.empty()) return fail("expected key=value");
+
+    if (key == "preset") {
+      auto base = preset(value);
+      if (!base.ok()) return base.error();
+      plan = std::move(base).value();
+      continue;
+    }
+    if (key == "name") {
+      plan.name = value;
+      continue;
+    }
+    if (key == "ems.targets") {
+      // Comma-separated EMS names.
+      plan.ems.targets.clear();
+      std::istringstream items(value);
+      std::string item;
+      while (std::getline(items, item, ',')) {
+        item = strip(item);
+        if (!item.empty()) plan.ems.targets.push_back(item);
+      }
+      continue;
+    }
+
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+      return fail("'" + value + "' is not a number");
+    const auto prob = [&](double* slot) {
+      *slot = v;
+      return v >= 0.0 && v <= 1.0;
+    };
+    if (key == "ems.nack_probability") {
+      if (!prob(&plan.ems.nack_probability)) return fail("probability out of [0,1]");
+    } else if (key == "ems.slow_probability") {
+      if (!prob(&plan.ems.slow_probability)) return fail("probability out of [0,1]");
+    } else if (key == "ems.slow_factor") {
+      plan.ems.slow_factor = v;
+    } else if (key == "ems.mean_crash_interval") {
+      plan.ems.mean_crash_interval = from_seconds(v);
+    } else if (key == "ems.restart_after") {
+      plan.ems.restart_after = from_seconds(v);
+    } else if (key == "channel.drop_probability") {
+      if (!prob(&plan.channel.drop_probability)) return fail("probability out of [0,1]");
+    } else if (key == "channel.duplicate_probability") {
+      if (!prob(&plan.channel.duplicate_probability))
+        return fail("probability out of [0,1]");
+    } else if (key == "channel.delay_probability") {
+      if (!prob(&plan.channel.delay_probability)) return fail("probability out of [0,1]");
+    } else if (key == "channel.extra_delay") {
+      plan.channel.extra_delay = from_seconds(v);
+    } else if (key == "device.mean_ot_fault_interval") {
+      plan.device.mean_ot_fault_interval = from_seconds(v);
+    } else if (key == "device.ot_repair_after") {
+      plan.device.ot_repair_after = from_seconds(v);
+    } else if (key == "device.mean_fxc_stick_interval") {
+      plan.device.mean_fxc_stick_interval = from_seconds(v);
+    } else if (key == "device.fxc_release_after") {
+      plan.device.fxc_release_after = from_seconds(v);
+    } else {
+      return fail("unknown key '" + key + "'");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::render() const {
+  std::ostringstream out;
+  out << "fault plan '" << name << "'\n";
+  out << "  ems: nack=" << ems.nack_probability
+      << " slow=" << ems.slow_probability << "x" << ems.slow_factor
+      << " crash-mean=" << to_seconds(ems.mean_crash_interval) << "s"
+      << " restart=" << to_seconds(ems.restart_after) << "s";
+  if (!ems.targets.empty()) {
+    out << " targets=";
+    for (std::size_t i = 0; i < ems.targets.size(); ++i)
+      out << (i != 0 ? "," : "") << ems.targets[i];
+  }
+  out << "\n";
+  out << "  channel: drop=" << channel.drop_probability
+      << " dup=" << channel.duplicate_probability
+      << " delay=" << channel.delay_probability << "@"
+      << to_seconds(channel.extra_delay) << "s\n";
+  out << "  device: ot-fault-mean="
+      << to_seconds(device.mean_ot_fault_interval) << "s"
+      << " ot-repair=" << to_seconds(device.ot_repair_after) << "s"
+      << " fxc-stick-mean=" << to_seconds(device.mean_fxc_stick_interval)
+      << "s fxc-release=" << to_seconds(device.fxc_release_after) << "s\n";
+  return out.str();
+}
+
+}  // namespace griphon::chaos

@@ -1,0 +1,95 @@
+// Declarative fault plans for the chaos injector.
+//
+// A FaultPlan says *what* goes wrong and how often; the FaultInjector
+// (driven by the sim clock and a seeded RNG) decides *when*. Plans are
+// plain data so soak tests, benches and the shell can share the same
+// presets, scale them by intensity, or parse operator-authored ones from
+// key=value text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/units.hpp"
+
+namespace griphon::chaos {
+
+struct FaultPlan {
+  std::string name = "custom";
+
+  /// Faults at the EMS command layer.
+  struct EmsFaults {
+    /// Chance a dequeued command is NACKed with a retryable kBusy instead
+    /// of executing (transient vendor-EMS hiccup).
+    double nack_probability = 0.0;
+    /// Chance a command's dialogue latency is stretched by slow_factor.
+    double slow_probability = 0.0;
+    double slow_factor = 4.0;
+    /// Mean time between EMS crash/restart events (exponential); zero
+    /// disables crashes. A crash drops every queued command on the floor
+    /// and flushes the response cache.
+    SimTime mean_crash_interval{};
+    SimTime restart_after = seconds(30);
+    /// EMS names the faults apply to; empty = every EMS.
+    std::vector<std::string> targets;
+  } ems;
+
+  /// Faults at the control-channel (message transport) layer.
+  struct ChannelFaults {
+    double drop_probability = 0.0;
+    double duplicate_probability = 0.0;
+    double delay_probability = 0.0;
+    SimTime extra_delay = milliseconds(200);
+  } channel;
+
+  /// Spontaneous device faults.
+  struct DeviceFaults {
+    /// Mean time between OT laser failures (picks an idle pool OT — the
+    /// fault is discovered by diagnostics before the OT is handed out, so
+    /// the RWA must route around a shrinking pool). Zero disables.
+    SimTime mean_ot_fault_interval{};
+    SimTime ot_repair_after = minutes(2);
+    /// Mean time between FXC ports sticking (the patch robot jams; any
+    /// setup or teardown touching the port NACKs with kDeviceFault until
+    /// a technician frees it). Zero disables.
+    SimTime mean_fxc_stick_interval{};
+    SimTime fxc_release_after = minutes(2);
+  } device;
+
+  [[nodiscard]] bool wants_channel_faults() const noexcept {
+    return channel.drop_probability > 0.0 ||
+           channel.duplicate_probability > 0.0 ||
+           channel.delay_probability > 0.0;
+  }
+
+  // --- presets ------------------------------------------------------------
+  [[nodiscard]] static FaultPlan none();
+  /// Flapping EMSs: transient NACKs, slow commands, periodic crashes.
+  [[nodiscard]] static FaultPlan ems_flaps();
+  /// Lossy control channels: drops, duplicates, delays.
+  [[nodiscard]] static FaultPlan channel_loss();
+  /// Hardware gremlins: OT laser failures and stuck FXC ports.
+  [[nodiscard]] static FaultPlan device_faults();
+  /// Everything at once, at gentler per-fault rates.
+  [[nodiscard]] static FaultPlan combined();
+  /// Look a preset up by name ("none", "ems-flaps", "channel-loss",
+  /// "device-faults", "combined").
+  [[nodiscard]] static Result<FaultPlan> preset(const std::string& name);
+
+  /// A copy with every probability multiplied by `intensity` (clamped to
+  /// 0.95) and every mean event interval divided by it. intensity 0 turns
+  /// everything off; 1 is the plan as authored.
+  [[nodiscard]] FaultPlan scaled(double intensity) const;
+
+  /// Parse key=value text ('#' comments, blank lines ignored). A
+  /// `preset=<name>` line loads that preset as the base; later lines
+  /// override single fields, e.g. `ems.nack_probability=0.1` or
+  /// `channel.extra_delay=0.5` (durations in seconds).
+  [[nodiscard]] static Result<FaultPlan> parse(const std::string& text);
+
+  /// Human-readable summary (shell `chaos plan`, CI artifact).
+  [[nodiscard]] std::string render() const;
+};
+
+}  // namespace griphon::chaos

@@ -21,6 +21,7 @@ enum class AlarmType {
   kOduAis,          ///< ODU alarm indication signal (OTN downstream)
   kEquipmentFault,  ///< device-internal failure
   kClear,           ///< previously raised condition cleared
+  kEmsRestart,      ///< an EMS came back after a crash (state may be stale)
 };
 
 [[nodiscard]] constexpr const char* to_string(AlarmType t) noexcept {
@@ -35,6 +36,8 @@ enum class AlarmType {
       return "EQPT";
     case AlarmType::kClear:
       return "CLEAR";
+    case AlarmType::kEmsRestart:
+      return "EMS-RESTART";
   }
   return "?";
 }

@@ -26,6 +26,8 @@ std::string_view to_string(ErrorCode code) noexcept {
       return "permission-denied";
     case ErrorCode::kInternal:
       return "internal";
+    case ErrorCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

@@ -26,6 +26,7 @@ enum class ErrorCode {
   kUnreachable,         ///< no path satisfies the constraints
   kPermissionDenied,    ///< customer isolation / quota violation
   kInternal,            ///< invariant violation escaping as a value
+  kUnavailable,         ///< dependency down (EMS circuit breaker open)
 };
 
 [[nodiscard]] std::string_view to_string(ErrorCode code) noexcept;

@@ -68,12 +68,26 @@ bool plan_uses_any(const WavelengthPlan& plan,
                      [&](LinkId l) { return links.contains(l); });
 }
 
+/// Worth a second try? kTimeout: the transport gave up and the command's
+/// fate is unknown. kBusy: transient EMS/device contention. Validation
+/// NACKs and device faults are deterministic — retrying burns time.
+bool command_retryable(ErrorCode code) {
+  return code == ErrorCode::kTimeout || code == ErrorCode::kBusy;
+}
+
 }  // namespace
 
 GriphonController::GriphonController(NetworkModel* model, Params params)
     : model_(model), params_(params), inventory_(model),
       rwa_(model, &inventory_, params.rwa),
-      failures_(&model->engine(), params.failure) {
+      failures_(&model->engine(), params.failure),
+      ems_health_(&model->engine(), params.ems_health) {
+  client_domains_ = {
+      {&model_->roadm_ems_client(), "roadm-ems"},
+      {&model_->fxc_ems_client(), "fxc-ems"},
+      {&model_->otn_ems_client(), "otn-ems"},
+      {&model_->nte_ems_client(), "nte-ems"},
+  };
   // Alarm plumbing: every EMS event stream feeds the failure manager.
   const auto sink = [this](const proto::Frame& frame) {
     handle_alarm_frame(frame);
@@ -151,6 +165,12 @@ const Connection& GriphonController::connection(ConnectionId id) const {
   return it->second;
 }
 
+const Connection* GriphonController::find_connection(
+    ConnectionId id) const noexcept {
+  const auto it = connections_.find(id);
+  return it == connections_.end() ? nullptr : &it->second;
+}
+
 std::vector<ConnectionId> GriphonController::connections_of(
     CustomerId customer) const {
   std::vector<ConnectionId> out;
@@ -186,6 +206,86 @@ void GriphonController::release_nte_port(MuxponderId nte, std::size_t port) {
 // --------------------------------------------------------------------------
 // Command sequencing
 // --------------------------------------------------------------------------
+
+const std::string& GriphonController::domain_of(
+    const proto::RequestClient* client) const {
+  static const std::string kUnknown = "ems";
+  const auto it = client_domains_.find(client);
+  return it == client_domains_.end() ? kUnknown : it->second;
+}
+
+SimTime GriphonController::retry_delay(int attempt) {
+  const auto& p = params_.command_retry;
+  double d = to_seconds(p.base_backoff);
+  for (int i = 1; i < attempt; ++i) d *= p.backoff_multiplier;
+  d = std::min(d, to_seconds(p.max_backoff));
+  if (p.jitter > 0.0)
+    d *= model_->engine().rng().uniform(1.0 - p.jitter, 1.0 + p.jitter);
+  return from_seconds(d);
+}
+
+void GriphonController::issue_command(
+    proto::RequestClient* client, proto::Message message,
+    proto::RequestClient::ResponseCallback cb, int attempt,
+    std::uint64_t idem_key) {
+  ems_health_.set_telemetry(model_->telemetry());
+  const std::string& domain = domain_of(client);
+  if (!ems_health_.allow(domain)) {
+    // Breaker open: shed the command without touching the wire, so a dead
+    // EMS costs microseconds, not a protocol-timeout ladder. Deferred one
+    // event to keep callback ordering identical to the wire path.
+    ++stats_.commands_shed;
+    ++pending_commands_;
+    model_->engine().schedule(
+        SimTime{}, [this, domain, cb = std::move(cb)]() {
+          --pending_commands_;
+          cb(Error{ErrorCode::kUnavailable,
+                   "controller: " + domain + " circuit breaker open"});
+        });
+    return;
+  }
+  ++pending_commands_;
+  // The id the frame actually went out under; needed to reuse it as the
+  // idempotency key on a retry-after-timeout. request() returns before any
+  // callback can fire (single-threaded sim), so the shared slot is always
+  // populated by then.
+  auto sent_id = std::make_shared<std::uint64_t>(0);
+  *sent_id = client->request(
+      message,
+      [this, client, message, cb = std::move(cb), attempt, sent_id](
+          Result<proto::Response> r) mutable {
+        --pending_commands_;
+        const bool transport_timeout =
+            !r.ok() && r.error().code() == ErrorCode::kTimeout;
+        if (transport_timeout)
+          ems_health_.record_timeout(domain_of(client));
+        else
+          ems_health_.record_success(domain_of(client));
+        const Status s = response_to_status(r);
+        if (!s.ok() && command_retryable(s.error().code()) &&
+            attempt < params_.command_retry.max_attempts) {
+          ++stats_.commands_retried;
+          // After a timeout the command may or may not have executed:
+          // retry under the SAME request id so the EMS either replays its
+          // cached response or executes once. A NACK is cached under this
+          // id too, so a retryable NACK must go out under a fresh id.
+          const std::uint64_t reuse = transport_timeout ? *sent_id : 0;
+          trace(sim::TraceLevel::kInfo, "command-retry",
+                domain_of(client) + " attempt " + std::to_string(attempt) +
+                    ": " + s.error().message());
+          model_->engine().schedule(
+              retry_delay(attempt),
+              [this, client, message = std::move(message),
+               cb = std::move(cb), attempt, reuse]() mutable {
+                issue_command(client, std::move(message), std::move(cb),
+                              attempt + 1, reuse);
+              });
+          return;
+        }
+        cb(std::move(r));
+      },
+      idem_key);
+}
 
 struct GriphonController::RunState {
   std::shared_ptr<StepList> steps;
@@ -230,8 +330,8 @@ void GriphonController::run_steps_sequential(std::shared_ptr<RunState> state,
       span = t->span_start(label.name, label.actor, 0, state->parent_span);
     }
   }
-  step.client->request(step.forward, [this, state, at, span](
-                                         Result<proto::Response> r) {
+  issue_command(step.client, step.forward, [this, state, at, span](
+                                               Result<proto::Response> r) {
     const Status s = response_to_status(r);
     if (span != 0)
       if (telemetry::Telemetry* t = model_->telemetry())
@@ -261,8 +361,8 @@ void GriphonController::run_steps_pipelined(std::shared_ptr<RunState> state) {
         span = t->span_start(label.name, label.actor, 0, state->parent_span);
       }
     }
-    (*state->steps)[i].client->request(
-        (*state->steps)[i].forward,
+    issue_command(
+        (*state->steps)[i].client, (*state->steps)[i].forward,
         [this, state, i, span](Result<proto::Response> r) {
           const Status s = response_to_status(r);
           if (span != 0)
@@ -832,8 +932,8 @@ void GriphonController::send_otn_create(ConnectionId id, SetupCallback cb,
   std::uint64_t span = 0;
   if (telemetry::Telemetry* t = model_->telemetry())
     span = t->span_start("otn.op", "otn-ems", 0, c0->setup_span);
-  model_->otn_ems_client().request(
-      proto::Message{create},
+  issue_command(
+      &model_->otn_ems_client(), proto::Message{create},
       [this, id, allow_groom, span,
        cb = std::move(cb)](Result<proto::Response> r) mutable {
         const Status s = response_to_status(r);
@@ -928,9 +1028,9 @@ void GriphonController::setup_subwavelength_access(ConnectionId id,
                       release.op = proto::OtnOp::Op::kRelease;
                       release.circuit = c->odu;
                       ++stats_.commands_issued;
-                      model_->otn_ems_client().request(
-                          proto::Message{release},
-                          [](Result<proto::Response>) {});
+                      issue_command(&model_->otn_ems_client(),
+                                    proto::Message{release},
+                                    [](Result<proto::Response>) {});
                       odu_to_connection_.erase(c->odu);
                       c->odu = OduCircuitId{};
                     }
@@ -1129,8 +1229,18 @@ void GriphonController::handle_alarm_frame(const proto::Frame& frame) {
   // Keep the failure manager's sink in lock-step with the model's (the
   // sink may be attached after construction); a pointer store, idempotent.
   failures_.set_telemetry(model_->telemetry());
-  if (const auto* ev = std::get_if<proto::AlarmEvent>(&frame.message))
-    failures_.ingest(ev->alarm);
+  const auto* ev = std::get_if<proto::AlarmEvent>(&frame.message);
+  if (ev == nullptr) return;
+  if (ev->alarm.type == AlarmType::kEmsRestart) {
+    // The EMS lost its command queues and response cache in the crash;
+    // device state may have diverged from the inventory. Audit once the
+    // control plane quiets down.
+    trace(sim::TraceLevel::kWarn, "ems-restart",
+          ev->alarm.source + ": scheduling reconciliation audit");
+    schedule_resync();
+    return;
+  }
+  failures_.ingest(ev->alarm);
 }
 
 void GriphonController::mark_failed(Connection& c) {
@@ -1654,6 +1764,376 @@ void GriphonController::regroom(ConnectionId id, DoneCallback cb) {
     return;
   }
   roll_to_plan(id, std::move(candidate).value(), std::move(cb));
+}
+
+// --------------------------------------------------------------------------
+// Reconciliation (post-EMS-restart audit)
+// --------------------------------------------------------------------------
+//
+// Device configuration is modelled as a set of canonical string keys — one
+// per stateful command effect. The same key function is applied to the
+// setup command lists a live connection *would* issue today (expected) and
+// to the actual device state (present). present − expected is a leak:
+// configuration with no owner, released via best-effort commands.
+// expected − present is drift: an owned connection missing configuration,
+// repaired by re-issuing the missing setup commands in setup order.
+
+namespace {
+
+std::string express_key(RoadmId r, std::int32_t ch, std::int32_t a,
+                        std::int32_t b) {
+  if (a > b) std::swap(a, b);
+  return "rx/" + std::to_string(r.value()) + "/" + std::to_string(ch) + "/" +
+         std::to_string(a) + "/" + std::to_string(b);
+}
+std::string add_drop_key(RoadmId r, PortId p, std::int32_t degree,
+                         std::int32_t ch) {
+  return "rad/" + std::to_string(r.value()) + "/" + std::to_string(p.value()) +
+         "/" + std::to_string(degree) + "/" + std::to_string(ch);
+}
+// Tuned and active are separate keys so a half-built OT (tuned, never
+// activated) still reads as drifted against an expected kActivate.
+std::string ot_tuned_key(TransponderId t) {
+  return "ot/" + std::to_string(t.value()) + "/t";
+}
+std::string ot_active_key(TransponderId t) {
+  return "ot/" + std::to_string(t.value()) + "/a";
+}
+std::string regen_key(RegenId r) {
+  return "regen/" + std::to_string(r.value());
+}
+std::string fxc_key(FxcId f, PortId a, PortId b) {
+  if (b < a) std::swap(a, b);
+  return "fxc/" + std::to_string(f.value()) + "/" + std::to_string(a.value()) +
+         "/" + std::to_string(b.value());
+}
+std::string nte_key(MuxponderId n, std::uint32_t p) {
+  return "nte/" + std::to_string(n.value()) + "/" + std::to_string(p);
+}
+
+/// Keys a setup-direction command contributes to expected configuration.
+/// Release-direction and stateless (PowerBalance) commands contribute none.
+struct ConfigKeyVisitor {
+  std::set<std::string>& out;
+  void operator()(const proto::RoadmExpress& e) const {
+    if (e.engage)
+      out.insert(express_key(e.roadm, e.channel, e.degree_in, e.degree_out));
+  }
+  void operator()(const proto::RoadmAddDrop& a) const {
+    if (a.engage)
+      out.insert(add_drop_key(a.roadm, a.port, a.degree, a.channel));
+  }
+  void operator()(const proto::OtTune& t) const {
+    out.insert(ot_tuned_key(t.ot));
+  }
+  void operator()(const proto::OtSetState& s) const {
+    if (s.action == proto::OtSetState::Action::kActivate)
+      out.insert(ot_active_key(s.ot));
+  }
+  void operator()(const proto::RegenEngage& r) const {
+    if (r.engage) out.insert(regen_key(r.regen));
+  }
+  void operator()(const proto::FxcConnect& f) const {
+    out.insert(fxc_key(f.fxc, f.port_a, f.port_b));
+  }
+  void operator()(const proto::NtePort& n) const {
+    if (n.engage) out.insert(nte_key(n.nte, n.port));
+  }
+  template <typename T>
+  void operator()(const T&) const {}
+};
+
+void append_config_keys(const proto::Message& m, std::set<std::string>& out) {
+  std::visit(ConfigKeyVisitor{out}, m);
+}
+
+}  // namespace
+
+bool GriphonController::quiescent() const {
+  if (pending_commands_ != 0 || restoration_in_flight_ ||
+      !restore_queue_.empty())
+    return false;
+  for (const auto& [id, c] : connections_) {
+    switch (c.state) {
+      case ConnectionState::kPending:
+      case ConnectionState::kSettingUp:
+      case ConnectionState::kRestoring:
+      case ConnectionState::kRolling:
+      case ConnectionState::kTearingDown:
+        return false;
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+void GriphonController::schedule_resync() {
+  if (resync_scheduled_) return;
+  resync_scheduled_ = true;
+  resync_attempts_ = 0;
+  model_->engine().schedule(params_.resync_delay,
+                            [this]() { try_auto_resync(); });
+}
+
+void GriphonController::try_auto_resync() {
+  if (!quiescent()) {
+    if (++resync_attempts_ < params_.resync_max_deferrals) {
+      model_->engine().schedule(params_.resync_retry,
+                                [this]() { try_auto_resync(); });
+    } else {
+      // Never went quiet; stand down. The next restart alarm re-arms us.
+      resync_scheduled_ = false;
+      trace(sim::TraceLevel::kWarn, "resync-abandoned",
+            "control plane never quiesced");
+    }
+    return;
+  }
+  resync_scheduled_ = false;
+  do_resync([](const ResyncReport&) {});
+}
+
+void GriphonController::resync(ResyncCallback cb) {
+  if (!quiescent()) {
+    cb(Error{ErrorCode::kBusy, "controller: command trains in flight"});
+    return;
+  }
+  do_resync([cb = std::move(cb)](const ResyncReport& r) { cb(r); });
+}
+
+GriphonController::StepList GriphonController::expected_steps_for(
+    const Connection& c) const {
+  if (c.state != ConnectionState::kActive &&
+      c.state != ConnectionState::kFailed)
+    return {};
+  if (c.kind == ConnectionKind::kWavelength) {
+    if (c.deprovisioned) {
+      // Restoration already released this path's devices; only the access
+      // plumbing is still owned.
+      return build_access_setup(c, c.plan);
+    }
+    StepList steps = build_wavelength_setup(c, c.plan, /*include_access=*/true);
+    if (c.standby) {
+      StepList standby =
+          build_wavelength_setup(c, *c.standby, /*include_access=*/false);
+      steps.insert(steps.end(), standby.begin(), standby.end());
+    }
+    return steps;
+  }
+  // Sub-wavelength: NTE ports + FXC steering onto the OTN client ports.
+  // The ODU circuit itself is audited separately by id.
+  if (!c.odu.valid()) return {};
+  StepList steps;
+  auto* nte_client = &model_->nte_ems_client();
+  auto* fxc_client = &model_->fxc_ems_client();
+  steps.push_back(
+      Step{nte_client,
+           proto::NtePort{c.src_site,
+                          static_cast<std::uint32_t>(c.src_nte_port), true},
+           std::nullopt});
+  steps.push_back(
+      Step{nte_client,
+           proto::NtePort{c.dst_site,
+                          static_cast<std::uint32_t>(c.dst_nte_port), true},
+           std::nullopt});
+  const auto& circuit = model_->otn().circuit(c.odu);
+  auto fxc_step = [&](NodeId pop, MuxponderId site, std::size_t nte_port,
+                      std::size_t otn_port) {
+    fxc::Fxc& f = model_->fxc_at(pop);
+    const auto access = f.port_for(fxc::Wiring::Kind::kCustomerAccess,
+                                   site.value(), nte_port);
+    const auto sw = model_->otn().switch_at(pop);
+    if (!access || sw == nullptr) return;
+    const auto otnp = f.port_for(fxc::Wiring::Kind::kOtnClientPort,
+                                 sw->id().value(), otn_port);
+    if (!otnp) return;
+    steps.push_back(Step{fxc_client, proto::FxcConnect{f.id(), *access, *otnp},
+                         std::nullopt});
+  };
+  fxc_step(c.src_pop, c.src_site, c.src_nte_port, circuit.src_port);
+  fxc_step(c.dst_pop, c.dst_site, c.dst_nte_port, circuit.dst_port);
+  return steps;
+}
+
+GriphonController::StepList GriphonController::build_expected_steps() const {
+  StepList steps;
+  for (const auto& [id, c] : connections_) {
+    StepList s = expected_steps_for(c);
+    steps.insert(steps.end(), std::make_move_iterator(s.begin()),
+                 std::make_move_iterator(s.end()));
+  }
+  for (const auto& [carrier, plan] : groomed_plans_) {
+    Connection synthetic;
+    StepList s =
+        build_wavelength_setup(synthetic, plan, /*include_access=*/false);
+    steps.insert(steps.end(), std::make_move_iterator(s.begin()),
+                 std::make_move_iterator(s.end()));
+  }
+  return steps;
+}
+
+void GriphonController::do_resync(
+    std::function<void(const ResyncReport&)> done) {
+  ++stats_.resync_runs;
+  auto report = std::make_shared<ResyncReport>();
+
+  // Expected: what live connections + groomed carriers own today.
+  std::set<std::string> expected;
+  std::set<OduCircuitId> expected_odus;
+  for (const Step& s : build_expected_steps())
+    append_config_keys(s.forward, expected);
+  for (const auto& [id, c] : connections_)
+    if (c.odu.valid() && (c.state == ConnectionState::kActive ||
+                          c.state == ConnectionState::kFailed))
+      expected_odus.insert(c.odu);
+
+  // Present: walk every device; anything configured but unowned is a leak
+  // and gets a release command.
+  std::set<std::string> present;
+  auto repair = std::make_shared<StepList>();
+  auto* roadm_client = &model_->roadm_ems_client();
+  auto* fxc_client = &model_->fxc_ems_client();
+  auto* nte_client = &model_->nte_ems_client();
+  auto leak = [&](std::size_t& counter, proto::RequestClient* client,
+                  proto::Message release) {
+    ++counter;
+    repair->push_back(Step{client, std::move(release), std::nullopt});
+  };
+
+  for (const auto& node : model_->graph().nodes()) {
+    const dwdm::Roadm& r = model_->roadm_at(node.id);
+    for (const auto& u : r.uses()) {
+      if (u.is_express) {
+        if (u.degree > u.other_degree) continue;  // each pair once
+        const std::string key =
+            express_key(r.id(), u.channel, u.degree, u.other_degree);
+        present.insert(key);
+        if (!expected.contains(key))
+          leak(report->leaked_roadm_uses, roadm_client,
+               proto::RoadmExpress{r.id(), u.channel, u.degree, u.other_degree,
+                                   false});
+      } else {
+        const auto& port = r.port(u.port);
+        const std::string key =
+            add_drop_key(r.id(), u.port, port.degree, port.channel);
+        present.insert(key);
+        if (!expected.contains(key))
+          leak(report->leaked_roadm_uses, roadm_client,
+               proto::RoadmAddDrop{r.id(), u.port, 0, 0, false});
+      }
+    }
+    const fxc::Fxc& f = model_->fxc_at(node.id);
+    for (const auto& [a, b] : f.cross_connects()) {
+      const std::string key = fxc_key(f.id(), a, b);
+      present.insert(key);
+      if (!expected.contains(key))
+        leak(report->leaked_fxc_connects, fxc_client,
+             proto::FxcDisconnect{f.id(), a});
+    }
+  }
+  for (const auto& ot : model_->ots()) {
+    if (ot->state() == dwdm::Transponder::State::kIdle ||
+        ot->state() == dwdm::Transponder::State::kFailed)
+      continue;
+    present.insert(ot_tuned_key(ot->id()));
+    if (ot->state() == dwdm::Transponder::State::kActive)
+      present.insert(ot_active_key(ot->id()));
+    if (!expected.contains(ot_tuned_key(ot->id())))
+      leak(report->leaked_ots, roadm_client,
+           proto::OtSetState{ot->id(), proto::OtSetState::Action::kReset});
+  }
+  for (const auto& rg : model_->regens()) {
+    if (!rg->in_use()) continue;
+    const std::string key = regen_key(rg->id());
+    present.insert(key);
+    if (!expected.contains(key))
+      leak(report->leaked_regens, roadm_client,
+           proto::RegenEngage{rg->id(), 0, 0, false});
+  }
+  for (const auto& site : model_->customer_sites()) {
+    const dwdm::Muxponder& mux = model_->nte(site.nte);
+    for (std::size_t p = 0; p < dwdm::Muxponder::kClientPorts; ++p) {
+      if (!mux.port_in_use(p)) continue;
+      const std::string key =
+          nte_key(site.nte, static_cast<std::uint32_t>(p));
+      present.insert(key);
+      if (!expected.contains(key))
+        leak(report->leaked_nte_ports, nte_client,
+             proto::NtePort{site.nte, static_cast<std::uint32_t>(p), false});
+    }
+  }
+  if (model_->config().with_otn) {
+    auto* otn_client = &model_->otn_ems_client();
+    for (const OduCircuitId cid : model_->otn().circuit_ids()) {
+      if (expected_odus.contains(cid)) continue;
+      proto::OtnOp release;
+      release.op = proto::OtnOp::Op::kRelease;
+      release.circuit = cid;
+      leak(report->leaked_otn_circuits, otn_client, proto::Message{release});
+    }
+  }
+
+  // Drift: owned configuration the devices no longer hold. Re-issue the
+  // missing setup commands in setup order (per-device EMS queues keep a
+  // same-port release-then-reconfigure sequence ordered).
+  auto append_drift_repairs = [&](const StepList& steps) {
+    bool drifted = false;
+    for (const Step& s : steps) {
+      std::set<std::string> keys;
+      append_config_keys(s.forward, keys);
+      if (keys.empty()) continue;
+      const bool missing = std::any_of(
+          keys.begin(), keys.end(),
+          [&](const std::string& k) { return !present.contains(k); });
+      if (!missing) continue;
+      drifted = true;
+      repair->push_back(Step{s.client, s.forward, std::nullopt});
+    }
+    return drifted;
+  };
+  for (const auto& [id, c] : connections_)
+    if (append_drift_repairs(expected_steps_for(c)))
+      ++report->drifted_connections;
+  for (const auto& [carrier, plan] : groomed_plans_) {
+    Connection synthetic;
+    if (append_drift_repairs(
+            build_wavelength_setup(synthetic, plan, /*include_access=*/false)))
+      ++report->drifted_connections;
+  }
+
+  report->repair_commands = repair->size();
+  stats_.resync_leaks += report->total_leaks();
+  stats_.resync_drift += report->drifted_connections;
+  if (telemetry::Telemetry* t = model_->telemetry()) {
+    auto& m = t->metrics();
+    m.counter("griphon_controller_resync_runs_total",
+              "Reconciliation audits run")
+        ->inc();
+    m.counter("griphon_controller_resync_leaks_total",
+              "Unowned device configuration found by audits")
+        ->inc(report->total_leaks());
+    m.counter("griphon_controller_resync_drift_total",
+              "Connections found missing device configuration")
+        ->inc(report->drifted_connections);
+    m.counter("griphon_controller_resync_repairs_total",
+              "Repair commands issued by audits")
+        ->inc(report->repair_commands);
+  }
+  trace(report->repair_commands == 0 ? sim::TraceLevel::kInfo
+                                     : sim::TraceLevel::kWarn,
+        "resync",
+        "leaks=" + std::to_string(report->total_leaks()) +
+            " drift=" + std::to_string(report->drifted_connections) +
+            " repairs=" + std::to_string(report->repair_commands));
+  if (repair->empty()) {
+    done(*report);
+    return;
+  }
+  run_steps(repair, /*best_effort=*/true,
+            [report, done = std::move(done)](Status,
+                                             std::vector<std::size_t>) {
+              done(*report);
+            });
 }
 
 }  // namespace griphon::core

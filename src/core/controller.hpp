@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/connection.hpp"
+#include "core/ems_health.hpp"
 #include "core/failure_manager.hpp"
 #include "core/inventory.hpp"
 #include "core/network_model.hpp"
@@ -47,6 +48,29 @@ class GriphonController {
     SimTime roll_hit = milliseconds(50);
     /// Restore wavelength connections automatically on failure.
     bool auto_restore = true;
+
+    /// Application-level retry of EMS commands, on top of the protocol
+    /// client's frame retransmissions. Timeout retries reuse the original
+    /// request id (idempotency key — the EMS response cache absorbs a
+    /// duplicated execution); retryable NACKs (kBusy) retry under a fresh
+    /// id after backoff.
+    struct RetryPolicy {
+      int max_attempts = 3;  ///< total tries per command
+      SimTime base_backoff = seconds(2);
+      double backoff_multiplier = 2.0;
+      SimTime max_backoff = seconds(30);
+      double jitter = 0.25;  ///< uniform +/- fraction of each delay
+    };
+    RetryPolicy command_retry{};
+    /// Per-EMS-domain circuit breaker (consecutive-timeout trip).
+    EmsHealthTracker::Params ems_health{};
+    /// EMS-restart alarm -> reconciliation audit, after this settle delay.
+    SimTime resync_delay = seconds(5);
+    /// Audit retry cadence while command trains are still in flight, and
+    /// how many times to re-check before giving up (the next restart alarm
+    /// re-arms it).
+    SimTime resync_retry = seconds(5);
+    int resync_max_deferrals = 64;
   };
 
   using SetupCallback = std::function<void(Result<ConnectionId>)>;
@@ -62,6 +86,11 @@ class GriphonController {
   void release_connection(ConnectionId id, DoneCallback cb);
 
   [[nodiscard]] const Connection& connection(ConnectionId id) const;
+  /// Null when the id is unknown (never existed or already released).
+  /// Surfaces holding caller-supplied ids use this instead of connection()
+  /// so a stale id degrades to kNotFound rather than a crash.
+  [[nodiscard]] const Connection* find_connection(
+      ConnectionId id) const noexcept;
   [[nodiscard]] std::vector<ConnectionId> connections_of(
       CustomerId customer) const;
   [[nodiscard]] std::size_t active_connections() const;
@@ -91,6 +120,42 @@ class GriphonController {
   /// Decommission groomed carriers no circuit uses anymore: retire them in
   /// the OTN layer and release their wavelengths back to the pool.
   void decommission_idle_carriers(DoneCallback cb);
+
+  // --- reconciliation -------------------------------------------------------
+  /// What a reconciliation audit found and repaired. Device state is
+  /// compared against the union of every live connection's (and groomed
+  /// carrier's) expected configuration: configuration with no owner is a
+  /// leak (released via best-effort commands); an Active connection whose
+  /// devices lost configuration has drifted (marked failed and queued for
+  /// restoration).
+  struct ResyncReport {
+    std::size_t leaked_roadm_uses = 0;
+    std::size_t leaked_fxc_connects = 0;
+    std::size_t leaked_ots = 0;
+    std::size_t leaked_regens = 0;
+    std::size_t leaked_nte_ports = 0;
+    std::size_t leaked_otn_circuits = 0;
+    std::size_t drifted_connections = 0;
+    std::size_t repair_commands = 0;
+    [[nodiscard]] std::size_t total_leaks() const noexcept {
+      return leaked_roadm_uses + leaked_fxc_connects + leaked_ots +
+             leaked_regens + leaked_nte_ports + leaked_otn_circuits;
+    }
+  };
+  using ResyncCallback = std::function<void(Result<ResyncReport>)>;
+
+  /// Audit device state against the inventory and repair divergence. Runs
+  /// only when the control plane is quiescent (no command trains or
+  /// transitional connections) — kBusy otherwise. Triggered automatically
+  /// (with deferral until quiescent) when an EMS announces a restart.
+  void resync(ResyncCallback cb);
+
+  /// True when no EMS commands or connection state machines are in flight.
+  [[nodiscard]] bool quiescent() const;
+
+  [[nodiscard]] const EmsHealthTracker& ems_health() const noexcept {
+    return ems_health_;
+  }
 
   // --- introspection ---------------------------------------------------------
   [[nodiscard]] const Inventory& inventory() const noexcept {
@@ -124,6 +189,11 @@ class GriphonController {
     std::size_t rolls_ok = 0;
     std::size_t rolls_failed = 0;
     std::size_t commands_issued = 0;
+    std::size_t commands_retried = 0;  ///< application-level retries
+    std::size_t commands_shed = 0;     ///< failed fast: breaker open
+    std::size_t resync_runs = 0;
+    std::size_t resync_leaks = 0;
+    std::size_t resync_drift = 0;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -148,6 +218,16 @@ class GriphonController {
                  RunDone done, std::uint64_t parent_span = 0);
   void run_steps_sequential(std::shared_ptr<RunState> state, std::size_t at);
   void run_steps_pipelined(std::shared_ptr<RunState> state);
+  /// Issue one EMS command with circuit-breaker check and bounded
+  /// exponential-backoff retry. `cb` fires once with the final outcome
+  /// (kUnavailable without touching the wire when the domain's breaker is
+  /// open). Every controller command goes through here.
+  void issue_command(proto::RequestClient* client, proto::Message message,
+                     proto::RequestClient::ResponseCallback cb,
+                     int attempt = 1, std::uint64_t idem_key = 0);
+  [[nodiscard]] SimTime retry_delay(int attempt);
+  [[nodiscard]] const std::string& domain_of(
+      const proto::RequestClient* client) const;
   /// Run undo commands of the given steps in reverse order, ignoring
   /// errors, then call done.
   void rollback_steps(std::shared_ptr<StepList> steps,
@@ -192,6 +272,15 @@ class GriphonController {
   void roll_to_plan(ConnectionId id, const WavelengthPlan& new_plan,
                     DoneCallback cb);
 
+  // Reconciliation.
+  void schedule_resync();
+  void try_auto_resync();
+  void do_resync(std::function<void(const ResyncReport&)> done);
+  /// Expected device configuration of every live connection + groomed
+  /// carrier, expressed as the setup command lists that would create it.
+  [[nodiscard]] StepList build_expected_steps() const;
+  [[nodiscard]] StepList expected_steps_for(const Connection& c) const;
+
   [[nodiscard]] Connection& conn(ConnectionId id);
   [[nodiscard]] Connection* find_conn(ConnectionId id);
   [[nodiscard]] Result<std::size_t> pick_free_nte_port(MuxponderId nte);
@@ -204,6 +293,7 @@ class GriphonController {
   Inventory inventory_;
   RwaEngine rwa_;
   FailureManager failures_;
+  EmsHealthTracker ems_health_;
   std::map<ConnectionId, Connection> connections_;
   std::map<OduCircuitId, ConnectionId> odu_to_connection_;
   std::size_t carriers_groomed_ = 0;
@@ -211,6 +301,10 @@ class GriphonController {
   std::set<std::pair<MuxponderId, std::size_t>> reserved_nte_ports_;
   std::vector<ConnectionId> restore_queue_;
   bool restoration_in_flight_ = false;
+  std::size_t pending_commands_ = 0;  ///< EMS commands awaiting a response
+  bool resync_scheduled_ = false;
+  int resync_attempts_ = 0;
+  std::map<const proto::RequestClient*, std::string> client_domains_;
   TopologyObserver topology_observer_;
   IdAllocator<ConnectionId> ids_;
   Stats stats_;

@@ -214,6 +214,15 @@ Result<CarrierId> NetworkModel::add_otn_carrier(
   return otn_->add_carrier(a, b, line_rate, route);
 }
 
+std::vector<ems::EmsServer*> NetworkModel::ems_servers() noexcept {
+  return {roadm_ems_.get(), fxc_ems_.get(), otn_ems_.get(), nte_ems_.get()};
+}
+
+std::vector<proto::ControlChannel*> NetworkModel::control_channels() noexcept {
+  return {roadm_chan_.get(), fxc_chan_.get(), otn_chan_.get(),
+          nte_chan_.get()};
+}
+
 void NetworkModel::attach_telemetry(telemetry::Telemetry* telemetry) {
   telemetry_ = telemetry;
   roadm_ems_->set_telemetry(telemetry);

@@ -164,6 +164,16 @@ class NetworkModel {
     return *nte_client_;
   }
   [[nodiscard]] ems::EmsServer& roadm_ems() noexcept { return *roadm_ems_; }
+  [[nodiscard]] ems::EmsServer& fxc_ems() noexcept { return *fxc_ems_; }
+  [[nodiscard]] ems::EmsServer& otn_ems() noexcept { return *otn_ems_; }
+  [[nodiscard]] ems::EmsServer& nte_ems() noexcept { return *nte_ems_; }
+
+  /// All vendor EMS servers / DCN control channels, for fleet-wide
+  /// operations (chaos injection, resync audits). Stable order: roadm,
+  /// fxc, otn, nte.
+  [[nodiscard]] std::vector<ems::EmsServer*> ems_servers() noexcept;
+  [[nodiscard]] std::vector<proto::ControlChannel*>
+  control_channels() noexcept;
 
   // --- failure injection ---------------------------------------------------
   /// Cut the fiber: ROADMs raise LOS alarms, OTN carriers riding it fail.

@@ -57,7 +57,12 @@ void CustomerPortal::connect(MuxponderId src_site, MuxponderId dst_site,
 }
 
 void CustomerPortal::disconnect(ConnectionId id, DoneCallback cb) {
-  const Connection& c = controller_->connection(id);
+  const Connection* found = controller_->find_connection(id);
+  if (found == nullptr) {
+    cb(Status{ErrorCode::kNotFound, "portal: unknown connection"});
+    return;
+  }
+  const Connection& c = *found;
   if (c.customer != customer_) {
     count_reject(controller_, customer_, "isolation");
     cb(Status{ErrorCode::kPermissionDenied,

@@ -163,6 +163,16 @@ std::size_t Roadm::active_uses() const {
   return n;
 }
 
+std::vector<Roadm::ActiveUse> Roadm::uses() const {
+  std::vector<ActiveUse> out;
+  out.reserve(active_uses());
+  for (std::size_t d = 0; d < uses_.size(); ++d)
+    for (const auto& [ch, use] : uses_[d])
+      out.push_back(ActiveUse{static_cast<DegreeIndex>(d), ch, use.is_express,
+                              use.other_degree, use.port});
+  return out;
+}
+
 void Roadm::raise(AlarmType type, LinkId link, ChannelIndex ch, SimTime now,
                   std::string detail) {
   if (!alarm_sink_) return;

@@ -92,6 +92,18 @@ class Roadm {
   /// Number of active uses across all degrees.
   [[nodiscard]] std::size_t active_uses() const;
 
+  /// One active use, flattened for reconciliation audits.
+  struct ActiveUse {
+    DegreeIndex degree = -1;
+    ChannelIndex channel = kNoChannel;
+    bool is_express = false;
+    DegreeIndex other_degree = -1;  ///< express peer (is_express only)
+    PortId port;                    ///< add/drop port (!is_express only)
+  };
+  /// Every active use. Express uses are recorded on both member degrees;
+  /// keep `degree < other_degree` to visit each cross-connect once.
+  [[nodiscard]] std::vector<ActiveUse> uses() const;
+
   /// Invoked after every successful configuration change (express or
   /// add/drop, configure or release). The NetworkModel uses this to bump a
   /// plant-wide version counter that caches (e.g. the Inventory's

@@ -8,8 +8,6 @@ namespace griphon::ems {
 
 namespace {
 
-constexpr std::size_t kResponseCacheSize = 256;
-
 template <typename MapT>
 auto* find_device(MapT& map, std::uint64_t id) {
   const auto it = map.find(id);
@@ -55,6 +53,8 @@ void EmsServer::set_telemetry(telemetry::Telemetry* telemetry) {
   if (telemetry_ == nullptr) {
     commands_total_ = nullptr;
     alarms_forwarded_total_ = nullptr;
+    cache_evictions_total_ = nullptr;
+    crashes_total_ = nullptr;
     queue_wait_seconds_ = nullptr;
     task_seconds_ = nullptr;
     return;
@@ -71,6 +71,11 @@ void EmsServer::set_telemetry(telemetry::Telemetry* telemetry) {
       m.counter(prefix + "commands_total", "Commands executed by this EMS");
   alarms_forwarded_total_ = m.counter(prefix + "alarms_forwarded_total",
                                       "Device alarms forwarded upstream");
+  cache_evictions_total_ =
+      m.counter(prefix + "cache_evictions_total",
+                "Response-cache entries evicted (LRU past capacity)");
+  crashes_total_ =
+      m.counter(prefix + "crashes_total", "EMS crash/restart events");
   queue_wait_seconds_ =
       m.histogram(prefix + "queue_wait_seconds",
                   "Time a command waits for its element dialogue");
@@ -88,9 +93,46 @@ void EmsServer::forward_alarm(const Alarm& alarm) {
   const SimTime delay = profile_.alarm_notify.sample(engine_->rng());
   const proto::Bytes frame =
       proto::encode_frame(0, proto::Message{proto::AlarmEvent{alarm}});
-  engine_->schedule(delay, [this, frame]() { endpoint_->send(frame); });
+  engine_->schedule(delay, [this, frame]() {
+    if (down_) return;  // a crashed EMS notifies no one
+    endpoint_->send(frame);
+  });
   if (alarms_forwarded_total_ != nullptr) alarms_forwarded_total_->inc();
   trace("alarm-forwarded", alarm.source);
+}
+
+void EmsServer::crash_restart(SimTime restart_after) {
+  down_ = true;
+  ++crashes_;
+  ++boot_epoch_;  // mid-dialogue completions from before the crash evaporate
+  queues_.clear();
+  busy_devices_.clear();
+  in_flight_requests_.clear();
+  response_cache_.clear();
+  cache_lru_.clear();
+  if (crashes_total_ != nullptr) crashes_total_->inc();
+  trace("crash", "restart in " + std::to_string(to_seconds(restart_after)) +
+                     "s");
+  engine_->schedule(restart_after, [this]() {
+    down_ = false;
+    trace("restart", name_);
+    Alarm a;
+    a.type = AlarmType::kEmsRestart;
+    a.raised_at = engine_->now();
+    a.source = name_;
+    a.detail = "ems restarted; device state may have drifted";
+    forward_alarm(a);
+  });
+}
+
+void EmsServer::set_response_cache_capacity(std::size_t capacity) {
+  cache_capacity_ = capacity;
+  while (response_cache_.size() > cache_capacity_) {
+    response_cache_.erase(cache_lru_.front());
+    cache_lru_.pop_front();
+    ++cache_evictions_;
+    if (cache_evictions_total_ != nullptr) cache_evictions_total_->inc();
+  }
 }
 
 std::uint64_t EmsServer::device_key(const proto::Message& m) {
@@ -131,15 +173,18 @@ std::uint64_t EmsServer::device_key(const proto::Message& m) {
 }
 
 void EmsServer::handle_frame(const proto::Bytes& bytes) {
+  if (down_) return;  // crashed: frames fall on the floor, clients time out
   auto frame = proto::decode_frame(bytes);
   if (!frame.ok()) {
     trace("bad-frame", frame.error().message());
     return;
   }
   const std::uint64_t id = frame.value().request_id;
-  // Retransmission? Replay the cached response without re-executing.
+  // Retransmission? Replay the cached response without re-executing (and
+  // refresh the entry's LRU recency — a retrying id is a hot id).
   if (const auto it = response_cache_.find(id); it != response_cache_.end()) {
-    endpoint_->send(proto::encode_frame(id, proto::Message{it->second}));
+    cache_lru_.splice(cache_lru_.end(), cache_lru_, it->second.second);
+    endpoint_->send(proto::encode_frame(id, proto::Message{it->second.first}));
     trace("replayed-response", std::to_string(id));
     return;
   }
@@ -161,14 +206,37 @@ void EmsServer::pump(std::uint64_t device) {
   queue.pop_front();
   in_flight_requests_.insert(cmd.request_id);
   // Management-plane overhead, then the optical task, then the reply.
-  const SimTime overhead = profile_.command_overhead.sample(engine_->rng());
-  const SimTime task = task_latency(cmd.message);
+  SimTime overhead = profile_.command_overhead.sample(engine_->rng());
+  SimTime task = task_latency(cmd.message);
+  const std::uint64_t epoch = boot_epoch_;
+  if (fault_hook_ != nullptr) {
+    const double scale = fault_hook_->latency_scale(name_);
+    if (scale != 1.0) {
+      overhead = from_seconds(to_seconds(overhead) * scale);
+      task = from_seconds(to_seconds(task) * scale);
+    }
+    const Status injected = fault_hook_->on_command(name_, cmd.message);
+    if (!injected.ok()) {
+      // Transient NACK: the management plane rejects after its overhead,
+      // without touching the device.
+      trace("nack-injected", injected.error().message());
+      engine_->schedule(overhead, [this, cmd, device, epoch, injected]() {
+        if (epoch != boot_epoch_) return;  // EMS crashed meanwhile
+        respond(cmd.request_id, injected, 0);
+        busy_devices_.erase(device);
+        in_flight_requests_.erase(cmd.request_id);
+        pump(device);
+      });
+      return;
+    }
+  }
   if (queue_wait_seconds_ != nullptr) {
     queue_wait_seconds_->observe(to_seconds(engine_->now() - cmd.enqueued_at));
     task_seconds_->observe(to_seconds(overhead + task));
   }
   trace("execute", std::string(proto::name_of(proto::type_of(cmd.message))));
-  engine_->schedule(overhead + task, [this, cmd, device]() {
+  engine_->schedule(overhead + task, [this, cmd, device, epoch]() {
+    if (epoch != boot_epoch_) return;  // EMS crashed mid-dialogue
     execute(cmd);
     busy_devices_.erase(device);
     in_flight_requests_.erase(cmd.request_id);
@@ -340,11 +408,13 @@ void EmsServer::respond(std::uint64_t request_id, const Status& status,
                                                   : status.error().code());
   r.message = status.ok() ? std::string{} : status.error().message();
   r.aux = aux;
-  response_cache_[request_id] = r;
-  cache_order_.push_back(request_id);
-  while (cache_order_.size() > kResponseCacheSize) {
-    response_cache_.erase(cache_order_.front());
-    cache_order_.pop_front();
+  cache_lru_.push_back(request_id);
+  response_cache_[request_id] = {r, std::prev(cache_lru_.end())};
+  while (response_cache_.size() > cache_capacity_) {
+    response_cache_.erase(cache_lru_.front());
+    cache_lru_.pop_front();
+    ++cache_evictions_;
+    if (cache_evictions_total_ != nullptr) cache_evictions_total_->inc();
   }
   endpoint_->send(proto::encode_frame(request_id, proto::Message{r}));
 }

@@ -15,9 +15,11 @@
 #pragma once
 
 #include <deque>
+#include <list>
 #include <set>
 #include <map>
 #include <string>
+#include <utility>
 
 #include "common/alarm.hpp"
 #include "dwdm/muxponder.hpp"
@@ -38,6 +40,20 @@ class Histogram;
 }  // namespace griphon::telemetry
 
 namespace griphon::ems {
+
+/// Chaos interface: consulted as each command leaves the dialogue queue.
+/// A non-ok status makes the EMS NACK the command (after its management
+/// overhead) instead of executing it; `latency_scale` stretches the
+/// command's dialogue time (slow-command fault). Implemented by the fault
+/// injector; null (the default) keeps the dialogue path on a one-pointer-
+/// test fast path.
+class EmsFaultHook {
+ public:
+  virtual ~EmsFaultHook() = default;
+  [[nodiscard]] virtual Status on_command(const std::string& ems,
+                                          const proto::Message& message) = 0;
+  [[nodiscard]] virtual double latency_scale(const std::string& ems) = 0;
+};
 
 class EmsServer {
  public:
@@ -65,6 +81,31 @@ class EmsServer {
 
   /// Forward a device alarm to the controller (with notify latency).
   void forward_alarm(const Alarm& alarm);
+
+  // --- chaos surface ----------------------------------------------------
+  /// Attach/detach the chaos hook (null detaches).
+  void set_fault_hook(EmsFaultHook* hook) noexcept { fault_hook_ = hook; }
+
+  /// Crash the EMS process: every queued and mid-dialogue command is
+  /// dropped on the floor (no response — the client times out), the
+  /// response cache is flushed (a restarted EMS cannot deduplicate
+  /// requests from before the crash), and incoming frames are ignored for
+  /// `restart_after`. On restart the EMS announces itself with an
+  /// unsolicited kEmsRestart alarm so the controller can reconcile its
+  /// inventory against device state.
+  void crash_restart(SimTime restart_after);
+  [[nodiscard]] bool down() const noexcept { return down_; }
+  [[nodiscard]] std::size_t crashes() const noexcept { return crashes_; }
+
+  /// Response-cache introspection (LRU keyed by request id; replay hits
+  /// refresh recency). Capacity is tunable for tests.
+  void set_response_cache_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t response_cache_size() const noexcept {
+    return response_cache_.size();
+  }
+  [[nodiscard]] std::size_t cache_evictions() const noexcept {
+    return cache_evictions_;
+  }
 
   /// Attach/detach a telemetry sink. Metrics are registered under
   /// griphon_ems_<domain>_* where <domain> is the server name minus the
@@ -109,15 +150,30 @@ class EmsServer {
   std::map<std::uint64_t, std::deque<QueuedCommand>> queues_;
   std::set<std::uint64_t> busy_devices_;
   std::set<std::uint64_t> in_flight_requests_;
-  std::map<std::uint64_t, proto::Response> response_cache_;
-  std::deque<std::uint64_t> cache_order_;  // bounded FIFO eviction
+  /// Response cache: request id -> (response, position in the LRU list).
+  /// Bounded; least-recently-used id evicted past capacity.
+  std::map<std::uint64_t,
+           std::pair<proto::Response, std::list<std::uint64_t>::iterator>>
+      response_cache_;
+  std::list<std::uint64_t> cache_lru_;  // front = coldest
+  std::size_t cache_capacity_ = 256;
+  std::size_t cache_evictions_ = 0;
   std::size_t executed_ = 0;
+
+  EmsFaultHook* fault_hook_ = nullptr;
+  bool down_ = false;
+  std::size_t crashes_ = 0;
+  /// Bumped on every crash; dialogue completions from before the crash
+  /// compare against it and evaporate instead of responding.
+  std::uint64_t boot_epoch_ = 0;
 
   // Telemetry handles, cached at attach time so the dialogue path costs
   // one pointer test when telemetry is off and no lookups when it is on.
   telemetry::Telemetry* telemetry_ = nullptr;
   telemetry::Counter* commands_total_ = nullptr;
   telemetry::Counter* alarms_forwarded_total_ = nullptr;
+  telemetry::Counter* cache_evictions_total_ = nullptr;
+  telemetry::Counter* crashes_total_ = nullptr;
   telemetry::Histogram* queue_wait_seconds_ = nullptr;
   telemetry::Histogram* task_seconds_ = nullptr;
 };

@@ -35,6 +35,8 @@ Status Fxc::connect(PortId a, PortId b) {
     return Status{ErrorCode::kNotFound, name() + ": unknown port"};
   if (a == b)
     return Status{ErrorCode::kInvalidArgument, name() + ": loopback"};
+  if (stuck_.contains(a) || stuck_.contains(b))
+    return Status{ErrorCode::kDeviceFault, name() + ": port stuck"};
   if (cross_.contains(a) || cross_.contains(b))
     return Status{ErrorCode::kBusy, name() + ": port already connected"};
   cross_[a] = b;
@@ -47,9 +49,27 @@ Status Fxc::disconnect(PortId port) {
   if (it == cross_.end())
     return Status{ErrorCode::kConflict, name() + ": port not connected"};
   const PortId other = it->second;
+  if (stuck_.contains(port) || stuck_.contains(other))
+    return Status{ErrorCode::kDeviceFault, name() + ": port stuck"};
   cross_.erase(it);
   cross_.erase(other);
   return Status::success();
+}
+
+void Fxc::set_stuck(PortId port, bool stuck) {
+  if (!valid(port)) throw std::out_of_range("Fxc::set_stuck: bad port");
+  if (stuck)
+    stuck_.insert(port);
+  else
+    stuck_.erase(port);
+}
+
+std::vector<std::pair<PortId, PortId>> Fxc::cross_connects() const {
+  std::vector<std::pair<PortId, PortId>> out;
+  out.reserve(cross_.size() / 2);
+  for (const auto& [a, b] : cross_)
+    if (a < b) out.emplace_back(a, b);
+  return out;
 }
 
 std::optional<PortId> Fxc::peer(PortId port) const {

@@ -13,7 +13,9 @@
 
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -67,6 +69,22 @@ class Fxc {
   [[nodiscard]] std::size_t active_connections() const noexcept {
     return cross_.size() / 2;
   }
+  /// All cross-connects, one entry per pair (first < second). For
+  /// reconciliation audits.
+  [[nodiscard]] std::vector<std::pair<PortId, PortId>> cross_connects() const;
+
+  // --- faults -----------------------------------------------------------
+  /// Chaos: mark a port stuck (the patch robot cannot move it). connect/
+  /// disconnect involving a stuck port fail with kDeviceFault; an existing
+  /// cross-connect through it keeps passing light until the port is freed
+  /// and released.
+  void set_stuck(PortId port, bool stuck);
+  [[nodiscard]] bool stuck(PortId port) const noexcept {
+    return stuck_.contains(port);
+  }
+  [[nodiscard]] const std::set<PortId>& stuck_ports() const noexcept {
+    return stuck_;
+  }
 
  private:
   [[nodiscard]] bool valid(PortId p) const noexcept {
@@ -77,6 +95,7 @@ class Fxc {
   NodeId site_;
   std::vector<Wiring> wiring_;
   std::map<PortId, PortId> cross_;  // symmetric: both directions present
+  std::set<PortId> stuck_;
 };
 
 }  // namespace griphon::fxc

@@ -39,6 +39,24 @@ class Endpoint {
   Handler handler_;
 };
 
+/// What a fault hook decided for one frame: lose it, deliver it twice, or
+/// hold it back before the normal latency sample. Discarding a decision
+/// would silently skip an injected fault, so the producer must consume it.
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  SimTime extra_delay{};
+};
+
+/// Chaos interface: consulted once per transmitted frame. Implemented by
+/// the fault injector; null (the default) keeps transmit() on a one-pointer-
+/// test fast path.
+class ChannelFaultHook {
+ public:
+  virtual ~ChannelFaultHook() = default;
+  [[nodiscard]] virtual FaultDecision on_frame() = 0;
+};
+
 class ControlChannel {
  public:
   struct Params {
@@ -56,12 +74,16 @@ class ControlChannel {
     return dropped_;
   }
 
+  /// Attach/detach the chaos hook (null detaches).
+  void set_fault_hook(ChannelFaultHook* hook) noexcept { fault_hook_ = hook; }
+
  private:
   friend class Endpoint;
   void transmit(Endpoint* to, Bytes frame);
 
   sim::Engine* engine_;
   Params params_;
+  ChannelFaultHook* fault_hook_ = nullptr;
   Endpoint a_;
   Endpoint b_;
   SimTime last_to_a_{};

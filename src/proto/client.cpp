@@ -11,8 +11,11 @@ RequestClient::RequestClient(sim::Engine* engine, Endpoint* endpoint,
   endpoint_->on_receive([this](const Bytes& bytes) { handle_frame(bytes); });
 }
 
-void RequestClient::request(Message message, ResponseCallback cb) {
-  const std::uint64_t id = next_request_id_++;
+std::uint64_t RequestClient::request(Message message, ResponseCallback cb,
+                                     std::uint64_t reuse_id) {
+  const std::uint64_t id = (reuse_id != 0 && !pending_.contains(reuse_id))
+                               ? reuse_id
+                               : next_request_id_++;
   Pending p;
   p.frame = encode_frame(id, message);
   p.cb = std::move(cb);
@@ -20,6 +23,7 @@ void RequestClient::request(Message message, ResponseCallback cb) {
   pending_[id] = std::move(p);
   endpoint_->send(pending_[id].frame);
   arm_timer(id);
+  return id;
 }
 
 void RequestClient::arm_timer(std::uint64_t request_id) {

@@ -30,8 +30,19 @@ class RequestClient {
   RequestClient(sim::Engine* engine, Endpoint* endpoint, Params params);
 
   /// Issue a request; `cb` fires exactly once with the response or with a
-  /// kTimeout error after all attempts are exhausted.
-  void request(Message message, ResponseCallback cb);
+  /// kTimeout error after all attempts are exhausted. Returns the request
+  /// id the frame was sent under.
+  ///
+  /// `reuse_id` (an id previously returned by this client, no longer
+  /// pending) reissues under that id instead of allocating a fresh one:
+  /// the application-level idempotency key for retry-after-timeout. The
+  /// EMS answers a reused id from its response cache when the original
+  /// execution did complete, so retrying cannot double-execute. Pass 0
+  /// (the default) for a new id; a reuse_id that is still pending is
+  /// ignored (a fresh id is allocated) rather than orphaning the earlier
+  /// callback.
+  std::uint64_t request(Message message, ResponseCallback cb,
+                        std::uint64_t reuse_id = 0);
 
   /// Handler for unsolicited frames (alarm events).
   void on_event(EventHandler handler) { event_handler_ = std::move(handler); }

@@ -277,7 +277,7 @@ Result<Message> decode_alarm_event(ByteReader& r) {
   a.id = id.value();
   auto ty = r.u8();
   if (!ty.ok()) return ty.error();
-  if (ty.value() > 4)
+  if (ty.value() > static_cast<std::uint8_t>(AlarmType::kEmsRestart))
     return Error{ErrorCode::kInvalidArgument, "proto: bad alarm type"};
   a.type = static_cast<AlarmType>(ty.value());
   auto at = r.i64();

@@ -19,9 +19,12 @@ Checks (DESIGN.md §10):
                    of <angle> includes, then "quoted" project includes —
                    no angle include after the first quoted one.
   nodiscard        Every function declared in a src/ header returning
-                   Result<T>, Status or ErrorCode carries [[nodiscard]].
-                   Ignoring one of these is always a latent bug in a setup
-                   or restore path (see ISSUE 3 / DESIGN.md §10).
+                   Result<T>, Status, ErrorCode or FaultDecision carries
+                   [[nodiscard]]. Ignoring one of these is always a latent
+                   bug in a setup or restore path (see ISSUE 3 / DESIGN.md
+                   §10); a dropped FaultDecision means a chaos hook's
+                   verdict (drop/duplicate/delay a frame) is silently
+                   ignored and fault injection goes dark (DESIGN.md §12).
   no-artifacts     No build artifacts tracked by git: nothing under build*/,
                    no object/archive/ninja/CMake-cache files, no binary
                    blobs (NUL byte in the first 8 KiB).
@@ -336,7 +339,8 @@ def check_include_order(findings: list[Finding]) -> None:
 # --- nodiscard --------------------------------------------------------------
 
 RESULT_DECL_RE = re.compile(
-    r"(?P<ret>\bResult<[^;(){}]*?>|\bStatus\b|\bErrorCode\b)\s+"
+    r"(?P<ret>\bResult<[^;(){}]*?>|\bStatus\b|\bErrorCode\b|"
+    r"\b(?:proto::)?FaultDecision\b)\s+"
     r"(?P<name>~?\w+)\s*\("
 )
 # Tokens that, appearing right before the return type, mean this is not a
@@ -358,7 +362,7 @@ def check_nodiscard(findings: list[Finding]) -> None:
             # Constructors / conversion declarations of the Result types
             # themselves ("Status(Error)") never match: name != type here
             # because the regex needs `<type> <name>(`.
-            if name in ("Result", "Status", "ErrorCode"):
+            if name in ("Result", "Status", "ErrorCode", "FaultDecision"):
                 continue
             before = text[: m.start()]
             # Look back past whitespace/specifiers for [[nodiscard]] or an
