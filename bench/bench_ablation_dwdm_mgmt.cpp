@@ -20,14 +20,14 @@ using namespace griphon;
 
 namespace {
 
-bench::Summary measure(bool pipelined, bool fast_hw, int runs) {
+bench::Summary measure(core::ExecMode mode, bool fast_hw, int runs) {
   std::vector<double> xs;
   for (int i = 0; i < runs; ++i) {
     core::NetworkModel::Config cfg;
     cfg.with_otn = false;
     if (fast_hw) cfg.ems_profile = ems::EmsLatencyProfile::fast_hardware();
     core::GriphonController::Params params;
-    params.pipelined_commands = pipelined;
+    params.exec_mode = mode;
     core::TestbedScenario s(11000 + static_cast<std::uint64_t>(i), cfg,
                             params);
     // 3-hop path: the configuration with the most parallelizable work.
@@ -56,14 +56,18 @@ int main() {
 
   bench::Table table({"EMS orchestration", "2011 hardware",
                       "speed-optimized hardware"});
-  const auto seq_slow = measure(false, false, kRuns);
-  const auto seq_fast = measure(false, true, kRuns);
-  const auto par_slow = measure(true, false, kRuns);
-  const auto par_fast = measure(true, true, kRuns);
+  const auto seq_slow = measure(core::ExecMode::kSequential, false, kRuns);
+  const auto seq_fast = measure(core::ExecMode::kSequential, true, kRuns);
+  const auto dag_slow = measure(core::ExecMode::kDag, false, kRuns);
+  const auto dag_fast = measure(core::ExecMode::kDag, true, kRuns);
+  const auto par_slow = measure(core::ExecMode::kPipelined, false, kRuns);
+  const auto par_fast = measure(core::ExecMode::kPipelined, true, kRuns);
   table.row({"sequential (testbed)",
              bench::fmt(seq_slow.mean, 1) + " s",
              bench::fmt(seq_fast.mean, 1) + " s"});
-  table.row({"pipelined", bench::fmt(par_slow.mean, 1) + " s",
+  table.row({"dependency DAG (default)", bench::fmt(dag_slow.mean, 1) + " s",
+             bench::fmt(dag_fast.mean, 1) + " s"});
+  table.row({"pipelined (no ordering)", bench::fmt(par_slow.mean, 1) + " s",
              bench::fmt(par_fast.mean, 1) + " s"});
   table.print();
 

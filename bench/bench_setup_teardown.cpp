@@ -22,10 +22,14 @@ struct Times {
   std::vector<double> teardown;
 };
 
-Times run_many(DataRate rate, int runs) {
+Times run_many(DataRate rate, int runs,
+               core::ExecMode mode = core::ExecMode::kSequential) {
   Times t;
   for (int i = 0; i < runs; ++i) {
-    core::TestbedScenario s(9000 + static_cast<std::uint64_t>(i));
+    core::GriphonController::Params params;
+    params.exec_mode = mode;
+    core::TestbedScenario s(9000 + static_cast<std::uint64_t>(i),
+                            core::NetworkModel::Config{}, params);
     std::optional<ConnectionId> id;
     s.portal->connect(s.site_i, s.site_iv, rate,
                       core::ProtectionMode::kRestorable,
@@ -63,7 +67,9 @@ void report(const char* label, const std::vector<double>& xs,
 
 int main() {
   constexpr int kRuns = 50;
-  bench::banner("Setup / teardown time distributions (50 runs, 1-hop path)");
+  bench::banner(
+      "Setup / teardown time distributions (50 runs, 1-hop path, "
+      "sequential executor as in the 2011 testbed)");
 
   bench::JsonEmitter json("setup_teardown");
   const Times wave = run_many(rates::k10G, kRuns);
@@ -76,11 +82,21 @@ int main() {
          "odu_setup");
   report("1G sub-wavelength teardown", odu.teardown, "(not measured)", json,
          "odu_teardown");
+
+  bench::banner(
+      "Same workflow under the dependency-DAG executor (controller default)");
+  const Times fast = run_many(rates::k10G, kRuns, core::ExecMode::kDag);
+  report("10G wavelength setup (DAG)", fast.setup, "(beats Table 2)", json,
+         "dag_wave_setup");
+  report("10G wavelength teardown (DAG)", fast.teardown, "(beats ~10 s)",
+         json, "dag_wave_teardown");
   json.write("BENCH_setup.json");
 
-  std::cout << "\nshape check: wavelength setup sits in the 60-70 s band "
-               "and teardown near 10 s; the electronic sub-wavelength path "
-               "avoids laser tuning / WSS steering and is several times "
-               "faster\nwrote BENCH_setup.json\n";
+  std::cout << "\nshape check: sequential wavelength setup sits in the "
+               "60-70 s band and teardown near 10 s; the electronic "
+               "sub-wavelength path avoids laser tuning / WSS steering and "
+               "is several times faster; the DAG executor overlaps "
+               "independent dialogues and cuts the optical setup well below "
+               "the paper band\nwrote BENCH_setup.json\n";
   return 0;
 }

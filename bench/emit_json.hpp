@@ -32,15 +32,37 @@ class JsonEmitter {
       std::cerr << "emit_json: cannot write " << path << '\n';
       return false;
     }
-    out << "[\n";
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
-      const Row& r = rows_[i];
-      out << "  {\"bench\": " << quote(bench_) << ", \"metric\": "
-          << quote(r.metric) << ", \"value\": " << format(r.value)
-          << ", \"unit\": " << quote(r.unit) << '}'
-          << (i + 1 < rows_.size() ? "," : "") << '\n';
+    out << "[\n" << body() << "]\n";
+    return static_cast<bool>(out);
+  }
+
+  /// Append this emitter's rows to an existing JSON-array artifact (e.g.
+  /// two benches contributing to one BENCH_setup.json). Falls back to a
+  /// plain write when the file is missing or not an array.
+  bool append_to(const std::string& path) const {
+    if (rows_.empty()) return true;
+    std::string existing;
+    {
+      std::ifstream in(path);
+      if (in) {
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        existing = buf.str();
+      }
     }
-    out << "]\n";
+    const auto close = existing.rfind(']');
+    if (close == std::string::npos) return write(path);
+    std::string prefix = existing.substr(0, close);
+    const bool has_rows = prefix.find('{') != std::string::npos;
+    while (!prefix.empty() &&
+           (prefix.back() == '\n' || prefix.back() == ' '))
+      prefix.pop_back();
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::cerr << "emit_json: cannot write " << path << '\n';
+      return false;
+    }
+    out << prefix << (has_rows ? "," : "") << '\n' << body() << "]\n";
     return static_cast<bool>(out);
   }
 
@@ -50,6 +72,18 @@ class JsonEmitter {
     double value;
     std::string unit;
   };
+
+  [[nodiscard]] std::string body() const {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      os << "  {\"bench\": " << quote(bench_) << ", \"metric\": "
+         << quote(r.metric) << ", \"value\": " << format(r.value)
+         << ", \"unit\": " << quote(r.unit) << '}'
+         << (i + 1 < rows_.size() ? "," : "") << '\n';
+    }
+    return os.str();
+  }
 
   static std::string quote(const std::string& s) {
     std::string out = "\"";

@@ -20,6 +20,8 @@
 //   telemetry <id>             per-connection lifecycle waterfall
 //   telemetry json [id]        span JSON (all spans, or one connection)
 //   telemetry save <path>      dump metrics + spans as JSON to a file
+//   dag                        step DAG + critical path of the last
+//                              command train run by the DAG executor
 //   schedule <a> <b> <tb> <hours>   deadline-driven bulk transfer (BoD)
 //   transfers                  bulk-transfer status table
 //   reserve <link> <gbps> <start-s> <end-s>   advance calendar reservation
@@ -42,6 +44,7 @@
 #include "chaos/fault_injector.hpp"
 #include "chaos/fault_plan.hpp"
 #include "core/scenario.hpp"
+#include "core/step_dag.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/timeline.hpp"
 
@@ -104,7 +107,7 @@ int main() {
       out << "sites | topo | connect a b gbps [none|restore|1+1] | "
              "bundle a b gbps | disconnect id | cut link | repair link | "
              "maintain link | regroom id | wait s | dashboard | stats | "
-             "telemetry [id | json [id] | save path] | "
+             "telemetry [id | json [id] | save path] | dag | "
              "schedule a b tb hours | transfers | "
              "reserve link gbps start-s end-s | calendar | "
              "chaos [plan preset [x] | arm | disarm | heal | stats | log] | "
@@ -235,6 +238,12 @@ int main() {
                     ? "  no spans for connection " + arg + "\n"
                     : timeline);
       }
+    } else if (cmd == "dag") {
+      const auto& report = s.controller->last_dag_report();
+      out << (report.steps.empty()
+                  ? "  no DAG command train recorded yet (run a connect "
+                    "with the default executor)\n"
+                  : core::render_dag(report));
     } else if (cmd == "schedule") {
       std::size_t a = 0, b = 0;
       double tb = 0, hours_out = 0;

@@ -58,6 +58,11 @@ SpanLabel span_label(const proto::Message& m) {
     SpanLabel operator()(const proto::AlarmEvent&) {
       return {"ems.command", "ems"};
     }
+    SpanLabel operator()(const proto::EmsBatch&) {
+      // Only stateless power balancing is coalesced today (see
+      // proto::EmsBatch); label the dialogue accordingly.
+      return {"power.balance.batch", "roadm-ems"};
+    }
   };
   return std::visit(Visitor{}, m);
 }
@@ -73,6 +78,16 @@ bool plan_uses_any(const WavelengthPlan& plan,
 /// NACKs and device faults are deterministic — retrying burns time.
 bool command_retryable(ErrorCode code) {
   return code == ErrorCode::kTimeout || code == ErrorCode::kBusy;
+}
+
+/// Concatenate two step lists, re-basing the appended list's dependency
+/// indices (they are positions within their own list).
+void append_steps(StepList& dst, StepList src) {
+  const std::size_t base = dst.size();
+  for (Step& s : src) {
+    for (std::size_t& d : s.deps) d += base;
+    dst.push_back(std::move(s));
+  }
 }
 
 }  // namespace
@@ -295,11 +310,26 @@ struct GriphonController::RunState {
   Status first_error = Status::success();
   std::size_t outstanding = 0;       // pipelined mode
   std::uint64_t parent_span = 0;     // 0 = no per-command spans
+  // DAG mode:
+  std::unique_ptr<StepDag> dag;
+  std::unique_ptr<DagScheduler> sched;
+  std::vector<std::string> domains;  // per-step EMS domain
+  SimTime run_start{};
+  StepDagReport report;
+  bool done_called = false;
 };
 
 void GriphonController::run_steps(std::shared_ptr<StepList> steps,
                                   bool best_effort, RunDone done,
                                   std::uint64_t parent_span) {
+  run_steps_as(params_.exec_mode, std::move(steps), best_effort,
+               std::move(done), parent_span);
+}
+
+void GriphonController::run_steps_as(ExecMode mode,
+                                     std::shared_ptr<StepList> steps,
+                                     bool best_effort, RunDone done,
+                                     std::uint64_t parent_span) {
   auto state = std::make_shared<RunState>();
   state->steps = std::move(steps);
   state->best_effort = best_effort;
@@ -309,10 +339,17 @@ void GriphonController::run_steps(std::shared_ptr<StepList> steps,
     state->done(Status::success(), {});
     return;
   }
-  if (params_.pipelined_commands)
-    run_steps_pipelined(state);
-  else
-    run_steps_sequential(state, 0);
+  switch (mode) {
+    case ExecMode::kSequential:
+      run_steps_sequential(state, 0);
+      break;
+    case ExecMode::kPipelined:
+      run_steps_pipelined(state);
+      break;
+    case ExecMode::kDag:
+      run_steps_dag(state);
+      break;
+  }
 }
 
 void GriphonController::run_steps_sequential(std::shared_ptr<RunState> state,
@@ -381,25 +418,178 @@ void GriphonController::run_steps_pipelined(std::shared_ptr<RunState> state) {
   }
 }
 
+void GriphonController::run_steps_dag(std::shared_ptr<RunState> state) {
+  const StepList& steps = *state->steps;
+  state->dag = std::make_unique<StepDag>(steps);
+  state->domains.reserve(steps.size());
+  for (const Step& s : steps) state->domains.push_back(domain_of(s.client));
+  state->sched = std::make_unique<DagScheduler>(
+      state->dag.get(), state->domains, params_.dag_domain_window);
+  state->run_start = model_->engine().now();
+  state->report.started_at_s = to_seconds(state->run_start);
+  state->report.steps.resize(steps.size());
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    DagStepRecord& rec = state->report.steps[i];
+    rec.name = span_label(steps[i].forward).name;
+    rec.domain = state->domains[i];
+    rec.deps = state->dag->deps_of(i);
+  }
+  pump_dag(state);
+}
+
+void GriphonController::pump_dag(const std::shared_ptr<RunState>& state) {
+  if (state->done_called) return;
+  while (const auto next = state->sched->acquire()) {
+    const std::size_t i = *next;
+    const Step& step = (*state->steps)[i];
+
+    // Batch window: sweep every other ready stateless sibling on the same
+    // EMS into this dialogue — they pay the management overhead once.
+    std::vector<std::size_t> members{i};
+    if (params_.batch_commands &&
+        std::holds_alternative<proto::PowerBalance>(step.forward)) {
+      auto peers = state->sched->drain_ready(
+          state->domains[i], [&](std::size_t j) {
+            return (*state->steps)[j].client == step.client &&
+                   std::holds_alternative<proto::PowerBalance>(
+                       (*state->steps)[j].forward);
+          });
+      members.insert(members.end(), peers.begin(), peers.end());
+    }
+
+    proto::Message message = step.forward;
+    if (members.size() > 1) {
+      proto::EmsBatch batch;
+      for (const std::size_t j : members)
+        batch.items.push_back(
+            proto::encode_frame(0, (*state->steps)[j].forward));
+      message = proto::Message{std::move(batch)};
+    }
+
+    stats_.commands_issued += members.size();
+    std::uint64_t span = 0;
+    if (state->parent_span != 0) {
+      if (telemetry::Telemetry* t = model_->telemetry()) {
+        const SpanLabel label = span_label(message);
+        span = t->span_start(label.name, label.actor, 0, state->parent_span);
+      }
+    }
+    const double start_s =
+        to_seconds(model_->engine().now() - state->run_start);
+    for (const std::size_t j : members) {
+      state->report.steps[j].start_s = start_s;
+      state->report.steps[j].batched = members.size() > 1;
+    }
+
+    issue_command(
+        step.client, std::move(message),
+        [this, state, i, members, span](Result<proto::Response> r) {
+          const Status s = response_to_status(r);
+          if (span != 0)
+            if (telemetry::Telemetry* t = model_->telemetry())
+              t->span_end(span, s.ok(),
+                          s.ok() ? std::string{} : s.error().message());
+          const double end_s =
+              to_seconds(model_->engine().now() - state->run_start);
+          for (const std::size_t j : members) {
+            state->report.steps[j].end_s = end_s;
+            state->report.steps[j].ok = s.ok();
+          }
+          state->sched->slot_done(i);  // one window slot per dialogue
+          if (s.ok()) {
+            for (const std::size_t j : members) {
+              state->succeeded.push_back(j);
+              state->sched->release(j);
+            }
+          } else {
+            if (state->first_error.ok()) state->first_error = s;
+            if (state->best_effort) {
+              // Keep going: dependents of a failed step still run, exactly
+              // as sequential best-effort does.
+              for (const std::size_t j : members) state->sched->release(j);
+            } else {
+              state->sched->abort();
+            }
+          }
+          pump_dag(state);
+        });
+  }
+  if (state->sched->finished()) finish_dag(state);
+}
+
+void GriphonController::finish_dag(const std::shared_ptr<RunState>& state) {
+  if (state->done_called) return;
+  state->done_called = true;
+  Status s = state->first_error;
+  if (s.ok() && state->sched->stuck() > 0)
+    s = Status{ErrorCode::kInternal,
+               "controller: dependency cycle in command train (" +
+                   std::to_string(state->sched->stuck()) +
+                   " steps unreachable)"};
+  double total = 0.0;
+  for (const DagStepRecord& rec : state->report.steps)
+    total = std::max(total, rec.end_s);
+  state->report.total_s = total;
+  mark_critical_path(state->report);
+  last_dag_report_ = state->report;
+  std::sort(state->succeeded.begin(), state->succeeded.end());
+  state->done(s, std::move(state->succeeded));
+}
+
 void GriphonController::rollback_steps(std::shared_ptr<StepList> steps,
                                        std::vector<std::size_t> succeeded,
                                        std::function<void()> done) {
-  auto undo = std::make_shared<StepList>();
-  for (auto it = succeeded.rbegin(); it != succeeded.rend(); ++it) {
-    const Step& s = (*steps)[*it];
-    if (s.undo) undo->push_back(Step{s.client, *s.undo, std::nullopt});
+  // Reverse completion order with reverse dependency edges: an undo may
+  // only run once the undos of everything that depended on its forward
+  // step are done (a cross-connect is removed before the port under it is
+  // disabled). The sequential executor honors this by list order; the
+  // pipelined ablation would not, so rollback always runs on the DAG
+  // executor when any concurrency is enabled.
+  auto undo =
+      std::make_shared<StepList>(build_undo_steps(*steps, succeeded));
+  const ExecMode mode = params_.exec_mode == ExecMode::kSequential
+                            ? ExecMode::kSequential
+                            : ExecMode::kDag;
+  run_steps_as(mode, std::move(undo), /*best_effort=*/true,
+               [done = std::move(done)](Status, std::vector<std::size_t>) {
+                 done();
+               },
+               /*parent_span=*/0);
+}
+
+Status GriphonController::admit_optical_plan(const WavelengthPlan& plan,
+                                             DataRate rate,
+                                             std::uint64_t parent_span) {
+  std::vector<dwdm::ReachModel::Segment> segments;
+  segments.reserve(plan.segments.size());
+  for (const auto& seg : plan.segments)
+    segments.push_back(
+        dwdm::ReachModel::Segment{seg.first_link, seg.last_link});
+  const dwdm::ReachModel::Admission verdict = model_->reach().admit(
+      model_->graph(), plan.path, segments, dwdm::profile_for(rate));
+  if (telemetry::Telemetry* t = model_->telemetry()) {
+    std::ostringstream detail;
+    detail << "worst margin " << verdict.worst_margin_db << " dB across "
+           << verdict.segment_margins_db.size() << " segment(s)";
+    // Zero-duration event: the decision is a model lookup, not a probe
+    // dialogue — that is the point.
+    const SimTime now = model_->engine().now();
+    t->span_record("optical_admission", "controller", 0, parent_span, now,
+                   now, verdict.admitted, detail.str());
   }
-  run_steps(undo, /*best_effort=*/true,
-            [done = std::move(done)](Status, std::vector<std::size_t>) {
-              done();
-            });
+  if (!verdict.admitted)
+    return Status{ErrorCode::kUnreachable,
+                  "controller: optical admission rejected route (worst "
+                  "margin " +
+                      std::to_string(verdict.worst_margin_db) + " dB)"};
+  return Status::success();
 }
 
 // --------------------------------------------------------------------------
 // Step construction
 // --------------------------------------------------------------------------
 
-GriphonController::StepList GriphonController::build_access_setup(
+StepList GriphonController::build_access_setup(
     const Connection& c, const WavelengthPlan& plan) const {
   StepList steps;
   auto* nte_client = &model_->nte_ems_client();
@@ -419,9 +609,10 @@ GriphonController::StepList GriphonController::build_access_setup(
       proto::Message{proto::NtePort{
           c.dst_site, static_cast<std::uint32_t>(c.dst_nte_port), false}}});
 
-  // FXC: steer the access channel to the chosen OT's client port.
+  // FXC: steer the access channel to the chosen OT's client port. The NTE
+  // port must be up before the cross-connect that steers it.
   auto fxc_steps = [&](NodeId pop, MuxponderId site, std::size_t nte_port,
-                       TransponderId ot) {
+                       TransponderId ot, std::size_t nte_step) {
     fxc::Fxc& f = model_->fxc_at(pop);
     const auto access = f.port_for(fxc::Wiring::Kind::kCustomerAccess,
                                    site.value(), nte_port);
@@ -430,14 +621,15 @@ GriphonController::StepList GriphonController::build_access_setup(
     assert(access && otp && "FXC wiring missing");
     steps.push_back(
         Step{fxc_client, proto::FxcConnect{f.id(), *access, *otp},
-             proto::Message{proto::FxcDisconnect{f.id(), *access}}});
+             proto::Message{proto::FxcDisconnect{f.id(), *access}},
+             {nte_step}});
   };
-  fxc_steps(c.src_pop, c.src_site, c.src_nte_port, plan.src_ot);
-  fxc_steps(c.dst_pop, c.dst_site, c.dst_nte_port, plan.dst_ot);
+  fxc_steps(c.src_pop, c.src_site, c.src_nte_port, plan.src_ot, 0);
+  fxc_steps(c.dst_pop, c.dst_site, c.dst_nte_port, plan.dst_ot, 1);
   return steps;
 }
 
-GriphonController::StepList GriphonController::build_wavelength_setup(
+StepList GriphonController::build_wavelength_setup(
     const Connection& c, const WavelengthPlan& plan,
     bool include_access) const {
   StepList steps;
@@ -457,39 +649,61 @@ GriphonController::StepList GriphonController::build_wavelength_setup(
   const dwdm::ChannelIndex first_ch = plan.segments.front().channel;
   const dwdm::ChannelIndex last_ch = plan.segments.back().channel;
 
+  // Dependency bookkeeping: `seg_cfg[s]` collects the ROADM-configuration
+  // steps of transparent segment s (its power balancing waits for them);
+  // `path_steps` collects every path-building step (activation waits for
+  // all of them).
+  std::vector<std::vector<std::size_t>> seg_cfg(plan.segments.size());
+  std::vector<std::size_t> path_steps;
+
   // Tune endpoint transponders to their segment wavelengths.
+  const std::size_t src_tune = steps.size();
   steps.push_back(Step{roadm, proto::OtTune{plan.src_ot, first_ch},
                        proto::Message{proto::OtSetState{
                            plan.src_ot, proto::OtSetState::Action::kReset}}});
+  const std::size_t dst_tune = steps.size();
   steps.push_back(Step{roadm, proto::OtTune{plan.dst_ot, last_ch},
                        proto::Message{proto::OtSetState{
                            plan.dst_ot, proto::OtSetState::Action::kReset}}});
+  path_steps.push_back(src_tune);
+  path_steps.push_back(dst_tune);
 
-  // Endpoint add/drop (colorless, non-directional ports).
+  // Endpoint add/drop (colorless, non-directional ports). The transponder
+  // must be tuned before the add/drop that references its wavelength.
   const NodeId src = path.nodes.front();
   const NodeId dst = path.nodes.back();
+  seg_cfg.front().push_back(steps.size());
+  path_steps.push_back(steps.size());
   steps.push_back(Step{
       roadm,
       proto::RoadmAddDrop{roadm_id(src), model_->roadm_port_of_ot(plan.src_ot),
                           degree(src, path.links.front()), first_ch, true},
       proto::Message{proto::RoadmAddDrop{
           roadm_id(src), model_->roadm_port_of_ot(plan.src_ot), 0, 0,
-          false}}});
+          false}},
+      {src_tune}});
+  seg_cfg.back().push_back(steps.size());
+  path_steps.push_back(steps.size());
   steps.push_back(Step{
       roadm,
       proto::RoadmAddDrop{roadm_id(dst), model_->roadm_port_of_ot(plan.dst_ot),
                           degree(dst, path.links.back()), last_ch, true},
       proto::Message{proto::RoadmAddDrop{
           roadm_id(dst), model_->roadm_port_of_ot(plan.dst_ot), 0, 0,
-          false}}});
+          false}},
+      {dst_tune}});
 
-  // Regenerators at segment boundaries: two add/drop ports + engage.
+  // Regenerators at segment boundaries: two add/drop ports + engage. The
+  // regen engages only after both of its add/drops are configured.
   for (std::size_t b = 0; b < plan.regens.size(); ++b) {
     const auto& seg_in = plan.segments[b];
     const auto& seg_out = plan.segments[b + 1];
     const NodeId site = path.nodes[seg_in.last_link + 1];
     const RegenId regen = plan.regens[b];
     const auto [up_port, down_port] = model_->roadm_ports_of_regen(regen);
+    const std::size_t up_step = steps.size();
+    seg_cfg[b].push_back(up_step);
+    path_steps.push_back(up_step);
     steps.push_back(Step{
         roadm,
         proto::RoadmAddDrop{roadm_id(site), up_port,
@@ -497,6 +711,9 @@ GriphonController::StepList GriphonController::build_wavelength_setup(
                             seg_in.channel, true},
         proto::Message{
             proto::RoadmAddDrop{roadm_id(site), up_port, 0, 0, false}}});
+    const std::size_t down_step = steps.size();
+    seg_cfg[b + 1].push_back(down_step);
+    path_steps.push_back(down_step);
     steps.push_back(Step{
         roadm,
         proto::RoadmAddDrop{roadm_id(site), down_port,
@@ -504,17 +721,24 @@ GriphonController::StepList GriphonController::build_wavelength_setup(
                             seg_out.channel, true},
         proto::Message{
             proto::RoadmAddDrop{roadm_id(site), down_port, 0, 0, false}}});
+    // The engaged regen is the light source of the downstream segment.
+    seg_cfg[b + 1].push_back(steps.size());
+    path_steps.push_back(steps.size());
     steps.push_back(
         Step{roadm,
              proto::RegenEngage{regen, seg_in.channel, seg_out.channel, true},
              proto::Message{proto::RegenEngage{regen, seg_in.channel,
-                                               seg_out.channel, false}}});
+                                               seg_out.channel, false}},
+             {up_step, down_step}});
   }
 
   // Express cross-connects at nodes interior to each transparent segment.
-  for (const auto& seg : plan.segments) {
+  for (std::size_t s = 0; s < plan.segments.size(); ++s) {
+    const auto& seg = plan.segments[s];
     for (std::size_t j = seg.first_link; j < seg.last_link; ++j) {
       const NodeId node = path.nodes[j + 1];
+      seg_cfg[s].push_back(steps.size());
+      path_steps.push_back(steps.size());
       steps.push_back(Step{
           roadm,
           proto::RoadmExpress{roadm_id(node), seg.channel,
@@ -527,29 +751,35 @@ GriphonController::StepList GriphonController::build_wavelength_setup(
   }
 
   // Per-link power balancing + equalization (the per-hop optical task).
-  for (const auto& seg : plan.segments) {
+  // A segment balances once its ROADM configuration is in; segments
+  // balance independently of each other.
+  for (std::size_t s = 0; s < plan.segments.size(); ++s) {
+    const auto& seg = plan.segments[s];
     for (std::size_t j = seg.first_link; j <= seg.last_link; ++j) {
+      path_steps.push_back(steps.size());
       steps.push_back(Step{
           roadm, proto::PowerBalance{path.links[j], seg.channel},
-          std::nullopt});
+          std::nullopt, seg_cfg[s]});
     }
   }
 
-  // Light it up.
+  // Light it up — only after the whole path is built and balanced.
   steps.push_back(
       Step{roadm,
            proto::OtSetState{plan.src_ot, proto::OtSetState::Action::kActivate},
            proto::Message{proto::OtSetState{
-               plan.src_ot, proto::OtSetState::Action::kDeactivate}}});
+               plan.src_ot, proto::OtSetState::Action::kDeactivate}},
+           path_steps});
   steps.push_back(
       Step{roadm,
            proto::OtSetState{plan.dst_ot, proto::OtSetState::Action::kActivate},
            proto::Message{proto::OtSetState{
-               plan.dst_ot, proto::OtSetState::Action::kDeactivate}}});
+               plan.dst_ot, proto::OtSetState::Action::kDeactivate}},
+           path_steps});
   return steps;
 }
 
-GriphonController::StepList GriphonController::build_wavelength_teardown(
+StepList GriphonController::build_wavelength_teardown(
     const Connection& c, const WavelengthPlan& plan,
     bool include_access) const {
   StepList steps;
@@ -562,14 +792,19 @@ GriphonController::StepList GriphonController::build_wavelength_teardown(
     return static_cast<std::int32_t>(*d);
   };
 
+  // Stop the light first: everything else unconfigures only after both
+  // endpoint transponders are dark.
+  const std::size_t deact_src = steps.size();
   steps.push_back(Step{roadm,
                        proto::OtSetState{plan.src_ot,
                                          proto::OtSetState::Action::kDeactivate},
                        std::nullopt});
+  const std::size_t deact_dst = steps.size();
   steps.push_back(Step{roadm,
                        proto::OtSetState{plan.dst_ot,
                                          proto::OtSetState::Action::kDeactivate},
                        std::nullopt});
+  const std::vector<std::size_t> dark{deact_src, deact_dst};
   for (const auto& seg : plan.segments) {
     for (std::size_t j = seg.first_link; j < seg.last_link; ++j) {
       const NodeId node = path.nodes[j + 1];
@@ -578,7 +813,7 @@ GriphonController::StepList GriphonController::build_wavelength_teardown(
                                                degree(node, path.links[j]),
                                                degree(node, path.links[j + 1]),
                                                false},
-                           std::nullopt});
+                           std::nullopt, dark});
     }
   }
   for (std::size_t b = 0; b < plan.regens.size(); ++b) {
@@ -586,14 +821,17 @@ GriphonController::StepList GriphonController::build_wavelength_teardown(
     const NodeId site = path.nodes[seg_in.last_link + 1];
     const RegenId regen = plan.regens[b];
     const auto [up_port, down_port] = model_->roadm_ports_of_regen(regen);
+    // Disengage the regen before tearing its add/drop ports out from
+    // under it.
+    const std::size_t regen_release = steps.size();
     steps.push_back(Step{
-        roadm, proto::RegenEngage{regen, 0, 0, false}, std::nullopt});
+        roadm, proto::RegenEngage{regen, 0, 0, false}, std::nullopt, dark});
     steps.push_back(
         Step{roadm, proto::RoadmAddDrop{roadm_id(site), up_port, 0, 0, false},
-             std::nullopt});
+             std::nullopt, {regen_release}});
     steps.push_back(Step{
         roadm, proto::RoadmAddDrop{roadm_id(site), down_port, 0, 0, false},
-        std::nullopt});
+        std::nullopt, {regen_release}});
   }
   const NodeId src = path.nodes.front();
   const NodeId dst = path.nodes.back();
@@ -601,37 +839,42 @@ GriphonController::StepList GriphonController::build_wavelength_teardown(
       roadm,
       proto::RoadmAddDrop{roadm_id(src), model_->roadm_port_of_ot(plan.src_ot),
                           0, 0, false},
-      std::nullopt});
+      std::nullopt, {deact_src}});
   steps.push_back(Step{
       roadm,
       proto::RoadmAddDrop{roadm_id(dst), model_->roadm_port_of_ot(plan.dst_ot),
                           0, 0, false},
-      std::nullopt});
+      std::nullopt, {deact_dst}});
 
   if (include_access) {
     auto* fxc_client = &model_->fxc_ems_client();
     auto* nte_client = &model_->nte_ems_client();
-    auto fxc_step = [&](NodeId pop, MuxponderId site, std::size_t nte_port) {
+    // The cross-connect unwinds after its side went dark; the NTE port
+    // disables only after the cross-connect that steered it is gone.
+    auto fxc_step = [&](NodeId pop, MuxponderId site, std::size_t nte_port,
+                        std::size_t deact_step) {
       fxc::Fxc& f = model_->fxc_at(pop);
       const auto access = f.port_for(fxc::Wiring::Kind::kCustomerAccess,
                                      site.value(), nte_port);
       assert(access);
       steps.push_back(Step{fxc_client,
                            proto::FxcDisconnect{f.id(), *access},
-                           std::nullopt});
+                           std::nullopt, {deact_step}});
     };
-    fxc_step(c.src_pop, c.src_site, c.src_nte_port);
-    fxc_step(c.dst_pop, c.dst_site, c.dst_nte_port);
+    const std::size_t fxc_src = steps.size();
+    fxc_step(c.src_pop, c.src_site, c.src_nte_port, deact_src);
+    const std::size_t fxc_dst = steps.size();
+    fxc_step(c.dst_pop, c.dst_site, c.dst_nte_port, deact_dst);
     steps.push_back(
         Step{nte_client,
              proto::NtePort{c.src_site,
                             static_cast<std::uint32_t>(c.src_nte_port), false},
-             std::nullopt});
+             std::nullopt, {fxc_src}});
     steps.push_back(
         Step{nte_client,
              proto::NtePort{c.dst_site,
                             static_cast<std::uint32_t>(c.dst_nte_port), false},
-             std::nullopt});
+             std::nullopt, {fxc_dst}});
   }
   return steps;
 }
@@ -820,6 +1063,14 @@ void GriphonController::setup_wavelength(ConnectionId id, SetupCallback cb) {
       return;
     }
     c->plan = std::move(plan).value();
+    // Probe-free optical admission: verify the plan's OSNR margins before
+    // the first EMS command goes out, instead of probing mid-train.
+    if (const Status adm =
+            admit_optical_plan(c->plan, c->rate, c->setup_span);
+        !adm.ok()) {
+      finish_setup(id, adm, std::move(cb));
+      return;
+    }
     reserve_plan(c->plan);
     auto steps = std::make_shared<StepList>(
         build_wavelength_setup(*c, c->plan, /*include_access=*/true));
@@ -850,12 +1101,18 @@ void GriphonController::setup_wavelength(ConnectionId id, SetupCallback cb) {
                     avoid.nodes.insert(c->plan.path.nodes[i]);
                   auto standby =
                       rwa_.plan(c->src_pop, c->dst_pop, c->rate, avoid);
-                  if (!standby.ok()) {
-                    // No disjoint capacity: fail the whole request.
+                  Status standby_status = standby.ok()
+                                              ? Status::success()
+                                              : Status{standby.error()};
+                  if (standby_status.ok())
+                    standby_status = admit_optical_plan(
+                        standby.value(), c->rate, c->setup_span);
+                  if (!standby_status.ok()) {
+                    // No disjoint admissible capacity: fail the request.
                     auto teardown = std::make_shared<StepList>(
                         build_wavelength_teardown(*c, c->plan, true));
                     run_steps(teardown, true,
-                              [this, id, err = standby.error(),
+                              [this, id, err = standby_status.error(),
                                cb = std::move(cb)](
                                   Status, std::vector<std::size_t>) mutable {
                                 finish_setup(id, err, std::move(cb));
@@ -996,7 +1253,7 @@ void GriphonController::setup_subwavelength_access(ConnectionId id,
                c->dst_site, static_cast<std::uint32_t>(c->dst_nte_port),
                false}}});
   auto fxc_step = [&](NodeId pop, MuxponderId site, std::size_t nte_port,
-                      std::size_t otn_port) {
+                      std::size_t otn_port, std::size_t nte_step) {
     fxc::Fxc& f = model_->fxc_at(pop);
     const auto access = f.port_for(fxc::Wiring::Kind::kCustomerAccess,
                                    site.value(), nte_port);
@@ -1006,10 +1263,11 @@ void GriphonController::setup_subwavelength_access(ConnectionId id,
     assert(access && otnp && "FXC wiring for OTN missing");
     steps->push_back(
         Step{fxc_client, proto::FxcConnect{f.id(), *access, *otnp},
-             proto::Message{proto::FxcDisconnect{f.id(), *access}}});
+             proto::Message{proto::FxcDisconnect{f.id(), *access}},
+             {nte_step}});
   };
-  fxc_step(c->src_pop, c->src_site, c->src_nte_port, circuit.src_port);
-  fxc_step(c->dst_pop, c->dst_site, c->dst_nte_port, circuit.dst_port);
+  fxc_step(c->src_pop, c->src_site, c->src_nte_port, circuit.src_port, 0);
+  fxc_step(c->dst_pop, c->dst_site, c->dst_nte_port, circuit.dst_port, 1);
 
   const std::uint64_t setup_span = c->setup_span;
   run_steps(steps, false,
@@ -1051,6 +1309,11 @@ void GriphonController::groom_new_carrier(NodeId a, NodeId b,
     return;
   }
   const WavelengthPlan wplan = std::move(plan).value();
+  if (const Status adm = admit_optical_plan(wplan, rates::k10G, 0);
+      !adm.ok()) {
+    cb(adm);
+    return;
+  }
   reserve_plan(wplan);
   // No customer access is involved; reuse the wavelength command builder
   // with a synthetic connection record for naming only.
@@ -1174,8 +1437,7 @@ void GriphonController::release_connection(ConnectionId id, DoneCallback cb) {
     auto steps = std::make_shared<StepList>(
         build_wavelength_teardown(*c, c->plan, /*include_access=*/true));
     if (c->standby) {
-      const auto extra = build_wavelength_teardown(*c, *c->standby, false);
-      steps->insert(steps->end(), extra.begin(), extra.end());
+      append_steps(*steps, build_wavelength_teardown(*c, *c->standby, false));
     }
     run_steps(steps, /*best_effort=*/true,
               [finish](Status status, std::vector<std::size_t>) {
@@ -1483,6 +1745,17 @@ void GriphonController::restore_wavelength(ConnectionId id,
       WavelengthPlan new_plan = std::move(plan).value();
       new_plan.src_ot = c->plan.src_ot;
       new_plan.dst_ot = c->plan.dst_ot;
+      if (const Status adm =
+              admit_optical_plan(new_plan, c->rate, c->op_span);
+          !adm.ok()) {
+        ++stats_.restorations_failed;
+        c->state = ConnectionState::kFailed;  // outage continues
+        trace(sim::TraceLevel::kError, "restore-failed",
+              adm.error().message());
+        close_restore(false, adm.error().message());
+        done();
+        return;
+      }
       reserve_plan(new_plan);
       std::uint64_t reprov_span = 0;
       if (telemetry::Telemetry* t = model_->telemetry())
@@ -1544,6 +1817,11 @@ void GriphonController::roll_to_plan(ConnectionId id,
   Connection* c0 = find_conn(id);
   if (c0 == nullptr || !c0->is_up()) {
     cb(Status{ErrorCode::kConflict, "controller: connection not rollable"});
+    return;
+  }
+  if (const Status adm = admit_optical_plan(new_plan, c0->rate, 0);
+      !adm.ok()) {
+    cb(adm);
     return;
   }
   c0->state = ConnectionState::kRolling;
@@ -1901,7 +2179,7 @@ void GriphonController::resync(ResyncCallback cb) {
   do_resync([cb = std::move(cb)](const ResyncReport& r) { cb(r); });
 }
 
-GriphonController::StepList GriphonController::expected_steps_for(
+StepList GriphonController::expected_steps_for(
     const Connection& c) const {
   if (c.state != ConnectionState::kActive &&
       c.state != ConnectionState::kFailed)
@@ -1955,7 +2233,7 @@ GriphonController::StepList GriphonController::expected_steps_for(
   return steps;
 }
 
-GriphonController::StepList GriphonController::build_expected_steps() const {
+StepList GriphonController::build_expected_steps() const {
   StepList steps;
   for (const auto& [id, c] : connections_) {
     StepList s = expected_steps_for(c);
@@ -2134,6 +2412,53 @@ void GriphonController::do_resync(
                                              std::vector<std::size_t>) {
               done(*report);
             });
+}
+
+std::string GriphonController::device_state_digest() const {
+  // Same canonical-key walk the reconciliation audit uses for its
+  // "present" set, enriched with each transponder's tuned channel and
+  // state so a wrong wavelength or a merely-tuned OT changes the digest.
+  // Keys are sorted, so the digest is independent of command order — the
+  // property the seq/DAG equivalence tests pin down.
+  std::set<std::string> keys;
+  for (const auto& node : model_->graph().nodes()) {
+    const dwdm::Roadm& r = model_->roadm_at(node.id);
+    for (const auto& u : r.uses()) {
+      if (u.is_express) {
+        if (u.degree > u.other_degree) continue;  // each pair once
+        keys.insert(express_key(r.id(), u.channel, u.degree, u.other_degree));
+      } else {
+        const auto& port = r.port(u.port);
+        keys.insert(add_drop_key(r.id(), u.port, port.degree, port.channel));
+      }
+    }
+    const fxc::Fxc& f = model_->fxc_at(node.id);
+    for (const auto& [a, b] : f.cross_connects())
+      keys.insert(fxc_key(f.id(), a, b));
+  }
+  for (const auto& ot : model_->ots()) {
+    if (ot->state() == dwdm::Transponder::State::kIdle) continue;
+    keys.insert("ot/" + std::to_string(ot->id().value()) + "/ch" +
+                std::to_string(ot->channel()) + "/" +
+                to_string(ot->state()));
+  }
+  for (const auto& rg : model_->regens())
+    if (rg->in_use()) keys.insert(regen_key(rg->id()));
+  for (const auto& site : model_->customer_sites()) {
+    const dwdm::Muxponder& mux = model_->nte(site.nte);
+    for (std::size_t p = 0; p < dwdm::Muxponder::kClientPorts; ++p)
+      if (mux.port_in_use(p))
+        keys.insert(nte_key(site.nte, static_cast<std::uint32_t>(p)));
+  }
+  if (model_->config().with_otn)
+    for (const OduCircuitId cid : model_->otn().circuit_ids())
+      keys.insert("odu/" + std::to_string(cid.value()));
+  std::string digest;
+  for (const std::string& k : keys) {
+    digest += k;
+    digest += '\n';
+  }
+  return digest;
 }
 
 }  // namespace griphon::core

@@ -1,5 +1,7 @@
 #include "dwdm/reach.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace griphon::dwdm {
@@ -93,6 +95,38 @@ std::vector<ReachModel::Segment> ReachModel::segment(
     throw std::runtime_error(
         "ReachModel::segment: single span exceeds reach at this rate");
   return *std::move(segments);
+}
+
+ReachModel::Admission ReachModel::admit(
+    const topology::Graph& g, const topology::Path& path,
+    const std::vector<Segment>& segments,
+    const LineRateProfile& profile) const {
+  Admission verdict;
+  verdict.admitted = true;
+  verdict.worst_margin_db = std::numeric_limits<double>::infinity();
+  for (const Segment& seg : segments) {
+    Distance length{};
+    double osnr = params_.launch_osnr_db;
+    for (std::size_t li = seg.first_link;
+         li <= seg.last_link && li < path.links.size(); ++li) {
+      const topology::Link& l = g.link(path.links[li]);
+      length += l.length();
+      for (const auto& span : l.spans)
+        osnr -= params_.span_penalty_db * (span.length.in_km() / 100.0);
+    }
+    const std::size_t seg_nodes = seg.last_link - seg.first_link + 2;
+    if (seg_nodes > 2)
+      osnr -= params_.roadm_pass_penalty_db *
+              static_cast<double>(seg_nodes - 2);
+    double margin = osnr - profile.required_osnr_db;
+    if (length > profile.max_reach)
+      margin = -std::numeric_limits<double>::infinity();
+    verdict.segment_margins_db.push_back(margin);
+    verdict.worst_margin_db = std::min(verdict.worst_margin_db, margin);
+    if (margin < 0.0) verdict.admitted = false;
+  }
+  if (verdict.segment_margins_db.empty()) verdict.worst_margin_db = 0.0;
+  return verdict;
 }
 
 std::vector<NodeId> ReachModel::regen_sites(

@@ -73,6 +73,23 @@ class ReachModel {
       const topology::Graph& g, const topology::Path& path,
       const LineRateProfile& profile) const;
 
+  /// Up-front admission verdict for a segmented route. Instead of probing
+  /// signal quality per segment during setup (a round of management
+  /// dialogues before any cross-connects), the controller decides
+  /// admissibility from the same OSNR budget the RWA used — one model, no
+  /// probes. A segment's margin is its receiver OSNR minus the profile
+  /// requirement; a negative margin (or a reach-cap violation, reported as
+  /// -inf margin) rejects the route.
+  struct Admission {
+    bool admitted = false;
+    double worst_margin_db = 0.0;
+    std::vector<double> segment_margins_db;  ///< one per transparent segment
+  };
+  [[nodiscard]] Admission admit(const topology::Graph& g,
+                                const topology::Path& path,
+                                const std::vector<Segment>& segments,
+                                const LineRateProfile& profile) const;
+
  private:
   Params params_;
 };

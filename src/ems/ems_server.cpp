@@ -136,40 +136,9 @@ void EmsServer::set_response_cache_capacity(std::size_t capacity) {
 }
 
 std::uint64_t EmsServer::device_key(const proto::Message& m) {
-  struct Visitor {
-    std::uint64_t operator()(const proto::Response&) { return 0; }
-    std::uint64_t operator()(const proto::AlarmEvent&) { return 0; }
-    std::uint64_t operator()(const proto::FxcConnect& m) {
-      return (1ull << 56) | m.fxc.value();
-    }
-    std::uint64_t operator()(const proto::FxcDisconnect& m) {
-      return (1ull << 56) | m.fxc.value();
-    }
-    std::uint64_t operator()(const proto::RoadmExpress& m) {
-      return (2ull << 56) | m.roadm.value();
-    }
-    std::uint64_t operator()(const proto::RoadmAddDrop& m) {
-      return (2ull << 56) | m.roadm.value();
-    }
-    std::uint64_t operator()(const proto::OtTune& m) {
-      return (3ull << 56) | m.ot.value();
-    }
-    std::uint64_t operator()(const proto::OtSetState& m) {
-      return (3ull << 56) | m.ot.value();
-    }
-    std::uint64_t operator()(const proto::RegenEngage& m) {
-      return (4ull << 56) | m.regen.value();
-    }
-    std::uint64_t operator()(const proto::PowerBalance& m) {
-      // The line system of one link is the shared element being retrimmed.
-      return (5ull << 56) | m.link.value();
-    }
-    std::uint64_t operator()(const proto::OtnOp&) { return 6ull << 56; }
-    std::uint64_t operator()(const proto::NtePort& m) {
-      return (7ull << 56) | m.nte.value();
-    }
-  };
-  return std::visit(Visitor{}, m);
+  // Shared with the controller's DAG executor, which pre-orders
+  // same-element commands using the same key.
+  return proto::element_key(m);
 }
 
 void EmsServer::handle_frame(const proto::Bytes& bytes) {
@@ -291,8 +260,21 @@ SimTime EmsServer::task_latency(const proto::Message& m) {
                       : p.nte_port_release.sample(rng);
     }
     SimTime operator()(const proto::AlarmEvent&) { return SimTime{}; }
+    SimTime operator()(const proto::EmsBatch& m) {
+      // One dialogue covers the whole batch: the items' optical tasks run
+      // concurrently on their (disjoint) elements, so the batch costs the
+      // slowest item, not the sum — that is the point of batching.
+      SimTime worst{};
+      for (const auto& bytes : m.items) {
+        auto frame = proto::decode_frame(bytes);
+        if (!frame.ok()) continue;
+        worst = std::max(worst, ems->task_latency(frame.value().message));
+      }
+      return worst;
+    }
+    EmsServer* ems;
   };
-  return std::visit(Visitor{profile_, rng}, m);
+  return std::visit(Visitor{profile_, rng, this}, m);
 }
 
 Status EmsServer::apply(const proto::Message& m, std::uint64_t* aux) {
@@ -396,6 +378,27 @@ Status EmsServer::apply(const proto::Message& m, std::uint64_t* aux) {
         return Status{ErrorCode::kNotFound, "ems: unknown NTE"};
       return m.engage ? d->claim_client_port(m.port)
                       : d->release_client_port(m.port);
+    }
+    Status operator()(const proto::EmsBatch& m) {
+      // Apply every coalesced item; the aggregated response carries the
+      // first failure (items are stateless, so no partial-state concern).
+      Status first = Status::success();
+      for (const auto& bytes : m.items) {
+        auto frame = proto::decode_frame(bytes);
+        if (!frame.ok()) {
+          if (first.ok()) first = Status{frame.error()};
+          continue;
+        }
+        if (std::holds_alternative<proto::EmsBatch>(frame.value().message)) {
+          if (first.ok())
+            first = Status{ErrorCode::kInvalidArgument,
+                           "ems: nested batch rejected"};
+          continue;
+        }
+        const Status s = ems.apply(frame.value().message, aux);
+        if (first.ok() && !s.ok()) first = s;
+      }
+      return first;
     }
   };
   return std::visit(Visitor{*this, aux}, m);

@@ -253,6 +253,35 @@ Result<Message> decode_nte_port(ByteReader& r) {
   return Message{m};
 }
 
+void encode(ByteWriter& w, const EmsBatch& m) {
+  w.u32(static_cast<std::uint32_t>(m.items.size()));
+  for (const Bytes& item : m.items) {
+    w.u32(static_cast<std::uint32_t>(item.size()));
+    w.raw(item);
+  }
+}
+Result<Message> decode_ems_batch(ByteReader& r) {
+  EmsBatch m;
+  auto count = r.u32();
+  if (!count.ok()) return count.error();
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto len = r.u32();
+    if (!len.ok()) return len.error();
+    if (r.remaining() < len.value())
+      return Error{ErrorCode::kInvalidArgument,
+                   "proto: truncated batch item"};
+    Bytes item;
+    item.reserve(len.value());
+    for (std::uint32_t b = 0; b < len.value(); ++b) {
+      auto byte = r.u8();
+      if (!byte.ok()) return byte.error();
+      item.push_back(byte.value());
+    }
+    m.items.push_back(std::move(item));
+  }
+  return Message{m};
+}
+
 void encode(ByteWriter& w, const AlarmEvent& m) {
   const Alarm& a = m.alarm;
   put_id(w, a.id.value());
@@ -347,6 +376,7 @@ MessageType type_of(const Message& m) noexcept {
     MessageType operator()(const AlarmEvent&) {
       return MessageType::kAlarmEvent;
     }
+    MessageType operator()(const EmsBatch&) { return MessageType::kEmsBatch; }
   };
   return std::visit(Visitor{}, m);
 }
@@ -377,8 +407,56 @@ const char* name_of(MessageType t) noexcept {
       return "nte-port";
     case MessageType::kAlarmEvent:
       return "alarm-event";
+    case MessageType::kEmsBatch:
+      return "ems-batch";
   }
   return "?";
+}
+
+std::uint64_t element_key(const Message& m) {
+  struct Visitor {
+    std::uint64_t operator()(const Response&) { return 0; }
+    std::uint64_t operator()(const AlarmEvent&) { return 0; }
+    std::uint64_t operator()(const FxcConnect& v) {
+      return (1ull << 56) | v.fxc.value();
+    }
+    std::uint64_t operator()(const FxcDisconnect& v) {
+      return (1ull << 56) | v.fxc.value();
+    }
+    std::uint64_t operator()(const RoadmExpress& v) {
+      return (2ull << 56) | v.roadm.value();
+    }
+    std::uint64_t operator()(const RoadmAddDrop& v) {
+      return (2ull << 56) | v.roadm.value();
+    }
+    std::uint64_t operator()(const OtTune& v) {
+      return (3ull << 56) | v.ot.value();
+    }
+    std::uint64_t operator()(const OtSetState& v) {
+      return (3ull << 56) | v.ot.value();
+    }
+    std::uint64_t operator()(const RegenEngage& v) {
+      return (4ull << 56) | v.regen.value();
+    }
+    std::uint64_t operator()(const PowerBalance& v) {
+      // The line system of one link is the shared element being retrimmed.
+      return (5ull << 56) | v.link.value();
+    }
+    std::uint64_t operator()(const OtnOp&) { return 6ull << 56; }
+    std::uint64_t operator()(const NtePort& v) {
+      return (7ull << 56) | v.nte.value();
+    }
+    std::uint64_t operator()(const EmsBatch& v) {
+      // A batch dialogues with the line system shared by its items; key it
+      // off the first item so batches over disjoint elements interleave.
+      if (v.items.empty()) return 8ull << 56;
+      auto item = decode_frame(v.items.front());
+      if (!item.ok()) return 8ull << 56;
+      return (8ull << 56) |
+             (element_key(item.value().message) & ((1ull << 56) - 1));
+    }
+  };
+  return std::visit(Visitor{}, m);
 }
 
 Bytes encode_frame(std::uint64_t request_id, const Message& m) {
@@ -438,6 +516,8 @@ Result<Frame> decode_frame(const Bytes& bytes) {
         return decode_nte_port(r);
       case MessageType::kAlarmEvent:
         return decode_alarm_event(r);
+      case MessageType::kEmsBatch:
+        return decode_ems_batch(r);
     }
     return Error{ErrorCode::kInvalidArgument, "proto: unknown message type"};
   }();

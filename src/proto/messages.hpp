@@ -31,6 +31,7 @@ enum class MessageType : std::uint16_t {
   kOtnOp = 50,
   kNtePort = 60,
   kAlarmEvent = 70,
+  kEmsBatch = 80,
 };
 
 // --- requests ------------------------------------------------------------
@@ -115,6 +116,18 @@ struct NtePort {
   bool engage = true;
 };
 
+/// Several same-EMS commands coalesced into one management dialogue. Items
+/// are full encoded frames (request id 0 — correlation rides the batch's
+/// own id) so the payload codec needs no recursive variant. The EMS pays
+/// one management overhead for the whole batch and runs the items'
+/// optical tasks concurrently; the aggregated Response carries the first
+/// item error (success otherwise). Only commands without device state —
+/// today power balancing — are safe to coalesce, since a batch retried
+/// after a timeout replays or re-executes as one unit.
+struct EmsBatch {
+  std::vector<Bytes> items;
+};
+
 // --- response & events ----------------------------------------------------
 
 struct Response {
@@ -132,10 +145,18 @@ struct AlarmEvent {
 using Message =
     std::variant<Response, FxcConnect, FxcDisconnect, RoadmExpress,
                  RoadmAddDrop, OtTune, OtSetState, RegenEngage, PowerBalance,
-                 OtnOp, NtePort, AlarmEvent>;
+                 OtnOp, NtePort, AlarmEvent, EmsBatch>;
 
 [[nodiscard]] MessageType type_of(const Message& m) noexcept;
 [[nodiscard]] const char* name_of(MessageType t) noexcept;
+
+/// Which managed element a command dialogues with: the EMS serializes
+/// dialogues per element, and the controller's DAG executor uses the same
+/// key to order same-element commands by construction. High byte is a
+/// device-type tag so ids of different device families never collide.
+/// Responses/alarms (and batches, which address the shared line system of
+/// their first item) key as documented in the implementation.
+[[nodiscard]] std::uint64_t element_key(const Message& m);
 
 /// A parsed frame: correlation id + payload.
 struct Frame {

@@ -4,7 +4,12 @@
 // bridge-and-roll, maintenance, re-grooming, and the customer portal.
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <variant>
+
 #include "core/scenario.hpp"
+#include "ems/ems_server.hpp"
+#include "proto/messages.hpp"
 
 namespace griphon::core {
 namespace {
@@ -21,8 +26,17 @@ ConnectionId connect_sync(TestbedScenario& s, MuxponderId a, MuxponderId b,
   return result->value();
 }
 
+/// Params reproducing the 2011 testbed's one-dialogue-at-a-time behaviour
+/// (the paper's measured 60-70 s setups). The controller now defaults to
+/// the DAG executor; paper-band timing tests pin sequential explicitly.
+GriphonController::Params sequential_params() {
+  GriphonController::Params p;
+  p.exec_mode = ExecMode::kSequential;
+  return p;
+}
+
 TEST(ControllerSetup, WavelengthEndToEnd) {
-  TestbedScenario s(42);
+  TestbedScenario s(42, NetworkModel::Config{}, sequential_params());
   const auto id =
       connect_sync(s, s.site_i, s.site_iv, rates::k10G,
                    ProtectionMode::kRestorable);
@@ -51,7 +65,7 @@ TEST(ControllerSetup, WavelengthEndToEnd) {
 }
 
 TEST(ControllerSetup, TeardownFreesEverything) {
-  TestbedScenario s(43);
+  TestbedScenario s(43, NetworkModel::Config{}, sequential_params());
   const auto id = connect_sync(s, s.site_i, s.site_iv, rates::k10G,
                                ProtectionMode::kRestorable);
   const auto plan = s.controller->connection(id).plan;
@@ -449,18 +463,97 @@ TEST(Portal, ListShowsCustomerView) {
   EXPECT_EQ(views[1].service, "sub-wavelength");
 }
 
-TEST(Controller, PipelinedModeIsFasterThanSequential) {
+TEST(Controller, ExecModesOrderedByConcurrency) {
   GriphonController::Params pipelined;
-  pipelined.pipelined_commands = true;
-  TestbedScenario seq(64);
+  pipelined.exec_mode = ExecMode::kPipelined;
+  TestbedScenario seq(64, NetworkModel::Config{}, sequential_params());
+  TestbedScenario dag(64);  // default params: DAG executor
   TestbedScenario par(64, NetworkModel::Config{}, pipelined);
   const auto a = connect_sync(seq, seq.site_i, seq.site_iv, rates::k10G,
+                              ProtectionMode::kRestorable);
+  const auto d = connect_sync(dag, dag.site_i, dag.site_iv, rates::k10G,
                               ProtectionMode::kRestorable);
   const auto b = connect_sync(par, par.site_i, par.site_iv, rates::k10G,
                               ProtectionMode::kRestorable);
   const double t_seq = to_seconds(seq.controller->connection(a).setup_duration);
+  const double t_dag = to_seconds(dag.controller->connection(d).setup_duration);
   const double t_par = to_seconds(par.controller->connection(b).setup_duration);
-  EXPECT_LT(t_par, t_seq * 0.7);
+  // The DAG executor overlaps everything the dependency edges allow and
+  // must land well under the sequential train; the ordering-blind
+  // pipelined ablation is the (unsafe) lower bound it cannot beat.
+  EXPECT_LT(t_dag, t_seq * 0.7);
+  EXPECT_LE(t_par, t_dag);
+  // Same final device state no matter the executor.
+  EXPECT_EQ(seq.controller->device_state_digest(),
+            dag.controller->device_state_digest());
+}
+
+/// Chaos hook for the rollback-ordering regression below: vetoes the first
+/// OT activation (non-retryable NACK) to force a mid-setup rollback, then
+/// slows the FXC EMS so an out-of-order undo train is caught — if the NTE
+/// disable does not wait for its FXC disconnect, the two dialogues start
+/// back to back instead of serialized.
+struct RollbackOrderProbe final : ems::EmsFaultHook {
+  explicit RollbackOrderProbe(sim::Engine* e) : engine(e) {}
+  sim::Engine* engine;
+  bool armed = true;
+  double fxc_scale = 1.0;
+  std::optional<SimTime> fxc_disconnect_at;
+  std::optional<SimTime> nte_disable_at;
+
+  Status on_command(const std::string&, const proto::Message& m) override {
+    if (armed && std::holds_alternative<proto::OtSetState>(m) &&
+        std::get<proto::OtSetState>(m).action ==
+            proto::OtSetState::Action::kActivate) {
+      armed = false;
+      fxc_scale = 3.0;  // the rollback now runs against a slow FXC EMS
+      return Status{ErrorCode::kDeviceFault, "chaos: activation vetoed"};
+    }
+    if (std::holds_alternative<proto::FxcDisconnect>(m) && !fxc_disconnect_at)
+      fxc_disconnect_at = engine->now();
+    if (std::holds_alternative<proto::NtePort>(m) &&
+        !std::get<proto::NtePort>(m).engage && !nte_disable_at)
+      nte_disable_at = engine->now();
+    return Status::success();
+  }
+  double latency_scale(const std::string& ems) override {
+    return ems == "fxc-ems" ? fxc_scale : 1.0;
+  }
+};
+
+TEST(Controller, RollbackRespectsReverseDependenciesUnderPipelined) {
+  // Regression: the ordering-blind pipelined executor used to run the undo
+  // train the same way it ran the forward train — every command at once —
+  // so an NTE client port could be disabled while its FXC cross-connect
+  // was still up. Rollback must always run dependency-ordered (undo edges
+  // are the forward edges reversed), whatever the forward executor was.
+  GriphonController::Params params;
+  params.exec_mode = ExecMode::kPipelined;
+  TestbedScenario s(66, NetworkModel::Config{}, params);
+  RollbackOrderProbe probe(&s.engine);
+  s.model->fxc_ems().set_fault_hook(&probe);
+  s.model->roadm_ems().set_fault_hook(&probe);
+  s.model->nte_ems().set_fault_hook(&probe);
+
+  std::optional<Result<ConnectionId>> result;
+  s.portal->connect(s.site_i, s.site_iv, rates::k10G,
+                    ProtectionMode::kUnprotected,
+                    [&](Result<ConnectionId> r) { result = std::move(r); });
+  s.engine.run();
+  ASSERT_TRUE(result.has_value());
+  ASSERT_FALSE(result->ok());  // the vetoed activation failed the setup
+
+  // The rollback ran both access undo dialogues, and the NTE disable
+  // waited for the (slowed, ~3 s) FXC disconnect to finish. An unordered
+  // undo train starts both dialogues at the same instant.
+  ASSERT_TRUE(probe.fxc_disconnect_at.has_value());
+  ASSERT_TRUE(probe.nte_disable_at.has_value());
+  EXPECT_GT(to_seconds(*probe.nte_disable_at - *probe.fxc_disconnect_at),
+            2.0);
+  // Devices are clean after the rollback.
+  EXPECT_EQ(s.model->fxc_at(s.topo.i).active_connections(), 0u);
+  EXPECT_EQ(s.model->nte(s.site_i).ports_in_use(), 0u);
+  EXPECT_EQ(s.model->roadm_at(s.topo.i).active_uses(), 0u);
 }
 
 TEST(Controller, StatsTrackOutcomes) {

@@ -1,0 +1,323 @@
+// Executor equivalence: the dependency-DAG executor is a performance
+// optimisation only. For a fixed seed and a fixed operation script, it
+// must leave the plant in exactly the same final state as the 2011
+// sequential executor — same device configuration (digest), same
+// per-connection terminal statuses, same accounting. Scripts drain the
+// engine at every op boundary so planning decisions see identical
+// inventory in both modes; only the in-flight interleaving differs.
+//
+// Under a chaos `combined` plan the injector's per-command fault draws
+// depend on command order, so mid-run outcomes legitimately diverge; the
+// equivalence obligation there is convergence: after the plan is
+// disarmed, faults healed and every connection drained, both executors
+// must arrive at the identical — and empty — plant state.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_injector.hpp"
+#include "chaos/fault_plan.hpp"
+#include "common/rng.hpp"
+#include "core/scenario.hpp"
+
+namespace griphon::core {
+namespace {
+
+struct Outcome {
+  std::string digest;    ///< sorted device-state digest of the whole plant
+  std::string statuses;  ///< per-connection terminal state, in id order
+  std::uint64_t setups_ok = 0;
+  std::uint64_t setups_failed = 0;
+  std::uint64_t releases = 0;
+};
+
+GriphonController::Params params_for(ExecMode mode) {
+  GriphonController::Params p;
+  p.exec_mode = mode;
+  return p;
+}
+
+void append_status(std::string* out, ConnectionId id, ConnectionState st) {
+  *out += std::to_string(id.value()) + ":" +
+          std::to_string(static_cast<int>(st)) + "\n";
+}
+
+// --- paper testbed -------------------------------------------------------
+
+Outcome run_testbed_script(ExecMode mode, std::uint64_t seed) {
+  TestbedScenario s(seed, NetworkModel::Config{}, params_for(mode));
+  Rng rng(seed * 97 + 13);  // independent of the controller's RNG
+  std::vector<ConnectionId> ids;
+  std::vector<ConnectionId> live;
+  std::string connects;  // per-op connect results (must match across modes)
+
+  const MuxponderId sites[] = {s.site_i, s.site_iii, s.site_iv};
+  static const DataRate kRates[] = {rates::k1G, DataRate::gbps(5),
+                                    rates::k10G};
+  static const ProtectionMode kProt[] = {ProtectionMode::kUnprotected,
+                                         ProtectionMode::kRestorable,
+                                         ProtectionMode::kOnePlusOne};
+  const LinkId links[] = {s.topo.i_ii, s.topo.i_iii, s.topo.i_iv};
+  std::vector<LinkId> cut;
+
+  for (int op = 0; op < 40; ++op) {
+    const double dice = rng.uniform(0, 1);
+    if (dice < 0.5) {
+      const auto a = static_cast<std::size_t>(rng.uniform_int(0, 2));
+      auto b = static_cast<std::size_t>(rng.uniform_int(0, 2));
+      if (a == b) b = (b + 1) % 3;
+      s.portal->connect(sites[a], sites[b], kRates[rng.uniform_int(0, 2)],
+                        kProt[rng.uniform_int(0, 2)],
+                        [&, op](Result<ConnectionId> r) {
+                          connects += std::to_string(op) + ":" +
+                                      (r.ok() ? "ok" : r.error().message()) +
+                                      "\n";
+                          if (r.ok()) {
+                            ids.push_back(r.value());
+                            live.push_back(r.value());
+                          }
+                        });
+    } else if (dice < 0.65 && !live.empty()) {
+      const auto at = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(live.size()) - 1));
+      const ConnectionId id = live[at];
+      s.portal->disconnect(id, [&live, id](Status st) {
+        if (st.ok()) std::erase(live, id);
+      });
+    } else if (dice < 0.78 && cut.size() < 2) {
+      const LinkId link = links[rng.uniform_int(0, 2)];
+      if (!s.model->link_failed(link)) {
+        s.model->fail_link(link);
+        cut.push_back(link);
+      }
+    } else if (dice < 0.9 && !cut.empty()) {
+      s.model->repair_link(cut.back());
+      cut.pop_back();
+    } else if (!live.empty()) {
+      s.controller->regroom(live.front(), [](Status) {});
+    }
+    s.engine.run();  // op boundary: both modes observe identical inventory
+  }
+  for (const LinkId link : cut) s.model->repair_link(link);
+  s.engine.run();
+
+  Outcome o;
+  o.digest = s.controller->device_state_digest();
+  o.statuses = connects;
+  for (const ConnectionId id : ids)
+    append_status(&o.statuses, id, s.controller->connection(id).state);
+  o.setups_ok = s.controller->stats().setups_ok;
+  o.setups_failed = s.controller->stats().setups_failed;
+  o.releases = s.controller->stats().releases;
+  return o;
+}
+
+class TestbedEquiv : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TestbedEquiv, DagMatchesSequentialFinalState) {
+  const Outcome seq = run_testbed_script(ExecMode::kSequential, GetParam());
+  const Outcome dag = run_testbed_script(ExecMode::kDag, GetParam());
+  EXPECT_EQ(seq.digest, dag.digest);
+  EXPECT_EQ(seq.statuses, dag.statuses);
+  EXPECT_EQ(seq.setups_ok, dag.setups_ok);
+  EXPECT_EQ(seq.setups_failed, dag.setups_failed);
+  EXPECT_EQ(seq.releases, dag.releases);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TestbedEquiv,
+                         ::testing::Values(101u, 202u, 303u));
+
+// --- US backbone, 50 operations ------------------------------------------
+
+Outcome run_backbone_script(ExecMode mode, std::uint64_t seed) {
+  BackboneScenario::Options opt;
+  opt.customers = 2;
+  opt.sites_per_customer = 3;
+  opt.quota = DataRate::gbps(300);
+  opt.params = params_for(mode);
+  BackboneScenario s(seed, opt);
+  Rng rng(seed * 131 + 5);
+  std::vector<ConnectionId> ids;
+  std::vector<std::pair<std::size_t, ConnectionId>> live;
+  std::string connects;
+  const auto num_links = s.model->graph().links().size();
+  std::vector<LinkId> cut;
+
+  for (int op = 0; op < 50; ++op) {
+    const double dice = rng.uniform(0, 1);
+    if (dice < 0.5) {
+      const auto cust = static_cast<std::size_t>(rng.uniform_int(0, 1));
+      const auto a = static_cast<std::size_t>(rng.uniform_int(0, 2));
+      auto b = static_cast<std::size_t>(rng.uniform_int(0, 2));
+      if (a == b) b = (b + 1) % 3;
+      static const DataRate kRates[] = {rates::k1G, DataRate::gbps(3),
+                                        rates::k10G, rates::k40G};
+      static const ProtectionMode kProt[] = {ProtectionMode::kUnprotected,
+                                             ProtectionMode::kRestorable};
+      s.portals[cust]->connect(
+          s.site(cust, a), s.site(cust, b), kRates[rng.uniform_int(0, 3)],
+          kProt[rng.uniform_int(0, 1)], [&, op, cust](Result<ConnectionId> r) {
+            connects += std::to_string(op) + ":" +
+                        (r.ok() ? "ok" : r.error().message()) + "\n";
+            if (r.ok()) {
+              ids.push_back(r.value());
+              live.emplace_back(cust, r.value());
+            }
+          });
+    } else if (dice < 0.62 && !live.empty()) {
+      const auto at = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(live.size()) - 1));
+      const auto [cust, id] = live[at];
+      s.portals[cust]->disconnect(id, [&live, id = id](Status st) {
+        if (st.ok())
+          std::erase_if(live, [&](const auto& e) { return e.second == id; });
+      });
+    } else if (dice < 0.75 && cut.size() < 2) {
+      const LinkId link{static_cast<std::uint64_t>(
+          rng.uniform_int(0, static_cast<int>(num_links) - 1))};
+      if (!s.model->link_failed(link)) {
+        s.model->fail_link(link);
+        cut.push_back(link);
+      }
+    } else if (dice < 0.88 && !cut.empty()) {
+      s.model->repair_link(cut.back());
+      cut.pop_back();
+    } else if (!live.empty()) {
+      s.controller->regroom(live.front().second, [](Status) {});
+    }
+    s.engine.run();
+  }
+  for (const LinkId link : cut) s.model->repair_link(link);
+  s.engine.run();
+
+  Outcome o;
+  o.digest = s.controller->device_state_digest();
+  o.statuses = connects;
+  for (const ConnectionId id : ids)
+    append_status(&o.statuses, id, s.controller->connection(id).state);
+  o.setups_ok = s.controller->stats().setups_ok;
+  o.setups_failed = s.controller->stats().setups_failed;
+  o.releases = s.controller->stats().releases;
+  return o;
+}
+
+class BackboneEquiv : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BackboneEquiv, DagMatchesSequentialFinalState) {
+  const Outcome seq = run_backbone_script(ExecMode::kSequential, GetParam());
+  const Outcome dag = run_backbone_script(ExecMode::kDag, GetParam());
+  EXPECT_EQ(seq.digest, dag.digest);
+  EXPECT_EQ(seq.statuses, dag.statuses);
+  EXPECT_EQ(seq.setups_ok, dag.setups_ok);
+  EXPECT_EQ(seq.setups_failed, dag.setups_failed);
+  EXPECT_EQ(seq.releases, dag.releases);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackboneEquiv, ::testing::Values(11u, 29u));
+
+// --- chaos `combined` plan ------------------------------------------------
+
+struct ChaosOutcome {
+  std::string digest;
+  std::string statuses;
+  std::size_t active = 0;
+};
+
+ChaosOutcome run_chaos_script(ExecMode mode, std::uint64_t seed) {
+  TestbedScenario s(seed, NetworkModel::Config{}, params_for(mode));
+
+  // Fault-free phase: establish a mixed set of connections. Identical in
+  // both modes (asserted via `statuses`).
+  std::vector<ConnectionId> ids;
+  std::string connects;
+  const struct {
+    MuxponderId a, b;
+    DataRate rate;
+    ProtectionMode prot;
+  } setups[] = {
+      {s.site_i, s.site_iv, rates::k10G, ProtectionMode::kRestorable},
+      {s.site_i, s.site_iii, DataRate::gbps(3),
+       ProtectionMode::kUnprotected},
+      {s.site_iii, s.site_iv, rates::k1G, ProtectionMode::kRestorable},
+  };
+  for (std::size_t i = 0; i < std::size(setups); ++i) {
+    s.portal->connect(setups[i].a, setups[i].b, setups[i].rate,
+                      setups[i].prot, [&, i](Result<ConnectionId> r) {
+                        connects += std::to_string(i) + ":" +
+                                    (r.ok() ? "ok" : r.error().message()) +
+                                    "\n";
+                        if (r.ok()) ids.push_back(r.value());
+                      });
+    s.engine.run();
+  }
+
+  // Chaos window: the combined plan (EMS flaps + channel loss + device
+  // faults), plus a fiber cut and repair at fixed sim times. Fault draws
+  // depend on command order, so the two modes may diverge here.
+  chaos::FaultInjector injector(s.model.get(), chaos::FaultPlan::combined(),
+                                seed + 1);
+  injector.arm();
+  for (int slice = 0; slice < 12; ++slice) {
+    if (slice == 3) s.model->fail_link(s.topo.i_iv);
+    if (slice == 7 && s.model->link_failed(s.topo.i_iv))
+      s.model->repair_link(s.topo.i_iv);
+    s.engine.run_until(s.engine.now() + from_seconds(300));
+  }
+  injector.disarm();
+  injector.heal_all();
+  if (s.model->link_failed(s.topo.i_iv)) s.model->repair_link(s.topo.i_iv);
+  s.engine.run();
+
+  // Convergence: drain every connection (retrying ones that are busy
+  // mid-restoration), return groomed carriers, and audit the plant.
+  std::vector<ConnectionId> remaining = ids;
+  for (int attempt = 0; attempt < 6 && !remaining.empty(); ++attempt) {
+    auto batch = remaining;
+    for (const ConnectionId id : batch)
+      s.portal->disconnect(id, [&remaining, id](Status st) {
+        if (st.ok()) std::erase(remaining, id);
+      });
+    s.engine.run();
+  }
+  EXPECT_TRUE(remaining.empty());
+  s.controller->decommission_idle_carriers([](Status) {});
+  s.engine.run();
+
+  // Chaos can abandon benign residue (e.g. a tuned-but-dark OT from a
+  // restoration attempt the injector killed). The PR 5 resync audit is
+  // the production answer: sweep leaked config, then the plant digest
+  // must be empty.
+  std::optional<Result<GriphonController::ResyncReport>> audit;
+  s.controller->resync(
+      [&](Result<GriphonController::ResyncReport> r) { audit = std::move(r); });
+  s.engine.run();
+  EXPECT_TRUE(audit && audit->ok());
+
+  ChaosOutcome o;
+  o.digest = s.controller->device_state_digest();
+  o.statuses = connects;
+  for (const ConnectionId id : ids)
+    append_status(&o.statuses, id, s.controller->connection(id).state);
+  o.active = s.controller->active_connections();
+  return o;
+}
+
+class ChaosEquiv : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosEquiv, CombinedPlanConvergesToIdenticalCleanPlant) {
+  const ChaosOutcome seq = run_chaos_script(ExecMode::kSequential, GetParam());
+  const ChaosOutcome dag = run_chaos_script(ExecMode::kDag, GetParam());
+  // Both executors end on the identical — and empty — plant.
+  EXPECT_EQ(seq.digest, dag.digest);
+  EXPECT_EQ(dag.digest, "");
+  EXPECT_EQ(seq.statuses, dag.statuses);
+  EXPECT_EQ(seq.active, 0u);
+  EXPECT_EQ(dag.active, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosEquiv, ::testing::Values(7u, 77u));
+
+}  // namespace
+}  // namespace griphon::core

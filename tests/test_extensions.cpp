@@ -8,6 +8,14 @@
 namespace griphon::core {
 namespace {
 
+/// 2011-testbed orchestration (one EMS dialogue at a time) for tests that
+/// assert the paper's measured timing bands.
+GriphonController::Params sequential_params() {
+  GriphonController::Params p;
+  p.exec_mode = ExecMode::kSequential;
+  return p;
+}
+
 TEST(Grooming, NewCarrierProvisionedWhenOtnFull) {
   // A plant whose OTN layer has exactly one 10G carrier (8 slots) on the
   // direct I-IV route and nothing else.
@@ -20,7 +28,7 @@ TEST(Grooming, NewCarrierProvisionedWhenOtnFull) {
   const auto site_i = model.add_customer_site(CustomerId{1}, "I", topo.i).nte;
   const auto site_iv =
       model.add_customer_site(CustomerId{1}, "IV", topo.iv).nte;
-  GriphonController controller(&model, GriphonController::Params{});
+  GriphonController controller(&model, sequential_params());
   CustomerPortal portal(&controller, CustomerId{1}, DataRate::gbps(100));
 
   // First 5G circuit fits in the lone carrier (5 of 8 slots).
@@ -223,7 +231,7 @@ TEST(Races, DoubleFailureRestoresViaSurvivingPath) {
 }
 
 TEST(Races, RestorationFailsWhenIsolatedThenRecoversOnRepair) {
-  TestbedScenario s(90);
+  TestbedScenario s(90, NetworkModel::Config{}, sequential_params());
   std::optional<ConnectionId> id;
   s.portal->connect(s.site_i, s.site_iv, rates::k10G,
                     ProtectionMode::kRestorable,

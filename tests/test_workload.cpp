@@ -26,7 +26,9 @@ TEST(BulkScheduler, JobLifecycle) {
   // 9 TB at 10G = 7200 s + setup/teardown overheads.
   EXPECT_GT(to_seconds(done->completion_time()), 7200.0);
   EXPECT_LT(to_seconds(done->completion_time()), 7200.0 + 300.0);
-  EXPECT_GT(to_seconds(done->setup_overhead()), 30.0);
+  // The DAG executor cuts 1-hop setup to ~29 s (sequential was ~62 s); the
+  // overhead is still far from free.
+  EXPECT_GT(to_seconds(done->setup_overhead()), 20.0);
   EXPECT_EQ(sched.completed(), 1u);
   // Bandwidth was released at completion.
   EXPECT_EQ(s.portal->provisioned(), DataRate{});

@@ -1,10 +1,27 @@
 #!/usr/bin/env python3
-"""Diff BENCH_*.json rows against a previous run and flag regressions.
+"""Diff BENCH_*.json rows against a baseline and flag regressions.
 
 Every bench binary emits flat rows of {bench, metric, value, unit} (see
-bench/emit_json.hpp). CI stashes the previous run's files and calls this
-script to compare: rows are matched by (bench, metric), and a row that got
-worse by more than the threshold (default 10%) is flagged.
+bench/emit_json.hpp). CI stashes previous runs and calls this script to
+compare: rows are matched by (bench, metric), and a row that got worse by
+more than its noise floor is flagged.
+
+Noise floors are per metric, read from a small JSON config
+(--noise-config, see tools/bench_noise.json):
+
+    {
+      "default_pct": 10.0,
+      "floors": {"setup_teardown/*_p95": 15.0, "chaos/*": 20.0}
+    }
+
+Floor keys are fnmatch patterns over "bench/metric"; the first matching
+pattern (in file order) wins, the default applies otherwise. Without a
+config, --threshold is the blanket floor for every metric.
+
+History: with --history-dir the script keeps one baseline per commit —
+the current run's files are stashed under <history-dir>/<sha>/ and the
+comparison baseline is the most recent other entry (unless --baseline
+provides one explicitly). --keep bounds the number of retained entries.
 
 Whether "worse" means higher or lower depends on the metric:
   * time-like units (us, ms, s, seconds) are lower-is-better;
@@ -21,9 +38,11 @@ exit 0 so CI lanes stay green while still publishing the report artifact.
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import glob
 import json
 import os
+import shutil
 import sys
 
 LOWER_IS_BETTER_UNITS = {"us", "ms", "s", "seconds"}
@@ -45,6 +64,38 @@ def lower_is_better(metric: str, unit: str) -> bool:
         return True
     name = metric.lower()
     return any(hint in name for hint in LOWER_IS_BETTER_HINTS)
+
+
+class NoiseModel:
+    """Per-metric regression floors, in percent."""
+
+    def __init__(self, default_pct: float,
+                 floors: list[tuple[str, float]]) -> None:
+        self.default_pct = default_pct
+        self.floors = floors  # ordered (pattern, pct); first match wins
+
+    @staticmethod
+    def load(path: str | None, fallback_pct: float) -> "NoiseModel":
+        if path is None:
+            return NoiseModel(fallback_pct, [])
+        try:
+            with open(path, encoding="utf-8") as f:
+                cfg = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"bench_diff: unreadable noise config {path}: {err}; "
+                  f"falling back to blanket {fallback_pct}%")
+            return NoiseModel(fallback_pct, [])
+        floors = [(str(pat), float(pct))
+                  for pat, pct in cfg.get("floors", {}).items()]
+        return NoiseModel(float(cfg.get("default_pct", fallback_pct)),
+                          floors)
+
+    def threshold_for(self, bench: str, metric: str) -> float:
+        key = f"{bench}/{metric}"
+        for pattern, pct in self.floors:
+            if fnmatch.fnmatch(key, pattern):
+                return pct
+        return self.default_pct
 
 
 def load_rows(directory: str) -> dict[tuple[str, str], dict]:
@@ -69,33 +120,86 @@ def load_rows(directory: str) -> dict[tuple[str, str], dict]:
     return rows
 
 
+def history_entries(history_dir: str) -> list[str]:
+    """Baseline directories under `history_dir`, oldest first."""
+    if not os.path.isdir(history_dir):
+        return []
+    entries = [os.path.join(history_dir, name)
+               for name in os.listdir(history_dir)
+               if os.path.isdir(os.path.join(history_dir, name))]
+    return sorted(entries, key=os.path.getmtime)
+
+
+def pick_history_baseline(history_dir: str, sha: str | None) -> str | None:
+    """Most recent history entry that is not the current sha."""
+    for entry in reversed(history_entries(history_dir)):
+        if sha is None or os.path.basename(entry) != sha:
+            return entry
+    return None
+
+
+def stash_history(history_dir: str, sha: str, current_dir: str,
+                  keep: int) -> None:
+    dest = os.path.join(history_dir, sha)
+    os.makedirs(dest, exist_ok=True)
+    for path in glob.glob(os.path.join(current_dir, "BENCH_*.json")):
+        shutil.copy(path, dest)
+    # Touch so this entry sorts newest even when re-running a sha.
+    os.utime(dest)
+    entries = history_entries(history_dir)
+    for stale in entries[:max(0, len(entries) - keep)]:
+        shutil.rmtree(stale, ignore_errors=True)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True,
-                        help="directory holding the previous BENCH_*.json")
+    parser.add_argument("--baseline", default=None,
+                        help="directory holding the baseline BENCH_*.json "
+                             "(optional when --history-dir is set)")
     parser.add_argument("--current", required=True,
                         help="directory holding this run's BENCH_*.json")
     parser.add_argument("--threshold", type=float, default=10.0,
-                        help="regression threshold in percent (default 10)")
+                        help="blanket regression floor in percent when no "
+                             "noise config covers a metric (default 10)")
+    parser.add_argument("--noise-config", default=None,
+                        help="JSON file with per-metric noise floors "
+                             "(see tools/bench_noise.json)")
+    parser.add_argument("--history-dir", default=None,
+                        help="keep one baseline per commit under this "
+                             "directory and compare against the newest")
+    parser.add_argument("--sha", default=None,
+                        help="current commit sha (names the history entry)")
+    parser.add_argument("--keep", type=int, default=10,
+                        help="historical baselines to retain (default 10)")
     parser.add_argument("--report", default=None,
                         help="also write the comparison table to this file")
     args = parser.parse_args()
+
+    noise = NoiseModel.load(args.noise_config, args.threshold)
 
     current = load_rows(args.current)
     if not current:
         print(f"bench_diff: no BENCH_*.json under {args.current}")
         return 1
-    baseline = load_rows(args.baseline)
+
+    baseline_dir = args.baseline
+    if (baseline_dir is None or not load_rows(baseline_dir)) \
+            and args.history_dir:
+        picked = pick_history_baseline(args.history_dir, args.sha)
+        if picked:
+            print(f"bench_diff: baseline from history: {picked}")
+            baseline_dir = picked
+    baseline = load_rows(baseline_dir) if baseline_dir else {}
 
     lines: list[str] = []
     regressions: list[str] = []
     if not baseline:
         lines.append(
-            f"bench_diff: no baseline under {args.baseline!r} — first run or "
+            f"bench_diff: no baseline under {baseline_dir!r} — first run or "
             "evicted cache; nothing to compare (exit 0).")
     else:
         header = (f"{'bench':<20} {'metric':<42} {'baseline':>14} "
-                  f"{'current':>14} {'delta':>9}  verdict")
+                  f"{'current':>14} {'delta':>9} {'floor':>7}  verdict")
         lines.append(header)
         lines.append("-" * len(header))
         for key in sorted(current):
@@ -104,43 +208,52 @@ def main() -> int:
             base = baseline.get(key)
             if base is None:
                 lines.append(f"{bench:<20} {metric:<42} {'(new)':>14} "
-                             f"{cur['value']:>14.4g} {'':>9}  new metric")
+                             f"{cur['value']:>14.4g} {'':>9} {'':>7}  "
+                             "new metric")
                 continue
             if base["value"] == 0:
                 delta_pct = 0.0 if cur["value"] == 0 else float("inf")
             else:
                 delta_pct = (cur["value"] / base["value"] - 1.0) * 100.0
+            floor = noise.threshold_for(bench, metric)
             worse = (-delta_pct if lower_is_better(metric, cur["unit"])
-                     else delta_pct) < -args.threshold
+                     else delta_pct) < -floor
             verdict = "REGRESSION" if worse else "ok"
             delta_str = ("n/a" if delta_pct == float("inf")
                          else f"{delta_pct:+8.1f}%")
             lines.append(f"{bench:<20} {metric:<42} {base['value']:>14.4g} "
-                         f"{cur['value']:>14.4g} {delta_str:>9}  {verdict}")
+                         f"{cur['value']:>14.4g} {delta_str:>9} "
+                         f"{floor:>6.1f}%  {verdict}")
             if worse:
                 regressions.append(
                     f"{bench}/{metric}: {base['value']:.4g} -> "
-                    f"{cur['value']:.4g} ({delta_str})")
+                    f"{cur['value']:.4g} ({delta_str}, floor {floor:.1f}%)")
         dropped = sorted(set(baseline) - set(current))
         for bench, metric in dropped:
             lines.append(f"{bench:<20} {metric:<42} "
                          f"{baseline[(bench, metric)]['value']:>14.4g} "
-                         f"{'(gone)':>14} {'':>9}  dropped metric")
+                         f"{'(gone)':>14} {'':>9} {'':>7}  dropped metric")
 
     if regressions:
         lines.append("")
-        lines.append(f"{len(regressions)} regression(s) beyond "
-                     f"{args.threshold:.0f}%:")
+        lines.append(f"{len(regressions)} regression(s) beyond their noise "
+                     "floors:")
         lines.extend("  " + r for r in regressions)
     else:
         lines.append("")
-        lines.append("no regressions beyond threshold")
+        lines.append("no regressions beyond noise floors")
 
     text = "\n".join(lines)
     print(text)
     if args.report:
         with open(args.report, "w", encoding="utf-8") as f:
             f.write(text + "\n")
+
+    if args.history_dir and args.sha:
+        stash_history(args.history_dir, args.sha, args.current, args.keep)
+        print(f"bench_diff: stashed {args.sha} in {args.history_dir} "
+              f"(keep {args.keep})")
+
     return 1 if regressions else 0
 
 
