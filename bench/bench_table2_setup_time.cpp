@@ -18,14 +18,18 @@
 // gates (exit code) on the DAG being measurably faster, and the
 // comparison lands in BENCH_setup.json for tools/bench_diff.py.
 #include <cmath>
+#include <fstream>
 #include <iostream>
 #include <map>
 
 #include "bench_util.hpp"
+#include "core/observability.hpp"
 #include "core/scenario.hpp"
 #include "emit_json.hpp"
+#include "telemetry/sampler.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/timeline.hpp"
+#include "telemetry/trace_export.hpp"
 
 using namespace griphon;
 
@@ -70,12 +74,17 @@ bench::Summary measure(int hops, int iterations, core::ExecMode mode) {
 /// child spans — must still tile the root span exactly. Any shortfall
 /// means an uninstrumented phase (or an idle gap the scheduler should
 /// have filled).
-bool span_decomposition() {
+bool span_decomposition(core::ExecMode mode, const std::string& trace_path,
+                        const std::string& series_path) {
   core::NetworkModel::Config cfg;
   cfg.with_otn = false;
-  core::TestbedScenario s(424242, cfg);  // controller default: DAG executor
+  core::GriphonController::Params params;
+  params.exec_mode = mode;
+  core::TestbedScenario s(424242, cfg, params);
   telemetry::Telemetry tel(&s.engine);
   s.model->attach_telemetry(&tel);
+  telemetry::GaugeSampler sampler(&s.engine, &tel);
+  core::install_standard_probes(sampler, *s.controller, *s.model);
   s.model->fail_link(s.topo.i_iv);
   s.model->fail_link(s.topo.i_iii);
 
@@ -85,7 +94,19 @@ bool span_decomposition() {
                     [&](Result<ConnectionId> r) {
                       if (r.ok()) id = r.value();
                     });
-  s.engine.run();
+  // A bounded horizon: the sampler always has a next tick scheduled, so
+  // an unbounded run() would never return.
+  sampler.start(from_seconds(2));
+  s.engine.run_until(s.engine.now() + minutes(10));
+  sampler.stop();
+
+  // Trace/series artifacts for Perfetto + tools/validate_trace.py and
+  // tools/bench_diff.py --series.
+  if (std::ofstream f(trace_path); f)
+    f << telemetry::TraceExporter().to_json(tel) << "\n";
+  if (!series_path.empty())
+    if (std::ofstream f(series_path); f) f << sampler.rollups_json();
+
   if (!id) {
     std::cout << "span check: setup FAILED, no timeline to verify\n";
     return false;
@@ -194,6 +215,17 @@ int main() {
                "path length); comparison appended to BENCH_setup.json\n";
 
   bench::banner("Setup-time decomposition (telemetry span waterfall, 3 hops)");
-  const bool tiled = span_decomposition();
-  return (dag_faster && tiled) ? 0 : 1;
+  // Both exec modes export a Chrome trace (trace_table2_*.json) so the
+  // CI lane can hold them against tools/validate_trace.py.
+  std::cout << "— sequential executor —\n";
+  const bool tiled_seq = span_decomposition(
+      core::ExecMode::kSequential, "trace_table2_sequential.json", "");
+  std::cout << "\n— dependency-DAG executor —\n";
+  const bool tiled_dag =
+      span_decomposition(core::ExecMode::kDag, "trace_table2_dag.json",
+                         "SERIES_table2.json");
+  std::cout << "\ntrace artifacts: trace_table2_sequential.json, "
+               "trace_table2_dag.json (Perfetto-loadable); sampler rollups: "
+               "SERIES_table2.json\n";
+  return (dag_faster && tiled_seq && tiled_dag) ? 0 : 1;
 }

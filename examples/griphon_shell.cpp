@@ -14,12 +14,18 @@
 //   maintain <link-name>       bridge-and-roll everything off, then work
 //   regroom <id>
 //   wait <seconds>             advance simulated time
-//   dashboard                  customer view
+//   dashboard                  customer view + ops view (sparklines, SLOs)
 //   stats                      controller counters
 //   telemetry                  Prometheus metrics dump
 //   telemetry <id>             per-connection lifecycle waterfall
 //   telemetry json [id]        span JSON (all spans, or one connection)
-//   telemetry save <path>      dump metrics + spans as JSON to a file
+//   telemetry save <path>      dump metrics + spans + events as JSON
+//   trace save <path>          Chrome Trace Event JSON (Perfetto/
+//                              chrome://tracing loadable)
+//   series [save <path> [csv]] sampled gauge time series (sparklines to
+//                              the console, JSON/CSV to a file)
+//   eventlog [n]               newest n structured events (default 20)
+//   eventlog save <path>       event log as JSON
 //   dag                        step DAG + critical path of the last
 //                              command train run by the DAG executor
 //   schedule <a> <b> <tb> <hours>   deadline-driven bulk transfer (BoD)
@@ -35,18 +41,24 @@
 // Example (one line):
 //   printf 'connect 0 2 10\ntelemetry 1\nquit\n' | ./build/examples/griphon_shell
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
 
+#include "bod/observability.hpp"
 #include "bod/transfer_scheduler.hpp"
 #include "chaos/fault_injector.hpp"
 #include "chaos/fault_plan.hpp"
+#include "core/observability.hpp"
 #include "core/scenario.hpp"
 #include "core/step_dag.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/slo.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/timeline.hpp"
+#include "telemetry/trace_export.hpp"
 
 using namespace griphon;
 
@@ -78,18 +90,38 @@ int main() {
                                    &admission);
   scheduler.register_portal(s.portal.get());
 
+  // Observability v2: a gauge sampler over the standard probe set (pool
+  // occupancy, EMS queues/breakers, calendar, connections) feeding SLO
+  // evaluation against the paper's operational budgets.
+  telemetry::GaugeSampler sampler(&s.engine, &tel);
+  core::install_standard_probes(sampler, *s.controller, *s.model);
+  {
+    std::vector<LinkId> links;
+    for (const auto& l : s.model->graph().links()) links.push_back(l.id);
+    bod::install_calendar_probes(sampler, calendar, s.engine,
+                                 std::move(links));
+  }
+  sampler.start(from_seconds(5));
+  telemetry::SloMonitor slo(&s.engine, &tel);
+  slo.add_objective(
+      telemetry::setup_latency_objective(tel.metrics(), /*budget=*/90.0));
+  slo.add_objective(
+      telemetry::restoration_time_objective(tel.metrics(), /*budget=*/120.0));
+  slo.add_objective(
+      telemetry::blocking_rate_objective(tel.metrics(), /*ceiling=*/0.05));
+  slo.add_objective(
+      telemetry::bod_deadline_miss_objective(tel.metrics(), /*ceiling=*/0.1));
+  slo.start(from_seconds(10));
+
   // Fault injection on demand: `chaos plan <preset>` builds an injector
   // for the loaded deployment, `chaos arm` lets it loose. One fixed seed —
   // a replayed script sees the identical fault schedule.
   std::unique_ptr<chaos::FaultInjector> injector;
 
-  // While armed, the injector always has its next fault scheduled, so
-  // engine.run() would never return; bound the horizon instead.
+  // The sampler (and an armed injector) always has its next tick
+  // scheduled, so engine.run() would never return; bound the horizon.
   const auto settle = [&]() {
-    if (injector && injector->armed())
-      s.engine.run_until(s.engine.now() + minutes(30));
-    else
-      s.engine.run();
+    s.engine.run_until(s.engine.now() + minutes(30));
   };
 
   auto& out = std::cout;
@@ -107,7 +139,8 @@ int main() {
       out << "sites | topo | connect a b gbps [none|restore|1+1] | "
              "bundle a b gbps | disconnect id | cut link | repair link | "
              "maintain link | regroom id | wait s | dashboard | stats | "
-             "telemetry [id | json [id] | save path] | dag | "
+             "telemetry [id | json [id] | save path] | trace save path | "
+             "series [save path [csv]] | eventlog [n | save path] | dag | "
              "schedule a b tb hours | transfers | "
              "reserve link gbps start-s end-s | calendar | "
              "chaos [plan preset [x] | arm | disarm | heal | stats | log] | "
@@ -202,6 +235,79 @@ int main() {
       out << "  t=" << to_seconds(s.engine.now()) << " s\n";
     } else if (cmd == "dashboard") {
       out << s.portal->render_dashboard();
+      out << "\nops dashboard (t=" << to_seconds(s.engine.now())
+          << " s, sampling every " << to_seconds(sampler.period())
+          << " s):\n";
+      for (const std::string& name : sampler.names()) {
+        const telemetry::TimeSeries* ts = sampler.series(name);
+        if (ts == nullptr || ts->points().empty()) continue;
+        const auto roll = ts->rollup();
+        out << "  " << std::left << std::setw(28) << name << std::right
+            << " " << std::setw(9) << roll.last << "  ["
+            << ts->spark(40) << "]\n";
+      }
+      out << slo.render();
+      if (tel.events().size() > 0) out << tel.events().render(5);
+    } else if (cmd == "trace") {
+      std::string sub, path;
+      in >> sub >> path;
+      if (sub != "save" || path.empty()) {
+        out << "  usage: trace save <path>\n";
+        continue;
+      }
+      std::ofstream file(path);
+      if (!file) {
+        out << "  cannot write '" << path << "'\n";
+        continue;
+      }
+      file << telemetry::TraceExporter().to_json(tel) << "\n";
+      out << "  wrote " << path << " (load in ui.perfetto.dev or "
+             "chrome://tracing)\n";
+    } else if (cmd == "series") {
+      std::string sub, path, format;
+      in >> sub >> path >> format;
+      if (sub.empty()) {
+        for (const std::string& name : sampler.names()) {
+          const telemetry::TimeSeries* ts = sampler.series(name);
+          if (ts == nullptr) continue;
+          const auto roll = ts->rollup();
+          out << "  " << std::left << std::setw(28) << name << std::right
+              << " last " << roll.last << " min " << roll.min << " max "
+              << roll.max << " mean " << roll.mean << "\n";
+        }
+      } else if (sub == "save" && !path.empty()) {
+        std::ofstream file(path);
+        if (!file) {
+          out << "  cannot write '" << path << "'\n";
+          continue;
+        }
+        file << (format == "csv" ? sampler.to_csv() : sampler.to_json());
+        out << "  wrote " << path << "\n";
+      } else {
+        out << "  usage: series [save <path> [csv]]\n";
+      }
+    } else if (cmd == "eventlog") {
+      std::string sub;
+      in >> sub;
+      if (sub == "save") {
+        std::string path;
+        in >> path;
+        if (path.empty()) {
+          out << "  usage: eventlog save <path>\n";
+          continue;
+        }
+        std::ofstream file(path);
+        if (!file) {
+          out << "  cannot write '" << path << "'\n";
+          continue;
+        }
+        file << tel.events().to_json() << "\n";
+        out << "  wrote " << path << "\n";
+      } else {
+        std::size_t n = 20;
+        if (!sub.empty()) std::istringstream(sub) >> n;
+        out << tel.events().render(n);
+      }
     } else if (cmd == "telemetry") {
       std::string arg;
       in >> arg;
@@ -227,7 +333,9 @@ int main() {
           continue;
         }
         file << "{\"metrics\": " << tel.metrics().to_json_rows("shell")
-             << ", \"spans\": " << tel.spans().to_json() << "}\n";
+             << ", \"spans\": " << tel.spans().to_json()
+             << ", \"events\": " << tel.events().to_json()
+             << ", \"sim_trace\": " << s.model->trace().to_json() << "}\n";
         out << "  wrote " << path << "\n";
       } else {
         std::uint64_t id = 0;

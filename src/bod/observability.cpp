@@ -1,0 +1,30 @@
+#include "bod/observability.hpp"
+
+#include <utility>
+
+#include "bod/reservation_calendar.hpp"
+#include "sim/engine.hpp"
+
+namespace griphon::bod {
+
+void install_calendar_probes(telemetry::GaugeSampler& sampler,
+                             ReservationCalendar& calendar,
+                             sim::Engine& engine, std::vector<LinkId> links) {
+  sampler.add_probe("calendar_active_reservations", "count", [&calendar] {
+    return static_cast<double>(calendar.active_reservations());
+  });
+  sampler.add_probe(
+      "calendar_occupancy", "ratio",
+      [&calendar, &engine, links = std::move(links)] {
+        if (links.empty()) return 0.0;
+        double sum = 0;
+        for (const LinkId link : links) {
+          const double cap = calendar.link_capacity(link).in_gbps();
+          if (cap <= 0) continue;
+          sum += calendar.committed(link, engine.now()).in_gbps() / cap;
+        }
+        return sum / static_cast<double>(links.size());
+      });
+}
+
+}  // namespace griphon::bod

@@ -1,0 +1,28 @@
+// BoD gauge probes: reservation-calendar occupancy and active bookings.
+//
+// Lives in bod (not core/observability) because the calendar is a BoD
+// concept the core layer cannot see. Same lifetime rule as the core
+// probes: the sampler must not outlive the calendar/engine it samples.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.hpp"
+#include "telemetry/sampler.hpp"
+
+namespace griphon::sim {
+class Engine;
+}  // namespace griphon::sim
+
+namespace griphon::bod {
+
+class ReservationCalendar;
+
+/// Register calendar probes over `links`: calendar_active_reservations
+/// and calendar_occupancy (mean committed/capacity across the links at
+/// the sampling instant, 0..1).
+void install_calendar_probes(telemetry::GaugeSampler& sampler,
+                             ReservationCalendar& calendar,
+                             sim::Engine& engine, std::vector<LinkId> links);
+
+}  // namespace griphon::bod

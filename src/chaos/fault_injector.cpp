@@ -242,6 +242,9 @@ void FaultInjector::record(const std::string& kind,
   log_.push_back(Event{model_->engine().now(), kind, detail});
   model_->trace().emit(model_->engine().now(), sim::TraceLevel::kInfo,
                        "chaos", kind, detail);
+  if (telemetry_ != nullptr)
+    telemetry_->event(telemetry::Severity::kWarn, "fault", "chaos",
+                      kind + (detail.empty() ? "" : ": " + detail));
 }
 
 void FaultInjector::bump(telemetry::Counter* counter) {

@@ -288,6 +288,11 @@ void GriphonController::issue_command(
           trace(sim::TraceLevel::kInfo, "command-retry",
                 domain_of(client) + " attempt " + std::to_string(attempt) +
                     ": " + s.error().message());
+          if (telemetry::Telemetry* t = model_->telemetry())
+            t->event(telemetry::Severity::kWarn, "retry",
+                     domain_of(client) + "-ems",
+                     "command retry, attempt " + std::to_string(attempt) +
+                         ": " + s.error().message());
           model_->engine().schedule(
               retry_delay(attempt),
               [this, client, message = std::move(message),
@@ -975,6 +980,9 @@ void GriphonController::request_connection(const ConnectionRequest& request,
         .counter("griphon_controller_requests_total",
                  "Connection requests accepted for orchestration")
         ->inc();
+    t->event(telemetry::Severity::kInfo, "lifecycle", "controller",
+             "connection " + std::to_string(id.value()) + " requested",
+             telemetry_tag(id));
   }
   trace(sim::TraceLevel::kInfo, "request",
         "connection " + std::to_string(id.value()) + " rate " +
@@ -1011,6 +1019,15 @@ void GriphonController::finish_setup(ConnectionId id, Status status,
       m.histogram("griphon_controller_setup_seconds",
                   "Request to traffic-flowing, end to end")
           ->observe(to_seconds(model_->engine().now() - c->requested_at));
+    if (status.ok())
+      t->event(telemetry::Severity::kInfo, "lifecycle", "controller",
+               "connection " + std::to_string(id.value()) + " active",
+               telemetry_tag(id));
+    else
+      t->event(telemetry::Severity::kWarn, "lifecycle", "controller",
+               "connection " + std::to_string(id.value()) +
+                   " setup failed: " + status.error().message(),
+               telemetry_tag(id));
   }
   if (status.ok()) {
     c->state = ConnectionState::kActive;
@@ -1427,6 +1444,9 @@ void GriphonController::release_connection(ConnectionId id, DoneCallback cb) {
       m.counter("griphon_controller_releases_total", "Connections released",
                 {{"customer", std::to_string(c->customer.value())}})
           ->inc();
+      t->event(telemetry::Severity::kInfo, "lifecycle", "controller",
+               "connection " + std::to_string(id.value()) + " released",
+               telemetry_tag(id));
     }
     trace(sim::TraceLevel::kInfo, "released",
           "connection " + std::to_string(id.value()));
@@ -1513,6 +1533,11 @@ void GriphonController::mark_failed(Connection& c) {
   c.outage_started_at = model_->engine().now();
   trace(sim::TraceLevel::kWarn, "outage",
         "connection " + std::to_string(c.id.value()));
+  if (telemetry::Telemetry* t = model_->telemetry())
+    t->event(telemetry::Severity::kWarn, "lifecycle", "controller",
+             "connection " + std::to_string(c.id.value()) +
+                 " failed (outage started)",
+             telemetry_tag(c.id));
 }
 
 void GriphonController::mark_recovered(Connection& c) {
@@ -1524,6 +1549,12 @@ void GriphonController::mark_recovered(Connection& c) {
   trace(sim::TraceLevel::kInfo, "recovered",
         "connection " + std::to_string(c.id.value()) + " outage " +
             std::to_string(to_seconds(c.total_outage)) + "s total");
+  if (telemetry::Telemetry* t = model_->telemetry())
+    t->event(telemetry::Severity::kInfo, "lifecycle", "controller",
+             "connection " + std::to_string(c.id.value()) + " recovered (" +
+                 std::to_string(to_seconds(c.total_outage)) +
+                 "s outage total)",
+             telemetry_tag(c.id));
 }
 
 void GriphonController::on_links_failed(const std::vector<LinkId>& links) {
@@ -1693,6 +1724,11 @@ void GriphonController::restore_wavelength(ConnectionId id,
       m.histogram("griphon_controller_restore_seconds",
                   "Restoration start to traffic back, end to end")
           ->observe(to_seconds(model_->engine().now() - restore_started));
+    t->event(ok ? telemetry::Severity::kInfo : telemetry::Severity::kWarn,
+             "lifecycle", "controller",
+             "connection " + std::to_string(id.value()) +
+                 (ok ? " restored" : " restoration failed: " + why),
+             telemetry_tag(id));
   };
 
   // 1. Release the dead path's configuration (keeps access + OTs).
@@ -2396,6 +2432,12 @@ void GriphonController::do_resync(
     m.counter("griphon_controller_resync_repairs_total",
               "Repair commands issued by audits")
         ->inc(report->repair_commands);
+    t->event(report->repair_commands == 0 ? telemetry::Severity::kInfo
+                                          : telemetry::Severity::kWarn,
+             "resync", "controller",
+             "audit: leaks=" + std::to_string(report->total_leaks()) +
+                 " drift=" + std::to_string(report->drifted_connections) +
+                 " repairs=" + std::to_string(report->repair_commands));
   }
   trace(report->repair_commands == 0 ? sim::TraceLevel::kInfo
                                      : sim::TraceLevel::kWarn,

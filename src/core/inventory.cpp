@@ -138,6 +138,19 @@ std::optional<RegenId> Inventory::find_free_regen(
   return std::nullopt;
 }
 
+std::size_t Inventory::free_regen_count(NodeId node,
+                                        DataRate min_rate) const {
+  ensure_site_pools();
+  if (node.value() >= regens_by_site_.size()) return 0;
+  std::size_t n = 0;
+  for (const dwdm::Regenerator* regen : regens_by_site_[node.value()]) {
+    if (!regen->in_use() && regen->line_rate() >= min_rate &&
+        !regen_reserved(regen->id()))
+      ++n;
+  }
+  return n;
+}
+
 void Inventory::ensure_usage_table() const {
   const std::uint64_t version = model_->plant_version();
   if (usage_valid_ && usage_version_ == version) return;

@@ -60,6 +60,8 @@ class Inventory {
   [[nodiscard]] std::optional<RegenId> find_free_regen(
       NodeId node, DataRate min_rate,
       const std::set<RegenId>& exclude = {}) const;
+  [[nodiscard]] std::size_t free_regen_count(NodeId node,
+                                             DataRate min_rate) const;
 
   /// Number of links where channel `ch` is currently configured — input to
   /// the most-used wavelength-assignment policy.

@@ -1,0 +1,92 @@
+#include "core/observability.hpp"
+
+#include <string>
+
+#include "core/controller.hpp"
+#include "core/network_model.hpp"
+#include "ems/ems_server.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace griphon::core {
+
+namespace {
+
+/// "roadm-ems" → "roadm": same convention as the griphon_ems_<domain>_*
+/// metric prefix.
+std::string domain_of(const std::string& server_name) {
+  constexpr const char* kSuffix = "-ems";
+  constexpr std::size_t kSuffixLen = 4;
+  if (server_name.size() > kSuffixLen &&
+      server_name.compare(server_name.size() - kSuffixLen, kSuffixLen,
+                          kSuffix) == 0)
+    return server_name.substr(0, server_name.size() - kSuffixLen);
+  return server_name;
+}
+
+double breaker_level(EmsHealthTracker::BreakerState s) {
+  switch (s) {
+    case EmsHealthTracker::BreakerState::kClosed:
+      return 0.0;
+    case EmsHealthTracker::BreakerState::kHalfOpen:
+      return 0.5;
+    case EmsHealthTracker::BreakerState::kOpen:
+      return 1.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+void install_standard_probes(telemetry::GaugeSampler& sampler,
+                             GriphonController& controller,
+                             NetworkModel& model) {
+  sampler.add_probe("ot_pool_free", "count", [&controller, &model] {
+    std::size_t n = 0;
+    for (const auto& node : model.graph().nodes())
+      n += controller.inventory().free_ot_count(node.id, DataRate{});
+    return static_cast<double>(n);
+  });
+  sampler.add_probe("regen_pool_free", "count", [&controller, &model] {
+    std::size_t n = 0;
+    for (const auto& node : model.graph().nodes())
+      n += controller.inventory().free_regen_count(node.id, DataRate{});
+    return static_cast<double>(n);
+  });
+  sampler.add_probe("inventory_reservations", "count", [&controller] {
+    return static_cast<double>(controller.inventory().reservations());
+  });
+
+  for (ems::EmsServer* server : model.ems_servers()) {
+    const std::string domain = domain_of(server->name());
+    sampler.add_probe("ems_" + domain + "_queue_depth", "count", [server] {
+      return static_cast<double>(server->queue_depth());
+    });
+    sampler.add_probe("ems_" + domain + "_breaker_open", "level",
+                      [&controller, domain] {
+                        return breaker_level(
+                            controller.ems_health().state(domain));
+                      });
+  }
+
+  sampler.add_probe("route_cache_hit_rate", "ratio", [&model] {
+    telemetry::Telemetry* t = model.telemetry();
+    if (t == nullptr) return 0.0;
+    const auto* hits =
+        t->metrics().find_counter("griphon_rwa_route_cache_hits_total");
+    const auto* misses =
+        t->metrics().find_counter("griphon_rwa_route_cache_misses_total");
+    const double h = hits == nullptr ? 0 : static_cast<double>(hits->value());
+    const double m =
+        misses == nullptr ? 0 : static_cast<double>(misses->value());
+    return h + m == 0 ? 0.0 : h / (h + m);
+  });
+
+  sampler.add_probe("connections_active", "count", [&controller] {
+    return static_cast<double>(controller.active_connections());
+  });
+  sampler.add_probe("connections_blocked", "count", [&controller] {
+    return static_cast<double>(controller.stats().setups_failed);
+  });
+}
+
+}  // namespace griphon::core

@@ -1,0 +1,29 @@
+// Standard gauge probes for the core layers.
+//
+// GaugeSampler lives in telemetry and knows nothing about controllers or
+// plants; this helper wires the canonical operations dashboard probes —
+// pool occupancy, per-EMS queue depth and breaker state, route-cache hit
+// rate, connection counts — into a sampler for one deployment. BoD
+// calendar probes live in bod/observability.hpp (core cannot see bod).
+//
+// The probe lambdas capture the controller/model by reference: keep the
+// sampler's lifetime inside theirs (true for the shell, benches, and
+// tests, which stack-allocate scenario then sampler).
+#pragma once
+
+#include "telemetry/sampler.hpp"
+
+namespace griphon::core {
+
+class GriphonController;
+class NetworkModel;
+
+/// Register the standard probe set. Probe names (sampler series / CSV
+/// columns): ot_pool_free, regen_pool_free, inventory_reservations,
+/// ems_<domain>_queue_depth, ems_<domain>_breaker_open,
+/// route_cache_hit_rate, connections_active, connections_blocked.
+void install_standard_probes(telemetry::GaugeSampler& sampler,
+                             GriphonController& controller,
+                             NetworkModel& model);
+
+}  // namespace griphon::core

@@ -31,6 +31,15 @@ void Trace::emit(SimTime when, TraceLevel level, std::string actor,
     records_[head_] = std::move(record);
     head_ = (head_ + 1) % capacity_;
     ++dropped_;
+    if (!overflow_warned_) {
+      // One warning so silent truncation of long soaks stays visible;
+      // the warning itself goes through the ring (evicting one more
+      // record, which dropped_ counts).
+      overflow_warned_ = true;
+      emit(when, TraceLevel::kWarn, "trace", "ring-full",
+           "capacity " + std::to_string(capacity_) +
+               " reached; oldest records are being dropped");
+    }
     return;
   }
   records_.push_back(std::move(record));
@@ -98,7 +107,7 @@ void json_escape(std::ostream& os, const std::string& s) {
 std::string Trace::to_json() const {
   normalize();
   std::ostringstream os;
-  os << "[";
+  os << "{\"dropped\":" << dropped_ << ",\"records\":[";
   for (std::size_t i = 0; i < records_.size(); ++i) {
     const TraceRecord& r = records_[i];
     if (i > 0) os << ",";
@@ -112,7 +121,7 @@ std::string Trace::to_json() const {
     json_escape(os, r.detail);
     os << "\"}";
   }
-  os << "]";
+  os << "]}";
   return os.str();
 }
 

@@ -37,6 +37,7 @@ class Trace {
     records_.clear();
     head_ = 0;
     dropped_ = 0;
+    overflow_warned_ = false;
   }
 
   /// Number of retained records whose event name matches exactly.
@@ -59,8 +60,9 @@ class Trace {
   /// Mirror records to a stream as they are emitted (for examples/demos).
   void echo_to(std::ostream* os) noexcept { echo_ = os; }
 
-  /// Serialize all retained records as a JSON array (for offline tooling);
-  /// strings are escaped per RFC 8259.
+  /// Serialize retained records for offline tooling:
+  /// {"dropped": N, "records": [...]} — `dropped` makes ring truncation
+  /// visible in the dump. Strings are escaped per RFC 8259.
   [[nodiscard]] std::string to_json() const;
 
  private:
@@ -72,6 +74,7 @@ class Trace {
   mutable std::size_t head_ = 0;  ///< ring start when size == capacity
   std::size_t capacity_ = 0;      ///< 0 = unbounded
   std::size_t dropped_ = 0;
+  bool overflow_warned_ = false;  ///< first-drop warning already emitted
   TraceLevel min_level_ = TraceLevel::kDebug;
   std::ostream* echo_ = nullptr;
 };

@@ -143,6 +143,15 @@ const Histogram* MetricsRegistry::find_histogram(const std::string& name,
   return s == nullptr ? nullptr : s->h.get();
 }
 
+double MetricsRegistry::counter_family_sum(const std::string& name) const {
+  const auto it = families_.find(name);
+  if (it == families_.end() || it->second.kind != Kind::kCounter) return 0;
+  double sum = 0;
+  for (const auto& [labels, s] : it->second.samples)
+    sum += static_cast<double>(s.c->value());
+  return sum;
+}
+
 namespace {
 
 /// Plain decimal formatting (no exponent surprises for small counts).
@@ -164,12 +173,29 @@ std::string with_le(const std::string& labels, const std::string& le) {
   return labels.substr(0, labels.size() - 1) + ",le=\"" + le + "\"}";
 }
 
+/// HELP text escaping per the exposition format: backslash and newline
+/// only (quotes are legal in HELP).
+std::string escape_help(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string MetricsRegistry::to_prometheus() const {
   std::ostringstream os;
   for (const auto& [name, f] : families_) {
-    os << "# HELP " << name << ' ' << f.help << '\n';
+    os << "# HELP " << name << ' ' << escape_help(f.help) << '\n';
     switch (f.kind) {
       case Kind::kCounter:
         os << "# TYPE " << name << " counter\n";

@@ -108,6 +108,10 @@ class MetricsRegistry {
                                         const Labels& labels = {}) const;
   [[nodiscard]] const Histogram* find_histogram(
       const std::string& name, const Labels& labels = {}) const;
+  /// Sum of every series' value in a counter family (0 if the family is
+  /// absent or not a counter family) — the fleet-wide total for families
+  /// that only register labeled series.
+  [[nodiscard]] double counter_family_sum(const std::string& name) const;
 
   /// Prometheus text exposition format (# HELP / # TYPE / samples).
   [[nodiscard]] std::string to_prometheus() const;

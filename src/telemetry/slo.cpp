@@ -1,0 +1,233 @@
+#include "telemetry/slo.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "telemetry/event_log.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace griphon::telemetry {
+
+void SloMonitor::add_objective(Objective objective) {
+  State s;
+  s.objective = std::move(objective);
+  objectives_.push_back(std::move(s));
+  if (telemetry_ != nullptr)
+    telemetry_->metrics()
+        .gauge("griphon_slo_alert_active",
+               "1 while the objective's alert is firing",
+               {{"objective", objectives_.back().objective.name}})
+        ->set(0);
+}
+
+void SloMonitor::start(SimTime period) {
+  stop();
+  period_ = period.count() > 0 ? period : SimTime{1};
+  running_ = true;
+  schedule_tick();
+}
+
+void SloMonitor::stop() {
+  if (!running_) return;
+  running_ = false;
+  engine_->cancel(pending_);
+  pending_ = sim::EventHandle{};
+}
+
+void SloMonitor::schedule_tick() {
+  pending_ = engine_->schedule(period_, [this] {
+    if (!running_) return;
+    evaluate_now();
+    schedule_tick();
+  });
+}
+
+std::size_t SloMonitor::evaluate_now() {
+  for (State& s : objectives_) evaluate(s);
+  if (telemetry_ != nullptr)
+    telemetry_->metrics()
+        .counter("griphon_slo_evaluations_total",
+                 "SLO evaluation sweeps performed")
+        ->inc();
+  return active_alerts();
+}
+
+void SloMonitor::evaluate(State& s) {
+  const double v = s.objective.value ? s.objective.value() : std::nan("");
+  if (std::isnan(v)) return;  // no data: leave both streaks untouched
+  s.last_value = v;
+  s.has_value = true;
+  const bool ok = v <= s.objective.bound;
+  Telemetry* t = telemetry_;
+  const Labels labels{{"objective", s.objective.name}};
+  if (!ok) {
+    s.good_streak = 0;
+    ++s.bad_streak;
+    if (t != nullptr)
+      t->metrics()
+          .counter("griphon_slo_violations_total",
+                   "Evaluations that measured the objective out of bound",
+                   labels)
+          ->inc();
+    if (!s.alerting && s.bad_streak >= s.objective.trip_after) {
+      s.alerting = true;
+      ++s.fired;
+      if (t != nullptr) {
+        t->metrics()
+            .counter("griphon_slo_alerts_fired_total",
+                     "Alerts fired after trip_after consecutive violations",
+                     labels)
+            ->inc();
+        t->metrics()
+            .gauge("griphon_slo_alert_active",
+                   "1 while the objective's alert is firing", labels)
+            ->set(1);
+        std::ostringstream msg;
+        msg << s.objective.name << " out of budget: " << std::fixed
+            << std::setprecision(3) << v << " > " << s.objective.bound
+            << " (" << s.objective.description << ")";
+        t->event(Severity::kError, "slo", "slo-monitor", msg.str());
+      }
+    }
+  } else {
+    s.bad_streak = 0;
+    ++s.good_streak;
+    if (s.alerting && s.good_streak >= s.objective.clear_after) {
+      s.alerting = false;
+      if (t != nullptr) {
+        t->metrics()
+            .gauge("griphon_slo_alert_active",
+                   "1 while the objective's alert is firing", labels)
+            ->set(0);
+        std::ostringstream msg;
+        msg << s.objective.name << " back in budget: " << std::fixed
+            << std::setprecision(3) << v << " <= " << s.objective.bound;
+        t->event(Severity::kInfo, "slo", "slo-monitor", msg.str());
+      }
+    }
+  }
+}
+
+std::vector<SloMonitor::StatusRow> SloMonitor::status() const {
+  std::vector<StatusRow> out;
+  out.reserve(objectives_.size());
+  for (const State& s : objectives_) {
+    StatusRow row;
+    row.name = s.objective.name;
+    row.description = s.objective.description;
+    row.value = s.last_value;
+    row.bound = s.objective.bound;
+    row.alerting = s.alerting;
+    row.fired_count = s.fired;
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::size_t SloMonitor::active_alerts() const noexcept {
+  std::size_t n = 0;
+  for (const State& s : objectives_)
+    if (s.alerting) ++n;
+  return n;
+}
+
+bool SloMonitor::alerting(const std::string& name) const {
+  for (const State& s : objectives_)
+    if (s.objective.name == name) return s.alerting;
+  return false;
+}
+
+std::string SloMonitor::render() const {
+  std::ostringstream os;
+  os << "SLOs (" << active_alerts() << " alerting):\n";
+  for (const State& s : objectives_) {
+    os << "  [" << (s.alerting ? "ALERT" : "  ok ") << "] " << std::left
+       << std::setw(24) << s.objective.name << std::right << " ";
+    if (s.has_value)
+      os << std::fixed << std::setprecision(3) << std::setw(10)
+         << s.last_value;
+    else
+      os << std::setw(10) << "n/a";
+    os << " / budget " << std::fixed << std::setprecision(3)
+       << s.objective.bound;
+    if (s.fired > 0) os << "  (fired " << s.fired << "x)";
+    os << "\n";
+  }
+  return os.str();
+}
+
+// --- canonical objectives ---------------------------------------------------
+
+namespace {
+double histogram_p95(const MetricsRegistry& m, const std::string& name) {
+  const Histogram* h = m.find_histogram(name);
+  if (h == nullptr || h->count() == 0) return std::nan("");
+  return h->quantile(0.95);
+}
+
+double counter_value(const MetricsRegistry& m, const std::string& name) {
+  const Counter* c = m.find_counter(name);
+  return c == nullptr ? 0.0 : static_cast<double>(c->value());
+}
+}  // namespace
+
+Objective setup_latency_objective(const MetricsRegistry& m,
+                                  double budget_seconds) {
+  Objective o;
+  o.name = "setup_latency_p95";
+  o.description = "connection setup p95 within the paper's budget";
+  o.bound = budget_seconds;
+  o.value = [&m] {
+    return histogram_p95(m, "griphon_controller_setup_seconds");
+  };
+  return o;
+}
+
+Objective restoration_time_objective(const MetricsRegistry& m,
+                                     double budget_seconds) {
+  Objective o;
+  o.name = "restoration_time_p95";
+  o.description = "restoration p95 within the paper's budget";
+  o.bound = budget_seconds;
+  o.value = [&m] {
+    return histogram_p95(m, "griphon_controller_restore_seconds");
+  };
+  return o;
+}
+
+Objective blocking_rate_objective(const MetricsRegistry& m, double ceiling) {
+  Objective o;
+  o.name = "blocking_rate";
+  o.description = "share of setups refused or failed";
+  o.bound = ceiling;
+  o.value = [&m] {
+    const double ok = counter_value(m, "griphon_controller_setups_ok_total");
+    const double bad =
+        counter_value(m, "griphon_controller_setups_failed_total");
+    const double total = ok + bad;
+    return total == 0 ? std::nan("") : bad / total;
+  };
+  return o;
+}
+
+Objective bod_deadline_miss_objective(const MetricsRegistry& m,
+                                      double ceiling) {
+  Objective o;
+  o.name = "bod_deadline_miss_rate";
+  o.description = "share of bulk transfers missing their deadline";
+  o.bound = ceiling;
+  o.value = [&m] {
+    // BoD counters are per-customer series only; each transfer increments
+    // exactly one series, so the family sum is the fleet total.
+    const double met =
+        m.counter_family_sum("griphon_bod_deadlines_met_total");
+    const double missed =
+        m.counter_family_sum("griphon_bod_deadlines_missed_total");
+    const double total = met + missed;
+    return total == 0 ? std::nan("") : missed / total;
+  };
+  return o;
+}
+
+}  // namespace griphon::telemetry

@@ -3,6 +3,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "telemetry/json_util.hpp"
+
 namespace griphon::telemetry {
 
 SpanId SpanTracer::start(std::string name, std::string actor,
@@ -83,34 +85,6 @@ void SpanTracer::clear() {
   index_.clear();
   open_ = 0;
 }
-
-namespace {
-void json_escape(std::ostream& os, const std::string& s) {
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        os << "\\\"";
-        break;
-      case '\\':
-        os << "\\\\";
-        break;
-      case '\n':
-        os << "\\n";
-        break;
-      case '\t':
-        os << "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
-             << static_cast<int>(c) << std::dec << std::setfill(' ');
-        } else {
-          os << c;
-        }
-    }
-  }
-}
-}  // namespace
 
 std::string SpanTracer::to_json(CorrelationTag tag) const {
   std::ostringstream os;

@@ -1,5 +1,5 @@
-// Telemetry facade: one MetricsRegistry + one SpanTracer per deployment,
-// stamped with the deployment's simulated clock.
+// Telemetry facade: one MetricsRegistry + one SpanTracer + one EventLog
+// per deployment, stamped with the deployment's simulated clock.
 //
 // Attach with NetworkModel::attach_telemetry(&t) before driving traffic;
 // every instrumented component (GriphonController, EmsServer, RwaEngine,
@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "sim/engine.hpp"
+#include "telemetry/event_log.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/span.hpp"
 
@@ -32,6 +33,8 @@ class Telemetry {
   }
   [[nodiscard]] SpanTracer& spans() noexcept { return spans_; }
   [[nodiscard]] const SpanTracer& spans() const noexcept { return spans_; }
+  [[nodiscard]] EventLog& events() noexcept { return events_; }
+  [[nodiscard]] const EventLog& events() const noexcept { return events_; }
   [[nodiscard]] SimTime now() const noexcept { return engine_->now(); }
 
   // Convenience wrappers stamping the simulated clock.
@@ -48,6 +51,12 @@ class Telemetry {
                      bool ok = true, std::string detail = {}) {
     return spans_.record(std::move(name), std::move(actor), tag, parent,
                          start, end, ok, std::move(detail));
+  }
+  /// Append a structured event stamped with the simulated clock.
+  void event(Severity severity, std::string category, std::string actor,
+             std::string message, CorrelationTag tag = 0) {
+    events_.log(engine_->now(), severity, std::move(category),
+                std::move(actor), std::move(message), tag);
   }
 
   // --- failure-detect bookkeeping -----------------------------------------
@@ -73,6 +82,7 @@ class Telemetry {
   sim::Engine* engine_;
   MetricsRegistry metrics_;
   SpanTracer spans_;
+  EventLog events_;
   std::unordered_map<std::uint64_t, SimTime> pending_detect_;
 };
 

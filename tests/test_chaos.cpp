@@ -9,21 +9,26 @@
 // and two runs of the same (plan, seed) produce identical histories.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <optional>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "bod/observability.hpp"
 #include "bod/transfer_scheduler.hpp"
 #include "chaos/fault_injector.hpp"
 #include "chaos/fault_plan.hpp"
 #include "core/ems_health.hpp"
 #include "core/failure_manager.hpp"
+#include "core/observability.hpp"
 #include "core/scenario.hpp"
 #include "ems/ems_server.hpp"
 #include "proto/client.hpp"
+#include "telemetry/sampler.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace_export.hpp"
 
 namespace griphon::chaos {
 namespace {
@@ -625,6 +630,12 @@ SoakOutcome run_chaos_soak(std::uint64_t seed, const FaultPlan& plan) {
   injector.set_telemetry(&tel);
   injector.arm();
 
+  // Gauge sampler in manual mode: the soak relies on unbounded engine.run()
+  // to drain, which a recurring tick would never let return, so probes are
+  // snapshotted at round boundaries instead of on a sim-clock period.
+  telemetry::GaugeSampler sampler(&s.engine, &tel);
+  core::install_standard_probes(sampler, *s.controller, *s.model);
+
   bod::ReservationCalendar cal(soak_cal_params());
   bod::AdmissionController adm(&s.engine);
   adm.set_policy(s.csp, soak_policy());
@@ -633,6 +644,11 @@ SoakOutcome run_chaos_soak(std::uint64_t seed, const FaultPlan& plan) {
   sp.unavailable_defer = seconds(30);
   bod::TransferScheduler sched(s.controller.get(), &cal, &adm, sp);
   sched.register_portal(s.portal.get());
+  {
+    std::vector<LinkId> links;
+    for (const auto& l : s.model->graph().links()) links.push_back(l.id);
+    bod::install_calendar_probes(sampler, cal, s.engine, std::move(links));
+  }
 
   const MuxponderId sites[3] = {s.site_i, s.site_iii, s.site_iv};
   std::vector<TransferId> transfers;
@@ -678,6 +694,7 @@ SoakOutcome run_chaos_soak(std::uint64_t seed, const FaultPlan& plan) {
       });
     }
     s.engine.run_until(s.engine.now() + from_seconds(rng.uniform(60, 400)));
+    sampler.sample_now();
   }
 
   // Stand the faults down, let every restart / transfer window / retry
@@ -781,6 +798,16 @@ SoakOutcome run_chaos_soak(std::uint64_t seed, const FaultPlan& plan) {
     d << " t" << id.value() << "="
       << (status.ok() ? static_cast<int>(status.value().state) : -1);
   }
+  // The chaos-soak CI lane validates these with tools/validate_trace.py
+  // and uploads them; only the heaviest plan exports, to keep test output
+  // lean. Both same-seed runs write the same bytes (determinism).
+  if (plan.name == "combined") {
+    if (std::ofstream f("trace_soak_combined.json"); f)
+      f << telemetry::TraceExporter().to_json(tel) << "\n";
+    if (std::ofstream f("SERIES_soak_combined.json"); f)
+      f << sampler.rollups_json();
+  }
+
   s.model->attach_telemetry(nullptr);
   out.digest = d.str();
   out.ran = true;

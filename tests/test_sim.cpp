@@ -174,8 +174,10 @@ TEST(Trace, JsonExportIsWellFormedAndEscaped) {
          "path \"I-IV\"\nline2");
   t.emit(seconds(2), TraceLevel::kWarn, "plant", "fiber-cut", "");
   const std::string json = t.to_json();
-  EXPECT_EQ(json.front(), '[');
-  EXPECT_EQ(json.back(), ']');
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"dropped\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"records\":["), std::string::npos);
   EXPECT_NE(json.find("\"t\":1.500000"), std::string::npos);
   EXPECT_NE(json.find("\"actor\":\"controller\""), std::string::npos);
   EXPECT_NE(json.find("\\\"I-IV\\\""), std::string::npos);  // escaped quotes
@@ -186,7 +188,7 @@ TEST(Trace, JsonExportIsWellFormedAndEscaped) {
 
 TEST(Trace, JsonEmptyTrace) {
   Trace t;
-  EXPECT_EQ(t.to_json(), "[]");
+  EXPECT_EQ(t.to_json(), "{\"dropped\":0,\"records\":[]}");
 }
 
 TEST(Trace, ClearEmpties) {
@@ -225,13 +227,36 @@ TEST(Trace, RingKeepsNewestInOrder) {
   EXPECT_EQ(t.records()[0].event, "e7");
   EXPECT_EQ(t.records()[1].event, "e8");
   EXPECT_EQ(t.records()[2].event, "e9");
-  EXPECT_EQ(t.dropped_count(), 7u);
+  // 10 emits + 1 ring-full warning into a ring of 3: 8 evicted.
+  EXPECT_EQ(t.dropped_count(), 8u);
   // Emitting after a read (which normalizes the ring) keeps order right.
   t.emit(seconds(10), TraceLevel::kInfo, "a", "e10");
   ASSERT_EQ(t.records().size(), 3u);
   EXPECT_EQ(t.records()[0].event, "e8");
   EXPECT_EQ(t.records()[2].event, "e10");
-  EXPECT_EQ(t.dropped_count(), 8u);
+  EXPECT_EQ(t.dropped_count(), 9u);
+}
+
+TEST(Trace, FirstOverflowEmitsOneWarning) {
+  Trace t;
+  t.set_capacity(4);
+  for (int i = 0; i < 20; ++i)
+    t.emit(seconds(i), TraceLevel::kInfo, "a", "e" + std::to_string(i));
+  // Exactly one ring-full warning for the whole overflow run — it rode
+  // the ring itself (and may since have been evicted), never repeating.
+  std::size_t warned = 0;
+  for (const auto& r : t.records())
+    if (r.event == "ring-full") ++warned;
+  EXPECT_LE(warned, 1u);
+  EXPECT_EQ(t.dropped_count(), 17u);  // 20 emits + 1 warning - 4 retained
+
+  // A fresh overflow run after clear() warns again.
+  t.clear();
+  EXPECT_EQ(t.dropped_count(), 0u);
+  for (int i = 0; i < 5; ++i)
+    t.emit(seconds(i), TraceLevel::kInfo, "a", "x");
+  EXPECT_EQ(t.count("ring-full"), 1u);
+  EXPECT_NE(t.to_json().find("\"dropped\":2"), std::string::npos);
 }
 
 TEST(Trace, ShrinkingCapacityDropsOldest) {
@@ -250,11 +275,16 @@ TEST(Trace, RingJsonAndCountSeeOnlyRetained) {
   t.set_capacity(2);
   for (int i = 0; i < 4; ++i)
     t.emit(seconds(i), TraceLevel::kInfo, "a", "e" + std::to_string(i));
+  // Retained: the ring-full warning (emitted on the first eviction, then
+  // aged like any record) and e3; the dump's `dropped` makes the
+  // truncation visible.
   EXPECT_EQ(t.count("e0"), 0u);
   EXPECT_EQ(t.count("e3"), 1u);
+  EXPECT_EQ(t.count("ring-full"), 1u);
   const std::string json = t.to_json();
   EXPECT_EQ(json.find("e0"), std::string::npos);
-  EXPECT_LT(json.find("e2"), json.find("e3"));  // oldest first
+  EXPECT_NE(json.find("\"dropped\":3"), std::string::npos);
+  EXPECT_LT(json.find("ring-full"), json.find("e3"));  // oldest first
   t.clear();
   EXPECT_TRUE(t.records().empty());
   EXPECT_EQ(t.dropped_count(), 0u);

@@ -30,6 +30,15 @@ Whether "worse" means higher or lower depends on the metric:
   * everything else (throughput, counts of good events, percentages of
     good events) is higher-is-better.
 
+Series mode (--series): compare SERIES_*.json gauge-sampler rollups
+(telemetry::GaugeSampler::rollups_json, DESIGN.md §14) instead of bench
+rows. Each file is {"series": [{"name", "unit", "count", "min", "max",
+"mean", "last"}, ...]}; the mean and max of every series become rows keyed
+by (<file stem>, <series>_mean / <series>_max), so the same noise-floor
+config, history stash and verdict machinery applies — give drifty gauges
+(queue depths under chaos) their own floors via patterns like
+"chaos/ems_*_queue_depth_max".
+
 Exit status: 1 if any regression was flagged, 0 otherwise. A missing
 baseline is not an error — first runs and cache evictions print a note and
 exit 0 so CI lanes stay green while still publishing the report artifact.
@@ -56,6 +65,11 @@ LOWER_IS_BETTER_HINTS = (
     "p50",
     "p95",
     "p99",
+    # gauge-sampler series (--series mode)
+    "queue_depth",
+    "blocked",
+    "breaker_open",
+    "dropped",
 )
 
 
@@ -120,6 +134,31 @@ def load_rows(directory: str) -> dict[tuple[str, str], dict]:
     return rows
 
 
+def load_series_rows(directory: str) -> dict[tuple[str, str], dict]:
+    """All SERIES_*.json rollups in `directory`: the mean and max of each
+    sampled series, keyed by (file stem, <series>_mean / <series>_max)."""
+    rows: dict[tuple[str, str], dict] = {}
+    for path in sorted(glob.glob(os.path.join(directory, "SERIES_*.json"))):
+        stem = os.path.basename(path)[len("SERIES_"):-len(".json")]
+        try:
+            with open(path, encoding="utf-8") as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"bench_diff: skipping unreadable {path}: {err}")
+            continue
+        for s in data.get("series", []):
+            try:
+                name, unit = str(s["name"]), str(s.get("unit", ""))
+                rows[(stem, name + "_mean")] = {
+                    "value": float(s["mean"]), "unit": unit}
+                rows[(stem, name + "_max")] = {
+                    "value": float(s["max"]), "unit": unit}
+            except (KeyError, TypeError, ValueError):
+                print(f"bench_diff: skipping malformed series in {path}: "
+                      f"{s}")
+    return rows
+
+
 def history_entries(history_dir: str) -> list[str]:
     """Baseline directories under `history_dir`, oldest first."""
     if not os.path.isdir(history_dir):
@@ -139,10 +178,10 @@ def pick_history_baseline(history_dir: str, sha: str | None) -> str | None:
 
 
 def stash_history(history_dir: str, sha: str, current_dir: str,
-                  keep: int) -> None:
+                  keep: int, pattern: str = "BENCH_*.json") -> None:
     dest = os.path.join(history_dir, sha)
     os.makedirs(dest, exist_ok=True)
-    for path in glob.glob(os.path.join(current_dir, "BENCH_*.json")):
+    for path in glob.glob(os.path.join(current_dir, pattern)):
         shutil.copy(path, dest)
     # Touch so this entry sorts newest even when re-running a sha.
     os.utime(dest)
@@ -173,23 +212,28 @@ def main() -> int:
                         help="historical baselines to retain (default 10)")
     parser.add_argument("--report", default=None,
                         help="also write the comparison table to this file")
+    parser.add_argument("--series", action="store_true",
+                        help="compare SERIES_*.json gauge-sampler rollups "
+                             "(mean/max per series) instead of BENCH rows")
     args = parser.parse_args()
 
     noise = NoiseModel.load(args.noise_config, args.threshold)
+    load = load_series_rows if args.series else load_rows
+    pattern = "SERIES_*.json" if args.series else "BENCH_*.json"
 
-    current = load_rows(args.current)
+    current = load(args.current)
     if not current:
-        print(f"bench_diff: no BENCH_*.json under {args.current}")
+        print(f"bench_diff: no {pattern} under {args.current}")
         return 1
 
     baseline_dir = args.baseline
-    if (baseline_dir is None or not load_rows(baseline_dir)) \
+    if (baseline_dir is None or not load(baseline_dir)) \
             and args.history_dir:
         picked = pick_history_baseline(args.history_dir, args.sha)
         if picked:
             print(f"bench_diff: baseline from history: {picked}")
             baseline_dir = picked
-    baseline = load_rows(baseline_dir) if baseline_dir else {}
+    baseline = load(baseline_dir) if baseline_dir else {}
 
     lines: list[str] = []
     regressions: list[str] = []
@@ -250,7 +294,8 @@ def main() -> int:
             f.write(text + "\n")
 
     if args.history_dir and args.sha:
-        stash_history(args.history_dir, args.sha, args.current, args.keep)
+        stash_history(args.history_dir, args.sha, args.current, args.keep,
+                      pattern)
         print(f"bench_diff: stashed {args.sha} in {args.history_dir} "
               f"(keep {args.keep})")
 

@@ -5,7 +5,10 @@ Checks (DESIGN.md §10):
 
   metric-name      Metric names registered on telemetry::MetricsRegistry must
                    follow the `griphon_<layer>_<name>` scheme (lower-case
-                   [a-z0-9_], >= 3 tokens). Literal name arguments are checked
+                   [a-z0-9_], >= 3 tokens), and <layer> must come from the
+                   known-layer allowlist (KNOWN_LAYERS below — includes the
+                   observability families `griphon_slo_*` and
+                   `griphon_sampler_*`). Literal name arguments are checked
                    in full; dynamic names built from a literal prefix (e.g.
                    "griphon_ems_" + domain + "_suffix") have prefix and
                    suffix literals checked against the same grammar.
@@ -166,6 +169,30 @@ FULL_NAME_RE = re.compile(r"^griphon(_[a-z0-9]+){2,}$")
 PREFIX_NAME_RE = re.compile(r"^griphon(_[a-z0-9]+)+_$")
 SUFFIX_NAME_RE = re.compile(r"^[a-z0-9]+(_[a-z0-9]+)*$")
 
+# The <layer> token of griphon_<layer>_<name>. A metric outside these
+# families is either a typo (griphon_slo vs griphon_sl0) or a new layer —
+# new layers are fine, but must be added here deliberately so the family
+# namespace stays curated (DESIGN.md §10, §14).
+KNOWN_LAYERS = frozenset({
+    "bod",        # reservation calendar / admission / transfer scheduler
+    "chaos",      # fault injector
+    "controller", # GriphonController setup/restore/resync
+    "ems",        # per-domain EMS servers
+    "failure",    # failure manager / alarm correlation
+    "otn",        # OTN mux layer
+    "plant",      # inventory / optical plant gauges
+    "portal",     # customer-facing portal
+    "rwa",        # routing + wavelength assignment
+    "sampler",    # telemetry::GaugeSampler self-metrics
+    "slo",        # telemetry::SloMonitor alert/violation metrics
+})
+
+
+def layer_of(name: str) -> str:
+    """The <layer> token of a scheme-conformant name or prefix."""
+    parts = name.split("_")
+    return parts[1] if len(parts) > 1 else ""
+
 REGISTER_LITERAL_RE = re.compile(
     r"\b(?:counter|gauge|histogram)\s*\(\s*\"(?P<name>[^\"]*)\"", re.S
 )
@@ -207,6 +234,17 @@ def check_metric_names(findings: list[Finding]) -> None:
                         "(lower-case, >= 3 tokens)",
                     )
                 )
+            elif layer_of(name) not in KNOWN_LAYERS:
+                findings.append(
+                    Finding(
+                        path,
+                        line_of(text, m.start()),
+                        "metric-name",
+                        f'"{name}": layer "{layer_of(name)}" is not in the '
+                        "known-layer allowlist (add to KNOWN_LAYERS in "
+                        "tools/griphon_lint.py if intentional)",
+                    )
+                )
         for m in REGISTER_DYNAMIC_RE.finditer(text):
             suffix = m.group("suffix")
             if not SUFFIX_NAME_RE.match(suffix):
@@ -223,7 +261,9 @@ def check_metric_names(findings: list[Finding]) -> None:
         # dynamic registration; it must itself be scheme-conformant.
         for m in GRIPHON_LITERAL_RE.finditer(text):
             lit = m.group("lit")
-            if lit.endswith("_") and not PREFIX_NAME_RE.match(lit):
+            if not lit.endswith("_"):
+                continue
+            if not PREFIX_NAME_RE.match(lit):
                 findings.append(
                     Finding(
                         path,
@@ -231,6 +271,18 @@ def check_metric_names(findings: list[Finding]) -> None:
                         "metric-name",
                         f'metric-name prefix "{lit}" must be '
                         "griphon_<layer>_...",
+                    )
+                )
+            elif layer_of(lit) not in KNOWN_LAYERS:
+                findings.append(
+                    Finding(
+                        path,
+                        line_of(text, m.start()),
+                        "metric-name",
+                        f'metric-name prefix "{lit}": layer '
+                        f'"{layer_of(lit)}" is not in the known-layer '
+                        "allowlist (add to KNOWN_LAYERS in "
+                        "tools/griphon_lint.py if intentional)",
                     )
                 )
 

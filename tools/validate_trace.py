@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""validate_trace.py: structural checks for exported Chrome traces.
+
+The telemetry::TraceExporter (DESIGN.md §14) serializes span trees, DAG
+executor steps and chaos fault events to Chrome Trace Event JSON. Perfetto
+and chrome://tracing are forgiving loaders — they silently drop or
+misrender malformed events — so CI validates the structure strictly before
+uploading trace artifacts:
+
+  * top level is {"traceEvents": [...]} (displayTimeUnit optional);
+  * every event carries the required fields for its phase: name/ph/pid/tid
+    always, ts for B/E/i (metadata events are ts-free);
+  * phases are limited to what the exporter emits: B, E, i, M;
+  * B/E events pair up stack-wise per (pid, tid) with matching names —
+    an E without an open B, a leftover B, or a name mismatch on pop is
+    fatal (the exporter closes open-at-export spans explicitly, flagging
+    them with args.incomplete instead of leaving the pair broken);
+  * ts is integer microseconds, monotonically non-decreasing per
+    (pid, tid) lane in file order (Chrome's JSON loader sorts stably, so
+    in-order files render identically everywhere);
+  * instant events use process scope (s: "p");
+  * M events are process_name / thread_name with an args.name string.
+
+Usage:
+    tools/validate_trace.py trace1.json [trace2.json ...]
+
+Exit status: 0 all valid, 1 any violation or unreadable file, 2 usage.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+ALLOWED_PHASES = {"B", "E", "i", "M"}
+ALLOWED_METADATA = {"process_name", "thread_name"}
+
+
+def fail(path: str, index: int, message: str, errors: list[str]) -> None:
+    errors.append(f"{path}: event[{index}]: {message}")
+
+
+def validate_file(path: str) -> list[str]:
+    errors: list[str] = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable: {exc}"]
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return [f"{path}: top level must be an object with 'traceEvents'"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return [f"{path}: 'traceEvents' must be an array"]
+    if not events:
+        errors.append(f"{path}: empty trace (no events)")
+
+    # Per-(pid, tid) open-B stack and last-seen ts.
+    stacks: dict[tuple, list[tuple[int, str]]] = {}
+    last_ts: dict[tuple, int] = {}
+
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(path, i, "event is not an object", errors)
+            continue
+        ph = ev.get("ph")
+        if ph not in ALLOWED_PHASES:
+            fail(path, i, f"phase {ph!r} not in {sorted(ALLOWED_PHASES)}",
+                 errors)
+            continue
+        for field in ("name", "pid", "tid"):
+            if field not in ev:
+                fail(path, i, f"{ph} event missing required field "
+                     f"{field!r}", errors)
+        if not isinstance(ev.get("name"), str) or not ev.get("name"):
+            fail(path, i, "name must be a non-empty string", errors)
+        lane = (ev.get("pid"), ev.get("tid"))
+
+        if ph == "M":
+            if ev.get("name") not in ALLOWED_METADATA:
+                fail(path, i, f"metadata name {ev.get('name')!r} not in "
+                     f"{sorted(ALLOWED_METADATA)}", errors)
+            args = ev.get("args")
+            if not isinstance(args, dict) or \
+                    not isinstance(args.get("name"), str):
+                fail(path, i, "metadata event needs args.name (string)",
+                     errors)
+            continue
+
+        ts = ev.get("ts")
+        if not isinstance(ts, int) or isinstance(ts, bool):
+            fail(path, i, f"ts must be integer microseconds, got {ts!r}",
+                 errors)
+            continue
+        if lane in last_ts and ts < last_ts[lane]:
+            fail(path, i, f"ts {ts} goes backwards on lane pid={lane[0]} "
+                 f"tid={lane[1]} (prev {last_ts[lane]})", errors)
+        last_ts[lane] = ts
+
+        if ph == "B":
+            stacks.setdefault(lane, []).append((i, ev["name"]))
+        elif ph == "E":
+            stack = stacks.get(lane) or []
+            if not stack:
+                fail(path, i, f"E {ev['name']!r} with no open B on lane "
+                     f"pid={lane[0]} tid={lane[1]}", errors)
+            else:
+                opened_at, open_name = stack.pop()
+                # The exporter emits E with the span name repeated; Chrome
+                # tolerates nameless E but a mismatch means crossed pairs.
+                if ev["name"] != open_name:
+                    fail(path, i, f"E {ev['name']!r} closes B {open_name!r} "
+                         f"(opened at event[{opened_at}]) — crossed pair",
+                         errors)
+        elif ph == "i":
+            if ev.get("s") != "p":
+                fail(path, i, f"instant event scope {ev.get('s')!r} — "
+                     "exporter uses process scope (s: 'p')", errors)
+
+    for lane, stack in stacks.items():
+        for opened_at, name in stack:
+            errors.append(
+                f"{path}: event[{opened_at}]: B {name!r} on lane "
+                f"pid={lane[0]} tid={lane[1]} never closed")
+    return errors
+
+
+def main() -> int:
+    paths = sys.argv[1:]
+    if not paths:
+        print(__doc__, file=sys.stderr)
+        return 2
+    total_errors = 0
+    for path in paths:
+        errors = validate_file(path)
+        for e in errors:
+            print(e)
+        total_errors += len(errors)
+        if not errors:
+            with open(path, encoding="utf-8") as fh:
+                n = len(json.load(fh)["traceEvents"])
+            print(f"{path}: OK ({n} events)")
+    if total_errors:
+        print(f"validate_trace: {total_errors} violation(s)")
+        return 1
+    print(f"validate_trace: {len(paths)} file(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
