@@ -227,6 +227,8 @@ int main() {
   const auto w0 = Clock::now();
   engine.run_until(hours(24 * 3));  // drain: longest deadline < 2 days
   const auto w1 = Clock::now();
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded bench main
+  // reading its own environment once; no concurrent setenv exists here.
   if (std::getenv("BENCH_CALENDAR_DUMP_METRICS"))
     std::cout << sink.metrics().to_prometheus() << '\n';
 

@@ -1,0 +1,155 @@
+// Annotated synchronization primitives (DESIGN.md §15).
+//
+// Every lock in GRIPhoN goes through these wrappers, never through raw
+// std::mutex / std::lock_guard (enforced by the griphon-lint `raw-sync`
+// check). The wrappers carry Clang capability attributes, so under
+// `clang++ -Wthread-safety -Wthread-safety-beta` lock discipline is a
+// *compile-time* property: a `GUARDED_BY(mu_)` member touched without the
+// mutex held, a function called without its `REQUIRES` capability, or a
+// lock taken while `EXCLUDES` says it must be free is a build error — not
+// a race a TSan run may or may not happen to execute. Under GCC (which has
+// no capability analysis) the attribute macros expand to nothing and the
+// wrappers are zero-cost pass-throughs to the standard primitives; the
+// TSan CI lane then checks the same discipline dynamically.
+//
+// Usage pattern:
+//
+//   class Registry {
+//    public:
+//     void add(Entry e) EXCLUDES(mu_) {
+//       MutexLock lock(&mu_);
+//       entries_.push_back(std::move(e));
+//     }
+//    private:
+//     mutable Mutex mu_;
+//     std::vector<Entry> entries_ GUARDED_BY(mu_);
+//   };
+#pragma once
+
+#include <condition_variable>  // griphon-lint: allow(raw-sync) wrapper implementation
+#include <mutex>               // griphon-lint: allow(raw-sync) wrapper implementation
+
+// --- capability attribute macros -------------------------------------------
+// Clang exposes the analysis through __attribute__((capability)) et al.;
+// other compilers parse none of them, so the macros vanish there. The
+// spellings follow the Clang Thread Safety Analysis documentation.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define GRIPHON_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef GRIPHON_THREAD_ANNOTATION
+#define GRIPHON_THREAD_ANNOTATION(x)  // non-Clang: no capability analysis
+#endif
+
+/// Marks a class as a capability (lockable resource) named `x` in
+/// diagnostics, e.g. CAPABILITY("mutex").
+#define CAPABILITY(x) GRIPHON_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability.
+#define SCOPED_CAPABILITY GRIPHON_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member `x` may only be read/written while holding the named mutex.
+#define GUARDED_BY(x) GRIPHON_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member: the *pointee* is protected by the named mutex (the
+/// pointer itself is not).
+#define PT_GUARDED_BY(x) GRIPHON_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function may only be called while already holding the capability.
+#define REQUIRES(...) \
+  GRIPHON_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function may only be called while NOT holding the capability (it
+/// acquires it internally); prevents self-deadlock at compile time.
+#define EXCLUDES(...) GRIPHON_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the capability and holds it past return.
+#define ACQUIRE(...) \
+  GRIPHON_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases a held capability.
+#define RELEASE(...) \
+  GRIPHON_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `result`.
+#define TRY_ACQUIRE(result, ...) \
+  GRIPHON_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// The function returns a reference to the named capability (lock
+/// accessors).
+#define RETURN_CAPABILITY(x) GRIPHON_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's lock discipline is intentionally invisible
+/// to the analysis. Every use must carry a justification comment and is
+/// subject to the suppression policy in DESIGN.md §15.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  GRIPHON_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace griphon {
+
+class CondVar;
+
+/// Annotated exclusive mutex. Prefer MutexLock over manual lock()/unlock().
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;  // griphon-lint: allow(raw-sync) wrapper implementation
+};
+
+/// RAII scoped lock over Mutex (the std::lock_guard of this codebase).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable paired with Mutex. wait() must be called with the
+/// mutex held (enforced by REQUIRES under Clang); it atomically releases
+/// the mutex while blocked and re-acquires it before returning, exactly
+/// like std::condition_variable.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock  // griphon-lint: allow(raw-sync) wrapper implementation
+        lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // caller still owns the mutex, as REQUIRES promises
+  }
+
+  /// Waits until `pred()` is true, re-checking after every wakeup. `pred`
+  /// runs with the mutex held.
+  template <typename Pred>
+  void wait_until(Mutex& mu, Pred pred) REQUIRES(mu) {
+    while (!pred()) wait(mu);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  // griphon-lint: allow(raw-sync) wrapper implementation
+  std::condition_variable cv_;
+};
+
+}  // namespace griphon

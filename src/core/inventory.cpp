@@ -4,61 +4,6 @@
 
 namespace griphon::core {
 
-dwdm::ChannelSet& Inventory::reserved_on(LinkId link) {
-  if (link.value() >= reserved_by_link_.size())
-    reserved_by_link_.resize(link.value() + 1);
-  return reserved_by_link_[link.value()];
-}
-
-void Inventory::reserve_channel(LinkId link, dwdm::ChannelIndex ch) {
-  dwdm::ChannelSet& set = reserved_on(link);
-  if (!set.contains(ch)) {
-    set.add(ch);
-    ++channel_reservation_count_;
-  }
-}
-
-void Inventory::release_channel(LinkId link, dwdm::ChannelIndex ch) {
-  if (link.value() >= reserved_by_link_.size()) return;
-  dwdm::ChannelSet& set = reserved_by_link_[link.value()];
-  if (set.contains(ch)) {
-    set.remove(ch);
-    --channel_reservation_count_;
-  }
-}
-
-bool Inventory::channel_reserved(LinkId link, dwdm::ChannelIndex ch) const {
-  return link.value() < reserved_by_link_.size() &&
-         reserved_by_link_[link.value()].contains(ch);
-}
-
-void Inventory::reserve_ot(TransponderId id) { reserved_ots_.insert(id); }
-void Inventory::release_ot(TransponderId id) { reserved_ots_.erase(id); }
-bool Inventory::ot_reserved(TransponderId id) const {
-  return reserved_ots_.contains(id);
-}
-
-void Inventory::reserve_regen(RegenId id) { reserved_regens_.insert(id); }
-void Inventory::release_regen(RegenId id) { reserved_regens_.erase(id); }
-bool Inventory::regen_reserved(RegenId id) const {
-  return reserved_regens_.contains(id);
-}
-
-dwdm::ChannelSet Inventory::available_on_link(LinkId link) const {
-  if (model_->link_failed(link)) return {};
-  const auto& l = model_->graph().link(link);
-  const auto& ra = model_->roadm_at(l.a);
-  const auto& rb = model_->roadm_at(l.b);
-  const auto da = ra.degree_for(link);
-  const auto db = rb.degree_for(link);
-  if (!da || !db) return {};
-  dwdm::ChannelSet set = ra.free_channels(*da);
-  set.intersect(rb.free_channels(*db));
-  if (link.value() < reserved_by_link_.size())
-    set.subtract(reserved_by_link_[link.value()]);
-  return set;
-}
-
 namespace {
 /// Tuned-but-inactive OTs stay in the shared pool (the laser is lit but the
 /// transponder carries nothing; it retunes on next use).
@@ -68,57 +13,237 @@ bool ot_is_free(const dwdm::Transponder& ot) {
 }
 }  // namespace
 
-void Inventory::ensure_site_pools() const {
-  const auto& ots = model_->ots();
-  const std::size_t sites = model_->graph().nodes().size();
-  if (ots_by_site_.size() != sites || indexed_ot_count_ != ots.size()) {
-    ots_by_site_.assign(sites, {});
-    for (const auto& ot : ots)
-      if (ot->site().value() < sites)
-        ots_by_site_[ot->site().value()].push_back(ot.get());
-    for (auto& pool : ots_by_site_)
-      std::sort(pool.begin(), pool.end(),
-                [](const dwdm::Transponder* a, const dwdm::Transponder* b) {
-                  if (a->line_rate() != b->line_rate())
-                    return a->line_rate() < b->line_rate();
-                  return a->id() < b->id();
-                });
-    indexed_ot_count_ = ots.size();
+// --- Snapshot reads ---------------------------------------------------------
+
+std::optional<TransponderId> Inventory::Snapshot::find_free_ot(
+    NodeId node, DataRate min_rate) const {
+  if (node.value() >= pools_->ots_by_site.size()) return std::nullopt;
+  // Sorted by (line_rate, id): first free adequate entry is the smallest
+  // adequate rate with the lowest id — identical to the live query.
+  for (const OtEntry& e : pools_->ots_by_site[node.value()]) {
+    if (e.rate < min_rate) continue;
+    if (!detail::bit_test(ot_free_bits_, e.id.value())) continue;
+    return e.id;
   }
-  const auto& regens = model_->regens();
-  if (regens_by_site_.size() != sites ||
-      indexed_regen_count_ != regens.size()) {
-    regens_by_site_.assign(sites, {});
-    for (const auto& regen : regens)
-      if (regen->site().value() < sites)
-        regens_by_site_[regen->site().value()].push_back(regen.get());
-    indexed_regen_count_ = regens.size();
+  return std::nullopt;
+}
+
+std::size_t Inventory::Snapshot::free_ot_count(NodeId node,
+                                               DataRate min_rate) const {
+  if (node.value() >= pools_->ots_by_site.size()) return 0;
+  std::size_t n = 0;
+  for (const OtEntry& e : pools_->ots_by_site[node.value()])
+    if (e.rate >= min_rate && detail::bit_test(ot_free_bits_, e.id.value()))
+      ++n;
+  return n;
+}
+
+std::optional<RegenId> Inventory::Snapshot::find_free_regen(
+    NodeId node, DataRate min_rate, const std::set<RegenId>& exclude) const {
+  if (node.value() >= pools_->regens_by_site.size()) return std::nullopt;
+  for (const RegenEntry& e : pools_->regens_by_site[node.value()]) {
+    if (!detail::bit_test(regen_free_bits_, e.id.value())) continue;
+    if (e.rate < min_rate) continue;
+    if (exclude.contains(e.id)) continue;
+    return e.id;
+  }
+  return std::nullopt;
+}
+
+std::size_t Inventory::Snapshot::free_regen_count(NodeId node,
+                                                  DataRate min_rate) const {
+  if (node.value() >= pools_->regens_by_site.size()) return 0;
+  std::size_t n = 0;
+  for (const RegenEntry& e : pools_->regens_by_site[node.value()])
+    if (e.rate >= min_rate && detail::bit_test(regen_free_bits_, e.id.value()))
+      ++n;
+  return n;
+}
+
+// --- reservation overlay ----------------------------------------------------
+
+dwdm::ChannelSet& Inventory::reserved_on_locked(LinkId link) {
+  if (link.value() >= reserved_by_link_.size())
+    reserved_by_link_.resize(link.value() + 1);
+  return reserved_by_link_[link.value()];
+}
+
+void Inventory::reserve_channel(LinkId link, dwdm::ChannelIndex ch) {
+  MutexLock lock(&mu_);
+  dwdm::ChannelSet& set = reserved_on_locked(link);
+  if (!set.contains(ch)) {
+    set.add(ch);
+    ++channel_reservation_count_;
+    if (built_ && link.value() < net_avail_.size())
+      net_avail_[link.value()].remove(ch);
+    overlay_dirty_ = true;
   }
 }
 
-std::optional<TransponderId> Inventory::find_free_ot(
-    NodeId node, DataRate min_rate) const {
-  ensure_site_pools();
-  if (node.value() >= ots_by_site_.size()) return std::nullopt;
+void Inventory::release_channel(LinkId link, dwdm::ChannelIndex ch) {
+  MutexLock lock(&mu_);
+  if (link.value() >= reserved_by_link_.size()) return;
+  dwdm::ChannelSet& set = reserved_by_link_[link.value()];
+  if (set.contains(ch)) {
+    set.remove(ch);
+    --channel_reservation_count_;
+    // Back into the net availability iff the device layer still offers it.
+    if (built_ && link.value() < net_avail_.size() &&
+        device_avail_[link.value()].contains(ch))
+      net_avail_[link.value()].add(ch);
+    overlay_dirty_ = true;
+  }
+}
+
+bool Inventory::channel_reserved_locked(LinkId link,
+                                        dwdm::ChannelIndex ch) const {
+  return link.value() < reserved_by_link_.size() &&
+         reserved_by_link_[link.value()].contains(ch);
+}
+
+bool Inventory::channel_reserved(LinkId link, dwdm::ChannelIndex ch) const {
+  MutexLock lock(&mu_);
+  return channel_reserved_locked(link, ch);
+}
+
+void Inventory::reserve_ot(TransponderId id) {
+  MutexLock lock(&mu_);
+  if (!detail::bit_test(reserved_ot_bits_, id.value())) {
+    detail::bit_set(reserved_ot_bits_, id.value());
+    ++reserved_ot_count_;
+    overlay_dirty_ = true;
+  }
+}
+
+void Inventory::release_ot(TransponderId id) {
+  MutexLock lock(&mu_);
+  if (detail::bit_test(reserved_ot_bits_, id.value())) {
+    detail::bit_clear(reserved_ot_bits_, id.value());
+    --reserved_ot_count_;
+    overlay_dirty_ = true;
+  }
+}
+
+bool Inventory::ot_reserved_locked(TransponderId id) const {
+  return detail::bit_test(reserved_ot_bits_, id.value());
+}
+
+bool Inventory::ot_reserved(TransponderId id) const {
+  MutexLock lock(&mu_);
+  return ot_reserved_locked(id);
+}
+
+void Inventory::reserve_regen(RegenId id) {
+  MutexLock lock(&mu_);
+  if (!detail::bit_test(reserved_regen_bits_, id.value())) {
+    detail::bit_set(reserved_regen_bits_, id.value());
+    ++reserved_regen_count_;
+    overlay_dirty_ = true;
+  }
+}
+
+void Inventory::release_regen(RegenId id) {
+  MutexLock lock(&mu_);
+  if (detail::bit_test(reserved_regen_bits_, id.value())) {
+    detail::bit_clear(reserved_regen_bits_, id.value());
+    --reserved_regen_count_;
+    overlay_dirty_ = true;
+  }
+}
+
+bool Inventory::regen_reserved_locked(RegenId id) const {
+  return detail::bit_test(reserved_regen_bits_, id.value());
+}
+
+bool Inventory::regen_reserved(RegenId id) const {
+  MutexLock lock(&mu_);
+  return regen_reserved_locked(id);
+}
+
+std::size_t Inventory::reservations() const {
+  MutexLock lock(&mu_);
+  return channel_reservation_count_ + reserved_ot_count_ +
+         reserved_regen_count_;
+}
+
+// --- combined availability --------------------------------------------------
+
+dwdm::ChannelSet Inventory::device_availability(LinkId link) const {
+  if (model_->link_failed(link)) return {};
+  const auto& l = model_->graph().link(link);
+  const auto& ra = model_->roadm_at(l.a);
+  const auto& rb = model_->roadm_at(l.b);
+  const auto da = ra.degree_for(link);
+  const auto db = rb.degree_for(link);
+  if (!da || !db) return {};
+  dwdm::ChannelSet set = ra.free_channels(*da);
+  set.intersect(rb.free_channels(*db));
+  return set;
+}
+
+dwdm::ChannelSet Inventory::available_on_link(LinkId link) const {
+  dwdm::ChannelSet set = device_availability(link);
+  MutexLock lock(&mu_);
+  if (link.value() < reserved_by_link_.size())
+    set.subtract(reserved_by_link_[link.value()]);
+  return set;
+}
+
+void Inventory::ensure_pools_locked() const {
+  const auto& ots = model_->ots();
+  const auto& regens = model_->regens();
+  const std::size_t sites = model_->graph().nodes().size();
+  if (pools_ && pools_->ots_by_site.size() == sites &&
+      pools_->ot_count == ots.size() &&
+      pools_->regens_by_site.size() == sites &&
+      pools_->regen_count == regens.size())
+    return;
+  auto pools = std::make_shared<PoolIndex>();
+  pools->ots_by_site.assign(sites, {});
+  for (const auto& ot : ots)
+    if (ot->site().value() < sites)
+      pools->ots_by_site[ot->site().value()].push_back(
+          Snapshot::OtEntry{ot->line_rate(), ot->id(), ot.get()});
+  for (auto& pool : pools->ots_by_site)
+    std::sort(pool.begin(), pool.end(),
+              [](const Snapshot::OtEntry& a, const Snapshot::OtEntry& b) {
+                if (a.rate != b.rate) return a.rate < b.rate;
+                return a.id < b.id;
+              });
+  pools->ot_count = ots.size();
+  pools->regens_by_site.assign(sites, {});
+  for (const auto& regen : regens)
+    if (regen->site().value() < sites)
+      pools->regens_by_site[regen->site().value()].push_back(
+          Snapshot::RegenEntry{regen->line_rate(), regen->id(), regen.get()});
+  pools->regen_count = regens.size();
+  pools_ = std::move(pools);
+}
+
+std::optional<TransponderId> Inventory::find_free_ot(NodeId node,
+                                                     DataRate min_rate) const {
+  MutexLock lock(&mu_);
+  ensure_pools_locked();
+  if (node.value() >= pools_->ots_by_site.size()) return std::nullopt;
   // The pool is sorted by (line_rate, id): the first free adequate entry
   // is the smallest adequate line rate — don't burn a 40G transponder on
   // a 10G service while a 10G unit sits idle.
-  for (const dwdm::Transponder* ot : ots_by_site_[node.value()]) {
-    if (ot->line_rate() < min_rate) continue;
-    if (!ot_is_free(*ot)) continue;
-    if (ot_reserved(ot->id())) continue;
-    return ot->id();
+  for (const Snapshot::OtEntry& e : pools_->ots_by_site[node.value()]) {
+    if (e.rate < min_rate) continue;
+    if (!ot_is_free(*e.dev)) continue;
+    if (ot_reserved_locked(e.id)) continue;
+    return e.id;
   }
   return std::nullopt;
 }
 
 std::size_t Inventory::free_ot_count(NodeId node, DataRate min_rate) const {
-  ensure_site_pools();
-  if (node.value() >= ots_by_site_.size()) return 0;
+  MutexLock lock(&mu_);
+  ensure_pools_locked();
+  if (node.value() >= pools_->ots_by_site.size()) return 0;
   std::size_t n = 0;
-  for (const dwdm::Transponder* ot : ots_by_site_[node.value()]) {
-    if (ot->line_rate() >= min_rate && ot_is_free(*ot) &&
-        !ot_reserved(ot->id()))
+  for (const Snapshot::OtEntry& e : pools_->ots_by_site[node.value()]) {
+    if (e.rate >= min_rate && ot_is_free(*e.dev) && !ot_reserved_locked(e.id))
       ++n;
   }
   return n;
@@ -126,51 +251,131 @@ std::size_t Inventory::free_ot_count(NodeId node, DataRate min_rate) const {
 
 std::optional<RegenId> Inventory::find_free_regen(
     NodeId node, DataRate min_rate, const std::set<RegenId>& exclude) const {
-  ensure_site_pools();
-  if (node.value() >= regens_by_site_.size()) return std::nullopt;
-  for (const dwdm::Regenerator* regen : regens_by_site_[node.value()]) {
-    if (regen->in_use()) continue;
-    if (regen->line_rate() < min_rate) continue;
-    if (regen_reserved(regen->id())) continue;
-    if (exclude.contains(regen->id())) continue;
-    return regen->id();
+  MutexLock lock(&mu_);
+  ensure_pools_locked();
+  if (node.value() >= pools_->regens_by_site.size()) return std::nullopt;
+  for (const Snapshot::RegenEntry& e :
+       pools_->regens_by_site[node.value()]) {
+    if (e.dev->in_use()) continue;
+    if (e.rate < min_rate) continue;
+    if (regen_reserved_locked(e.id)) continue;
+    if (exclude.contains(e.id)) continue;
+    return e.id;
   }
   return std::nullopt;
 }
 
-std::size_t Inventory::free_regen_count(NodeId node,
-                                        DataRate min_rate) const {
-  ensure_site_pools();
-  if (node.value() >= regens_by_site_.size()) return 0;
+std::size_t Inventory::free_regen_count(NodeId node, DataRate min_rate) const {
+  MutexLock lock(&mu_);
+  ensure_pools_locked();
+  if (node.value() >= pools_->regens_by_site.size()) return 0;
   std::size_t n = 0;
-  for (const dwdm::Regenerator* regen : regens_by_site_[node.value()]) {
-    if (!regen->in_use() && regen->line_rate() >= min_rate &&
-        !regen_reserved(regen->id()))
+  for (const Snapshot::RegenEntry& e :
+       pools_->regens_by_site[node.value()]) {
+    if (!e.dev->in_use() && e.rate >= min_rate &&
+        !regen_reserved_locked(e.id))
       ++n;
   }
   return n;
 }
 
-void Inventory::ensure_usage_table() const {
+void Inventory::ensure_usage_locked() const {
   const std::uint64_t version = model_->plant_version();
-  if (usage_valid_ && usage_version_ == version) return;
-  usage_.assign(model_->grid().count(), 0);
+  if (usage_ && usage_version_ == version) return;
+  // Build into a local, then swap in: published snapshots share the old
+  // table immutably, so it must never be mutated in place.
+  std::vector<std::size_t> table(model_->grid().count(), 0);
   for (const auto& link : model_->graph().links()) {
     const auto& roadm = model_->roadm_at(link.a);
     const auto degree = roadm.degree_for(link.id);
     if (!degree) continue;
-    roadm.used_channels(*degree).for_each([this](dwdm::ChannelIndex ch) {
-      if (static_cast<std::size_t>(ch) < usage_.size()) ++usage_[ch];
+    roadm.used_channels(*degree).for_each([&table](dwdm::ChannelIndex ch) {
+      if (static_cast<std::size_t>(ch) < table.size()) ++table[ch];
     });
   }
+  usage_ = std::make_shared<const std::vector<std::size_t>>(std::move(table));
   usage_version_ = version;
-  usage_valid_ = true;
 }
 
 std::size_t Inventory::channel_usage(dwdm::ChannelIndex ch) const {
-  ensure_usage_table();
-  if (ch < 0 || static_cast<std::size_t>(ch) >= usage_.size()) return 0;
-  return usage_[ch];
+  MutexLock lock(&mu_);
+  ensure_usage_locked();
+  if (ch < 0 || static_cast<std::size_t>(ch) >= usage_->size()) return 0;
+  return (*usage_)[static_cast<std::size_t>(ch)];
+}
+
+// --- snapshot publish path --------------------------------------------------
+
+void Inventory::rebuild_locked() const {
+  ensure_pools_locked();
+  ensure_usage_locked();
+  const auto& links = model_->graph().links();
+  device_avail_.assign(links.size(), {});
+  net_avail_.assign(links.size(), {});
+  for (const auto& link : links) {
+    dwdm::ChannelSet set = device_availability(link.id);
+    device_avail_[link.id.value()] = set;
+    if (link.id.value() < reserved_by_link_.size())
+      set.subtract(reserved_by_link_[link.id.value()]);
+    net_avail_[link.id.value()] = set;
+  }
+  ot_device_free_bits_.clear();
+  for (const auto& ot : model_->ots())
+    if (ot_is_free(*ot)) detail::bit_set(ot_device_free_bits_, ot->id().value());
+  regen_device_free_bits_.clear();
+  for (const auto& regen : model_->regens())
+    if (!regen->in_use())
+      detail::bit_set(regen_device_free_bits_, regen->id().value());
+  built_plant_version_ = model_->plant_version();
+  built_topology_version_ = model_->topology_version();
+  built_device_version_ = model_->device_version();
+  built_ = true;
+}
+
+void Inventory::publish_locked() const {
+  auto snap = std::shared_ptr<Snapshot>(new Snapshot());
+  snap->avail_ = net_avail_;
+  snap->pools_ = pools_;
+  snap->usage_ = usage_;
+  // free = device-free AND NOT reserved, word-wise over the id bitmaps.
+  snap->ot_free_bits_ = ot_device_free_bits_;
+  for (std::size_t w = 0;
+       w < snap->ot_free_bits_.size() && w < reserved_ot_bits_.size(); ++w)
+    snap->ot_free_bits_[w] &= ~reserved_ot_bits_[w];
+  snap->regen_free_bits_ = regen_device_free_bits_;
+  for (std::size_t w = 0;
+       w < snap->regen_free_bits_.size() && w < reserved_regen_bits_.size();
+       ++w)
+    snap->regen_free_bits_[w] &= ~reserved_regen_bits_[w];
+  snap->topology_version_ = built_topology_version_;
+  snap->plant_version_ = built_plant_version_;
+  snap->device_version_ = built_device_version_;
+  snap->publish_seq_ = ++publish_seq_;
+  snap->reservations_ = channel_reservation_count_ + reserved_ot_count_ +
+                        reserved_regen_count_;
+  published_ = std::move(snap);
+  overlay_dirty_ = false;
+}
+
+std::shared_ptr<const Inventory::Snapshot> Inventory::snapshot() const {
+  MutexLock lock(&mu_);
+  const bool pools_current =
+      pools_ && pools_->ot_count == model_->ots().size() &&
+      pools_->regen_count == model_->regens().size() &&
+      pools_->ots_by_site.size() == model_->graph().nodes().size();
+  const bool stale = !built_ || !pools_current ||
+                     built_plant_version_ != model_->plant_version() ||
+                     built_topology_version_ != model_->topology_version() ||
+                     built_device_version_ != model_->device_version();
+  if (stale) rebuild_locked();
+  if (stale || overlay_dirty_ || !published_) publish_locked();
+  return published_;
+}
+
+std::shared_ptr<const Inventory::Snapshot> Inventory::published_snapshot()
+    const {
+  MutexLock lock(&mu_);
+  return published_;
 }
 
 }  // namespace griphon::core

@@ -16,92 +16,271 @@
 //  * the per-channel usage table behind the most-/least-used wavelength
 //    policies is cached and invalidated by the model's plant version
 //    (O(1) amortized instead of O(links) per queried channel).
+//
+// Concurrency (DESIGN.md §15): every member is guarded by `mu_`, and the
+// read side for future parallel RWA workers is the immutable
+// `Inventory::Snapshot` — a versioned, copy-on-publish view assembled
+// under the lock and handed out as shared_ptr<const>. Mutators keep the
+// snapshot ingredients up to date incrementally (O(1) per overlay change);
+// `snapshot()` re-publishes only when something actually moved. Readers on
+// other threads use `published_snapshot()`, which never touches the
+// NetworkModel — only the owner thread (the one mutating the model)
+// may call `snapshot()`.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <set>
-#include <unordered_set>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "core/network_model.hpp"
 #include "dwdm/wavelength.hpp"
 
 namespace griphon::core {
 
+namespace detail {
+/// Grow-on-demand bitmaps keyed by device id value; back the O(1)
+/// reserved/free checks behind the pool queries and the snapshot.
+[[nodiscard]] inline bool bit_test(const std::vector<std::uint64_t>& bits,
+                                   std::uint64_t i) noexcept {
+  const std::size_t word = static_cast<std::size_t>(i / 64);
+  return word < bits.size() && ((bits[word] >> (i % 64)) & 1U) != 0;
+}
+inline void bit_set(std::vector<std::uint64_t>& bits, std::uint64_t i) {
+  const std::size_t word = static_cast<std::size_t>(i / 64);
+  if (word >= bits.size()) bits.resize(word + 1, 0);
+  bits[word] |= std::uint64_t{1} << (i % 64);
+}
+inline void bit_clear(std::vector<std::uint64_t>& bits,
+                      std::uint64_t i) noexcept {
+  const std::size_t word = static_cast<std::size_t>(i / 64);
+  if (word < bits.size()) bits[word] &= ~(std::uint64_t{1} << (i % 64));
+}
+}  // namespace detail
+
 class Inventory {
  public:
+  /// Immutable, versioned read view of planning state: per-link channel
+  /// availability (device state minus reservations), free-OT/regen
+  /// bitmaps over (rate, id)-sorted site pools, and the per-channel usage
+  /// table. Built copy-on-publish under the inventory lock; once handed
+  /// out it is never written again, so any number of threads may read it
+  /// without synchronization, and it never dereferences the NetworkModel.
+  class Snapshot {
+   public:
+    /// Channels usable on `link`: free on the facing degree of both end
+    /// ROADMs and not reserved, as of publish time. Empty if failed.
+    [[nodiscard]] dwdm::ChannelSet available_on_link(LinkId link) const {
+      if (link.value() >= avail_.size()) return {};
+      return avail_[link.value()];
+    }
+
+    /// An idle, unreserved OT at `node` with line rate >= `min_rate` —
+    /// same (rate, id) pick order as Inventory::find_free_ot.
+    [[nodiscard]] std::optional<TransponderId> find_free_ot(
+        NodeId node, DataRate min_rate) const;
+    [[nodiscard]] std::size_t free_ot_count(NodeId node,
+                                            DataRate min_rate) const;
+
+    /// An unused, unreserved regenerator at `node`, skipping `exclude`.
+    [[nodiscard]] std::optional<RegenId> find_free_regen(
+        NodeId node, DataRate min_rate,
+        const std::set<RegenId>& exclude = {}) const;
+    [[nodiscard]] std::size_t free_regen_count(NodeId node,
+                                               DataRate min_rate) const;
+
+    /// Number of links where channel `ch` was configured at publish time.
+    [[nodiscard]] std::size_t channel_usage(dwdm::ChannelIndex ch) const {
+      if (ch < 0 || static_cast<std::size_t>(ch) >= usage_->size()) return 0;
+      return (*usage_)[static_cast<std::size_t>(ch)];
+    }
+
+    /// Model version stamps captured at publish time.
+    [[nodiscard]] std::uint64_t topology_version() const noexcept {
+      return topology_version_;
+    }
+    [[nodiscard]] std::uint64_t plant_version() const noexcept {
+      return plant_version_;
+    }
+    [[nodiscard]] std::uint64_t device_version() const noexcept {
+      return device_version_;
+    }
+    /// Strictly increasing per publish; readers use it to detect that a
+    /// newer view exists and to assert monotonic progress.
+    [[nodiscard]] std::uint64_t publish_seq() const noexcept {
+      return publish_seq_;
+    }
+    [[nodiscard]] std::size_t reservations() const noexcept {
+      return reservations_;
+    }
+
+   private:
+    friend class Inventory;
+    Snapshot() = default;
+
+    // Site pools shared (immutably) with the inventory; entries carry the
+    // immutable device attributes so readers never chase device pointers.
+    struct OtEntry {
+      DataRate rate{};
+      TransponderId id{};
+      const dwdm::Transponder* dev = nullptr;  ///< owner-thread use only
+    };
+    struct RegenEntry {
+      DataRate rate{};
+      RegenId id{};
+      const dwdm::Regenerator* dev = nullptr;  ///< owner-thread use only
+    };
+    struct PoolIndex {
+      std::vector<std::vector<OtEntry>> ots_by_site;
+      std::vector<std::vector<RegenEntry>> regens_by_site;
+      std::size_t ot_count = 0;
+      std::size_t regen_count = 0;
+    };
+
+    std::vector<dwdm::ChannelSet> avail_;  // by link index
+    std::shared_ptr<const PoolIndex> pools_;
+    std::shared_ptr<const std::vector<std::size_t>> usage_;
+    std::vector<std::uint64_t> ot_free_bits_;     // by OT id value
+    std::vector<std::uint64_t> regen_free_bits_;  // by regen id value
+    std::uint64_t topology_version_ = 0;
+    std::uint64_t plant_version_ = 0;
+    std::uint64_t device_version_ = 0;
+    std::uint64_t publish_seq_ = 0;
+    std::size_t reservations_ = 0;
+  };
+
   explicit Inventory(const NetworkModel* model) : model_(model) {}
 
   // --- reservation overlay ------------------------------------------------
-  void reserve_channel(LinkId link, dwdm::ChannelIndex ch);
-  void release_channel(LinkId link, dwdm::ChannelIndex ch);
+  void reserve_channel(LinkId link, dwdm::ChannelIndex ch) EXCLUDES(mu_);
+  void release_channel(LinkId link, dwdm::ChannelIndex ch) EXCLUDES(mu_);
   [[nodiscard]] bool channel_reserved(LinkId link,
-                                      dwdm::ChannelIndex ch) const;
-  void reserve_ot(TransponderId id);
-  void release_ot(TransponderId id);
-  [[nodiscard]] bool ot_reserved(TransponderId id) const;
-  void reserve_regen(RegenId id);
-  void release_regen(RegenId id);
-  [[nodiscard]] bool regen_reserved(RegenId id) const;
+                                      dwdm::ChannelIndex ch) const
+      EXCLUDES(mu_);
+  void reserve_ot(TransponderId id) EXCLUDES(mu_);
+  void release_ot(TransponderId id) EXCLUDES(mu_);
+  [[nodiscard]] bool ot_reserved(TransponderId id) const EXCLUDES(mu_);
+  void reserve_regen(RegenId id) EXCLUDES(mu_);
+  void release_regen(RegenId id) EXCLUDES(mu_);
+  [[nodiscard]] bool regen_reserved(RegenId id) const EXCLUDES(mu_);
 
   // --- combined availability (device state minus reservations) -----------
   /// Channels usable on `link`: free on the facing degree of both end
   /// ROADMs and not reserved. Empty if the link is failed.
-  [[nodiscard]] dwdm::ChannelSet available_on_link(LinkId link) const;
+  [[nodiscard]] dwdm::ChannelSet available_on_link(LinkId link) const
+      EXCLUDES(mu_);
 
   /// An idle, unreserved OT at `node` with line rate >= `min_rate`.
   [[nodiscard]] std::optional<TransponderId> find_free_ot(
-      NodeId node, DataRate min_rate) const;
-  [[nodiscard]] std::size_t free_ot_count(NodeId node,
-                                          DataRate min_rate) const;
+      NodeId node, DataRate min_rate) const EXCLUDES(mu_);
+  [[nodiscard]] std::size_t free_ot_count(NodeId node, DataRate min_rate) const
+      EXCLUDES(mu_);
 
   /// An unused, unreserved regenerator at `node`, skipping any id in
   /// `exclude` (a plan may place several regens at one site).
   [[nodiscard]] std::optional<RegenId> find_free_regen(
       NodeId node, DataRate min_rate,
-      const std::set<RegenId>& exclude = {}) const;
+      const std::set<RegenId>& exclude = {}) const EXCLUDES(mu_);
   [[nodiscard]] std::size_t free_regen_count(NodeId node,
-                                             DataRate min_rate) const;
+                                             DataRate min_rate) const
+      EXCLUDES(mu_);
 
   /// Number of links where channel `ch` is currently configured — input to
   /// the most-used wavelength-assignment policy.
-  [[nodiscard]] std::size_t channel_usage(dwdm::ChannelIndex ch) const;
+  [[nodiscard]] std::size_t channel_usage(dwdm::ChannelIndex ch) const
+      EXCLUDES(mu_);
 
-  [[nodiscard]] std::size_t reservations() const noexcept {
-    return channel_reservation_count_ + reserved_ots_.size() +
-           reserved_regens_.size();
-  }
+  [[nodiscard]] std::size_t reservations() const EXCLUDES(mu_);
+
+  // --- versioned read snapshot --------------------------------------------
+  /// Refresh-if-stale and return the current snapshot. Reads the
+  /// NetworkModel when the model's version stamps moved, so it must only
+  /// be called from the thread that owns model mutations (the controller
+  /// event loop) — the same externally-synchronized contract as every
+  /// model accessor. O(1) when nothing changed since the last call;
+  /// overlay-only churn re-publishes from incrementally-maintained state
+  /// without touching the model.
+  [[nodiscard]] std::shared_ptr<const Snapshot> snapshot() const
+      EXCLUDES(mu_);
+
+  /// Last published snapshot, or nullptr before the first snapshot()
+  /// call. Never reads the NetworkModel — safe from any thread while the
+  /// owner thread keeps mutating model and overlay.
+  [[nodiscard]] std::shared_ptr<const Snapshot> published_snapshot() const
+      EXCLUDES(mu_);
 
  private:
+  using PoolIndex = Snapshot::PoolIndex;
+
   /// Grow-on-demand access to the per-link reservation set.
-  dwdm::ChannelSet& reserved_on(LinkId link);
-  void ensure_site_pools() const;
-  void ensure_usage_table() const;
+  dwdm::ChannelSet& reserved_on_locked(LinkId link) REQUIRES(mu_);
+  [[nodiscard]] bool channel_reserved_locked(LinkId link,
+                                             dwdm::ChannelIndex ch) const
+      REQUIRES(mu_);
+  [[nodiscard]] bool ot_reserved_locked(TransponderId id) const
+      REQUIRES(mu_);
+  [[nodiscard]] bool regen_reserved_locked(RegenId id) const REQUIRES(mu_);
+
+  /// Device-only availability on a link (no reservation overlay) — pure
+  /// model read, shared by the live query and the rebuild path.
+  [[nodiscard]] dwdm::ChannelSet device_availability(LinkId link) const;
+
+  void ensure_pools_locked() const REQUIRES(mu_);
+  void ensure_usage_locked() const REQUIRES(mu_);
+  /// Full rebuild of the derived planning state from the model (link
+  /// availability, device free bitmaps, pools, usage table).
+  void rebuild_locked() const REQUIRES(mu_);
+  /// Assemble and publish a fresh immutable Snapshot from current state.
+  void publish_locked() const REQUIRES(mu_);
 
   const NetworkModel* model_;
 
+  mutable Mutex mu_;
+
   // Reservation overlay. `reserved_by_link_` is indexed by link id value;
-  // `channel_reservation_count_` keeps reservations() O(1).
-  std::vector<dwdm::ChannelSet> reserved_by_link_;
-  std::size_t channel_reservation_count_ = 0;
-  std::unordered_set<TransponderId> reserved_ots_;
-  std::unordered_set<RegenId> reserved_regens_;
+  // `channel_reservation_count_` keeps reservations() O(1). OT/regen
+  // reservations are bitmaps keyed by id value with explicit counts.
+  std::vector<dwdm::ChannelSet> reserved_by_link_ GUARDED_BY(mu_);
+  std::size_t channel_reservation_count_ GUARDED_BY(mu_) = 0;
+  std::vector<std::uint64_t> reserved_ot_bits_ GUARDED_BY(mu_);
+  std::size_t reserved_ot_count_ GUARDED_BY(mu_) = 0;
+  std::vector<std::uint64_t> reserved_regen_bits_ GUARDED_BY(mu_);
+  std::size_t reserved_regen_count_ GUARDED_BY(mu_) = 0;
 
   // Per-site device pools, built lazily from the model (sites are fixed at
   // model construction; pools are rebuilt if devices were added since).
   // OTs are sorted by (line_rate, id) so the first free adequate entry is
   // the smallest adequate rate with the lowest id — the same pick the
-  // old full scan made. Regens keep id order.
-  mutable std::vector<std::vector<const dwdm::Transponder*>> ots_by_site_;
-  mutable std::size_t indexed_ot_count_ = 0;
-  mutable std::vector<std::vector<const dwdm::Regenerator*>> regens_by_site_;
-  mutable std::size_t indexed_regen_count_ = 0;
+  // old full scan made. Regens keep id order. Shared immutably with
+  // published snapshots.
+  mutable std::shared_ptr<const PoolIndex> pools_ GUARDED_BY(mu_);
 
   // Per-channel usage table (device state only, reservations excluded),
-  // recomputed when the model's plant version moves.
-  mutable std::vector<std::size_t> usage_;
-  mutable std::uint64_t usage_version_ = 0;
-  mutable bool usage_valid_ = false;
+  // recomputed when the model's plant version moves. Shared immutably
+  // with published snapshots.
+  mutable std::shared_ptr<const std::vector<std::size_t>> usage_
+      GUARDED_BY(mu_);
+  mutable std::uint64_t usage_version_ GUARDED_BY(mu_) = 0;
+
+  // Incrementally-maintained snapshot ingredients, valid while the model
+  // version stamps below match the model. `device_avail_` is device-only
+  // per-link availability; `net_avail_` is device minus reservations and
+  // is what publish copies into the snapshot.
+  mutable bool built_ GUARDED_BY(mu_) = false;
+  mutable std::vector<dwdm::ChannelSet> device_avail_ GUARDED_BY(mu_);
+  mutable std::vector<dwdm::ChannelSet> net_avail_ GUARDED_BY(mu_);
+  mutable std::vector<std::uint64_t> ot_device_free_bits_ GUARDED_BY(mu_);
+  mutable std::vector<std::uint64_t> regen_device_free_bits_ GUARDED_BY(mu_);
+  mutable std::uint64_t built_plant_version_ GUARDED_BY(mu_) = 0;
+  mutable std::uint64_t built_topology_version_ GUARDED_BY(mu_) = 0;
+  mutable std::uint64_t built_device_version_ GUARDED_BY(mu_) = 0;
+
+  // Publish state: set when the overlay changed since the last publish.
+  mutable bool overlay_dirty_ GUARDED_BY(mu_) = false;
+  mutable std::shared_ptr<const Snapshot> published_ GUARDED_BY(mu_);
+  mutable std::uint64_t publish_seq_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace griphon::core

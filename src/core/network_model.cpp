@@ -136,6 +136,7 @@ const CustomerSite* NetworkModel::site_by_nte(MuxponderId nte) const {
 TransponderId NetworkModel::add_transponder(NodeId node, DataRate line_rate) {
   const TransponderId id = ot_ids_.next();
   ots_.push_back(std::make_unique<dwdm::Transponder>(id, node, line_rate));
+  ots_.back()->bind_version_counter(&device_version_);
   roadm_ems_->manage_ot(ots_.back().get());
   // Static cabling: OT line side to a dedicated colorless ROADM port, OT
   // client side into the site FXC.
@@ -155,6 +156,7 @@ TransponderId NetworkModel::add_transponder(NodeId node, DataRate line_rate) {
 RegenId NetworkModel::add_regen(NodeId node, DataRate line_rate) {
   const RegenId id = regen_ids_.next();
   regens_.push_back(std::make_unique<dwdm::Regenerator>(id, node, line_rate));
+  regens_.back()->bind_version_counter(&device_version_);
   roadm_ems_->manage_regen(regens_.back().get());
   auto ports = roadm_at(node).add_ports(2);
   regen_roadm_ports_[id.value()] = {ports[0], ports[1]};

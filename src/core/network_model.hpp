@@ -104,6 +104,14 @@ class NetworkModel {
     return topology_version_;
   }
 
+  /// Monotonic counter bumped on every OT/regen lifecycle transition
+  /// (tune/activate/deactivate/reset/fail/repair, engage/release).
+  /// Caches derived from device state (the Inventory snapshot's free-OT
+  /// and free-regen bitmaps) compare against it to know when to rebuild.
+  [[nodiscard]] std::uint64_t device_version() const noexcept {
+    return device_version_;
+  }
+
   [[nodiscard]] dwdm::Roadm& roadm_at(NodeId node);
   [[nodiscard]] const dwdm::Roadm& roadm_at(NodeId node) const;
   [[nodiscard]] fxc::Fxc& fxc_at(NodeId node);
@@ -212,6 +220,7 @@ class NetworkModel {
   std::vector<bool> link_failed_;  // by link index
   std::uint64_t plant_version_ = 0;
   std::uint64_t topology_version_ = 0;
+  std::uint64_t device_version_ = 0;
   IdAllocator<MuxponderId> nte_ids_;
   IdAllocator<TransponderId> ot_ids_;
   IdAllocator<RegenId> regen_ids_;

@@ -11,18 +11,24 @@ RwaEngine::RwaEngine(const NetworkModel* model, const Inventory* inventory,
                      Params params)
     : model_(model), inventory_(inventory), params_(params) {}
 
-dwdm::ChannelSet RwaEngine::channels_for_segment(const topology::Path& path,
-                                                 std::size_t first_link,
-                                                 std::size_t last_link) const {
-  dwdm::ChannelSet set =
-      dwdm::ChannelSet::all(model_->grid().count());
+dwdm::ChannelSet RwaEngine::channels_for_segment(
+    const Inventory::Snapshot& snap, const topology::Path& path,
+    std::size_t first_link, std::size_t last_link) const {
+  dwdm::ChannelSet set = dwdm::ChannelSet::all(model_->grid().count());
   for (std::size_t i = first_link; i <= last_link; ++i)
-    set.intersect(inventory_->available_on_link(path.links[i]));
+    set.intersect(snap.available_on_link(path.links[i]));
   return set;
 }
 
+dwdm::ChannelSet RwaEngine::channels_for_segment(const topology::Path& path,
+                                                 std::size_t first_link,
+                                                 std::size_t last_link) const {
+  const auto snap = inventory_->snapshot();
+  return channels_for_segment(*snap, path, first_link, last_link);
+}
+
 dwdm::ChannelIndex RwaEngine::pick_channel(
-    const dwdm::ChannelSet& candidates) const {
+    const dwdm::ChannelSet& candidates, const Inventory::Snapshot& snap) const {
   if (candidates.empty()) return dwdm::kNoChannel;
   if (params_.policy == WavelengthPolicy::kFirstFit) return candidates.first();
   // Most-used packs the network-wide hottest channels (maximizing reuse);
@@ -31,7 +37,7 @@ dwdm::ChannelIndex RwaEngine::pick_channel(
   dwdm::ChannelIndex best = dwdm::kNoChannel;
   std::size_t best_usage = 0;
   candidates.for_each([&](dwdm::ChannelIndex ch) {
-    const std::size_t usage = inventory_->channel_usage(ch);
+    const std::size_t usage = snap.channel_usage(ch);
     if (best == dwdm::kNoChannel ||
         (want_most ? usage > best_usage : usage < best_usage)) {
       best = ch;
@@ -41,23 +47,31 @@ dwdm::ChannelIndex RwaEngine::pick_channel(
   return best;
 }
 
-void RwaEngine::sync_telemetry() const {
+RwaEngine::TelemetryHandles RwaEngine::sync_telemetry_locked() const {
   telemetry::Telemetry* t = model_->telemetry();
-  if (t == telemetry_seen_) return;
+  if (t == telemetry_seen_) return handles_;
   telemetry_seen_ = t;
   if (t == nullptr) {
-    cache_hits_ = cache_misses_ = plans_total_ = plans_failed_ = nullptr;
-    return;
+    handles_ = TelemetryHandles{};
+    return handles_;
   }
   auto& m = t->metrics();
-  cache_hits_ = m.counter("griphon_rwa_route_cache_hits_total",
-                          "Route-cache hits in cached_routes");
-  cache_misses_ = m.counter("griphon_rwa_route_cache_misses_total",
-                            "Route-cache misses (Yen's recomputed)");
-  plans_total_ =
+  TelemetryHandles h;
+  h.cache_hits = m.counter("griphon_rwa_route_cache_hits_total",
+                           "Route-cache hits in cached_routes");
+  h.cache_misses = m.counter("griphon_rwa_route_cache_misses_total",
+                             "Route-cache misses (Yen's recomputed)");
+  h.plans_total =
       m.counter("griphon_rwa_plans_total", "Wavelength plan attempts");
-  plans_failed_ = m.counter("griphon_rwa_plans_failed_total",
-                            "Plan attempts that found no viable plan");
+  h.plans_failed = m.counter("griphon_rwa_plans_failed_total",
+                             "Plan attempts that found no viable plan");
+  handles_ = h;
+  return handles_;
+}
+
+RwaEngine::TelemetryHandles RwaEngine::telemetry_handles() const {
+  MutexLock lock(&mu_);
+  return sync_telemetry_locked();
 }
 
 std::size_t RwaEngine::RouteKeyHash::operator()(
@@ -79,7 +93,9 @@ std::size_t RwaEngine::RouteKeyHash::operator()(
 
 const std::vector<topology::Path>& RwaEngine::candidate_routes(
     NodeId src, NodeId dst, const Exclusions& exclude) const {
-  sync_telemetry();  // external callers (BoD scheduler) skip plan()
+  MutexLock lock(&mu_);
+  // External callers (BoD scheduler) skip plan(), so sync here too.
+  const TelemetryHandles t = sync_telemetry_locked();
   if (route_cache_version_ != model_->topology_version()) {
     route_cache_.clear();
     route_cache_version_ = model_->topology_version();
@@ -92,8 +108,8 @@ const std::vector<topology::Path>& RwaEngine::candidate_routes(
   key.excluded_nodes.reserve(exclude.nodes.size());
   for (const NodeId n : exclude.nodes) key.excluded_nodes.push_back(n.value());
   const auto [it, inserted] = route_cache_.try_emplace(std::move(key));
-  if (cache_hits_ != nullptr)
-    (inserted ? cache_misses_ : cache_hits_)->inc();
+  if (t.cache_hits != nullptr)
+    (inserted ? t.cache_misses : t.cache_hits)->inc();
   if (inserted) {
     // Same query the uncached path used to issue, so cache hits and misses
     // yield byte-identical candidate lists.
@@ -118,10 +134,10 @@ const std::vector<topology::Path>& RwaEngine::candidate_routes(
 
 Result<WavelengthPlan> RwaEngine::plan(NodeId src, NodeId dst, DataRate rate,
                                        const Exclusions& exclude) const {
-  sync_telemetry();
-  if (plans_total_ != nullptr) plans_total_->inc();
+  const TelemetryHandles t = telemetry_handles();
+  if (t.plans_total != nullptr) t.plans_total->inc();
   if (src == dst) {
-    if (plans_failed_ != nullptr) plans_failed_->inc();
+    if (t.plans_failed != nullptr) t.plans_failed->inc();
     return Error{ErrorCode::kInvalidArgument, "rwa: src == dst"};
   }
 
@@ -130,9 +146,14 @@ Result<WavelengthPlan> RwaEngine::plan(NodeId src, NodeId dst, DataRate rate,
   const std::vector<topology::Path>* routes =
       &candidate_routes(src, dst, exclude);
   if (routes->empty()) {
-    if (plans_failed_ != nullptr) plans_failed_->inc();
+    if (t.plans_failed != nullptr) t.plans_failed->inc();
     return Error{ErrorCode::kUnreachable, "rwa: no route survives exclusions"};
   }
+
+  // One coherent view of availability, pools and usage for the whole
+  // planning pass — the seam parallel candidate evaluation will hang off.
+  const std::shared_ptr<const Inventory::Snapshot> snap =
+      inventory_->snapshot();
 
   Error last_error{ErrorCode::kResourceExhausted,
                    "rwa: no wavelength plan on any candidate route"};
@@ -147,8 +168,8 @@ Result<WavelengthPlan> RwaEngine::plan(NodeId src, NodeId dst, DataRate rate,
     plan.path = route;
 
     // Endpoint transponders.
-    const auto src_ot = inventory_->find_free_ot(src, rate);
-    const auto dst_ot = inventory_->find_free_ot(dst, rate);
+    const auto src_ot = snap->find_free_ot(src, rate);
+    const auto dst_ot = snap->find_free_ot(dst, rate);
     if (!src_ot || !dst_ot) {
       last_error = Error{ErrorCode::kResourceExhausted,
                          "rwa: no free transponder at an endpoint"};
@@ -162,8 +183,8 @@ Result<WavelengthPlan> RwaEngine::plan(NodeId src, NodeId dst, DataRate rate,
     std::set<RegenId> used_regens;
     for (std::size_t s = 0; s < segments.size() && ok; ++s) {
       const auto candidates = channels_for_segment(
-          route, segments[s].first_link, segments[s].last_link);
-      const dwdm::ChannelIndex ch = pick_channel(candidates);
+          *snap, route, segments[s].first_link, segments[s].last_link);
+      const dwdm::ChannelIndex ch = pick_channel(candidates, *snap);
       if (ch == dwdm::kNoChannel) {
         last_error = Error{ErrorCode::kResourceExhausted,
                            "rwa: wavelength continuity violated on segment"};
@@ -176,8 +197,7 @@ Result<WavelengthPlan> RwaEngine::plan(NodeId src, NodeId dst, DataRate rate,
         const NodeId boundary = route.nodes[segments[s].last_link + 1];
         // Several boundaries may share a node only if enough regens exist;
         // `used_regens` keeps one plan from double-booking a unit.
-        const auto regen =
-            inventory_->find_free_regen(boundary, rate, used_regens);
+        const auto regen = snap->find_free_regen(boundary, rate, used_regens);
         if (!regen) {
           last_error = Error{ErrorCode::kResourceExhausted,
                              "rwa: no free regenerator at segment boundary"};
@@ -190,7 +210,7 @@ Result<WavelengthPlan> RwaEngine::plan(NodeId src, NodeId dst, DataRate rate,
     }
     if (ok) return plan;
   }
-  if (plans_failed_ != nullptr) plans_failed_->inc();
+  if (t.plans_failed != nullptr) t.plans_failed->inc();
   return last_error;
 }
 

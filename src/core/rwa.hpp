@@ -9,6 +9,12 @@
 // Route candidates come from Yen's k-shortest paths; wavelength assignment
 // is pluggable (first-fit packs the spectrum from the bottom; most-used
 // maximizes reuse, the classic blocking-reduction heuristic).
+//
+// Concurrency (DESIGN.md §15): plan() reads planning state (availability,
+// pools, usage) exclusively through one Inventory::Snapshot taken at the
+// top of the call, so a future parallel candidate evaluation sees one
+// coherent view. The route cache and cached metric handles are guarded by
+// `mu_`.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "core/inventory.hpp"
 #include "dwdm/reach.hpp"
 #include "topology/path.hpp"
@@ -72,9 +79,15 @@ class RwaEngine {
   /// Plan a wavelength connection of `rate` between two core PoPs.
   [[nodiscard]] Result<WavelengthPlan> plan(
       NodeId src, NodeId dst, DataRate rate,
-      const Exclusions& exclude = {}) const;
+      const Exclusions& exclude = {}) const EXCLUDES(mu_);
 
-  /// Channels usable on every link of `path[first..last]`.
+  /// Channels usable on every link of `path[first..last]`, as seen by the
+  /// given snapshot.
+  [[nodiscard]] dwdm::ChannelSet channels_for_segment(
+      const Inventory::Snapshot& snap, const topology::Path& path,
+      std::size_t first_link, std::size_t last_link) const;
+
+  /// Convenience overload over a fresh snapshot (owner thread only).
   [[nodiscard]] dwdm::ChannelSet channels_for_segment(
       const topology::Path& path, std::size_t first_link,
       std::size_t last_link) const;
@@ -87,17 +100,33 @@ class RwaEngine {
   /// (including restoration and BoD re-scheduling, which plan around the
   /// same failed links repeatedly) skips Yen's entirely. Public so the BoD
   /// TransferScheduler can share routes without planning wavelengths.
+  /// The returned reference stays valid until the next topology change
+  /// clears the cache — callers use it within one planning pass, on the
+  /// thread that owns model mutations.
   [[nodiscard]] const std::vector<topology::Path>& candidate_routes(
-      NodeId src, NodeId dst, const Exclusions& exclude = {}) const;
+      NodeId src, NodeId dst, const Exclusions& exclude = {}) const
+      EXCLUDES(mu_);
 
  private:
+  /// Metric handles resolved against the current telemetry sink; passed
+  /// around by value so hot-path counting never touches guarded members
+  /// without the lock.
+  struct TelemetryHandles {
+    telemetry::Counter* cache_hits = nullptr;
+    telemetry::Counter* cache_misses = nullptr;
+    telemetry::Counter* plans_total = nullptr;
+    telemetry::Counter* plans_failed = nullptr;
+  };
+
   [[nodiscard]] dwdm::ChannelIndex pick_channel(
-      const dwdm::ChannelSet& candidates) const;
+      const dwdm::ChannelSet& candidates,
+      const Inventory::Snapshot& snap) const;
 
   /// Refresh cached metric handles when the model's telemetry sink changes
   /// (attach/detach). Keeps the steady-state cost of counting at one
   /// pointer comparison + one branch per plan() call.
-  void sync_telemetry() const;
+  TelemetryHandles sync_telemetry_locked() const REQUIRES(mu_);
+  [[nodiscard]] TelemetryHandles telemetry_handles() const EXCLUDES(mu_);
 
   /// Full cache key: pair + exclusions (compared, not just hashed, so a
   /// hash collision can never serve the wrong candidate list).
@@ -116,18 +145,17 @@ class RwaEngine {
   const Inventory* inventory_;
   Params params_;
 
+  mutable Mutex mu_;
+
   mutable std::unordered_map<RouteKey, std::vector<topology::Path>,
                              RouteKeyHash>
-      route_cache_;
-  mutable std::uint64_t route_cache_version_ = 0;
+      route_cache_ GUARDED_BY(mu_);
+  mutable std::uint64_t route_cache_version_ GUARDED_BY(mu_) = 0;
 
   // Metric handles cached against the sink they came from (plan() is the
-  // provisioning hot path; see sync_telemetry()).
-  mutable const void* telemetry_seen_ = nullptr;
-  mutable telemetry::Counter* cache_hits_ = nullptr;
-  mutable telemetry::Counter* cache_misses_ = nullptr;
-  mutable telemetry::Counter* plans_total_ = nullptr;
-  mutable telemetry::Counter* plans_failed_ = nullptr;
+  // provisioning hot path; see sync_telemetry_locked()).
+  mutable const void* telemetry_seen_ GUARDED_BY(mu_) = nullptr;
+  mutable TelemetryHandles handles_ GUARDED_BY(mu_);
 };
 
 }  // namespace griphon::core

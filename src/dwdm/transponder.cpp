@@ -11,6 +11,7 @@ Status Transponder::tune(ChannelIndex ch) {
     return Status{ErrorCode::kInvalidArgument, name() + ": bad channel"};
   channel_ = ch;
   state_ = State::kTuned;
+  bump_version();
   return Status::success();
 }
 
@@ -20,6 +21,7 @@ Status Transponder::activate() {
   if (state_ != State::kTuned)
     return Status{ErrorCode::kConflict, name() + ": activate requires tuned"};
   state_ = State::kActive;
+  bump_version();
   return Status::success();
 }
 
@@ -27,6 +29,7 @@ Status Transponder::deactivate() {
   if (state_ != State::kActive)
     return Status{ErrorCode::kConflict, name() + ": not active"};
   state_ = State::kTuned;
+  bump_version();
   return Status::success();
 }
 
@@ -37,6 +40,7 @@ Status Transponder::reset() {
     return Status{ErrorCode::kConflict, name() + ": deactivate first"};
   state_ = State::kIdle;
   channel_ = kNoChannel;
+  bump_version();
   return Status::success();
 }
 
@@ -48,6 +52,7 @@ Status Regenerator::engage(ChannelIndex upstream, ChannelIndex downstream) {
   in_use_ = true;
   upstream_ = upstream;
   downstream_ = downstream;
+  bump_version();
   return Status::success();
 }
 
@@ -57,6 +62,7 @@ Status Regenerator::release() {
   in_use_ = false;
   upstream_ = kNoChannel;
   downstream_ = kNoChannel;
+  bump_version();
   return Status::success();
 }
 

@@ -43,18 +43,36 @@ class Transponder {
   /// Return to pool: laser off.
   [[nodiscard]] Status reset();
 
-  void fail() { state_ = State::kFailed; }
+  void fail() {
+    state_ = State::kFailed;
+    bump_version();
+  }
   void repair() {
     state_ = State::kIdle;
     channel_ = kNoChannel;
+    bump_version();
+  }
+
+  /// Caches derived from device state (the Inventory snapshot's OT free
+  /// bitmap, DESIGN.md §15) key their invalidation on a model-owned
+  /// counter; the NetworkModel binds it here so every lifecycle
+  /// transition bumps it. Null (the default, for bare devices in unit
+  /// tests) makes transitions silent.
+  void bind_version_counter(std::uint64_t* counter) noexcept {
+    version_counter_ = counter;
   }
 
  private:
+  void bump_version() noexcept {
+    if (version_counter_ != nullptr) ++*version_counter_;
+  }
+
   TransponderId id_;
   NodeId site_;
   DataRate line_rate_;
   State state_ = State::kIdle;
   ChannelIndex channel_ = kNoChannel;
+  std::uint64_t* version_counter_ = nullptr;
 };
 
 [[nodiscard]] constexpr const char* to_string(Transponder::State s) noexcept {
@@ -95,13 +113,23 @@ class Regenerator {
   [[nodiscard]] Status engage(ChannelIndex upstream, ChannelIndex downstream);
   [[nodiscard]] Status release();
 
+  /// Same device-state version hook as Transponder::bind_version_counter.
+  void bind_version_counter(std::uint64_t* counter) noexcept {
+    version_counter_ = counter;
+  }
+
  private:
+  void bump_version() noexcept {
+    if (version_counter_ != nullptr) ++*version_counter_;
+  }
+
   RegenId id_;
   NodeId site_;
   DataRate line_rate_;
   bool in_use_ = false;
   ChannelIndex upstream_ = kNoChannel;
   ChannelIndex downstream_ = kNoChannel;
+  std::uint64_t* version_counter_ = nullptr;
 };
 
 }  // namespace griphon::dwdm

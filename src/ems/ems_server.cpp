@@ -108,8 +108,7 @@ void EmsServer::crash_restart(SimTime restart_after) {
   queues_.clear();
   busy_devices_.clear();
   in_flight_requests_.clear();
-  response_cache_.clear();
-  cache_lru_.clear();
+  cache_flush();
   if (crashes_total_ != nullptr) crashes_total_->inc();
   trace("crash", "restart in " + std::to_string(to_seconds(restart_after)) +
                      "s");
@@ -126,6 +125,7 @@ void EmsServer::crash_restart(SimTime restart_after) {
 }
 
 void EmsServer::set_response_cache_capacity(std::size_t capacity) {
+  MutexLock lock(&cache_mu_);
   cache_capacity_ = capacity;
   while (response_cache_.size() > cache_capacity_) {
     response_cache_.erase(cache_lru_.front());
@@ -133,6 +133,33 @@ void EmsServer::set_response_cache_capacity(std::size_t capacity) {
     ++cache_evictions_;
     if (cache_evictions_total_ != nullptr) cache_evictions_total_->inc();
   }
+}
+
+std::optional<proto::Response> EmsServer::cache_lookup(std::uint64_t id) {
+  MutexLock lock(&cache_mu_);
+  const auto it = response_cache_.find(id);
+  if (it == response_cache_.end()) return std::nullopt;
+  // Refresh the entry's LRU recency — a retrying id is a hot id.
+  cache_lru_.splice(cache_lru_.end(), cache_lru_, it->second.second);
+  return it->second.first;
+}
+
+void EmsServer::cache_insert(std::uint64_t id, const proto::Response& r) {
+  MutexLock lock(&cache_mu_);
+  cache_lru_.push_back(id);
+  response_cache_[id] = {r, std::prev(cache_lru_.end())};
+  while (response_cache_.size() > cache_capacity_) {
+    response_cache_.erase(cache_lru_.front());
+    cache_lru_.pop_front();
+    ++cache_evictions_;
+    if (cache_evictions_total_ != nullptr) cache_evictions_total_->inc();
+  }
+}
+
+void EmsServer::cache_flush() {
+  MutexLock lock(&cache_mu_);
+  response_cache_.clear();
+  cache_lru_.clear();
 }
 
 std::uint64_t EmsServer::device_key(const proto::Message& m) {
@@ -149,11 +176,9 @@ void EmsServer::handle_frame(const proto::Bytes& bytes) {
     return;
   }
   const std::uint64_t id = frame.value().request_id;
-  // Retransmission? Replay the cached response without re-executing (and
-  // refresh the entry's LRU recency — a retrying id is a hot id).
-  if (const auto it = response_cache_.find(id); it != response_cache_.end()) {
-    cache_lru_.splice(cache_lru_.end(), cache_lru_, it->second.second);
-    endpoint_->send(proto::encode_frame(id, proto::Message{it->second.first}));
+  // Retransmission? Replay the cached response without re-executing.
+  if (const auto cached = cache_lookup(id)) {
+    endpoint_->send(proto::encode_frame(id, proto::Message{*cached}));
     trace("replayed-response", std::to_string(id));
     return;
   }
@@ -411,14 +436,7 @@ void EmsServer::respond(std::uint64_t request_id, const Status& status,
                                                   : status.error().code());
   r.message = status.ok() ? std::string{} : status.error().message();
   r.aux = aux;
-  cache_lru_.push_back(request_id);
-  response_cache_[request_id] = {r, std::prev(cache_lru_.end())};
-  while (response_cache_.size() > cache_capacity_) {
-    response_cache_.erase(cache_lru_.front());
-    cache_lru_.pop_front();
-    ++cache_evictions_;
-    if (cache_evictions_total_ != nullptr) cache_evictions_total_->inc();
-  }
+  cache_insert(request_id, r);
   endpoint_->send(proto::encode_frame(request_id, proto::Message{r}));
 }
 

@@ -18,10 +18,12 @@
 #include <list>
 #include <set>
 #include <map>
+#include <optional>
 #include <string>
 #include <utility>
 
 #include "common/alarm.hpp"
+#include "common/sync.hpp"
 #include "dwdm/muxponder.hpp"
 #include "dwdm/roadm.hpp"
 #include "dwdm/transponder.hpp"
@@ -99,11 +101,13 @@ class EmsServer {
 
   /// Response-cache introspection (LRU keyed by request id; replay hits
   /// refresh recency). Capacity is tunable for tests.
-  void set_response_cache_capacity(std::size_t capacity);
-  [[nodiscard]] std::size_t response_cache_size() const noexcept {
+  void set_response_cache_capacity(std::size_t capacity) EXCLUDES(cache_mu_);
+  [[nodiscard]] std::size_t response_cache_size() const EXCLUDES(cache_mu_) {
+    MutexLock lock(&cache_mu_);
     return response_cache_.size();
   }
-  [[nodiscard]] std::size_t cache_evictions() const noexcept {
+  [[nodiscard]] std::size_t cache_evictions() const EXCLUDES(cache_mu_) {
+    MutexLock lock(&cache_mu_);
     return cache_evictions_;
   }
 
@@ -132,6 +136,14 @@ class EmsServer {
                std::uint64_t aux);
   void trace(const std::string& event, const std::string& detail);
 
+  /// Cached response for a request id, refreshing its LRU recency.
+  [[nodiscard]] std::optional<proto::Response> cache_lookup(std::uint64_t id)
+      EXCLUDES(cache_mu_);
+  /// Insert a response, evicting least-recently-used ids past capacity.
+  void cache_insert(std::uint64_t id, const proto::Response& r)
+      EXCLUDES(cache_mu_);
+  void cache_flush() EXCLUDES(cache_mu_);
+
   sim::Engine* engine_;
   proto::Endpoint* endpoint_;
   EmsLatencyProfile profile_;
@@ -151,13 +163,16 @@ class EmsServer {
   std::set<std::uint64_t> busy_devices_;
   std::set<std::uint64_t> in_flight_requests_;
   /// Response cache: request id -> (response, position in the LRU list).
-  /// Bounded; least-recently-used id evicted past capacity.
+  /// Bounded; least-recently-used id evicted past capacity. Guarded by its
+  /// own mutex (DESIGN.md §15): the replay path is where a future
+  /// multi-threaded control plane first meets EMS state.
+  mutable Mutex cache_mu_;
   std::map<std::uint64_t,
            std::pair<proto::Response, std::list<std::uint64_t>::iterator>>
-      response_cache_;
-  std::list<std::uint64_t> cache_lru_;  // front = coldest
-  std::size_t cache_capacity_ = 256;
-  std::size_t cache_evictions_ = 0;
+      response_cache_ GUARDED_BY(cache_mu_);
+  std::list<std::uint64_t> cache_lru_ GUARDED_BY(cache_mu_);  // front=coldest
+  std::size_t cache_capacity_ GUARDED_BY(cache_mu_) = 256;
+  std::size_t cache_evictions_ GUARDED_BY(cache_mu_) = 0;
   std::size_t executed_ = 0;
 
   EmsFaultHook* fault_hook_ = nullptr;

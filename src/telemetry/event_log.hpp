@@ -38,6 +38,11 @@ struct Event {
   CorrelationTag tag = 0;  ///< connection correlation (0 = untagged)
 };
 
+/// Concurrency (DESIGN.md §15): the ring is guarded by one mutex.
+/// Accessors handing out references/pointers into the ring (events(),
+/// at_least(), for_category()) serve the owner thread's export path —
+/// concurrent log() calls may evict the pointees. Cross-thread consumers
+/// use the value-returning to_json()/render().
 class EventLog {
  public:
   explicit EventLog(std::size_t capacity = kDefaultCapacity)
@@ -46,36 +51,48 @@ class EventLog {
   static constexpr std::size_t kDefaultCapacity = 4096;
 
   /// Shrinking below the current size drops the oldest events (counted).
-  void set_capacity(std::size_t capacity);
-  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  void set_capacity(std::size_t capacity) EXCLUDES(mu_);
+  [[nodiscard]] std::size_t capacity() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return capacity_;
+  }
 
   void log(SimTime when, Severity severity, std::string category,
-           std::string actor, std::string message, CorrelationTag tag = 0);
+           std::string actor, std::string message, CorrelationTag tag = 0)
+      EXCLUDES(mu_);
 
-  [[nodiscard]] const std::deque<Event>& events() const noexcept {
+  [[nodiscard]] const std::deque<Event>& events() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return events_;
   }
-  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] std::size_t size() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return events_.size();
+  }
   /// Events evicted by the ring bound since construction/clear().
-  [[nodiscard]] std::uint64_t dropped_count() const noexcept {
+  [[nodiscard]] std::uint64_t dropped_count() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return dropped_;
   }
   /// Events at severity >= `floor` (insertion order preserved).
-  [[nodiscard]] std::vector<const Event*> at_least(Severity floor) const;
+  [[nodiscard]] std::vector<const Event*> at_least(Severity floor) const
+      EXCLUDES(mu_);
   [[nodiscard]] std::vector<const Event*> for_category(
-      const std::string& category) const;
+      const std::string& category) const EXCLUDES(mu_);
 
-  void clear();
+  void clear() EXCLUDES(mu_);
 
   /// {"dropped":N,"events":[{...},...]} — times in seconds, newest last.
-  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] std::string to_json() const EXCLUDES(mu_);
   /// Human-readable tail (newest `last_n` events) for the shell.
-  [[nodiscard]] std::string render(std::size_t last_n = 20) const;
+  [[nodiscard]] std::string render(std::size_t last_n = 20) const
+      EXCLUDES(mu_);
 
  private:
-  std::deque<Event> events_;
-  std::size_t capacity_;
-  std::uint64_t dropped_ = 0;
+  mutable Mutex mu_;
+  std::deque<Event> events_ GUARDED_BY(mu_);
+  std::size_t capacity_ GUARDED_BY(mu_);
+  std::uint64_t dropped_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace griphon::telemetry

@@ -40,8 +40,17 @@ config, history stash and verdict machinery applies — give drifty gauges
 "chaos/ems_*_queue_depth_max".
 
 Exit status: 1 if any regression was flagged, 0 otherwise. A missing
-baseline is not an error — first runs and cache evictions print a note and
-exit 0 so CI lanes stay green while still publishing the report artifact.
+baseline is not an error — first runs, evicted caches and histories that
+only contain the current commit (e.g. a re-run on the same sha) print a
+note and exit 0 so CI lanes stay green while still publishing the report
+artifact. When --history-dir is used without --sha, the sha defaults to
+`git rev-parse HEAD` so a restored cache from the same commit can never be
+mistaken for a prior baseline (self-diff would vacuously pass).
+
+`--self-test` runs the script against synthetic fixtures in a temp
+directory (regression, improvement, first-run, same-sha-only history) and
+exits 0 only if every case produced the expected verdict and exit code;
+CI runs it before trusting the real comparison.
 """
 
 from __future__ import annotations
@@ -52,6 +61,7 @@ import glob
 import json
 import os
 import shutil
+import subprocess
 import sys
 
 LOWER_IS_BETTER_UNITS = {"us", "ms", "s", "seconds"}
@@ -190,12 +200,120 @@ def stash_history(history_dir: str, sha: str, current_dir: str,
         shutil.rmtree(stale, ignore_errors=True)
 
 
-def main() -> int:
+def self_test() -> int:
+    """Exercise the verdict machinery on synthetic fixtures. Each case
+    re-enters main() with scratch directories; a wrong exit code or a
+    missing/unexpected verdict string fails the self-test."""
+    import contextlib
+    import io
+    import tempfile
+
+    def write_rows(directory: str, value: float, metric: str = "plans_sec",
+                   unit: str = "1/s") -> None:
+        os.makedirs(directory, exist_ok=True)
+        with open(os.path.join(directory, "BENCH_fixture.json"), "w",
+                  encoding="utf-8") as f:
+            json.dump([{"bench": "fixture", "metric": metric,
+                        "value": value, "unit": unit}], f)
+
+    def run_case(name: str, argv: list[str], want_rc: int,
+                 want_text: str | None = None) -> bool:
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            rc = main(argv)
+        ok = rc == want_rc and (want_text is None or want_text in
+                                out.getvalue())
+        print(f"self-test [{name}] rc={rc} (want {want_rc})"
+              + ("" if want_text is None else
+                 f", text {'found' if want_text in out.getvalue() else 'MISSING'}")
+              + f": {'ok' if ok else 'FAIL'}")
+        if not ok:
+            print("  --- case output ---")
+            print("  " + out.getvalue().replace("\n", "\n  "))
+        return ok
+
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="bench_diff_selftest_") as tmp:
+        base = os.path.join(tmp, "base")
+        cur = os.path.join(tmp, "cur")
+
+        # Throughput drop past the floor: regression, exit 1.
+        write_rows(base, 1000.0)
+        write_rows(cur, 500.0)
+        failures += not run_case(
+            "regression",
+            ["--baseline", base, "--current", cur, "--threshold", "10"],
+            1, "REGRESSION")
+
+        # Same drop inside a generous floor: ok, exit 0.
+        failures += not run_case(
+            "within-floor",
+            ["--baseline", base, "--current", cur, "--threshold", "60"],
+            0, "no regressions")
+
+        # Lower-is-better metric getting smaller is an improvement.
+        lat_base = os.path.join(tmp, "lat_base")
+        lat_cur = os.path.join(tmp, "lat_cur")
+        write_rows(lat_base, 100.0, metric="setup_p99", unit="us")
+        write_rows(lat_cur, 50.0, metric="setup_p99", unit="us")
+        failures += not run_case(
+            "lower-is-better",
+            ["--baseline", lat_base, "--current", lat_cur,
+             "--threshold", "10"],
+            0, "no regressions")
+
+        # No baseline at all: note + exit 0.
+        empty = os.path.join(tmp, "empty")
+        os.makedirs(empty, exist_ok=True)
+        failures += not run_case(
+            "first-run",
+            ["--baseline", empty, "--current", cur],
+            0, "nothing to compare")
+
+        # History that only holds the current sha (restored cache from the
+        # same commit): must NOT self-diff — note + exit 0, and the run
+        # stays stashed for the next commit.
+        hist = os.path.join(tmp, "hist")
+        write_rows(os.path.join(hist, "sha-current"), 500.0)
+        failures += not run_case(
+            "same-sha-history",
+            ["--current", cur, "--history-dir", hist, "--sha",
+             "sha-current"],
+            0, "no entries from other commits")
+
+        # Same history once another commit exists: real comparison again.
+        write_rows(os.path.join(hist, "sha-older"), 1000.0)
+        os.utime(os.path.join(hist, "sha-current"))  # current stays newest
+        failures += not run_case(
+            "history-baseline",
+            ["--current", cur, "--history-dir", hist, "--sha",
+             "sha-current", "--threshold", "10"],
+            1, "baseline from history")
+
+    print(f"bench_diff self-test: "
+          f"{'PASS' if failures == 0 else f'{failures} failure(s)'}")
+    return 0 if failures == 0 else 1
+
+
+def current_git_sha() -> str | None:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return proc.stdout.strip() or None
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return None
+
+
+def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", default=None,
                         help="directory holding the baseline BENCH_*.json "
                              "(optional when --history-dir is set)")
-    parser.add_argument("--current", required=True,
+    parser.add_argument("--current", default=None,
                         help="directory holding this run's BENCH_*.json")
     parser.add_argument("--threshold", type=float, default=10.0,
                         help="blanket regression floor in percent when no "
@@ -215,7 +333,23 @@ def main() -> int:
     parser.add_argument("--series", action="store_true",
                         help="compare SERIES_*.json gauge-sampler rollups "
                              "(mean/max per series) instead of BENCH rows")
-    args = parser.parse_args()
+    parser.add_argument("--self-test", action="store_true",
+                        help="run fixture-based self-tests and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if args.current is None:
+        parser.error("--current is required (unless --self-test)")
+
+    if args.history_dir and args.sha is None:
+        args.sha = current_git_sha()
+        if args.sha:
+            print(f"bench_diff: --sha defaulted to HEAD ({args.sha[:12]})")
+        else:
+            print("bench_diff: warning: --sha not given and git HEAD "
+                  "unavailable — a restored cache from this same commit "
+                  "would self-compare")
 
     noise = NoiseModel.load(args.noise_config, args.threshold)
     load = load_series_rows if args.series else load_rows
@@ -238,9 +372,20 @@ def main() -> int:
     lines: list[str] = []
     regressions: list[str] = []
     if not baseline:
-        lines.append(
-            f"bench_diff: no baseline under {baseline_dir!r} — first run or "
-            "evicted cache; nothing to compare (exit 0).")
+        if baseline_dir is None and args.history_dir:
+            lines.append(
+                "bench_diff: no prior baseline — history under "
+                f"{args.history_dir!r} has no entries from other commits "
+                "(first run on this branch, evicted cache, or a re-run on "
+                "the same sha); nothing to compare (exit 0).")
+        elif baseline_dir is None:
+            lines.append(
+                "bench_diff: no baseline given (--baseline/--history-dir) "
+                "— nothing to compare (exit 0).")
+        else:
+            lines.append(
+                f"bench_diff: no baseline under {baseline_dir!r} — first "
+                "run or evicted cache; nothing to compare (exit 0).")
     else:
         header = (f"{'bench':<20} {'metric':<42} {'baseline':>14} "
                   f"{'current':>14} {'delta':>9} {'floor':>7}  verdict")

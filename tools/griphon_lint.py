@@ -31,9 +31,31 @@ Checks (DESIGN.md §10):
   no-artifacts     No build artifacts tracked by git: nothing under build*/,
                    no object/archive/ninja/CMake-cache files, no binary
                    blobs (NUL byte in the first 8 KiB).
+  raw-sync         Library code under src/ must not use std::mutex /
+                   std::lock_guard / std::thread / std::condition_variable
+                   etc. directly — use the annotated wrappers in
+                   common/sync.hpp (Mutex, MutexLock, CondVar) so Clang
+                   thread-safety analysis sees every lock (DESIGN.md §15).
+                   src/common/sync.hpp itself (the wrapper implementation)
+                   is exempt. Tests/benches may spawn std::thread.
+  detached-thread  No `.detach()` anywhere in the tree: a detached thread
+                   outlives the scope that can join it, which breaks both
+                   TSan shutdown and run-to-run determinism.
+  mutable-global   No static-storage mutable data in src/ (`static` /
+                   `inline static` declarations that are not const or
+                   constexpr): hidden global state is invisible to the
+                   capability annotations and breaks replay determinism.
+                   Static member *functions* are fine.
+  guarded-member   Every `Mutex foo_;` member declared in a src/ header
+                   must be referenced by at least one GUARDED_BY(foo_) /
+                   PT_GUARDED_BY(foo_) in the same file — a mutex that
+                   guards nothing is either dead or (worse) the guarded
+                   members were left unannotated, which silently disables
+                   the analysis for them.
 
 Usage:
     tools/griphon_lint.py [--report griphon_lint_report.txt] [paths...]
+    tools/griphon_lint.py --self-test   # run fixture-based negative tests
 
 Exit status: 0 clean, 1 findings, 2 usage error.
 Suppression: a finding line may be waived with a trailing
@@ -477,6 +499,222 @@ def check_no_artifacts(findings: list[Finding]) -> None:
                 )
 
 
+# --- raw-sync ---------------------------------------------------------------
+
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable(?:_any)?|thread|jthread)\b"
+)
+# The annotated wrappers are implemented in terms of std::mutex — that is
+# the one place the raw primitives belong.
+RAW_SYNC_EXEMPT = (os.path.join("src", "common", "sync.hpp"),)
+
+
+def check_raw_sync(findings: list[Finding]) -> None:
+    for path in repo_files(("src",), (".cpp", ".hpp")):
+        rel = os.path.relpath(path, REPO_ROOT)
+        if rel in RAW_SYNC_EXEMPT:
+            continue
+        with open(path, encoding="utf-8") as fh:
+            raw = fh.read()
+        text = strip_comments(raw)
+        raw_lines = raw.splitlines()
+        for m in RAW_SYNC_RE.finditer(text):
+            f = Finding(
+                path,
+                line_of(text, m.start()),
+                "raw-sync",
+                f"{m.group(0)} in library code — use the annotated "
+                "Mutex/MutexLock/CondVar from common/sync.hpp so "
+                "-Wthread-safety sees the lock (DESIGN.md §15)",
+            )
+            if not allowed(raw_lines, f):
+                findings.append(f)
+
+
+# --- detached-thread --------------------------------------------------------
+
+DETACH_RE = re.compile(r"\.\s*detach\s*\(\s*\)")
+
+
+def check_detached_thread(findings: list[Finding]) -> None:
+    for path in repo_files(SOURCE_DIRS, (".cpp", ".hpp")):
+        with open(path, encoding="utf-8") as fh:
+            raw = fh.read()
+        text = strip_comments(raw)
+        raw_lines = raw.splitlines()
+        for m in DETACH_RE.finditer(text):
+            f = Finding(
+                path,
+                line_of(text, m.start()),
+                "detached-thread",
+                "detached thread — nothing can join it, breaking TSan "
+                "shutdown and replay determinism; keep the handle and join",
+            )
+            if not allowed(raw_lines, f):
+                findings.append(f)
+
+
+# --- mutable-global ---------------------------------------------------------
+
+# `static <type> <name> = ...;` / `... {...};` / `...;` where the type is not
+# const/constexpr and the declarator is data (no '(' — static member
+# *functions* and factories are fine). Applied per line on comment-stripped
+# text; multi-line declarations are rare enough that the annotation review
+# catches them.
+STATIC_DATA_RE = re.compile(
+    r"^\s*(?:inline\s+)?static\s+(?!(?:const|constexpr)\b)"
+    r"[\w:<>,&*]+(?:\s+[\w:<>,&*]+)*?\s+\w+\s*(?:=|\{|;)",
+    re.M,
+)
+
+
+def check_mutable_global(findings: list[Finding]) -> None:
+    for path in repo_files(("src",), (".cpp", ".hpp")):
+        with open(path, encoding="utf-8") as fh:
+            raw = fh.read()
+        text = strip_comments(raw)
+        raw_lines = raw.splitlines()
+        for m in STATIC_DATA_RE.finditer(text):
+            f = Finding(
+                path,
+                line_of(text, m.start()),
+                "mutable-global",
+                "static-storage mutable data — hidden shared state is "
+                "invisible to GUARDED_BY and breaks replay determinism; "
+                "thread state through the owning object",
+            )
+            if not allowed(raw_lines, f):
+                findings.append(f)
+
+
+# --- guarded-member ---------------------------------------------------------
+
+MUTEX_MEMBER_RE = re.compile(r"\bMutex\s+(?P<name>\w+)\s*;")
+
+
+def check_guarded_member(findings: list[Finding]) -> None:
+    for path in repo_files(("src",), (".hpp",)):
+        rel = os.path.relpath(path, REPO_ROOT)
+        if rel in RAW_SYNC_EXEMPT:
+            continue
+        with open(path, encoding="utf-8") as fh:
+            raw = fh.read()
+        text = strip_comments(raw)
+        raw_lines = raw.splitlines()
+        for m in MUTEX_MEMBER_RE.finditer(text):
+            name = m.group("name")
+            if re.search(
+                r"\b(?:PT_)?GUARDED_BY\(\s*" + re.escape(name) + r"\s*\)",
+                text,
+            ):
+                continue
+            f = Finding(
+                path,
+                line_of(text, m.start()),
+                "guarded-member",
+                f"Mutex {name} guards no member — annotate the protected "
+                f"members GUARDED_BY({name}) or remove the mutex "
+                "(DESIGN.md §15)",
+            )
+            if not allowed(raw_lines, f):
+                findings.append(f)
+
+
+# --- self-test --------------------------------------------------------------
+
+# (fixture source, relative path, check, expected finding count). Each bad
+# fixture also carries an allow-comment twin proving suppression works.
+SELF_TEST_FIXTURES = (
+    (
+        "#pragma once\n#include <mutex>\nstd::mutex bad_mu;\n"
+        "std::lock_guard<std::mutex> g(bad_mu);\n"
+        "std::thread t;  // griphon-lint: allow(raw-sync) fixture waiver\n",
+        os.path.join("src", "core", "fixture_raw_sync.hpp"),
+        "raw-sync",
+        3,  # mutex + mutex again inside lock_guard<> counts once per token
+    ),
+    (
+        "#pragma once\nvoid f() { worker.detach(); }\n",
+        os.path.join("src", "core", "fixture_detach.hpp"),
+        "detached-thread",
+        1,
+    ),
+    (
+        "#pragma once\nstatic int counter = 0;\n"
+        "inline static double scale;\n"
+        "static const int kOk = 1;\n"
+        "static constexpr int kAlsoOk = 2;\n"
+        "class C { static int helper(); };\n",
+        os.path.join("src", "core", "fixture_global.hpp"),
+        "mutable-global",
+        2,
+    ),
+    (
+        "#pragma once\nclass C {\n mutable Mutex dead_mu_;\n int x_;\n};\n"
+        "class D {\n mutable Mutex mu_;\n int y_ GUARDED_BY(mu_);\n};\n",
+        os.path.join("src", "core", "fixture_guarded.hpp"),
+        "guarded-member",
+        1,
+    ),
+)
+
+
+def self_test() -> int:
+    """Negative tests: plant known-bad fixtures in a temp tree, assert each
+    check fires the expected number of times and allow-comments suppress."""
+    import shutil
+    import tempfile
+
+    global REPO_ROOT
+    failures = 0
+    saved_root = REPO_ROOT
+    tmp = tempfile.mkdtemp(prefix="griphon_lint_selftest_")
+    try:
+        REPO_ROOT = tmp
+        check_fns = {
+            "raw-sync": check_raw_sync,
+            "detached-thread": check_detached_thread,
+            "mutable-global": check_mutable_global,
+            "guarded-member": check_guarded_member,
+        }
+        for source, rel, check, expected in SELF_TEST_FIXTURES:
+            case_dir = os.path.join(tmp, os.path.dirname(rel))
+            os.makedirs(case_dir, exist_ok=True)
+            fixture = os.path.join(tmp, rel)
+            with open(fixture, "w", encoding="utf-8") as fh:
+                fh.write(source)
+            findings: list[Finding] = []
+            check_fns[check](findings)
+            got = sum(1 for f in findings if f.check == check)
+            status = "ok" if got == expected else "FAIL"
+            if got != expected:
+                failures += 1
+            print(f"self-test [{check}] expected {expected} got {got}: "
+                  f"{status}")
+            os.remove(fixture)
+        # raw-sync must stay quiet on the wrapper header itself.
+        exempt_dir = os.path.join(tmp, "src", "common")
+        os.makedirs(exempt_dir, exist_ok=True)
+        with open(os.path.join(exempt_dir, "sync.hpp"), "w",
+                  encoding="utf-8") as fh:
+            fh.write("#pragma once\n#include <mutex>\nstd::mutex impl_mu;\n")
+        findings = []
+        check_raw_sync(findings)
+        status = "ok" if not findings else "FAIL"
+        if findings:
+            failures += 1
+        print(f"self-test [raw-sync exemption] expected 0 got "
+              f"{len(findings)}: {status}")
+    finally:
+        REPO_ROOT = saved_root
+        shutil.rmtree(tmp, ignore_errors=True)
+    print(f"griphon-lint self-test: "
+          f"{'PASS' if failures == 0 else f'{failures} failure(s)'}")
+    return 0 if failures == 0 else 1
+
+
 # --- driver -----------------------------------------------------------------
 
 CHECKS = {
@@ -486,6 +724,10 @@ CHECKS = {
     "include-order": check_include_order,
     "nodiscard": check_nodiscard,
     "no-artifacts": check_no_artifacts,
+    "raw-sync": check_raw_sync,
+    "detached-thread": check_detached_thread,
+    "mutable-global": check_mutable_global,
+    "guarded-member": check_guarded_member,
 }
 
 
@@ -495,7 +737,12 @@ def main() -> int:
                         help="also write findings to FILE")
     parser.add_argument("--checks", default=",".join(CHECKS),
                         help="comma-separated subset of checks to run")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run fixture-based negative tests and exit")
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
 
     selected = [c.strip() for c in args.checks.split(",") if c.strip()]
     unknown = [c for c in selected if c not in CHECKS]

@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Run the Clang Static Analyzer over the CMake-exported compilation database.
+
+Usage:
+    tools/run_csa.py [--build-dir build] [--require] [--report-dir DIR]
+                     [paths...]
+
+Reads <build-dir>/compile_commands.json, keeps translation units under the
+given paths (default: src), and analyzes each in parallel with
+`clang --analyze`. The analyzer's path-sensitive checks (core.*, deadcode,
+cplusplus.*, unix.Malloc, security checks) catch whole-path bugs the
+compiler's flow-insensitive warnings cannot: null derefs behind branches,
+use-after-move chains, leaked resources on error paths.
+
+Any analyzer diagnostic fails the run (exit 1) — the suppression policy is
+the same as the rest of the static-analysis stack (DESIGN.md §15): fix the
+bug or annotate the false positive at the source with a justification; no
+global suppression lists.
+
+With --report-dir, per-file HTML reports are emitted for every diagnostic
+(CI uploads the directory as an artifact so a red lane is debuggable from
+the browser).
+
+The container used for local development may not ship clang; without
+--require the script prints a notice and exits 0 so local pre-commit runs
+degrade gracefully. CI passes --require so a missing tool can never
+masquerade as a clean run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import multiprocessing
+import os
+import shlex
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+# Library code only by default: tests/benches trade analyzer cleanliness for
+# brevity (intentional leaks of process-lifetime fixtures etc.).
+DEFAULT_PATHS = ("src",)
+CANDIDATE_BINARIES = (
+    "clang++",
+    "clang++-19",
+    "clang++-18",
+    "clang++-17",
+    "clang++-16",
+    "clang++-15",
+    "clang++-14",
+)
+
+# Checker set: the default core/cplusplus/deadcode/unix packages plus the
+# optional checkers that have proven signal on value-semantic C++ like this
+# codebase. Experimental alpha.* checkers stay off — their false-positive
+# rate would force suppressions, and the policy is zero suppressions.
+ENABLED_CHECKERS = (
+    "optin.cplusplus.UninitializedObject",
+    "optin.cplusplus.VirtualCall",
+)
+
+# Flags clang does not understand or that fight the analyzer; everything
+# else (-std, -I, -D) is reused from the GCC command line so the analyzer
+# sees exactly what the compiler sees.
+DROP_FLAGS = {"-c", "-o", "-fno-fat-lto-objects"}
+DROP_PREFIXES = ("-fdebug-prefix-map",)
+
+
+def find_clang() -> str | None:
+    override = os.environ.get("CSA_CLANG")
+    if override:
+        return override if shutil.which(override) else None
+    for name in CANDIDATE_BINARIES:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def load_database(build_dir: str) -> list[dict]:
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        sys.exit(
+            f"error: {db_path} not found — configure first:\n"
+            "  cmake -B build -S .   (CMAKE_EXPORT_COMPILE_COMMANDS is ON "
+            "by default)"
+        )
+    with open(db_path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def select_entries(database: list[dict],
+                   paths: tuple[str, ...]) -> list[dict]:
+    prefixes = tuple(os.path.join(REPO_ROOT, p) + os.sep for p in paths)
+    by_file: dict[str, dict] = {}
+    for entry in database:
+        path = os.path.abspath(entry["file"])
+        if path.startswith(prefixes):
+            by_file.setdefault(path, entry)
+    return [by_file[f] for f in sorted(by_file)]
+
+
+def analyzer_args(entry: dict) -> list[str]:
+    """Reuse the compile command's include paths/defines/standard, dropping
+    codegen-only flags plus the input/output operands."""
+    argv = entry.get("arguments") or shlex.split(entry["command"])
+    out: list[str] = []
+    skip_next = False
+    for arg in argv[1:]:  # argv[0] is the real compiler
+        if skip_next:
+            skip_next = False
+            continue
+        if arg in DROP_FLAGS:
+            skip_next = arg == "-o"
+            continue
+        if arg.startswith(DROP_PREFIXES):
+            continue
+        if os.path.abspath(arg) == os.path.abspath(entry["file"]):
+            continue
+        out.append(arg)
+    return out
+
+
+def run_one(binary: str, entry: dict,
+            report_dir: str | None) -> tuple[str, int, str]:
+    source = entry["file"]
+    cmd = [binary, "--analyze"]
+    for checker in ENABLED_CHECKERS:
+        cmd += ["-Xclang", "-analyzer-checker=" + checker]
+    if report_dir:
+        rel = os.path.relpath(os.path.abspath(source), REPO_ROOT)
+        out_dir = os.path.join(report_dir, rel.replace(os.sep, "__"))
+        cmd += ["-Xclang", "-analyzer-output=html", "-o", out_dir]
+    else:
+        # Text diagnostics go to stderr; no .plist droppings in the tree.
+        cmd += ["-Xclang", "-analyzer-output=text"]
+    cmd += analyzer_args(entry)
+    cmd.append(source)
+    proc = subprocess.run(
+        cmd,
+        capture_output=True,
+        text=True,
+        check=False,
+        cwd=entry.get("directory", REPO_ROOT),
+    )
+    return source, proc.returncode, (proc.stderr or "").strip()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument(
+        "--require",
+        action="store_true",
+        help="fail (exit 2) if clang is not installed",
+    )
+    parser.add_argument(
+        "--report-dir",
+        metavar="DIR",
+        help="emit per-file HTML reports for diagnostics into DIR",
+    )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=multiprocessing.cpu_count(),
+    )
+    parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS))
+    args = parser.parse_args()
+
+    binary = find_clang()
+    if binary is None:
+        if args.require:
+            print("error: clang not found (set CSA_CLANG or install it)")
+            return 2
+        print("notice: clang not installed — skipping the static analyzer "
+              "(use --require to make this an error)")
+        return 0
+
+    build_dir = os.path.join(REPO_ROOT, args.build_dir)
+    entries = select_entries(load_database(build_dir), tuple(args.paths))
+    if not entries:
+        print("error: no translation units matched", args.paths)
+        return 2
+    if args.report_dir:
+        os.makedirs(args.report_dir, exist_ok=True)
+
+    print(f"{binary} --analyze: {len(entries)} translation units "
+          f"with {args.jobs} jobs")
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for source, code, output in pool.map(
+            lambda e: run_one(binary, e, args.report_dir), entries
+        ):
+            rel = os.path.relpath(source, REPO_ROOT)
+            # A diagnostic shows up as "warning:" lines from the analyzer;
+            # a non-zero exit means the TU did not even parse.
+            noisy = [
+                line
+                for line in output.splitlines()
+                if "warning:" in line or "error:" in line
+            ]
+            if code != 0 or noisy:
+                failures += 1
+                print(f"== {rel}")
+                print(output or f"(exit {code}, no output)")
+    if failures:
+        print(f"csa: {failures}/{len(entries)} files with diagnostics")
+        if args.report_dir:
+            print(f"csa: HTML reports under {args.report_dir}")
+        return 1
+    print(f"csa: clean ({len(entries)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
