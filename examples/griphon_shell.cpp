@@ -32,6 +32,10 @@
 //   transfers                  bulk-transfer status table
 //   reserve <link> <gbps> <start-s> <end-s>   advance calendar reservation
 //   calendar                   reservation-calendar occupancy map
+//   reopt [analyze]            fragmentation + continuity scorecard
+//   reopt plan                 migration delta the compaction solver wants
+//   reopt run                  hitless defrag campaign (BoD windows exempt)
+//   reopt stats                re-optimization service counters
 //   chaos plan <preset> [x]    load a fault plan (optionally scaled by x)
 //   chaos arm | disarm | heal  start / stop / repair fault injection
 //   chaos stats                injector counters + controller fault stats
@@ -53,6 +57,7 @@
 #include "chaos/fault_plan.hpp"
 #include "core/observability.hpp"
 #include "core/scenario.hpp"
+#include "reopt/service.hpp"
 #include "core/step_dag.hpp"
 #include "telemetry/sampler.hpp"
 #include "telemetry/slo.hpp"
@@ -90,6 +95,18 @@ int main() {
                                    &admission);
   scheduler.register_portal(s.portal.get());
 
+  // Re-optimization rides the same controller: hourly fragmentation
+  // analysis and on-demand defrag campaigns. Connections inside
+  // calendar-committed BoD transfer windows are never migrated.
+  reopt::ReoptService::Params reopt_params;
+  for (const auto& a : s.model->graph().nodes())
+    for (const auto& b : s.model->graph().nodes())
+      if (a.id.value() < b.id.value())
+        reopt_params.pairs.emplace_back(a.id, b.id);
+  reopt::ReoptService reoptsvc(s.controller.get(), reopt_params);
+  reoptsvc.set_exempt_provider(
+      [&scheduler] { return scheduler.migration_exempt_connections(); });
+
   // Observability v2: a gauge sampler over the standard probe set (pool
   // occupancy, EMS queues/breakers, calendar, connections) feeding SLO
   // evaluation against the paper's operational budgets.
@@ -101,6 +118,7 @@ int main() {
     bod::install_calendar_probes(sampler, calendar, s.engine,
                                  std::move(links));
   }
+  reoptsvc.install_probes(sampler);
   sampler.start(from_seconds(5));
   telemetry::SloMonitor slo(&s.engine, &tel);
   slo.add_objective(
@@ -111,6 +129,7 @@ int main() {
       telemetry::blocking_rate_objective(tel.metrics(), /*ceiling=*/0.05));
   slo.add_objective(
       telemetry::bod_deadline_miss_objective(tel.metrics(), /*ceiling=*/0.1));
+  slo.add_objective(reopt::fragmentation_objective(reoptsvc, /*bound=*/0.35));
   slo.start(from_seconds(10));
 
   // Fault injection on demand: `chaos plan <preset>` builds an injector
@@ -143,6 +162,7 @@ int main() {
              "series [save path [csv]] | eventlog [n | save path] | dag | "
              "schedule a b tb hours | transfers | "
              "reserve link gbps start-s end-s | calendar | "
+             "reopt [analyze | plan | run | stats] | "
              "chaos [plan preset [x] | arm | disarm | heal | stats | log] | "
              "quit\n";
     } else if (cmd == "sites") {
@@ -413,6 +433,68 @@ int main() {
           << st.setups_ok + st.setups_failed << ", releases " << st.releases
           << ", restorations " << st.restorations_ok << ", rolls "
           << st.rolls_ok << ", EMS commands " << st.commands_issued << "\n";
+    } else if (cmd == "reopt") {
+      std::string sub;
+      in >> sub;
+      if (sub.empty() || sub == "analyze") {
+        const auto& report = reoptsvc.analyze();
+        out << "  fragmentation mean " << report.mean_score << ", max "
+            << report.max_score << " (" << report.fragmented_links
+            << " fragmented link(s), " << report.total_used << " used / "
+            << report.total_free << " free channels)\n"
+            << "  continuity: " << report.stranded_pairs
+            << " stranded pair(s), " << report.blocked_candidates
+            << " blocked candidate route(s) of " << report.pairs_scored
+            << " pairs probed\n";
+        for (const auto& lf : report.links)
+          if (lf.score > 0)
+            out << "    " << s.model->graph().link(lf.link).name << ": score "
+                << lf.score << " (largest free block "
+                << lf.largest_free_block << " of " << lf.free << ")\n";
+      } else if (sub == "plan") {
+        const auto plan = reoptsvc.plan_now();
+        if (plan.moves.empty()) {
+          out << "  nothing to migrate (" << plan.items_considered
+              << " live connection(s) considered)\n";
+        } else {
+          out << "  " << plan.moves.size() << " move(s) over "
+              << plan.items_considered << " live connection(s):\n";
+          for (const auto& mv : plan.moves) {
+            out << "    connection " << mv.id.value() << " ->";
+            for (const auto& seg : mv.target.segments)
+              out << " ch" << seg.channel;
+            out << "\n";
+          }
+        }
+        const auto exempt = scheduler.migration_exempt_connections();
+        if (!exempt.empty())
+          out << "  (" << exempt.size()
+              << " connection(s) exempt: in-window BoD transfers)\n";
+      } else if (sub == "run") {
+        bool done = false;
+        reoptsvc.run_campaign(
+            [&](const reopt::MigrationExecutor::CampaignReport& r) {
+              done = true;
+              out << "  campaign: " << r.moves_rolled << "/"
+                  << r.moves_planned << " moved, " << r.moves_skipped
+                  << " skipped, " << r.moves_failed << " failed, "
+                  << r.cycle_breaks << " cycle break(s)"
+                  << (r.aborted ? " — ABORTED: " + r.abort_reason : "")
+                  << "\n";
+            });
+        settle();
+        if (!done) out << "  campaign still draining (wait, then stats)\n";
+      } else if (sub == "stats") {
+        const auto& rs = reoptsvc.stats();
+        out << "  analyses " << rs.analyses << ", campaigns "
+            << rs.campaigns_completed << "/" << rs.campaigns_started
+            << " (aborted " << rs.campaigns_aborted << "), moves rolled "
+            << rs.moves_rolled << ", skipped " << rs.moves_skipped
+            << ", failed " << rs.moves_failed << ", cycle breaks "
+            << rs.cycle_breaks << "\n";
+      } else {
+        out << "  usage: reopt [analyze | plan | run | stats]\n";
+      }
     } else if (cmd == "chaos") {
       std::string sub;
       in >> sub;

@@ -573,6 +573,24 @@ Status TransferScheduler::cancel(CustomerId caller, TransferId id) {
   return Status::success();
 }
 
+std::set<ConnectionId> TransferScheduler::migration_exempt_connections()
+    const {
+  std::set<ConnectionId> exempt;
+  for (const auto& [id, t] : transfers_) {
+    if (t.state != TransferState::kScheduled &&
+        t.state != TransferState::kActive)
+      continue;
+    const core::CustomerPortal* portal = portal_of(t.customer);
+    if (portal == nullptr) continue;
+    for (const Piece& p : t.pieces) {
+      if (!p.active || p.done || !p.bundle.valid()) continue;
+      for (const ConnectionId c : portal->bundle(p.bundle).parts)
+        exempt.insert(c);
+    }
+  }
+  return exempt;
+}
+
 std::string TransferScheduler::render() const {
   std::ostringstream os;
   os << "+-----+----------+-----------+------------+------------+--------+\n"

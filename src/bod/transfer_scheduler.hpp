@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -141,6 +142,14 @@ class TransferScheduler {
   /// the NTE cannot deliver. Public so operators can render/inspect
   /// access-pipe occupancy alongside the fibers.
   [[nodiscard]] LinkId access_link(MuxponderId nte);
+
+  /// Connections currently carrying calendar-committed transfer pieces.
+  /// The re-optimization service must not migrate these: their windows
+  /// were admitted against specific calendar capacity, and even a hitless
+  /// roll risks a mid-window interruption if it aborts. Recomputed per
+  /// call — campaign planning queries it once at gather time.
+  [[nodiscard]] std::set<ConnectionId> migration_exempt_connections()
+      const;
 
  private:
   /// One scheduled slice of a transfer: a route, a composable rate and a

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <numeric>
 #include <sstream>
 
 #include "telemetry/telemetry.hpp"
@@ -103,6 +104,9 @@ GriphonController::GriphonController(NetworkModel* model, Params params)
       {&model_->otn_ems_client(), "otn-ems"},
       {&model_->nte_ems_client(), "nte-ems"},
   };
+  // O(1) snapshot free-bitmap maintenance off device lifecycle
+  // transitions (DESIGN.md §15) — no pool re-scan on the plan hot path.
+  inventory_.attach_device_listeners(model_);
   // Alarm plumbing: every EMS event stream feeds the failure manager.
   const auto sink = [this](const proto::Frame& frame) {
     handle_alarm_frame(frame);
@@ -1851,7 +1855,11 @@ void GriphonController::roll_to_plan(ConnectionId id,
                                      const WavelengthPlan& new_plan,
                                      DoneCallback cb) {
   Connection* c0 = find_conn(id);
-  if (c0 == nullptr || !c0->is_up()) {
+  // Stricter than is_up(): kRestoring means a restoration owns the state
+  // machine right now (a fiber cut can land during the roll's path-compute
+  // think time), and kRolling means another roll does. Starting a roll in
+  // either state would clobber the in-flight operation.
+  if (c0 == nullptr || c0->state != ConnectionState::kActive) {
     cb(Status{ErrorCode::kConflict, "controller: connection not rollable"});
     return;
   }
@@ -1868,42 +1876,86 @@ void GriphonController::roll_to_plan(ConnectionId id,
         t->span_start("bridge_and_roll", "controller", telemetry_tag(id), 0);
     bridge_span = t->span_start("bridge", "controller", 0, c0->op_span);
   }
+  // Failure handling (a fiber cut on the in-service path) can take the
+  // connection out of kRolling while the bridge is still building. The
+  // restoration machinery owns the state machine from that point; every
+  // roll callback below re-checks the state and, if it lost the race,
+  // unwinds the bridge and stands down instead of clobbering the
+  // restoration. c->op_span may already belong to the restoration then,
+  // so the roll's root span handle is captured by value here.
+  const std::uint64_t roll_span = c0->op_span;
   // Bridge: build the new path end to end while traffic rides the old one.
   auto steps = std::make_shared<StepList>(
       build_wavelength_setup(*c0, new_plan, /*include_access=*/false));
-  run_steps(steps, false, [this, id, new_plan, steps, bridge_span,
+  run_steps(steps, false, [this, id, new_plan, steps, bridge_span, roll_span,
                            cb = std::move(cb)](
                               Status status,
                               std::vector<std::size_t> succeeded) mutable {
     if (telemetry::Telemetry* t = model_->telemetry())
       t->span_end(bridge_span, status.ok());
     Connection* c = find_conn(id);
-    if (c == nullptr) return;
+    if (c == nullptr) {
+      unreserve_plan(new_plan);
+      return;
+    }
     unreserve_plan(new_plan);
-    if (!status.ok()) {
+    if (!status.ok() || c->state != ConnectionState::kRolling) {
+      const Status out =
+          status.ok()
+              ? Status{ErrorCode::kConflict,
+                       "controller: connection failed during bridge; "
+                       "restoration owns recovery"}
+              : status;
       ++stats_.rolls_failed;
       if (telemetry::Telemetry* t = model_->telemetry()) {
-        t->span_end(c->op_span, false, status.error().message());
-        c->op_span = 0;
+        t->span_end(roll_span, false, out.error().message());
+        if (c->op_span == roll_span) c->op_span = 0;
         t->metrics()
             .counter("griphon_controller_rolls_failed_total",
                      "Bridge-and-roll attempts that failed")
             ->inc();
       }
       rollback_steps(steps, std::move(succeeded),
-                     [this, id, status, cb = std::move(cb)]() mutable {
+                     [this, id, out, cb = std::move(cb)]() mutable {
                        Connection* c = find_conn(id);
-                       if (c != nullptr) c->state = ConnectionState::kActive;
-                       cb(status);
+                       // Only un-wedge a still-rolling connection; a failed
+                       // or restoring one belongs to failure handling.
+                       if (c != nullptr &&
+                           c->state == ConnectionState::kRolling)
+                         c->state = ConnectionState::kActive;
+                       cb(out);
                      });
       return;
     }
     // Roll: the NTE bridges the client signal to both paths; the receive
     // side selects the new one. The service hit is tens of milliseconds.
-    model_->engine().schedule(params_.roll_hit, [this, id, new_plan,
+    model_->engine().schedule(params_.roll_hit, [this, id, new_plan, steps,
+                                                 roll_span,
                                                  cb = std::move(cb)]() mutable {
       Connection* c = find_conn(id);
       if (c == nullptr) return;
+      if (c->state != ConnectionState::kRolling) {
+        // The cut landed in the post-bridge settling window. The bridge is
+        // fully built, so unwind all of it and let restoration recover the
+        // service on whatever path it finds.
+        ++stats_.rolls_failed;
+        if (telemetry::Telemetry* t = model_->telemetry()) {
+          t->span_end(roll_span, false, "superseded by failure handling");
+          if (c->op_span == roll_span) c->op_span = 0;
+          t->metrics()
+              .counter("griphon_controller_rolls_failed_total",
+                       "Bridge-and-roll attempts that failed")
+              ->inc();
+        }
+        std::vector<std::size_t> all(steps->size());
+        std::iota(all.begin(), all.end(), 0);
+        rollback_steps(steps, std::move(all), [cb = std::move(cb)]() mutable {
+          cb(Status{ErrorCode::kConflict,
+                    "controller: connection failed before the roll; "
+                    "restoration owns recovery"});
+        });
+        return;
+      }
       const WavelengthPlan old_plan = c->plan;
       c->plan = new_plan;
       ++c->rolls;
@@ -1944,24 +1996,41 @@ void GriphonController::roll_to_plan(ConnectionId id,
         repatch(c->src_pop, c->src_site, c->src_nte_port, new_plan.src_ot);
       if (old_plan.dst_ot != new_plan.dst_ot)
         repatch(c->dst_pop, c->dst_site, c->dst_nte_port, new_plan.dst_ot);
-      const auto old_teardown =
-          build_wavelength_teardown(*c, old_plan, /*include_access=*/false);
-      post->insert(post->end(), old_teardown.begin(), old_teardown.end());
+      // Teardown deps are indices within their own list; the repatch steps
+      // above shift them, so rebase instead of splicing raw.
+      const std::size_t tear_base = post->size();
+      append_steps(*post,
+                   build_wavelength_teardown(*c, old_plan,
+                                             /*include_access=*/false));
+      // Old endpoint optics the new plan no longer uses go back to idle,
+      // not just dark: a completed roll must leave no tuned-but-unowned
+      // residue for resync to sweep. Deactivate steps sit first in the
+      // teardown (tear_base + 0 / + 1).
+      auto* roadm = &model_->roadm_ems_client();
+      if (old_plan.src_ot != new_plan.src_ot)
+        post->push_back(Step{roadm,
+                             proto::OtSetState{old_plan.src_ot,
+                                               proto::OtSetState::Action::kReset},
+                             std::nullopt, {tear_base}});
+      if (old_plan.dst_ot != new_plan.dst_ot)
+        post->push_back(Step{roadm,
+                             proto::OtSetState{old_plan.dst_ot,
+                                               proto::OtSetState::Action::kReset},
+                             std::nullopt, {tear_base + 1}});
       std::uint64_t repatch_span = 0;
       if (telemetry::Telemetry* t = model_->telemetry())
         repatch_span =
             t->span_start("repatch_teardown", "controller", 0, c->op_span);
-      run_steps(post, true, [this, id, repatch_span, cb = std::move(cb)](
+      run_steps(post, true, [this, id, repatch_span, roll_span,
+                             cb = std::move(cb)](
                                 Status, std::vector<std::size_t>) mutable {
         Connection* c = find_conn(id);
         if (c != nullptr && c->state == ConnectionState::kRolling)
           c->state = ConnectionState::kActive;
         if (telemetry::Telemetry* t = model_->telemetry()) {
           t->span_end(repatch_span);
-          if (c != nullptr) {
-            t->span_end(c->op_span);
-            c->op_span = 0;
-          }
+          t->span_end(roll_span);
+          if (c != nullptr && c->op_span == roll_span) c->op_span = 0;
           t->metrics()
               .counter("griphon_controller_rolls_ok_total",
                        "Bridge-and-roll operations completed")
@@ -2016,6 +2085,61 @@ void GriphonController::bridge_and_roll(ConnectionId id,
     }
     roll_to_plan(id, std::move(plan).value(), std::move(cb));
   });
+}
+
+void GriphonController::roll_to(ConnectionId id, const WavelengthPlan& new_plan,
+                                DoneCallback cb) {
+  Connection* c = find_conn(id);
+  if (c == nullptr) {
+    cb(Status{ErrorCode::kNotFound, "controller: unknown connection"});
+    return;
+  }
+  if (c->kind != ConnectionKind::kWavelength) {
+    cb(Status{ErrorCode::kInvalidArgument,
+              "controller: roll_to applies to wavelength services"});
+    return;
+  }
+  // Stricter than is_up(): a connection already mid-roll cannot take a
+  // second overlapping roll.
+  if (c->state != ConnectionState::kActive) {
+    cb(Status{ErrorCode::kConflict, "controller: connection not active"});
+    return;
+  }
+  if (new_plan.path.nodes.empty() || new_plan.path.nodes.front() != c->src_pop ||
+      new_plan.path.nodes.back() != c->dst_pop) {
+    cb(Status{ErrorCode::kInvalidArgument,
+              "controller: plan endpoints do not match connection"});
+    return;
+  }
+  if (new_plan.segments.empty()) {
+    cb(Status{ErrorCode::kInvalidArgument, "controller: plan has no segments"});
+    return;
+  }
+  // Both paths are lit simultaneously while the bridge stands, so the new
+  // plan may not reuse any (link, channel) cell of the current one.
+  std::set<std::pair<std::uint64_t, dwdm::ChannelIndex>> lit;
+  for (const SegmentPlan& seg : c->plan.segments)
+    for (std::size_t i = seg.first_link; i <= seg.last_link; ++i)
+      lit.emplace(c->plan.path.links[i].value(), seg.channel);
+  for (const SegmentPlan& seg : new_plan.segments) {
+    for (std::size_t i = seg.first_link; i <= seg.last_link; ++i) {
+      if (lit.count({new_plan.path.links[i].value(), seg.channel}) != 0) {
+        cb(Status{ErrorCode::kConflict,
+                  "controller: plan shares a lit (link, channel) cell with "
+                  "the in-service path"});
+        return;
+      }
+    }
+  }
+  roll_to_plan(id, new_plan, std::move(cb));
+}
+
+std::vector<ConnectionId> GriphonController::live_wavelength_connections()
+    const {
+  std::vector<ConnectionId> out;
+  for (const auto& [id, c] : connections_)
+    if (c.kind == ConnectionKind::kWavelength && c.is_up()) out.push_back(id);
+  return out;  // connections_ is an ordered map, so ids are ascending
 }
 
 void GriphonController::prepare_maintenance(LinkId link, DoneCallback cb) {

@@ -118,6 +118,18 @@ class GriphonController {
   /// to enter maintenance).
   void bridge_and_roll(ConnectionId id, const Exclusions& avoid,
                        DoneCallback cb);
+  /// Roll one Active wavelength connection onto a caller-supplied plan
+  /// (the re-optimization subsystem computes plans globally rather than
+  /// asking RWA per connection). Validates before touching hardware:
+  /// the connection must exist, be a wavelength, be Active (not mid-roll),
+  /// the plan must terminate at its endpoints, and the plan must not reuse
+  /// any (link, channel) cell of the current plan — during the bridge both
+  /// paths are lit simultaneously, so any shared cell would self-collide.
+  void roll_to(ConnectionId id, const WavelengthPlan& new_plan,
+               DoneCallback cb);
+  /// Ids of wavelength-kind connections currently carrying traffic
+  /// (Active or Rolling), ascending. The re-optimization planner's input.
+  [[nodiscard]] std::vector<ConnectionId> live_wavelength_connections() const;
   /// Roll every wavelength connection off `link` ahead of maintenance.
   void prepare_maintenance(LinkId link, DoneCallback cb);
   /// Revert a restored/rolled connection to its shortest path (re-groom).

@@ -13,6 +13,42 @@ bool ot_is_free(const dwdm::Transponder& ot) {
 }
 }  // namespace
 
+Inventory::~Inventory() {
+  if (listening_ != nullptr) listening_->set_device_observers({}, {});
+}
+
+void Inventory::attach_device_listeners(NetworkModel* model) {
+  listening_ = model;
+  model->set_device_observers(
+      [this](const dwdm::Transponder& ot) { on_ot_changed(ot); },
+      [this](const dwdm::Regenerator& regen) { on_regen_changed(regen); });
+}
+
+void Inventory::on_ot_changed(const dwdm::Transponder& ot) {
+  MutexLock lock(&mu_);
+  if (!built_) return;  // the next snapshot() scans from scratch anyway
+  if (ot_is_free(ot))
+    detail::bit_set(ot_device_free_bits_, ot.id().value());
+  else
+    detail::bit_clear(ot_device_free_bits_, ot.id().value());
+  // The observer fires after the model bumped device_version(), so the
+  // incrementally-maintained bits are exactly the state at that version
+  // and the next snapshot() skips the full rebuild.
+  built_device_version_ = model_->device_version();
+  overlay_dirty_ = true;
+}
+
+void Inventory::on_regen_changed(const dwdm::Regenerator& regen) {
+  MutexLock lock(&mu_);
+  if (!built_) return;
+  if (!regen.in_use())
+    detail::bit_set(regen_device_free_bits_, regen.id().value());
+  else
+    detail::bit_clear(regen_device_free_bits_, regen.id().value());
+  built_device_version_ = model_->device_version();
+  overlay_dirty_ = true;
+}
+
 // --- Snapshot reads ---------------------------------------------------------
 
 std::optional<TransponderId> Inventory::Snapshot::find_free_ot(

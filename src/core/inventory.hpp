@@ -152,6 +152,19 @@ class Inventory {
   };
 
   explicit Inventory(const NetworkModel* model) : model_(model) {}
+  ~Inventory();
+
+  Inventory(const Inventory&) = delete;
+  Inventory& operator=(const Inventory&) = delete;
+
+  /// Register for per-device change callbacks on `model` (the same
+  /// deployment this inventory reads). From then on OT/regen lifecycle
+  /// transitions update the snapshot free bitmaps in O(1) under the lock
+  /// instead of forcing a full pool re-scan on the next snapshot() —
+  /// device-only churn (tune/activate/release trains) re-publishes
+  /// without ever touching the model. The model has one observer slot;
+  /// the controller's inventory claims it, and the destructor detaches.
+  void attach_device_listeners(NetworkModel* model) EXCLUDES(mu_);
 
   // --- reservation overlay ------------------------------------------------
   void reserve_channel(LinkId link, dwdm::ChannelIndex ch) EXCLUDES(mu_);
@@ -227,6 +240,12 @@ class Inventory {
   /// model read, shared by the live query and the rebuild path.
   [[nodiscard]] dwdm::ChannelSet device_availability(LinkId link) const;
 
+  /// O(1) device-free-bit maintenance off the model's change observers
+  /// (attach_device_listeners). Fires on the owner thread, after the
+  /// model bumped device_version().
+  void on_ot_changed(const dwdm::Transponder& ot) EXCLUDES(mu_);
+  void on_regen_changed(const dwdm::Regenerator& regen) EXCLUDES(mu_);
+
   void ensure_pools_locked() const REQUIRES(mu_);
   void ensure_usage_locked() const REQUIRES(mu_);
   /// Full rebuild of the derived planning state from the model (link
@@ -236,6 +255,9 @@ class Inventory {
   void publish_locked() const REQUIRES(mu_);
 
   const NetworkModel* model_;
+  /// Non-null while this inventory holds the model's device-observer
+  /// slot (owner-thread only; used to detach on destruction).
+  NetworkModel* listening_ = nullptr;
 
   mutable Mutex mu_;
 

@@ -137,6 +137,10 @@ TransponderId NetworkModel::add_transponder(NodeId node, DataRate line_rate) {
   const TransponderId id = ot_ids_.next();
   ots_.push_back(std::make_unique<dwdm::Transponder>(id, node, line_rate));
   ots_.back()->bind_version_counter(&device_version_);
+  dwdm::Transponder* dev = ots_.back().get();
+  dev->set_change_listener([this, dev] {
+    if (ot_observer_) ot_observer_(*dev);
+  });
   roadm_ems_->manage_ot(ots_.back().get());
   // Static cabling: OT line side to a dedicated colorless ROADM port, OT
   // client side into the site FXC.
@@ -157,6 +161,10 @@ RegenId NetworkModel::add_regen(NodeId node, DataRate line_rate) {
   const RegenId id = regen_ids_.next();
   regens_.push_back(std::make_unique<dwdm::Regenerator>(id, node, line_rate));
   regens_.back()->bind_version_counter(&device_version_);
+  dwdm::Regenerator* dev = regens_.back().get();
+  dev->set_change_listener([this, dev] {
+    if (regen_observer_) regen_observer_(*dev);
+  });
   roadm_ems_->manage_regen(regens_.back().get());
   auto ports = roadm_at(node).add_ports(2);
   regen_roadm_ports_[id.value()] = {ports[0], ports[1]};
@@ -240,6 +248,7 @@ void NetworkModel::fail_link(LinkId link) {
   if (link_failed_[link.value()]) return;
   link_failed_[link.value()] = true;
   ++topology_version_;
+  journal_topology_change(link, /*failed=*/true);
   if (telemetry_ != nullptr) {
     telemetry_
         ->metrics()
@@ -261,6 +270,7 @@ void NetworkModel::repair_link(LinkId link) {
   if (!link_failed_[link.value()]) return;
   link_failed_[link.value()] = false;
   ++topology_version_;
+  journal_topology_change(link, /*failed=*/false);
   if (telemetry_ != nullptr)
     telemetry_
         ->metrics()
@@ -272,6 +282,28 @@ void NetworkModel::repair_link(LinkId link) {
   roadm_at(l.a).on_link_restored(link, engine_->now());
   roadm_at(l.b).on_link_restored(link, engine_->now());
   if (restorer_) restorer_->link_repaired(link);
+}
+
+void NetworkModel::journal_topology_change(LinkId link, bool failed) {
+  topology_journal_.push_back(
+      TopologyChange{topology_version_, link, failed});
+  if (topology_journal_.size() > kTopologyJournalCapacity)
+    topology_journal_.pop_front();
+}
+
+bool NetworkModel::topology_changes_since(
+    std::uint64_t since, std::vector<TopologyChange>* out) const {
+  out->clear();
+  if (since == topology_version_) return true;
+  if (since > topology_version_) return false;
+  // The journal holds consecutive versions ending at topology_version_;
+  // it covers `since` iff its oldest entry is at most since + 1.
+  if (topology_journal_.empty() ||
+      topology_journal_.front().version > since + 1)
+    return false;
+  for (const TopologyChange& change : topology_journal_)
+    if (change.version > since) out->push_back(change);
+  return true;
 }
 
 bool NetworkModel::link_failed(LinkId link) const {

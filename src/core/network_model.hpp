@@ -11,6 +11,8 @@
 // benches use the builders.
 #pragma once
 
+#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -112,6 +114,31 @@ class NetworkModel {
     return device_version_;
   }
 
+  /// Per-device change observers, invoked with the transitioned device
+  /// after device_version() has bumped. The controller's Inventory
+  /// registers here to maintain its free-OT/free-regen bitmaps in O(1)
+  /// per transition instead of re-scanning the pools. One observer each
+  /// (last registration wins); set empty to detach.
+  using OtObserver = std::function<void(const dwdm::Transponder&)>;
+  using RegenObserver = std::function<void(const dwdm::Regenerator&)>;
+  void set_device_observers(OtObserver on_ot, RegenObserver on_regen) {
+    ot_observer_ = std::move(on_ot);
+    regen_observer_ = std::move(on_regen);
+  }
+
+  /// One fiber cut or repair, as recorded in the bounded topology journal.
+  struct TopologyChange {
+    std::uint64_t version = 0;  ///< topology_version() after the change
+    LinkId link{};
+    bool failed = false;  ///< true = cut, false = repair
+  };
+  /// Topology changes with version > `since`, oldest first, into `out`.
+  /// Returns false when the bounded journal no longer reaches back to
+  /// `since` — the caller must then treat every cached route as stale
+  /// (full invalidation) instead of replaying the delta.
+  [[nodiscard]] bool topology_changes_since(
+      std::uint64_t since, std::vector<TopologyChange>* out) const;
+
   [[nodiscard]] dwdm::Roadm& roadm_at(NodeId node);
   [[nodiscard]] const dwdm::Roadm& roadm_at(NodeId node) const;
   [[nodiscard]] fxc::Fxc& fxc_at(NodeId node);
@@ -191,6 +218,10 @@ class NetworkModel {
   [[nodiscard]] std::vector<LinkId> failed_links() const;
 
  private:
+  static constexpr std::size_t kTopologyJournalCapacity = 64;
+
+  void journal_topology_change(LinkId link, bool failed);
+
   sim::Engine* engine_;
   topology::Graph graph_;
   Config config_;
@@ -221,6 +252,12 @@ class NetworkModel {
   std::uint64_t plant_version_ = 0;
   std::uint64_t topology_version_ = 0;
   std::uint64_t device_version_ = 0;
+  OtObserver ot_observer_;
+  RegenObserver regen_observer_;
+  /// Newest-last ring of fiber cuts/repairs backing incremental
+  /// route-cache invalidation; consecutive versions, one entry per
+  /// topology_version_ bump.
+  std::deque<TopologyChange> topology_journal_;
   IdAllocator<MuxponderId> nte_ids_;
   IdAllocator<TransponderId> ot_ids_;
   IdAllocator<RegenId> regen_ids_;

@@ -65,6 +65,9 @@ RwaEngine::TelemetryHandles RwaEngine::sync_telemetry_locked() const {
       m.counter("griphon_rwa_plans_total", "Wavelength plan attempts");
   h.plans_failed = m.counter("griphon_rwa_plans_failed_total",
                              "Plan attempts that found no viable plan");
+  h.cache_evictions =
+      m.counter("griphon_rwa_route_cache_evicted_total",
+                "Route-cache entries evicted by incremental invalidation");
   handles_ = h;
   return handles_;
 }
@@ -91,15 +94,47 @@ std::size_t RwaEngine::RouteKeyHash::operator()(
   return static_cast<std::size_t>(h);
 }
 
+void RwaEngine::invalidate_cache_locked(const TelemetryHandles& t) const {
+  if (route_cache_version_ == model_->topology_version()) return;
+  // A fiber cut only *removes* paths: an entry whose cached candidates
+  // avoid every cut link is still exactly the k shortest of the reduced
+  // graph, so only traversing entries need to go. A repair can surface
+  // better routes for any pair, and a journal gap hides unknown changes
+  // — both fall back to the old full clear.
+  std::vector<NetworkModel::TopologyChange> changes;
+  bool selective =
+      model_->topology_changes_since(route_cache_version_, &changes);
+  for (const NetworkModel::TopologyChange& change : changes)
+    if (!change.failed) selective = false;
+  if (selective) {
+    const auto traverses_cut = [&changes](const topology::Path& p) {
+      return std::any_of(
+          changes.begin(), changes.end(),
+          [&p](const NetworkModel::TopologyChange& change) {
+            return std::find(p.links.begin(), p.links.end(), change.link) !=
+                   p.links.end();
+          });
+    };
+    for (auto it = route_cache_.begin(); it != route_cache_.end();) {
+      if (std::any_of(it->second.begin(), it->second.end(), traverses_cut)) {
+        if (t.cache_evictions != nullptr) t.cache_evictions->inc();
+        it = route_cache_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  } else {
+    route_cache_.clear();
+  }
+  route_cache_version_ = model_->topology_version();
+}
+
 const std::vector<topology::Path>& RwaEngine::candidate_routes(
     NodeId src, NodeId dst, const Exclusions& exclude) const {
   MutexLock lock(&mu_);
   // External callers (BoD scheduler) skip plan(), so sync here too.
   const TelemetryHandles t = sync_telemetry_locked();
-  if (route_cache_version_ != model_->topology_version()) {
-    route_cache_.clear();
-    route_cache_version_ = model_->topology_version();
-  }
+  invalidate_cache_locked(t);
   RouteKey key;
   key.src = src.value();
   key.dst = dst.value();

@@ -116,7 +116,16 @@ class RwaEngine {
     telemetry::Counter* cache_misses = nullptr;
     telemetry::Counter* plans_total = nullptr;
     telemetry::Counter* plans_failed = nullptr;
+    telemetry::Counter* cache_evictions = nullptr;
   };
+
+  /// Bring the route cache up to the model's topology_version(): replay
+  /// the failure journal and evict only entries whose cached candidates
+  /// traverse a cut link; fall back to a full clear on repairs or a
+  /// journal gap (see the comment in the implementation for why that
+  /// split is decision-identical to always clearing).
+  void invalidate_cache_locked(const TelemetryHandles& t) const
+      REQUIRES(mu_);
 
   [[nodiscard]] dwdm::ChannelIndex pick_channel(
       const dwdm::ChannelSet& candidates,

@@ -8,6 +8,7 @@
 // transparent segments it joins may use different wavelengths).
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -62,9 +63,20 @@ class Transponder {
     version_counter_ = counter;
   }
 
+  /// Listener invoked after every lifecycle transition (and after the
+  /// bound version counter bumps). Mirrors Roadm::set_change_listener:
+  /// the Inventory maintains its free-OT bitmap in O(1) off this hook
+  /// instead of re-scanning the pool. Null by default; set empty to
+  /// detach.
+  using ChangeListener = std::function<void()>;
+  void set_change_listener(ChangeListener listener) {
+    listener_ = std::move(listener);
+  }
+
  private:
-  void bump_version() noexcept {
+  void bump_version() {
     if (version_counter_ != nullptr) ++*version_counter_;
+    if (listener_) listener_();
   }
 
   TransponderId id_;
@@ -73,6 +85,7 @@ class Transponder {
   State state_ = State::kIdle;
   ChannelIndex channel_ = kNoChannel;
   std::uint64_t* version_counter_ = nullptr;
+  ChangeListener listener_;
 };
 
 [[nodiscard]] constexpr const char* to_string(Transponder::State s) noexcept {
@@ -118,9 +131,16 @@ class Regenerator {
     version_counter_ = counter;
   }
 
+  /// Same per-transition hook as Transponder::set_change_listener.
+  using ChangeListener = std::function<void()>;
+  void set_change_listener(ChangeListener listener) {
+    listener_ = std::move(listener);
+  }
+
  private:
-  void bump_version() noexcept {
+  void bump_version() {
     if (version_counter_ != nullptr) ++*version_counter_;
+    if (listener_) listener_();
   }
 
   RegenId id_;
@@ -130,6 +150,7 @@ class Regenerator {
   ChannelIndex upstream_ = kNoChannel;
   ChannelIndex downstream_ = kNoChannel;
   std::uint64_t* version_counter_ = nullptr;
+  ChangeListener listener_;
 };
 
 }  // namespace griphon::dwdm

@@ -1,0 +1,91 @@
+#include "reopt/fragmentation.hpp"
+
+#include <algorithm>
+
+#include "core/network_model.hpp"
+
+namespace griphon::reopt {
+
+namespace {
+
+/// Longest run of consecutive free channels in [0, count).
+std::size_t largest_block(const dwdm::ChannelSet& avail, std::size_t count) {
+  std::size_t best = 0;
+  std::size_t run = 0;
+  for (std::size_t ch = 0; ch < count; ++ch) {
+    if (avail.contains(static_cast<dwdm::ChannelIndex>(ch))) {
+      ++run;
+      best = std::max(best, run);
+    } else {
+      run = 0;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+FragmentationReport FragmentationAnalyzer::analyze_links(
+    const core::Inventory::Snapshot& snap) const {
+  FragmentationReport report;
+  const std::size_t channels = model_->grid().count();
+  double sum = 0;
+  for (const topology::Link& link : model_->graph().links()) {
+    if (model_->link_failed(link.id)) continue;  // no spectrum to score
+    const dwdm::ChannelSet avail = snap.available_on_link(link.id);
+    LinkFragmentation lf;
+    lf.link = link.id;
+    lf.free = avail.size();
+    lf.used = channels >= lf.free ? channels - lf.free : 0;
+    lf.largest_free_block = largest_block(avail, channels);
+    // free == 0 means nothing left to fragment — score 0, never 0/0.
+    lf.score = lf.free == 0
+                   ? 0.0
+                   : 1.0 - static_cast<double>(lf.largest_free_block) /
+                               static_cast<double>(lf.free);
+    sum += lf.score;
+    report.max_score = std::max(report.max_score, lf.score);
+    if (lf.score > 0) ++report.fragmented_links;
+    report.total_free += lf.free;
+    report.total_used += lf.used;
+    report.links.push_back(lf);
+  }
+  report.mean_score =
+      report.links.empty() ? 0.0 : sum / static_cast<double>(report.links.size());
+  return report;
+}
+
+FragmentationReport FragmentationAnalyzer::analyze(
+    const core::Inventory::Snapshot& snap, const core::RwaEngine& rwa,
+    const std::vector<std::pair<NodeId, NodeId>>& pairs) const {
+  FragmentationReport report = analyze_links(snap);
+  const std::size_t channels = model_->grid().count();
+  for (const auto& [src, dst] : pairs) {
+    if (src == dst) continue;
+    ++report.pairs_scored;
+    const std::vector<topology::Path>& routes = rwa.candidate_routes(src, dst);
+    std::size_t feasible = 0;
+    std::size_t blocked = 0;
+    for (const topology::Path& route : routes) {
+      bool every_hop_has_free = true;
+      dwdm::ChannelSet intersection = dwdm::ChannelSet::all(channels);
+      for (const LinkId l : route.links) {
+        const dwdm::ChannelSet avail = snap.available_on_link(l);
+        if (avail.empty()) every_hop_has_free = false;
+        intersection.intersect(avail);
+      }
+      if (!intersection.empty()) {
+        ++feasible;
+      } else if (every_hop_has_free) {
+        // Capacity on every hop, yet no channel clears the whole route:
+        // the continuity constraint — not load — is what blocks it.
+        ++blocked;
+      }
+    }
+    report.blocked_candidates += blocked;
+    if (feasible == 0 && blocked > 0) ++report.stranded_pairs;
+  }
+  return report;
+}
+
+}  // namespace griphon::reopt

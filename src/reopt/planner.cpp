@@ -1,0 +1,153 @@
+#include "reopt/planner.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/network_model.hpp"
+
+namespace griphon::reopt {
+
+bool move_improves(const core::WavelengthPlan& current,
+                   const core::WavelengthPlan& target) {
+  if (target.path.nodes != current.path.nodes ||
+      target.path.links != current.path.links)
+    return false;
+  if (target.segments.size() != current.segments.size()) return false;
+  for (std::size_t s = 0; s < target.segments.size(); ++s) {
+    const core::SegmentPlan& cur = current.segments[s];
+    const core::SegmentPlan& tgt = target.segments[s];
+    if (tgt.first_link != cur.first_link || tgt.last_link != cur.last_link)
+      return false;
+    if (tgt.channel < 0 || tgt.channel >= cur.channel) return false;
+  }
+  return !target.segments.empty();
+}
+
+MigrationPlan FirstFitCompactionSolver::solve(const PlanInput& input) const {
+  MigrationPlan out;
+  out.items_considered = input.items.size();
+  if (input.model == nullptr || input.snap == nullptr) return out;
+  const std::size_t channels = input.model->grid().count();
+  const std::size_t link_count = input.model->graph().links().size();
+
+  // Final-state occupancy, seeded with everything the snapshot considers
+  // busy (lit cells of every connection — migratable or not — plus
+  // reservations). Each decided move edits it in place: old cells free,
+  // new cells busy.
+  std::vector<dwdm::ChannelSet> occ(link_count);
+  for (std::size_t l = 0; l < link_count; ++l) {
+    occ[l] = dwdm::ChannelSet::all(channels);
+    occ[l].subtract(input.snap->available_on_link(LinkId{l}));
+  }
+
+  // Longest routes first: they have the fewest placement options, so they
+  // get first pick of the low blocks; ties by id for determinism.
+  std::vector<const MoveItem*> order;
+  order.reserve(input.items.size());
+  for (const MoveItem& item : input.items) order.push_back(&item);
+  std::sort(order.begin(), order.end(),
+            [](const MoveItem* a, const MoveItem* b) {
+              if (a->current.hops() != b->current.hops())
+                return a->current.hops() > b->current.hops();
+              return a->id.value() < b->id.value();
+            });
+
+  for (const MoveItem* item : order) {
+    const core::WavelengthPlan& cur = item->current;
+    bool all_strictly_lower = true;
+    std::vector<dwdm::ChannelIndex> chosen;
+    chosen.reserve(cur.segments.size());
+    for (const core::SegmentPlan& seg : cur.segments) {
+      dwdm::ChannelSet seg_free = dwdm::ChannelSet::all(channels);
+      for (std::size_t i = seg.first_link; i <= seg.last_link; ++i) {
+        const std::size_t l = cur.path.links[i].value();
+        if (l >= occ.size()) {
+          seg_free = dwdm::ChannelSet{};
+          break;
+        }
+        dwdm::ChannelSet free = dwdm::ChannelSet::all(channels);
+        free.subtract(occ[l]);
+        // The item's own cell is movable, so it is always a candidate —
+        // which guarantees seg_free is non-empty and first() <= current.
+        free.add(seg.channel);
+        seg_free.intersect(free);
+      }
+      const dwdm::ChannelIndex ch = seg_free.first();
+      if (ch == dwdm::kNoChannel || ch >= seg.channel)
+        all_strictly_lower = false;
+      chosen.push_back(ch);
+    }
+    if (all_strictly_lower && !cur.segments.empty()) {
+      Move move;
+      move.id = item->id;
+      move.target = cur;
+      for (std::size_t s = 0; s < cur.segments.size(); ++s) {
+        move.target.segments[s].channel = chosen[s];
+        const core::SegmentPlan& seg = cur.segments[s];
+        for (std::size_t i = seg.first_link; i <= seg.last_link; ++i) {
+          const std::size_t l = cur.path.links[i].value();
+          occ[l].remove(seg.channel);
+          occ[l].add(chosen[s]);
+        }
+      }
+      out.moves.push_back(std::move(move));
+    }
+    // A kept item's cells were already busy in `occ` — nothing to update.
+  }
+  return out;
+}
+
+GlobalPlanner::GlobalPlanner(core::GriphonController* controller)
+    : controller_(controller),
+      solver_(std::make_unique<FirstFitCompactionSolver>()) {}
+
+void GlobalPlanner::set_solver(std::unique_ptr<ReoptSolver> solver) {
+  if (solver != nullptr) solver_ = std::move(solver);
+}
+
+PlanInput GlobalPlanner::gather(
+    const std::set<ConnectionId>& exempt) const {
+  PlanInput input;
+  input.model = &controller_->model();
+  input.snap = controller_->inventory().snapshot();
+  for (const ConnectionId id :
+       controller_->live_wavelength_connections()) {
+    if (exempt.count(id) != 0) continue;
+    const core::Connection* c = controller_->find_connection(id);
+    // Only steady Active connections migrate: one already rolling has a
+    // bridge up, and anything transitional belongs to its own state
+    // machine.
+    if (c == nullptr || c->state != core::ConnectionState::kActive) continue;
+    MoveItem item;
+    item.id = id;
+    item.rate = c->rate;
+    item.current = c->plan;
+    input.items.push_back(std::move(item));
+  }
+  return input;
+}
+
+MigrationPlan GlobalPlanner::plan(const std::set<ConnectionId>& exempt,
+                                  std::size_t max_moves) const {
+  const PlanInput input = gather(exempt);
+  MigrationPlan plan = solver_->solve(input);
+  // Defensive never-worsen pass: whatever the solver did, nothing that
+  // would degrade (or even sideways-shuffle) a connection leaves here.
+  std::vector<Move> kept;
+  kept.reserve(plan.moves.size());
+  for (Move& move : plan.moves) {
+    const auto it =
+        std::find_if(input.items.begin(), input.items.end(),
+                     [&move](const MoveItem& i) { return i.id == move.id; });
+    if (it == input.items.end() || !move_improves(it->current, move.target)) {
+      ++plan.rejected_by_invariant;
+      continue;
+    }
+    kept.push_back(std::move(move));
+    if (kept.size() >= max_moves) break;
+  }
+  plan.moves = std::move(kept);
+  return plan;
+}
+
+}  // namespace griphon::reopt

@@ -1,0 +1,122 @@
+// Global wavelength re-assignment planning.
+//
+// The GlobalPlanner periodically re-solves the wavelength assignment of
+// the *live* connection set and emits a migration delta: which connections
+// should move to which channels, on the same routes, to re-pack the
+// spectrum first-fit-tight. Solving is pluggable (ReoptSolver); the
+// default FirstFitCompactionSolver walks connections longest-route-first
+// and slides each one down to the lowest channel block that is free in
+// the *final* state (treating every migratable connection's own channels
+// as movable).
+//
+// The never-worsen contract — enforced here defensively, whatever the
+// solver returned — is that a move must
+//   1. keep the connection's route and transparent segmentation unchanged,
+//   2. move every segment to a strictly lower channel (strict, because
+//      bridge-and-roll lights both plans at once: a shared (link, channel)
+//      cell would self-collide, and "lower" is what makes the pass a
+//      compaction rather than a shuffle).
+// A connection the solver cannot strictly improve simply stays put, so no
+// plan ever degrades any connection.
+//
+// Moves carry route + channels only; the MigrationExecutor resolves spare
+// transponders/regenerators at launch time from a fresh snapshot (the
+// bridge needs a second set of endpoint optics while both paths are lit).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "core/inventory.hpp"
+#include "core/rwa.hpp"
+
+namespace griphon::reopt {
+
+/// One migratable live connection, as captured for the solver.
+struct MoveItem {
+  ConnectionId id{};
+  DataRate rate{};
+  core::WavelengthPlan current;  ///< in-service plan at capture time
+};
+
+/// Everything a solver sees: one coherent snapshot plus the migratable set.
+struct PlanInput {
+  const core::NetworkModel* model = nullptr;
+  std::shared_ptr<const core::Inventory::Snapshot> snap;
+  std::vector<MoveItem> items;
+};
+
+/// One element of the migration delta. `target` keeps the item's route and
+/// segmentation and changes only segment channels; its device fields are
+/// placeholders until the executor resolves them at launch.
+struct Move {
+  ConnectionId id{};
+  core::WavelengthPlan target;
+};
+
+struct MigrationPlan {
+  std::vector<Move> moves;  ///< solver order (longest routes first)
+  std::size_t items_considered = 0;
+  /// Solver output dropped by the never-worsen check — nonzero only for a
+  /// buggy or adversarial solver; the default solver never trips it.
+  std::size_t rejected_by_invariant = 0;
+};
+
+/// Strategy interface: map the live set to a migration delta.
+class ReoptSolver {
+ public:
+  virtual ~ReoptSolver() = default;
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+  [[nodiscard]] virtual MigrationPlan solve(const PlanInput& input) const = 0;
+};
+
+/// Default heuristic: first-fit re-assignment over the final state.
+/// Occupancy starts as "everything currently lit or reserved, including
+/// every migratable connection where it stands"; items are processed
+/// longest-route-first (ties by id), each choosing per segment the lowest
+/// channel free on all of the segment's links. An item moves only when
+/// every segment lands strictly lower; a move frees its old cells for the
+/// items processed after it (the executor's dependency order realizes
+/// that temporal chain at run time).
+class FirstFitCompactionSolver : public ReoptSolver {
+ public:
+  [[nodiscard]] const char* name() const noexcept override {
+    return "first-fit-compaction";
+  }
+  [[nodiscard]] MigrationPlan solve(const PlanInput& input) const override;
+};
+
+class GlobalPlanner {
+ public:
+  explicit GlobalPlanner(core::GriphonController* controller);
+
+  /// Replace the solver (default: FirstFitCompactionSolver). Non-null.
+  void set_solver(std::unique_ptr<ReoptSolver> solver);
+  [[nodiscard]] const ReoptSolver& solver() const noexcept { return *solver_; }
+
+  /// Capture the migratable live set: wavelength connections in state
+  /// Active (mid-roll ones are already moving), minus `exempt` — the BoD
+  /// layer exempts connections inside calendar-committed windows.
+  [[nodiscard]] PlanInput gather(
+      const std::set<ConnectionId>& exempt) const;
+
+  /// gather() + solve + never-worsen enforcement, truncated to
+  /// `max_moves` (solver order keeps the longest routes).
+  [[nodiscard]] MigrationPlan plan(const std::set<ConnectionId>& exempt,
+                                   std::size_t max_moves) const;
+
+ private:
+  core::GriphonController* controller_;
+  std::unique_ptr<ReoptSolver> solver_;
+};
+
+/// True iff `move` satisfies the never-worsen contract against `current`
+/// (same route, same segmentation, every segment strictly lower). Shared
+/// by the planner's enforcement pass and the tests.
+[[nodiscard]] bool move_improves(const core::WavelengthPlan& current,
+                                 const core::WavelengthPlan& target);
+
+}  // namespace griphon::reopt

@@ -26,6 +26,7 @@
 #include "core/scenario.hpp"
 #include "ems/ems_server.hpp"
 #include "proto/client.hpp"
+#include "reopt/service.hpp"
 #include "telemetry/sampler.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace_export.hpp"
@@ -830,6 +831,149 @@ TEST_P(ChaosSoak, InvariantsHoldAndRunsAreDeterministic) {
 INSTANTIATE_TEST_SUITE_P(Plans, ChaosSoak,
                          ::testing::Values("ems-flaps", "channel-loss",
                                            "device-faults", "combined"));
+
+// --- bridge-and-roll under faults -------------------------------------------
+
+ConnectionId roll_chaos_connect(core::TestbedScenario& s) {
+  std::optional<Result<ConnectionId>> res;
+  s.portal->connect(s.site_i, s.site_iv, rates::k10G,
+                    core::ProtectionMode::kRestorable,
+                    [&](Result<ConnectionId> r) { res = std::move(r); });
+  s.engine.run();
+  EXPECT_TRUE(res.has_value() && res->ok());
+  return res->value();
+}
+
+void roll_chaos_disconnect(core::TestbedScenario& s, ConnectionId id) {
+  std::optional<Status> done;
+  s.portal->disconnect(id, [&](Status st) { done = st; });
+  s.engine.run();
+  EXPECT_TRUE(done && done->ok());
+}
+
+/// Sweep leaked residue (a failed roll may strand tuned optics for resync
+/// to reclaim) and require the plant to audit clean within a few passes.
+void expect_plant_sweeps_clean(core::TestbedScenario& s) {
+  std::optional<ResyncReport> report;
+  for (int pass = 0; pass < 4; ++pass) {
+    report = run_resync(s);
+    ASSERT_TRUE(report.has_value());
+    if (report->total_leaks() == 0 && report->drifted_connections == 0)
+      break;
+  }
+  EXPECT_EQ(report->total_leaks(), 0u);
+  EXPECT_EQ(report->drifted_connections, 0u);
+}
+
+TEST(RollChaos, RollRacesFiberCutOnOldPath) {
+  core::TestbedScenario s(21);
+  const ConnectionId id = roll_chaos_connect(s);
+  const LinkId old_link = s.controller->connection(id).plan.path.links.front();
+
+  // Bridge-and-roll onto a disjoint path, with the in-service span cut
+  // out from under the roll shortly after it starts. Whichever way the
+  // race lands — roll completes onto the bridge, or it unwinds and
+  // restoration takes over — the service must end on exactly one healthy
+  // path off the cut span.
+  std::optional<Status> rolled;
+  s.controller->bridge_and_roll(id, {}, [&](Status st) { rolled = st; });
+  s.engine.schedule(milliseconds(200),
+                    [&] { s.model->fail_link(old_link); });
+  s.engine.run();
+  ASSERT_TRUE(rolled.has_value());
+
+  const auto& c = s.controller->connection(id);
+  EXPECT_TRUE(c.is_up()) << "state=" << static_cast<int>(c.state);
+  EXPECT_FALSE(c.plan.path.uses_link(old_link));
+  for (const LinkId l : c.plan.path.links)
+    EXPECT_FALSE(s.model->link_failed(l));
+
+  s.model->repair_link(old_link);
+  s.engine.run();
+  expect_plant_sweeps_clean(s);
+  roll_chaos_disconnect(s, id);
+}
+
+/// Rejects the first `budget` commands with a retryable kBusy NACK, then
+/// behaves. Models a management plane briefly saturated by other work.
+struct BusyFirstN final : ems::EmsFaultHook {
+  explicit BusyFirstN(int budget) : remaining(budget) {}
+  Status on_command(const std::string&, const proto::Message&) override {
+    if (remaining <= 0) return Status::success();
+    --remaining;
+    return Status{ErrorCode::kBusy, "injected: EMS busy"};
+  }
+  double latency_scale(const std::string&) override { return 1.0; }
+  int remaining;
+};
+
+TEST(RollChaos, RollRetriesThroughEmsBusyNacksMidBridge) {
+  core::TestbedScenario s(22);
+  const ConnectionId a = roll_chaos_connect(s);
+  const ConnectionId b = roll_chaos_connect(s);
+  roll_chaos_disconnect(s, a);  // hole at channel 0, b sits above it
+
+  BusyFirstN hook(2);  // stay under max_attempts: every command recovers
+  s.model->roadm_ems().set_fault_hook(&hook);
+
+  reopt::ReoptService service(s.controller.get(), {});
+  std::optional<reopt::MigrationExecutor::CampaignReport> report;
+  service.run_campaign(
+      [&](const reopt::MigrationExecutor::CampaignReport& r) { report = r; });
+  s.engine.run();
+  s.model->roadm_ems().set_fault_hook(nullptr);
+
+  ASSERT_TRUE(report.has_value());
+  EXPECT_FALSE(report->aborted);
+  EXPECT_EQ(report->moves_rolled, 1u);
+  EXPECT_EQ(report->rolls_failed, 0u);
+  EXPECT_EQ(hook.remaining, 0);  // the NACKs really were injected
+  EXPECT_GE(s.controller->stats().commands_retried, 2u);
+  const auto& c = s.controller->connection(b);
+  EXPECT_EQ(c.state, core::ConnectionState::kActive);
+  EXPECT_EQ(c.plan.segments[0].channel, 0);
+  EXPECT_EQ(c.restorations, 0);
+  EXPECT_EQ(c.total_outage, SimTime{});
+  expect_plant_sweeps_clean(s);
+}
+
+TEST(RollChaos, CampaignAbortsWhenEmsBreakerOpens) {
+  core::TestbedScenario s(23);
+  const ConnectionId a = roll_chaos_connect(s);
+  const ConnectionId b = roll_chaos_connect(s);
+  const ConnectionId c = roll_chaos_connect(s);
+  roll_chaos_disconnect(s, a);  // two compaction moves: b -> 0, c -> 1
+
+  // The ROADM EMS dies before the campaign starts. The first roll's
+  // commands time out; by the time its retries are exhausted the
+  // consecutive-timeout breaker is open, and the next pump aborts the
+  // campaign instead of feeding moves to a dead management plane.
+  s.model->roadm_ems().crash_restart(minutes(30));
+  reopt::ReoptService service(s.controller.get(), {});
+  std::optional<reopt::MigrationExecutor::CampaignReport> report;
+  service.run_campaign(
+      [&](const reopt::MigrationExecutor::CampaignReport& r) { report = r; });
+  s.engine.run();
+
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->aborted);
+  EXPECT_NE(report->abort_reason.find("breaker"), std::string::npos);
+  EXPECT_EQ(report->moves_rolled, 0u);
+  EXPECT_GE(report->moves_failed + report->moves_skipped, 2u);
+  EXPECT_GE(s.controller->stats().rolls_failed, 1u);
+
+  // The failed roll unwound: both services still ride their original
+  // channels, undisturbed.
+  for (const auto& [id, ch] : {std::pair{b, 1}, std::pair{c, 2}}) {
+    EXPECT_TRUE(s.controller->connection(id).is_up());
+    EXPECT_EQ(s.controller->connection(id).plan.segments[0].channel, ch);
+    EXPECT_EQ(s.controller->connection(id).restorations, 0);
+  }
+
+  // EMS restarts, announces itself, reconciliation sweeps the residue.
+  s.engine.run();
+  expect_plant_sweeps_clean(s);
+}
 
 }  // namespace
 }  // namespace griphon::chaos

@@ -140,7 +140,7 @@ struct EquivFixture {
   /// One random mutation applied to both the indexed inventory and the
   /// brute-force reference (and, for device-state ops, to the plant).
   void step() {
-    switch (rng.uniform_int(0, 9)) {
+    switch (rng.uniform_int(0, 11)) {
       case 0: {  // reserve a channel
         const LinkId l = random_link();
         const dwdm::ChannelIndex ch = random_channel();
@@ -234,6 +234,20 @@ struct EquivFixture {
             rng.uniform_int(
                 0, static_cast<std::int64_t>(model.ots().size()) - 1))};
         (void)model.ot(id).reset();
+        break;
+      }
+      case 10: {  // device state: engage a regen (drives the O(1) free bits)
+        const auto id = RegenId{static_cast<std::uint64_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(model.regens().size()) - 1))};
+        auto& rg = model.regen(id);
+        if (!rg.in_use())
+          (void)rg.engage(random_channel(), random_channel());
+        break;
+      }
+      case 11: {  // device state: release a regen back to the pool
+        const auto id = RegenId{static_cast<std::uint64_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(model.regens().size()) - 1))};
+        (void)model.regen(id).release();
         break;
       }
       default:

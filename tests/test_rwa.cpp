@@ -315,5 +315,53 @@ TEST_F(RwaFixture, RouteCacheKeysOnExclusions) {
   model.attach_telemetry(nullptr);
 }
 
+TEST_F(RwaFixture, FailureEvictsOnlyRoutesTraversingCutLink) {
+  // k=1 keeps each pair's cached candidate set to its shortest route, so
+  // pairs have disjoint footprints and selective eviction is observable.
+  RwaEngine narrow(&model, &inventory,
+                   RwaEngine::Params{WavelengthPolicy::kFirstFit, 1});
+  telemetry::Telemetry tel(&engine);
+  model.attach_telemetry(&tel);
+  const auto counter = [&](const char* name) {
+    const auto* c = tel.metrics().find_counter(name);
+    return c == nullptr ? 0u : c->value();
+  };
+  const auto hits = [&] {
+    return counter("griphon_rwa_route_cache_hits_total");
+  };
+  const auto evictions = [&] {
+    return counter("griphon_rwa_route_cache_evicted_total");
+  };
+
+  (void)narrow.candidate_routes(topo.i, topo.iv);    // route: [i_iv]
+  (void)narrow.candidate_routes(topo.i, topo.iii);   // route: [i_iii]
+  (void)narrow.candidate_routes(topo.ii, topo.iii);  // route: [ii_iii]
+  EXPECT_EQ(hits(), 0u);
+
+  // A cut on I-IV touches exactly one cached entry. The survivors keep
+  // answering from the cache — the hit rate no longer collapses to zero
+  // on every unrelated failure.
+  model.fail_link(topo.i_iv);
+  (void)narrow.candidate_routes(topo.i, topo.iii);
+  (void)narrow.candidate_routes(topo.ii, topo.iii);
+  EXPECT_EQ(hits(), 2u);
+  EXPECT_EQ(evictions(), 1u);
+  // The evicted pair recomputes around the cut.
+  const auto& rerouted = narrow.candidate_routes(topo.i, topo.iv);
+  ASSERT_FALSE(rerouted.empty());
+  EXPECT_FALSE(rerouted.front().uses_link(topo.i_iv));
+  EXPECT_EQ(hits(), 2u);
+
+  // Repair restores capacity everywhere: anything cached might be
+  // improvable, so the whole cache drops (no eviction counter — this is
+  // the full-clear path).
+  model.repair_link(topo.i_iv);
+  (void)narrow.candidate_routes(topo.i, topo.iii);
+  EXPECT_EQ(hits(), 2u);
+  EXPECT_EQ(evictions(), 1u);
+  EXPECT_EQ(narrow.candidate_routes(topo.i, topo.iv).front().hops(), 1u);
+  model.attach_telemetry(nullptr);
+}
+
 }  // namespace
 }  // namespace griphon::core

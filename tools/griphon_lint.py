@@ -204,6 +204,7 @@ KNOWN_LAYERS = frozenset({
     "otn",        # OTN mux layer
     "plant",      # inventory / optical plant gauges
     "portal",     # customer-facing portal
+    "reopt",      # global re-optimization / defragmentation
     "rwa",        # routing + wavelength assignment
     "sampler",    # telemetry::GaugeSampler self-metrics
     "slo",        # telemetry::SloMonitor alert/violation metrics
