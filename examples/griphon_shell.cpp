@@ -130,6 +130,8 @@ int main() {
   slo.add_objective(
       telemetry::bod_deadline_miss_objective(tel.metrics(), /*ceiling=*/0.1));
   slo.add_objective(reopt::fragmentation_objective(reoptsvc, /*bound=*/0.35));
+  slo.add_objective(
+      telemetry::restoration_backlog_objective(tel.metrics(), /*ceiling=*/4.0));
   slo.start(from_seconds(10));
 
   // Fault injection on demand: `chaos plan <preset>` builds an injector
@@ -162,7 +164,7 @@ int main() {
              "series [save path [csv]] | eventlog [n | save path] | dag | "
              "schedule a b tb hours | transfers | "
              "reserve link gbps start-s end-s | calendar | "
-             "reopt [analyze | plan | run | stats] | "
+             "restoration [kick] | reopt [analyze | plan | run | stats] | "
              "chaos [plan preset [x] | arm | disarm | heal | stats | log] | "
              "quit\n";
     } else if (cmd == "sites") {
@@ -433,6 +435,29 @@ int main() {
           << st.setups_ok + st.setups_failed << ", releases " << st.releases
           << ", restorations " << st.restorations_ok << ", rolls "
           << st.rolls_ok << ", EMS commands " << st.commands_issued << "\n";
+    } else if (cmd == "restoration") {
+      std::string sub;
+      in >> sub;
+      if (sub == "kick") {
+        s.controller->kick_restoration_backlog(/*reset_attempts=*/true);
+        settle();
+        out << "  backlog re-armed (" << s.controller->restoration_backlog_depth()
+            << " entr(ies) remain)\n";
+      } else {
+        const auto& st = s.controller->stats();
+        out << "  storm " << (s.controller->restoration_storm_active()
+                                  ? "ACTIVE" : "clear")
+            << " (" << s.controller->failure_manager().storms_seen()
+            << " seen), queue " << s.controller->restoration_queue_depth()
+            << ", in-flight " << s.controller->restorations_in_flight()
+            << ", backlog " << s.controller->restoration_backlog_depth()
+            << "\n";
+        out << "  restorations ok " << st.restorations_ok << ", failed "
+            << st.restorations_failed << ", retried " << st.restorations_retried
+            << ", non-diverse " << st.restorations_non_diverse
+            << "; preemptions " << st.preemptions_requested << " ("
+            << st.bod_windows_preempted << " window(s) torn)\n";
+      }
     } else if (cmd == "reopt") {
       std::string sub;
       in >> sub;

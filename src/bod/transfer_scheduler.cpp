@@ -30,6 +30,11 @@ TransferScheduler::TransferScheduler(core::GriphonController* controller,
       [this](const std::vector<LinkId>& links, bool failed) {
         on_topology_change(links, failed);
       });
+  controller_->set_preemption_hook(
+      [this](NodeId src, NodeId dst, DataRate rate,
+             const std::set<LinkId>& avoid) {
+        return preempt_for_restoration(src, dst, rate, avoid);
+      });
 }
 
 void TransferScheduler::register_portal(core::CustomerPortal* portal) {
@@ -571,6 +576,82 @@ Status TransferScheduler::cancel(CustomerId caller, TransferId id) {
   for (Piece& p : t.pieces) release_piece_resources(t, p);
   t.state = TransferState::kCancelled;
   return Status::success();
+}
+
+std::size_t TransferScheduler::preempt_for_restoration(
+    NodeId src, NodeId dst, DataRate rate, const std::set<LinkId>& avoid) {
+  // Links any of the restoration's candidate routes could use. A preempted
+  // window only helps if its lit channels sit on one of these.
+  core::Exclusions exclude;
+  exclude.links = avoid;
+  std::set<LinkId> useful;
+  for (const auto& route : controller_->rwa().candidate_routes(src, dst,
+                                                               exclude))
+    useful.insert(route.links.begin(), route.links.end());
+  if (useful.empty()) return 0;
+
+  std::size_t preempted = 0;
+  DataRate freed{};
+  for (auto& [id, t] : transfers_) {
+    if (freed >= rate) break;
+    if (t.state != TransferState::kScheduled &&
+        t.state != TransferState::kActive)
+      continue;
+    if (t.priority != Priority::kBestEffortBulk) continue;
+    core::CustomerPortal* portal = portal_of(t.customer);
+    if (portal == nullptr) continue;
+    for (std::size_t i = 0; i < t.pieces.size(); ++i) {
+      if (freed >= rate) break;
+      Piece& p = t.pieces[i];
+      // Only live pieces hold lit spectrum; scheduled windows are calendar
+      // promises, not channels — preempting them frees nothing today.
+      if (p.done || !p.active || !p.bundle.valid()) continue;
+      // The piece's actual lit plant is its bundle's connection plans, not
+      // the calendar route (RWA may have packed them differently).
+      bool intersects = false;
+      for (const ConnectionId cid : portal->bundle(p.bundle).parts) {
+        const core::Connection* c = controller_->find_connection(cid);
+        if (c == nullptr || c->kind != core::ConnectionKind::kWavelength)
+          continue;
+        for (const LinkId l : c->plan.path.links)
+          if (useful.contains(l)) {
+            intersects = true;
+            break;
+          }
+        if (intersects) break;
+      }
+      if (!intersects) continue;
+      // Tear the live bundle down (channels free as the teardown trains
+      // complete, each release kicking the restoration backlog), then
+      // re-plan the piece from now — reschedule_piece fails the transfer
+      // loudly when the re-planned window cannot meet the deadline.
+      ++p.setup_epoch;
+      engine_->cancel(p.setup_event);
+      portal->disconnect_bundle(p.bundle, [](Status) {});
+      p.bundle = core::BundleId{};
+      p.active = false;
+      freed += p.rate;
+      ++preempted;
+      ++stats_.preempted;
+      count("griphon_bod_windows_preempted_total",
+            "Best-effort windows preempted by gold restorations",
+            t.customer);
+      controller_->model().trace().emit(
+          engine_->now(), sim::TraceLevel::kWarn, "transfer-scheduler",
+          "window-preempted",
+          "transfer " + std::to_string(id.value()) + " piece " +
+              std::to_string(i) + " preempted for gold restoration");
+      if (t.state == TransferState::kActive) {
+        const bool any_active = std::any_of(
+            t.pieces.begin(), t.pieces.end(),
+            [](const Piece& q) { return q.active; });
+        if (!any_active) t.state = TransferState::kScheduled;
+      }
+      reschedule_piece(id, i);
+      if (transfers_.at(id).state == TransferState::kFailed) break;
+    }
+  }
+  return preempted;
 }
 
 std::set<ConnectionId> TransferScheduler::migration_exempt_connections()

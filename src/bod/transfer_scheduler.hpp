@@ -52,7 +52,9 @@ class TransferScheduler {
   };
 
   /// The scheduler claims the controller's topology-observer slot to learn
-  /// about fiber cuts/repairs (re-scheduling hook).
+  /// about fiber cuts/repairs (re-scheduling hook) and its preemption-hook
+  /// slot so gold restorations out of wavelengths can reclaim best-effort
+  /// calendar windows.
   TransferScheduler(core::GriphonController* controller,
                     ReservationCalendar* calendar,
                     AdmissionController* admission, Params params);
@@ -126,6 +128,7 @@ class TransferScheduler {
     std::uint64_t reschedules = 0;  ///< pieces re-planned after a cut
     std::uint64_t setup_retries = 0;
     std::uint64_t setups_deferred = 0;  ///< parked on an open EMS breaker
+    std::uint64_t preempted = 0;  ///< windows torn down for gold restoration
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -142,6 +145,17 @@ class TransferScheduler {
   /// the NTE cannot deliver. Public so operators can render/inspect
   /// access-pipe occupancy alongside the fibers.
   [[nodiscard]] LinkId access_link(MuxponderId nte);
+
+  /// Free wavelength capacity for a gold restoration between two PoPs
+  /// (the controller's PreemptionHook). Walks active best-effort pieces
+  /// whose lit connections intersect the restoration's candidate routes
+  /// (avoiding `avoid`), tears their bundles down and re-plans each piece
+  /// from now — reschedule_piece fails the transfer loudly when the
+  /// re-planned window misses its deadline. Stops once the torn-down
+  /// rate covers `rate`. Returns the number of windows preempted; the
+  /// freed channels land asynchronously as the teardowns complete.
+  std::size_t preempt_for_restoration(NodeId src, NodeId dst, DataRate rate,
+                                      const std::set<LinkId>& avoid);
 
   /// Connections currently carrying calendar-committed transfer pieces.
   /// The re-optimization service must not migrate these: their windows

@@ -36,6 +36,7 @@ void FaultInjector::arm() {
   schedule_crashes();
   schedule_ot_faults();
   schedule_fxc_sticks();
+  schedule_fiber_cuts();
   record("arm", plan_.name);
 }
 
@@ -49,6 +50,7 @@ void FaultInjector::disarm() {
   model_->engine().cancel(crash_event_);
   model_->engine().cancel(ot_event_);
   model_->engine().cancel(fxc_event_);
+  model_->engine().cancel(fiber_event_);
   record("disarm", plan_.name);
 }
 
@@ -68,7 +70,17 @@ void FaultInjector::heal_all() {
       ++healed;
     }
   }
-  record("heal-all", std::to_string(healed) + " device faults repaired");
+  // Copy: repair_link fires the controller's repair path synchronously,
+  // and the scheduled splice callbacks also erase from the set.
+  const auto cuts = cut_by_injector_;
+  for (const LinkId link : cuts) {
+    cut_by_injector_.erase(link);
+    if (model_->link_failed(link)) {
+      model_->repair_link(link);
+      ++healed;
+    }
+  }
+  record("heal-all", std::to_string(healed) + " faults repaired");
 }
 
 // --- scheduled fault processes --------------------------------------------
@@ -183,6 +195,75 @@ void FaultInjector::schedule_fxc_sticks() {
   });
 }
 
+void FaultInjector::schedule_fiber_cuts() {
+  if (plan_.fiber.mean_cut_interval <= SimTime{}) return;
+  const double wait =
+      rng_.exponential(to_seconds(plan_.fiber.mean_cut_interval));
+  fiber_event_ = model_->engine().schedule(from_seconds(wait), [this]() {
+    if (!armed_) return;
+    cut_fiber(/*overlap_allowed=*/true);
+    schedule_fiber_cuts();
+  });
+}
+
+void FaultInjector::cut_fiber(bool overlap_allowed) {
+  // Candidates: links currently up. Failed links (ours or the test's own
+  // cuts) are already dark — a second backhoe adds nothing there.
+  std::vector<LinkId> up;
+  for (const auto& link : model_->graph().links())
+    if (!model_->link_failed(link.id)) up.push_back(link.id);
+  if (up.empty()) return;
+  const LinkId seed = up[static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(up.size()) - 1))];
+
+  // With conduit_probability the backhoe takes the whole right-of-way:
+  // every SRLG sibling fails in one burst, which the controller's
+  // FailureManager should collapse into a single correlated storm event.
+  std::vector<LinkId> victims{seed};
+  bool conduit = false;
+  if (plan_.fiber.conduit_probability > 0.0 &&
+      rng_.chance(plan_.fiber.conduit_probability)) {
+    for (const LinkId sib : model_->graph().srlg_siblings(seed))
+      if (sib != seed && !model_->link_failed(sib)) victims.push_back(sib);
+    conduit = victims.size() > 1;
+  }
+
+  ++stats_.fiber_cuts;
+  if (conduit) ++stats_.conduit_cuts;
+  stats_.links_cut += victims.size();
+  bump(fiber_cuts_total_);
+  record(conduit ? "conduit-cut" : "fiber-cut",
+         std::to_string(victims.size()) + " link(s), repair in " +
+             std::to_string(to_seconds(plan_.fiber.repair_after)) + "s");
+  for (const LinkId link : victims) {
+    cut_by_injector_.insert(link);
+    model_->fail_link(link);
+  }
+  model_->engine().schedule(plan_.fiber.repair_after, [this, victims]() {
+    std::size_t spliced = 0;
+    for (const LinkId link : victims)
+      // heal_all() may have beaten the splicing crew to it.
+      if (cut_by_injector_.erase(link) != 0 && model_->link_failed(link)) {
+        model_->repair_link(link);
+        ++spliced;
+      }
+    if (spliced != 0)
+      record("fiber-splice", std::to_string(spliced) + " link(s) repaired");
+  });
+
+  // One overlapping follow-up at most per scheduled cut, so a high
+  // overlap probability cannot chain-react the whole plant dark.
+  if (overlap_allowed && plan_.fiber.overlap_probability > 0.0 &&
+      rng_.chance(plan_.fiber.overlap_probability)) {
+    const double lag = rng_.exponential(
+        to_seconds(plan_.fiber.repair_after) / 2.0);
+    model_->engine().schedule(from_seconds(lag), [this]() {
+      if (!armed_) return;
+      cut_fiber(/*overlap_allowed=*/false);
+    });
+  }
+}
+
 // --- hook implementations --------------------------------------------------
 
 proto::FaultDecision FaultInjector::on_frame() {
@@ -263,7 +344,8 @@ void FaultInjector::set_telemetry(telemetry::Telemetry* telemetry) {
   telemetry_ = telemetry;
   if (telemetry_ == nullptr) {
     nacks_total_ = slow_total_ = crashes_total_ = drops_total_ =
-        dups_total_ = delays_total_ = device_faults_total_ = nullptr;
+        dups_total_ = delays_total_ = device_faults_total_ =
+            fiber_cuts_total_ = nullptr;
     return;
   }
   auto& m = telemetry_->metrics();
@@ -281,6 +363,8 @@ void FaultInjector::set_telemetry(telemetry::Telemetry* telemetry) {
                             "Control frames delayed by the fault injector");
   device_faults_total_ = m.counter("griphon_chaos_device_faults_total",
                                    "Device faults injected (OT + FXC)");
+  fiber_cuts_total_ = m.counter("griphon_chaos_fiber_cuts_total",
+                                "Fiber/conduit cut events injected");
 }
 
 }  // namespace griphon::chaos

@@ -12,13 +12,16 @@
 //                              queued commands and flush response caches;
 //   * proto::ChannelFaultHook — control-message drop / duplicate / delay;
 //   * device faults          — OT laser failures and stuck FXC ports,
-//                              announced via kEquipmentFault alarms.
+//                              announced via kEquipmentFault alarms;
+//   * fiber cuts             — fail_link() on one fiber or a whole SRLG
+//                              conduit, repaired on a splicing schedule.
 //
 // Disarmed (or never armed), every hook site is a one-pointer test: the
 // production fast path stays fault-free and bench-identical.
 #pragma once
 
 #include <cstdint>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -56,8 +59,8 @@ class FaultInjector final : public proto::ChannelFaultHook,
   [[nodiscard]] bool armed() const noexcept { return armed_; }
 
   /// Instantly repair every outstanding device fault (failed OTs, stuck
-  /// FXC ports). Does not resurrect a crashed EMS — that restarts on its
-  /// own schedule.
+  /// FXC ports) and every fiber the injector cut. Does not resurrect a
+  /// crashed EMS — that restarts on its own schedule.
   void heal_all();
 
   // --- hook implementations (called by the production stack) ------------
@@ -76,6 +79,9 @@ class FaultInjector final : public proto::ChannelFaultHook,
     std::uint64_t frames_delayed = 0;
     std::uint64_t ot_faults = 0;
     std::uint64_t fxc_sticks = 0;
+    std::uint64_t fiber_cuts = 0;     ///< cut events (each may hit >1 link)
+    std::uint64_t conduit_cuts = 0;   ///< cuts that took a whole SRLG
+    std::uint64_t links_cut = 0;      ///< individual links failed
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
@@ -101,6 +107,11 @@ class FaultInjector final : public proto::ChannelFaultHook,
   void schedule_crashes();
   void schedule_ot_faults();
   void schedule_fxc_sticks();
+  void schedule_fiber_cuts();
+  /// Execute one cut event: pick an up link, take it (and, with
+  /// conduit_probability, its whole SRLG) down, schedule the splice and
+  /// possibly an overlapping follow-up cut.
+  void cut_fiber(bool overlap_allowed);
   void record(const std::string& kind, const std::string& detail);
   void bump(telemetry::Counter* counter);
 
@@ -112,6 +123,10 @@ class FaultInjector final : public proto::ChannelFaultHook,
   sim::EventHandle crash_event_;
   sim::EventHandle ot_event_;
   sim::EventHandle fxc_event_;
+  sim::EventHandle fiber_event_;
+  /// Links the injector cut and has not yet repaired — so heal_all()
+  /// repairs exactly our faults and never a test's own fail_link().
+  std::set<LinkId> cut_by_injector_;
   Stats stats_;
   std::vector<Event> log_;
 
@@ -123,6 +138,7 @@ class FaultInjector final : public proto::ChannelFaultHook,
   telemetry::Counter* dups_total_ = nullptr;
   telemetry::Counter* delays_total_ = nullptr;
   telemetry::Counter* device_faults_total_ = nullptr;
+  telemetry::Counter* fiber_cuts_total_ = nullptr;
 };
 
 }  // namespace griphon::chaos

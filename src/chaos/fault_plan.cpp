@@ -73,12 +73,37 @@ FaultPlan FaultPlan::combined() {
   return p;
 }
 
+FaultPlan FaultPlan::conduit_cut() {
+  FaultPlan p;
+  p.name = "conduit-cut";
+  p.fiber.mean_cut_interval = minutes(12);
+  p.fiber.repair_after = minutes(6);
+  p.fiber.conduit_probability = 0.9;
+  p.fiber.overlap_probability = 0.0;
+  return p;
+}
+
+FaultPlan FaultPlan::failure_storm() {
+  FaultPlan p;
+  p.name = "failure-storm";
+  p.fiber.mean_cut_interval = minutes(5);
+  p.fiber.repair_after = minutes(8);
+  p.fiber.conduit_probability = 0.7;
+  p.fiber.overlap_probability = 0.5;
+  p.ems.nack_probability = 0.03;
+  p.ems.slow_probability = 0.03;
+  p.ems.slow_factor = 3.0;
+  return p;
+}
+
 Result<FaultPlan> FaultPlan::preset(const std::string& name) {
   if (name == "none") return none();
   if (name == "ems-flaps") return ems_flaps();
   if (name == "channel-loss") return channel_loss();
   if (name == "device-faults") return device_faults();
   if (name == "combined") return combined();
+  if (name == "conduit-cut") return conduit_cut();
+  if (name == "failure-storm") return failure_storm();
   return Error{ErrorCode::kNotFound, "chaos: unknown preset '" + name + "'"};
 }
 
@@ -99,6 +124,11 @@ FaultPlan FaultPlan::scaled(double intensity) const {
       scale_interval(device.mean_ot_fault_interval, intensity);
   p.device.mean_fxc_stick_interval =
       scale_interval(device.mean_fxc_stick_interval, intensity);
+  p.fiber.mean_cut_interval = scale_interval(fiber.mean_cut_interval, intensity);
+  p.fiber.conduit_probability =
+      clamp_probability(fiber.conduit_probability * intensity);
+  p.fiber.overlap_probability =
+      clamp_probability(fiber.overlap_probability * intensity);
   return p;
 }
 
@@ -186,6 +216,14 @@ Result<FaultPlan> FaultPlan::parse(const std::string& text) {
       plan.device.mean_fxc_stick_interval = from_seconds(v);
     } else if (key == "device.fxc_release_after") {
       plan.device.fxc_release_after = from_seconds(v);
+    } else if (key == "fiber.mean_cut_interval") {
+      plan.fiber.mean_cut_interval = from_seconds(v);
+    } else if (key == "fiber.repair_after") {
+      plan.fiber.repair_after = from_seconds(v);
+    } else if (key == "fiber.conduit_probability") {
+      if (!prob(&plan.fiber.conduit_probability)) return fail("probability out of [0,1]");
+    } else if (key == "fiber.overlap_probability") {
+      if (!prob(&plan.fiber.overlap_probability)) return fail("probability out of [0,1]");
     } else {
       return fail("unknown key '" + key + "'");
     }
@@ -215,6 +253,10 @@ std::string FaultPlan::render() const {
       << " ot-repair=" << to_seconds(device.ot_repair_after) << "s"
       << " fxc-stick-mean=" << to_seconds(device.mean_fxc_stick_interval)
       << "s fxc-release=" << to_seconds(device.fxc_release_after) << "s\n";
+  out << "  fiber: cut-mean=" << to_seconds(fiber.mean_cut_interval) << "s"
+      << " repair=" << to_seconds(fiber.repair_after) << "s"
+      << " conduit=" << fiber.conduit_probability
+      << " overlap=" << fiber.overlap_probability << "\n";
   return out.str();
 }
 

@@ -57,6 +57,23 @@ struct FaultPlan {
     SimTime fxc_release_after = minutes(2);
   } device;
 
+  /// Fiber-plant faults: backhoe cuts on in-service links. A cut either
+  /// severs one fiber pair or — with conduit_probability — the whole
+  /// conduit (every SRLG sibling fails in one correlated burst, which is
+  /// what the controller's storm correlator is built to recognise).
+  struct FiberFaults {
+    /// Mean time between cut events (exponential); zero disables.
+    SimTime mean_cut_interval{};
+    /// Splicing-crew time before the cut links are repaired.
+    SimTime repair_after = minutes(10);
+    /// Chance a cut takes the whole SRLG conduit instead of one fiber.
+    double conduit_probability = 0.0;
+    /// Chance a cut spawns a second, independent cut elsewhere while the
+    /// first is still being spliced — overlapping failures exercise the
+    /// restoration retry backlog.
+    double overlap_probability = 0.0;
+  } fiber;
+
   [[nodiscard]] bool wants_channel_faults() const noexcept {
     return channel.drop_probability > 0.0 ||
            channel.duplicate_probability > 0.0 ||
@@ -73,8 +90,15 @@ struct FaultPlan {
   [[nodiscard]] static FaultPlan device_faults();
   /// Everything at once, at gentler per-fault rates.
   [[nodiscard]] static FaultPlan combined();
+  /// Occasional full-conduit cuts: every SRLG sibling fails at once, then
+  /// a splicing crew repairs the conduit minutes later.
+  [[nodiscard]] static FaultPlan conduit_cut();
+  /// Restoration storm: frequent conduit cuts with overlapping seconds
+  /// (a new cut lands while the last is still being spliced), plus mildly
+  /// flaky EMSs — the worst night of the year for the control plane.
+  [[nodiscard]] static FaultPlan failure_storm();
   /// Look a preset up by name ("none", "ems-flaps", "channel-loss",
-  /// "device-faults", "combined").
+  /// "device-faults", "combined", "conduit-cut", "failure-storm").
   [[nodiscard]] static Result<FaultPlan> preset(const std::string& name);
 
   /// A copy with every probability multiplied by `intensity` (clamped to

@@ -115,8 +115,14 @@ GriphonController::GriphonController(NetworkModel* model, Params params)
   model_->fxc_ems_client().on_event(sink);
   model_->otn_ems_client().on_event(sink);
   model_->nte_ems_client().on_event(sink);
-  failures_.on_failure(
-      [this](const std::vector<LinkId>& links) { on_links_failed(links); });
+  // The failure manager groups localized links by conduit so a backhoe
+  // cut arrives as one correlated storm event, not N independent ones.
+  failures_.set_srlg_resolver([this](LinkId link) {
+    return model_->graph().srlg_siblings(link);
+  });
+  failures_.on_failure([this](const FailureManager::FailureEvent& event) {
+    on_links_failed(event);
+  });
   failures_.on_repair(
       [this](const std::vector<LinkId>& links) { on_links_repaired(links); });
 
@@ -1398,6 +1404,7 @@ void GriphonController::decommission_idle_carriers(DoneCallback cb) {
                                                 std::vector<std::size_t>) {
                 trace(sim::TraceLevel::kInfo, "carrier-decommissioned",
                       "OTU carrier " + std::to_string(carrier_id.value()));
+                kick_restoration_backlog();
                 if (--*remaining == 0) cb(Status::success());
               });
   }
@@ -1427,6 +1434,9 @@ void GriphonController::release_connection(ConnectionId id, DoneCallback cb) {
     return;
   }
   c->state = ConnectionState::kTearingDown;
+  // A backlogged (kFailed) connection can be released; drop its retry
+  // entry so no backoff timer resurrects it mid-teardown.
+  if (restore_backlog_.erase(id) != 0) update_restoration_gauges();
   if (telemetry::Telemetry* t = model_->telemetry())
     c->op_span =
         t->span_start("connection_release", "controller", telemetry_tag(id),
@@ -1454,6 +1464,9 @@ void GriphonController::release_connection(ConnectionId id, DoneCallback cb) {
     }
     trace(sim::TraceLevel::kInfo, "released",
           "connection " + std::to_string(id.value()));
+    // The teardown freed channels and devices — capacity a backlogged
+    // restoration may have been starving for.
+    kick_restoration_backlog();
     cb(status);
   };
 
@@ -1550,6 +1563,9 @@ void GriphonController::mark_recovered(Connection& c) {
     return;
   c.total_outage += model_->engine().now() - c.outage_started_at;
   c.state = ConnectionState::kActive;
+  // Service is back — retire the retry-backlog entry (if any) so a stale
+  // backoff timer cannot relaunch a restoration of a healthy connection.
+  if (restore_backlog_.erase(c.id) != 0) update_restoration_gauges();
   trace(sim::TraceLevel::kInfo, "recovered",
         "connection " + std::to_string(c.id.value()) + " outage " +
             std::to_string(to_seconds(c.total_outage)) + "s total");
@@ -1561,7 +1577,29 @@ void GriphonController::mark_recovered(Connection& c) {
              telemetry_tag(c.id));
 }
 
-void GriphonController::on_links_failed(const std::vector<LinkId>& links) {
+void GriphonController::on_links_failed(
+    const FailureManager::FailureEvent& event) {
+  const std::vector<LinkId>& links = event.links;
+  if (event.storm && !storm_active_) {
+    // Degraded mode: restoration demand just exceeded what serial handling
+    // was designed for. The flag holds until the pipeline drains; reopt
+    // campaigns stand down while it is up.
+    storm_active_ = true;
+    trace(sim::TraceLevel::kWarn, "storm-start",
+          std::to_string(links.size()) + " link(s) across " +
+              std::to_string(event.conduits) + " conduit(s)");
+    if (telemetry::Telemetry* t = model_->telemetry()) {
+      t->metrics()
+          .counter("griphon_restoration_storms_total",
+                   "Correlated failure storms entering the restoration "
+                   "pipeline")
+          ->inc();
+      t->event(telemetry::Severity::kWarn, "restoration", "controller",
+               "restoration storm: " + std::to_string(links.size()) +
+                   " link(s) across " + std::to_string(event.conduits) +
+                   " conduit(s)");
+    }
+  }
   const std::set<LinkId> failed(links.begin(), links.end());
   for (auto& [id, c] : connections_) {
     if (!c.is_up() && c.state != ConnectionState::kSettingUp) continue;
@@ -1604,6 +1642,9 @@ void GriphonController::on_links_failed(const std::vector<LinkId>& links) {
     }
   }
   if (topology_observer_) topology_observer_(links, /*failed=*/true);
+  // A storm with no restorable victims drains immediately.
+  maybe_clear_storm();
+  update_restoration_gauges();
 }
 
 void GriphonController::on_links_repaired(const std::vector<LinkId>& links) {
@@ -1651,6 +1692,9 @@ void GriphonController::on_links_repaired(const std::vector<LinkId>& links) {
         mark_recovered(c);
     }
   }
+  // Repair is the strongest re-arm signal the backlog gets: dormant
+  // entries wake and the backoff clock restarts (the world changed).
+  kick_restoration_backlog(/*reset_attempts=*/true);
   if (topology_observer_) topology_observer_(links, /*failed=*/false);
 }
 
@@ -1675,19 +1719,155 @@ void GriphonController::enqueue_restoration(ConnectionId id) {
 }
 
 void GriphonController::pump_restorations() {
-  if (restoration_in_flight_ || restore_queue_.empty()) return;
-  const ConnectionId id = restore_queue_.front();
-  restore_queue_.erase(restore_queue_.begin());
+  // Wavelength restoration trains (include_access=false) are dominated by
+  // roadm-ems dialogues: OT tuning, add/drop, regens, power balancing.
+  // Admission is gated on that domain — with one dominant domain the
+  // effective parallelism is min(max_concurrent, per_domain_inflight).
+  static const std::string kDomain = "roadm-ems";
+  while (restorations_in_flight_ < params_.restoration.max_concurrent &&
+         !restore_queue_.empty()) {
+    const ConnectionId id = restore_queue_.front();
+    Connection* c = find_conn(id);
+    if (c == nullptr || c->state != ConnectionState::kFailed) {
+      restore_queue_.erase(restore_queue_.begin());
+      continue;
+    }
+    if (ems_health_.state(kDomain) == EmsHealthTracker::BreakerState::kOpen) {
+      // The domain's breaker is open: nothing restores until it heals.
+      // Send the head to the backlog (bounded backoff, observable) rather
+      // than spinning or burning the half-open probe slot.
+      restore_queue_.erase(restore_queue_.begin());
+      backlog_restoration(id, "restoration shed: " + kDomain +
+                                  " breaker open");
+      continue;
+    }
+    if (restoration_domain_inflight_[kDomain] >=
+        params_.restoration.per_domain_inflight)
+      break;  // a landing restoration re-pumps
+    restore_queue_.erase(restore_queue_.begin());
+    if (restore_backlog_.contains(id)) {
+      ++stats_.restorations_retried;
+      if (telemetry::Telemetry* t = model_->telemetry())
+        t->metrics()
+            .counter("griphon_restoration_retries_total",
+                     "Backlogged restorations relaunched")
+            ->inc();
+    }
+    ++restorations_in_flight_;
+    ++restoration_domain_inflight_[kDomain];
+    update_restoration_gauges();
+    restore_wavelength(id, [this]() {
+      --restorations_in_flight_;
+      --restoration_domain_inflight_[kDomain];
+      // Deferred one event: restore_wavelength's early exits call done
+      // synchronously, and a re-entrant pump inside the launch loop would
+      // act on half-updated counters.
+      model_->engine().schedule(SimTime{}, [this]() { pump_restorations(); });
+    });
+  }
+  maybe_clear_storm();
+  update_restoration_gauges();
+}
+
+void GriphonController::backlog_restoration(ConnectionId id,
+                                            const std::string& why) {
   Connection* c = find_conn(id);
-  if (c == nullptr || c->state != ConnectionState::kFailed) {
-    pump_restorations();
+  if (c == nullptr || c->protection != ProtectionMode::kRestorable ||
+      !params_.auto_restore)
+    return;
+  BacklogEntry& e = restore_backlog_[id];
+  ++e.attempts;
+  const std::uint64_t gen = ++e.generation;
+  if (e.attempts > params_.restoration.max_timed_retries) {
+    // Timed retries exhausted: go dormant. Only an external event — a
+    // repair, a capacity-freeing teardown or roll — re-arms this entry,
+    // so a permanently unroutable connection cannot keep the event loop
+    // (or a drain-to-idle test) alive forever.
+    e.dormant = true;
+    trace(sim::TraceLevel::kWarn, "restore-backlog-dormant",
+          "connection " + std::to_string(id.value()) + " after " +
+              std::to_string(e.attempts - 1) + " timed retries: " + why);
+    if (telemetry::Telemetry* t = model_->telemetry())
+      t->event(telemetry::Severity::kWarn, "restoration", "controller",
+               "connection " + std::to_string(id.value()) +
+                   " backlog dormant: " + why,
+               telemetry_tag(id));
+    update_restoration_gauges();
+    maybe_clear_storm();
     return;
   }
-  restoration_in_flight_ = true;
-  restore_wavelength(id, [this]() {
-    restoration_in_flight_ = false;
-    pump_restorations();
+  e.dormant = false;
+  const SimTime delay = restoration_retry_delay(e.attempts);
+  trace(sim::TraceLevel::kInfo, "restore-backlog",
+        "connection " + std::to_string(id.value()) + " retry #" +
+            std::to_string(e.attempts) + " in " +
+            std::to_string(to_seconds(delay)) + "s: " + why);
+  model_->engine().schedule(delay, [this, id, gen]() {
+    const auto it = restore_backlog_.find(id);
+    if (it == restore_backlog_.end() || it->second.generation != gen ||
+        it->second.dormant)
+      return;  // re-armed, recovered or released meanwhile
+    Connection* c = find_conn(id);
+    if (c == nullptr || c->state != ConnectionState::kFailed) return;
+    enqueue_restoration(id);
   });
+  update_restoration_gauges();
+}
+
+SimTime GriphonController::restoration_retry_delay(int attempt) const {
+  // Deterministic (no jitter): chaos soaks compare digests across runs.
+  double delay = to_seconds(params_.restoration.retry_base);
+  for (int i = 1; i < attempt; ++i)
+    delay *= params_.restoration.retry_multiplier;
+  return std::min(params_.restoration.retry_max, from_seconds(delay));
+}
+
+void GriphonController::kick_restoration_backlog(bool reset_attempts) {
+  if (restore_backlog_.empty()) return;
+  for (auto& [id, e] : restore_backlog_) {
+    Connection* c = find_conn(id);
+    if (c == nullptr || c->state != ConnectionState::kFailed) continue;
+    if (reset_attempts) {
+      e.attempts = 0;
+      e.preemptions = 0;
+    }
+    e.dormant = false;
+    ++e.generation;  // cancels any armed backoff timer
+    enqueue_restoration(id);
+  }
+  update_restoration_gauges();
+}
+
+void GriphonController::maybe_clear_storm() {
+  if (!storm_active_) return;
+  if (!restore_queue_.empty() || restorations_in_flight_ != 0) return;
+  for (const auto& [id, e] : restore_backlog_)
+    if (!e.dormant) return;  // an armed retry still owns the storm
+  storm_active_ = false;
+  trace(sim::TraceLevel::kInfo, "storm-cleared",
+        "restoration pipeline drained");
+  if (telemetry::Telemetry* t = model_->telemetry())
+    t->event(telemetry::Severity::kInfo, "restoration", "controller",
+             "restoration storm cleared (pipeline drained)");
+  update_restoration_gauges();
+}
+
+void GriphonController::update_restoration_gauges() {
+  telemetry::Telemetry* t = model_->telemetry();
+  if (t == nullptr) return;
+  auto& m = t->metrics();
+  m.gauge("griphon_restoration_backlog_depth",
+          "Failed restorations awaiting retry (armed + dormant)")
+      ->set(static_cast<double>(restore_backlog_.size()));
+  m.gauge("griphon_restoration_queue_depth",
+          "Failed connections ready for restoration, tier-ordered")
+      ->set(static_cast<double>(restore_queue_.size()));
+  m.gauge("griphon_restoration_in_flight",
+          "Restoration command trains currently running")
+      ->set(static_cast<double>(restorations_in_flight_));
+  m.gauge("griphon_restoration_storm_active",
+          "1 while a correlated failure storm is being worked")
+      ->set(storm_active_ ? 1.0 : 0.0);
 }
 
 void GriphonController::restore_wavelength(ConnectionId id,
@@ -1701,13 +1881,9 @@ void GriphonController::restore_wavelength(ConnectionId id,
   trace(sim::TraceLevel::kInfo, "restore-start",
         "connection " + std::to_string(id.value()));
   const SimTime restore_started = model_->engine().now();
-  std::uint64_t release_span = 0;
-  if (telemetry::Telemetry* t = model_->telemetry()) {
+  if (telemetry::Telemetry* t = model_->telemetry())
     c0->op_span =
         t->span_start("restoration", "controller", telemetry_tag(id), 0);
-    release_span =
-        t->span_start("release_old_path", "controller", 0, c0->op_span);
-  }
   // Ends the restoration root span + counts the attempt, on every exit.
   auto close_restore = [this, id, restore_started](bool ok,
                                                    const std::string& why) {
@@ -1735,21 +1911,15 @@ void GriphonController::restore_wavelength(ConnectionId id,
              telemetry_tag(id));
   };
 
-  // 1. Release the dead path's configuration (keeps access + OTs).
-  auto teardown = std::make_shared<StepList>(
-      build_wavelength_teardown(*c0, c0->plan, /*include_access=*/false));
-  run_steps(teardown, /*best_effort=*/true,
-            [this, id, done, close_restore, release_span](
-                Status, std::vector<std::size_t>) {
-    if (telemetry::Telemetry* t = model_->telemetry())
-      t->span_end(release_span);
+  // Steps 2+ (replan, admit, reprovision), entered either after the old
+  // path's release or directly on a backlog retry that already released it.
+  auto proceed = [this, id, done, close_restore]() {
     Connection* c = find_conn(id);
     if (c == nullptr || c->state != ConnectionState::kRestoring) {
       close_restore(false, "connection left restoring state");
       done();
       return;
     }
-    c->deprovisioned = true;  // old path released; plan no longer live
     // 2. Compute a path around the failure.
     std::uint64_t replan_span = 0;
     if (telemetry::Telemetry* t = model_->telemetry())
@@ -1766,18 +1936,87 @@ void GriphonController::restore_wavelength(ConnectionId id,
         done();
         return;
       }
+      // Failed attempts return to kFailed and enter the retry backlog —
+      // the outage continues, but it is never dropped on the floor.
+      auto fail_attempt = [this, id, done,
+                           close_restore](const std::string& why) {
+        ++stats_.restorations_failed;
+        if (Connection* cc = find_conn(id); cc != nullptr)
+          cc->state = ConnectionState::kFailed;
+        trace(sim::TraceLevel::kError, "restore-failed", why);
+        backlog_restoration(id, why);
+        close_restore(false, why);
+        done();
+      };
+      // SRLG-diverse replan: avoid not just the failed plant but every
+      // conduit-mate of it — a "diverse" path through a sibling fiber of
+      // the cut conduit dies with the next backhoe swing. Fall back to
+      // failed-links-only exclusions when no diverse route exists at all
+      // (restoring onto a surviving sibling beats staying dark).
       Exclusions avoid;
-      for (const LinkId l : failures_.believed_failed()) avoid.links.insert(l);
-      auto plan = rwa_.plan(c->src_pop, c->dst_pop, c->rate, avoid);
+      for (const LinkId l : failures_.believed_failed())
+        avoid.links.insert(l);
+      Exclusions diverse = avoid;
+      for (const LinkId l : failures_.believed_failed())
+        for (const LinkId sibling : model_->graph().srlg_siblings(l))
+          diverse.links.insert(sibling);
+      auto plan = rwa_.plan(c->src_pop, c->dst_pop, c->rate, diverse);
+      if (!plan.ok() && plan.error().code() == ErrorCode::kUnreachable &&
+          diverse.links.size() > avoid.links.size()) {
+        plan = rwa_.plan(c->src_pop, c->dst_pop, c->rate, avoid);
+        if (plan.ok()) {
+          ++stats_.restorations_non_diverse;
+          trace(sim::TraceLevel::kWarn, "restore-non-diverse",
+                "connection " + std::to_string(id.value()) +
+                    ": no SRLG-diverse route; restoring onto a conduit "
+                    "sibling");
+          if (telemetry::Telemetry* t = model_->telemetry())
+            t->metrics()
+                .counter("griphon_restoration_non_diverse_total",
+                         "Restorations that fell back to a non-SRLG-"
+                         "diverse path")
+                ->inc();
+        }
+      }
       if (telemetry::Telemetry* t = model_->telemetry())
         t->span_end(replan_span, plan.ok());
       if (!plan.ok()) {
-        ++stats_.restorations_failed;
-        c->state = ConnectionState::kFailed;  // outage continues
-        trace(sim::TraceLevel::kError, "restore-failed",
-              plan.error().message());
-        close_restore(false, plan.error().message());
-        done();
+        // 3. Out of wavelengths (not out of routes): a gold restoration
+        // may preempt best-effort BoD calendar windows to free channels.
+        // The freed capacity lands asynchronously as those teardowns
+        // complete, each one kicking the backlog this failure is about
+        // to enter.
+        if (plan.error().code() == ErrorCode::kResourceExhausted &&
+            c->tier == ServiceTier::kGold &&
+            params_.restoration.preempt_bod_for_gold && preemption_hook_) {
+          BacklogEntry& e = restore_backlog_[id];
+          if (e.preemptions <
+              params_.restoration.max_preemptions_per_connection) {
+            ++e.preemptions;
+            ++stats_.preemptions_requested;
+            const std::size_t freed = preemption_hook_(
+                c->src_pop, c->dst_pop, c->rate, avoid.links);
+            stats_.bod_windows_preempted += freed;
+            trace(sim::TraceLevel::kWarn, "restore-preempt",
+                  "connection " + std::to_string(id.value()) +
+                      " preempted " + std::to_string(freed) +
+                      " best-effort BoD window(s)");
+            if (telemetry::Telemetry* t = model_->telemetry()) {
+              t->metrics()
+                  .counter("griphon_restoration_preemptions_total",
+                           "Best-effort BoD windows preempted for gold "
+                           "restorations")
+                  ->inc(freed);
+              t->event(telemetry::Severity::kWarn, "restoration",
+                       "controller",
+                       "gold restoration " + std::to_string(id.value()) +
+                           " preempted " + std::to_string(freed) +
+                           " BoD window(s)",
+                       telemetry_tag(id));
+            }
+          }
+        }
+        fail_attempt(plan.error().message());
         return;
       }
       // Reuse the connection's own transponders: the access FXC patches
@@ -1788,12 +2027,7 @@ void GriphonController::restore_wavelength(ConnectionId id,
       if (const Status adm =
               admit_optical_plan(new_plan, c->rate, c->op_span);
           !adm.ok()) {
-        ++stats_.restorations_failed;
-        c->state = ConnectionState::kFailed;  // outage continues
-        trace(sim::TraceLevel::kError, "restore-failed",
-              adm.error().message());
-        close_restore(false, adm.error().message());
-        done();
+        fail_attempt(adm.error().message());
         return;
       }
       reserve_plan(new_plan);
@@ -1826,20 +2060,50 @@ void GriphonController::restore_wavelength(ConnectionId id,
                     close_restore(true, {});
                   } else {
                     ++stats_.restorations_failed;
-                    rollback_steps(steps, std::move(succeeded), [this, id]() {
+                    const std::string why = status.error().message();
+                    rollback_steps(steps, std::move(succeeded),
+                                   [this, id, why]() {
                       Connection* c = find_conn(id);
                       if (c != nullptr) c->state = ConnectionState::kFailed;
+                      // Backlogged only once the rollback released the
+                      // half-built path — a retry must not race its own
+                      // cleanup.
+                      backlog_restoration(id, why);
                     });
-                    trace(sim::TraceLevel::kError, "restore-failed",
-                          status.error().message());
-                    close_restore(false, status.error().message());
+                    trace(sim::TraceLevel::kError, "restore-failed", why);
+                    close_restore(false, why);
                   }
                   done();
                 },
                 reprov_span);
     });
-  },
-  release_span);
+  };
+
+  if (c0->deprovisioned) {
+    // Backlog retry: the first attempt already released the old path, and
+    // its channels may since have been re-acquired by other connections —
+    // tearing "our" old path down again would disconnect their devices.
+    proceed();
+    return;
+  }
+  // 1. Release the dead path's configuration (keeps access + OTs).
+  std::uint64_t release_span = 0;
+  if (telemetry::Telemetry* t = model_->telemetry())
+    release_span =
+        t->span_start("release_old_path", "controller", 0, c0->op_span);
+  auto teardown = std::make_shared<StepList>(
+      build_wavelength_teardown(*c0, c0->plan, /*include_access=*/false));
+  run_steps(teardown, /*best_effort=*/true,
+            [this, id, proceed, release_span](Status,
+                                              std::vector<std::size_t>) {
+              if (telemetry::Telemetry* t = model_->telemetry())
+                t->span_end(release_span);
+              if (Connection* c = find_conn(id);
+                  c != nullptr && c->state == ConnectionState::kRestoring)
+                c->deprovisioned = true;  // old path released; not live
+              proceed();
+            },
+            release_span);
 }
 
 void GriphonController::restore_subwavelength(ConnectionId) {
@@ -2038,6 +2302,9 @@ void GriphonController::roll_to_plan(ConnectionId id,
         }
         trace(sim::TraceLevel::kInfo, "roll-done",
               "connection " + std::to_string(id.value()));
+        // The old path's release is a capacity-freeing event (reopt moves
+        // drain fragmented spectrum a backlogged restoration may need).
+        kick_restoration_backlog();
         cb(Status::success());
       },
       repatch_span);
@@ -2288,9 +2555,14 @@ void append_config_keys(const proto::Message& m, std::set<std::string>& out) {
 }  // namespace
 
 bool GriphonController::quiescent() const {
-  if (pending_commands_ != 0 || restoration_in_flight_ ||
+  if (pending_commands_ != 0 || restorations_in_flight_ != 0 ||
       !restore_queue_.empty())
     return false;
+  // A non-dormant backlog entry has a backoff timer armed: a restoration
+  // could launch mid-audit. Dormant entries only wake on external events
+  // the audit itself will not produce.
+  for (const auto& [id, e] : restore_backlog_)
+    if (!e.dormant) return false;
   for (const auto& [id, c] : connections_) {
     switch (c.state) {
       case ConnectionState::kPending:

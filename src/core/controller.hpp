@@ -66,6 +66,32 @@ class GriphonController {
     /// Restore wavelength connections automatically on failure.
     bool auto_restore = true;
 
+    /// Restoration-storm pipeline (DESIGN.md §17). Failed restorable
+    /// connections drain from a tier-ordered queue; up to
+    /// `max_concurrent` restorations run at once (1 reproduces the 2011
+    /// serial pump), each admitted against its dominant EMS domain so a
+    /// storm cannot stampede one EMS past its circuit breaker. A failed
+    /// attempt lands in a persistent retry backlog with exponential
+    /// backoff; after `max_timed_retries` the entry goes dormant and only
+    /// an external event (repair, capacity-freeing teardown or roll)
+    /// re-arms it — so the event loop always drains.
+    struct RestorationPolicy {
+      std::size_t max_concurrent = 1;
+      /// Restorations in flight against one EMS domain at once.
+      std::size_t per_domain_inflight = 4;
+      int max_timed_retries = 6;
+      SimTime retry_base = seconds(10);
+      double retry_multiplier = 2.0;
+      SimTime retry_max = seconds(300);
+      /// Gold restorations out of wavelengths may preempt best-effort BoD
+      /// calendar windows (via the preemption hook) to free channels.
+      bool preempt_bod_for_gold = true;
+      /// Preemption rounds one connection may trigger before it has to
+      /// wait for organic capacity.
+      int max_preemptions_per_connection = 2;
+    };
+    RestorationPolicy restoration{};
+
     /// Application-level retry of EMS commands, on top of the protocol
     /// client's frame retransmissions. Timeout retries reuse the original
     /// request id (idempotency key — the EMS response cache absorbs a
@@ -209,12 +235,52 @@ class GriphonController {
     topology_observer_ = std::move(observer);
   }
 
+  /// Preemption hook: asked to free wavelength capacity between two PoPs
+  /// when a gold restoration fails with resource exhaustion. The callee
+  /// (the BoD TransferScheduler) tears down best-effort calendar windows
+  /// whose routes could serve (src, dst) avoiding `avoid`, and returns how
+  /// many windows it preempted. Capacity frees asynchronously — the
+  /// retry backlog re-arms on the teardowns. One hook; set empty to
+  /// detach.
+  using PreemptionHook = std::function<std::size_t(
+      NodeId src, NodeId dst, DataRate rate, const std::set<LinkId>& avoid)>;
+  void set_preemption_hook(PreemptionHook hook) {
+    preemption_hook_ = std::move(hook);
+  }
+
+  // --- restoration pipeline introspection ----------------------------------
+  /// True from a correlated storm event until the restoration pipeline
+  /// has drained (no queue, nothing in flight, no armed backlog retry).
+  /// Reopt campaigns hold while this is set.
+  [[nodiscard]] bool restoration_storm_active() const noexcept {
+    return storm_active_;
+  }
+  /// Failed-restoration entries awaiting retry (armed or dormant).
+  [[nodiscard]] std::size_t restoration_backlog_depth() const noexcept {
+    return restore_backlog_.size();
+  }
+  [[nodiscard]] std::size_t restorations_in_flight() const noexcept {
+    return restorations_in_flight_;
+  }
+  [[nodiscard]] std::size_t restoration_queue_depth() const noexcept {
+    return restore_queue_.size();
+  }
+  /// Re-arm every backlogged restoration now (capacity may have freed).
+  /// Called internally after teardowns, completed rolls and repairs; public
+  /// for the shell and operators. `reset_attempts` restarts the
+  /// exponential-backoff clock (repairs do; capacity kicks keep it).
+  void kick_restoration_backlog(bool reset_attempts = false);
+
   struct Stats {
     std::size_t setups_ok = 0;
     std::size_t setups_failed = 0;
     std::size_t releases = 0;
     std::size_t restorations_ok = 0;
     std::size_t restorations_failed = 0;
+    std::size_t restorations_retried = 0;     ///< backlog retry launches
+    std::size_t restorations_non_diverse = 0; ///< SRLG-diverse plan fallback
+    std::size_t preemptions_requested = 0;    ///< hook invocations
+    std::size_t bod_windows_preempted = 0;    ///< windows the hook freed
     std::size_t rolls_ok = 0;
     std::size_t rolls_failed = 0;
     std::size_t commands_issued = 0;
@@ -316,14 +382,21 @@ class GriphonController {
 
   // Failure handling.
   void handle_alarm_frame(const proto::Frame& frame);
-  void on_links_failed(const std::vector<LinkId>& links);
+  void on_links_failed(const FailureManager::FailureEvent& event);
   void on_links_repaired(const std::vector<LinkId>& links);
   /// Queue a failed restorable connection; the queue drains in tier order
-  /// (gold first), one restoration at a time.
+  /// (gold first), up to restoration.max_concurrent at a time.
   void enqueue_restoration(ConnectionId id);
   void pump_restorations();
   void restore_wavelength(ConnectionId id, std::function<void()> done);
   void restore_subwavelength(ConnectionId id);
+  /// Record a failed attempt in the retry backlog: exponential backoff
+  /// while timed retries remain, dormant (event-driven only) after.
+  void backlog_restoration(ConnectionId id, const std::string& why);
+  [[nodiscard]] SimTime restoration_retry_delay(int attempt) const;
+  /// Clear the storm flag once the pipeline has fully drained.
+  void maybe_clear_storm();
+  void update_restoration_gauges();
   void mark_failed(Connection& c);
   void mark_recovered(Connection& c);
 
@@ -358,13 +431,28 @@ class GriphonController {
   std::size_t carriers_groomed_ = 0;
   std::map<CarrierId, WavelengthPlan> groomed_plans_;
   std::set<std::pair<MuxponderId, std::size_t>> reserved_nte_ports_;
-  std::vector<ConnectionId> restore_queue_;
-  bool restoration_in_flight_ = false;
+  std::vector<ConnectionId> restore_queue_;  ///< ready, tier-sorted
+  /// Failed restorations awaiting another try. An entry lives from the
+  /// first failed attempt until the connection recovers or is released;
+  /// non-dormant entries always have either a backoff timer armed, a
+  /// queue slot, or an attempt in flight.
+  struct BacklogEntry {
+    int attempts = 0;           ///< failed attempts so far
+    int preemptions = 0;        ///< BoD preemption rounds triggered
+    bool dormant = false;       ///< timed retries exhausted; event-driven
+    std::uint64_t generation = 0;  ///< bumps on re-arm; stale timers no-op
+  };
+  std::map<ConnectionId, BacklogEntry> restore_backlog_;
+  std::size_t restorations_in_flight_ = 0;
+  /// In-flight restorations per dominant EMS domain (admission window).
+  std::map<std::string, std::size_t> restoration_domain_inflight_;
+  bool storm_active_ = false;
   std::size_t pending_commands_ = 0;  ///< EMS commands awaiting a response
   bool resync_scheduled_ = false;
   int resync_attempts_ = 0;
   std::map<const proto::RequestClient*, std::string> client_domains_;
   TopologyObserver topology_observer_;
+  PreemptionHook preemption_hook_;
   IdAllocator<ConnectionId> ids_;
   Stats stats_;
   StepDagReport last_dag_report_;

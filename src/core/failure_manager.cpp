@@ -44,6 +44,33 @@ void FailureManager::ingest(const Alarm& alarm) {
   }
 }
 
+FailureManager::FailureEvent FailureManager::classify(
+    std::vector<LinkId> links) const {
+  FailureEvent event;
+  event.links = std::move(links);
+  // Group the localized links by shared risk: two links are conduit-mates
+  // when the resolver puts them in each other's sibling sets. A cut link
+  // whose group lost >= 2 members in this same window is the SRLG
+  // signature of a conduit cut.
+  std::set<LinkId> unassigned(event.links.begin(), event.links.end());
+  bool correlated = false;
+  while (!unassigned.empty()) {
+    const LinkId seed = *unassigned.begin();
+    unassigned.erase(unassigned.begin());
+    ++event.conduits;
+    if (!srlg_resolver_) continue;
+    std::size_t group_size = 1;
+    for (const LinkId sibling : srlg_resolver_(seed)) {
+      if (sibling == seed) continue;
+      if (unassigned.erase(sibling) != 0) ++group_size;
+    }
+    if (group_size >= 2) correlated = true;
+  }
+  event.storm =
+      correlated || event.links.size() >= params_.storm_link_threshold;
+  return event;
+}
+
 void FailureManager::correlate_failures() {
   std::vector<LinkId> localized;
   for (const auto& [link, sources] : pending_los_) {
@@ -55,20 +82,30 @@ void FailureManager::correlate_failures() {
     localized.push_back(link);
   }
   pending_los_.clear();
-  if (telemetry_ != nullptr && !localized.empty()) {
+  if (localized.empty()) return;
+  FailureEvent event = classify(std::move(localized));
+  if (event.storm) ++storms_seen_;
+  if (telemetry_ != nullptr) {
     // Localize = the correlation window: first alarm -> localization fire.
-    telemetry_->span_record("localize", "failure-manager", 0, 0,
-                            failure_window_opened_at_, engine_->now(), true,
-                            std::to_string(localized.size()) + " link(s)");
+    telemetry_->span_record(
+        "localize", "failure-manager", 0, 0, failure_window_opened_at_,
+        engine_->now(), true,
+        std::to_string(event.links.size()) + " link(s), " +
+            std::to_string(event.conduits) + " conduit(s)" +
+            (event.storm ? ", storm" : ""));
     auto& m = telemetry_->metrics();
     m.counter("griphon_failure_links_localized_total",
               "Fiber faults localized by alarm correlation")
-        ->inc(localized.size());
+        ->inc(event.links.size());
     m.histogram("griphon_failure_localize_seconds",
                 "First alarm to localized root cause")
         ->observe(to_seconds(engine_->now() - failure_window_opened_at_));
+    if (event.storm)
+      m.counter("griphon_failure_storms_total",
+                "Correlated failure storms (SRLG-sibling or wide bursts)")
+          ->inc();
   }
-  if (!localized.empty() && failure_handler_) failure_handler_(localized);
+  if (failure_handler_) failure_handler_(event);
 }
 
 void FailureManager::correlate_repairs() {

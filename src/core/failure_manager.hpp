@@ -7,6 +7,13 @@
 // link reported from one end only is still suspected (the far ROADM may
 // carry nothing on that degree). CLEAR alarms are correlated the same way
 // into repair notifications.
+//
+// Correlated storms: a backhoe severing one conduit takes down every SRLG
+// sibling fiber at once, so the alarms of all siblings land inside the
+// same holddown window. With an SRLG resolver attached the manager groups
+// the localized links by shared-risk group and classifies the event — one
+// FailureEvent per window, flagged as a storm when a conduit lost more
+// than one fiber or the window collapsed a wide multi-link burst.
 #pragma once
 
 #include <functional>
@@ -25,12 +32,32 @@ namespace griphon::core {
 
 class FailureManager {
  public:
+  /// One localized failure event: the root-cause links of one holddown
+  /// window, plus the SRLG view of them. `conduits` counts distinct
+  /// shared-risk groups among the links (links without a group count as a
+  /// conduit of their own); `storm` is set when the event is correlated —
+  /// an SRLG group lost two or more links at once, or the window
+  /// collapsed at least `Params::storm_link_threshold` links.
+  struct FailureEvent {
+    std::vector<LinkId> links;
+    std::size_t conduits = 0;
+    bool storm = false;
+  };
+
   /// Called once per localized event with the root-cause links.
-  using FailureHandler = std::function<void(const std::vector<LinkId>&)>;
+  using FailureHandler = std::function<void(const FailureEvent&)>;
   using RepairHandler = std::function<void(const std::vector<LinkId>&)>;
+  /// Maps a link to every link sharing its SRLG (including itself);
+  /// typically Graph::srlg_siblings. Unset = every link is its own risk
+  /// group (no storm classification by conduit).
+  using SrlgResolver = std::function<std::vector<LinkId>(LinkId)>;
 
   struct Params {
     SimTime holddown = milliseconds(2500);  ///< alarm correlation window
+    /// A window localizing at least this many links is a storm even
+    /// without SRLG confirmation (a wide uncorrelated burst stresses the
+    /// restoration pipeline exactly like a conduit cut does).
+    std::size_t storm_link_threshold = 4;
   };
 
   FailureManager(sim::Engine* engine, Params params)
@@ -41,6 +68,9 @@ class FailureManager {
   }
   void on_repair(RepairHandler handler) {
     repair_handler_ = std::move(handler);
+  }
+  void set_srlg_resolver(SrlgResolver resolver) {
+    srlg_resolver_ = std::move(resolver);
   }
 
   /// Feed a raw alarm (from any EMS event stream).
@@ -60,15 +90,22 @@ class FailureManager {
   [[nodiscard]] const std::set<LinkId>& believed_failed() const noexcept {
     return believed_failed_;
   }
+  /// Correlated storm events seen since construction.
+  [[nodiscard]] std::size_t storms_seen() const noexcept {
+    return storms_seen_;
+  }
 
  private:
   void correlate_failures();
   void correlate_repairs();
+  /// Group `links` by SRLG and classify the event (see FailureEvent).
+  [[nodiscard]] FailureEvent classify(std::vector<LinkId> links) const;
 
   sim::Engine* engine_;
   Params params_;
   FailureHandler failure_handler_;
   RepairHandler repair_handler_;
+  SrlgResolver srlg_resolver_;
 
   /// link -> reporting sources, for the window in progress.
   std::map<LinkId, std::set<std::string>> pending_los_;
@@ -78,6 +115,7 @@ class FailureManager {
   SimTime failure_window_opened_at_{};
   std::set<LinkId> believed_failed_;
   std::size_t ingested_ = 0;
+  std::size_t storms_seen_ = 0;
   telemetry::Telemetry* telemetry_ = nullptr;
 };
 

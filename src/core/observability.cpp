@@ -87,6 +87,16 @@ void install_standard_probes(telemetry::GaugeSampler& sampler,
   sampler.add_probe("connections_blocked", "count", [&controller] {
     return static_cast<double>(controller.stats().setups_failed);
   });
+
+  sampler.add_probe("restoration_backlog", "count", [&controller] {
+    return static_cast<double>(controller.restoration_backlog_depth());
+  });
+  sampler.add_probe("restoration_in_flight", "count", [&controller] {
+    return static_cast<double>(controller.restorations_in_flight());
+  });
+  sampler.add_probe("restoration_storm_active", "level", [&controller] {
+    return controller.restoration_storm_active() ? 1.0 : 0.0;
+  });
 }
 
 }  // namespace griphon::core

@@ -34,6 +34,19 @@ void ReoptService::schedule_tick() {
 
 void ReoptService::on_tick() {
   if (!running_) return;
+  // Hold the trip during a restoration storm: campaign rolls would
+  // compete with restorations for wavelengths and EMS dialogue slots,
+  // and capacity freed by a move is better spent re-arming the
+  // restoration backlog than chasing a fragmentation score mid-crisis.
+  if (controller_->restoration_storm_active()) {
+    ++stats_.campaigns_held_storm;
+    if (telemetry::Telemetry* t = controller_->model().telemetry())
+      t->event(telemetry::Severity::kInfo, "reopt", "reopt",
+               "tick held: restoration storm active");
+    sync_metrics();
+    if (running_) schedule_tick();
+    return;
+  }
   const FragmentationReport& report = analyze();
   // One campaign at a time; a still-draining campaign just defers the
   // decision to the next tick.
@@ -126,6 +139,9 @@ void ReoptService::sync_metrics() {
   m.gauge("griphon_reopt_cycle_breaks_total",
           "Dependency cycles broken via a temporary bridge channel")
       ->set(static_cast<double>(stats_.cycle_breaks));
+  m.gauge("griphon_reopt_campaigns_held_storm_total",
+          "Periodic reopt ticks deferred by an active restoration storm")
+      ->set(static_cast<double>(stats_.campaigns_held_storm));
 }
 
 void ReoptService::install_probes(telemetry::GaugeSampler& sampler) {

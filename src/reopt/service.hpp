@@ -6,7 +6,11 @@
 // least `min_moves` strictly-improving moves exist) it runs a migration
 // campaign. Campaigns never overlap, and connections the exempt provider
 // names — the BoD layer supplies connections inside calendar-committed
-// transfer windows — are never touched.
+// transfer windows — are never touched. While the controller is in a
+// restoration storm the periodic trip is held: defragmentation competes
+// with restorations for the same wavelengths and EMS dialogue budget, so
+// the tick defers until the storm clears (explicit run_campaign() is an
+// operator override and still runs).
 //
 // Observability: griphon_reopt_* counters on the deployment's telemetry,
 // bare-named gauges for the GaugeSampler (fragmentation mean/max,
@@ -79,6 +83,7 @@ class ReoptService {
     std::size_t moves_skipped = 0;
     std::size_t moves_failed = 0;
     std::size_t cycle_breaks = 0;
+    std::size_t campaigns_held_storm = 0;  ///< ticks deferred by a storm
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   /// Null until the first analyze().

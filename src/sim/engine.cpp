@@ -51,7 +51,20 @@ std::size_t Engine::run() {
 
 std::size_t Engine::run_until(SimTime deadline) {
   std::size_t n = 0;
-  while (!queue_.empty() && queue_.top().when <= deadline) {
+  while (!queue_.empty()) {
+    // Discard cancelled entries at the head first: the deadline check
+    // must see the next event that would actually fire, or a stale
+    // cancelled entry inside the horizon lets pop_one() fire a live
+    // event from far beyond it.
+    const auto it =
+        std::find(cancelled_.begin(), cancelled_.end(), queue_.top().seq);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      --cancelled_pending_;
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().when > deadline) break;
     if (pop_one()) ++n;
   }
   now_ = std::max(now_, deadline);

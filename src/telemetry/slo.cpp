@@ -230,4 +230,17 @@ Objective bod_deadline_miss_objective(const MetricsRegistry& m,
   return o;
 }
 
+Objective restoration_backlog_objective(const MetricsRegistry& m,
+                                        double ceiling) {
+  Objective o;
+  o.name = "restoration_backlog";
+  o.description = "failed restorations parked on retry within bound";
+  o.bound = ceiling;
+  o.value = [&m] {
+    const Gauge* g = m.find_gauge("griphon_restoration_backlog_depth");
+    return g == nullptr ? std::nan("") : g->value();
+  };
+  return o;
+}
+
 }  // namespace griphon::telemetry

@@ -119,5 +119,12 @@ class SloMonitor {
 /// deadlines_missed / (met + missed) <= ceiling, over BoD transfers.
 [[nodiscard]] Objective bod_deadline_miss_objective(const MetricsRegistry& m,
                                                     double ceiling);
+/// griphon_restoration_backlog_depth <= ceiling — connections that failed
+/// restoration and are parked on retry timers. A persistently deep
+/// backlog is the degraded-mode signal of a restoration storm that the
+/// plant cannot absorb. Reads NaN until the controller first publishes
+/// the gauge (monitor streaks stay frozen on an idle plane).
+[[nodiscard]] Objective restoration_backlog_objective(
+    const MetricsRegistry& m, double ceiling);
 
 }  // namespace griphon::telemetry

@@ -40,7 +40,8 @@ using BreakerState = core::EmsHealthTracker::BreakerState;
 
 TEST(FaultPlanTest, PresetsByName) {
   for (const char* name :
-       {"none", "ems-flaps", "channel-loss", "device-faults", "combined"}) {
+       {"none", "ems-flaps", "channel-loss", "device-faults", "combined",
+        "conduit-cut", "failure-storm"}) {
     const auto plan = FaultPlan::preset(name);
     ASSERT_TRUE(plan.ok()) << name;
     EXPECT_EQ(plan.value().name, name);
@@ -356,9 +357,9 @@ TEST(FailureCorrelation, BothEndsInsideWindowLocalizeOnce) {
   core::FailureManager fm(&engine, core::FailureManager::Params{});
   int events = 0;
   std::vector<LinkId> last;
-  fm.on_failure([&](const std::vector<LinkId>& links) {
+  fm.on_failure([&](const core::FailureManager::FailureEvent& event) {
     ++events;
-    last = links;
+    last = event.links;
   });
   const LinkId cut{7};
   engine.schedule(SimTime{}, [&] {
@@ -379,7 +380,8 @@ TEST(FailureCorrelation, StragglerOutsideWindowDoesNotRelocalize) {
   core::FailureManager fm(&engine, core::FailureManager::Params{});
   int failures = 0;
   int repairs = 0;
-  fm.on_failure([&](const std::vector<LinkId>&) { ++failures; });
+  fm.on_failure(
+      [&](const core::FailureManager::FailureEvent&) { ++failures; });
   fm.on_repair([&](const std::vector<LinkId>&) { ++repairs; });
   const LinkId cut{3};
   // The far end's alarm is delayed well past the 2.5 s holddown: it opens
@@ -413,9 +415,9 @@ TEST(FailureCorrelation, ReorderedInterleavedAlarmsGroupIntoOneEvent) {
   core::FailureManager fm(&engine, core::FailureManager::Params{});
   int events = 0;
   std::set<LinkId> seen;
-  fm.on_failure([&](const std::vector<LinkId>& links) {
+  fm.on_failure([&](const core::FailureManager::FailureEvent& event) {
     ++events;
-    seen.insert(links.begin(), links.end());
+    seen.insert(event.links.begin(), event.links.end());
   });
   const LinkId cut_a{1};
   const LinkId cut_b{2};
@@ -772,7 +774,7 @@ SoakOutcome run_chaos_soak(std::uint64_t seed, const FaultPlan& plan) {
   const std::uint64_t total_faults =
       is.nacks_injected + is.slow_commands + is.ems_crashes +
       is.frames_dropped + is.frames_duplicated + is.frames_delayed +
-      is.ot_faults + is.fxc_sticks;
+      is.ot_faults + is.fxc_sticks + is.fiber_cuts;
   EXPECT_GT(total_faults, 0u) << plan.name << ": injector never fired";
 
   // --- determinism digest ----------------------------------------------
@@ -781,7 +783,8 @@ SoakOutcome run_chaos_soak(std::uint64_t seed, const FaultPlan& plan) {
   d << " inj=" << is.nacks_injected << "/" << is.slow_commands << "/"
     << is.ems_crashes << "/" << is.frames_dropped << "/"
     << is.frames_duplicated << "/" << is.frames_delayed << "/"
-    << is.ot_faults << "/" << is.fxc_sticks << "/" << injector.log().size();
+    << is.ot_faults << "/" << is.fxc_sticks << "/" << is.fiber_cuts << "/"
+    << is.links_cut << "/" << injector.log().size();
   const auto& cs = s.controller->stats();
   d << " ctl=" << cs.setups_ok << "/" << cs.setups_failed << "/"
     << cs.releases << "/" << cs.commands_issued << "/" << cs.commands_retried
@@ -830,7 +833,8 @@ TEST_P(ChaosSoak, InvariantsHoldAndRunsAreDeterministic) {
 
 INSTANTIATE_TEST_SUITE_P(Plans, ChaosSoak,
                          ::testing::Values("ems-flaps", "channel-loss",
-                                           "device-faults", "combined"));
+                                           "device-faults", "combined",
+                                           "conduit-cut", "failure-storm"));
 
 // --- bridge-and-roll under faults -------------------------------------------
 

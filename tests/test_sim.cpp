@@ -111,6 +111,25 @@ TEST(Engine, RunUntilIncludesDeadlineInstant) {
   EXPECT_TRUE(fired);
 }
 
+TEST(Engine, RunUntilCancelledHeadDoesNotAdmitLaterEvents) {
+  // Regression: a cancelled event inside the horizon sat at the queue
+  // head; run_until's deadline check passed, and pop_one() then skipped
+  // the cancelled entry and fired the next live event — far beyond the
+  // deadline.
+  Engine e;
+  bool fired = false;
+  const auto h = e.schedule(seconds(1), []() {});
+  e.schedule(seconds(100), [&]() { fired = true; });
+  e.cancel(h);
+  const auto n = e.run_until(seconds(5));
+  EXPECT_EQ(n, 0u);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(e.now(), seconds(5));
+  e.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(e.now(), seconds(100));
+}
+
 TEST(Engine, StepFiresExactlyOne) {
   Engine e;
   int fired = 0;

@@ -205,6 +205,7 @@ KNOWN_LAYERS = frozenset({
     "plant",      # inventory / optical plant gauges
     "portal",     # customer-facing portal
     "reopt",      # global re-optimization / defragmentation
+    "restoration", # storm pipeline: queue/backlog/in-flight/preemptions
     "rwa",        # routing + wavelength assignment
     "sampler",    # telemetry::GaugeSampler self-metrics
     "slo",        # telemetry::SloMonitor alert/violation metrics
